@@ -1,0 +1,30 @@
+// Shared formatting helpers for the experiment binaries. Each bench
+// prints the rows/series of one paper table or figure, in a fixed-width
+// layout that is stable for diffing across runs.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ivc::bench {
+
+inline void banner(const char* id, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace ivc::bench

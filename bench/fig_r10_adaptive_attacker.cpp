@@ -1,0 +1,70 @@
+// F-R10: The sophisticated attacker — trace cancellation robustness.
+//
+// The attacker pre-distorts the transmission to cancel the sub-voice
+// trace the microphone will create. Cancellation accuracy models channel
+// knowledge: 1.0 = perfect magnitude/phase knowledge at the victim's
+// exact position. Reports the residual trace feature, the defense's
+// detection rate, and whether the attack still works.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "defense/classifier.h"
+#include "defense/detector.h"
+#include "defense/features.h"
+#include "sim/corpus.h"
+
+int main() {
+  using namespace ivc;
+  bench::banner("F-R10", "adaptive attacker: trace cancellation sweep");
+
+  sim::corpus_config cfg;
+  cfg.rig = attack::long_range_rig();
+  const sim::defense_corpus corpus = sim::build_defense_corpus(cfg, 10);
+  defense::logistic_classifier clf;
+  clf.train(corpus.train);
+  const defense::classifier_detector detector{clf};
+  bench::rule();
+
+  std::printf("%12s %14s %14s %12s %12s\n", "accuracy", "trace ratio dB",
+              "envelope corr", "detected", "atk success");
+  for (const double accuracy : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    sim::attack_scenario sc;
+    sc.rig = attack::long_range_rig();
+    attack::cancellation_config cancel;
+    cancel.accuracy = accuracy;
+    sc.rig.cancellation = cancel;
+    sc.command_id = "open_door";
+    sc.distance_m = 4.0;
+    sim::attack_session session{sc, 77};
+
+    constexpr std::size_t trials = 4;
+    std::size_t detected = 0;
+    std::size_t success = 0;
+    double ratio = 0.0;
+    double corr = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const sim::trial_result r = session.run_trial(t);
+      const defense::trace_features f =
+          defense::extract_trace_features(r.capture);
+      ratio += f.low_band_ratio_db;
+      corr += f.low_band_envelope_corr;
+      if (detector.detect(r.capture).is_attack) {
+        ++detected;
+      }
+      if (r.success) {
+        ++success;
+      }
+    }
+    std::printf("%12.2f %14.1f %14.2f %11.0f%% %11.0f%%\n", accuracy,
+                ratio / trials, corr / trials,
+                100.0 * static_cast<double>(detected) / trials,
+                100.0 * static_cast<double>(success) / trials);
+  }
+
+  bench::rule();
+  bench::note("paper shape: detection degrades only as cancellation becomes");
+  bench::note("near-perfect — which requires exact channel and position");
+  bench::note("knowledge the attacker does not have; residual features");
+  bench::note("(amplitude skew, band limits) keep partial coverage even then.");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// F-R11: The defense runs in real time.
+//
+// google-benchmark over the pipeline stages: trace-feature extraction on
+// a 1 s capture window, classifier inference, and the full streaming
+// detector. Reported as wall time per stage; anything far below 1 s per
+// 1 s window is real-time capable.
+#include <benchmark/benchmark.h>
+
+#include "audio/generate.h"
+#include "common/rng.h"
+#include "defense/classifier.h"
+#include "defense/detector.h"
+#include "defense/stream.h"
+#include "synth/commands.h"
+
+namespace {
+
+ivc::audio::buffer capture_window() {
+  static const ivc::audio::buffer window = [] {
+    ivc::rng rng{11};
+    ivc::audio::buffer v = ivc::synth::render_command(
+        ivc::synth::command_by_id("open_door"), ivc::synth::male_voice(), rng,
+        16'000.0);
+    // 1 s window with the trace the defense hunts for.
+    v.samples.resize(16'000, 0.0);
+    for (double& s : v.samples) {
+      s = s + 0.3 * s * s;
+    }
+    return v;
+  }();
+  return window;
+}
+
+ivc::defense::logistic_classifier trained_classifier() {
+  ivc::rng rng{12};
+  ivc::defense::labelled_features data;
+  for (int i = 0; i < 200; ++i) {
+    ivc::defense::trace_features f;
+    const bool attack = i % 2 == 0;
+    const double c = attack ? 1.0 : -1.0;
+    f.low_band_envelope_corr = c + rng.normal(0.0, 0.4);
+    f.low_band_ratio_db = 4.0 * c + rng.normal(0.0, 1.0);
+    f.amplitude_skew = 0.4 * c + rng.normal(0.0, 0.3);
+    f.low_band_waveform_corr = c + rng.normal(0.0, 0.4);
+    data.add(f, attack ? 1 : 0);
+  }
+  ivc::defense::logistic_classifier clf;
+  clf.train(data);
+  return clf;
+}
+
+void bm_feature_extraction(benchmark::State& state) {
+  const ivc::audio::buffer window = capture_window();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ivc::defense::extract_trace_features(window));
+  }
+  state.SetLabel("per 1 s capture window");
+}
+BENCHMARK(bm_feature_extraction)->Unit(benchmark::kMillisecond);
+
+void bm_classifier_inference(benchmark::State& state) {
+  const ivc::defense::logistic_classifier clf = trained_classifier();
+  const ivc::defense::trace_features f =
+      ivc::defense::extract_trace_features(capture_window());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.predict_probability(f));
+  }
+}
+BENCHMARK(bm_classifier_inference)->Unit(benchmark::kNanosecond);
+
+void bm_classifier_training(benchmark::State& state) {
+  ivc::rng rng{13};
+  ivc::defense::labelled_features data;
+  for (int i = 0; i < 256; ++i) {
+    ivc::defense::trace_features f;
+    f.low_band_ratio_db = (i % 2 == 0 ? 4.0 : -4.0) + rng.normal(0.0, 1.0);
+    data.add(f, i % 2);
+  }
+  for (auto _ : state) {
+    ivc::defense::logistic_classifier clf;
+    clf.train(data);
+    benchmark::DoNotOptimize(clf);
+  }
+  state.SetLabel("256-sample corpus");
+}
+BENCHMARK(bm_classifier_training)->Unit(benchmark::kMillisecond);
+
+void bm_stream_detector(benchmark::State& state) {
+  const ivc::defense::classifier_detector detector{trained_classifier()};
+  const ivc::audio::buffer window = capture_window();
+  for (auto _ : state) {
+    ivc::defense::stream_detector stream{detector};
+    benchmark::DoNotOptimize(stream.feed(window));
+    benchmark::DoNotOptimize(stream.finish());
+  }
+  state.SetLabel("1 s of audio through the sliding-window detector");
+}
+BENCHMARK(bm_stream_detector)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

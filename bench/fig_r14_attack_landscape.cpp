@@ -1,0 +1,53 @@
+// F-R14 (extension): the attack landscape the paper positions itself in.
+//
+// Three generations of inaudible-command rigs on the same simulated
+// victim: the pocket transducer (DolphinAttack-class), the single
+// powered tweeter (BackDoor/short-paper class), and the spectrum-split
+// array (the long-range attack). For each: maximum range against the
+// phone, and whether a bystander at 1 m hears anything.
+#include <cstdio>
+
+#include "attack/leakage.h"
+#include "bench_util.h"
+#include "sim/scenario.h"
+#include "sim/sweep.h"
+
+int main() {
+  using namespace ivc;
+  bench::banner("F-R14", "attack landscape: pocket vs tweeter vs array");
+
+  struct rig_case {
+    const char* label;
+    attack::rig_config cfg;
+    double scan_max_m;
+  };
+  const rig_case cases[] = {
+      {"pocket transducer, 1.5 W", attack::portable_rig(), 3.0},
+      {"powered tweeter, 18.7 W", attack::monolithic_rig(18.7), 8.0},
+      {"split array 49x, 120 W", attack::long_range_rig(), 10.0},
+  };
+
+  std::printf("%-28s %12s %16s %14s\n", "rig", "range (m)",
+              "audible @ 1 m?", "margin (dB)");
+  bench::rule();
+  for (const rig_case& c : cases) {
+    sim::attack_scenario sc;
+    sc.rig = c.cfg;
+    sc.command_id = "take_picture";
+    sim::attack_session session{sc, 42};
+    const double range =
+        sim::max_attack_range_m(session, 0.5, 3, 0.25, c.scan_max_m, 0.25);
+
+    const attack::leakage_report leak = attack::measure_leakage(
+        session.rig().array, acoustics::vec3{0.0, 1.0, 0.0},
+        acoustics::air_model{});
+    std::printf("%-28s %12.2f %16s %+14.1f\n", c.label, range,
+                leak.audibility.audible ? "AUDIBLE" : "silent",
+                leak.audibility.worst_margin_db);
+  }
+
+  bench::rule();
+  bench::note("the paper's position: prior rigs trade range against");
+  bench::note("stealth; the split array is the first to get both.");
+  return 0;
+}

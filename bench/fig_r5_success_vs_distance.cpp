@@ -1,0 +1,63 @@
+// F-R5: The headline figure — attack success rate vs distance.
+//
+// Monolithic rig (prior work, 18.7 W) vs the long-range split array
+// (120 W across 49 stacked transducers), against the phone and the
+// grille-covered smart speaker. The paper's claim: the array reaches
+// ~25 ft (7.6 m) while the single speaker dies within a few meters —
+// and the array does it inaudibly (see F-R3/F-R4).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+#include "sim/sweep.h"
+
+namespace {
+
+void run_series(const char* label, const ivc::sim::attack_scenario& base,
+                const std::vector<double>& distances, std::size_t trials) {
+  ivc::sim::attack_session session{base, 42};
+  std::printf("%s\n", label);
+  std::printf("%12s %12s %12s %16s\n", "distance (m)", "success", "95% CI",
+              "intelligibility");
+  for (const double d : distances) {
+    session.set_distance(d);
+    const ivc::sim::success_estimate est =
+        ivc::sim::estimate_success(session, trials);
+    std::printf("%12.1f %11.0f%% [%4.0f,%4.0f]%% %16.2f\n", d,
+                100.0 * est.rate, 100.0 * est.ci_low, 100.0 * est.ci_high,
+                est.mean_intelligibility);
+  }
+  ivc::bench::rule();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ivc;
+  bench::banner("F-R5", "attack success rate vs distance (headline result)");
+
+  const std::vector<double> distances{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+                                      7.6, 8.5};
+  constexpr std::size_t trials = 10;
+
+  sim::attack_scenario mono;
+  mono.rig = attack::monolithic_rig(18.7);
+  mono.command_id = "mute_yourself";
+  run_series("monolithic rig, 18.7 W, phone:", mono, distances, trials);
+
+  sim::attack_scenario split = mono;
+  split.rig = attack::long_range_rig();
+  run_series("split array (49 transducers), 120 W, phone:", split, distances,
+             trials);
+
+  sim::attack_scenario split_echo = split;
+  split_echo.device = mic::smart_speaker_profile();
+  run_series("split array (49 transducers), 120 W, smart speaker:",
+             split_echo, distances, trials);
+
+  bench::note("paper shape: mono collapses by ~4 m; the array holds ~100%%");
+  bench::note("success through 7.6 m (25 ft) on the phone, with the grille-");
+  bench::note("covered smart speaker consistently a step shorter.");
+  return 0;
+}

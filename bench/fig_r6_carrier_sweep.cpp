@@ -1,0 +1,37 @@
+// F-R6: Attack success vs carrier frequency (ablation).
+//
+// At fixed distance and power, sweeps f_c. Constraints shaping the
+// usable window: f_c − bandwidth must clear 20 kHz (inaudibility),
+// the tweeter response and air absorption decay at high f_c, and the
+// microphone's own response shapes what demodulates.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+#include "sim/sweep.h"
+
+int main() {
+  using namespace ivc;
+  bench::banner("F-R6", "success vs carrier frequency (split rig, 7 m)");
+  std::printf("%10s %10s %12s %16s\n", "fc (kHz)", "success", "95% CI",
+              "intelligibility");
+
+  for (const double fc : {26.0, 30.0, 34.0, 38.0, 42.0, 46.0, 50.0, 56.0,
+                          64.0, 72.0}) {
+    sim::attack_scenario sc;
+    sc.rig = attack::long_range_rig();
+    sc.rig.modulator.carrier_hz = fc * 1'000.0;
+    sc.command_id = "mute_yourself";
+    sc.distance_m = 7.0;
+    sim::attack_session session{sc, 42};
+    const sim::success_estimate est = sim::estimate_success(session, 6);
+    std::printf("%10.0f %9.0f%% [%3.0f,%3.0f]%% %16.2f\n", fc,
+                100.0 * est.rate, 100.0 * est.ci_low, 100.0 * est.ci_high,
+                est.mean_intelligibility);
+  }
+
+  bench::rule();
+  bench::note("expected shape: plateau through the tweeter passband, decay");
+  bench::note("past ~50 kHz as absorption (~f^2) and the driver roll off.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// F-R8: Defense ROC — per-feature detectors vs the combined classifier.
+//
+// Trains the logistic classifier on the train half of the corpus and
+// sweeps thresholds on the held-out half, printing AUC / EER / best
+// accuracy for each single-feature detector and the combined model, plus
+// the combined model's ROC points.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "defense/classifier.h"
+#include "defense/detector.h"
+#include "defense/roc.h"
+#include "sim/corpus.h"
+
+int main() {
+  using namespace ivc;
+  bench::banner("F-R8", "defense ROC: single features vs combined classifier");
+
+  sim::corpus_config cfg;
+  cfg.rig = attack::long_range_rig();
+  const sim::defense_corpus corpus = sim::build_defense_corpus(cfg, 8);
+  bench::note("train %zu / test %zu captures", corpus.train.size(),
+              corpus.test.size());
+  bench::rule();
+
+  std::printf("%-30s %8s %8s %10s\n", "detector", "AUC", "EER", "best acc");
+  for (std::size_t k = 0; k < defense::num_trace_features; ++k) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < corpus.test.size(); ++i) {
+      scores.push_back(corpus.test.x[i][k]);
+      labels.push_back(corpus.test.y[i]);
+    }
+    const defense::roc_curve roc = defense::compute_roc(scores, labels);
+    std::printf("%-30s %8.3f %8.3f %9.1f%%\n",
+                defense::trace_features::names()[k], roc.auc,
+                roc.equal_error_rate, 100.0 * roc.best_accuracy);
+  }
+
+  defense::logistic_classifier clf;
+  clf.train(corpus.train);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < corpus.test.size(); ++i) {
+    scores.push_back(clf.predict_probability(corpus.test.x[i]));
+    labels.push_back(corpus.test.y[i]);
+  }
+  const defense::roc_curve roc = defense::compute_roc(scores, labels);
+  std::printf("%-30s %8.3f %8.3f %9.1f%%\n", "combined (logistic)", roc.auc,
+              roc.equal_error_rate, 100.0 * roc.best_accuracy);
+
+  bench::rule();
+  std::printf("combined-classifier ROC points (threshold, FPR, TPR):\n");
+  const std::size_t step = std::max<std::size_t>(1, roc.points.size() / 12);
+  for (std::size_t i = 0; i < roc.points.size(); i += step) {
+    std::printf("  %8.3f %8.3f %8.3f\n", roc.points[i].threshold,
+                roc.points[i].false_positive_rate,
+                roc.points[i].true_positive_rate);
+  }
+  bench::rule();
+  bench::note("paper shape: the combined classifier reaches AUC ~0.99 with");
+  bench::note("low EER; sub-voice trace features dominate individually.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// F-R9: Defense robustness vs attacker distance and ambient noise.
+//
+// Trains the classifier once on the standard corpus, then measures
+// detection rate on fresh attack captures across distance, and the
+// false-positive rate on genuine utterances, at three ambient levels.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "defense/classifier.h"
+#include "defense/detector.h"
+#include "sim/corpus.h"
+
+int main() {
+  using namespace ivc;
+  bench::banner("F-R9", "detection rate vs attacker distance and ambient");
+
+  sim::corpus_config cfg;
+  cfg.rig = attack::long_range_rig();
+  const sim::defense_corpus corpus = sim::build_defense_corpus(cfg, 9);
+  defense::logistic_classifier clf;
+  clf.train(corpus.train);
+  const defense::classifier_detector detector{clf};
+  bench::note("classifier trained on %zu captures; held-out accuracy %.1f%%",
+              corpus.train.size(), 100.0 * clf.accuracy(corpus.test));
+  bench::rule();
+
+  std::printf("%14s", "ambient (dB)");
+  for (const double d : {1.0, 2.0, 4.0, 6.0, 7.5}) {
+    std::printf("   atk@%.1fm", d);
+  }
+  std::printf("   genuine FPR\n");
+  bench::rule();
+
+  for (const double ambient : {30.0, 40.0, 50.0}) {
+    std::printf("%14.0f", ambient);
+    for (const double dist : {1.0, 2.0, 4.0, 6.0, 7.5}) {
+      sim::attack_scenario sc;
+      sc.rig = attack::long_range_rig();
+      sc.command_id = "open_door";
+      sc.distance_m = dist;
+      sc.environment.ambient_spl_db = ambient;
+      sim::attack_session session{sc, 90 + static_cast<std::uint64_t>(dist)};
+      std::size_t detected = 0;
+      constexpr std::size_t trials = 4;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto capture = session.run_trial(t).capture;
+        if (detector.detect(capture).is_attack) {
+          ++detected;
+        }
+      }
+      std::printf("   %7.0f%%", 100.0 * static_cast<double>(detected) / trials);
+    }
+
+    // Genuine false positives at this ambient level.
+    std::size_t false_alarms = 0;
+    std::size_t genuine_total = 0;
+    std::uint64_t seed = 1'000;
+    for (const synth::command& phrase : synth::benign_bank()) {
+      sim::genuine_scenario g;
+      g.phrase_id = phrase.id;
+      g.environment.ambient_spl_db = ambient;
+      ivc::rng rng{seed++};
+      const auto capture = run_genuine_capture(g, rng);
+      if (detector.detect(capture).is_attack) {
+        ++false_alarms;
+      }
+      ++genuine_total;
+    }
+    std::printf("   %10.0f%%\n",
+                100.0 * static_cast<double>(false_alarms) /
+                    static_cast<double>(genuine_total));
+  }
+
+  bench::rule();
+  bench::note("paper shape: detection stays high across the attack's whole");
+  bench::note("working range (the trace scales with the attack signal");
+  bench::note("itself); genuine false alarms stay near zero.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// T-R1: Attack range vs speaker input power (the short paper's Table 1).
+//
+//   Input Power (W)     9.2   11.8   14.8   18.7   23.7
+//   Range (Phone, cm)   222    255    277    313    354
+//   Range (Echo,  cm)   145    168    187    213    239
+//
+// Reproduced with the monolithic rig (hi-fi horn tweeter, 30 kHz
+// carrier). Range = farthest distance with >= 50% command success.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+#include "sim/sweep.h"
+
+int main() {
+  using namespace ivc;
+  bench::banner("T-R1", "attack range vs input power (monolithic rig)");
+
+  const std::vector<double> powers{9.2, 11.8, 14.8, 18.7, 23.7};
+  const double paper_phone[] = {222.0, 255.0, 277.0, 313.0, 354.0};
+  const double paper_echo[] = {145.0, 168.0, 187.0, 213.0, 239.0};
+
+  std::printf("%12s %18s %18s\n", "power (W)", "phone range (cm)",
+              "echo range (cm)");
+  std::printf("%12s %9s %8s %9s %8s\n", "", "measured", "paper", "measured",
+              "paper");
+  bench::rule();
+
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    double measured[2] = {0.0, 0.0};
+    int col = 0;
+    for (const bool echo : {false, true}) {
+      sim::attack_scenario sc;
+      sc.rig = attack::monolithic_rig(powers[i]);
+      sc.command_id = echo ? "add_milk" : "airplane_mode";
+      if (echo) {
+        sc.device = mic::smart_speaker_profile();
+      }
+      sim::attack_session session{sc, 42};
+      measured[col++] = 100.0 * sim::max_attack_range_m(
+                                    session, 0.5, 4, 0.5, 6.0, 0.25);
+    }
+    std::printf("%12.1f %9.0f %8.0f %9.0f %8.0f\n", powers[i], measured[0],
+                paper_phone[i], measured[1], paper_echo[i]);
+  }
+
+  bench::rule();
+  bench::note("paper shape: range grows with power; the grille-covered echo");
+  bench::note("trails the phone at every power. Absolute values depend on");
+  bench::note("the speaker sensitivity model (see DESIGN.md substitutions).");
+  return 0;
+}

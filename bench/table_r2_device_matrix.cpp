@@ -1,0 +1,47 @@
+// T-R2: Device × command success matrix at fixed range.
+//
+// Every command in the bank against every device profile, long-range rig
+// at 4 m. Mirrors the papers' multi-device tables: consumer devices fall,
+// the hardened profile (acoustic ultrasound filter + low-distortion
+// capsule) resists.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+#include "sim/sweep.h"
+
+int main() {
+  using namespace ivc;
+  bench::banner("T-R2", "device x command success (split rig, 120 W, 4 m)");
+
+  const auto devices = mic::all_profiles();
+  std::printf("%-16s", "command");
+  for (const auto& d : devices) {
+    std::printf(" %14s", d.name.c_str());
+  }
+  std::printf("\n");
+  bench::rule();
+
+  constexpr std::size_t trials = 5;
+  std::size_t session_seed = 0;
+  for (const synth::command& cmd : synth::command_bank()) {
+    std::printf("%-16s", cmd.id.c_str());
+    sim::attack_scenario sc;
+    sc.rig = attack::long_range_rig();
+    sc.command_id = cmd.id;
+    sc.distance_m = 4.0;
+    sim::attack_session session{sc, 42 + session_seed++};
+    for (const auto& device : devices) {
+      session.set_device(device);
+      const sim::success_estimate est =
+          sim::estimate_success(session, trials);
+      std::printf(" %13.0f%%", 100.0 * est.rate);
+    }
+    std::printf("\n");
+  }
+
+  bench::rule();
+  bench::note("paper shape: consumer devices (phone/speaker/laptop) accept");
+  bench::note("injected commands at rate ~100%%; the hardened design resists.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// defense_demo: train the detector, then watch it vet a live audio feed.
+//
+// Simulates a deployment: a stream of genuine requests with one injected
+// command hidden in the middle, fed block-by-block through the streaming
+// detector in front of the recognizer. The detector must veto the
+// injected command and pass the genuine ones.
+#include <cstdio>
+
+#include "audio/ops.h"
+#include "defense/classifier.h"
+#include "defense/stream.h"
+#include "sim/corpus.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace ivc;
+
+  std::printf("training the defense on a simulated corpus...\n");
+  sim::corpus_config cfg;
+  cfg.rig = attack::long_range_rig();
+  cfg.genuine_distances_m = {0.5, 2.0};
+  cfg.genuine_levels_db = {62.0, 70.0};
+  cfg.attack_distances_m = {2.0, 5.0};
+  cfg.attack_powers_w = {120.0};
+  cfg.max_attack_commands = 5;
+  cfg.max_genuine_phrases = 10;
+  const sim::defense_corpus corpus = sim::build_defense_corpus(cfg, 31);
+  defense::logistic_classifier clf;
+  clf.train(corpus.train);
+  std::printf("held-out accuracy: %.1f%% on %zu captures\n\n",
+              100.0 * clf.accuracy(corpus.test), corpus.test.size());
+
+  // Assemble the "day in the life" feed: genuine, genuine, ATTACK,
+  // genuine.
+  struct segment {
+    const char* label;
+    audio::buffer capture;
+  };
+  std::vector<segment> feed;
+  ivc::rng rng{32};
+  sim::genuine_scenario g;
+  g.phrase_id = "play_music";
+  feed.push_back({"genuine: play music", run_genuine_capture(g, rng)});
+  g.phrase_id = "what_time";
+  feed.push_back({"genuine: what time is it", run_genuine_capture(g, rng)});
+
+  sim::attack_scenario atk;
+  atk.rig = attack::long_range_rig();
+  atk.command_id = "open_door";
+  atk.distance_m = 6.0;
+  sim::attack_session session{atk, 33};
+  feed.push_back({"INJECTED: open the front door (6 m, inaudible)",
+                  session.run_trial(0).capture});
+
+  g.phrase_id = "weather_today";
+  feed.push_back({"genuine: what is the weather today",
+                  run_genuine_capture(g, rng)});
+
+  // Stream every segment through the detector in 100 ms blocks.
+  defense::stream_detector detector{defense::classifier_detector{clf}};
+  for (const segment& seg : feed) {
+    detector.reset();
+    double worst = 0.0;
+    bool flagged = false;
+    const std::size_t block =
+        static_cast<std::size_t>(0.1 * seg.capture.sample_rate_hz);
+    for (std::size_t start = 0; start < seg.capture.size(); start += block) {
+      const std::size_t len = std::min(block, seg.capture.size() - start);
+      audio::buffer piece{{seg.capture.samples.begin() +
+                               static_cast<std::ptrdiff_t>(start),
+                           seg.capture.samples.begin() +
+                               static_cast<std::ptrdiff_t>(start + len)},
+                          seg.capture.sample_rate_hz};
+      for (const defense::stream_event& e : detector.feed(piece)) {
+        worst = std::max(worst, e.score);
+        flagged |= e.is_attack;
+      }
+    }
+    for (const defense::stream_event& e : detector.finish()) {
+      worst = std::max(worst, e.score);
+      flagged |= e.is_attack;
+    }
+    std::printf("%-48s -> %s (max score %.2f)\n", seg.label,
+                flagged ? "VETOED as inaudible-injection" : "passed", worst);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Atmospheric model: speed of sound and frequency-dependent absorption.
+//
+// Absorption follows ISO 9613-1 (classical + rotational losses plus the
+// O2 and N2 vibrational relaxation terms). Absorption is the quantity
+// that makes the long-range ultrasonic attack hard: at 40 kHz air eats
+// roughly 1.2 dB/m while the voice band loses almost nothing, so every
+// extra meter costs the attacker more than it costs a genuine talker.
+#pragma once
+
+namespace ivc::acoustics {
+
+struct air_model {
+  double temperature_c = 20.0;
+  double relative_humidity_percent = 50.0;
+  double pressure_kpa = 101.325;
+
+  // Speed of sound, m/s, for the configured temperature.
+  double speed_of_sound() const;
+
+  // Atmospheric absorption coefficient at `freq_hz`, in dB per meter.
+  double absorption_db_per_m(double freq_hz) const;
+
+  // Linear amplitude factor after `dist_m` meters at `freq_hz`
+  // (absorption only, no spreading).
+  double absorption_gain(double freq_hz, double dist_m) const;
+};
+
+}  // namespace ivc::acoustics

@@ -1,0 +1,126 @@
+#include "acoustics/array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/fft.h"
+
+namespace ivc::acoustics {
+
+void speaker_array::add_element(array_element element) {
+  audio::validate(element.drive, "speaker_array::add_element");
+  if (!elements_.empty()) {
+    expects(element.drive.sample_rate_hz ==
+                elements_.front().drive.sample_rate_hz,
+            "speaker_array: all elements must share a sample rate");
+  }
+  elements_.push_back(std::move(element));
+}
+
+double speaker_array::total_power_w() const {
+  double total = 0.0;
+  for (const array_element& e : elements_) {
+    total += e.input_power_w;
+  }
+  return total;
+}
+
+void speaker_array::scale_power(double factor) {
+  expects(factor > 0.0, "speaker_array::scale_power: factor must be > 0");
+  for (array_element& e : elements_) {
+    const double scaled = e.input_power_w * factor;
+    expects(scaled <= e.speaker.max_power_w,
+            "speaker_array::scale_power: element would exceed its rating");
+    e.input_power_w = scaled;
+  }
+}
+
+void speaker_array::translate(const vec3& offset) {
+  for (array_element& e : elements_) {
+    e.position = e.position + offset;
+  }
+}
+
+// Fused rendering: the per-element non-linearity is applied in the time
+// domain (it is memoryless), after which the element's radiation response,
+// sensitivity scaling, spreading, absorption, and delay are all linear and
+// time-invariant — so they compose into one frequency response per
+// element. All element spectra are accumulated and a single inverse FFT
+// produces the superposed field, instead of 4 transforms per element.
+audio::buffer speaker_array::render(const vec3& listener, const air_model& air,
+                                    bool with_nonlinearity) const {
+  expects(!elements_.empty(), "speaker_array::render: array is empty");
+  const double rate = elements_.front().drive.sample_rate_hz;
+  const double c = air.speed_of_sound();
+
+  std::size_t max_len = 0;
+  double max_dist = 0.0;
+  for (const array_element& e : elements_) {
+    max_len = std::max(max_len, e.drive.size());
+    max_dist = std::max(max_dist, distance(e.position, listener));
+  }
+  const auto max_delay =
+      static_cast<std::size_t>(std::ceil(max_dist / c * rate));
+  const std::size_t n = ivc::dsp::next_pow2(max_len + max_delay + 64);
+
+  std::vector<ivc::dsp::cplx> total(n, ivc::dsp::cplx{0.0, 0.0});
+  std::vector<ivc::dsp::cplx> spec(n);
+  for (const array_element& e : elements_) {
+    const speaker spk{e.speaker};
+    expects(e.input_power_w > 0.0 &&
+                e.input_power_w <= e.speaker.max_power_w,
+            "speaker_array: element power outside the driver's rating");
+    const double gain = std::sqrt(e.input_power_w / e.speaker.rated_power_w);
+    const double a2 = with_nonlinearity ? e.speaker.nonlin_a2 : 0.0;
+    const double a3 = with_nonlinearity ? e.speaker.nonlin_a3 : 0.0;
+
+    std::fill(spec.begin(), spec.end(), ivc::dsp::cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < e.drive.size(); ++i) {
+      double v = std::clamp(gain * e.drive.samples[i], -1.0, 1.0);
+      v = v + a2 * v * v + a3 * v * v * v;
+      spec[i] = ivc::dsp::cplx{v, 0.0};
+    }
+    ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/false);
+
+    const double dist = std::max(distance(e.position, listener), 1e-2);
+    const double delay_s = dist / c;
+    const double spreading = 1.0 / dist;
+    const double absorb_dist = std::max(0.0, dist - 1.0);
+    const double peak_pa =
+        ivc::spl_db_to_pa(e.speaker.sensitivity_db_spl) * std::numbers::sqrt2;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      const double f = ivc::dsp::bin_frequency_hz(k, n, rate);
+      const double af = std::abs(f);
+      // Radiation response × sensitivity × spreading × absorption.
+      const double mag = spk.response_at(af) * peak_pa * spreading *
+                         air.absorption_gain(af, absorb_dist);
+      const double phase = -two_pi * f * delay_s;
+      total[k] += spec[k] * (mag * ivc::dsp::cplx{std::cos(phase),
+                                                  std::sin(phase)});
+    }
+  }
+  ivc::dsp::fft_pow2_inplace(total, /*inverse=*/true);
+
+  audio::buffer out{std::vector<double>(max_len + max_delay, 0.0), rate};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.samples[i] = total[i].real();
+  }
+  return out;
+}
+
+audio::buffer speaker_array::render_at(const vec3& listener,
+                                       const air_model& air) const {
+  return render(listener, air, /*with_nonlinearity=*/true);
+}
+
+audio::buffer speaker_array::render_at_linear(const vec3& listener,
+                                              const air_model& air) const {
+  return render(listener, air, /*with_nonlinearity=*/false);
+}
+
+}  // namespace ivc::acoustics

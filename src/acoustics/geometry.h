@@ -1,0 +1,30 @@
+// Minimal 3-D geometry for source/receiver placement.
+#pragma once
+
+#include <cmath>
+
+namespace ivc::acoustics {
+
+struct vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend vec3 operator+(const vec3& a, const vec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend vec3 operator-(const vec3& a, const vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend vec3 operator*(double s, const vec3& v) {
+    return {s * v.x, s * v.y, s * v.z};
+  }
+};
+
+inline double norm(const vec3& v) {
+  return std::sqrt(v.x * v.x + v.y * v.y + v.z * v.z);
+}
+
+inline double distance(const vec3& a, const vec3& b) { return norm(a - b); }
+
+}  // namespace ivc::acoustics

@@ -1,0 +1,23 @@
+#include "acoustics/noise.h"
+
+#include "audio/generate.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ivc::acoustics {
+
+audio::buffer ambient_noise(double duration_s, double sample_rate_hz,
+                            double spl_db, noise_kind kind, ivc::rng& rng) {
+  const double rms_pa = ivc::spl_db_to_pa(spl_db);
+  switch (kind) {
+    case noise_kind::white:
+      return audio::white_noise(duration_s, sample_rate_hz, rms_pa, rng);
+    case noise_kind::pink:
+      return audio::pink_noise(duration_s, sample_rate_hz, rms_pa, rng);
+    case noise_kind::speech_shaped:
+      return audio::speech_shaped_noise(duration_s, sample_rate_hz, rms_pa, rng);
+  }
+  throw std::invalid_argument{"ambient_noise: unknown noise kind"};
+}
+
+}  // namespace ivc::acoustics

@@ -1,0 +1,19 @@
+// Ambient acoustic noise fields, in pascal at the receiver.
+#pragma once
+
+#include "audio/buffer.h"
+#include "common/rng.h"
+
+namespace ivc::acoustics {
+
+enum class noise_kind {
+  white,
+  pink,
+  speech_shaped,  // babble-like long-term spectrum
+};
+
+// Noise with the given A-unweighted SPL (RMS referenced to 20 µPa).
+audio::buffer ambient_noise(double duration_s, double sample_rate_hz,
+                            double spl_db, noise_kind kind, ivc::rng& rng);
+
+}  // namespace ivc::acoustics

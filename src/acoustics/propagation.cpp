@@ -1,0 +1,64 @@
+#include "acoustics/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/fft.h"
+
+namespace ivc::acoustics {
+
+std::vector<double> propagate(std::span<const double> pressure_at_1m,
+                              double sample_rate_hz,
+                              const propagation_config& config) {
+  expects(!pressure_at_1m.empty(), "propagate: signal must be non-empty");
+  expects(sample_rate_hz > 0.0, "propagate: sample rate must be > 0");
+  expects(config.distance_m > 0.0, "propagate: distance must be > 0");
+
+  const double c = config.air.speed_of_sound();
+  const double delay_s = config.include_delay ? config.distance_m / c : 0.0;
+  const auto delay_samples =
+      static_cast<std::size_t>(std::ceil(delay_s * sample_rate_hz));
+
+  // Zero-pad past the delayed content so the circular FFT shift cannot
+  // wrap energy back to the start.
+  const std::size_t padded = pressure_at_1m.size() + delay_samples + 64;
+  const std::size_t n = ivc::dsp::next_pow2(padded);
+  std::vector<ivc::dsp::cplx> spec(n, ivc::dsp::cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < pressure_at_1m.size(); ++i) {
+    spec[i] = ivc::dsp::cplx{pressure_at_1m[i], 0.0};
+  }
+  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/false);
+
+  const double spreading = 1.0 / std::max(config.distance_m, 1e-3);
+  const double extra = ivc::db_to_amplitude(-config.extra_loss_db);
+  const double absorb_dist = std::max(0.0, config.distance_m - 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = ivc::dsp::bin_frequency_hz(i, n, sample_rate_hz);
+    const double mag = spreading * extra *
+                       config.air.absorption_gain(std::abs(f), absorb_dist);
+    const double phase = -two_pi * f * delay_s;
+    spec[i] *= mag * ivc::dsp::cplx{std::cos(phase), std::sin(phase)};
+  }
+  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/true);
+
+  std::vector<double> out(pressure_at_1m.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = spec[i].real();
+  }
+  return out;
+}
+
+double received_spl_db(double source_spl_at_1m_db, double freq_hz,
+                       double distance_m, const air_model& air,
+                       double extra_loss_db) {
+  expects(distance_m > 0.0, "received_spl_db: distance must be > 0");
+  const double spreading_db = 20.0 * std::log10(std::max(distance_m, 1e-3));
+  const double absorb_db =
+      air.absorption_db_per_m(freq_hz) * std::max(0.0, distance_m - 1.0);
+  return source_spl_at_1m_db - spreading_db - absorb_db - extra_loss_db;
+}
+
+}  // namespace ivc::acoustics

@@ -1,0 +1,39 @@
+// Free-field propagation of a pressure signal.
+//
+// The channel from a source (referenced at 1 m) to a receiver at distance
+// r applies, per frequency: spherical spreading 1/r, atmospheric
+// absorption 10^(−α(f)·(r−1)/20), and the propagation delay r/c. All
+// three are applied in one pass in the frequency domain, which makes the
+// absorption filter exact for every bin rather than an FIR approximation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "acoustics/air.h"
+
+namespace ivc::acoustics {
+
+struct propagation_config {
+  double distance_m = 1.0;
+  air_model air;
+  bool include_delay = true;
+  // Extra frequency-independent insertion loss (dB), e.g. an obstruction.
+  double extra_loss_db = 0.0;
+};
+
+// Propagates `pressure_at_1m` (Pa, sampled at `sample_rate_hz`) to the
+// configured distance. Output has the same length; energy arriving past
+// the end of the window is dropped (windows are padded by callers that
+// care, and the sim module always leaves tail margin).
+std::vector<double> propagate(std::span<const double> pressure_at_1m,
+                              double sample_rate_hz,
+                              const propagation_config& config);
+
+// Analytic received SPL for a pure tone: source_spl − 20·log10(r) −
+// α(f)·(r−1) − extra_loss. Used for fast sweeps and validation tests.
+double received_spl_db(double source_spl_at_1m_db, double freq_hz,
+                       double distance_m, const air_model& air,
+                       double extra_loss_db = 0.0);
+
+}  // namespace ivc::acoustics

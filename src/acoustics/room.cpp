@@ -1,0 +1,145 @@
+#include "acoustics/room.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/fft.h"
+
+namespace ivc::acoustics {
+namespace {
+
+void check_room(const room_model& room, const vec3& p, const char* what) {
+  expects(room.width_m > 0.0 && room.depth_m > 0.0 && room.height_m > 0.0,
+          "room_model: dimensions must be > 0");
+  expects(room.wall_absorption > 0.0 && room.wall_absorption < 1.0,
+          "room_model: wall absorption must be in (0, 1)");
+  expects(p.x >= 0.0 && p.x <= room.width_m && p.y >= 0.0 &&
+              p.y <= room.depth_m && p.z >= 0.0 && p.z <= room.height_m,
+          std::string{what} + " must lie inside the room");
+}
+
+// 1-D image coordinates along one axis: value and bounce count for
+// mirror index k and parity s.
+struct axis_image {
+  double coordinate;
+  std::size_t reflections;
+};
+
+std::vector<axis_image> axis_images(double position, double extent,
+                                    std::size_t max_order) {
+  std::vector<axis_image> images;
+  const auto k_max = static_cast<std::ptrdiff_t>(max_order / 2 + 1);
+  for (std::ptrdiff_t k = -k_max; k <= k_max; ++k) {
+    // Even image: 2kL + x, crosses 2|k| walls.
+    const auto even_refl = static_cast<std::size_t>(2 * std::abs(k));
+    if (even_refl <= max_order) {
+      images.push_back(
+          {2.0 * static_cast<double>(k) * extent + position, even_refl});
+    }
+    // Odd image: 2kL - x, crosses |2k - 1| walls.
+    const auto odd_refl = static_cast<std::size_t>(std::abs(2 * k - 1));
+    if (odd_refl <= max_order) {
+      images.push_back(
+          {2.0 * static_cast<double>(k) * extent - position, odd_refl});
+    }
+  }
+  return images;
+}
+
+}  // namespace
+
+std::vector<image_source> compute_image_sources(const room_model& room,
+                                                const vec3& source) {
+  check_room(room, source, "compute_image_sources: source");
+  const auto xs = axis_images(source.x, room.width_m, room.max_reflection_order);
+  const auto ys = axis_images(source.y, room.depth_m, room.max_reflection_order);
+  const auto zs = axis_images(source.z, room.height_m, room.max_reflection_order);
+
+  std::vector<image_source> images;
+  for (const axis_image& x : xs) {
+    for (const axis_image& y : ys) {
+      for (const axis_image& z : zs) {
+        const std::size_t total = x.reflections + y.reflections + z.reflections;
+        if (total <= room.max_reflection_order) {
+          images.push_back(image_source{
+              vec3{x.coordinate, y.coordinate, z.coordinate}, total});
+        }
+      }
+    }
+  }
+  return images;
+}
+
+double reflection_gain(const room_model& room, double freq_hz,
+                       std::size_t reflections) {
+  if (reflections == 0) {
+    return 1.0;
+  }
+  const double base = std::sqrt(1.0 - room.wall_absorption);
+  double gain = std::pow(base, static_cast<double>(reflections));
+  if (freq_hz > 20'000.0) {
+    gain *= ivc::db_to_amplitude(-room.ultrasound_extra_loss_db *
+                                 static_cast<double>(reflections));
+  }
+  return gain;
+}
+
+audio::buffer render_in_room(const audio::buffer& pressure_at_1m,
+                             const vec3& source, const vec3& listener,
+                             const room_model& room, const air_model& air) {
+  audio::validate(pressure_at_1m, "render_in_room");
+  check_room(room, source, "render_in_room: source");
+  check_room(room, listener, "render_in_room: listener");
+
+  const std::vector<image_source> images =
+      compute_image_sources(room, source);
+  const double rate = pressure_at_1m.sample_rate_hz;
+  const double c = air.speed_of_sound();
+
+  double max_dist = 0.0;
+  for (const image_source& img : images) {
+    max_dist = std::max(max_dist, distance(img.position, listener));
+  }
+  const auto max_delay =
+      static_cast<std::size_t>(std::ceil(max_dist / c * rate));
+  const std::size_t out_len = pressure_at_1m.size() + max_delay + 64;
+  const std::size_t n = ivc::dsp::next_pow2(out_len);
+
+  // One forward FFT of the source; accumulate every image's frequency
+  // response; one inverse FFT.
+  std::vector<ivc::dsp::cplx> src(n, ivc::dsp::cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < pressure_at_1m.size(); ++i) {
+    src[i] = ivc::dsp::cplx{pressure_at_1m.samples[i], 0.0};
+  }
+  ivc::dsp::fft_pow2_inplace(src, /*inverse=*/false);
+
+  std::vector<ivc::dsp::cplx> total(n, ivc::dsp::cplx{0.0, 0.0});
+  for (const image_source& img : images) {
+    const double dist = std::max(distance(img.position, listener), 1e-2);
+    const double delay_s = dist / c;
+    const double spreading = 1.0 / dist;
+    const double absorb_dist = std::max(0.0, dist - 1.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double f = ivc::dsp::bin_frequency_hz(k, n, rate);
+      const double af = std::abs(f);
+      const double mag = spreading *
+                         air.absorption_gain(af, absorb_dist) *
+                         reflection_gain(room, af, img.reflections);
+      const double phase = -two_pi * f * delay_s;
+      total[k] += src[k] * (mag * ivc::dsp::cplx{std::cos(phase),
+                                                 std::sin(phase)});
+    }
+  }
+  ivc::dsp::fft_pow2_inplace(total, /*inverse=*/true);
+
+  audio::buffer out{std::vector<double>(out_len - 64, 0.0), rate};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.samples[i] = total[i].real();
+  }
+  return out;
+}
+
+}  // namespace ivc::acoustics

@@ -1,0 +1,57 @@
+// Shoebox-room acoustics via the image-source method.
+//
+// The papers' experiments run in closed meeting rooms, not anechoic
+// space. Reflections matter to both sides: multipath smears the
+// demodulated command (attack quality) and adds reverberant tails the
+// defense must tolerate. The model mirrors the source across the walls
+// up to a configurable reflection order; each image radiates through the
+// same frequency-dependent air model, attenuated by the wall reflection
+// loss per bounce.
+#pragma once
+
+#include <vector>
+
+#include "acoustics/air.h"
+#include "acoustics/geometry.h"
+#include "audio/buffer.h"
+
+namespace ivc::acoustics {
+
+struct room_model {
+  // The short paper's meeting room: 6.5 m × 4 m × 2.5 m.
+  double width_m = 6.5;   // x extent
+  double depth_m = 4.0;   // y extent
+  double height_m = 2.5;  // z extent
+  // Energy absorption per wall bounce (0.3–0.5 for a furnished office;
+  // drywall + carpet absorb ultrasound strongly).
+  double wall_absorption = 0.4;
+  // Extra per-bounce loss applied above 20 kHz: walls are much more
+  // absorptive (and more diffusing) at ultrasonic wavelengths.
+  double ultrasound_extra_loss_db = 6.0;
+  std::size_t max_reflection_order = 1;
+};
+
+struct image_source {
+  vec3 position;
+  std::size_t reflections = 0;  // number of wall bounces
+};
+
+// All image sources of `source` up to room.max_reflection_order,
+// including the direct path (reflections == 0). Positions must lie
+// inside the room.
+std::vector<image_source> compute_image_sources(const room_model& room,
+                                                const vec3& source);
+
+// Per-bounce amplitude reflection coefficient at `freq_hz`.
+double reflection_gain(const room_model& room, double freq_hz,
+                       std::size_t reflections);
+
+// Renders `pressure_at_1m` from `source` to `listener` inside the room:
+// direct path plus reflections, each with its own delay, spreading and
+// absorption. With max_reflection_order == 0 this equals free-field
+// propagation.
+audio::buffer render_in_room(const audio::buffer& pressure_at_1m,
+                             const vec3& source, const vec3& listener,
+                             const room_model& room, const air_model& air);
+
+}  // namespace ivc::acoustics

@@ -1,0 +1,59 @@
+#include "acoustics/scene.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ivc::acoustics {
+
+void scene::add_source(pressure_source source) {
+  audio::validate(source.pressure_at_1m, "scene::add_source");
+  if (!sources_.empty()) {
+    expects(source.pressure_at_1m.sample_rate_hz ==
+                sources_.front().pressure_at_1m.sample_rate_hz,
+            "scene: all sources must share a sample rate");
+  }
+  sources_.push_back(std::move(source));
+}
+
+audio::buffer scene::render_at(const vec3& listener, ivc::rng& rng) const {
+  expects(!sources_.empty() || ambient_.has_value(),
+          "scene::render_at: nothing to render");
+
+  double rate = 0.0;
+  std::size_t max_len = 0;
+  for (const pressure_source& s : sources_) {
+    rate = s.pressure_at_1m.sample_rate_hz;
+    max_len = std::max(max_len, s.pressure_at_1m.size());
+  }
+  if (sources_.empty()) {
+    rate = 48'000.0;
+    max_len = static_cast<std::size_t>(rate);  // 1 s of pure ambient
+  }
+
+  audio::buffer out{std::vector<double>(max_len, 0.0), rate};
+  for (const pressure_source& s : sources_) {
+    propagation_config cfg;
+    cfg.distance_m = std::max(distance(s.position, listener), 1e-2);
+    cfg.air = air_;
+    cfg.extra_loss_db = s.extra_loss_db;
+    const std::vector<double> received =
+        propagate(s.pressure_at_1m.samples, rate, cfg);
+    for (std::size_t i = 0; i < received.size(); ++i) {
+      out.samples[i] += received[i];
+    }
+  }
+
+  if (ambient_.has_value()) {
+    const audio::buffer noise =
+        ambient_noise(out.duration_s(), rate, ambient_->spl_db,
+                      ambient_->kind, rng);
+    const std::size_t n = std::min(noise.size(), out.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.samples[i] += noise.samples[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace ivc::acoustics

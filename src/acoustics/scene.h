@@ -1,0 +1,52 @@
+// Scene assembly: point pressure sources plus ambient noise, evaluated at
+// a listening position. The sim module composes attack rigs and genuine
+// talkers into scenes; the defense corpora are rendered through the same
+// path so genuine and injected recordings share identical channel physics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "acoustics/air.h"
+#include "acoustics/geometry.h"
+#include "acoustics/noise.h"
+#include "acoustics/propagation.h"
+#include "audio/buffer.h"
+#include "common/rng.h"
+
+namespace ivc::acoustics {
+
+// A source described directly by its radiated pressure at 1 m.
+struct pressure_source {
+  audio::buffer pressure_at_1m;
+  vec3 position;
+  // Optional obstruction between this source and the listener, dB.
+  double extra_loss_db = 0.0;
+};
+
+struct ambient_config {
+  double spl_db = 40.0;
+  noise_kind kind = noise_kind::speech_shaped;
+};
+
+class scene {
+ public:
+  explicit scene(air_model air) : air_{air} {}
+
+  void add_source(pressure_source source);
+  void set_ambient(ambient_config ambient) { ambient_ = ambient; }
+
+  const air_model& air() const { return air_; }
+
+  // Pressure waveform at `listener` (Pa). Length covers the longest
+  // propagated source; ambient noise fills the whole window. `rng` drives
+  // the ambient realization only.
+  audio::buffer render_at(const vec3& listener, ivc::rng& rng) const;
+
+ private:
+  air_model air_;
+  std::vector<pressure_source> sources_;
+  std::optional<ambient_config> ambient_;
+};
+
+}  // namespace ivc::acoustics

@@ -1,0 +1,87 @@
+#include "asr/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ivc::asr {
+namespace {
+
+double frame_distance(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+double dtw_distance(const feature_matrix& a, const feature_matrix& b,
+                    const dtw_config& config) {
+  expects(a.num_frames() > 0 && b.num_frames() > 0,
+          "dtw_distance: empty feature matrix");
+  expects(a.dims() == b.dims(), "dtw_distance: feature dimension mismatch");
+  expects(config.band_fraction > 0.0 && config.band_fraction <= 1.0,
+          "dtw_distance: band fraction must be in (0, 1]");
+
+  const std::size_t n = a.num_frames();
+  const std::size_t m = b.num_frames();
+  const auto band = std::max<std::ptrdiff_t>(
+      static_cast<std::ptrdiff_t>(config.band_fraction *
+                                  static_cast<double>(std::max(n, m))),
+      static_cast<std::ptrdiff_t>(
+          std::max(n, m) - std::min(n, m)) + 1);
+
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  // Rolling two-row DP. cost[j] = best cost ending at (i, j).
+  std::vector<double> prev(m + 1, inf);
+  std::vector<double> cur(m + 1, inf);
+  std::vector<double> prev_steps(m + 1, 0.0);
+  std::vector<double> cur_steps(m + 1, 0.0);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    // Band limits for this row (diagonal ± band).
+    const auto diag = static_cast<std::ptrdiff_t>(
+        static_cast<double>(i) * static_cast<double>(m) /
+        static_cast<double>(n));
+    const std::size_t j_lo = static_cast<std::size_t>(
+        std::max<std::ptrdiff_t>(1, diag - band));
+    const std::size_t j_hi = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(m), diag + band));
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = frame_distance(a.frames[i - 1], b.frames[j - 1]);
+      // Transitions: match (diag), insertion, deletion.
+      double best = prev[j - 1];
+      double steps = prev_steps[j - 1];
+      if (prev[j] < best) {
+        best = prev[j];
+        steps = prev_steps[j];
+      }
+      if (cur[j - 1] < best) {
+        best = cur[j - 1];
+        steps = cur_steps[j - 1];
+      }
+      if (best < inf) {
+        cur[j] = best + d;
+        cur_steps[j] = steps + 1.0;
+      }
+    }
+    std::swap(prev, cur);
+    std::swap(prev_steps, cur_steps);
+  }
+
+  if (prev[m] == inf) {
+    return inf;
+  }
+  return prev[m] / std::max(1.0, prev_steps[m]);
+}
+
+}  // namespace ivc::asr

@@ -1,0 +1,22 @@
+// Dynamic time warping over feature matrices.
+#pragma once
+
+#include <cstddef>
+
+#include "asr/mfcc.h"
+
+namespace ivc::asr {
+
+struct dtw_config {
+  // Sakoe–Chiba band half-width as a fraction of the longer sequence
+  // (bounds the warp and cuts cost by ~4x).
+  double band_fraction = 0.2;
+};
+
+// Path-length-normalized DTW distance between two feature matrices using
+// Euclidean frame distance. Returns +inf when no path fits in the band
+// (which cannot happen for band_fraction >= |len difference| / max_len).
+double dtw_distance(const feature_matrix& a, const feature_matrix& b,
+                    const dtw_config& config = {});
+
+}  // namespace ivc::asr

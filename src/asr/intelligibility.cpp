@@ -1,0 +1,110 @@
+#include "asr/intelligibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "asr/mel.h"
+#include "common/error.h"
+#include "dsp/correlate.h"
+#include "dsp/fft.h"
+#include "dsp/window.h"
+
+namespace ivc::asr {
+namespace {
+
+// Mel-spaced band energy envelopes: bands × frames.
+std::vector<std::vector<double>> band_envelopes(
+    const audio::buffer& b, const intelligibility_config& cfg) {
+  const double fs = b.sample_rate_hz;
+  const auto frame_len = static_cast<std::size_t>(cfg.frame_s * fs);
+  const auto hop_len = static_cast<std::size_t>(cfg.hop_s * fs);
+  const std::size_t fft_len = ivc::dsp::next_pow2(frame_len);
+  const std::size_t num_bins = fft_len / 2 + 1;
+  const double high = std::min(cfg.high_hz, 0.49 * fs);
+  const mel_filterbank bank =
+      make_mel_filterbank(cfg.num_bands, num_bins, fs, cfg.low_hz, high);
+  const std::vector<double> win =
+      ivc::dsp::make_periodic_window(ivc::dsp::window_kind::hann, frame_len);
+
+  std::vector<std::vector<double>> envelopes(cfg.num_bands);
+  std::vector<ivc::dsp::cplx> frame(fft_len);
+  for (std::size_t start = 0; start + frame_len <= b.size();
+       start += hop_len) {
+    for (std::size_t i = 0; i < fft_len; ++i) {
+      const double v = i < frame_len ? b.samples[start + i] * win[i] : 0.0;
+      frame[i] = ivc::dsp::cplx{v, 0.0};
+    }
+    ivc::dsp::fft_pow2_inplace(frame, /*inverse=*/false);
+    std::vector<double> power(num_bins);
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      power[k] = std::norm(frame[k]);
+    }
+    const std::vector<double> bands = bank.apply(power);
+    for (std::size_t m = 0; m < cfg.num_bands; ++m) {
+      envelopes[m].push_back(std::sqrt(std::max(0.0, bands[m])));
+    }
+  }
+  return envelopes;
+}
+
+}  // namespace
+
+double intelligibility_score(const audio::buffer& reference,
+                             const audio::buffer& capture,
+                             const intelligibility_config& config) {
+  audio::validate(reference, "intelligibility_score");
+  audio::validate(capture, "intelligibility_score");
+  expects(reference.sample_rate_hz == capture.sample_rate_hz,
+          "intelligibility_score: sample-rate mismatch");
+
+  const auto ref_env = band_envelopes(reference, config);
+  const auto cap_env = band_envelopes(capture, config);
+  if (ref_env.front().empty() || cap_env.front().empty()) {
+    return 0.0;
+  }
+
+  const auto max_lag_frames = static_cast<std::size_t>(
+      std::max(1.0, config.max_lag_s / config.hop_s));
+
+  // Correlate per band at the globally best envelope lag (estimated from
+  // the broadband envelope), then average positive correlations.
+  std::vector<double> ref_broad(ref_env.front().size(), 0.0);
+  std::vector<double> cap_broad(cap_env.front().size(), 0.0);
+  for (std::size_t m = 0; m < config.num_bands; ++m) {
+    for (std::size_t t = 0; t < ref_broad.size(); ++t) {
+      ref_broad[t] += ref_env[m][t];
+    }
+    for (std::size_t t = 0; t < cap_broad.size(); ++t) {
+      cap_broad[t] += cap_env[m][t];
+    }
+  }
+  const ivc::dsp::alignment align =
+      ivc::dsp::best_alignment(cap_broad, ref_broad);
+  const std::ptrdiff_t lag = std::clamp<std::ptrdiff_t>(
+      align.lag, -static_cast<std::ptrdiff_t>(max_lag_frames),
+      static_cast<std::ptrdiff_t>(max_lag_frames));
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t m = 0; m < config.num_bands; ++m) {
+    // Align capture to reference: capture[t + lag] ~ reference[t].
+    std::vector<double> r;
+    std::vector<double> c;
+    for (std::size_t t = 0; t < ref_env[m].size(); ++t) {
+      const std::ptrdiff_t u = static_cast<std::ptrdiff_t>(t) + lag;
+      if (u >= 0 && u < static_cast<std::ptrdiff_t>(cap_env[m].size())) {
+        r.push_back(ref_env[m][t]);
+        c.push_back(cap_env[m][static_cast<std::size_t>(u)]);
+      }
+    }
+    if (r.size() < 8) {
+      continue;
+    }
+    total += std::max(0.0, ivc::dsp::pearson_correlation(r, c));
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace ivc::asr

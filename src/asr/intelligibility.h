@@ -1,0 +1,27 @@
+// Intelligibility proxy: short-time band-envelope correlation between a
+// clean reference and a degraded capture (a simplified STOI). Score in
+// [0, 1]; ~1 for a clean copy, ~0 for unrelated noise. Used to score
+// demodulated commands without running the full recognizer.
+#pragma once
+
+#include "audio/buffer.h"
+
+namespace ivc::asr {
+
+struct intelligibility_config {
+  double frame_s = 0.025;
+  double hop_s = 0.010;
+  std::size_t num_bands = 15;
+  double low_hz = 150.0;
+  double high_hz = 4'500.0;
+  // Maximum alignment slack between reference and capture.
+  double max_lag_s = 0.25;
+};
+
+// Both buffers must share a sample rate. The capture may be longer than
+// the reference; the best alignment within max_lag_s is used.
+double intelligibility_score(const audio::buffer& reference,
+                             const audio::buffer& capture,
+                             const intelligibility_config& config = {});
+
+}  // namespace ivc::asr

@@ -1,0 +1,141 @@
+#include "asr/mfcc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asr/mel.h"
+#include "common/constants.h"
+#include "common/error.h"
+#include "dsp/fft.h"
+#include "dsp/window.h"
+
+namespace ivc::asr {
+namespace {
+
+// DCT-II of the log-mel energies, truncated to num_coeffs.
+std::vector<double> dct2(const std::vector<double>& x, std::size_t num_coeffs) {
+  const std::size_t n = x.size();
+  std::vector<double> out(num_coeffs, 0.0);
+  for (std::size_t k = 0; k < num_coeffs; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += x[i] * std::cos(pi * static_cast<double>(k) *
+                             (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(n));
+    }
+    out[k] = acc * std::sqrt(2.0 / static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+feature_matrix extract_mfcc(const audio::buffer& input,
+                            const mfcc_config& config) {
+  audio::validate(input, "extract_mfcc");
+  expects(config.frame_s > 0.0 && config.hop_s > 0.0,
+          "extract_mfcc: frame and hop must be > 0");
+  expects(config.num_coeffs >= 2 && config.num_coeffs <= config.num_filters,
+          "extract_mfcc: need 2 <= num_coeffs <= num_filters");
+
+  const double fs = input.sample_rate_hz;
+  const auto frame_len =
+      static_cast<std::size_t>(std::llround(config.frame_s * fs));
+  const auto hop_len = static_cast<std::size_t>(std::llround(config.hop_s * fs));
+  expects(frame_len >= 16, "extract_mfcc: frame too short for this rate");
+
+  const std::size_t fft_len = ivc::dsp::next_pow2(frame_len);
+  const std::size_t num_bins = fft_len / 2 + 1;
+  const double high = std::min(config.high_hz, 0.49 * fs);
+  const mel_filterbank bank = make_mel_filterbank(
+      config.num_filters, num_bins, fs, config.low_hz, high);
+  const std::vector<double> window =
+      ivc::dsp::make_periodic_window(ivc::dsp::window_kind::hamming, frame_len);
+
+  // Pre-emphasis.
+  std::vector<double> x(input.samples.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = input.samples[i] - config.pre_emphasis * prev;
+    prev = input.samples[i];
+  }
+
+  // Framing + per-frame cepstra.
+  std::vector<std::vector<double>> cepstra;
+  std::vector<ivc::dsp::cplx> frame(fft_len);
+  for (std::size_t start = 0; start + frame_len <= x.size();
+       start += hop_len) {
+    for (std::size_t i = 0; i < fft_len; ++i) {
+      const double v = i < frame_len ? x[start + i] * window[i] : 0.0;
+      frame[i] = ivc::dsp::cplx{v, 0.0};
+    }
+    ivc::dsp::fft_pow2_inplace(frame, /*inverse=*/false);
+    std::vector<double> power(num_bins);
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      power[k] = std::norm(frame[k]);
+    }
+    std::vector<double> mel = bank.apply(power);
+    double mel_max = 0.0;
+    for (const double m : mel) {
+      mel_max = std::max(mel_max, m);
+    }
+    const double floor = std::max(1e-12, mel_max * config.mel_floor_rel);
+    for (double& m : mel) {
+      m = std::log(std::max(m, floor));
+    }
+    std::vector<double> c = dct2(mel, config.num_coeffs);
+    if (config.lifter > 0.0) {
+      for (std::size_t k = 1; k < c.size(); ++k) {
+        c[k] *= 1.0 + 0.5 * config.lifter *
+                          std::sin(pi * static_cast<double>(k) / config.lifter);
+      }
+    }
+    cepstra.push_back(std::move(c));
+  }
+  expects(!cepstra.empty(), "extract_mfcc: input shorter than one frame");
+
+  // Cepstral mean normalization (per coefficient, over the utterance).
+  if (config.cepstral_mean_norm) {
+    std::vector<double> mean(config.num_coeffs, 0.0);
+    for (const auto& c : cepstra) {
+      for (std::size_t k = 0; k < c.size(); ++k) {
+        mean[k] += c[k];
+      }
+    }
+    for (double& m : mean) {
+      m /= static_cast<double>(cepstra.size());
+    }
+    for (auto& c : cepstra) {
+      for (std::size_t k = 0; k < c.size(); ++k) {
+        c[k] -= mean[k];
+      }
+    }
+  }
+
+  // Δ features over a ±2 frame regression window.
+  feature_matrix out;
+  out.hop_s = config.hop_s;
+  const auto n = static_cast<std::ptrdiff_t>(cepstra.size());
+  for (std::ptrdiff_t t = 0; t < n; ++t) {
+    std::vector<double> row = cepstra[static_cast<std::size_t>(t)];
+    if (config.append_delta) {
+      for (std::size_t k = 0; k < config.num_coeffs; ++k) {
+        double num = 0.0;
+        double den = 0.0;
+        for (std::ptrdiff_t d = 1; d <= 2; ++d) {
+          const std::size_t lo =
+              static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, t - d));
+          const std::size_t hi =
+              static_cast<std::size_t>(std::min(n - 1, t + d));
+          num += static_cast<double>(d) * (cepstra[hi][k] - cepstra[lo][k]);
+          den += 2.0 * static_cast<double>(d * d);
+        }
+        row.push_back(num / den);
+      }
+    }
+    out.frames.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace ivc::asr

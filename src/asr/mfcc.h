@@ -1,0 +1,46 @@
+// MFCC feature extraction (the standard ASR front-end).
+//
+// Pipeline per frame: pre-emphasis → Hamming window → power spectrum →
+// mel filterbank → log → DCT-II → liftering, plus Δ (delta) features and
+// optional cepstral mean normalization. The recognizer's DTW distance
+// operates on these vectors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/buffer.h"
+
+namespace ivc::asr {
+
+struct mfcc_config {
+  double frame_s = 0.025;
+  double hop_s = 0.010;
+  std::size_t num_filters = 26;
+  std::size_t num_coeffs = 13;  // c0..c12
+  double low_hz = 80.0;
+  double high_hz = 7'000.0;     // clamped to fs/2 · 0.99 internally
+  double pre_emphasis = 0.97;
+  bool append_delta = true;
+  bool cepstral_mean_norm = true;
+  double lifter = 22.0;         // sinusoidal liftering parameter (0 = off)
+  // Per-frame mel-energy floor relative to the frame's largest band.
+  // Keeps empty bands (band-limited channels, silence) from dominating
+  // cepstral distances through log(~0).
+  double mel_floor_rel = 1e-2;
+};
+
+// One feature matrix: frames × dims (dims = num_coeffs · (1 + delta)).
+struct feature_matrix {
+  std::vector<std::vector<double>> frames;
+  double hop_s = 0.010;
+
+  std::size_t num_frames() const { return frames.size(); }
+  std::size_t dims() const { return frames.empty() ? 0 : frames.front().size(); }
+};
+
+// Extracts MFCC (+Δ) features from a mono buffer.
+feature_matrix extract_mfcc(const audio::buffer& input,
+                            const mfcc_config& config = {});
+
+}  // namespace ivc::asr

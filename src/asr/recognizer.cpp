@@ -1,0 +1,99 @@
+#include "asr/recognizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "audio/metrics.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ivc::asr {
+namespace {
+
+// Deterministic dither: a fixed-seed noise stream scaled to the
+// configured SNR below the buffer's RMS. Makes matching conditions for
+// digitally-clean templates and noisy captures comparable.
+audio::buffer dithered(const audio::buffer& input, double snr_db) {
+  const double rms = audio::rms(input.samples);
+  if (rms <= 1e-12) {
+    return input;
+  }
+  const double noise_rms = rms * ivc::db_to_amplitude(-snr_db);
+  ivc::rng rng{0xd17e'd17eULL};
+  audio::buffer out = input;
+  for (double& v : out.samples) {
+    v += rng.normal(0.0, noise_rms);
+  }
+  return out;
+}
+
+}  // namespace
+
+recognizer::recognizer(recognizer_config config) : config_{config} {
+  expects(config_.rejection_threshold > 0.0,
+          "recognizer: rejection threshold must be > 0");
+  expects(config_.min_margin >= 0.0,
+          "recognizer: min margin must be >= 0");
+}
+
+feature_matrix recognizer::features_of(const audio::buffer& input) const {
+  const audio::buffer trimmed =
+      config_.trim_with_vad ? trim_to_activity(input, config_.vad) : input;
+  if (config_.dither_snr_db > 0.0) {
+    return extract_mfcc(dithered(trimmed, config_.dither_snr_db),
+                        config_.mfcc);
+  }
+  return extract_mfcc(trimmed, config_.mfcc);
+}
+
+void recognizer::add_template(const std::string& command_id,
+                              const audio::buffer& clean) {
+  expects(!command_id.empty(), "recognizer::add_template: empty command id");
+  templates_.push_back(entry{command_id, features_of(clean)});
+}
+
+recognition_result recognizer::recognize(const audio::buffer& capture) const {
+  expects(!templates_.empty(), "recognizer::recognize: no templates loaded");
+  recognition_result result;
+  result.best_distance = std::numeric_limits<double>::infinity();
+  result.margin = 0.0;
+
+  // Reject captures with essentially no signal up front.
+  if (audio::peak(capture.samples) < 1e-6) {
+    return result;
+  }
+  const audio::buffer trimmed =
+      config_.trim_with_vad ? trim_to_activity(capture, config_.vad) : capture;
+  if (trimmed.duration_s() < 0.15) {
+    return result;
+  }
+  const feature_matrix features = features_of(capture);
+
+  double best = std::numeric_limits<double>::infinity();
+  double second = std::numeric_limits<double>::infinity();
+  const std::string* best_id = nullptr;
+  for (const entry& e : templates_) {
+    const double d = dtw_distance(features, e.features, config_.dtw);
+    if (d < best) {
+      if (best_id == nullptr || *best_id != e.command_id) {
+        second = best;
+      }
+      best = d;
+      best_id = &e.command_id;
+    } else if (d < second && (best_id == nullptr || *best_id != e.command_id)) {
+      second = d;
+    }
+  }
+
+  result.best_distance = best;
+  result.margin = std::isinf(second) ? best : second - best;
+  const bool margin_ok =
+      std::isinf(second) || result.margin >= config_.min_margin;
+  if (best_id != nullptr && best <= config_.rejection_threshold && margin_ok) {
+    result.command_id = *best_id;
+  }
+  return result;
+}
+
+}  // namespace ivc::asr

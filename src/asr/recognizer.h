@@ -1,0 +1,84 @@
+// Template-matching command recognizer (the commercial-ASR stand-in).
+//
+// Templates are MFCC feature matrices of clean command renditions (one or
+// more voices per command). Recognition is nearest-template under DTW
+// with a rejection threshold; an attack trial "succeeds" when the
+// recognizer accepts the intended command id — the same success criterion
+// the papers apply to Google Assistant / Alexa.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asr/dtw.h"
+#include "asr/mfcc.h"
+#include "asr/vad.h"
+#include "audio/buffer.h"
+
+namespace ivc::asr {
+
+// The recognizer analyzes the band the attack's conditioned commands and
+// telephone-band speech share; the 4.5–7 kHz fricative band is the
+// defense's business, not the recognizer's.
+inline mfcc_config recognizer_default_mfcc() {
+  mfcc_config c;
+  c.high_hz = 4'000.0;
+  return c;
+}
+
+struct recognizer_config {
+  mfcc_config mfcc = recognizer_default_mfcc();
+  dtw_config dtw;
+  vad_config vad;
+  // Reject when the best DTW distance exceeds this (calibrated so clean
+  // renditions pass with wide margin and noise is rejected; see
+  // tests/asr/recognizer_test.cpp for the calibration evidence).
+  double rejection_threshold = 38.0;
+  // Additionally require the runner-up command to be at least this much
+  // farther than the best (noise matches everything about equally).
+  double min_margin = 2.0;
+  bool trim_with_vad = true;
+  // Both templates and queries are dithered with white noise at this SNR
+  // before feature extraction ("multi-condition" matching): real captures
+  // always carry a noise floor, and matching digitally-silent templates
+  // against them inflates distances in quiet mel bands. 0 disables.
+  double dither_snr_db = 28.0;
+};
+
+struct recognition_result {
+  std::optional<std::string> command_id;  // nullopt == rejected
+  double best_distance = 0.0;
+  double margin = 0.0;  // runner-up distance minus best (confidence proxy)
+
+  bool accepted() const { return command_id.has_value(); }
+};
+
+class recognizer {
+ public:
+  explicit recognizer(recognizer_config config = {});
+
+  // Registers a clean rendition of `command_id` as a template.
+  void add_template(const std::string& command_id, const audio::buffer& clean);
+
+  // Number of stored templates (across all commands).
+  std::size_t num_templates() const { return templates_.size(); }
+
+  // Recognizes a capture. Empty/near-silent audio is rejected.
+  recognition_result recognize(const audio::buffer& capture) const;
+
+  const recognizer_config& config() const { return config_; }
+
+ private:
+  struct entry {
+    std::string command_id;
+    feature_matrix features;
+  };
+
+  feature_matrix features_of(const audio::buffer& input) const;
+
+  recognizer_config config_;
+  std::vector<entry> templates_;
+};
+
+}  // namespace ivc::asr

@@ -1,0 +1,65 @@
+#include "asr/vad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ivc::asr {
+
+vad_result detect_activity(const audio::buffer& input,
+                           const vad_config& config) {
+  audio::validate(input, "detect_activity");
+  expects(config.frame_s > 0.0, "detect_activity: frame must be > 0");
+
+  const auto frame = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.frame_s * input.sample_rate_hz));
+  std::vector<double> energy;
+  for (std::size_t start = 0; start < input.size(); start += frame) {
+    const std::size_t end = std::min(input.size(), start + frame);
+    double acc = 0.0;
+    for (std::size_t i = start; i < end; ++i) {
+      acc += input.samples[i] * input.samples[i];
+    }
+    energy.push_back(acc / static_cast<double>(end - start));
+  }
+
+  const double peak = *std::max_element(energy.begin(), energy.end());
+  vad_result out;
+  if (peak <= 1e-300) {
+    return out;
+  }
+  const double threshold =
+      peak * ivc::db_to_power(-config.threshold_below_peak_db);
+  std::size_t first = energy.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    if (energy[i] >= threshold) {
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  if (first == energy.size()) {
+    return out;
+  }
+  const double frame_s = static_cast<double>(frame) / input.sample_rate_hz;
+  out.any_activity = true;
+  out.start_s = std::max(0.0, static_cast<double>(first) * frame_s -
+                                  config.margin_s);
+  out.end_s = std::min(input.duration_s(),
+                       static_cast<double>(last + 1) * frame_s + config.margin_s);
+  return out;
+}
+
+audio::buffer trim_to_activity(const audio::buffer& input,
+                               const vad_config& config) {
+  const vad_result r = detect_activity(input, config);
+  if (!r.any_activity || r.end_s <= r.start_s) {
+    return input;
+  }
+  return audio::slice(input, r.start_s, r.end_s - r.start_s);
+}
+
+}  // namespace ivc::asr

@@ -1,0 +1,32 @@
+// Energy-based voice activity detection, used to trim captures before
+// recognition and to gate the streaming defense detector.
+#pragma once
+
+#include "audio/buffer.h"
+
+namespace ivc::asr {
+
+struct vad_config {
+  double frame_s = 0.02;
+  // Activity threshold relative to the buffer's peak frame energy, dB.
+  double threshold_below_peak_db = 30.0;
+  // Hangover: keep this many seconds around active regions.
+  double margin_s = 0.1;
+};
+
+struct vad_result {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool any_activity = false;
+};
+
+// Finds the first..last active region of the buffer.
+vad_result detect_activity(const audio::buffer& input,
+                           const vad_config& config = {});
+
+// Trims to the active region (returns the input unchanged when nothing is
+// active, so downstream code always has samples to work with).
+audio::buffer trim_to_activity(const audio::buffer& input,
+                               const vad_config& config = {});
+
+}  // namespace ivc::asr

@@ -1,0 +1,85 @@
+#include "attack/audibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/spectrum.h"
+
+namespace ivc::attack {
+
+double hearing_threshold_db_spl(double freq_hz) {
+  if (freq_hz < 20.0 || freq_hz > 20'000.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double khz = freq_hz / 1'000.0;
+  return 3.64 * std::pow(khz, -0.8) -
+         6.5 * std::exp(-0.6 * (khz - 3.3) * (khz - 3.3)) +
+         1e-3 * std::pow(khz, 4.0);
+}
+
+double a_weighting_db(double freq_hz) {
+  expects(freq_hz > 0.0, "a_weighting_db: frequency must be > 0");
+  const double f2 = freq_hz * freq_hz;
+  const double num = 12194.0 * 12194.0 * f2 * f2;
+  const double den = (f2 + 20.6 * 20.6) *
+                     std::sqrt((f2 + 107.7 * 107.7) * (f2 + 737.9 * 737.9)) *
+                     (f2 + 12194.0 * 12194.0);
+  return 20.0 * std::log10(num / den) + 2.0;
+}
+
+const std::vector<double>& third_octave_centers_hz() {
+  static const std::vector<double> centers = [] {
+    std::vector<double> c;
+    // Preferred numbers from 25 Hz to 16 kHz (ISO 266).
+    const double base[] = {25.0, 31.5, 40.0, 50.0, 63.0, 80.0, 100.0, 125.0,
+                           160.0, 200.0, 250.0, 315.0, 400.0, 500.0, 630.0,
+                           800.0, 1000.0, 1250.0, 1600.0, 2000.0, 2500.0,
+                           3150.0, 4000.0, 5000.0, 6300.0, 8000.0, 10000.0,
+                           12500.0, 16000.0};
+    c.assign(std::begin(base), std::end(base));
+    return c;
+  }();
+  return centers;
+}
+
+audibility_report analyze_audibility(const audio::buffer& pressure_pa) {
+  audio::validate(pressure_pa, "analyze_audibility");
+  const ivc::dsp::psd_estimate psd =
+      ivc::dsp::welch_psd(pressure_pa.samples, pressure_pa.sample_rate_hz);
+
+  audibility_report report;
+  report.worst_margin_db = -std::numeric_limits<double>::infinity();
+  const double p0_sq = ivc::reference_pressure_pa * ivc::reference_pressure_pa;
+
+  double a_weighted_power = 0.0;
+  const double nyquist = pressure_pa.sample_rate_hz / 2.0;
+  for (const double center : third_octave_centers_hz()) {
+    const double lo = center / std::pow(2.0, 1.0 / 6.0);
+    const double hi = center * std::pow(2.0, 1.0 / 6.0);
+    if (lo >= nyquist) {
+      break;
+    }
+    const double power = psd.band_power(lo, std::min(hi, nyquist));
+    band_level band;
+    band.center_hz = center;
+    band.spl_db = ivc::power_to_db(power / p0_sq);
+    band.threshold_db = hearing_threshold_db_spl(center);
+    band.margin_db = band.spl_db - band.threshold_db;
+    if (band.margin_db > report.worst_margin_db) {
+      report.worst_margin_db = band.margin_db;
+      report.worst_band_hz = center;
+    }
+    if (center <= 20'000.0) {
+      a_weighted_power += power * ivc::db_to_power(a_weighting_db(center));
+    }
+    report.bands.push_back(band);
+  }
+  report.a_weighted_spl_db = ivc::power_to_db(a_weighted_power / p0_sq);
+  report.audible = report.worst_margin_db > 0.0;
+  return report;
+}
+
+}  // namespace ivc::attack

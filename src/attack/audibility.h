@@ -1,0 +1,46 @@
+// Human-audibility analysis of a pressure field.
+//
+// This is the referee for the paper's "inaudible" claim: a signal is
+// inaudible when, in every third-octave band of the audible range, its
+// band SPL stays below the absolute threshold of hearing in quiet
+// (Terhardt's approximation of the ISO 226 curve). The attack planner
+// uses the worst-band margin as its leakage budget.
+#pragma once
+
+#include <vector>
+
+#include "audio/buffer.h"
+
+namespace ivc::attack {
+
+// Absolute threshold of hearing in quiet at `freq_hz`, dB SPL
+// (Terhardt 1979). Returns +inf outside [20 Hz, 20 kHz]: ultrasound and
+// infrasound count as inaudible at any modelled level.
+double hearing_threshold_db_spl(double freq_hz);
+
+// IEC A-weighting at `freq_hz`, dB (0 dB at 1 kHz).
+double a_weighting_db(double freq_hz);
+
+struct band_level {
+  double center_hz = 0.0;
+  double spl_db = 0.0;
+  double threshold_db = 0.0;
+  double margin_db = 0.0;  // spl - threshold; > 0 means audible
+};
+
+struct audibility_report {
+  std::vector<band_level> bands;   // third-octave bands, 25 Hz .. 16 kHz
+  double worst_margin_db = 0.0;    // max over bands (audibility headroom)
+  double worst_band_hz = 0.0;
+  double a_weighted_spl_db = 0.0;  // overall dBA of the audible content
+  bool audible = false;            // worst_margin_db > 0
+};
+
+// Analyzes a pressure waveform (Pa) for audible content. Ultrasonic
+// energy is excluded by the per-band thresholds.
+audibility_report analyze_audibility(const audio::buffer& pressure_pa);
+
+// Standard third-octave band centers from 25 Hz to 16 kHz.
+const std::vector<double>& third_octave_centers_hz();
+
+}  // namespace ivc::attack

@@ -1,0 +1,55 @@
+#include "attack/conditioner.h"
+
+#include <algorithm>
+
+#include "audio/ops.h"
+#include "common/error.h"
+#include "dsp/biquad.h"
+#include "dsp/fir.h"
+#include "dsp/resample.h"
+#include "dsp/window.h"
+
+namespace ivc::attack {
+
+audio::buffer condition_command(const audio::buffer& command,
+                                const conditioner_config& config) {
+  audio::validate(command, "condition_command");
+  expects(config.voice_bandwidth_hz > 200.0,
+          "condition_command: bandwidth must exceed 200 Hz");
+  expects(config.voice_bandwidth_hz < command.sample_rate_hz / 2.0,
+          "condition_command: bandwidth must be below the input Nyquist");
+  expects(config.output_rate_hz >= command.sample_rate_hz,
+          "condition_command: output rate must be >= input rate");
+
+  // Low-pass to the attack bandwidth (sharp linear-phase FIR).
+  const std::size_t taps = ivc::dsp::kaiser_length_for_design(
+      70.0, 0.15 * config.voice_bandwidth_hz, command.sample_rate_hz);
+  const std::vector<double> lp = ivc::dsp::design_fir_lowpass(
+      taps, config.voice_bandwidth_hz, command.sample_rate_hz,
+      ivc::dsp::window_kind::kaiser,
+      ivc::dsp::kaiser_beta_for_attenuation(70.0));
+  std::vector<double> filtered =
+      ivc::dsp::filter_zero_delay(command.samples, lp);
+
+  // High-pass rumble removal (4th order: rumble wastes modulation depth
+  // and must be well under the voice floor).
+  if (config.highpass_hz > 0.0) {
+    const ivc::dsp::iir_cascade hp = ivc::dsp::butterworth_highpass(
+        4, config.highpass_hz, command.sample_rate_hz);
+    filtered = hp.process(filtered);
+  }
+
+  // Upsample to the ultrasound synthesis rate. The signal is already
+  // band-limited to voice_bandwidth, so the interpolation filter can use
+  // the whole gap up to Nyquist as transition band (much shorter filter).
+  const double nyquist = command.sample_rate_hz / 2.0;
+  const double transition_fraction = std::clamp(
+      0.85 * (nyquist - config.voice_bandwidth_hz) / nyquist, 0.05, 0.6);
+  audio::buffer up{
+      ivc::dsp::resample(filtered, command.sample_rate_hz,
+                         config.output_rate_hz, 80.0, transition_fraction),
+      config.output_rate_hz};
+  return audio::normalize_peak(up, config.target_peak);
+}
+
+}  // namespace ivc::attack

@@ -1,0 +1,29 @@
+// Command conditioning: voice recording → modulation-ready baseband.
+//
+// Steps (the attack algorithm's "Low-Pass Filtering" and "Upsampling"):
+// band-limit the command to the attack bandwidth (speech stays
+// intelligible at 4 kHz; keeping the band narrow also keeps the modulated
+// sidebands inside the speaker's response), then resample to the
+// ultrasound synthesis rate and normalize.
+#pragma once
+
+#include "audio/buffer.h"
+
+namespace ivc::attack {
+
+struct conditioner_config {
+  double voice_bandwidth_hz = 4'000.0;
+  double output_rate_hz = 192'000.0;
+  // Keep a little headroom below 1.0 so modulation cannot clip.
+  double target_peak = 0.95;
+  // Remove content below this (rumble does not help recognition but
+  // wastes modulation depth).
+  double highpass_hz = 80.0;
+};
+
+// Returns the conditioned baseband m(t) at the output rate, peak-
+// normalized. Throws when the bandwidth exceeds the input's Nyquist.
+audio::buffer condition_command(const audio::buffer& command,
+                                const conditioner_config& config = {});
+
+}  // namespace ivc::attack

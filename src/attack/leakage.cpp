@@ -1,0 +1,45 @@
+#include "attack/leakage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "dsp/spectrum.h"
+
+namespace ivc::attack {
+namespace {
+
+double band_spl_db(const audio::buffer& pressure, double lo, double hi) {
+  const double nyquist = pressure.sample_rate_hz / 2.0;
+  const double power = ivc::dsp::band_power(
+      pressure.samples, pressure.sample_rate_hz, lo, std::min(hi, nyquist));
+  const double p0_sq = ivc::reference_pressure_pa * ivc::reference_pressure_pa;
+  return ivc::power_to_db(power / p0_sq);
+}
+
+}  // namespace
+
+leakage_report measure_leakage(const acoustics::speaker_array& rig,
+                               const acoustics::vec3& bystander,
+                               const acoustics::air_model& air) {
+  const audio::buffer field = rig.render_at(bystander, air);
+  const audio::buffer field_linear = rig.render_at_linear(bystander, air);
+
+  leakage_report report;
+  report.audibility = analyze_audibility(field);
+  report.voice_band_spl_db = band_spl_db(field, 300.0, 3'400.0);
+  report.low_band_spl_db = band_spl_db(field, 10.0, 120.0);
+  report.ultrasound_spl_db =
+      band_spl_db(field, 20'000.0, field.sample_rate_hz / 2.0);
+
+  const double audible_nl = band_spl_db(field, 20.0, 16'000.0);
+  const double audible_lin = band_spl_db(field_linear, 20.0, 16'000.0);
+  report.nonlinear_excess_db = audible_nl - audible_lin;
+  return report;
+}
+
+chunk_band predicted_chunk_leakage_band(const chunk_band& band) {
+  return chunk_band{0.0, band.high_hz - band.low_hz};
+}
+
+}  // namespace ivc::attack

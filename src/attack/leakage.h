@@ -1,0 +1,37 @@
+// Leakage analysis: how much audible sound does the attack rig itself
+// radiate at a bystander's position?
+#pragma once
+
+#include "acoustics/array.h"
+#include "attack/audibility.h"
+#include "attack/splitter.h"
+
+namespace ivc::attack {
+
+struct leakage_report {
+  // Full audibility analysis of the rig's field at the bystander.
+  audibility_report audibility;
+  // SPL of the demodulated-shadow band (300–3400 Hz) — the intelligible
+  // leakage the paper's measurements track.
+  double voice_band_spl_db = 0.0;
+  // SPL of everything below 120 Hz — where split-chunk self-products land.
+  double low_band_spl_db = 0.0;
+  // Ultrasonic SPL (> 20 kHz), for reference; inaudible by definition.
+  double ultrasound_spl_db = 0.0;
+  // Extra diagnostic: leakage attributable to speaker non-linearity,
+  // i.e. the audible-band SPL difference between the non-linear and
+  // linearized renderings.
+  double nonlinear_excess_db = 0.0;
+};
+
+// Renders the rig's field at `bystander` and analyzes audibility.
+leakage_report measure_leakage(const acoustics::speaker_array& rig,
+                               const acoustics::vec3& bystander,
+                               const acoustics::air_model& air);
+
+// The band where a lone SSB chunk's second-order self-products land:
+// [0, chunk width]. Narrower chunks push leakage toward DC — the design
+// insight behind the multi-speaker rig.
+chunk_band predicted_chunk_leakage_band(const chunk_band& band);
+
+}  // namespace ivc::attack

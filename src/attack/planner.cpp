@@ -1,0 +1,190 @@
+#include "attack/planner.h"
+
+#include <cmath>
+
+#include "audio/ops.h"
+#include "common/error.h"
+#include "dsp/biquad.h"
+
+namespace ivc::attack {
+namespace {
+
+// Drives ramp in/out over 40 ms: an abruptly keyed carrier splatters
+// broadband energy across the audible range (a click), defeating the
+// whole point of the rig. Real attack hardware ramps for the same reason.
+constexpr double drive_fade_s = 0.04;
+
+audio::buffer faded(audio::buffer drive) {
+  return audio::fade(drive, drive_fade_s, drive_fade_s);
+}
+
+}  // namespace
+
+audio::buffer apply_trace_cancellation(const audio::buffer& baseband,
+                                       const modulator_config& modulator,
+                                       const cancellation_config& cancel) {
+  audio::validate(baseband, "apply_trace_cancellation");
+  expects(cancel.accuracy >= 0.0 && cancel.accuracy <= 1.0,
+          "trace cancellation: accuracy must be in [0, 1]");
+  expects(modulator.carrier_level > 0.0,
+          "trace cancellation: needs a nonzero carrier level");
+  if (cancel.accuracy == 0.0) {
+    return baseband;
+  }
+
+  // The microphone will demodulate a₂A²(c·d·m + d²m²/2). Everything that
+  // lands in the trace band B (sub-~120 Hz) incriminates the attacker:
+  // the (d/2c)·B(m²) squared-envelope term *and* the command's own
+  // residual B(m) content. A perfectly informed attacker transmits
+  //   m' = m − B(m) − (d/2c)·B(m²),
+  // zeroing the band to first order; `accuracy` scales how much of that
+  // correction the attacker gets right (channel/phase knowledge).
+  const double d = modulator.depth_level;
+  const double c = modulator.carrier_level;
+  std::vector<double> m2(baseband.size());
+  for (std::size_t i = 0; i < baseband.size(); ++i) {
+    m2[i] = baseband.samples[i] * baseband.samples[i];
+  }
+  // Zero-phase extraction: the correction must subtract *in phase* with
+  // the content it cancels.
+  const ivc::dsp::iir_cascade lp = ivc::dsp::butterworth_lowpass(
+      2, cancel.trace_band_hz, baseband.sample_rate_hz);
+  const std::vector<double> trace_sq = lp.process_zero_phase(m2);
+  const std::vector<double> trace_lin = lp.process_zero_phase(baseband.samples);
+
+  audio::buffer out = baseband;
+  const double k = cancel.accuracy * d / (2.0 * c);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.samples[i] -=
+        cancel.accuracy * trace_lin[i] + k * trace_sq[i];
+  }
+  return out;
+}
+
+rig_config long_range_rig() {
+  rig_config cfg;
+  cfg.mode = rig_mode::split_array;
+  cfg.modulator.carrier_hz = 40'000.0;
+  cfg.splitter.num_chunks = 16;
+  cfg.transducers_per_element = 3;
+  cfg.total_power_w = 120.0;
+  cfg.carrier_power_fraction = 0.4;
+  return cfg;
+}
+
+rig_config monolithic_rig(double power_w) {
+  rig_config cfg;
+  cfg.mode = rig_mode::monolithic;
+  cfg.modulator.carrier_hz = 30'000.0;
+  cfg.element = acoustics::hifi_horn_tweeter();
+  cfg.total_power_w = power_w;
+  return cfg;
+}
+
+rig_config portable_rig() {
+  rig_config cfg;
+  cfg.mode = rig_mode::monolithic;
+  cfg.modulator.carrier_hz = 25'000.0;
+  acoustics::speaker_params element;
+  element.sensitivity_db_spl = 102.0;  // coin-sized 25 kHz transducer
+  element.rated_power_w = 2.0;
+  element.max_power_w = 3.0;
+  element.band_low_hz = 20'000.0;
+  element.band_high_hz = 45'000.0;
+  element.nonlin_a2 = 0.05;
+  element.nonlin_a3 = 0.01;
+  cfg.element = element;
+  cfg.total_power_w = 1.5;
+  return cfg;
+}
+
+attack_rig build_attack_rig(const audio::buffer& command,
+                            const rig_config& config,
+                            const acoustics::vec3& origin) {
+  expects(config.total_power_w > 0.0,
+          "build_attack_rig: total power must be > 0");
+  expects(config.carrier_power_fraction > 0.0 &&
+              config.carrier_power_fraction < 1.0,
+          "build_attack_rig: carrier power fraction must be in (0, 1)");
+  expects(config.transducers_per_element >= 1,
+          "build_attack_rig: need at least one transducer per element");
+
+  attack_rig rig;
+  rig.config = config;
+
+  // Condition, then optionally pre-distort for trace cancellation.
+  audio::buffer baseband = condition_command(command, config.conditioner);
+  if (config.cancellation.has_value() &&
+      config.cancellation->accuracy > 0.0) {
+    baseband = apply_trace_cancellation(baseband, config.modulator,
+                                        *config.cancellation);
+  }
+  rig.conditioned_baseband = baseband;
+
+  // A stack of n coherently driven transducers behaves like one element
+  // with +20·log10(n) sensitivity at n-fold power ratings.
+  acoustics::speaker_params element = config.element;
+  if (config.transducers_per_element > 1) {
+    const auto n = static_cast<double>(config.transducers_per_element);
+    element.sensitivity_db_spl += 20.0 * std::log10(n);
+    element.rated_power_w *= n;
+    element.max_power_w *= n;
+  }
+
+  if (config.mode == rig_mode::monolithic) {
+    expects(config.total_power_w <= element.max_power_w,
+            "build_attack_rig: monolithic power exceeds the driver rating");
+    acoustics::array_element el;
+    el.speaker = element;
+    el.drive = faded(am_modulate(baseband, config.modulator));
+    el.input_power_w = config.total_power_w;
+    el.position = origin;
+    rig.array.add_element(std::move(el));
+    rig.num_speakers = 1;
+    return rig;
+  }
+
+  // Split array: carrier speaker + one speaker per chunk, in a line
+  // centered on the origin.
+  splitter_config split_cfg = config.splitter;
+  split_cfg.carrier_hz = config.modulator.carrier_hz;
+  const split_plan plan = split_spectrum(baseband, split_cfg);
+
+  const std::size_t n_elements = plan.chunk_drives.size() + 1;
+  const double carrier_power =
+      config.total_power_w * config.carrier_power_fraction;
+  const double chunk_power =
+      config.total_power_w * (1.0 - config.carrier_power_fraction) /
+      static_cast<double>(plan.chunk_drives.size());
+  expects(carrier_power <= element.max_power_w &&
+              chunk_power <= element.max_power_w,
+          "build_attack_rig: per-element power exceeds the driver rating");
+
+  auto element_position = [&](std::size_t index) {
+    const double offset =
+        (static_cast<double>(index) -
+         static_cast<double>(n_elements - 1) / 2.0) *
+        config.element_spacing_m;
+    return acoustics::vec3{origin.x + offset, origin.y, origin.z};
+  };
+
+  acoustics::array_element carrier_el;
+  carrier_el.speaker = element;
+  carrier_el.drive = faded(plan.carrier_drive);
+  carrier_el.input_power_w = carrier_power;
+  carrier_el.position = element_position(0);
+  rig.array.add_element(std::move(carrier_el));
+
+  for (std::size_t k = 0; k < plan.chunk_drives.size(); ++k) {
+    acoustics::array_element el;
+    el.speaker = element;
+    el.drive = faded(plan.chunk_drives[k]);
+    el.input_power_w = chunk_power;
+    el.position = element_position(k + 1);
+    rig.array.add_element(std::move(el));
+  }
+  rig.num_speakers = n_elements;
+  return rig;
+}
+
+}  // namespace ivc::attack

@@ -1,0 +1,82 @@
+// Attack planner: voice command + rig configuration → ready-to-fire
+// speaker array. Ties together conditioner, modulator / splitter, power
+// allocation, and geometry.
+#pragma once
+
+#include <optional>
+
+#include "acoustics/array.h"
+#include "attack/conditioner.h"
+#include "attack/modulator.h"
+#include "attack/splitter.h"
+#include "audio/buffer.h"
+
+namespace ivc::attack {
+
+enum class rig_mode {
+  monolithic,   // single speaker, carrier + sidebands together (prior work)
+  split_array,  // carrier speaker + N chunk speakers (the long-range attack)
+};
+
+// Sophisticated-attacker option: pre-distort the baseband so the v²(t)
+// trace the microphone will create is (partially) cancelled. `accuracy`
+// = 1 means perfect channel knowledge (full cancellation); 0 disables.
+struct cancellation_config {
+  double accuracy = 0.0;
+  // Band that carries the compensation term (the trace's home).
+  double trace_band_hz = 120.0;
+};
+
+struct rig_config {
+  rig_mode mode = rig_mode::split_array;
+  conditioner_config conditioner;
+  modulator_config modulator;     // carrier/depth levels; carrier_hz is
+                                  // taken from here for both modes
+  splitter_config splitter;       // chunk layout (split mode)
+  acoustics::speaker_params element = acoustics::ultrasonic_tweeter();
+  double total_power_w = 25.0;
+  // Split mode: fraction of total power given to the carrier speaker.
+  double carrier_power_fraction = 0.4;
+  // Element spacing in the line array, m.
+  double element_spacing_m = 0.08;
+  // Transducers stacked per array element, driven coherently: n stacked
+  // drivers add +20·log10(n) of on-axis level at n× the electrical power.
+  // This is how the paper's 61-transducer rig maps onto the model: one
+  // carrier stack plus one stack per chunk.
+  std::size_t transducers_per_element = 1;
+  std::optional<cancellation_config> cancellation;
+};
+
+// The long-range configuration: 40 kHz carrier, 16 chunk stacks of 3
+// transducers plus a carrier stack (49 transducers total), 120 W budget.
+rig_config long_range_rig();
+
+// The short-range prior-work configuration: one tweeter, 30 kHz AM.
+rig_config monolithic_rig(double power_w = 18.7);
+
+// The pocket configuration (DolphinAttack-style): a single small
+// ultrasonic transducer off a battery amplifier — centimeter-scale
+// range, but silent and concealable.
+rig_config portable_rig();
+
+struct attack_rig {
+  acoustics::speaker_array array;
+  audio::buffer conditioned_baseband;  // after conditioning/cancellation
+  rig_config config;
+  std::size_t num_speakers = 0;
+};
+
+// Builds the rig for `command` (a voice-rate recording). The array is a
+// line centered at `origin` along +x. Throws when the per-element power
+// would exceed the driver rating.
+attack_rig build_attack_rig(const audio::buffer& command,
+                            const rig_config& config,
+                            const acoustics::vec3& origin = {});
+
+// Applies the trace-cancellation pre-distortion to a conditioned
+// baseband (exposed for the adaptive-attacker experiments).
+audio::buffer apply_trace_cancellation(const audio::buffer& baseband,
+                                       const modulator_config& modulator,
+                                       const cancellation_config& cancel);
+
+}  // namespace ivc::attack

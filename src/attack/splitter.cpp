@@ -1,0 +1,170 @@
+#include "attack/splitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "dsp/fft.h"
+
+namespace ivc::attack {
+namespace {
+
+void check_config(const audio::buffer& baseband,
+                  const splitter_config& config) {
+  audio::validate(baseband, "split_spectrum");
+  expects(config.num_chunks >= 1, "split_spectrum: need at least one chunk");
+  expects(config.voice_low_hz >= 0.0 &&
+              config.voice_high_hz > config.voice_low_hz,
+          "split_spectrum: need 0 <= low < high");
+  expects(config.carrier_hz > 20'000.0,
+          "split_spectrum: carrier must be ultrasonic");
+  expects(config.carrier_hz + config.voice_high_hz <
+              baseband.sample_rate_hz / 2.0,
+          "split_spectrum: carrier + bandwidth must fit below Nyquist");
+  expects(config.transition_fraction >= 0.0 &&
+              config.transition_fraction < 0.5,
+          "split_spectrum: transition fraction must be in [0, 0.5)");
+}
+
+// Crossfading chunk mask: adjacent masks sum to 1 across the shared
+// transition, so the chunk ensemble reconstructs the band exactly.
+double chunk_mask(double f, double lo, double hi, double tw) {
+  if (tw <= 0.0) {
+    return (f >= lo && f < hi) ? 1.0 : 0.0;
+  }
+  // Rising edge centered at lo, falling edge centered at hi.
+  if (f < lo - tw / 2.0 || f >= hi + tw / 2.0) {
+    return 0.0;
+  }
+  if (f < lo + tw / 2.0) {
+    const double t = (f - (lo - tw / 2.0)) / tw;
+    return 0.5 * (1.0 - std::cos(pi * t));
+  }
+  if (f >= hi - tw / 2.0) {
+    const double t = ((hi + tw / 2.0) - f) / tw;
+    return 0.5 * (1.0 - std::cos(pi * t));
+  }
+  return 1.0;
+}
+
+std::vector<chunk_band> make_bands(const splitter_config& config) {
+  std::vector<chunk_band> bands(config.num_chunks);
+  const double width = (config.voice_high_hz - config.voice_low_hz) /
+                       static_cast<double>(config.num_chunks);
+  for (std::size_t k = 0; k < config.num_chunks; ++k) {
+    bands[k].low_hz = config.voice_low_hz + width * static_cast<double>(k);
+    bands[k].high_hz = bands[k].low_hz + width;
+  }
+  return bands;
+}
+
+}  // namespace
+
+split_plan split_spectrum(const audio::buffer& baseband,
+                          const splitter_config& config) {
+  check_config(baseband, config);
+  const double fs = baseband.sample_rate_hz;
+  const std::size_t len = baseband.size();
+  const std::size_t n = ivc::dsp::next_pow2(len);
+
+  // Analytic spectrum of the baseband (positive frequencies doubled).
+  std::vector<ivc::dsp::cplx> spec(n, ivc::dsp::cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < len; ++i) {
+    spec[i] = ivc::dsp::cplx{baseband.samples[i], 0.0};
+  }
+  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/false);
+  for (std::size_t i = 1; i < n / 2; ++i) {
+    spec[i] *= 2.0;
+  }
+  for (std::size_t i = n / 2 + 1; i < n; ++i) {
+    spec[i] = ivc::dsp::cplx{0.0, 0.0};
+  }
+
+  const std::vector<chunk_band> bands = make_bands(config);
+  const double chunk_width = bands.front().high_hz - bands.front().low_hz;
+  const double tw = config.transition_fraction * chunk_width;
+  const double w_carrier = two_pi * config.carrier_hz / fs;
+
+  split_plan plan;
+  plan.bands = bands;
+  plan.carrier_hz = config.carrier_hz;
+
+  std::vector<ivc::dsp::cplx> chunk_spec(n);
+  double global_peak = 0.0;
+  for (const chunk_band& band : bands) {
+    for (std::size_t i = 0; i <= n / 2; ++i) {
+      const double f = ivc::dsp::bin_frequency_hz(i, n, fs);
+      chunk_spec[i] = spec[i] * chunk_mask(f, band.low_hz, band.high_hz, tw);
+    }
+    std::fill(chunk_spec.begin() + static_cast<std::ptrdiff_t>(n / 2 + 1),
+              chunk_spec.end(), ivc::dsp::cplx{0.0, 0.0});
+    std::vector<ivc::dsp::cplx> analytic = chunk_spec;
+    ivc::dsp::fft_pow2_inplace(analytic, /*inverse=*/true);
+
+    // Single-sideband shift to the carrier: Re{ã(t)·e^{jω_c t}}.
+    std::vector<double> drive(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const double phase = w_carrier * static_cast<double>(i);
+      drive[i] = analytic[i].real() * std::cos(phase) -
+                 analytic[i].imag() * std::sin(phase);
+      global_peak = std::max(global_peak, std::abs(drive[i]));
+    }
+    plan.chunk_drives.emplace_back(std::move(drive), fs);
+  }
+
+  // Joint normalization preserves relative chunk levels.
+  if (global_peak > 1e-12) {
+    const double g = 0.95 / global_peak;
+    for (audio::buffer& b : plan.chunk_drives) {
+      for (double& v : b.samples) {
+        v *= g;
+      }
+    }
+  }
+
+  // Dedicated carrier drive, full scale.
+  std::vector<double> carrier(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    carrier[i] = std::cos(w_carrier * static_cast<double>(i));
+  }
+  plan.carrier_drive = audio::buffer{std::move(carrier), fs};
+  return plan;
+}
+
+audio::buffer sum_of_chunks_baseband(const audio::buffer& baseband,
+                                     const splitter_config& config) {
+  check_config(baseband, config);
+  const double fs = baseband.sample_rate_hz;
+  const std::size_t len = baseband.size();
+  const std::size_t n = ivc::dsp::next_pow2(len);
+
+  std::vector<ivc::dsp::cplx> spec(n, ivc::dsp::cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < len; ++i) {
+    spec[i] = ivc::dsp::cplx{baseband.samples[i], 0.0};
+  }
+  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/false);
+
+  const std::vector<chunk_band> bands = make_bands(config);
+  const double chunk_width = bands.front().high_hz - bands.front().low_hz;
+  const double tw = config.transition_fraction * chunk_width;
+
+  // Total mask = sum of chunk masks, applied symmetrically to keep the
+  // signal real.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = std::abs(ivc::dsp::bin_frequency_hz(i, n, fs));
+    double mask = 0.0;
+    for (const chunk_band& band : bands) {
+      mask += chunk_mask(f, band.low_hz, band.high_hz, tw);
+    }
+    spec[i] *= std::min(mask, 1.0);
+  }
+  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/true);
+  std::vector<double> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = spec[i].real();
+  }
+  return audio::buffer{std::move(out), fs};
+}
+
+}  // namespace ivc::attack

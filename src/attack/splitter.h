@@ -1,0 +1,66 @@
+// Spectrum splitting — the long-range attack's core idea.
+//
+// A monolithic AM transmission leaks because the *speaker's* non-linearity
+// cross-multiplies the carrier with the full 4 kHz-wide sideband,
+// radiating an audible shadow of the command right at the rig. The
+// splitter removes every wideband cross-product from each driver:
+//
+//   * the carrier tone goes to its own speaker (a pure tone squares to DC
+//     and 2f_c only — nothing audible);
+//   * the voice baseband is partitioned into N narrow chunks; chunk k
+//     (bandwidth W = B/N) is single-sideband-modulated to
+//     [f_c + lo_k, f_c + hi_k] and played by speaker k alone. Squaring a
+//     lone chunk produces difference products confined to [0, W] —
+//     infrasonic or deep-bass content that sits far under the hearing
+//     threshold (and under a tweeter's low-frequency response).
+//
+// Only in the air at the victim's microphone do carrier and chunks
+// superpose; the mic's own a₂x² term then multiplies carrier × chunk and
+// reassembles every chunk at its original voice frequency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/buffer.h"
+
+namespace ivc::attack {
+
+struct chunk_band {
+  double low_hz = 0.0;   // in baseband (voice) frequency
+  double high_hz = 0.0;
+};
+
+struct splitter_config {
+  std::size_t num_chunks = 16;
+  double carrier_hz = 40'000.0;
+  double voice_low_hz = 100.0;      // bottom of the split band
+  double voice_high_hz = 4'000.0;   // top of the split band
+  // Raised-cosine transition between adjacent chunks, as a fraction of
+  // the chunk width (adjacent chunks crossfade, so the sum reconstructs
+  // the full band).
+  double transition_fraction = 0.15;
+};
+
+struct split_plan {
+  // One drive per chunk speaker (single-sideband at the carrier), peak-
+  // normalized jointly so relative chunk levels are preserved.
+  std::vector<audio::buffer> chunk_drives;
+  // The dedicated carrier drive (pure tone, full scale).
+  audio::buffer carrier_drive;
+  std::vector<chunk_band> bands;
+  double carrier_hz = 0.0;
+};
+
+// Splits a conditioned baseband (|m| <= 1, high rate) into the plan.
+// Chunks partition [voice_low_hz, voice_high_hz] equally.
+split_plan split_spectrum(const audio::buffer& baseband,
+                          const splitter_config& config = {});
+
+// Reconstruction check: sums the chunk basebands (before modulation) and
+// returns them as one buffer — tests verify this matches the band-passed
+// input. Exposed mainly for validation.
+audio::buffer sum_of_chunks_baseband(const audio::buffer& baseband,
+                                     const splitter_config& config = {});
+
+}  // namespace ivc::attack

@@ -1,0 +1,99 @@
+#include "audio/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ivc::audio {
+
+double rms(std::span<const double> x) {
+  expects(!x.empty(), "rms: input must be non-empty");
+  double acc = 0.0;
+  for (const double v : x) {
+    acc += v * v;
+  }
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+double peak(std::span<const double> x) {
+  expects(!x.empty(), "peak: input must be non-empty");
+  double p = 0.0;
+  for (const double v : x) {
+    p = std::max(p, std::abs(v));
+  }
+  return p;
+}
+
+double rms_dbfs(const buffer& b) {
+  validate(b, "rms_dbfs");
+  return ivc::amplitude_to_db(rms(b.samples));
+}
+
+double peak_dbfs(const buffer& b) {
+  validate(b, "peak_dbfs");
+  return ivc::amplitude_to_db(peak(b.samples));
+}
+
+double crest_factor_db(const buffer& b) {
+  validate(b, "crest_factor_db");
+  const double r = rms(b.samples);
+  if (r <= 1e-300) {
+    return 0.0;
+  }
+  return ivc::amplitude_to_db(peak(b.samples) / r);
+}
+
+double snr_db(std::span<const double> clean, std::span<const double> degraded) {
+  expects(clean.size() == degraded.size() && !clean.empty(),
+          "snr_db: inputs must match and be non-empty");
+  // Project degraded onto clean to remove the unknown gain, then measure
+  // residual power.
+  double cc = 0.0;
+  double cd = 0.0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    cc += clean[i] * clean[i];
+    cd += clean[i] * degraded[i];
+  }
+  if (cc <= 1e-300) {
+    return 0.0;
+  }
+  const double g = cd / cc;
+  double signal_power = 0.0;
+  double noise_power = 0.0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const double s = g * clean[i];
+    const double n = degraded[i] - s;
+    signal_power += s * s;
+    noise_power += n * n;
+  }
+  if (noise_power <= 1e-300) {
+    return 200.0;  // effectively noiseless
+  }
+  return ivc::power_to_db(signal_power / noise_power);
+}
+
+double amplitude_skewness(std::span<const double> x) {
+  expects(x.size() >= 3, "amplitude_skewness: need at least 3 samples");
+  double mean = 0.0;
+  for (const double v : x) {
+    mean += v;
+  }
+  mean /= static_cast<double>(x.size());
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (const double v : x) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(x.size());
+  m3 /= static_cast<double>(x.size());
+  if (m2 <= 1e-300) {
+    return 0.0;
+  }
+  return m3 / std::pow(m2, 1.5);
+}
+
+}  // namespace ivc::audio

@@ -1,0 +1,188 @@
+#include "audio/wav_io.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ivc::audio {
+namespace {
+
+constexpr std::uint16_t format_pcm = 1;
+constexpr std::uint16_t format_ieee_float = 3;
+
+// All RIFF fields are little-endian; this code assumes a little-endian
+// host (checked at runtime on first use).
+bool host_is_little_endian() {
+  const std::uint16_t probe = 0x0102;
+  std::array<unsigned char, 2> bytes{};
+  std::memcpy(bytes.data(), &probe, 2);
+  return bytes[0] == 0x02;
+}
+
+template <typename T>
+T read_le(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  ensures(in.good(), "read_wav: unexpected end of file");
+  return value;
+}
+
+template <typename T>
+void write_le(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+double decode_sample(const unsigned char* p, std::uint16_t bits,
+                     std::uint16_t fmt) {
+  if (fmt == format_ieee_float) {
+    if (bits == 32) {
+      float f = 0.0F;
+      std::memcpy(&f, p, 4);
+      return static_cast<double>(f);
+    }
+    double d = 0.0;
+    std::memcpy(&d, p, 8);
+    return d;
+  }
+  switch (bits) {
+    case 16: {
+      std::int16_t v = 0;
+      std::memcpy(&v, p, 2);
+      return static_cast<double>(v) / 32768.0;
+    }
+    case 24: {
+      std::int32_t v = (p[0] << 8) | (p[1] << 16) |
+                       (static_cast<std::int32_t>(p[2]) << 24);
+      return static_cast<double>(v >> 8) / 8388608.0;
+    }
+    case 32: {
+      std::int32_t v = 0;
+      std::memcpy(&v, p, 4);
+      return static_cast<double>(v) / 2147483648.0;
+    }
+    default:
+      throw std::runtime_error{"read_wav: unsupported PCM bit depth"};
+  }
+}
+
+}  // namespace
+
+buffer read_wav(const std::string& path) {
+  ensures(host_is_little_endian(), "read_wav: big-endian hosts unsupported");
+  std::ifstream in{path, std::ios::binary};
+  ensures(in.good(), "read_wav: cannot open " + path);
+
+  std::array<char, 4> tag{};
+  in.read(tag.data(), 4);
+  ensures(in.good() && std::memcmp(tag.data(), "RIFF", 4) == 0,
+          "read_wav: missing RIFF header in " + path);
+  (void)read_le<std::uint32_t>(in);  // riff size
+  in.read(tag.data(), 4);
+  ensures(in.good() && std::memcmp(tag.data(), "WAVE", 4) == 0,
+          "read_wav: missing WAVE tag in " + path);
+
+  std::uint16_t fmt = 0;
+  std::uint16_t channels = 0;
+  std::uint32_t rate = 0;
+  std::uint16_t bits = 0;
+  bool have_fmt = false;
+  std::vector<unsigned char> data;
+  bool have_data = false;
+
+  while (in.peek() != EOF) {
+    in.read(tag.data(), 4);
+    if (!in.good()) {
+      break;
+    }
+    const auto chunk_size = read_le<std::uint32_t>(in);
+    if (std::memcmp(tag.data(), "fmt ", 4) == 0) {
+      fmt = read_le<std::uint16_t>(in);
+      channels = read_le<std::uint16_t>(in);
+      rate = read_le<std::uint32_t>(in);
+      (void)read_le<std::uint32_t>(in);  // byte rate
+      (void)read_le<std::uint16_t>(in);  // block align
+      bits = read_le<std::uint16_t>(in);
+      if (chunk_size > 16) {
+        in.ignore(chunk_size - 16);
+      }
+      have_fmt = true;
+    } else if (std::memcmp(tag.data(), "data", 4) == 0) {
+      data.resize(chunk_size);
+      in.read(reinterpret_cast<char*>(data.data()), chunk_size);
+      ensures(in.good(), "read_wav: truncated data chunk in " + path);
+      have_data = true;
+    } else {
+      in.ignore(chunk_size + (chunk_size % 2));  // chunks are word-aligned
+    }
+  }
+  ensures(have_fmt && have_data, "read_wav: missing fmt/data chunk in " + path);
+  ensures(fmt == format_pcm || fmt == format_ieee_float,
+          "read_wav: unsupported format code in " + path);
+  ensures(channels >= 1, "read_wav: zero channels in " + path);
+  const std::size_t bytes_per_sample = bits / 8;
+  ensures(bytes_per_sample > 0, "read_wav: zero bit depth in " + path);
+  const std::size_t frame_bytes = bytes_per_sample * channels;
+  const std::size_t frames = data.size() / frame_bytes;
+
+  std::vector<double> mono(frames, 0.0);
+  for (std::size_t f = 0; f < frames; ++f) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < channels; ++c) {
+      acc += decode_sample(data.data() + f * frame_bytes + c * bytes_per_sample,
+                           bits, fmt);
+    }
+    mono[f] = acc / channels;
+  }
+  return buffer{std::move(mono), static_cast<double>(rate)};
+}
+
+void write_wav(const std::string& path, const buffer& b, wav_format format) {
+  validate(b, "write_wav");
+  ensures(host_is_little_endian(), "write_wav: big-endian hosts unsupported");
+  std::ofstream out{path, std::ios::binary};
+  ensures(out.good(), "write_wav: cannot open " + path);
+
+  const std::uint16_t channels = 1;
+  const std::uint16_t bits = format == wav_format::pcm16 ? 16 : 32;
+  const std::uint16_t fmt_code =
+      format == wav_format::pcm16 ? format_pcm : format_ieee_float;
+  const auto rate = static_cast<std::uint32_t>(std::llround(b.sample_rate_hz));
+  const std::uint32_t data_bytes =
+      static_cast<std::uint32_t>(b.size()) * (bits / 8);
+
+  out.write("RIFF", 4);
+  write_le<std::uint32_t>(out, 36 + data_bytes);
+  out.write("WAVE", 4);
+  out.write("fmt ", 4);
+  write_le<std::uint32_t>(out, 16);
+  write_le<std::uint16_t>(out, fmt_code);
+  write_le<std::uint16_t>(out, channels);
+  write_le<std::uint32_t>(out, rate);
+  write_le<std::uint32_t>(out, rate * channels * (bits / 8));
+  write_le<std::uint16_t>(out, channels * (bits / 8));
+  write_le<std::uint16_t>(out, bits);
+  out.write("data", 4);
+  write_le<std::uint32_t>(out, data_bytes);
+
+  if (format == wav_format::pcm16) {
+    for (const double s : b.samples) {
+      // Same 32768 scale as the reader, clamped to the int16 range, so a
+      // round trip quantizes symmetrically (error <= 1/65536 of span).
+      const double scaled = std::clamp(std::round(s * 32768.0), -32768.0,
+                                       32767.0);
+      write_le<std::int16_t>(out, static_cast<std::int16_t>(scaled));
+    }
+  } else {
+    for (const double s : b.samples) {
+      write_le<float>(out, static_cast<float>(s));
+    }
+  }
+  ensures(out.good(), "write_wav: write failed for " + path);
+}
+
+}  // namespace ivc::audio

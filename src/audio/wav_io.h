@@ -1,0 +1,29 @@
+// Minimal RIFF/WAVE reader and writer.
+//
+// Supports PCM 16/24/32-bit integer and IEEE float 32/64-bit, mono or
+// multi-channel (multi-channel input is averaged down to mono, matching
+// how every pipeline in this library consumes audio). Written files are
+// mono PCM16 or float32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "audio/buffer.h"
+
+namespace ivc::audio {
+
+enum class wav_format : std::uint16_t {
+  pcm16,
+  float32,
+};
+
+// Reads a WAV file into a mono buffer. Throws std::runtime_error on
+// malformed files and unsupported encodings.
+buffer read_wav(const std::string& path);
+
+// Writes a mono buffer. Samples are clipped to [-1, 1] for pcm16.
+void write_wav(const std::string& path, const buffer& b,
+               wav_format format = wav_format::pcm16);
+
+}  // namespace ivc::audio

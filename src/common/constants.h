@@ -1,0 +1,24 @@
+// Physical and signal-chain constants shared across modules.
+#pragma once
+
+#include <numbers>
+
+namespace ivc {
+
+inline constexpr double pi = std::numbers::pi;
+inline constexpr double two_pi = 2.0 * std::numbers::pi;
+
+// Nominal speed of sound in air at 20 °C, m/s. The acoustics module
+// recomputes this from temperature; this constant is the default.
+inline constexpr double speed_of_sound_20c = 343.21;
+
+// Audible band edges used throughout the attack/defense analysis, Hz.
+inline constexpr double audible_low_hz = 20.0;
+inline constexpr double audible_high_hz = 20'000.0;
+
+// Default sample rates, Hz. Ultrasound synthesis runs at 192 kHz (carriers
+// up to 96 kHz); devices capture at 16 kHz (typical ASR front-end rate).
+inline constexpr double ultrasound_rate_hz = 192'000.0;
+inline constexpr double device_rate_hz = 16'000.0;
+
+}  // namespace ivc

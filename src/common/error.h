@@ -1,0 +1,28 @@
+// Contract helpers shared by every ivc module.
+//
+// Style follows the C++ Core Guidelines (I.5/I.6, E.12): precondition
+// violations throw std::invalid_argument, runtime failures throw
+// std::runtime_error, and both carry a human-readable message naming the
+// violated condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ivc {
+
+// Throws std::invalid_argument when a caller-supplied precondition fails.
+inline void expects(bool condition, const std::string& what) {
+  if (!condition) {
+    throw std::invalid_argument{what};
+  }
+}
+
+// Throws std::runtime_error when an internal postcondition/invariant fails.
+inline void ensures(bool condition, const std::string& what) {
+  if (!condition) {
+    throw std::runtime_error{what};
+  }
+}
+
+}  // namespace ivc

@@ -1,0 +1,61 @@
+// Decibel / sound-pressure unit conversions used across the acoustic chain.
+//
+// Conventions:
+//  * "amplitude dB" (20·log10) is used for signal amplitudes, gains and
+//    pressures; "power dB" (10·log10) for powers and energies.
+//  * SPL is referenced to 20 µPa RMS: spl_db = 20·log10(p_rms / 20 µPa),
+//    so 1 Pa RMS == 93.98 dB SPL.
+//  * dBFS is referenced to a full-scale amplitude of 1.0.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace ivc {
+
+// RMS reference pressure for SPL, in pascal (20 µPa).
+inline constexpr double reference_pressure_pa = 20e-6;
+
+// Smallest linear value mapped to a finite dB figure; anything at or below
+// maps to -infinity-ish floors chosen by the caller.
+inline constexpr double db_epsilon = 1e-300;
+
+// Amplitude ratio -> decibel (20·log10). Non-positive input yields -inf.
+inline double amplitude_to_db(double ratio) {
+  if (ratio <= db_epsilon) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return 20.0 * std::log10(ratio);
+}
+
+// Decibel -> amplitude ratio (inverse of amplitude_to_db).
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+// Power ratio -> decibel (10·log10). Non-positive input yields -inf.
+inline double power_to_db(double ratio) {
+  if (ratio <= db_epsilon) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(ratio);
+}
+
+// Decibel -> power ratio (inverse of power_to_db).
+inline double db_to_power(double db) { return std::pow(10.0, db / 10.0); }
+
+// RMS pressure in pascal -> dB SPL.
+inline double pa_to_spl_db(double pa_rms) {
+  return amplitude_to_db(pa_rms / reference_pressure_pa);
+}
+
+// dB SPL -> RMS pressure in pascal.
+inline double spl_db_to_pa(double spl_db) {
+  return reference_pressure_pa * db_to_amplitude(spl_db);
+}
+
+// Peak amplitude of a sine whose RMS pressure corresponds to `spl_db`.
+inline double spl_db_to_sine_peak_pa(double spl_db) {
+  return spl_db_to_pa(spl_db) * std::numbers::sqrt2;
+}
+
+}  // namespace ivc

@@ -1,0 +1,154 @@
+#include "defense/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "asr/vad.h"
+#include "audio/metrics.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/biquad.h"
+#include "dsp/correlate.h"
+#include "dsp/hilbert.h"
+#include "dsp/spectrum.h"
+
+namespace ivc::defense {
+namespace {
+
+// Per-frame mean power of a waveform.
+std::vector<double> frame_power(std::span<const double> x, std::size_t frame) {
+  std::vector<double> out;
+  for (std::size_t start = 0; start + frame <= x.size(); start += frame) {
+    double acc = 0.0;
+    for (std::size_t i = start; i < start + frame; ++i) {
+      acc += x[i] * x[i];
+    }
+    out.push_back(acc / static_cast<double>(frame));
+  }
+  return out;
+}
+
+// Voice-active interior of the capture: VAD region shrunk by the margin,
+// so burst edges / carrier-pedestal transitions stay out of the analysis.
+audio::buffer active_interior(const audio::buffer& capture,
+                              const feature_config& config) {
+  asr::vad_config vad;
+  vad.margin_s = 0.0;
+  const asr::vad_result act = asr::detect_activity(capture, vad);
+  if (!act.any_activity) {
+    return capture;
+  }
+  const double start = act.start_s + config.active_margin_s;
+  const double length = (act.end_s - config.active_margin_s) - start;
+  if (length < 0.25) {
+    return capture;  // too short to trim; analyze as-is
+  }
+  return audio::slice(capture, start, length);
+}
+
+}  // namespace
+
+const std::array<const char*, num_trace_features>& trace_features::names() {
+  static const std::array<const char*, num_trace_features> n = {
+      "low_band_envelope_corr", "low_band_ratio_db", "amplitude_skew",
+      "high_band_ratio_db", "low_band_waveform_corr"};
+  return n;
+}
+
+trace_features extract_trace_features(const audio::buffer& capture,
+                                      const feature_config& config) {
+  audio::validate(capture, "extract_trace_features");
+  const double fs = capture.sample_rate_hz;
+  expects(fs >= 8'000.0, "extract_trace_features: rate must be >= 8 kHz");
+  expects(config.low_band_lo_hz < config.low_band_hi_hz &&
+              config.low_band_hi_hz < config.voice_band_lo_hz,
+          "extract_trace_features: bands must be ordered low < voice");
+  expects(config.band_filter_order >= 1,
+          "extract_trace_features: filter order must be >= 1");
+
+  trace_features f;
+  if (capture.duration_s() < 0.2 || audio::peak(capture.samples) < 1e-6) {
+    return f;  // nothing to analyze; all-zero features read as genuine
+  }
+
+  const audio::buffer interior = active_interior(capture, config);
+  if (interior.duration_s() < 0.2) {
+    return f;
+  }
+
+  // Band decomposition. Zero-phase filtering keeps the low-band trace
+  // time-aligned with the voice envelope and squares the stop-band slope
+  // (the low band must be isolated against a voice band 40+ dB hotter).
+  const ivc::dsp::iir_cascade low_band = ivc::dsp::butterworth_bandpass(
+      config.band_filter_order, config.low_band_lo_hz, config.low_band_hi_hz,
+      fs);
+  const ivc::dsp::iir_cascade voice_band = ivc::dsp::butterworth_bandpass(
+      config.band_filter_order, config.voice_band_lo_hz,
+      std::min(config.voice_band_hi_hz, 0.45 * fs), fs);
+  const std::vector<double> low =
+      low_band.process_zero_phase(interior.samples);
+  const std::vector<double> voice =
+      voice_band.process_zero_phase(interior.samples);
+
+  // f0/f4 need the squared voice envelope and the low-band trace.
+  const std::vector<double> env =
+      ivc::dsp::smoothed_envelope(voice, fs, config.envelope_smooth_hz);
+  std::vector<double> env_sq(env.size());
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    env_sq[i] = env[i] * env[i];
+  }
+
+  const auto frame =
+      static_cast<std::size_t>(std::max(8.0, config.frame_s * fs));
+  const std::vector<double> low_trace = frame_power(low, frame);
+  const std::vector<double> env_sq_trace = frame_power(env_sq, frame);
+  if (low_trace.size() >= 8) {
+    f.low_band_envelope_corr =
+        ivc::dsp::pearson_correlation(low_trace, env_sq_trace);
+  }
+
+  // f4: waveform-level correlation between the low band and the squared
+  // voice band restricted to the same low band.
+  std::vector<double> voice_sq(voice.size());
+  for (std::size_t i = 0; i < voice.size(); ++i) {
+    voice_sq[i] = voice[i] * voice[i];
+  }
+  const std::vector<double> voice_sq_low =
+      low_band.process_zero_phase(voice_sq);
+  if (voice.size() >= 16) {
+    f.low_band_waveform_corr = std::abs(ivc::dsp::aligned_correlation(
+        low, voice_sq_low, static_cast<std::size_t>(0.02 * fs)));
+  }
+
+  // f1: band power ratio, measured on the isolated bands directly.
+  const double low_power = audio::rms(low) * audio::rms(low);
+  const double voice_power = audio::rms(voice) * audio::rms(voice);
+  f.low_band_ratio_db =
+      ivc::power_to_db((low_power + 1e-300) / (voice_power + 1e-300));
+
+  // f2: amplitude skewness over the voice-active region (threshold at
+  // 10% of peak envelope keeps remaining quiet frames from diluting it).
+  const double env_peak = *std::max_element(env.begin(), env.end());
+  std::vector<double> active;
+  active.reserve(interior.size());
+  for (std::size_t i = 0; i < interior.size(); ++i) {
+    if (env[i] > 0.1 * env_peak) {
+      active.push_back(interior.samples[i]);
+    }
+  }
+  if (active.size() >= 64) {
+    f.amplitude_skew = audio::amplitude_skewness(active);
+  }
+
+  // f3: high-band deficit.
+  if (fs > 2.0 * 7'200.0) {
+    f.high_band_ratio_db = ivc::dsp::band_power_ratio_db(
+        interior.samples, fs, 4'500.0, 7'000.0, 300.0, 3'400.0);
+  } else {
+    f.high_band_ratio_db = 0.0;
+  }
+  return f;
+}
+
+}  // namespace ivc::defense

@@ -1,0 +1,93 @@
+// Non-linearity trace features (the defense's signal analysis).
+//
+// A demodulated injection arrives at the capture as
+//     r(t) ≈ α·v(t) + β·v²(t) + noise,
+// because the same a₂x² term that recreates v(t) also squares it. The
+// v² term betrays the attack three ways:
+//
+//  1. its spectrum piles up *below the voice band* (the square of a
+//     band-pass signal has a baseband image: the squared envelope), so
+//     attacked captures show sub-bass power that genuine speech — which
+//     microphones high-pass and vocal tracts do not produce — lacks;
+//  2. that low-band power trace rises and falls **with the square of the
+//     voice envelope**, frame by frame, so it correlates with (env v̂)²;
+//  3. v² ≥ 0 biases the waveform upward, skewing the amplitude
+//     distribution.
+//
+// Each effect becomes one feature; a linear classifier on the feature
+// vector is the paper's software-only defense.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "audio/buffer.h"
+
+namespace ivc::defense {
+
+inline constexpr std::size_t num_trace_features = 5;
+
+struct trace_features {
+  // f0: correlation of the sub-voice low-band power trace with the
+  //     squared voice-band envelope (the headline trace).
+  double low_band_envelope_corr = 0.0;
+  // f1: power ratio, low band (15–60 Hz) over voice band (150–4000 Hz), dB.
+  double low_band_ratio_db = 0.0;
+  // f2: amplitude skewness of the voice-active region.
+  double amplitude_skew = 0.0;
+  // f3: high-band ratio (4.5–7 kHz over 300–3400 Hz), dB — band-limited
+  //     injections lack natural fricative energy.
+  double high_band_ratio_db = 0.0;
+  // f4: correlation of the low-band *waveform* with the squared
+  //     voice-band waveform (phase-sensitive variant of f0).
+  double low_band_waveform_corr = 0.0;
+
+  std::array<double, num_trace_features> as_array() const {
+    return {low_band_envelope_corr, low_band_ratio_db, amplitude_skew,
+            high_band_ratio_db, low_band_waveform_corr};
+  }
+  static const std::array<const char*, num_trace_features>& names();
+};
+
+struct feature_config {
+  // The sub-50 Hz trace band: genuine speech (fundamental >= ~80 Hz,
+  // onset ramps >= ~20 ms) leaves it empty; the demodulated v² term
+  // fills it.
+  double low_band_lo_hz = 15.0;
+  double low_band_hi_hz = 50.0;
+  double voice_band_lo_hz = 150.0;
+  double voice_band_hi_hz = 4'000.0;
+  double frame_s = 0.04;
+  double envelope_smooth_hz = 30.0;
+  // Band-isolation filter order (zero-phase, so the effective stop-band
+  // slope doubles). The low band sits 40+ dB below the voice band in a
+  // genuine capture; shallow filters would let voice-band leakage
+  // masquerade as a trace.
+  std::size_t band_filter_order = 4;
+  // Analyze only the voice-active interior: the attack's carrier produces
+  // a DC pedestal whose on/off edges splatter broadband low-frequency
+  // energy that is *not* the trace (and genuine recordings start/stop
+  // with handling transients). Margin trimmed inside the active region.
+  double active_margin_s = 0.12;
+};
+
+// Extracts the trace features from a capture (device rate, e.g. 16 kHz).
+// The capture should contain the (suspected) utterance; leading/trailing
+// silence is tolerated.
+trace_features extract_trace_features(const audio::buffer& capture,
+                                      const feature_config& config = {});
+
+// A labelled dataset of feature vectors.
+struct labelled_features {
+  std::vector<std::array<double, num_trace_features>> x;
+  std::vector<int> y;  // 1 == attack, 0 == genuine
+
+  void add(const trace_features& f, int label) {
+    x.push_back(f.as_array());
+    y.push_back(label);
+  }
+  std::size_t size() const { return y.size(); }
+};
+
+}  // namespace ivc::defense

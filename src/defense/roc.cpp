@@ -1,0 +1,74 @@
+#include "defense/roc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ivc::defense {
+
+roc_curve compute_roc(std::span<const double> scores,
+                      std::span<const int> labels) {
+  expects(scores.size() == labels.size() && !scores.empty(),
+          "compute_roc: scores/labels must match and be non-empty");
+  const auto num_pos = static_cast<double>(
+      std::count(labels.begin(), labels.end(), 1));
+  const auto num_neg = static_cast<double>(labels.size()) - num_pos;
+  expects(num_pos > 0 && num_neg > 0,
+          "compute_roc: need both classes present");
+
+  // Sort by score descending; sweep thresholds at every distinct score.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  roc_curve curve;
+  double tp = 0.0;
+  double fp = 0.0;
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  curve.points.push_back(
+      roc_point{scores[order.front()] + 1.0, 0.0, 0.0});
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]] == 1) {
+      tp += 1.0;
+    } else {
+      fp += 1.0;
+    }
+    // Emit a point when the next score differs (threshold boundary).
+    if (i + 1 == order.size() || scores[order[i + 1]] != scores[order[i]]) {
+      const double tpr = tp / num_pos;
+      const double fpr = fp / num_neg;
+      curve.points.push_back(roc_point{scores[order[i]], tpr, fpr});
+      curve.auc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;  // trapezoid
+
+      const double accuracy = (tp + (num_neg - fp)) /
+                              (num_pos + num_neg);
+      if (accuracy > curve.best_accuracy) {
+        curve.best_accuracy = accuracy;
+        curve.best_threshold = scores[order[i]];
+      }
+      prev_fpr = fpr;
+      prev_tpr = tpr;
+    }
+  }
+
+  // EER via a second pass: minimize |FPR - (1 - TPR)|.
+  double best_gap = 2.0;
+  for (const roc_point& p : curve.points) {
+    const double gap = std::abs(p.false_positive_rate -
+                                (1.0 - p.true_positive_rate));
+    if (gap < best_gap) {
+      best_gap = gap;
+      curve.equal_error_rate =
+          (p.false_positive_rate + (1.0 - p.true_positive_rate)) / 2.0;
+    }
+  }
+  return curve;
+}
+
+}  // namespace ivc::defense

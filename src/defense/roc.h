@@ -1,0 +1,28 @@
+// ROC analysis for detectors: curve points, AUC, EER, best accuracy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ivc::defense {
+
+struct roc_point {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+struct roc_curve {
+  std::vector<roc_point> points;  // sorted by threshold descending
+  double auc = 0.0;
+  double equal_error_rate = 1.0;
+  double best_accuracy = 0.0;
+  double best_threshold = 0.0;
+};
+
+// Builds the ROC from detector scores (higher == more attack-like) and
+// binary labels (1 == attack). Requires both classes present.
+roc_curve compute_roc(std::span<const double> scores,
+                      std::span<const int> labels);
+
+}  // namespace ivc::defense

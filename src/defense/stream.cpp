@@ -1,0 +1,69 @@
+#include "defense/stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/metrics.h"
+#include "common/error.h"
+
+namespace ivc::defense {
+
+stream_detector::stream_detector(classifier_detector detector,
+                                 stream_config config)
+    : detector_{std::move(detector)}, config_{config} {
+  expects(config_.window_s > 0.0 && config_.hop_s > 0.0 &&
+              config_.hop_s <= config_.window_s,
+          "stream_detector: need 0 < hop <= window");
+}
+
+std::vector<stream_event> stream_detector::feed(const audio::buffer& block) {
+  audio::validate(block, "stream_detector::feed");
+  if (rate_ == 0.0) {
+    rate_ = block.sample_rate_hz;
+  }
+  expects(block.sample_rate_hz == rate_,
+          "stream_detector: sample rate changed mid-stream");
+  pending_.insert(pending_.end(), block.samples.begin(), block.samples.end());
+  return drain(/*flush=*/false);
+}
+
+std::vector<stream_event> stream_detector::finish() {
+  return drain(/*flush=*/true);
+}
+
+void stream_detector::reset() {
+  pending_.clear();
+  rate_ = 0.0;
+  consumed_s_ = 0.0;
+}
+
+std::vector<stream_event> stream_detector::drain(bool flush) {
+  std::vector<stream_event> events;
+  if (rate_ == 0.0) {
+    return events;
+  }
+  const auto window = static_cast<std::size_t>(config_.window_s * rate_);
+  const auto hop = static_cast<std::size_t>(config_.hop_s * rate_);
+
+  while (pending_.size() >= window ||
+         (flush && pending_.size() >= window / 2)) {
+    const std::size_t take = std::min(window, pending_.size());
+    audio::buffer win{{pending_.begin(),
+                       pending_.begin() + static_cast<std::ptrdiff_t>(take)},
+                      rate_};
+    if (audio::peak(win.samples) >= config_.min_peak) {
+      const detection d = detector_.detect(win, config_.features);
+      events.push_back(stream_event{consumed_s_, d.score, d.is_attack});
+    }
+    const std::size_t advance = std::min(hop, pending_.size());
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(advance));
+    consumed_s_ += static_cast<double>(advance) / rate_;
+    if (flush && take < window) {
+      break;
+    }
+  }
+  return events;
+}
+
+}  // namespace ivc::defense

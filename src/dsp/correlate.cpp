@@ -1,0 +1,130 @@
+#include "dsp/correlate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/fft.h"
+
+namespace ivc::dsp {
+namespace {
+
+double mean_of(std::span<const double> x) {
+  double m = 0.0;
+  for (const double v : x) {
+    m += v;
+  }
+  return m / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+  expects(a.size() == b.size(), "pearson_correlation: size mismatch");
+  expects(a.size() >= 2, "pearson_correlation: need at least 2 samples");
+  const double ma = mean_of(a);
+  const double mb = mean_of(b);
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 1e-300 || sbb <= 1e-300) {
+    return 0.0;
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double> normalized_cross_correlation(std::span<const double> a,
+                                                 std::span<const double> b) {
+  expects(!a.empty() && !b.empty(),
+          "normalized_cross_correlation: inputs must be non-empty");
+  // corr(a, b)[lag] = sum_i a[i+lag]·b[i] == conv(a, reverse(b)).
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  std::vector<cplx> fa(n, cplx{0.0, 0.0});
+  std::vector<cplx> fb(n, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    fa[i] = cplx{a[i], 0.0};
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    fb[i] = cplx{b[b.size() - 1 - i], 0.0};
+  }
+  fft_pow2_inplace(fa, /*inverse=*/false);
+  fft_pow2_inplace(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] *= fb[i];
+  }
+  fft_pow2_inplace(fa, /*inverse=*/true);
+
+  double na = 0.0;
+  double nb = 0.0;
+  for (const double v : a) {
+    na += v * v;
+  }
+  for (const double v : b) {
+    nb += v * v;
+  }
+  const double norm = std::sqrt(na * nb);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    out[i] = norm > 1e-300 ? fa[i].real() / norm : 0.0;
+  }
+  return out;
+}
+
+alignment best_alignment(std::span<const double> a, std::span<const double> b) {
+  const std::vector<double> xc = normalized_cross_correlation(a, b);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xc.size(); ++i) {
+    if (std::abs(xc[i]) > std::abs(xc[best])) {
+      best = i;
+    }
+  }
+  return alignment{
+      static_cast<std::ptrdiff_t>(best) -
+          static_cast<std::ptrdiff_t>(b.size() - 1),
+      xc[best]};
+}
+
+double aligned_correlation(std::span<const double> a, std::span<const double> b,
+                           std::size_t max_lag) {
+  expects(a.size() >= 2 && b.size() >= 2,
+          "aligned_correlation: inputs too short");
+  const std::vector<double> xc = normalized_cross_correlation(a, b);
+  const auto zero_lag = static_cast<std::ptrdiff_t>(b.size() - 1);
+  std::ptrdiff_t best_lag = 0;
+  double best_abs = -1.0;
+  for (std::ptrdiff_t lag = -static_cast<std::ptrdiff_t>(max_lag);
+       lag <= static_cast<std::ptrdiff_t>(max_lag); ++lag) {
+    const std::ptrdiff_t idx = zero_lag + lag;
+    if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(xc.size())) {
+      continue;
+    }
+    if (std::abs(xc[static_cast<std::size_t>(idx)]) > best_abs) {
+      best_abs = std::abs(xc[static_cast<std::size_t>(idx)]);
+      best_lag = lag;
+    }
+  }
+  // Re-measure as a Pearson coefficient on the overlapping region.
+  std::span<const double> sa = a;
+  std::span<const double> sb = b;
+  if (best_lag >= 0) {
+    sa = sa.subspan(static_cast<std::size_t>(best_lag));
+  } else {
+    sb = sb.subspan(static_cast<std::size_t>(-best_lag));
+  }
+  const std::size_t overlap = std::min(sa.size(), sb.size());
+  if (overlap < 2) {
+    return 0.0;
+  }
+  return pearson_correlation(sa.subspan(0, overlap), sb.subspan(0, overlap));
+}
+
+}  // namespace ivc::dsp

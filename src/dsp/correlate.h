@@ -1,0 +1,35 @@
+// Correlation statistics and cross-correlation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ivc::dsp {
+
+// Pearson correlation coefficient in [-1, 1]. Returns 0 when either input
+// has (numerically) zero variance. Sizes must match and be >= 2.
+double pearson_correlation(std::span<const double> a, std::span<const double> b);
+
+// Full normalized cross-correlation between a and b over all lags in
+// [-(b.size()-1), a.size()-1]; entry i corresponds to lag i-(b.size()-1).
+// Normalization is by the product of the signals' L2 norms, so a perfect
+// scaled copy peaks at 1.
+std::vector<double> normalized_cross_correlation(std::span<const double> a,
+                                                 std::span<const double> b);
+
+struct alignment {
+  std::ptrdiff_t lag = 0;   // samples by which b must shift to align with a
+  double peak = 0.0;        // normalized correlation at that lag
+};
+
+// Lag of maximum |cross-correlation| and its normalized value.
+alignment best_alignment(std::span<const double> a, std::span<const double> b);
+
+// Pearson correlation after shifting b by best_alignment().lag, restricted
+// to lags within +/-max_lag samples. Used to score demodulated commands
+// against the reference voice without assuming exact time alignment.
+double aligned_correlation(std::span<const double> a, std::span<const double> b,
+                           std::size_t max_lag);
+
+}  // namespace ivc::dsp

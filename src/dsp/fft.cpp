@@ -1,0 +1,164 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace ivc::dsp {
+namespace {
+
+// Bit-reversal permutation for the iterative radix-2 kernel.
+void bit_reverse_permute(std::vector<cplx>& data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+}
+
+// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+// convolution, evaluated with power-of-two FFTs.
+std::vector<cplx> bluestein(std::span<const cplx> input, bool inverse) {
+  const std::size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  std::vector<cplx> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Reduce k^2 mod 2n before the trig call to keep the angle accurate for
+    // large transforms.
+    const auto k2 = static_cast<unsigned long long>(k) * k % (2ULL * n);
+    const double angle = sign * pi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = {std::cos(angle), std::sin(angle)};
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<cplx> a(m, cplx{0.0, 0.0});
+  std::vector<cplx> b(m, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = input[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    b[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_pow2_inplace(a, /*inverse=*/false);
+  fft_pow2_inplace(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) {
+    a[k] *= b[k];
+  }
+  fft_pow2_inplace(a, /*inverse=*/true);
+
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = a[k] * chirp[k];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_pow2_inplace(std::vector<cplx>& data, bool inverse) {
+  const std::size_t n = data.size();
+  expects(is_pow2(n), "fft_pow2_inplace: length must be a power of two");
+  bit_reverse_permute(data);
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? two_pi : -two_pi) / static_cast<double>(len);
+    const cplx wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) {
+      x *= scale;
+    }
+  }
+}
+
+std::vector<cplx> fft(std::span<const cplx> input) {
+  expects(!input.empty(), "fft: input must be non-empty");
+  const std::size_t n = input.size();
+  if (is_pow2(n)) {
+    std::vector<cplx> data{input.begin(), input.end()};
+    fft_pow2_inplace(data, /*inverse=*/false);
+    return data;
+  }
+  return bluestein(input, /*inverse=*/false);
+}
+
+std::vector<cplx> ifft(std::span<const cplx> input) {
+  expects(!input.empty(), "ifft: input must be non-empty");
+  const std::size_t n = input.size();
+  if (is_pow2(n)) {
+    std::vector<cplx> data{input.begin(), input.end()};
+    fft_pow2_inplace(data, /*inverse=*/true);
+    return data;
+  }
+  std::vector<cplx> out = bluestein(input, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (auto& x : out) {
+    x *= scale;
+  }
+  return out;
+}
+
+std::vector<cplx> fft_real(std::span<const double> input) {
+  expects(!input.empty(), "fft_real: input must be non-empty");
+  std::vector<cplx> data(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    data[i] = cplx{input[i], 0.0};
+  }
+  return fft(data);
+}
+
+std::vector<double> ifft_real(std::span<const cplx> spectrum) {
+  const std::vector<cplx> time = ifft(spectrum);
+  std::vector<double> out(time.size());
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    out[i] = time[i].real();
+  }
+  return out;
+}
+
+double bin_frequency_hz(std::size_t index, std::size_t n,
+                        double sample_rate_hz) {
+  expects(n > 0 && index < n, "bin_frequency_hz: index out of range");
+  const auto half = n / 2;
+  const double step = sample_rate_hz / static_cast<double>(n);
+  if (index <= half) {
+    return static_cast<double>(index) * step;
+  }
+  return (static_cast<double>(index) - static_cast<double>(n)) * step;
+}
+
+}  // namespace ivc::dsp

@@ -1,0 +1,47 @@
+// Fast Fourier transforms.
+//
+// Implements an iterative radix-2 Cooley–Tukey FFT for power-of-two sizes
+// and Bluestein's chirp-z algorithm for arbitrary sizes, plus real-signal
+// helpers. All transforms are unnormalized forward / (1/N)-normalized
+// inverse, matching the common engineering convention.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ivc::dsp {
+
+using cplx = std::complex<double>;
+
+// Smallest power of two >= n (n == 0 maps to 1).
+std::size_t next_pow2(std::size_t n);
+
+// True when n is a nonzero power of two.
+bool is_pow2(std::size_t n);
+
+// In-place forward/inverse FFT for power-of-two length. Throws for other
+// lengths; use fft()/ifft() for arbitrary sizes.
+void fft_pow2_inplace(std::vector<cplx>& data, bool inverse);
+
+// Forward FFT of arbitrary length (Bluestein for non-power-of-two).
+std::vector<cplx> fft(std::span<const cplx> input);
+
+// Inverse FFT of arbitrary length; includes the 1/N normalization.
+std::vector<cplx> ifft(std::span<const cplx> input);
+
+// Forward FFT of a real signal. Returns the full complex spectrum of
+// length n (not just n/2+1) so that downstream frequency-domain filters
+// can operate on positive and negative frequencies symmetrically.
+std::vector<cplx> fft_real(std::span<const double> input);
+
+// Inverse FFT returning only the real part, for spectra known to be
+// conjugate-symmetric (within numerical noise).
+std::vector<double> ifft_real(std::span<const cplx> spectrum);
+
+// Frequency, in Hz, of FFT bin `index` for a transform of length n at
+// `sample_rate_hz`; bins above n/2 map to negative frequencies.
+double bin_frequency_hz(std::size_t index, std::size_t n, double sample_rate_hz);
+
+}  // namespace ivc::dsp

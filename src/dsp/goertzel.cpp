@@ -1,0 +1,44 @@
+#include "dsp/goertzel.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace ivc::dsp {
+
+double goertzel_power(std::span<const double> signal, double sample_rate_hz,
+                      double freq_hz) {
+  expects(!signal.empty(), "goertzel: signal must be non-empty");
+  expects(sample_rate_hz > 0.0, "goertzel: sample rate must be > 0");
+  expects(freq_hz >= 0.0 && freq_hz <= sample_rate_hz / 2.0,
+          "goertzel: frequency must be in [0, fs/2]");
+
+  const double w = two_pi * freq_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(w);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (const double x : signal) {
+    const double s = x + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const double n = static_cast<double>(signal.size());
+  const double real = s_prev - s_prev2 * std::cos(w);
+  const double imag = s_prev2 * std::sin(w);
+  const double mag2 = real * real + imag * imag;
+  // Mean-square of the sinusoidal component: |X|^2 · 2 / N^2, halved at
+  // DC/Nyquist where the component is not split across two bins.
+  const bool edge = freq_hz == 0.0 || freq_hz == sample_rate_hz / 2.0;
+  return mag2 * (edge ? 1.0 : 2.0) / (n * n);
+}
+
+double goertzel_amplitude(std::span<const double> signal,
+                          double sample_rate_hz, double freq_hz) {
+  const double p = goertzel_power(signal, sample_rate_hz, freq_hz);
+  // Mean-square of A·sin is A^2/2, so A = sqrt(2·p).
+  const bool edge = freq_hz == 0.0 || freq_hz == sample_rate_hz / 2.0;
+  return edge ? std::sqrt(p) : std::sqrt(2.0 * p);
+}
+
+}  // namespace ivc::dsp

@@ -1,0 +1,21 @@
+// Goertzel single-bin DFT: cheap power measurement at one frequency,
+// used by tests and the non-linearity diagnostics to probe specific
+// intermodulation products without a full FFT.
+#pragma once
+
+#include <span>
+
+namespace ivc::dsp {
+
+// Mean-square power of the component of `signal` at `freq_hz`
+// (equivalent to |DFT bin|^2 · 2 / N^2 for a real sinusoid, i.e. a unit
+// amplitude sine returns ~0.5).
+double goertzel_power(std::span<const double> signal, double sample_rate_hz,
+                      double freq_hz);
+
+// Amplitude of the sinusoidal component at `freq_hz` (a unit-amplitude
+// sine at that exact bin returns ~1.0).
+double goertzel_amplitude(std::span<const double> signal,
+                          double sample_rate_hz, double freq_hz);
+
+}  // namespace ivc::dsp

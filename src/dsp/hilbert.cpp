@@ -1,0 +1,70 @@
+#include "dsp/hilbert.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "dsp/biquad.h"
+#include "dsp/fft.h"
+
+namespace ivc::dsp {
+
+std::vector<std::complex<double>> analytic_signal(
+    std::span<const double> input) {
+  expects(!input.empty(), "analytic_signal: input must be non-empty");
+  const std::size_t len = input.size();
+  const std::size_t n = next_pow2(len);
+  std::vector<cplx> spec(n, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < len; ++i) {
+    spec[i] = cplx{input[i], 0.0};
+  }
+  fft_pow2_inplace(spec, /*inverse=*/false);
+
+  // Zero negative frequencies, double positive ones, keep DC and Nyquist.
+  for (std::size_t i = 1; i < n / 2; ++i) {
+    spec[i] *= 2.0;
+  }
+  for (std::size_t i = n / 2 + 1; i < n; ++i) {
+    spec[i] = cplx{0.0, 0.0};
+  }
+  fft_pow2_inplace(spec, /*inverse=*/true);
+  spec.resize(len);
+  return spec;
+}
+
+std::vector<double> envelope(std::span<const double> input) {
+  const auto a = analytic_signal(input);
+  std::vector<double> env(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    env[i] = std::abs(a[i]);
+  }
+  return env;
+}
+
+std::vector<double> smoothed_envelope(std::span<const double> input,
+                                      double sample_rate_hz,
+                                      double smooth_hz) {
+  expects(sample_rate_hz > 0.0 && smooth_hz > 0.0 &&
+              smooth_hz < sample_rate_hz / 2.0,
+          "smoothed_envelope: need 0 < smooth_hz < fs/2");
+  const std::vector<double> env = envelope(input);
+  const iir_cascade lp = butterworth_lowpass(2, smooth_hz, sample_rate_hz);
+  return lp.process(env);
+}
+
+std::vector<double> ssb_modulate(std::span<const double> baseband,
+                                 double carrier_hz, double sample_rate_hz) {
+  expects(sample_rate_hz > 0.0, "ssb_modulate: sample rate must be > 0");
+  expects(carrier_hz >= 0.0 && carrier_hz < sample_rate_hz / 2.0,
+          "ssb_modulate: carrier must be in [0, fs/2)");
+  const auto a = analytic_signal(baseband);
+  std::vector<double> out(a.size());
+  const double w = two_pi * carrier_hz / sample_rate_hz;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double phase = w * static_cast<double>(i);
+    out[i] = a[i].real() * std::cos(phase) - a[i].imag() * std::sin(phase);
+  }
+  return out;
+}
+
+}  // namespace ivc::dsp

@@ -1,0 +1,32 @@
+// Analytic signal, envelope extraction, and single-sideband helpers.
+//
+// The attack's spectrum splitter uses analytic (single-sideband)
+// modulation so each ultrasonic speaker carries exactly one copy of its
+// voice-band chunk; the defense uses envelopes to correlate low-frequency
+// traces against the squared voice envelope.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace ivc::dsp {
+
+// Analytic signal via the FFT method: X(f) doubled for positive
+// frequencies, zeroed for negative ones.
+std::vector<std::complex<double>> analytic_signal(std::span<const double> input);
+
+// Instantaneous amplitude |analytic(x)|.
+std::vector<double> envelope(std::span<const double> input);
+
+// Envelope additionally smoothed by a low-pass at `smooth_hz`
+// (2nd-order Butterworth, applied forward only).
+std::vector<double> smoothed_envelope(std::span<const double> input,
+                                      double sample_rate_hz, double smooth_hz);
+
+// Single-sideband (upper) modulation: shifts the spectrum of `baseband`
+// up by `carrier_hz`: Re{ analytic(baseband) · e^{j·2π·fc·t} }.
+std::vector<double> ssb_modulate(std::span<const double> baseband,
+                                 double carrier_hz, double sample_rate_hz);
+
+}  // namespace ivc::dsp

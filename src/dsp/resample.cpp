@@ -1,0 +1,110 @@
+#include "dsp/resample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "dsp/fir.h"
+#include "dsp/window.h"
+
+namespace ivc::dsp {
+namespace {
+
+struct ratio {
+  std::size_t up;    // L
+  std::size_t down;  // M
+};
+
+ratio rational_ratio(double rate_in_hz, double rate_out_hz) {
+  expects(rate_in_hz > 0.0 && rate_out_hz > 0.0,
+          "resample: rates must be > 0");
+  const auto in = static_cast<long long>(std::llround(rate_in_hz));
+  const auto out = static_cast<long long>(std::llround(rate_out_hz));
+  expects(std::abs(rate_in_hz - static_cast<double>(in)) < 1e-6 &&
+              std::abs(rate_out_hz - static_cast<double>(out)) < 1e-6,
+          "resample: rates must be integer hertz");
+  const long long g = std::gcd(in, out);
+  return ratio{static_cast<std::size_t>(out / g),
+               static_cast<std::size_t>(in / g)};
+}
+
+}  // namespace
+
+std::size_t resampled_length(std::size_t input_length, double rate_in_hz,
+                             double rate_out_hz) {
+  const ratio r = rational_ratio(rate_in_hz, rate_out_hz);
+  return (input_length * r.up + r.down - 1) / r.down;
+}
+
+std::vector<double> resample(std::span<const double> signal, double rate_in_hz,
+                             double rate_out_hz, double attenuation_db,
+                             double transition_fraction) {
+  expects(!signal.empty(), "resample: signal must be non-empty");
+  expects(transition_fraction > 0.0 && transition_fraction < 1.0,
+          "resample: transition fraction must be in (0, 1)");
+  const ratio r = rational_ratio(rate_in_hz, rate_out_hz);
+  if (r.up == 1 && r.down == 1) {
+    return {signal.begin(), signal.end()};
+  }
+
+  // The interpolation filter runs at rate_in · L and must cut at the lower
+  // of the two Nyquist frequencies.
+  const double internal_rate = rate_in_hz * static_cast<double>(r.up);
+  const double nyquist = 0.5 * std::min(rate_in_hz, rate_out_hz);
+  const double transition = transition_fraction * nyquist;
+  const double cutoff = nyquist - transition / 2.0;
+
+  const double beta = kaiser_beta_for_attenuation(attenuation_db);
+  std::size_t num_taps =
+      kaiser_length_for_design(attenuation_db, transition, internal_rate);
+  // Keep the polyphase branches balanced: round up to a multiple of L,
+  // plus one to stay odd-ish in the center (exactness is not required for
+  // the polyphase form).
+  if (num_taps % r.up != 0) {
+    num_taps += r.up - (num_taps % r.up);
+  }
+  ++num_taps;
+  if (num_taps % 2 == 0) {
+    ++num_taps;
+  }
+  std::vector<double> taps = design_fir_lowpass(
+      num_taps, cutoff, internal_rate, window_kind::kaiser, beta);
+  // Gain of L compensates the energy spread over inserted zeros.
+  for (double& t : taps) {
+    t *= static_cast<double>(r.up);
+  }
+
+  const std::size_t out_len =
+      (signal.size() * r.up + r.down - 1) / r.down;
+  std::vector<double> out(out_len, 0.0);
+
+  // Polyphase evaluation of y[m] = sum_k h[k] x_up[m·M - k] where x_up is
+  // the zero-stuffed input, with group-delay compensation so the output is
+  // time-aligned with the input.
+  const std::ptrdiff_t delay = static_cast<std::ptrdiff_t>(num_taps / 2);
+  const auto sig_len = static_cast<std::ptrdiff_t>(signal.size());
+  for (std::size_t m = 0; m < out_len; ++m) {
+    // Index into the upsampled stream, shifted by the filter delay.
+    const std::ptrdiff_t up_index =
+        static_cast<std::ptrdiff_t>(m * r.down) + delay;
+    double acc = 0.0;
+    // x_up[j] is nonzero only when j is a multiple of L: j = i·L.
+    // h index: k = up_index - j must be in [0, num_taps).
+    const std::ptrdiff_t i_max = up_index / static_cast<std::ptrdiff_t>(r.up);
+    for (std::ptrdiff_t i = i_max; i >= 0; --i) {
+      const std::ptrdiff_t k = up_index - i * static_cast<std::ptrdiff_t>(r.up);
+      if (k >= static_cast<std::ptrdiff_t>(num_taps)) {
+        break;
+      }
+      if (i < sig_len) {
+        acc += taps[static_cast<std::size_t>(k)] *
+               signal[static_cast<std::size_t>(i)];
+      }
+    }
+    out[m] = acc;
+  }
+  return out;
+}
+
+}  // namespace ivc::dsp

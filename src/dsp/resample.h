@@ -1,0 +1,32 @@
+// Sample-rate conversion.
+//
+// Rational-ratio polyphase resampling (upsample by L, Kaiser-windowed
+// anti-alias/anti-image low-pass, downsample by M). This is the classic
+// upfirdn structure; the polyphase decomposition avoids computing the
+// zero-stuffed samples, so cost is O(signal · taps / L).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ivc::dsp {
+
+// Converts `signal` from `rate_in_hz` to `rate_out_hz`. Rates must be
+// positive and have a rational ratio when expressed in integer hertz
+// (every rate in this library is an integer number of hertz).
+// `attenuation_db` sets the Kaiser design target for the interpolation
+// filter. `transition_fraction` is the filter's transition bandwidth as a
+// fraction of the lower Nyquist frequency: callers whose content is
+// already band-limited well below Nyquist (e.g. a 4 kHz voice baseband
+// being raised to 192 kHz) can pass a large fraction and get a much
+// shorter filter.
+std::vector<double> resample(std::span<const double> signal, double rate_in_hz,
+                             double rate_out_hz, double attenuation_db = 80.0,
+                             double transition_fraction = 0.16);
+
+// Expected output length of resample() for a given input length.
+std::size_t resampled_length(std::size_t input_length, double rate_in_hz,
+                             double rate_out_hz);
+
+}  // namespace ivc::dsp

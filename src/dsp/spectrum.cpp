@@ -1,0 +1,120 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/fft.h"
+
+namespace ivc::dsp {
+
+double psd_estimate::band_power(double low_hz, double high_hz) const {
+  expects(high_hz >= low_hz, "band_power: high must be >= low");
+  double total = 0.0;
+  for (std::size_t i = 0; i < frequency_hz.size(); ++i) {
+    if (frequency_hz[i] >= low_hz && frequency_hz[i] <= high_hz) {
+      total += power[i] * bin_width_hz;
+    }
+  }
+  return total;
+}
+
+double psd_estimate::peak_frequency(double low_hz, double high_hz) const {
+  double best_f = low_hz;
+  double best_p = -1.0;
+  for (std::size_t i = 0; i < frequency_hz.size(); ++i) {
+    if (frequency_hz[i] >= low_hz && frequency_hz[i] <= high_hz &&
+        power[i] > best_p) {
+      best_p = power[i];
+      best_f = frequency_hz[i];
+    }
+  }
+  return best_f;
+}
+
+psd_estimate welch_psd(std::span<const double> signal, double sample_rate_hz,
+                       const welch_config& config) {
+  expects(!signal.empty(), "welch_psd: signal must be non-empty");
+  expects(sample_rate_hz > 0.0, "welch_psd: sample rate must be > 0");
+  expects(config.segment_size >= 16 && is_pow2(config.segment_size),
+          "welch_psd: segment_size must be a power of two >= 16");
+  expects(config.overlap < config.segment_size,
+          "welch_psd: overlap must be < segment_size");
+
+  // Shrink the segment if the signal is shorter than one segment.
+  std::size_t seg = config.segment_size;
+  while (seg > 16 && seg > signal.size()) {
+    seg /= 2;
+  }
+  const std::size_t hop =
+      (seg == config.segment_size) ? (config.segment_size - config.overlap)
+                                   : seg / 2;
+
+  const std::vector<double> win = make_periodic_window(config.window, seg);
+  double win_power = 0.0;
+  for (const double w : win) {
+    win_power += w * w;
+  }
+
+  const std::size_t num_bins = seg / 2 + 1;
+  std::vector<double> acc(num_bins, 0.0);
+  std::size_t count = 0;
+  std::vector<cplx> frame(seg);
+
+  for (std::size_t start = 0; start + seg <= signal.size(); start += hop) {
+    for (std::size_t i = 0; i < seg; ++i) {
+      frame[i] = cplx{signal[start + i] * win[i], 0.0};
+    }
+    fft_pow2_inplace(frame, /*inverse=*/false);
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      // One-sided density: double all interior bins.
+      const double scale = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
+      acc[k] += scale * std::norm(frame[k]) / (win_power * sample_rate_hz);
+    }
+    ++count;
+  }
+  if (count == 0) {
+    // Signal shorter than the smallest segment: single zero-padded frame.
+    std::vector<cplx> padded(seg, cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+      padded[i] = cplx{signal[i] * win[i], 0.0};
+    }
+    fft_pow2_inplace(padded, /*inverse=*/false);
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      const double scale = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
+      acc[k] += scale * std::norm(padded[k]) / (win_power * sample_rate_hz);
+    }
+    count = 1;
+  }
+
+  psd_estimate est;
+  est.bin_width_hz = sample_rate_hz / static_cast<double>(seg);
+  est.frequency_hz.resize(num_bins);
+  est.power.resize(num_bins);
+  for (std::size_t k = 0; k < num_bins; ++k) {
+    est.frequency_hz[k] = static_cast<double>(k) * est.bin_width_hz;
+    est.power[k] = acc[k] / static_cast<double>(count);
+  }
+  return est;
+}
+
+double band_power(std::span<const double> signal, double sample_rate_hz,
+                  double low_hz, double high_hz) {
+  return welch_psd(signal, sample_rate_hz).band_power(low_hz, high_hz);
+}
+
+double band_power_ratio_db(std::span<const double> signal,
+                           double sample_rate_hz, double num_low_hz,
+                           double num_high_hz, double den_low_hz,
+                           double den_high_hz) {
+  const psd_estimate psd = welch_psd(signal, sample_rate_hz);
+  const double num = psd.band_power(num_low_hz, num_high_hz);
+  const double den = psd.band_power(den_low_hz, den_high_hz);
+  if (den <= db_epsilon) {
+    return num <= db_epsilon ? 0.0 : 200.0;
+  }
+  return power_to_db(num / den);
+}
+
+}  // namespace ivc::dsp

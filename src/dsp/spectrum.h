@@ -1,0 +1,47 @@
+// Power spectral density estimation and band-power measurement.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace ivc::dsp {
+
+// One-sided Welch PSD estimate.
+struct psd_estimate {
+  std::vector<double> frequency_hz;   // bin centers, 0 .. fs/2
+  std::vector<double> power;          // power per bin (linear units^2/Hz)
+  double bin_width_hz = 0.0;
+
+  // Total power integrated over [low_hz, high_hz] (linear units^2).
+  double band_power(double low_hz, double high_hz) const;
+  // Frequency of the largest bin within [low_hz, high_hz].
+  double peak_frequency(double low_hz, double high_hz) const;
+};
+
+struct welch_config {
+  std::size_t segment_size = 4096;
+  std::size_t overlap = 2048;
+  window_kind window = window_kind::hann;
+};
+
+// Welch's averaged-periodogram PSD. Density normalization: integrating
+// `power` over frequency reproduces the mean-square of the signal
+// (Parseval), which the unit tests verify.
+psd_estimate welch_psd(std::span<const double> signal, double sample_rate_hz,
+                       const welch_config& config = {});
+
+// Mean-square power of the signal restricted to [low_hz, high_hz],
+// measured via Welch PSD integration.
+double band_power(std::span<const double> signal, double sample_rate_hz,
+                  double low_hz, double high_hz);
+
+// Ratio of band powers, in dB: 10·log10(P[num] / P[den]).
+double band_power_ratio_db(std::span<const double> signal,
+                           double sample_rate_hz, double num_low_hz,
+                           double num_high_hz, double den_low_hz,
+                           double den_high_hz);
+
+}  // namespace ivc::dsp

@@ -1,0 +1,92 @@
+#include "dsp/stft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/fft.h"
+
+namespace ivc::dsp {
+
+double stft_result::frame_time_s(std::size_t i) const {
+  return static_cast<double>(i * hop_size) / sample_rate_hz;
+}
+
+double stft_result::bin_hz(std::size_t k) const {
+  return static_cast<double>(k) * sample_rate_hz /
+         static_cast<double>(frame_size);
+}
+
+stft_result stft(std::span<const double> signal, double sample_rate_hz,
+                 const stft_config& config) {
+  expects(!signal.empty(), "stft: signal must be non-empty");
+  expects(config.frame_size >= 8 && is_pow2(config.frame_size),
+          "stft: frame_size must be a power of two >= 8");
+  expects(config.hop_size > 0 && config.hop_size <= config.frame_size,
+          "stft: hop_size must be in [1, frame_size]");
+  expects(sample_rate_hz > 0.0, "stft: sample rate must be > 0");
+
+  const std::vector<double> win =
+      make_periodic_window(config.window, config.frame_size);
+  const std::ptrdiff_t half =
+      config.center ? static_cast<std::ptrdiff_t>(config.frame_size / 2) : 0;
+  const auto len = static_cast<std::ptrdiff_t>(signal.size());
+
+  stft_result result;
+  result.frame_size = config.frame_size;
+  result.hop_size = config.hop_size;
+  result.sample_rate_hz = sample_rate_hz;
+
+  std::vector<cplx> frame(config.frame_size);
+  for (std::ptrdiff_t start = -half; start + half < len;
+       start += static_cast<std::ptrdiff_t>(config.hop_size)) {
+    for (std::size_t i = 0; i < config.frame_size; ++i) {
+      const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(i);
+      const double s =
+          (idx >= 0 && idx < len) ? signal[static_cast<std::size_t>(idx)] : 0.0;
+      frame[i] = cplx{s * win[i], 0.0};
+    }
+    fft_pow2_inplace(frame, /*inverse=*/false);
+    std::vector<cplx> bins(config.frame_size / 2 + 1);
+    for (std::size_t k = 0; k < bins.size(); ++k) {
+      bins[k] = frame[k];
+    }
+    result.frames.push_back(std::move(bins));
+  }
+  ensures(!result.frames.empty(), "stft: produced no frames");
+  return result;
+}
+
+std::vector<std::vector<double>> power_spectrogram(
+    std::span<const double> signal, double sample_rate_hz,
+    const stft_config& config) {
+  const stft_result s = stft(signal, sample_rate_hz, config);
+  std::vector<std::vector<double>> power(s.num_frames());
+  for (std::size_t i = 0; i < s.num_frames(); ++i) {
+    power[i].resize(s.num_bins());
+    for (std::size_t k = 0; k < s.num_bins(); ++k) {
+      power[i][k] = std::norm(s.frames[i][k]);
+    }
+  }
+  return power;
+}
+
+std::vector<double> band_power_trace(std::span<const double> signal,
+                                     double sample_rate_hz, double low_hz,
+                                     double high_hz,
+                                     const stft_config& config) {
+  expects(low_hz >= 0.0 && high_hz > low_hz,
+          "band_power_trace: need 0 <= low < high");
+  const stft_result s = stft(signal, sample_rate_hz, config);
+  std::vector<double> trace(s.num_frames(), 0.0);
+  for (std::size_t i = 0; i < s.num_frames(); ++i) {
+    for (std::size_t k = 0; k < s.num_bins(); ++k) {
+      const double f = s.bin_hz(k);
+      if (f >= low_hz && f <= high_hz) {
+        trace[i] += std::norm(s.frames[i][k]);
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace ivc::dsp

@@ -1,0 +1,52 @@
+// Short-time Fourier transform and spectrogram utilities.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace ivc::dsp {
+
+struct stft_config {
+  std::size_t frame_size = 512;
+  std::size_t hop_size = 256;
+  window_kind window = window_kind::hann;
+  bool center = true;  // zero-pad so frame centers align with sample times
+};
+
+// One STFT: frames x (frame_size/2 + 1) complex bins.
+struct stft_result {
+  std::vector<std::vector<std::complex<double>>> frames;
+  std::size_t frame_size = 0;
+  std::size_t hop_size = 0;
+  double sample_rate_hz = 0.0;
+
+  std::size_t num_frames() const { return frames.size(); }
+  std::size_t num_bins() const {
+    return frames.empty() ? 0 : frames.front().size();
+  }
+  // Center time of frame `i` in seconds.
+  double frame_time_s(std::size_t i) const;
+  // Frequency of bin `k` in Hz.
+  double bin_hz(std::size_t k) const;
+};
+
+stft_result stft(std::span<const double> signal, double sample_rate_hz,
+                 const stft_config& config = {});
+
+// Power spectrogram, |X|^2 per frame/bin.
+std::vector<std::vector<double>> power_spectrogram(
+    std::span<const double> signal, double sample_rate_hz,
+    const stft_config& config = {});
+
+// Per-frame power summed over bins whose frequency lies in [low_hz, high_hz].
+// This is the defense's sub-band power trace primitive.
+std::vector<double> band_power_trace(std::span<const double> signal,
+                                     double sample_rate_hz, double low_hz,
+                                     double high_hz,
+                                     const stft_config& config = {});
+
+}  // namespace ivc::dsp

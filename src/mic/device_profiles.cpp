@@ -1,0 +1,83 @@
+#include "mic/device_profiles.h"
+
+namespace ivc::mic {
+
+device_profile phone_profile() {
+  device_profile p;
+  p.name = "phone";
+  p.notes = "bare MEMS port, handheld voice assistant";
+  p.mic.full_scale_spl_db = 120.0;
+  p.mic.self_noise_spl_db = 29.0;
+  p.mic.nonlinearity = poly_nonlinearity{1.0, 9e-3, 9e-4, 0.0};
+  p.mic.analog_lpf_hz = 7'200.0;
+  p.mic.analog_lpf_order = 6;
+  p.mic.capture_rate_hz = 16'000.0;
+  p.mic.enclosure = enclosure_model{};  // no grille
+  agc_config agc;
+  agc.target_rms_dbfs = -20.0;
+  agc.max_gain_db = 24.0;
+  p.mic.agc = agc;
+  return p;
+}
+
+device_profile smart_speaker_profile() {
+  device_profile p;
+  p.name = "smart-speaker";
+  p.notes = "far-field device behind a plastic grille (Echo-like)";
+  p.mic.full_scale_spl_db = 118.0;
+  p.mic.self_noise_spl_db = 27.0;
+  p.mic.nonlinearity = poly_nonlinearity{1.0, 8e-3, 8e-4, 0.0};
+  p.mic.analog_lpf_hz = 7'200.0;
+  p.mic.analog_lpf_order = 6;
+  p.mic.capture_rate_hz = 16'000.0;
+  // The grille costs the attack ~4 dB of ultrasound twice-over (the
+  // demodulated product scales with the square of the received level),
+  // reproducing the consistently shorter Echo attack ranges.
+  p.mic.enclosure = enclosure_model{18'000.0, 28'000.0, 4.0};
+  agc_config agc;
+  agc.target_rms_dbfs = -16.0;
+  agc.max_gain_db = 30.0;
+  p.mic.agc = agc;
+  return p;
+}
+
+device_profile laptop_profile() {
+  device_profile p;
+  p.name = "laptop";
+  p.notes = "recessed port behind a narrow duct";
+  p.mic.full_scale_spl_db = 118.0;
+  p.mic.self_noise_spl_db = 31.0;
+  p.mic.nonlinearity = poly_nonlinearity{1.0, 7e-3, 7e-4, 0.0};
+  p.mic.analog_lpf_hz = 7'200.0;
+  p.mic.analog_lpf_order = 6;
+  p.mic.capture_rate_hz = 16'000.0;
+  p.mic.enclosure = enclosure_model{18'000.0, 30'000.0, 4.0};
+  agc_config agc;
+  agc.target_rms_dbfs = -20.0;
+  agc.max_gain_db = 20.0;
+  p.mic.agc = agc;
+  return p;
+}
+
+device_profile hardened_profile() {
+  device_profile p;
+  p.name = "hardened";
+  p.notes = "ultrasound-rejecting port filter + low-distortion capsule";
+  p.mic.full_scale_spl_db = 122.0;
+  p.mic.self_noise_spl_db = 30.0;
+  p.mic.nonlinearity = poly_nonlinearity{1.0, 1e-3, 1e-4, 0.0};
+  p.mic.analog_lpf_hz = 7'200.0;
+  p.mic.analog_lpf_order = 6;
+  p.mic.capture_rate_hz = 16'000.0;
+  // Acoustic low-pass at the port: heavy ultrasound rejection.
+  p.mic.enclosure = enclosure_model{16'000.0, 24'000.0, 30.0};
+  p.mic.agc = std::nullopt;
+  return p;
+}
+
+std::vector<device_profile> all_profiles() {
+  return {phone_profile(), smart_speaker_profile(), laptop_profile(),
+          hardened_profile()};
+}
+
+}  // namespace ivc::mic

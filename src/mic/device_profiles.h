@@ -1,0 +1,41 @@
+// Victim-device profiles.
+//
+// Each profile is a microphone parameterization matching a device class
+// from the paper's evaluation. Absolute coefficients are calibrated so
+// the simulated attack ranges land in the regimes the papers report
+// (phone ≈ 3 m with a single speaker at ~19 W; smart speaker shorter
+// because of its grille; the array pushing past 7 m).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mic/frontend.h"
+
+namespace ivc::mic {
+
+struct device_profile {
+  std::string name;
+  mic_params mic;
+  // Short description for experiment printouts.
+  std::string notes;
+};
+
+// Android-phone class device: bare MEMS port, moderate non-linearity.
+device_profile phone_profile();
+
+// Smart-speaker class device (Echo-like): plastic grille attenuates
+// ultrasound, far-field mic with AGC.
+device_profile smart_speaker_profile();
+
+// Laptop class: recessed mic, slightly lower non-linearity.
+device_profile laptop_profile();
+
+// A hardened device with an ultrasound-rejecting acoustic filter and a
+// low-distortion mic — the paper's hardware-defense strawman.
+device_profile hardened_profile();
+
+// All profiles, for the device-matrix experiment (T-R2).
+std::vector<device_profile> all_profiles();
+
+}  // namespace ivc::mic

@@ -1,0 +1,149 @@
+#include "mic/frontend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/biquad.h"
+#include "dsp/fir.h"
+#include "dsp/resample.h"
+
+namespace ivc::mic {
+
+double enclosure_model::loss_db_at(double freq_hz) const {
+  if (ultra_loss_db <= 0.0 || freq_hz <= knee_hz) {
+    return 0.0;
+  }
+  if (freq_hz >= full_hz) {
+    return ultra_loss_db;
+  }
+  const double t = (freq_hz - knee_hz) / (full_hz - knee_hz);
+  return ultra_loss_db * t;
+}
+
+microphone::microphone(mic_params params) : params_{params} {
+  expects(params_.capture_rate_hz > 0.0,
+          "microphone: capture rate must be > 0");
+  expects(params_.analog_lpf_hz > 0.0 &&
+              params_.analog_lpf_hz <= params_.capture_rate_hz / 2.0,
+          "microphone: anti-alias cutoff must be in (0, capture_rate/2]");
+  expects(params_.bit_depth >= 8 && params_.bit_depth <= 32,
+          "microphone: bit depth must be in [8, 32]");
+  expects(params_.full_scale_spl_db > params_.self_noise_spl_db,
+          "microphone: full scale must exceed the noise floor");
+}
+
+audio::buffer microphone::record(const audio::buffer& pressure_pa,
+                                 ivc::rng& rng) const {
+  audio::validate(pressure_pa, "microphone::record");
+  const double analog_rate = pressure_pa.sample_rate_hz;
+  expects(analog_rate >= params_.capture_rate_hz,
+          "microphone::record: analog rate must be >= capture rate");
+
+  // 1. Enclosure insertion loss.
+  std::vector<double> x = params_.enclosure.ultra_loss_db > 0.0
+      ? ivc::dsp::apply_magnitude_response(
+            pressure_pa.samples, analog_rate,
+            [this](double f) {
+              return ivc::db_to_amplitude(-params_.enclosure.loss_db_at(f));
+            })
+      : pressure_pa.samples;
+
+  // 2. Transducer non-linearity on pressure normalized to 1 Pa.
+  //    (The samples are already in pascal, so the normalization is 1:1.)
+  x = apply_nonlinearity(x, params_.nonlinearity);
+
+  // 3. Self-noise (equivalent input noise), flat spectrum. The rating is
+  //    an *in-band* figure, so the per-sample density is scaled up by the
+  //    analog-bandwidth/passband ratio: after the anti-alias filter the
+  //    surviving noise power matches the rating regardless of the rate
+  //    the caller synthesized the field at.
+  const double density_scale =
+      std::sqrt(analog_rate / (2.0 * params_.analog_lpf_hz));
+  const double noise_rms =
+      ivc::spl_db_to_pa(params_.self_noise_spl_db) * density_scale;
+  for (double& v : x) {
+    v += rng.normal(0.0, noise_rms);
+  }
+
+  // 4. Analog anti-alias low-pass at the analog rate.
+  const ivc::dsp::iir_cascade lpf = ivc::dsp::butterworth_lowpass(
+      params_.analog_lpf_order, params_.analog_lpf_hz, analog_rate);
+  x = lpf.process(x);
+
+  // 5. ADC decimation to the capture rate.
+  if (analog_rate != params_.capture_rate_hz) {
+    x = ivc::dsp::resample(x, analog_rate, params_.capture_rate_hz);
+  }
+
+  // 6. DC blocker.
+  if (params_.highpass_hz > 0.0) {
+    const ivc::dsp::iir_cascade hp = ivc::dsp::butterworth_highpass(
+        params_.highpass_order, params_.highpass_hz, params_.capture_rate_hz);
+    x = hp.process(x);
+  }
+
+  // 7. Scale so the acoustic overload point hits digital full scale, then
+  //    clip (ADC saturation).
+  const double full_scale_pa =
+      ivc::spl_db_to_pa(params_.full_scale_spl_db) * std::numbers::sqrt2;
+  for (double& v : x) {
+    v = std::clamp(v / full_scale_pa, -1.0, 1.0);
+  }
+
+  // 8. Quantisation.
+  const double levels = std::pow(2.0, static_cast<double>(params_.bit_depth) - 1.0);
+  for (double& v : x) {
+    v = std::round(v * levels) / levels;
+  }
+
+  audio::buffer captured{std::move(x), params_.capture_rate_hz};
+
+  // 9. AGC.
+  if (params_.agc.has_value()) {
+    captured = apply_agc(captured, *params_.agc);
+  }
+  return captured;
+}
+
+audio::buffer apply_agc(const audio::buffer& captured, const agc_config& agc) {
+  audio::validate(captured, "apply_agc");
+  expects(agc.frame_s > 0.0, "apply_agc: frame must be > 0");
+  expects(agc.smoothing > 0.0 && agc.smoothing <= 1.0,
+          "apply_agc: smoothing must be in (0, 1]");
+
+  const auto frame = static_cast<std::size_t>(
+      std::max(1.0, agc.frame_s * captured.sample_rate_hz));
+  const double target = ivc::db_to_amplitude(agc.target_rms_dbfs);
+  const double max_gain = ivc::db_to_amplitude(agc.max_gain_db);
+  const double gate = ivc::db_to_amplitude(agc.gate_dbfs);
+
+  audio::buffer out = captured;
+  double gain = 1.0;
+  double level = 0.0;  // slow-decay estimate of the programme level
+  for (std::size_t start = 0; start < out.size(); start += frame) {
+    const std::size_t end = std::min(out.size(), start + frame);
+    double acc = 0.0;
+    for (std::size_t i = start; i < end; ++i) {
+      acc += captured.samples[i] * captured.samples[i];
+    }
+    const double rms = std::sqrt(acc / static_cast<double>(end - start));
+    if (rms > level) {
+      level = rms;  // fast attack
+    } else {
+      level *= agc.level_decay;  // slow release
+    }
+    if (level > gate) {
+      const double desired = std::clamp(target / level, 1.0 / max_gain, max_gain);
+      gain += agc.smoothing * (desired - gain);
+    }
+    for (std::size_t i = start; i < end; ++i) {
+      out.samples[i] = std::clamp(captured.samples[i] * gain, -1.0, 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace ivc::mic

@@ -1,0 +1,95 @@
+// Microphone front-end: incident pressure → digital capture.
+//
+// Chain (Fig. 2 of the short paper; standard MEMS capture path):
+//
+//   pressure (Pa, high-rate)
+//     → enclosure insertion loss (grille/case, hurts ultrasound most)
+//     → transducer non-linearity (the demodulating a2·x² term)
+//     → microphone self-noise (equivalent input noise)
+//     → anti-alias low-pass (Butterworth, analog)
+//     → decimation to the device capture rate (ADC sampling)
+//     → DC-blocking high-pass
+//     → full-scale scaling (acoustic overload point → digital 1.0) + clip
+//     → quantisation (ADC bit depth)
+//     → optional AGC
+//
+// Order matters and is load-bearing: the non-linearity acts on the
+// *wideband* analog signal before any filtering, so ultrasound that the
+// ADC could never represent still folds into the audible band.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "audio/buffer.h"
+#include "common/rng.h"
+#include "mic/nonlinearity.h"
+
+namespace ivc::mic {
+
+struct enclosure_model {
+  // Extra insertion loss ramping from 0 dB at `knee_hz` to `ultra_loss_db`
+  // at `full_hz` and above. Models a plastic grille / mesh that passes
+  // voice but attenuates ultrasound (the Amazon-Echo effect).
+  double knee_hz = 18'000.0;
+  double full_hz = 30'000.0;
+  double ultra_loss_db = 0.0;
+
+  double loss_db_at(double freq_hz) const;
+};
+
+struct agc_config {
+  double target_rms_dbfs = -18.0;
+  double max_gain_db = 30.0;
+  double frame_s = 0.05;
+  // Gain smoothing factor per frame (1.0 = jump immediately).
+  double smoothing = 0.2;
+  // The gain tracks a slow-decay peak level estimate, not the raw frame
+  // RMS: otherwise the AGC would boost inter-word silence to speech
+  // level, which no deployed AGC does. Per-frame decay of that estimate.
+  double level_decay = 0.96;
+  // Frames below this level never raise the gain (noise gate), dBFS.
+  double gate_dbfs = -55.0;
+};
+
+struct mic_params {
+  // Digital full scale corresponds to this SPL (acoustic overload point).
+  double full_scale_spl_db = 120.0;
+  // Equivalent input noise (flat), dB SPL.
+  double self_noise_spl_db = 28.0;
+  // Transducer non-linearity on pressure normalized to 1 Pa.
+  poly_nonlinearity nonlinearity{1.0, 8e-3, 8e-4, 0.0};
+  // Analog anti-alias filter.
+  double analog_lpf_hz = 7'200.0;
+  std::size_t analog_lpf_order = 6;
+  // DC blocker.
+  double highpass_hz = 15.0;
+  std::size_t highpass_order = 1;
+  // Capture format.
+  double capture_rate_hz = 16'000.0;
+  unsigned bit_depth = 16;
+  // Enclosure between the sound field and the mic port.
+  enclosure_model enclosure;
+  // Automatic gain control (most voice assistants run one).
+  std::optional<agc_config> agc;
+};
+
+class microphone {
+ public:
+  explicit microphone(mic_params params);
+
+  // Records incident pressure (Pa at the device port, any analog rate
+  // >= 2× the content of interest) into the device's capture format.
+  // `rng` drives the self-noise realization.
+  audio::buffer record(const audio::buffer& pressure_pa, ivc::rng& rng) const;
+
+  const mic_params& params() const { return params_; }
+
+ private:
+  mic_params params_;
+};
+
+// Applies the AGC model to a captured buffer (exposed for tests).
+audio::buffer apply_agc(const audio::buffer& captured, const agc_config& agc);
+
+}  // namespace ivc::mic

@@ -1,0 +1,23 @@
+#include "mic/nonlinearity.h"
+
+#include <cmath>
+
+namespace ivc::mic {
+
+std::vector<double> apply_nonlinearity(std::span<const double> x,
+                                       const poly_nonlinearity& nl) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = nl(x[i]);
+  }
+  return out;
+}
+
+double predicted_imd2_amplitude(const poly_nonlinearity& nl,
+                                double amplitude) {
+  // (A cos w1 + A cos w2)² contributes a2·A²·cos(w2−w1): coefficient
+  // a2·A² on the difference tone.
+  return std::abs(nl.a2) * amplitude * amplitude;
+}
+
+}  // namespace ivc::mic

@@ -1,0 +1,39 @@
+// Memoryless polynomial non-linearity.
+//
+// The transducer+amplifier of a MEMS/ECM microphone is modelled as
+//   y = a1·x + a2·x² + a3·x³ + a4·x⁴
+// with x the incident pressure normalized to 1 Pa (94 dB SPL RMS == 1.0).
+// The a2 term performs the AM self-demodulation the attack relies on; a3
+// contributes odd-order intermodulation. This is Eq. (1) of the
+// non-linearity literature, truncated at fourth order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ivc::mic {
+
+struct poly_nonlinearity {
+  double a1 = 1.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  double a4 = 0.0;
+
+  double operator()(double x) const {
+    // Horner evaluation of a1·x + a2·x² + a3·x³ + a4·x⁴.
+    return x * (a1 + x * (a2 + x * (a3 + x * a4)));
+  }
+
+  bool is_linear() const { return a2 == 0.0 && a3 == 0.0 && a4 == 0.0; }
+};
+
+// Applies the polynomial to every sample.
+std::vector<double> apply_nonlinearity(std::span<const double> x,
+                                       const poly_nonlinearity& nl);
+
+// Predicted amplitude of the f2−f1 intermodulation product for a two-tone
+// input x = A·cos(2πf1 t) + A·cos(2πf2 t): |a2|·A². Used by tests and the
+// F-R1 diagnostic to check the simulated microphone against theory.
+double predicted_imd2_amplitude(const poly_nonlinearity& nl, double amplitude);
+
+}  // namespace ivc::mic

@@ -1,0 +1,114 @@
+#include "sim/corpus.h"
+
+#include "common/error.h"
+
+namespace ivc::sim {
+namespace {
+
+// Train/test assignment by a hash of the sample index. A plain even/odd
+// round-robin interacts with the nested condition loops (e.g. every
+// even sample is the near-distance attack), leaking a systematic
+// condition difference between the halves; hashing de-correlates the
+// split from the generation order.
+bool goes_to_train(std::size_t index) {
+  std::uint64_t z = static_cast<std::uint64_t>(index) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return (z & 1ULL) == 0ULL;
+}
+
+void add_sample(defense_corpus& corpus, const audio::buffer& capture,
+                int label, std::size_t index) {
+  const defense::trace_features f = defense::extract_trace_features(capture);
+  if (goes_to_train(index)) {
+    corpus.train.add(f, label);
+  } else {
+    corpus.test.add(f, label);
+    corpus.test_captures.push_back(capture);
+    corpus.test_labels.push_back(label);
+  }
+}
+
+}  // namespace
+
+defense_corpus build_defense_corpus(const corpus_config& config,
+                                    std::uint64_t seed) {
+  expects(!config.genuine_distances_m.empty() &&
+              !config.attack_distances_m.empty(),
+          "build_defense_corpus: need both genuine and attack conditions");
+
+  defense_corpus corpus;
+  ivc::rng rng{seed};
+  std::size_t index = 0;
+
+  // ---- Genuine side: benign phrases AND genuinely spoken commands (the
+  // defense must pass real commands, not just chatter).
+  std::vector<const synth::command*> genuine_phrases;
+  for (const synth::command& c : synth::benign_bank()) {
+    genuine_phrases.push_back(&c);
+  }
+  for (const synth::command& c : synth::command_bank()) {
+    genuine_phrases.push_back(&c);
+  }
+  if (config.max_genuine_phrases > 0 &&
+      genuine_phrases.size() > config.max_genuine_phrases) {
+    genuine_phrases.resize(config.max_genuine_phrases);
+  }
+
+  const synth::voice_params voices[] = {synth::male_voice(),
+                                        synth::female_voice()};
+  for (const synth::command* phrase : genuine_phrases) {
+    for (const synth::voice_params& base_voice : voices) {
+      for (const double dist : config.genuine_distances_m) {
+        for (const double level : config.genuine_levels_db) {
+          for (std::size_t k = 0; k < config.genuine_per_combo; ++k) {
+            ivc::rng trial_rng = rng.split(index * 7919 + 17);
+            genuine_scenario g;
+            g.phrase_id = phrase->id;
+            g.voice = synth::perturbed_voice(base_voice, trial_rng);
+            g.distance_m = dist;
+            g.level_db_spl_at_1m = level;
+            g.environment = config.environment;
+            g.device = config.device;
+            add_sample(corpus, run_genuine_capture(g, trial_rng), 0, index);
+            ++index;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Attack side: every (participating) bank command through the rig.
+  std::size_t session_seed = 0;
+  std::size_t attack_commands = synth::command_bank().size();
+  if (config.max_attack_commands > 0) {
+    attack_commands = std::min(attack_commands, config.max_attack_commands);
+  }
+  for (std::size_t c = 0; c < attack_commands; ++c) {
+    const synth::command& cmd = synth::command_bank()[c];
+    attack_scenario sc;
+    sc.rig = config.rig;
+    sc.device = config.device;
+    sc.environment = config.environment;
+    sc.command_id = cmd.id;
+    attack_session session{sc, seed ^ (0xa77ac0 + session_seed++)};
+    for (const double dist : config.attack_distances_m) {
+      session.set_distance(dist);
+      for (const double power : config.attack_powers_w) {
+        session.set_total_power(power);
+        for (std::size_t t = 0; t < config.attack_trials_per_combo; ++t) {
+          const trial_result r = session.run_trial(index);
+          add_sample(corpus, r.capture, 1, index);
+          ++index;
+        }
+      }
+    }
+  }
+
+  ensures(corpus.train.size() >= 8 && corpus.test.size() >= 8,
+          "build_defense_corpus: corpus unexpectedly small");
+  return corpus;
+}
+
+}  // namespace ivc::sim

@@ -1,0 +1,46 @@
+// Defense corpus builder: labelled genuine + injected captures rendered
+// through identical channel/microphone physics, with feature extraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "defense/features.h"
+#include "sim/scenario.h"
+
+namespace ivc::sim {
+
+struct corpus_config {
+  // Genuine side: phrases × voices × distances at these talker levels.
+  std::vector<double> genuine_distances_m = {0.5, 1.5, 3.0};
+  std::vector<double> genuine_levels_db = {60.0, 68.0};
+  std::size_t genuine_per_combo = 1;
+  // Attack side: rig distances and powers.
+  std::vector<double> attack_distances_m = {1.0, 2.0, 4.0};
+  std::vector<double> attack_powers_w = {12.0, 25.0};
+  std::size_t attack_trials_per_combo = 2;
+  attack::rig_config rig;  // rig template (power overridden per combo)
+  mic::device_profile device = mic::phone_profile();
+  environment_config environment;
+  // Cap how many bank entries participate (0 = all). Small corpora for
+  // tests and interactive demos; the benches use the full banks.
+  std::size_t max_attack_commands = 0;
+  std::size_t max_genuine_phrases = 0;
+};
+
+struct defense_corpus {
+  defense::labelled_features train;
+  defense::labelled_features test;
+  // Raw captures of the test half, aligned with `test` rows (for
+  // detectors that want audio rather than features).
+  std::vector<audio::buffer> test_captures;
+  std::vector<int> test_labels;
+};
+
+// Builds the corpus. Samples are split train/test by an index hash so
+// both halves cover every condition without generation-order artifacts.
+// Deterministic in `seed`.
+defense_corpus build_defense_corpus(const corpus_config& config,
+                                    std::uint64_t seed);
+
+}  // namespace ivc::sim

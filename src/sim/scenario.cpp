@@ -1,0 +1,149 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/metrics.h"
+#include "audio/ops.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/resample.h"
+#include "mic/frontend.h"
+
+namespace ivc::sim {
+namespace {
+
+// The victim sits on the rig's boresight (+y) at the scenario distance.
+acoustics::vec3 device_position(double distance_m) {
+  return acoustics::vec3{0.0, distance_m, 0.0};
+}
+
+}  // namespace
+
+asr::recognizer make_enrolled_recognizer(double capture_rate_hz,
+                                         std::uint64_t seed) {
+  asr::recognizer rec;
+  ivc::rng rng{seed};
+  for (const synth::command& cmd : synth::command_bank()) {
+    rec.add_template(cmd.id, synth::render_command(cmd, synth::male_voice(),
+                                                   rng, capture_rate_hz));
+    rec.add_template(cmd.id, synth::render_command(cmd, synth::female_voice(),
+                                                   rng, capture_rate_hz));
+  }
+  return rec;
+}
+
+attack_session::attack_session(attack_scenario scenario, std::uint64_t seed)
+    : scenario_{std::move(scenario)}, base_rng_{seed} {
+  expects(scenario_.distance_m > 0.0,
+          "attack_session: distance must be > 0");
+
+  // Render the command the attacker will inject (the attacker's "TTS").
+  ivc::rng synth_rng = base_rng_.split(1);
+  const synth::command& cmd = synth::command_by_id(scenario_.command_id);
+  const double capture_rate = scenario_.device.mic.capture_rate_hz;
+  clean_ = synth::render_command(cmd, scenario_.voice, synth_rng, capture_rate);
+
+  // Build the rig from the command at the device capture rate.
+  rig_ = attack::build_attack_rig(clean_, scenario_.rig);
+
+  recognizer_ = make_enrolled_recognizer(capture_rate, seed ^ 0x5eedu);
+}
+
+void attack_session::set_distance(double distance_m) {
+  expects(distance_m > 0.0, "attack_session: distance must be > 0");
+  if (distance_m != scenario_.distance_m) {
+    field_valid_ = false;
+  }
+  scenario_.distance_m = distance_m;
+}
+
+void attack_session::set_total_power(double watts) {
+  expects(watts > 0.0, "attack_session: power must be > 0");
+  if (watts != rig_.array.total_power_w()) {
+    field_valid_ = false;
+  }
+  rig_.array.scale_power(watts / rig_.array.total_power_w());
+}
+
+void attack_session::set_device(const mic::device_profile& device) {
+  expects(device.mic.capture_rate_hz ==
+              scenario_.device.mic.capture_rate_hz,
+          "attack_session: devices must share a capture rate");
+  scenario_.device = device;
+}
+
+audio::buffer attack_session::render_field(std::uint64_t trial_index) const {
+  // Stream ids spaced far apart so ambient and microphone noise never
+  // collide, whatever trial indices callers use.
+  ivc::rng noise_rng = base_rng_.split(0x10'0000ULL + trial_index);
+  if (!field_valid_) {
+    cached_field_ = rig_.array.render_at(
+        device_position(scenario_.distance_m), scenario_.environment.air);
+    field_valid_ = true;
+  }
+  audio::buffer field = cached_field_;
+
+  // Ambient noise at the device port.
+  const audio::buffer ambient = acoustics::ambient_noise(
+      field.duration_s(), field.sample_rate_hz,
+      scenario_.environment.ambient_spl_db, scenario_.environment.ambient_kind,
+      noise_rng);
+  const std::size_t n = std::min(field.size(), ambient.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    field.samples[i] += ambient.samples[i];
+  }
+  return field;
+}
+
+trial_result attack_session::run_trial(std::uint64_t trial_index) const {
+  trial_result result;
+  const audio::buffer field = render_field(trial_index);
+
+  ivc::rng mic_rng = base_rng_.split(0x20'0000ULL + trial_index);
+  const mic::microphone microphone{scenario_.device.mic};
+  result.capture = microphone.record(field, mic_rng);
+
+  result.recognition = recognizer_.recognize(result.capture);
+  result.success = result.recognition.accepted() &&
+                   *result.recognition.command_id == scenario_.command_id;
+  result.intelligibility = asr::intelligibility_score(clean_, result.capture);
+  return result;
+}
+
+audio::buffer run_genuine_capture(const genuine_scenario& scenario,
+                                  ivc::rng& rng) {
+  expects(scenario.distance_m > 0.0,
+          "run_genuine_capture: distance must be > 0");
+
+  const synth::command& cmd = synth::command_by_id(scenario.phrase_id);
+  // Analog path at 48 kHz: genuine speech carries no ultrasound.
+  constexpr double analog_rate = 48'000.0;
+  audio::buffer voice =
+      synth::render_command(cmd, scenario.voice, rng, analog_rate);
+
+  // Scale to the talker's level at 1 m, in pascal.
+  const double target_rms = ivc::spl_db_to_pa(scenario.level_db_spl_at_1m);
+  voice = audio::normalize_rms(voice, target_rms);
+
+  // Propagate to the device.
+  acoustics::propagation_config prop;
+  prop.distance_m = scenario.distance_m;
+  prop.air = scenario.environment.air;
+  audio::buffer field{
+      acoustics::propagate(voice.samples, analog_rate, prop), analog_rate};
+
+  // Ambient noise.
+  const audio::buffer ambient = acoustics::ambient_noise(
+      field.duration_s(), analog_rate, scenario.environment.ambient_spl_db,
+      scenario.environment.ambient_kind, rng);
+  const std::size_t n = std::min(field.size(), ambient.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    field.samples[i] += ambient.samples[i];
+  }
+
+  const mic::microphone microphone{scenario.device.mic};
+  return microphone.record(field, rng);
+}
+
+}  // namespace ivc::sim

@@ -1,0 +1,104 @@
+// End-to-end scenarios: attack rig → air → victim device → recognizer,
+// and genuine-talker → air → device. Every experiment in bench/ runs
+// through these two paths, so attacked and genuine captures share the
+// same channel and microphone physics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "acoustics/noise.h"
+#include "asr/intelligibility.h"
+#include "asr/recognizer.h"
+#include "attack/planner.h"
+#include "audio/buffer.h"
+#include "common/rng.h"
+#include "mic/device_profiles.h"
+#include "synth/commands.h"
+
+namespace ivc::sim {
+
+struct environment_config {
+  acoustics::air_model air;
+  double ambient_spl_db = 38.0;
+  acoustics::noise_kind ambient_kind = acoustics::noise_kind::speech_shaped;
+};
+
+struct attack_scenario {
+  attack::rig_config rig;
+  mic::device_profile device = mic::phone_profile();
+  double distance_m = 2.0;
+  environment_config environment;
+  std::string command_id = "take_picture";
+  synth::voice_params voice = synth::male_voice();
+};
+
+struct trial_result {
+  bool success = false;  // recognizer accepted the intended command
+  asr::recognition_result recognition;
+  // Band-envelope correlation between the capture and the clean command.
+  double intelligibility = 0.0;
+  audio::buffer capture;  // what the device recorded (device rate)
+};
+
+// One prepared attack: the rig is built once (conditioning + splitting are
+// the expensive steps); distance/power/device mutate cheaply between
+// trials, which is what the sweep drivers rely on.
+class attack_session {
+ public:
+  // `seed` fixes the command rendition and all per-trial noise streams.
+  attack_session(attack_scenario scenario, std::uint64_t seed);
+
+  void set_distance(double distance_m);
+  void set_total_power(double watts);
+  void set_device(const mic::device_profile& device);
+
+  double distance_m() const { return scenario_.distance_m; }
+  double total_power_w() const { return rig_.array.total_power_w(); }
+  std::size_t num_speakers() const { return rig_.num_speakers; }
+  const attack::attack_rig& rig() const { return rig_; }
+  const audio::buffer& clean_command() const { return clean_; }
+  const asr::recognizer& command_recognizer() const { return recognizer_; }
+
+  // Runs one attack trial; `trial_index` decorrelates noise streams and
+  // makes each trial individually reproducible.
+  trial_result run_trial(std::uint64_t trial_index) const;
+
+  // The pressure field at the device port for a trial (exposed so the
+  // defense corpus builder can record through custom microphones).
+  audio::buffer render_field(std::uint64_t trial_index) const;
+
+ private:
+  attack_scenario scenario_;
+  attack::attack_rig rig_;
+  audio::buffer clean_;  // clean command at device capture rate
+  asr::recognizer recognizer_;
+  ivc::rng base_rng_;
+  // The rig's field at the device is deterministic given distance/power,
+  // so it is rendered once and reused across trials (only ambient and
+  // microphone noise vary per trial).
+  mutable audio::buffer cached_field_;
+  mutable bool field_valid_ = false;
+};
+
+// Builds a recognizer enrolled with clean templates of every command in
+// the bank, rendered with the standard voices.
+asr::recognizer make_enrolled_recognizer(double capture_rate_hz,
+                                         std::uint64_t seed);
+
+struct genuine_scenario {
+  std::string phrase_id = "hello_how";  // from command or benign bank
+  synth::voice_params voice = synth::male_voice();
+  double distance_m = 1.5;
+  double level_db_spl_at_1m = 65.0;
+  environment_config environment;
+  mic::device_profile device = mic::phone_profile();
+};
+
+// Renders a genuine utterance through air + microphone; returns the
+// device capture. The analog path runs at 48 kHz (speech carries no
+// ultrasound, so the wideband rate is unnecessary).
+audio::buffer run_genuine_capture(const genuine_scenario& scenario,
+                                  ivc::rng& rng);
+
+}  // namespace ivc::sim

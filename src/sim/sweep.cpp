@@ -1,0 +1,97 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ivc::sim {
+
+void wilson_interval(std::size_t successes, std::size_t trials, double& low,
+                     double& high) {
+  expects(trials > 0, "wilson_interval: trials must be > 0");
+  constexpr double z = 1.96;  // 95%
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double denom = 1.0 + z * z / n;
+  const double center = (p + z * z / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / denom;
+  low = std::max(0.0, center - half);
+  high = std::min(1.0, center + half);
+}
+
+success_estimate estimate_success(const attack_session& session,
+                                  std::size_t trials,
+                                  std::uint64_t trial_base) {
+  expects(trials > 0, "estimate_success: trials must be > 0");
+  success_estimate est;
+  est.trials = trials;
+  double intel = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const trial_result r = session.run_trial(trial_base + t);
+    if (r.success) {
+      ++est.successes;
+    }
+    intel += r.intelligibility;
+  }
+  est.rate = static_cast<double>(est.successes) / static_cast<double>(trials);
+  est.mean_intelligibility = intel / static_cast<double>(trials);
+  wilson_interval(est.successes, est.trials, est.ci_low, est.ci_high);
+  return est;
+}
+
+std::vector<sweep_point> sweep_distance(attack_session& session,
+                                        const std::vector<double>& distances_m,
+                                        std::size_t trials_per_point) {
+  expects(!distances_m.empty(), "sweep_distance: need at least one distance");
+  std::vector<sweep_point> points;
+  std::uint64_t base = 0;
+  for (const double d : distances_m) {
+    session.set_distance(d);
+    points.push_back(
+        sweep_point{d, estimate_success(session, trials_per_point, base)});
+    base += trials_per_point;
+  }
+  return points;
+}
+
+std::vector<sweep_point> sweep_power(attack_session& session,
+                                     const std::vector<double>& powers_w,
+                                     std::size_t trials_per_point) {
+  expects(!powers_w.empty(), "sweep_power: need at least one power");
+  std::vector<sweep_point> points;
+  std::uint64_t base = 0;
+  for (const double p : powers_w) {
+    session.set_total_power(p);
+    points.push_back(
+        sweep_point{p, estimate_success(session, trials_per_point, base)});
+    base += trials_per_point;
+  }
+  return points;
+}
+
+double max_attack_range_m(attack_session& session, double min_rate,
+                          std::size_t trials_per_point, double start_m,
+                          double max_m, double step_m) {
+  expects(min_rate > 0.0 && min_rate <= 1.0,
+          "max_attack_range_m: min_rate must be in (0, 1]");
+  expects(step_m > 0.0 && start_m > 0.0 && max_m > start_m,
+          "max_attack_range_m: need 0 < start < max with step > 0");
+  double best = 0.0;
+  std::uint64_t base = 0;
+  for (double d = start_m; d <= max_m + 1e-9; d += step_m) {
+    session.set_distance(d);
+    const success_estimate est =
+        estimate_success(session, trials_per_point, base);
+    base += trials_per_point;
+    if (est.rate >= min_rate) {
+      best = d;
+    } else if (best > 0.0) {
+      break;  // past the edge of the working range
+    }
+  }
+  return best;
+}
+
+}  // namespace ivc::sim

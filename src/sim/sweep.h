@@ -1,0 +1,53 @@
+// Sweep drivers: success-rate estimation over distance, power, and
+// carrier frequency — the machinery behind every attack-performance table
+// and figure.
+#pragma once
+
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace ivc::sim {
+
+struct success_estimate {
+  double rate = 0.0;           // fraction of successful trials
+  double mean_intelligibility = 0.0;
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  // Wilson 95% confidence interval on the rate.
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+};
+
+// Runs `trials` attack trials at the session's current settings.
+success_estimate estimate_success(const attack_session& session,
+                                  std::size_t trials,
+                                  std::uint64_t trial_base = 0);
+
+struct sweep_point {
+  double x = 0.0;  // the swept quantity (m, W, Hz, ...)
+  success_estimate result;
+};
+
+// Success vs. distance at fixed power.
+std::vector<sweep_point> sweep_distance(attack_session& session,
+                                        const std::vector<double>& distances_m,
+                                        std::size_t trials_per_point);
+
+// Success vs. total power at fixed distance.
+std::vector<sweep_point> sweep_power(attack_session& session,
+                                     const std::vector<double>& powers_w,
+                                     std::size_t trials_per_point);
+
+// Maximum distance (m) with success rate >= `min_rate`, scanned outward
+// in `step_m` increments from `start_m` up to `max_m`. Returns 0 when
+// even the first point fails — matches how the papers report "range".
+double max_attack_range_m(attack_session& session, double min_rate,
+                          std::size_t trials_per_point, double start_m,
+                          double max_m, double step_m);
+
+// Wilson score interval for a binomial proportion.
+void wilson_interval(std::size_t successes, std::size_t trials,
+                     double& low, double& high);
+
+}  // namespace ivc::sim

@@ -1,0 +1,57 @@
+#include "synth/commands.h"
+
+#include "common/error.h"
+#include "synth/lexicon.h"
+
+namespace ivc::synth {
+
+const std::vector<command>& command_bank() {
+  static const std::vector<command> bank = {
+      {"take_picture", "ok google take a picture", true},
+      {"airplane_mode", "ok google turn on airplane mode", true},
+      {"add_milk", "alexa add milk to my shopping list", true},
+      {"mute_yourself", "alexa mute yourself", true},
+      {"open_door", "alexa open the front door", true},
+      {"turn_off_lights", "alexa turn off the lights", true},
+      {"send_message", "ok google send a message", true},
+      {"call_nine_one_one", "hey siri call nine one one", true},
+  };
+  return bank;
+}
+
+const std::vector<command>& benign_bank() {
+  static const std::vector<command> bank = {
+      {"hello_how", "hello how are you", false},
+      {"weather_today", "what is the weather today", false},
+      {"play_music", "please play music", false},
+      {"good_morning", "good morning thanks", false},
+      {"what_time", "what time is it", false},
+      {"volume_up", "turn the volume up please", false},
+      {"read_email", "please read my email", false},
+      {"open_window", "open the window please", false},
+      {"stop_music", "stop the music", false},
+  };
+  return bank;
+}
+
+const command& command_by_id(const std::string& id) {
+  for (const command& c : command_bank()) {
+    if (c.id == id) {
+      return c;
+    }
+  }
+  for (const command& c : benign_bank()) {
+    if (c.id == id) {
+      return c;
+    }
+  }
+  throw std::invalid_argument{"command_by_id: unknown id '" + id + "'"};
+}
+
+audio::buffer render_command(const command& cmd, const voice_params& voice,
+                             ivc::rng& rng, double sample_rate_hz) {
+  const std::vector<std::string> symbols = pronounce_phrase(cmd.text);
+  return synthesize(symbols, voice, rng, sample_rate_hz);
+}
+
+}  // namespace ivc::synth

@@ -1,0 +1,34 @@
+// The command bank: the voice commands the papers inject, plus genuine
+// phrases for the defense's negative corpus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audio/buffer.h"
+#include "common/rng.h"
+#include "synth/synthesizer.h"
+
+namespace ivc::synth {
+
+struct command {
+  std::string id;      // short stable identifier, e.g. "take_picture"
+  std::string text;    // the spoken phrase
+  bool is_attack = true;  // attack payload vs. benign conversational phrase
+};
+
+// Commands used across the evaluation (wake word + action), mirroring the
+// papers' targets.
+const std::vector<command>& command_bank();
+
+// Benign conversational phrases for genuine-speech corpora.
+const std::vector<command>& benign_bank();
+
+// Lookup by id; throws for unknown ids.
+const command& command_by_id(const std::string& id);
+
+// Renders a command with the given voice at `sample_rate_hz`.
+audio::buffer render_command(const command& cmd, const voice_params& voice,
+                             ivc::rng& rng, double sample_rate_hz = 16'000.0);
+
+}  // namespace ivc::synth

@@ -1,0 +1,65 @@
+#include "synth/formant.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace ivc::synth {
+
+formant_frame lerp(const formant_frame& a, const formant_frame& b, double t) {
+  formant_frame out;
+  for (std::size_t i = 0; i < num_formants; ++i) {
+    out.freq_hz[i] = a.freq_hz[i] + (b.freq_hz[i] - a.freq_hz[i]) * t;
+    out.bandwidth_hz[i] =
+        a.bandwidth_hz[i] + (b.bandwidth_hz[i] - a.bandwidth_hz[i]) * t;
+  }
+  return out;
+}
+
+double resonator::process(double x, double freq_hz, double bandwidth_hz,
+                          double sample_rate_hz) {
+  const double t = 1.0 / sample_rate_hz;
+  const double r = std::exp(-pi * bandwidth_hz * t);
+  const double theta = two_pi * freq_hz * t;
+  const double b1 = 2.0 * r * std::cos(theta);
+  const double b2 = -r * r;
+  // Unity gain at DC-independent resonance: a = 1 - b1 - b2 keeps overall
+  // level stable as formants move (Klatt's normalization).
+  const double a = 1.0 - b1 - b2;
+  const double y = a * x + b1 * y1_ + b2 * y2_;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void resonator::reset() {
+  y1_ = 0.0;
+  y2_ = 0.0;
+}
+
+std::vector<double> apply_formant_cascade(std::span<const double> excitation,
+                                          std::span<const formant_frame> frames,
+                                          double sample_rate_hz) {
+  expects(excitation.size() == frames.size(),
+          "apply_formant_cascade: excitation/frames size mismatch");
+  expects(sample_rate_hz > 0.0,
+          "apply_formant_cascade: sample rate must be > 0");
+
+  std::array<resonator, num_formants> bank;
+  std::vector<double> out(excitation.size());
+  for (std::size_t n = 0; n < excitation.size(); ++n) {
+    double v = excitation[n];
+    const formant_frame& f = frames[n];
+    for (std::size_t k = 0; k < num_formants; ++k) {
+      // Skip resonators parked above Nyquist (narrow-band capture rates).
+      if (f.freq_hz[k] < 0.49 * sample_rate_hz) {
+        v = bank[k].process(v, f.freq_hz[k], f.bandwidth_hz[k], sample_rate_hz);
+      }
+    }
+    out[n] = v;
+  }
+  return out;
+}
+
+}  // namespace ivc::synth

@@ -1,0 +1,45 @@
+// Time-varying formant resonators (digital resonator bank).
+//
+// Each resonator is the classic two-pole section used in Klatt-style
+// synthesizers: poles at radius exp(−πBT), angle 2πFT, gain-normalized
+// to unity at the resonance. Coefficients are recomputed per sample from
+// interpolated formant tracks, which is what produces smooth
+// coarticulation between phonemes.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace ivc::synth {
+
+inline constexpr std::size_t num_formants = 4;
+
+struct formant_frame {
+  std::array<double, num_formants> freq_hz{500.0, 1500.0, 2500.0, 3500.0};
+  std::array<double, num_formants> bandwidth_hz{60.0, 90.0, 120.0, 180.0};
+};
+
+// Linear interpolation between two formant frames, t in [0, 1].
+formant_frame lerp(const formant_frame& a, const formant_frame& b, double t);
+
+// One time-varying digital resonator.
+class resonator {
+ public:
+  // Processes one sample with the given instantaneous frequency/bandwidth.
+  double process(double x, double freq_hz, double bandwidth_hz,
+                 double sample_rate_hz);
+  void reset();
+
+ private:
+  double y1_ = 0.0;
+  double y2_ = 0.0;
+};
+
+// Runs excitation through a cascade of num_formants resonators whose
+// targets follow `frames` (one frame per sample).
+std::vector<double> apply_formant_cascade(std::span<const double> excitation,
+                                          std::span<const formant_frame> frames,
+                                          double sample_rate_hz);
+
+}  // namespace ivc::synth

@@ -1,0 +1,136 @@
+#include "synth/lexicon.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ivc::synth {
+namespace {
+
+// ARPAbet-ish pronunciations over the library's phoneme inventory.
+// Voiced "th" (DH) is approximated by D, which the inventory lacks and
+// the recognizer never needs to distinguish.
+const std::map<std::string, std::vector<std::string>>& lexicon() {
+  static const std::map<std::string, std::vector<std::string>> table = {
+      {"a", {"AH"}},
+      {"add", {"AE", "D"}},
+      {"airplane", {"EH", "R", "P", "L", "EY", "N"}},
+      {"alexa", {"AH", "L", "EH", "K", "S", "AH"}},
+      {"are", {"AA", "R"}},
+      {"buy", {"B", "AY"}},
+      {"call", {"K", "AO", "L"}},
+      {"camera", {"K", "AE", "M", "ER", "AH"}},
+      {"door", {"D", "AO", "R"}},
+      {"down", {"D", "AW", "N"}},
+      {"email", {"IY", "M", "EY", "L"}},
+      {"front", {"F", "R", "AH", "N", "T"}},
+      {"good", {"G", "UH", "D"}},
+      {"google", {"G", "UW", "G", "AH", "L"}},
+      {"hello", {"HH", "EH", "L", "OW"}},
+      {"hey", {"HH", "EY"}},
+      {"how", {"HH", "AW"}},
+      {"is", {"IH", "Z"}},
+      {"it", {"IH", "T"}},
+      {"lights", {"L", "AY", "T", "S"}},
+      {"list", {"L", "IH", "S", "T"}},
+      {"message", {"M", "EH", "S", "IH", "JH"}},
+      {"milk", {"M", "IH", "L", "K"}},
+      {"mode", {"M", "OW", "D"}},
+      {"morning", {"M", "AO", "R", "N", "IH", "NG"}},
+      {"music", {"M", "Y", "UW", "Z", "IH", "K"}},
+      {"mute", {"M", "Y", "UW", "T"}},
+      {"my", {"M", "AY"}},
+      {"nine", {"N", "AY", "N"}},
+      {"off", {"AO", "F"}},
+      {"ok", {"OW", "K", "EY"}},
+      {"on", {"AA", "N"}},
+      {"one", {"W", "AH", "N"}},
+      {"open", {"OW", "P", "AH", "N"}},
+      {"order", {"AO", "R", "D", "ER"}},
+      {"picture", {"P", "IH", "K", "CH", "ER"}},
+      {"play", {"P", "L", "EY"}},
+      {"please", {"P", "L", "IY", "Z"}},
+      {"read", {"R", "IY", "D"}},
+      {"send", {"S", "EH", "N", "D"}},
+      {"shopping", {"SH", "AA", "P", "IH", "NG"}},
+      {"siri", {"S", "IH", "R", "IY"}},
+      {"stop", {"S", "T", "AA", "P"}},
+      {"take", {"T", "EY", "K"}},
+      {"thanks", {"TH", "AE", "NG", "K", "S"}},
+      {"the", {"D", "AH"}},
+      {"time", {"T", "AY", "M"}},
+      {"to", {"T", "UW"}},
+      {"today", {"T", "UH", "D", "EY"}},
+      {"turn", {"T", "ER", "N"}},
+      {"unlock", {"AH", "N", "L", "AA", "K"}},
+      {"up", {"AH", "P"}},
+      {"volume", {"V", "AA", "L", "Y", "UW", "M"}},
+      {"weather", {"W", "EH", "TH", "ER"}},
+      {"what", {"W", "AH", "T"}},
+      {"window", {"W", "IH", "N", "D", "OW"}},
+      {"you", {"Y", "UW"}},
+      {"yourself", {"Y", "ER", "S", "EH", "L", "F"}},
+  };
+  return table;
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::vector<std::string> split_words(const std::string& phrase) {
+  std::istringstream in{phrase};
+  std::vector<std::string> words;
+  std::string w;
+  while (in >> w) {
+    words.push_back(to_lower(w));
+  }
+  return words;
+}
+
+}  // namespace
+
+std::vector<std::string> pronounce(const std::string& word) {
+  const auto it = lexicon().find(to_lower(word));
+  expects(it != lexicon().end(), "pronounce: out-of-vocabulary word '" + word + "'");
+  return it->second;
+}
+
+std::vector<std::string> pronounce_phrase(const std::string& phrase) {
+  const std::vector<std::string> words = split_words(phrase);
+  expects(!words.empty(), "pronounce_phrase: empty phrase");
+  std::vector<std::string> symbols;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::vector<std::string> ph = pronounce(words[i]);
+    symbols.insert(symbols.end(), ph.begin(), ph.end());
+    if (i + 1 < words.size()) {
+      symbols.emplace_back("PAU");
+    }
+  }
+  return symbols;
+}
+
+bool phrase_in_vocabulary(const std::string& phrase) {
+  for (const std::string& w : split_words(phrase)) {
+    if (lexicon().find(w) == lexicon().end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> vocabulary() {
+  std::vector<std::string> words;
+  words.reserve(lexicon().size());
+  for (const auto& [word, _] : lexicon()) {
+    words.push_back(word);
+  }
+  return words;
+}
+
+}  // namespace ivc::synth

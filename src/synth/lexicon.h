@@ -1,0 +1,24 @@
+// Word → phoneme pronunciations for the command vocabulary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ivc::synth {
+
+// Phoneme symbols for a (lower-case) word; throws std::invalid_argument
+// for out-of-vocabulary words. The vocabulary covers every word used by
+// the command bank plus common filler words for genuine-speech corpora.
+std::vector<std::string> pronounce(const std::string& word);
+
+// Phoneme symbols for a whole phrase (space-separated words), with a
+// short inter-word pause between words.
+std::vector<std::string> pronounce_phrase(const std::string& phrase);
+
+// True when every word of the phrase is in the lexicon.
+bool phrase_in_vocabulary(const std::string& phrase);
+
+// All known words (sorted), for documentation and tests.
+std::vector<std::string> vocabulary();
+
+}  // namespace ivc::synth

@@ -1,0 +1,164 @@
+#include "synth/phoneme.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace ivc::synth {
+namespace {
+
+formant_frame vowel_frame(double f1, double f2, double f3) {
+  formant_frame f;
+  f.freq_hz = {f1, f2, f3, 3'500.0};
+  f.bandwidth_hz = {70.0, 100.0, 140.0, 220.0};
+  return f;
+}
+
+phoneme make_vowel(std::string symbol, double f1, double f2, double f3,
+                   double dur_ms = 120.0) {
+  phoneme p;
+  p.symbol = std::move(symbol);
+  p.kind = phoneme_kind::vowel;
+  p.voiced = true;
+  p.formants = vowel_frame(f1, f2, f3);
+  p.duration_ms = dur_ms;
+  p.amplitude = 1.0;
+  return p;
+}
+
+phoneme make_nasal(std::string symbol, double f1, double f2, double f3) {
+  phoneme p;
+  p.symbol = std::move(symbol);
+  p.kind = phoneme_kind::nasal;
+  p.voiced = true;
+  p.formants = vowel_frame(f1, f2, f3);
+  p.formants.bandwidth_hz = {120.0, 180.0, 240.0, 300.0};  // damped murmur
+  p.duration_ms = 70.0;
+  p.amplitude = 0.5;
+  return p;
+}
+
+phoneme make_glide(std::string symbol, double f1, double f2, double f3) {
+  phoneme p;
+  p.symbol = std::move(symbol);
+  p.kind = phoneme_kind::glide;
+  p.voiced = true;
+  p.formants = vowel_frame(f1, f2, f3);
+  p.duration_ms = 70.0;
+  p.amplitude = 0.7;
+  return p;
+}
+
+phoneme make_fricative(std::string symbol, bool voiced, double center_hz,
+                       double bw_hz, double amp, double dur_ms = 100.0) {
+  phoneme p;
+  p.symbol = std::move(symbol);
+  p.kind = phoneme_kind::fricative;
+  p.voiced = voiced;
+  p.noise_center_hz = center_hz;
+  p.noise_bandwidth_hz = bw_hz;
+  // Voiced fricatives keep a weak formant structure under the noise.
+  p.formants = vowel_frame(400.0, 1'600.0, 2'500.0);
+  p.duration_ms = dur_ms;
+  p.amplitude = amp;
+  return p;
+}
+
+phoneme make_plosive(std::string symbol, bool voiced, double burst_hz,
+                     double bw_hz) {
+  phoneme p;
+  p.symbol = std::move(symbol);
+  p.kind = phoneme_kind::plosive;
+  p.voiced = voiced;
+  p.noise_center_hz = burst_hz;
+  p.noise_bandwidth_hz = bw_hz;
+  p.formants = vowel_frame(300.0, 1'500.0, 2'500.0);
+  p.duration_ms = 60.0;  // closure + burst
+  p.amplitude = 0.9;
+  return p;
+}
+
+std::vector<phoneme> build_inventory() {
+  std::vector<phoneme> inv;
+  // Vowels (Peterson–Barney male averages, Hz).
+  inv.push_back(make_vowel("IY", 270, 2290, 3010));
+  inv.push_back(make_vowel("IH", 390, 1990, 2550, 90.0));
+  inv.push_back(make_vowel("EH", 530, 1840, 2480, 100.0));
+  inv.push_back(make_vowel("AE", 660, 1720, 2410, 140.0));
+  inv.push_back(make_vowel("AH", 520, 1190, 2390, 90.0));
+  inv.push_back(make_vowel("AA", 730, 1090, 2440, 140.0));
+  inv.push_back(make_vowel("AO", 570, 840, 2410, 130.0));
+  inv.push_back(make_vowel("UH", 440, 1020, 2240, 90.0));
+  inv.push_back(make_vowel("UW", 300, 870, 2240, 120.0));
+  inv.push_back(make_vowel("ER", 490, 1350, 1690, 110.0));
+  inv.push_back(make_vowel("OW", 570, 900, 2400, 130.0));
+  inv.push_back(make_vowel("EY", 480, 2000, 2600, 130.0));
+  inv.push_back(make_vowel("AY", 660, 1400, 2500, 150.0));
+  inv.push_back(make_vowel("AW", 680, 1100, 2500, 150.0));
+  // Nasals.
+  inv.push_back(make_nasal("M", 280, 900, 2200));
+  inv.push_back(make_nasal("N", 280, 1700, 2600));
+  inv.push_back(make_nasal("NG", 280, 2300, 2750));
+  // Glides and liquids.
+  inv.push_back(make_glide("W", 300, 610, 2200));
+  inv.push_back(make_glide("Y", 280, 2250, 3000));
+  inv.push_back(make_glide("L", 360, 1300, 2700));
+  inv.push_back(make_glide("R", 310, 1060, 1380));
+  // Fricatives.
+  inv.push_back(make_fricative("S", false, 6'300.0, 2'800.0, 0.5));
+  inv.push_back(make_fricative("SH", false, 3'600.0, 2'200.0, 0.55));
+  inv.push_back(make_fricative("F", false, 4'500.0, 3'600.0, 0.25, 90.0));
+  inv.push_back(make_fricative("TH", false, 5'400.0, 3'200.0, 0.2, 90.0));
+  inv.push_back(make_fricative("Z", true, 6'300.0, 2'800.0, 0.4));
+  inv.push_back(make_fricative("V", true, 4'200.0, 3'200.0, 0.3, 80.0));
+  inv.push_back(make_fricative("HH", false, 1'200.0, 1'800.0, 0.2, 70.0));
+  // Plosives.
+  inv.push_back(make_plosive("P", false, 900.0, 1'600.0));
+  inv.push_back(make_plosive("B", true, 700.0, 1'400.0));
+  inv.push_back(make_plosive("T", false, 4'200.0, 2'600.0));
+  inv.push_back(make_plosive("D", true, 3'600.0, 2'400.0));
+  inv.push_back(make_plosive("K", false, 2'200.0, 1'600.0));
+  inv.push_back(make_plosive("G", true, 1'900.0, 1'400.0));
+  // Affricates approximated as plosive with fricative-like longer burst.
+  phoneme ch = make_plosive("CH", false, 3'400.0, 2'400.0);
+  ch.duration_ms = 110.0;
+  inv.push_back(ch);
+  phoneme jh = make_plosive("JH", true, 3'000.0, 2'200.0);
+  jh.duration_ms = 110.0;
+  inv.push_back(jh);
+  // Pauses.
+  phoneme sil;
+  sil.symbol = "SIL";
+  sil.kind = phoneme_kind::silence;
+  sil.duration_ms = 120.0;
+  sil.amplitude = 0.0;
+  inv.push_back(sil);
+  phoneme pau = sil;
+  pau.symbol = "PAU";
+  pau.duration_ms = 60.0;
+  inv.push_back(pau);
+  return inv;
+}
+
+}  // namespace
+
+const std::vector<phoneme>& phoneme_inventory() {
+  static const std::vector<phoneme> inventory = build_inventory();
+  return inventory;
+}
+
+const phoneme& phoneme_by_symbol(const std::string& symbol) {
+  static const std::unordered_map<std::string, std::size_t> index = [] {
+    std::unordered_map<std::string, std::size_t> m;
+    const auto& inv = phoneme_inventory();
+    for (std::size_t i = 0; i < inv.size(); ++i) {
+      m.emplace(inv[i].symbol, i);
+    }
+    return m;
+  }();
+  const auto it = index.find(symbol);
+  expects(it != index.end(), "phoneme_by_symbol: unknown symbol " + symbol);
+  return phoneme_inventory()[it->second];
+}
+
+}  // namespace ivc::synth

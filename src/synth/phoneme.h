@@ -1,0 +1,42 @@
+// Phoneme inventory (ARPAbet-style symbols) for the command synthesizer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/formant.h"
+
+namespace ivc::synth {
+
+enum class phoneme_kind {
+  vowel,
+  nasal,
+  glide,     // approximants and liquids
+  fricative,
+  plosive,
+  silence,
+};
+
+struct phoneme {
+  std::string symbol;
+  phoneme_kind kind = phoneme_kind::silence;
+  bool voiced = false;
+  // Formant targets (meaningful for vowel/nasal/glide and voiced context).
+  formant_frame formants;
+  // Frication noise band (meaningful for fricative/plosive bursts).
+  double noise_center_hz = 0.0;
+  double noise_bandwidth_hz = 0.0;
+  // Nominal duration, ms (speed scaling applies on top).
+  double duration_ms = 80.0;
+  // Relative amplitude, linear.
+  double amplitude = 1.0;
+};
+
+// Looks up a phoneme by its symbol; throws std::invalid_argument for
+// unknown symbols.
+const phoneme& phoneme_by_symbol(const std::string& symbol);
+
+// The full inventory (for tests and documentation dumps).
+const std::vector<phoneme>& phoneme_inventory();
+
+}  // namespace ivc::synth

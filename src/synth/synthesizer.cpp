@@ -1,0 +1,238 @@
+#include "synth/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/generate.h"
+#include "audio/ops.h"
+#include "common/error.h"
+#include "dsp/biquad.h"
+
+namespace ivc::synth {
+namespace {
+
+struct segment {
+  const phoneme* ph = nullptr;
+  std::size_t start = 0;   // sample index
+  std::size_t length = 0;  // samples
+};
+
+// Builds the per-sample formant track with linear transitions across
+// segment boundaries (coarticulation ~30 ms or half a segment).
+std::vector<formant_frame> formant_track(const std::vector<segment>& segments,
+                                         std::size_t total,
+                                         double sample_rate_hz) {
+  std::vector<formant_frame> track(total);
+  const auto transition =
+      static_cast<std::size_t>(0.030 * sample_rate_hz);  // 30 ms
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const segment& seg = segments[s];
+    const formant_frame& target = seg.ph->formants;
+    const formant_frame& prev_target =
+        s > 0 ? segments[s - 1].ph->formants : target;
+    const std::size_t ramp =
+        std::min({transition, seg.length / 2, seg.length});
+    for (std::size_t i = 0; i < seg.length; ++i) {
+      const std::size_t n = seg.start + i;
+      if (n >= total) {
+        break;
+      }
+      if (i < ramp && ramp > 0) {
+        const double t = static_cast<double>(i) / static_cast<double>(ramp);
+        track[n] = lerp(prev_target, target, t);
+      } else {
+        track[n] = target;
+      }
+    }
+  }
+  return track;
+}
+
+// Amplitude envelope per segment. Natural phoneme onsets take 20-50 ms;
+// the 25 ms ramps both avoid clicks and keep the envelope's modulation
+// sidebands of the glottal fundamental above the sub-50 Hz band (real
+// speech has no energy there — a property the defense relies on).
+std::vector<double> amplitude_track(const std::vector<segment>& segments,
+                                    std::size_t total,
+                                    double sample_rate_hz) {
+  std::vector<double> amp(total, 0.0);
+  const auto ramp = static_cast<std::size_t>(0.025 * sample_rate_hz);
+  for (const segment& seg : segments) {
+    for (std::size_t i = 0; i < seg.length; ++i) {
+      const std::size_t n = seg.start + i;
+      if (n >= total) {
+        break;
+      }
+      double g = seg.ph->amplitude;
+      if (i < ramp && ramp > 0) {
+        g *= static_cast<double>(i) / static_cast<double>(ramp);
+      }
+      const std::size_t remaining = seg.length - 1 - i;
+      if (remaining < ramp && ramp > 0) {
+        g *= static_cast<double>(remaining) / static_cast<double>(ramp);
+      }
+      amp[n] = g;
+    }
+  }
+  return amp;
+}
+
+}  // namespace
+
+voice_params male_voice() {
+  voice_params v;
+  v.pitch_hz = 115.0;
+  return v;
+}
+
+voice_params female_voice() {
+  voice_params v;
+  v.pitch_hz = 210.0;
+  v.pitch_drop = 0.22;
+  return v;
+}
+
+voice_params perturbed_voice(const voice_params& base, ivc::rng& rng) {
+  voice_params v = base;
+  v.pitch_hz *= 1.0 + rng.uniform(-0.15, 0.15);
+  v.speed *= 1.0 + rng.uniform(-0.12, 0.12);
+  v.breathiness = std::max(0.0, base.breathiness + rng.uniform(-0.02, 0.04));
+  return v;
+}
+
+audio::buffer synthesize(const std::vector<std::string>& phoneme_symbols,
+                         const voice_params& voice, ivc::rng& rng,
+                         double sample_rate_hz) {
+  expects(!phoneme_symbols.empty(), "synthesize: need at least one phoneme");
+  expects(sample_rate_hz >= 8'000.0,
+          "synthesize: sample rate must be >= 8 kHz");
+  expects(voice.speed > 0.1 && voice.speed < 4.0,
+          "synthesize: speed out of range");
+
+  // Lay out segments.
+  std::vector<segment> segments;
+  std::size_t cursor = 0;
+  for (const std::string& sym : phoneme_symbols) {
+    const phoneme& ph = phoneme_by_symbol(sym);
+    const double dur_s = ph.duration_ms / 1'000.0 / voice.speed;
+    segment seg;
+    seg.ph = &ph;
+    seg.start = cursor;
+    seg.length = std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::llround(dur_s * sample_rate_hz)));
+    cursor += seg.length;
+    segments.push_back(seg);
+  }
+  const std::size_t total = cursor;
+
+  // Pitch contour with declination, voiced gating per segment.
+  std::vector<double> f0(total, 0.0);
+  const double f0_start = voice.pitch_hz;
+  const double f0_end = voice.pitch_hz * (1.0 - voice.pitch_drop);
+  for (const segment& seg : segments) {
+    if (!seg.ph->voiced) {
+      continue;
+    }
+    for (std::size_t i = 0; i < seg.length && seg.start + i < total; ++i) {
+      const std::size_t n = seg.start + i;
+      const double t = static_cast<double>(n) / static_cast<double>(total);
+      f0[n] = f0_start + (f0_end - f0_start) * t;
+    }
+  }
+
+  // Sources.
+  const std::vector<double> voiced_src =
+      glottal_source(f0, sample_rate_hz, voice.glottal, rng);
+  audio::buffer noise = audio::white_noise(
+      static_cast<double>(total) / sample_rate_hz, sample_rate_hz, 0.3, rng);
+  noise.samples.resize(total, 0.0);
+
+  // Per-segment excitation assembly.
+  std::vector<double> excitation(total, 0.0);
+  for (const segment& seg : segments) {
+    const phoneme& ph = *seg.ph;
+    switch (ph.kind) {
+      case phoneme_kind::silence:
+        break;
+      case phoneme_kind::vowel:
+      case phoneme_kind::nasal:
+      case phoneme_kind::glide: {
+        for (std::size_t i = 0; i < seg.length && seg.start + i < total; ++i) {
+          const std::size_t n = seg.start + i;
+          excitation[n] = voiced_src[n] + voice.breathiness * noise.samples[n];
+        }
+        break;
+      }
+      case phoneme_kind::fricative: {
+        // Band-shaped noise; voiced fricatives add the glottal source.
+        const double lo =
+            std::max(100.0, ph.noise_center_hz - ph.noise_bandwidth_hz / 2.0);
+        const double hi = std::min(0.47 * sample_rate_hz,
+                                   ph.noise_center_hz + ph.noise_bandwidth_hz / 2.0);
+        std::vector<double> seg_noise(seg.length);
+        for (std::size_t i = 0; i < seg.length; ++i) {
+          seg_noise[i] = seg.start + i < total ? noise.samples[seg.start + i] : 0.0;
+        }
+        if (hi > lo + 50.0) {
+          const ivc::dsp::iir_cascade bp =
+              ivc::dsp::butterworth_bandpass(2, lo, hi, sample_rate_hz);
+          seg_noise = bp.process(seg_noise);
+        }
+        for (std::size_t i = 0; i < seg.length && seg.start + i < total; ++i) {
+          const std::size_t n = seg.start + i;
+          excitation[n] = 3.0 * seg_noise[i] +
+                          (ph.voiced ? 0.6 * voiced_src[n] : 0.0);
+        }
+        break;
+      }
+      case phoneme_kind::plosive: {
+        // First 60%: closure (silence, or voice bar if voiced); then a
+        // noise burst.
+        const auto closure = static_cast<std::size_t>(0.6 * seg.length);
+        const double lo =
+            std::max(100.0, ph.noise_center_hz - ph.noise_bandwidth_hz / 2.0);
+        const double hi = std::min(0.47 * sample_rate_hz,
+                                   ph.noise_center_hz + ph.noise_bandwidth_hz / 2.0);
+        std::vector<double> burst(seg.length - closure);
+        for (std::size_t i = 0; i < burst.size(); ++i) {
+          const std::size_t n = seg.start + closure + i;
+          burst[i] = n < total ? noise.samples[n] : 0.0;
+        }
+        if (!burst.empty() && hi > lo + 50.0) {
+          const ivc::dsp::iir_cascade bp =
+              ivc::dsp::butterworth_bandpass(2, lo, hi, sample_rate_hz);
+          burst = bp.process(burst);
+        }
+        for (std::size_t i = 0; i < seg.length && seg.start + i < total; ++i) {
+          const std::size_t n = seg.start + i;
+          if (i < closure) {
+            excitation[n] = ph.voiced ? 0.25 * voiced_src[n] : 0.0;
+          } else {
+            // Burst decays exponentially.
+            const double k = static_cast<double>(i - closure);
+            const double decay = std::exp(-k / (0.012 * sample_rate_hz));
+            excitation[n] = 4.0 * burst[i - closure] * decay +
+                            (ph.voiced ? 0.3 * voiced_src[n] : 0.0);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Vocal-tract filtering and amplitude envelope.
+  const std::vector<formant_frame> track =
+      formant_track(segments, total, sample_rate_hz);
+  std::vector<double> speech =
+      apply_formant_cascade(excitation, track, sample_rate_hz);
+  const std::vector<double> amp = amplitude_track(segments, total, sample_rate_hz);
+  for (std::size_t n = 0; n < total; ++n) {
+    speech[n] *= amp[n];
+  }
+
+  audio::buffer out{std::move(speech), sample_rate_hz};
+  out = audio::remove_dc(out);
+  return audio::normalize_peak(out, 0.5);
+}
+
+}  // namespace ivc::synth

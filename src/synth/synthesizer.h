@@ -1,0 +1,39 @@
+// Formant speech synthesizer: phoneme sequence → waveform.
+//
+// This is the library's TTS stand-in. It produces pitched, formant-shaped,
+// envelope-modulated speech that MFCC/DTW recognition treats like voice,
+// which is all the attack/defense pipelines require of it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audio/buffer.h"
+#include "common/rng.h"
+#include "synth/glottal.h"
+#include "synth/phoneme.h"
+
+namespace ivc::synth {
+
+struct voice_params {
+  double pitch_hz = 120.0;        // utterance-initial f0
+  double pitch_drop = 0.25;       // fractional declination across phrase
+  double speed = 1.0;             // duration scale (>1 == faster)
+  double breathiness = 0.06;      // aspiration noise mixed into voicing
+  glottal_config glottal;
+};
+
+// Natural-variation presets for corpus building.
+voice_params male_voice();
+voice_params female_voice();
+// Randomly perturbed voice around a base (pitch ±15%, speed ±12%).
+voice_params perturbed_voice(const voice_params& base, ivc::rng& rng);
+
+// Synthesizes the phoneme-symbol sequence at `sample_rate_hz`
+// (16 kHz default covers the full voice band used by the pipelines).
+// Output is peak-normalized to 0.5.
+audio::buffer synthesize(const std::vector<std::string>& phoneme_symbols,
+                         const voice_params& voice, ivc::rng& rng,
+                         double sample_rate_hz = 16'000.0);
+
+}  // namespace ivc::synth

@@ -1,0 +1,117 @@
+#include "acoustics/propagation.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "audio/metrics.h"
+#include "common/constants.h"
+#include "common/units.h"
+#include "dsp/goertzel.h"
+
+namespace ivc::acoustics {
+namespace {
+
+TEST(propagation, inverse_distance_spreading) {
+  const audio::buffer src = audio::tone(1'000.0, 0.5, 48'000.0, 1.0);
+  propagation_config cfg;
+  cfg.include_delay = false;
+  cfg.distance_m = 2.0;
+  const auto at2 = propagate(src.samples, 48'000.0, cfg);
+  cfg.distance_m = 4.0;
+  const auto at4 = propagate(src.samples, 48'000.0, cfg);
+  const double r2 = audio::rms({at2.data() + 4'800, 14'400});
+  const double r4 = audio::rms({at4.data() + 4'800, 14'400});
+  EXPECT_NEAR(r2 / r4, 2.0, 0.05);
+}
+
+TEST(propagation, delay_matches_distance_over_speed) {
+  // An impulse at t=0 arrives at t = r/c.
+  std::vector<double> impulse(9'600, 0.0);
+  impulse[0] = 1.0;
+  propagation_config cfg;
+  cfg.distance_m = 3.43;  // ~10 ms at 343 m/s
+  const auto received = propagate(impulse, 48'000.0, cfg);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    if (std::abs(received[i]) > std::abs(received[argmax])) {
+      argmax = i;
+    }
+  }
+  const double expected = 3.43 / cfg.air.speed_of_sound() * 48'000.0;
+  EXPECT_NEAR(static_cast<double>(argmax), expected, 3.0);
+}
+
+TEST(propagation, ultrasound_attenuates_more_than_voice) {
+  const double fs = 192'000.0;
+  audio::buffer two_tone = audio::tone(1'000.0, 0.2, fs, 0.5);
+  const audio::buffer ultra = audio::tone(40'000.0, 0.2, fs, 0.5);
+  for (std::size_t i = 0; i < two_tone.size(); ++i) {
+    two_tone.samples[i] += ultra.samples[i];
+  }
+  propagation_config cfg;
+  cfg.include_delay = false;
+  cfg.distance_m = 8.0;
+  const auto rx = propagate(two_tone.samples, fs, cfg);
+  const std::span<const double> mid{rx.data() + 9'600, 19'200};
+  const double voice = ivc::dsp::goertzel_amplitude(mid, fs, 1'000.0);
+  const double us = ivc::dsp::goertzel_amplitude(mid, fs, 40'000.0);
+  // Both spread 1/r equally; ultrasound additionally loses ~7·1.2 dB.
+  const double extra_db = ivc::amplitude_to_db(voice / us);
+  EXPECT_GT(extra_db, 4.0);
+  EXPECT_LT(extra_db, 18.0);
+}
+
+TEST(propagation, extra_loss_db_applies_flat) {
+  const audio::buffer src = audio::tone(1'000.0, 0.5, 48'000.0, 1.0);
+  propagation_config cfg;
+  cfg.include_delay = false;
+  cfg.distance_m = 1.0;
+  const auto base = propagate(src.samples, 48'000.0, cfg);
+  cfg.extra_loss_db = 12.0;
+  const auto attenuated = propagate(src.samples, 48'000.0, cfg);
+  const double ratio = audio::rms({base.data() + 4'800, 14'400}) /
+                       audio::rms({attenuated.data() + 4'800, 14'400});
+  EXPECT_NEAR(ivc::amplitude_to_db(ratio), 12.0, 0.2);
+}
+
+TEST(propagation, received_spl_analytic_matches_simulated) {
+  const double fs = 192'000.0;
+  const double f = 30'000.0;
+  const double src_spl = 110.0;
+  const double amp = ivc::spl_db_to_pa(src_spl) * std::sqrt(2.0);
+  const audio::buffer src = audio::tone(f, 0.2, fs, amp);
+  propagation_config cfg;
+  cfg.include_delay = false;
+  cfg.distance_m = 5.0;
+  const auto rx = propagate(src.samples, fs, cfg);
+  const std::span<const double> mid{rx.data() + 9'600, 19'200};
+  const double rx_rms = ivc::dsp::goertzel_amplitude(mid, fs, f) / std::sqrt(2.0);
+  const double simulated_spl = ivc::pa_to_spl_db(rx_rms);
+  const double analytic = received_spl_db(src_spl, f, 5.0, cfg.air);
+  EXPECT_NEAR(simulated_spl, analytic, 0.5);
+}
+
+TEST(propagation, analytic_received_spl_decreases_monotonically) {
+  const air_model air;
+  double prev = 1e9;
+  for (double d = 0.5; d <= 10.0; d += 0.5) {
+    const double spl = received_spl_db(120.0, 40'000.0, d, air);
+    EXPECT_LT(spl, prev);
+    prev = spl;
+  }
+}
+
+TEST(propagation, rejects_bad_arguments) {
+  const std::vector<double> sig(100, 1.0);
+  propagation_config cfg;
+  cfg.distance_m = 0.0;
+  EXPECT_THROW(propagate(sig, 48'000.0, cfg), std::invalid_argument);
+  EXPECT_THROW(propagate({}, 48'000.0, propagation_config{}),
+               std::invalid_argument);
+  EXPECT_THROW(received_spl_db(100.0, 1'000.0, 0.0, air_model{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::acoustics

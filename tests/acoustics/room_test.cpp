@@ -1,0 +1,133 @@
+#include "acoustics/room.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "acoustics/propagation.h"
+#include "audio/generate.h"
+#include "audio/metrics.h"
+
+namespace ivc::acoustics {
+namespace {
+
+room_model meeting_room() {
+  return room_model{};  // 6.5 x 4 x 2.5 m defaults
+}
+
+TEST(room, image_count_matches_order) {
+  const room_model room = meeting_room();
+  const vec3 src{2.0, 1.5, 1.2};
+  room_model order0 = room;
+  order0.max_reflection_order = 0;
+  EXPECT_EQ(compute_image_sources(order0, src).size(), 1u);  // direct only
+  room_model order1 = room;
+  order1.max_reflection_order = 1;
+  // Direct + one image per wall.
+  EXPECT_EQ(compute_image_sources(order1, src).size(), 7u);
+}
+
+TEST(room, direct_image_is_the_source) {
+  const room_model room = meeting_room();
+  const vec3 src{2.0, 1.5, 1.2};
+  bool found_direct = false;
+  for (const image_source& img : compute_image_sources(room, src)) {
+    if (img.reflections == 0) {
+      EXPECT_DOUBLE_EQ(img.position.x, src.x);
+      EXPECT_DOUBLE_EQ(img.position.y, src.y);
+      EXPECT_DOUBLE_EQ(img.position.z, src.z);
+      found_direct = true;
+    }
+  }
+  EXPECT_TRUE(found_direct);
+}
+
+TEST(room, first_order_images_mirror_across_walls) {
+  const room_model room = meeting_room();
+  const vec3 src{2.0, 1.5, 1.2};
+  bool found_floor_mirror = false;
+  for (const image_source& img : compute_image_sources(room, src)) {
+    if (img.reflections == 1 && std::abs(img.position.z + src.z) < 1e-9 &&
+        img.position.x == src.x && img.position.y == src.y) {
+      found_floor_mirror = true;  // mirrored across z = 0
+    }
+  }
+  EXPECT_TRUE(found_floor_mirror);
+}
+
+TEST(room, reflection_gain_decays_per_bounce_and_penalizes_ultrasound) {
+  const room_model room = meeting_room();
+  EXPECT_DOUBLE_EQ(reflection_gain(room, 1'000.0, 0), 1.0);
+  const double one = reflection_gain(room, 1'000.0, 1);
+  const double two = reflection_gain(room, 1'000.0, 2);
+  EXPECT_LT(one, 1.0);
+  EXPECT_NEAR(two, one * one, 1e-12);
+  EXPECT_LT(reflection_gain(room, 40'000.0, 1), one);
+}
+
+TEST(room, order_zero_matches_free_field) {
+  room_model room = meeting_room();
+  room.max_reflection_order = 0;
+  const air_model air;
+  const vec3 src{1.0, 1.0, 1.2};
+  const vec3 dst{4.0, 3.0, 1.2};
+  const audio::buffer tone = audio::tone(1'000.0, 0.2, 48'000.0, 0.5);
+
+  const audio::buffer in_room = render_in_room(tone, src, dst, room, air);
+  propagation_config cfg;
+  cfg.distance_m = distance(src, dst);
+  cfg.air = air;
+  const auto free_field = propagate(tone.samples, 48'000.0, cfg);
+
+  // Compare steady-state RMS (lengths differ; room output is padded).
+  const std::span<const double> a{in_room.samples.data() + 2'400, 4'800};
+  const std::span<const double> b{free_field.data() + 2'400, 4'800};
+  EXPECT_NEAR(audio::rms(a), audio::rms(b), 0.02 * audio::rms(b));
+}
+
+TEST(room, reflections_add_energy_and_tail) {
+  room_model reverberant = meeting_room();
+  reverberant.max_reflection_order = 2;
+  room_model dry = meeting_room();
+  dry.max_reflection_order = 0;
+  const air_model air;
+  const vec3 src{1.0, 1.0, 1.2};
+  const vec3 dst{5.5, 3.0, 1.2};
+
+  // Impulse-ish burst.
+  audio::buffer burst = audio::tone(2'000.0, 0.02, 48'000.0, 1.0);
+  const audio::buffer wet = render_in_room(burst, src, dst, reverberant, air);
+  const audio::buffer anechoic = render_in_room(burst, src, dst, dry, air);
+
+  double wet_energy = 0.0;
+  double dry_energy = 0.0;
+  for (const double v : wet.samples) {
+    wet_energy += v * v;
+  }
+  for (const double v : anechoic.samples) {
+    dry_energy += v * v;
+  }
+  EXPECT_GT(wet_energy, 1.2 * dry_energy);
+
+  // The reverberant tail extends past the direct arrival.
+  const auto direct_end = static_cast<std::size_t>(
+      (distance(src, dst) / air.speed_of_sound() + 0.02) * 48'000.0) + 100;
+  double tail = 0.0;
+  for (std::size_t i = direct_end; i < wet.size(); ++i) {
+    tail += wet.samples[i] * wet.samples[i];
+  }
+  EXPECT_GT(tail, 0.05 * wet_energy);
+}
+
+TEST(room, rejects_positions_outside_the_room) {
+  const room_model room = meeting_room();
+  const audio::buffer tone = audio::tone(440.0, 0.05, 48'000.0, 0.5);
+  EXPECT_THROW(
+      render_in_room(tone, vec3{-1.0, 1.0, 1.0}, vec3{1.0, 1.0, 1.0}, room,
+                     air_model{}),
+      std::invalid_argument);
+  EXPECT_THROW(compute_image_sources(room, vec3{0.0, 10.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::acoustics

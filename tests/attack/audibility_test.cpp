@@ -1,0 +1,87 @@
+#include "attack/audibility.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "common/units.h"
+
+namespace ivc::attack {
+namespace {
+
+TEST(audibility, threshold_curve_shape) {
+  // The ear is most sensitive around 3-4 kHz and deaf-ish at the edges.
+  const double at_100 = hearing_threshold_db_spl(100.0);
+  const double at_1k = hearing_threshold_db_spl(1'000.0);
+  const double at_3k3 = hearing_threshold_db_spl(3'300.0);
+  const double at_12k = hearing_threshold_db_spl(12'000.0);
+  EXPECT_GT(at_100, at_1k);
+  EXPECT_GT(at_1k, at_3k3);
+  EXPECT_GT(at_12k, at_3k3);
+  EXPECT_NEAR(at_1k, 3.4, 1.5);   // Terhardt at 1 kHz ≈ 3.4 dB SPL
+  EXPECT_LT(at_3k3, 0.0);         // dips below 0 dB SPL near 3.3 kHz
+  EXPECT_GT(at_100, 20.0);
+}
+
+TEST(audibility, ultrasound_and_infrasound_are_never_audible) {
+  EXPECT_TRUE(std::isinf(hearing_threshold_db_spl(25'000.0)));
+  EXPECT_TRUE(std::isinf(hearing_threshold_db_spl(40'000.0)));
+  EXPECT_TRUE(std::isinf(hearing_threshold_db_spl(10.0)));
+}
+
+TEST(audibility, a_weighting_reference_points) {
+  EXPECT_NEAR(a_weighting_db(1'000.0), 0.0, 0.3);
+  EXPECT_NEAR(a_weighting_db(100.0), -19.1, 1.5);
+  EXPECT_NEAR(a_weighting_db(10'000.0), -2.5, 1.5);
+  EXPECT_LT(a_weighting_db(20.0), -45.0);
+}
+
+TEST(audibility, loud_voice_band_tone_is_audible) {
+  // 60 dB SPL at 1 kHz: far above threshold.
+  const double amp = ivc::spl_db_to_pa(60.0) * std::sqrt(2.0);
+  const audio::buffer tone = audio::tone(1'000.0, 0.5, 48'000.0, amp);
+  const audibility_report r = analyze_audibility(tone);
+  EXPECT_TRUE(r.audible);
+  EXPECT_NEAR(r.worst_band_hz, 1'000.0, 150.0);
+  EXPECT_NEAR(r.worst_margin_db, 60.0 - hearing_threshold_db_spl(1'000.0),
+              3.0);
+}
+
+TEST(audibility, loud_ultrasound_is_inaudible) {
+  const double amp = ivc::spl_db_to_pa(120.0) * std::sqrt(2.0);
+  const audio::buffer tone = audio::tone(40'000.0, 0.2, 192'000.0, amp);
+  const audibility_report r = analyze_audibility(tone);
+  EXPECT_FALSE(r.audible);
+}
+
+TEST(audibility, quiet_low_frequency_tone_is_inaudible) {
+  // 35 dB SPL at 40 Hz is well below the ~50 dB threshold there.
+  const double amp = ivc::spl_db_to_pa(35.0) * std::sqrt(2.0);
+  const audio::buffer tone = audio::tone(40.0, 1.0, 48'000.0, amp);
+  const audibility_report r = analyze_audibility(tone);
+  EXPECT_FALSE(r.audible);
+  // The same level at 1 kHz would be audible.
+  const audio::buffer mid = audio::tone(1'000.0, 1.0, 48'000.0, amp);
+  EXPECT_TRUE(analyze_audibility(mid).audible);
+}
+
+TEST(audibility, report_covers_third_octave_bands) {
+  const auto& centers = third_octave_centers_hz();
+  EXPECT_GE(centers.size(), 25u);
+  EXPECT_DOUBLE_EQ(centers.front(), 25.0);
+  EXPECT_DOUBLE_EQ(centers.back(), 16'000.0);
+  for (std::size_t i = 1; i < centers.size(); ++i) {
+    // Successive third-octave centers are ~2^(1/3) apart.
+    EXPECT_NEAR(centers[i] / centers[i - 1], std::pow(2.0, 1.0 / 3.0), 0.06);
+  }
+}
+
+TEST(audibility, a_weighted_level_reported) {
+  const double amp = ivc::spl_db_to_pa(70.0) * std::sqrt(2.0);
+  const audio::buffer tone = audio::tone(1'000.0, 0.5, 48'000.0, amp);
+  const audibility_report r = analyze_audibility(tone);
+  EXPECT_NEAR(r.a_weighted_spl_db, 70.0, 2.0);
+}
+
+}  // namespace
+}  // namespace ivc::attack

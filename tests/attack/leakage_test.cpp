@@ -1,0 +1,61 @@
+#include "attack/leakage.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/planner.h"
+#include "common/rng.h"
+#include "synth/commands.h"
+
+namespace ivc::attack {
+namespace {
+
+audio::buffer short_command() {
+  ivc::rng rng{44};
+  return synth::render_command(synth::command_by_id("mute_yourself"),
+                               synth::male_voice(), rng, 16'000.0);
+}
+
+TEST(leakage, monolithic_rig_leaks_audibly_at_high_power) {
+  const attack_rig rig =
+      build_attack_rig(short_command(), monolithic_rig(18.7));
+  const leakage_report report = measure_leakage(
+      rig.array, acoustics::vec3{0.0, 1.0, 0.0}, acoustics::air_model{});
+  EXPECT_TRUE(report.audibility.audible);
+  EXPECT_GT(report.nonlinear_excess_db, 5.0);
+  // The leak is the demodulated command: voice band, not sub-bass.
+  EXPECT_GT(report.audibility.worst_band_hz, 200.0);
+  EXPECT_GT(report.ultrasound_spl_db, 100.0);  // the carrier is loud
+}
+
+TEST(leakage, split_rig_stays_below_threshold) {
+  rig_config cfg = long_range_rig();
+  const attack_rig rig = build_attack_rig(short_command(), cfg);
+  const leakage_report report = measure_leakage(
+      rig.array, acoustics::vec3{0.0, 1.0, 0.0}, acoustics::air_model{});
+  EXPECT_FALSE(report.audibility.audible);
+  EXPECT_LT(report.audibility.worst_margin_db, -10.0);
+  EXPECT_LT(report.nonlinear_excess_db, 6.0);
+}
+
+TEST(leakage, monolithic_leak_grows_with_power) {
+  const audio::buffer cmd = short_command();
+  const attack_rig low = build_attack_rig(cmd, monolithic_rig(4.0));
+  const attack_rig high = build_attack_rig(cmd, monolithic_rig(30.0));
+  const acoustics::vec3 bystander{0.0, 1.0, 0.0};
+  const acoustics::air_model air;
+  const double margin_low =
+      measure_leakage(low.array, bystander, air).audibility.worst_margin_db;
+  const double margin_high =
+      measure_leakage(high.array, bystander, air).audibility.worst_margin_db;
+  EXPECT_GT(margin_high, margin_low + 6.0);
+}
+
+TEST(leakage, predicted_chunk_band_is_zero_to_width) {
+  const chunk_band band{1'200.0, 1'450.0};
+  const chunk_band leak = predicted_chunk_leakage_band(band);
+  EXPECT_DOUBLE_EQ(leak.low_hz, 0.0);
+  EXPECT_DOUBLE_EQ(leak.high_hz, 250.0);
+}
+
+}  // namespace
+}  // namespace ivc::attack

@@ -1,0 +1,132 @@
+#include "attack/planner.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "attack/leakage.h"
+#include "audio/metrics.h"
+#include "common/rng.h"
+#include "dsp/spectrum.h"
+#include "synth/commands.h"
+
+namespace ivc::attack {
+namespace {
+
+audio::buffer short_command() {
+  ivc::rng rng{70};
+  return synth::render_command(synth::command_by_id("mute_yourself"),
+                               synth::male_voice(), rng, 16'000.0);
+}
+
+rig_config small_split_rig() {
+  rig_config cfg;
+  cfg.mode = rig_mode::split_array;
+  cfg.modulator.carrier_hz = 40'000.0;
+  cfg.splitter.num_chunks = 6;
+  cfg.total_power_w = 30.0;
+  return cfg;
+}
+
+TEST(planner, monolithic_rig_has_single_element) {
+  const attack_rig rig = build_attack_rig(short_command(), monolithic_rig());
+  EXPECT_EQ(rig.array.size(), 1u);
+  EXPECT_EQ(rig.num_speakers, 1u);
+  EXPECT_NEAR(rig.array.total_power_w(), 18.7, 1e-9);
+}
+
+TEST(planner, split_rig_has_chunks_plus_carrier) {
+  const attack_rig rig = build_attack_rig(short_command(), small_split_rig());
+  EXPECT_EQ(rig.array.size(), 7u);  // 6 chunks + carrier
+  EXPECT_NEAR(rig.array.total_power_w(), 30.0, 1e-9);
+  // Carrier element gets the configured fraction.
+  EXPECT_NEAR(rig.array.elements()[0].input_power_w, 0.4 * 30.0, 1e-9);
+}
+
+TEST(planner, elements_form_centered_line) {
+  rig_config cfg = small_split_rig();
+  cfg.element_spacing_m = 0.1;
+  const attack_rig rig = build_attack_rig(short_command(), cfg);
+  double mean_x = 0.0;
+  for (const auto& e : rig.array.elements()) {
+    mean_x += e.position.x;
+  }
+  mean_x /= static_cast<double>(rig.array.size());
+  EXPECT_NEAR(mean_x, 0.0, 1e-9);
+  // Adjacent spacing respected.
+  EXPECT_NEAR(rig.array.elements()[1].position.x -
+                  rig.array.elements()[0].position.x,
+              0.1, 1e-9);
+}
+
+TEST(planner, transducer_stack_raises_sensitivity_and_rating) {
+  rig_config cfg = small_split_rig();
+  cfg.transducers_per_element = 4;
+  const attack_rig rig = build_attack_rig(short_command(), cfg);
+  const auto& el = rig.array.elements()[0].speaker;
+  EXPECT_NEAR(el.sensitivity_db_spl,
+              acoustics::ultrasonic_tweeter().sensitivity_db_spl +
+                  20.0 * std::log10(4.0),
+              1e-9);
+  EXPECT_NEAR(el.rated_power_w,
+              4.0 * acoustics::ultrasonic_tweeter().rated_power_w, 1e-9);
+}
+
+TEST(planner, long_range_preset_is_buildable) {
+  const attack_rig rig = build_attack_rig(short_command(), long_range_rig());
+  EXPECT_EQ(rig.array.size(), 17u);
+  EXPECT_GT(rig.array.total_power_w(), 100.0);
+}
+
+TEST(planner, rejects_power_beyond_element_rating) {
+  rig_config cfg = monolithic_rig();
+  cfg.total_power_w = 1'000.0;
+  EXPECT_THROW(build_attack_rig(short_command(), cfg), std::invalid_argument);
+  rig_config split = small_split_rig();
+  split.total_power_w = 5'000.0;
+  EXPECT_THROW(build_attack_rig(short_command(), split),
+               std::invalid_argument);
+}
+
+TEST(planner, trace_cancellation_reduces_demodulated_m2) {
+  // Build the predicted square-law output with and without cancellation
+  // and compare the sub-120 Hz trace.
+  ivc::rng rng{71};
+  const audio::buffer cmd = short_command();
+  conditioner_config ccfg;
+  const audio::buffer base = condition_command(cmd, ccfg);
+  modulator_config mod;
+
+  cancellation_config cancel;
+  cancel.accuracy = 1.0;
+  const audio::buffer cancelled =
+      apply_trace_cancellation(base, mod, cancel);
+
+  const audio::buffer s_plain = am_modulate(base, mod);
+  const audio::buffer s_cancel = am_modulate(cancelled, mod);
+  const audio::buffer d_plain = square_law_demodulate(s_plain, 4'000.0, 16'000.0);
+  const audio::buffer d_cancel =
+      square_law_demodulate(s_cancel, 4'000.0, 16'000.0);
+
+  const double trace_plain =
+      ivc::dsp::band_power(d_plain.samples, 16'000.0, 20.0, 100.0);
+  const double trace_cancel =
+      ivc::dsp::band_power(d_cancel.samples, 16'000.0, 20.0, 100.0);
+  EXPECT_LT(trace_cancel, 0.35 * trace_plain);
+
+  // Zero-accuracy cancellation is the identity.
+  cancellation_config off;
+  off.accuracy = 0.0;
+  const audio::buffer same = apply_trace_cancellation(base, mod, off);
+  EXPECT_EQ(same.samples, base.samples);
+}
+
+TEST(planner, cancellation_validates_accuracy) {
+  const audio::buffer base = condition_command(short_command(), {});
+  cancellation_config bad;
+  bad.accuracy = 1.5;
+  EXPECT_THROW(apply_trace_cancellation(base, {}, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::attack

@@ -1,0 +1,136 @@
+#include "attack/splitter.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "attack/conditioner.h"
+#include "audio/metrics.h"
+#include "common/rng.h"
+#include "dsp/correlate.h"
+#include "dsp/spectrum.h"
+#include "synth/commands.h"
+
+namespace ivc::attack {
+namespace {
+
+audio::buffer conditioned_command() {
+  ivc::rng rng{60};
+  const audio::buffer cmd = synth::render_command(
+      synth::command_by_id("take_picture"), synth::male_voice(), rng,
+      16'000.0);
+  conditioner_config cfg;
+  cfg.output_rate_hz = 96'000.0;  // cheaper for tests; carrier fits below
+  return condition_command(cmd, cfg);
+}
+
+splitter_config test_config(std::size_t chunks) {
+  splitter_config cfg;
+  cfg.num_chunks = chunks;
+  cfg.carrier_hz = 36'000.0;
+  cfg.voice_low_hz = 100.0;
+  cfg.voice_high_hz = 4'000.0;
+  return cfg;
+}
+
+TEST(splitter, produces_one_drive_per_chunk_plus_carrier) {
+  const audio::buffer base = conditioned_command();
+  const split_plan plan = split_spectrum(base, test_config(8));
+  EXPECT_EQ(plan.chunk_drives.size(), 8u);
+  EXPECT_EQ(plan.bands.size(), 8u);
+  EXPECT_EQ(plan.carrier_drive.size(), base.size());
+  EXPECT_DOUBLE_EQ(plan.carrier_hz, 36'000.0);
+  for (const audio::buffer& d : plan.chunk_drives) {
+    EXPECT_EQ(d.size(), base.size());
+    EXPECT_LE(audio::peak(d.samples), 0.95 + 1e-9);
+  }
+}
+
+TEST(splitter, bands_partition_voice_range) {
+  const split_plan plan =
+      split_spectrum(conditioned_command(), test_config(10));
+  EXPECT_DOUBLE_EQ(plan.bands.front().low_hz, 100.0);
+  EXPECT_DOUBLE_EQ(plan.bands.back().high_hz, 4'000.0);
+  for (std::size_t k = 1; k < plan.bands.size(); ++k) {
+    EXPECT_DOUBLE_EQ(plan.bands[k].low_hz, plan.bands[k - 1].high_hz);
+  }
+}
+
+TEST(splitter, each_chunk_occupies_its_slice_above_carrier) {
+  const audio::buffer base = conditioned_command();
+  const splitter_config cfg = test_config(8);
+  const split_plan plan = split_spectrum(base, cfg);
+  for (std::size_t k = 0; k < plan.chunk_drives.size(); ++k) {
+    const chunk_band band = plan.bands[k];
+    const auto psd =
+        ivc::dsp::welch_psd(plan.chunk_drives[k].samples, 96'000.0);
+    const double width = band.high_hz - band.low_hz;
+    const double in_slice = psd.band_power(
+        cfg.carrier_hz + band.low_hz - 0.3 * width,
+        cfg.carrier_hz + band.high_hz + 0.3 * width);
+    const double total = psd.band_power(100.0, 47'000.0);
+    EXPECT_GT(in_slice, 0.9 * total) << "chunk " << k;
+    // Single-sideband: nothing below the carrier.
+    const double below = psd.band_power(
+        cfg.carrier_hz - band.high_hz - width, cfg.carrier_hz - 50.0);
+    EXPECT_LT(below, 0.02 * std::max(total, 1e-15)) << "chunk " << k;
+  }
+}
+
+TEST(splitter, chunk_self_products_confined_to_chunk_width) {
+  // The design property that makes per-speaker leakage inaudible:
+  // squaring one chunk drive puts baseband energy only below the chunk
+  // width (plus transition slack).
+  const audio::buffer base = conditioned_command();
+  const splitter_config cfg = test_config(16);
+  const split_plan plan = split_spectrum(base, cfg);
+  const double width = (cfg.voice_high_hz - cfg.voice_low_hz) / 16.0;
+  for (std::size_t k = 0; k < plan.chunk_drives.size(); ++k) {
+    std::vector<double> squared(plan.chunk_drives[k].size());
+    for (std::size_t i = 0; i < squared.size(); ++i) {
+      const double v = plan.chunk_drives[k].samples[i];
+      squared[i] = v * v;
+    }
+    const auto psd = ivc::dsp::welch_psd(squared, 96'000.0);
+    const double leak_band = psd.band_power(1.0, width * 1.6);
+    // Audible band beyond the chunk width up to 16 kHz.
+    const double beyond = psd.band_power(width * 1.6, 16'000.0);
+    EXPECT_LT(beyond, 0.05 * std::max(leak_band, 1e-15)) << "chunk " << k;
+  }
+}
+
+TEST(splitter, chunk_ensemble_reconstructs_band_passed_input) {
+  const audio::buffer base = conditioned_command();
+  const splitter_config cfg = test_config(12);
+  const audio::buffer recon = sum_of_chunks_baseband(base, cfg);
+  ASSERT_EQ(recon.size(), base.size());
+  // Compare in the interior band (edges are shaped by the mask).
+  const double corr =
+      ivc::dsp::pearson_correlation(recon.samples, base.samples);
+  EXPECT_GT(corr, 0.97);
+}
+
+TEST(splitter, single_chunk_degenerates_to_full_band) {
+  const audio::buffer base = conditioned_command();
+  const split_plan plan = split_spectrum(base, test_config(1));
+  EXPECT_EQ(plan.chunk_drives.size(), 1u);
+  const auto psd = ivc::dsp::welch_psd(plan.chunk_drives[0].samples, 96'000.0);
+  const double sideband = psd.band_power(36'100.0, 40'000.0);
+  const double total = psd.band_power(100.0, 47'000.0);
+  EXPECT_GT(sideband, 0.9 * total);
+}
+
+TEST(splitter, rejects_bad_configs) {
+  const audio::buffer base = conditioned_command();
+  splitter_config bad = test_config(8);
+  bad.carrier_hz = 94'000.0;  // carrier + band exceeds Nyquist
+  EXPECT_THROW(split_spectrum(base, bad), std::invalid_argument);
+  bad = test_config(0);
+  EXPECT_THROW(split_spectrum(base, bad), std::invalid_argument);
+  bad = test_config(4);
+  bad.voice_low_hz = 5'000.0;
+  bad.voice_high_hz = 4'000.0;
+  EXPECT_THROW(split_spectrum(base, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::attack

@@ -1,0 +1,146 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "audio/metrics.h"
+#include "audio/ops.h"
+#include "common/rng.h"
+
+namespace ivc::audio {
+namespace {
+
+TEST(ops, gain_scales_linearly_and_in_db) {
+  const buffer b{{1.0, -0.5}, 8'000.0};
+  const buffer g = gain(b, 2.0);
+  EXPECT_DOUBLE_EQ(g.samples[0], 2.0);
+  const buffer gdb = gain_db(b, 20.0);
+  EXPECT_NEAR(gdb.samples[0], 10.0, 1e-12);
+}
+
+TEST(ops, normalize_peak_and_rms) {
+  const buffer t = tone(1'000.0, 0.2, 16'000.0, 0.2);
+  const buffer p = normalize_peak(t, 1.0);
+  EXPECT_NEAR(peak(p.samples), 1.0, 1e-9);
+  const buffer r = normalize_rms(t, 0.5);
+  EXPECT_NEAR(rms(r.samples), 0.5, 1e-9);
+}
+
+TEST(ops, normalize_silence_is_noop) {
+  const buffer z{std::vector<double>(100, 0.0), 8'000.0};
+  EXPECT_EQ(normalize_peak(z, 1.0).samples, z.samples);
+  EXPECT_EQ(normalize_rms(z, 1.0).samples, z.samples);
+}
+
+TEST(ops, mix_pads_shorter_signal) {
+  const buffer a{{1.0, 1.0, 1.0}, 8'000.0};
+  const buffer b{{2.0}, 8'000.0};
+  const buffer m = mix(a, b);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.samples[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.samples[1], 1.0);
+}
+
+TEST(ops, mix_at_offsets_addend) {
+  const buffer a{std::vector<double>(10, 0.0), 10.0};
+  const buffer b{{1.0, 1.0}, 10.0};
+  const buffer m = mix_at(a, b, 0.5);  // 5 samples at 10 Hz
+  EXPECT_DOUBLE_EQ(m.samples[4], 0.0);
+  EXPECT_DOUBLE_EQ(m.samples[5], 1.0);
+  EXPECT_DOUBLE_EQ(m.samples[6], 1.0);
+}
+
+TEST(ops, mix_rejects_rate_mismatch) {
+  const buffer a{{1.0}, 8'000.0};
+  const buffer b{{1.0}, 16'000.0};
+  EXPECT_THROW(mix(a, b), std::invalid_argument);
+}
+
+TEST(ops, remove_dc_centers_signal) {
+  const buffer b{{1.0, 2.0, 3.0}, 8'000.0};
+  const buffer c = remove_dc(b);
+  EXPECT_NEAR(c.samples[0] + c.samples[1] + c.samples[2], 0.0, 1e-12);
+}
+
+TEST(ops, fade_ramps_edges) {
+  buffer b{std::vector<double>(1'000, 1.0), 1'000.0};
+  const buffer f = fade(b, 0.1, 0.1);
+  EXPECT_NEAR(f.samples[0], 0.0, 1e-12);
+  EXPECT_NEAR(f.samples[50], 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(f.samples[500], 1.0);
+  EXPECT_NEAR(f.samples[999], 0.0, 0.02);
+}
+
+TEST(ops, pad_adds_silence_both_sides) {
+  const buffer b{{1.0}, 10.0};
+  const buffer p = pad(b, 0.2, 0.3);
+  ASSERT_EQ(p.size(), 1u + 2u + 3u);
+  EXPECT_DOUBLE_EQ(p.samples[2], 1.0);
+  EXPECT_DOUBLE_EQ(p.samples[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.samples[5], 0.0);
+}
+
+TEST(ops, hard_clip_limits_range) {
+  const buffer b{{2.0, -3.0, 0.1}, 8'000.0};
+  const buffer c = hard_clip(b, 1.0);
+  EXPECT_DOUBLE_EQ(c.samples[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.samples[1], -1.0);
+  EXPECT_DOUBLE_EQ(c.samples[2], 0.1);
+}
+
+TEST(metrics, rms_and_peak_of_sine) {
+  const buffer t = tone(100.0, 1.0, 8'000.0, 1.0);
+  EXPECT_NEAR(rms(t.samples), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(peak(t.samples), 1.0, 1e-6);
+  EXPECT_NEAR(crest_factor_db(t), 3.01, 0.05);
+}
+
+TEST(metrics, dbfs_levels) {
+  const buffer t = tone(100.0, 1.0, 8'000.0, 0.1);
+  EXPECT_NEAR(peak_dbfs(t), -20.0, 0.1);
+  EXPECT_NEAR(rms_dbfs(t), -23.0, 0.1);
+}
+
+TEST(metrics, snr_db_measures_known_noise) {
+  ivc::rng rng{17};
+  const buffer clean = tone(500.0, 1.0, 16'000.0, 1.0);
+  buffer noisy = clean;
+  // Add noise at exactly -20 dB of the signal RMS.
+  const double noise_rms = rms(clean.samples) * 0.1;
+  const buffer n = white_noise(1.0, 16'000.0, noise_rms, rng);
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    noisy.samples[i] += n.samples[i];
+  }
+  EXPECT_NEAR(snr_db(clean.samples, noisy.samples), 20.0, 0.5);
+}
+
+TEST(metrics, snr_db_is_gain_invariant) {
+  ivc::rng rng{18};
+  const buffer clean = tone(500.0, 0.5, 16'000.0, 1.0);
+  buffer noisy = gain(clean, 3.7);
+  // Noise at -20 dB of the *scaled* signal RMS: SNR must read 20 dB no
+  // matter how the degraded copy was gained.
+  const buffer n =
+      white_noise(0.5, 16'000.0, 0.1 * 3.7 * rms(clean.samples), rng);
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    noisy.samples[i] += n.samples[i];
+  }
+  EXPECT_NEAR(snr_db(clean.samples, noisy.samples), 20.0, 1.0);
+}
+
+TEST(metrics, skewness_of_symmetric_signal_is_zero) {
+  const buffer t = tone(100.0, 1.0, 8'000.0, 1.0);
+  EXPECT_NEAR(amplitude_skewness(t.samples), 0.0, 0.01);
+}
+
+TEST(metrics, skewness_detects_squared_component) {
+  // v + 0.3 v^2 has positive skew for a symmetric v.
+  const buffer t = tone(100.0, 1.0, 8'000.0, 1.0);
+  std::vector<double> skewed(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    skewed[i] = t.samples[i] + 0.3 * t.samples[i] * t.samples[i];
+  }
+  EXPECT_GT(amplitude_skewness(skewed), 0.2);
+}
+
+}  // namespace
+}  // namespace ivc::audio

@@ -1,0 +1,126 @@
+#include "audio/wav_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "common/rng.h"
+
+namespace ivc::audio {
+namespace {
+
+std::string temp_wav_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(wav_io, pcm16_round_trip_preserves_audio) {
+  const buffer original = tone(440.0, 0.25, 16'000.0, 0.8);
+  const std::string path = temp_wav_path("ivc_pcm16.wav");
+  write_wav(path, original, wav_format::pcm16);
+  const buffer loaded = read_wav(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.sample_rate_hz, 16'000.0);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded.samples[i], original.samples[i], 1.0 / 32'000.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, float32_round_trip_is_nearly_exact) {
+  ivc::rng rng{9};
+  const buffer original = white_noise(0.1, 48'000.0, 0.3, rng);
+  const std::string path = temp_wav_path("ivc_f32.wav");
+  write_wav(path, original, wav_format::float32);
+  const buffer loaded = read_wav(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded.samples[i], original.samples[i], 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, pcm16_clips_out_of_range_samples) {
+  buffer hot{{2.0, -2.0, 0.5}, 8'000.0};
+  const std::string path = temp_wav_path("ivc_hot.wav");
+  write_wav(path, hot, wav_format::pcm16);
+  const buffer loaded = read_wav(path);
+  EXPECT_NEAR(loaded.samples[0], 1.0, 1e-3);
+  EXPECT_NEAR(loaded.samples[1], -1.0, 1e-3);
+  EXPECT_NEAR(loaded.samples[2], 0.5, 1e-3);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, reads_pcm24_and_downmixes_stereo) {
+  // Hand-build a 24-bit stereo file: L = +0.5, R = -0.25 constant; the
+  // reader must average to 0.125.
+  const std::string path = temp_wav_path("ivc_pcm24.wav");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t frames = 64;
+    const std::uint32_t data_bytes = frames * 2 * 3;
+    const std::uint32_t riff = 36 + data_bytes;
+    auto w32 = [&](std::uint32_t v) { std::fwrite(&v, 4, 1, f); };
+    auto w16 = [&](std::uint16_t v) { std::fwrite(&v, 2, 1, f); };
+    std::fwrite("RIFF", 4, 1, f);
+    w32(riff);
+    std::fwrite("WAVE", 4, 1, f);
+    std::fwrite("fmt ", 4, 1, f);
+    w32(16);
+    w16(1);          // PCM
+    w16(2);          // stereo
+    w32(16'000);     // rate
+    w32(16'000 * 6); // byte rate
+    w16(6);          // block align
+    w16(24);         // bits
+    std::fwrite("data", 4, 1, f);
+    w32(data_bytes);
+    const std::int32_t left = static_cast<std::int32_t>(0.5 * 8388608.0);
+    const std::int32_t right = static_cast<std::int32_t>(-0.25 * 8388608.0);
+    for (std::uint32_t i = 0; i < frames; ++i) {
+      for (const std::int32_t v : {left, right}) {
+        const unsigned char bytes[3] = {
+            static_cast<unsigned char>(v & 0xff),
+            static_cast<unsigned char>((v >> 8) & 0xff),
+            static_cast<unsigned char>((v >> 16) & 0xff)};
+        std::fwrite(bytes, 3, 1, f);
+      }
+    }
+    std::fclose(f);
+  }
+  const buffer loaded = read_wav(path);
+  ASSERT_EQ(loaded.size(), 64u);
+  EXPECT_DOUBLE_EQ(loaded.sample_rate_hz, 16'000.0);
+  for (const double s : loaded.samples) {
+    EXPECT_NEAR(s, 0.125, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, read_rejects_missing_file) {
+  EXPECT_THROW(read_wav("/nonexistent/definitely/missing.wav"),
+               std::runtime_error);
+}
+
+TEST(wav_io, read_rejects_garbage_header) {
+  const std::string path = temp_wav_path("ivc_garbage.wav");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a wav file at all", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, write_rejects_empty_buffer) {
+  const buffer empty;
+  EXPECT_THROW(write_wav(temp_wav_path("ivc_empty.wav"), empty),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::audio

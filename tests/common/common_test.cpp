@@ -1,0 +1,108 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ivc {
+namespace {
+
+TEST(units, amplitude_db_round_trip) {
+  for (const double db : {-60.0, -6.02, 0.0, 12.0, 40.0}) {
+    EXPECT_NEAR(amplitude_to_db(db_to_amplitude(db)), db, 1e-12);
+  }
+  EXPECT_NEAR(amplitude_to_db(2.0), 6.0206, 1e-3);
+  EXPECT_NEAR(power_to_db(2.0), 3.0103, 1e-3);
+}
+
+TEST(units, nonpositive_maps_to_negative_infinity) {
+  EXPECT_TRUE(std::isinf(amplitude_to_db(0.0)));
+  EXPECT_TRUE(std::isinf(power_to_db(-1.0)));
+  EXPECT_LT(amplitude_to_db(0.0), 0.0);
+}
+
+TEST(units, spl_reference_points) {
+  // 94 dB SPL is 1 Pa RMS by definition of the 20 µPa reference.
+  EXPECT_NEAR(spl_db_to_pa(93.9794), 1.0, 1e-4);
+  EXPECT_NEAR(pa_to_spl_db(1.0), 93.9794, 1e-3);
+  EXPECT_NEAR(pa_to_spl_db(20e-6), 0.0, 1e-9);
+  EXPECT_NEAR(spl_db_to_sine_peak_pa(93.9794), std::sqrt(2.0), 1e-3);
+}
+
+TEST(units, spl_round_trip) {
+  for (const double spl : {0.0, 40.0, 94.0, 120.0}) {
+    EXPECT_NEAR(pa_to_spl_db(spl_db_to_pa(spl)), spl, 1e-9);
+  }
+}
+
+TEST(error, expects_and_ensures_throw_typed_exceptions) {
+  EXPECT_NO_THROW(expects(true, "fine"));
+  EXPECT_NO_THROW(ensures(true, "fine"));
+  EXPECT_THROW(expects(false, "bad input"), std::invalid_argument);
+  EXPECT_THROW(ensures(false, "bad state"), std::runtime_error);
+  try {
+    expects(false, "message text");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "message text");
+  }
+}
+
+TEST(rng, deterministic_and_seed_sensitive) {
+  rng a{42};
+  rng b{42};
+  rng c{43};
+  const double va = a.uniform();
+  EXPECT_DOUBLE_EQ(va, b.uniform());
+  EXPECT_NE(va, c.uniform());
+}
+
+TEST(rng, split_streams_are_stable_and_distinct) {
+  rng root{7};
+  rng s1 = root.split(1);
+  rng s2 = root.split(2);
+  rng s1_again = rng{7}.split(1);
+  EXPECT_DOUBLE_EQ(s1.uniform(), s1_again.uniform());
+  EXPECT_NE(s1.normal(), s2.normal());
+}
+
+TEST(rng, distributions_respect_ranges) {
+  rng r{11};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+    const auto n = r.uniform_int(5, 9);
+    EXPECT_GE(n, 5);
+    EXPECT_LE(n, 9);
+  }
+  EXPECT_THROW(r.uniform(3.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(r.bernoulli(1.5), std::invalid_argument);
+  EXPECT_THROW(r.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(rng, normal_moments_are_plausible) {
+  rng r{13};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(constants, sane_values) {
+  EXPECT_NEAR(pi, 3.14159265358979, 1e-12);
+  EXPECT_NEAR(speed_of_sound_20c, 343.0, 1.0);
+  EXPECT_LT(audible_low_hz, audible_high_hz);
+}
+
+}  // namespace
+}  // namespace ivc

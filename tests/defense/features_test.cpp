@@ -1,0 +1,131 @@
+#include "defense/features.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "audio/ops.h"
+#include "common/rng.h"
+#include "dsp/biquad.h"
+#include "synth/commands.h"
+
+namespace ivc::defense {
+namespace {
+
+// Builds a synthetic "injected" capture: voice plus the β·v² term the
+// microphone non-linearity would add.
+audio::buffer with_squared_trace(const audio::buffer& voice, double beta) {
+  audio::buffer out = voice;
+  for (double& v : out.samples) {
+    v = v + beta * v * v;
+  }
+  return audio::remove_dc(out);
+}
+
+audio::buffer test_voice() {
+  ivc::rng rng{80};
+  audio::buffer v = synth::render_command(synth::command_by_id("open_door"),
+                                          synth::male_voice(), rng, 16'000.0);
+  // Remove natural sub-voice content like a mic high-pass would (4th
+  // order, so the glottal fundamental's skirt does not masquerade as a
+  // low-band trace)...
+  const ivc::dsp::iir_cascade hp =
+      ivc::dsp::butterworth_highpass(4, 120.0, 16'000.0);
+  v.samples = hp.process(v.samples);
+  // ...and add the noise floor every real capture carries; without it a
+  // *digitally clean* synthetic voice correlates with its own envelope in
+  // any band, which no physical recording does.
+  ivc::rng nr{81};
+  for (double& s : v.samples) {
+    s += nr.normal(0.0, 2e-3);
+  }
+  return v;
+}
+
+TEST(features, squared_trace_raises_low_band_ratio) {
+  const audio::buffer voice = test_voice();
+  const trace_features clean = extract_trace_features(voice);
+  const trace_features attacked =
+      extract_trace_features(with_squared_trace(voice, 0.3));
+  EXPECT_GT(attacked.low_band_ratio_db, clean.low_band_ratio_db + 6.0);
+}
+
+TEST(features, squared_trace_correlates_with_envelope) {
+  const audio::buffer voice = test_voice();
+  const trace_features attacked =
+      extract_trace_features(with_squared_trace(voice, 0.3));
+  const trace_features clean = extract_trace_features(voice);
+  EXPECT_GT(attacked.low_band_envelope_corr, 0.5);
+  EXPECT_GT(attacked.low_band_envelope_corr,
+            clean.low_band_envelope_corr + 0.2);
+}
+
+TEST(features, squared_trace_skews_amplitude) {
+  const audio::buffer voice = test_voice();
+  const trace_features clean = extract_trace_features(voice);
+  const trace_features attacked =
+      extract_trace_features(with_squared_trace(voice, 0.3));
+  EXPECT_GT(attacked.amplitude_skew, clean.amplitude_skew + 0.1);
+}
+
+TEST(features, band_limited_capture_shows_high_band_deficit) {
+  const audio::buffer voice = test_voice();
+  // Simulate the attack's 4 kHz conditioning.
+  const ivc::dsp::iir_cascade lp =
+      ivc::dsp::butterworth_lowpass(6, 4'000.0, 16'000.0);
+  audio::buffer limited = voice;
+  limited.samples = lp.process(limited.samples);
+  const trace_features full = extract_trace_features(voice);
+  const trace_features narrow = extract_trace_features(limited);
+  EXPECT_LT(narrow.high_band_ratio_db, full.high_band_ratio_db - 6.0);
+}
+
+TEST(features, feature_strength_scales_with_beta) {
+  const audio::buffer voice = test_voice();
+  double prev_ratio = extract_trace_features(voice).low_band_ratio_db;
+  for (const double beta : {0.1, 0.3, 0.6}) {
+    const trace_features f =
+        extract_trace_features(with_squared_trace(voice, beta));
+    EXPECT_GT(f.low_band_ratio_db, prev_ratio) << "beta=" << beta;
+    prev_ratio = f.low_band_ratio_db;
+  }
+}
+
+TEST(features, silence_and_tiny_input_return_neutral_features) {
+  const audio::buffer quiet{std::vector<double>(8'000, 1e-9), 16'000.0};
+  const trace_features f = extract_trace_features(quiet);
+  EXPECT_DOUBLE_EQ(f.low_band_envelope_corr, 0.0);
+  EXPECT_DOUBLE_EQ(f.amplitude_skew, 0.0);
+}
+
+TEST(features, names_align_with_array) {
+  const auto& names = trace_features::names();
+  EXPECT_EQ(names.size(), num_trace_features);
+  trace_features f;
+  f.low_band_envelope_corr = 1.0;
+  f.low_band_waveform_corr = 5.0;
+  const auto arr = f.as_array();
+  EXPECT_DOUBLE_EQ(arr[0], 1.0);
+  EXPECT_DOUBLE_EQ(arr[4], 5.0);
+  EXPECT_STREQ(names[0], "low_band_envelope_corr");
+}
+
+TEST(features, labelled_set_accumulates) {
+  labelled_features set;
+  trace_features f;
+  set.add(f, 1);
+  set.add(f, 0);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.y[0], 1);
+  EXPECT_EQ(set.y[1], 0);
+}
+
+TEST(features, rejects_bad_band_config) {
+  const audio::buffer voice = test_voice();
+  feature_config bad;
+  bad.low_band_hi_hz = 200.0;  // overlaps the voice band low edge
+  EXPECT_THROW(extract_trace_features(voice, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::defense

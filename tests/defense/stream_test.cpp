@@ -1,0 +1,116 @@
+#include "defense/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "audio/ops.h"
+#include "common/rng.h"
+#include "defense/classifier.h"
+#include "synth/commands.h"
+
+namespace ivc::defense {
+namespace {
+
+// A tiny trained classifier fixture shared by the stream tests.
+logistic_classifier tiny_classifier() {
+  ivc::rng rng{90};
+  labelled_features data;
+  for (int i = 0; i < 120; ++i) {
+    trace_features f;
+    const bool attack = i % 2 == 0;
+    const double c = attack ? 1.0 : -1.0;
+    f.low_band_envelope_corr = c + rng.normal(0.0, 0.3);
+    f.low_band_ratio_db = 4.0 * c + rng.normal(0.0, 1.0);
+    f.amplitude_skew = 0.4 * c + rng.normal(0.0, 0.2);
+    f.low_band_waveform_corr = c + rng.normal(0.0, 0.3);
+    data.add(f, attack ? 1 : 0);
+  }
+  logistic_classifier clf;
+  clf.train(data);
+  return clf;
+}
+
+audio::buffer speech_with_trace(double beta, std::uint64_t seed) {
+  ivc::rng rng{seed};
+  audio::buffer v = synth::render_command(synth::command_by_id("open_door"),
+                                          synth::male_voice(), rng, 16'000.0);
+  for (double& s : v.samples) {
+    s = s + beta * s * s;
+  }
+  return audio::remove_dc(v);
+}
+
+TEST(stream, emits_events_for_active_audio) {
+  stream_detector det{classifier_detector{tiny_classifier()}};
+  const audio::buffer speech = speech_with_trace(0.0, 91);
+  auto events = det.feed(speech);
+  auto tail = det.finish();
+  events.insert(events.end(), tail.begin(), tail.end());
+  EXPECT_GE(events.size(), 2u);
+  // Event timestamps advance by the hop.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].time_s, events[i - 1].time_s);
+  }
+}
+
+TEST(stream, skips_silent_windows) {
+  stream_detector det{classifier_detector{tiny_classifier()}};
+  const audio::buffer quiet = audio::silence(3.0, 16'000.0);
+  const auto events = det.feed(quiet);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(stream, block_size_does_not_change_decisions) {
+  const audio::buffer speech = speech_with_trace(0.3, 92);
+
+  stream_detector whole{classifier_detector{tiny_classifier()}};
+  auto events_whole = whole.feed(speech);
+  auto tail = whole.finish();
+  events_whole.insert(events_whole.end(), tail.begin(), tail.end());
+
+  stream_detector chunked{classifier_detector{tiny_classifier()}};
+  std::vector<stream_event> events_chunked;
+  const std::size_t block = 1'000;
+  for (std::size_t start = 0; start < speech.size(); start += block) {
+    const std::size_t len = std::min(block, speech.size() - start);
+    audio::buffer piece{{speech.samples.begin() +
+                             static_cast<std::ptrdiff_t>(start),
+                         speech.samples.begin() +
+                             static_cast<std::ptrdiff_t>(start + len)},
+                        16'000.0};
+    const auto ev = chunked.feed(piece);
+    events_chunked.insert(events_chunked.end(), ev.begin(), ev.end());
+  }
+  const auto tail2 = chunked.finish();
+  events_chunked.insert(events_chunked.end(), tail2.begin(), tail2.end());
+
+  ASSERT_EQ(events_whole.size(), events_chunked.size());
+  for (std::size_t i = 0; i < events_whole.size(); ++i) {
+    EXPECT_NEAR(events_whole[i].score, events_chunked[i].score, 1e-12);
+  }
+}
+
+TEST(stream, reset_restarts_clock) {
+  stream_detector det{classifier_detector{tiny_classifier()}};
+  det.feed(speech_with_trace(0.0, 93));
+  det.reset();
+  const auto events = det.feed(speech_with_trace(0.0, 93));
+  if (!events.empty()) {
+    EXPECT_DOUBLE_EQ(events.front().time_s, 0.0);
+  }
+}
+
+TEST(stream, rejects_rate_changes_and_bad_config) {
+  stream_detector det{classifier_detector{tiny_classifier()}};
+  det.feed(audio::silence(0.1, 16'000.0));
+  EXPECT_THROW(det.feed(audio::silence(0.1, 48'000.0)),
+               std::invalid_argument);
+  stream_config bad;
+  bad.hop_s = 2.0;
+  bad.window_s = 1.0;
+  EXPECT_THROW(stream_detector(classifier_detector{tiny_classifier()}, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::defense

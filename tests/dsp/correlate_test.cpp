@@ -1,0 +1,154 @@
+#include "dsp/correlate.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/rng.h"
+
+namespace ivc::dsp {
+namespace {
+
+TEST(correlate, pearson_of_identical_signals_is_one) {
+  ivc::rng rng{1};
+  std::vector<double> x(500);
+  for (auto& v : x) {
+    v = rng.normal();
+  }
+  EXPECT_NEAR(pearson_correlation(x, x), 1.0, 1e-12);
+}
+
+TEST(correlate, pearson_is_scale_and_offset_invariant) {
+  ivc::rng rng{2};
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = 3.0 * x[i] + 7.0;
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  for (auto& v : y) {
+    v = -v;
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(correlate, pearson_of_independent_noise_is_small) {
+  ivc::rng rng{3};
+  std::vector<double> x(20'000);
+  std::vector<double> y(20'000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_LT(std::abs(pearson_correlation(x, y)), 0.05);
+}
+
+TEST(correlate, pearson_zero_variance_returns_zero) {
+  const std::vector<double> x(100, 1.0);
+  const std::vector<double> y{std::vector<double>(100, 2.0)};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(correlate, best_alignment_finds_known_shift) {
+  ivc::rng rng{4};
+  std::vector<double> base(1'000);
+  for (auto& v : base) {
+    v = rng.normal();
+  }
+  // a = base delayed by 37 samples.
+  std::vector<double> a(1'200, 0.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    a[i + 37] = base[i];
+  }
+  const alignment al = best_alignment(a, base);
+  EXPECT_EQ(al.lag, 37);
+  EXPECT_NEAR(al.peak, 1.0, 0.05);
+}
+
+TEST(correlate, aligned_correlation_tolerates_lag) {
+  ivc::rng rng{5};
+  std::vector<double> base(2'000);
+  for (auto& v : base) {
+    v = rng.normal();
+  }
+  std::vector<double> shifted(2'000, 0.0);
+  for (std::size_t i = 0; i + 25 < base.size(); ++i) {
+    shifted[i + 25] = base[i];
+  }
+  EXPECT_GT(aligned_correlation(shifted, base, 50), 0.95);
+  // Without enough slack the alignment fails to reach the true lag.
+  EXPECT_LT(aligned_correlation(shifted, base, 3), 0.5);
+}
+
+TEST(correlate, cross_correlation_peak_normalized_copy_is_one) {
+  ivc::rng rng{6};
+  std::vector<double> x(512);
+  for (auto& v : x) {
+    v = rng.normal();
+  }
+  const auto xc = normalized_cross_correlation(x, x);
+  // Zero lag lives at index size-1.
+  EXPECT_NEAR(xc[x.size() - 1], 1.0, 1e-9);
+  for (const double v : xc) {
+    EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+  }
+}
+
+TEST(correlate, rejects_bad_arguments) {
+  const std::vector<double> x(10, 1.0);
+  const std::vector<double> y(9, 1.0);
+  EXPECT_THROW(pearson_correlation(x, y), std::invalid_argument);
+  EXPECT_THROW(normalized_cross_correlation({}, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::dsp
+
+// ------------------------------------------------------------------------
+// Goertzel
+#include "dsp/goertzel.h"
+
+namespace ivc::dsp {
+namespace {
+
+TEST(goertzel, unit_sine_measures_unit_amplitude) {
+  const double fs = 16'000.0;
+  std::vector<double> x(16'000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(two_pi * 1'000.0 * static_cast<double>(i) / fs);
+  }
+  EXPECT_NEAR(goertzel_amplitude(x, fs, 1'000.0), 1.0, 1e-3);
+  EXPECT_NEAR(goertzel_power(x, fs, 1'000.0), 0.5, 1e-3);
+}
+
+TEST(goertzel, off_frequency_measures_near_zero) {
+  const double fs = 16'000.0;
+  std::vector<double> x(16'000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(two_pi * 1'000.0 * static_cast<double>(i) / fs);
+  }
+  EXPECT_LT(goertzel_amplitude(x, fs, 3'000.0), 1e-3);
+}
+
+TEST(goertzel, scales_quadratically_in_power) {
+  const double fs = 16'000.0;
+  std::vector<double> x(8'000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.5 * std::sin(two_pi * 2'000.0 * static_cast<double>(i) / fs);
+  }
+  EXPECT_NEAR(goertzel_power(x, fs, 2'000.0), 0.125, 1e-3);
+}
+
+TEST(goertzel, dc_component) {
+  const std::vector<double> x(1'000, 0.7);
+  EXPECT_NEAR(goertzel_amplitude(x, 16'000.0, 0.0), 0.7, 1e-6);
+}
+
+TEST(goertzel, rejects_out_of_range_frequency) {
+  const std::vector<double> x(100, 1.0);
+  EXPECT_THROW(goertzel_power(x, 16'000.0, 9'000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::dsp

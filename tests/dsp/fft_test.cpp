@@ -1,0 +1,169 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/rng.h"
+
+namespace ivc::dsp {
+namespace {
+
+TEST(fft, next_pow2_covers_edges) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(fft, is_pow2_matches_definition) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(fft, impulse_transforms_to_flat_spectrum) {
+  std::vector<cplx> x(16, cplx{0.0, 0.0});
+  x[0] = cplx{1.0, 0.0};
+  const auto spec = fft(x);
+  for (const cplx& bin : spec) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(fft, sine_lands_in_expected_bin) {
+  const std::size_t n = 256;
+  std::vector<double> x(n);
+  const std::size_t k = 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(two_pi * static_cast<double>(k * i) / n);
+  }
+  const auto spec = fft_real(x);
+  // Bin k should hold amplitude n/2, everything else ~0.
+  EXPECT_NEAR(std::abs(spec[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[n - k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[k + 3]), 0.0, 1e-9);
+}
+
+TEST(fft, round_trip_recovers_signal_pow2) {
+  ivc::rng rng{1};
+  std::vector<cplx> x(128);
+  for (auto& v : x) {
+    v = cplx{rng.normal(), rng.normal()};
+  }
+  const auto back = ifft(fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST(fft, round_trip_recovers_signal_arbitrary_length) {
+  ivc::rng rng{2};
+  for (const std::size_t n : {3u, 12u, 100u, 255u, 499u}) {
+    std::vector<cplx> x(n);
+    for (auto& v : x) {
+      v = cplx{rng.normal(), rng.normal()};
+    }
+    const auto back = ifft(fft(x));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i].real(), x[i].real(), 1e-8) << "n=" << n;
+      EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(fft, bluestein_matches_radix2_on_common_length) {
+  // Cross-check: compute a 64-point transform once as pow2 and once by
+  // forcing Bluestein through a 65-point zero-padded comparison is not
+  // valid; instead verify Parseval on a non-pow2 length.
+  ivc::rng rng{3};
+  const std::size_t n = 96;
+  std::vector<cplx> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = cplx{rng.normal(), rng.normal()};
+    time_energy += std::norm(v);
+  }
+  const auto spec = fft(x);
+  double freq_energy = 0.0;
+  for (const auto& bin : spec) {
+    freq_energy += std::norm(bin);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST(fft, parseval_holds_for_real_signals) {
+  ivc::rng rng{4};
+  const std::size_t n = 512;
+  std::vector<double> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = rng.normal();
+    time_energy += v * v;
+  }
+  const auto spec = fft_real(x);
+  double freq_energy = 0.0;
+  for (const auto& bin : spec) {
+    freq_energy += std::norm(bin);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * time_energy);
+}
+
+TEST(fft, linearity) {
+  ivc::rng rng{5};
+  const std::size_t n = 64;
+  std::vector<cplx> a(n);
+  std::vector<cplx> b(n);
+  std::vector<cplx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = cplx{rng.normal(), 0.0};
+    b[i] = cplx{rng.normal(), 0.0};
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fsum = fft(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx expected = 2.0 * fa[i] + 3.0 * fb[i];
+    EXPECT_NEAR(std::abs(fsum[i] - expected), 0.0, 1e-9);
+  }
+}
+
+TEST(fft, ifft_real_recovers_real_signal) {
+  ivc::rng rng{6};
+  std::vector<double> x(200);
+  for (auto& v : x) {
+    v = rng.normal();
+  }
+  const auto spec = fft_real(x);
+  const auto back = ifft_real(spec);
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(fft, bin_frequency_maps_positive_and_negative) {
+  EXPECT_DOUBLE_EQ(bin_frequency_hz(0, 8, 8000.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency_hz(1, 8, 8000.0), 1000.0);
+  EXPECT_DOUBLE_EQ(bin_frequency_hz(4, 8, 8000.0), 4000.0);
+  EXPECT_DOUBLE_EQ(bin_frequency_hz(5, 8, 8000.0), -3000.0);
+  EXPECT_DOUBLE_EQ(bin_frequency_hz(7, 8, 8000.0), -1000.0);
+}
+
+TEST(fft, rejects_empty_and_bad_args) {
+  EXPECT_THROW(fft({}), std::invalid_argument);
+  std::vector<cplx> three(3);
+  EXPECT_THROW(fft_pow2_inplace(three, false), std::invalid_argument);
+  EXPECT_THROW(bin_frequency_hz(8, 8, 8000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::dsp

@@ -1,0 +1,105 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "dsp/goertzel.h"
+
+namespace ivc::dsp {
+namespace {
+
+std::vector<double> sine(double freq, double fs, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::sin(two_pi * freq * static_cast<double>(i) / fs);
+  }
+  return out;
+}
+
+TEST(resample, identity_when_rates_match) {
+  const auto sig = sine(440.0, 16'000.0, 1'000);
+  const auto out = resample(sig, 16'000.0, 16'000.0);
+  EXPECT_EQ(out, sig);
+}
+
+TEST(resample, upsample_preserves_tone_frequency_and_amplitude) {
+  const double f = 1'000.0;
+  const auto sig = sine(f, 16'000.0, 16'000);
+  const auto out = resample(sig, 16'000.0, 48'000.0);
+  EXPECT_EQ(out.size(), 48'000u);
+  // Measure on the interior to avoid edge transients.
+  const std::span<const double> mid{out.data() + 8'000, 32'000};
+  EXPECT_NEAR(goertzel_amplitude(mid, 48'000.0, f), 1.0, 0.02);
+  EXPECT_LT(goertzel_amplitude(mid, 48'000.0, 15'000.0), 1e-3);
+}
+
+TEST(resample, downsample_preserves_in_band_tone) {
+  const double f = 2'000.0;
+  const auto sig = sine(f, 48'000.0, 48'000);
+  const auto out = resample(sig, 48'000.0, 16'000.0);
+  EXPECT_EQ(out.size(), 16'000u);
+  const std::span<const double> mid{out.data() + 2'000, 12'000};
+  EXPECT_NEAR(goertzel_amplitude(mid, 16'000.0, f), 1.0, 0.02);
+}
+
+TEST(resample, downsample_removes_aliasing_content) {
+  // 20 kHz tone at 48 kHz must NOT alias into a 16 kHz capture.
+  const auto sig = sine(20'000.0, 48'000.0, 48'000);
+  const auto out = resample(sig, 48'000.0, 16'000.0);
+  // The alias would land at |20k - 16k| = 4 kHz.
+  const std::span<const double> mid{out.data() + 2'000, 12'000};
+  EXPECT_LT(goertzel_amplitude(mid, 16'000.0, 4'000.0), 1e-3);
+}
+
+TEST(resample, rational_ratio_44100_to_48000) {
+  const double f = 997.0;
+  const auto sig = sine(f, 44'100.0, 44'100);
+  const auto out = resample(sig, 44'100.0, 48'000.0);
+  EXPECT_EQ(out.size(), 48'000u);
+  const std::span<const double> mid{out.data() + 8'000, 32'000};
+  EXPECT_NEAR(goertzel_amplitude(mid, 48'000.0, f), 1.0, 0.03);
+}
+
+TEST(resample, length_formula_matches_output) {
+  const auto sig = sine(100.0, 16'000.0, 12'345);
+  for (const double out_rate : {8'000.0, 22'050.0, 48'000.0, 192'000.0}) {
+    const auto out = resample(sig, 16'000.0, out_rate);
+    EXPECT_EQ(out.size(), resampled_length(sig.size(), 16'000.0, out_rate));
+  }
+}
+
+TEST(resample, wide_transition_still_clean_for_band_limited_input) {
+  // The conditioner's fast path: content at 1 kHz only, transition 0.45.
+  const auto sig = sine(1'000.0, 16'000.0, 16'000);
+  const auto out = resample(sig, 16'000.0, 192'000.0, 80.0, 0.45);
+  const std::span<const double> mid{out.data() + 96'000, 96'000};
+  EXPECT_NEAR(goertzel_amplitude(mid, 192'000.0, 1'000.0), 1.0, 0.02);
+  EXPECT_LT(goertzel_amplitude(mid, 192'000.0, 17'000.0), 1e-3);
+}
+
+TEST(resample, output_time_alignment) {
+  // A peak in the middle of the input stays in the middle of the output.
+  std::vector<double> sig(1'001, 0.0);
+  sig[500] = 1.0;
+  const auto out = resample(sig, 16'000.0, 48'000.0);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i] > out[argmax]) {
+      argmax = i;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(argmax), 1500.0, 2.0);
+}
+
+TEST(resample, rejects_bad_arguments) {
+  const std::vector<double> sig(16, 0.0);
+  EXPECT_THROW(resample({}, 16'000.0, 48'000.0), std::invalid_argument);
+  EXPECT_THROW(resample(sig, -1.0, 48'000.0), std::invalid_argument);
+  EXPECT_THROW(resample(sig, 16'000.5, 48'000.0), std::invalid_argument);
+  EXPECT_THROW(resample(sig, 16'000.0, 48'000.0, 80.0, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::dsp

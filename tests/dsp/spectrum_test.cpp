@@ -1,0 +1,85 @@
+#include "dsp/spectrum.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/rng.h"
+
+namespace ivc::dsp {
+namespace {
+
+TEST(spectrum, welch_psd_integrates_to_signal_power) {
+  ivc::rng rng{21};
+  std::vector<double> x(65'536);
+  double power = 0.0;
+  for (auto& v : x) {
+    v = rng.normal(0.0, 0.5);
+    power += v * v;
+  }
+  power /= static_cast<double>(x.size());
+  const auto psd = welch_psd(x, 16'000.0);
+  const double integrated = psd.band_power(0.0, 8'000.0);
+  EXPECT_NEAR(integrated, power, 0.05 * power);
+}
+
+TEST(spectrum, tone_power_concentrates_in_band) {
+  const double fs = 16'000.0;
+  std::vector<double> x(32'768);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(two_pi * 1'000.0 * static_cast<double>(i) / fs);
+  }
+  const auto psd = welch_psd(x, fs);
+  // A unit sine has mean-square 0.5, almost all within ±50 Hz of 1 kHz.
+  EXPECT_NEAR(psd.band_power(950.0, 1'050.0), 0.5, 0.02);
+  EXPECT_LT(psd.band_power(2'000.0, 8'000.0), 1e-4);
+}
+
+TEST(spectrum, peak_frequency_finds_strongest_component) {
+  const double fs = 16'000.0;
+  std::vector<double> x(32'768);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = 0.3 * std::sin(two_pi * 500.0 * t) + std::sin(two_pi * 3'000.0 * t);
+  }
+  const auto psd = welch_psd(x, fs);
+  EXPECT_NEAR(psd.peak_frequency(0.0, 8'000.0), 3'000.0, 10.0);
+  EXPECT_NEAR(psd.peak_frequency(0.0, 1'000.0), 500.0, 10.0);
+}
+
+TEST(spectrum, band_power_ratio_db_matches_construction) {
+  const double fs = 16'000.0;
+  std::vector<double> x(65'536);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    // 1 kHz at amplitude 1, 3 kHz at amplitude 0.1 → power ratio -20 dB.
+    x[i] = std::sin(two_pi * 1'000.0 * t) + 0.1 * std::sin(two_pi * 3'000.0 * t);
+  }
+  const double ratio = band_power_ratio_db(x, fs, 2'900.0, 3'100.0,
+                                           900.0, 1'100.0);
+  EXPECT_NEAR(ratio, -20.0, 0.5);
+}
+
+TEST(spectrum, short_signal_falls_back_to_single_frame) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(two_pi * 0.1 * static_cast<double>(i));
+  }
+  const auto psd = welch_psd(x, 16'000.0);
+  EXPECT_FALSE(psd.power.empty());
+  EXPECT_GT(psd.band_power(0.0, 8'000.0), 0.0);
+}
+
+TEST(spectrum, rejects_bad_arguments) {
+  EXPECT_THROW(welch_psd({}, 16'000.0), std::invalid_argument);
+  const std::vector<double> x(1'024, 1.0);
+  welch_config bad;
+  bad.segment_size = 100;  // not a power of two
+  EXPECT_THROW(welch_psd(x, 16'000.0, bad), std::invalid_argument);
+  bad.segment_size = 256;
+  bad.overlap = 256;
+  EXPECT_THROW(welch_psd(x, 16'000.0, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::dsp

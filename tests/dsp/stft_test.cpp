@@ -1,0 +1,100 @@
+#include "dsp/stft.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+
+namespace ivc::dsp {
+namespace {
+
+std::vector<double> tone(double f, double fs, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::sin(two_pi * f * static_cast<double>(i) / fs);
+  }
+  return out;
+}
+
+TEST(stft, frame_count_matches_hop) {
+  const auto sig = tone(440.0, 16'000.0, 16'000);
+  stft_config cfg;
+  cfg.frame_size = 512;
+  cfg.hop_size = 256;
+  const auto result = stft(sig, 16'000.0, cfg);
+  // center=true pads half a frame on each side.
+  EXPECT_NEAR(static_cast<double>(result.num_frames()),
+              16'000.0 / 256.0, 3.0);
+  EXPECT_EQ(result.num_bins(), 257u);
+}
+
+TEST(stft, tone_energy_lands_in_matching_bin) {
+  const double fs = 16'000.0;
+  const double f = 1'000.0;
+  const auto sig = tone(f, fs, 16'000);
+  const auto power = power_spectrogram(sig, fs);
+  // Expected bin for 1 kHz with frame 512 at 16 kHz: 32.
+  const std::size_t expected_bin = 32;
+  for (std::size_t t = 4; t + 4 < power.size(); ++t) {
+    std::size_t argmax = 0;
+    for (std::size_t k = 1; k < power[t].size(); ++k) {
+      if (power[t][k] > power[t][argmax]) {
+        argmax = k;
+      }
+    }
+    EXPECT_EQ(argmax, expected_bin);
+  }
+}
+
+TEST(stft, band_power_trace_follows_amplitude_steps) {
+  const double fs = 16'000.0;
+  // 0.5 s quiet tone then 0.5 s loud tone.
+  std::vector<double> sig = tone(500.0, fs, 16'000);
+  for (std::size_t i = 0; i < 8'000; ++i) {
+    sig[i] *= 0.1;
+  }
+  const auto trace = band_power_trace(sig, fs, 400.0, 600.0);
+  ASSERT_GT(trace.size(), 20u);
+  const double early = trace[trace.size() / 4];
+  const double late = trace[3 * trace.size() / 4];
+  EXPECT_GT(late, 50.0 * early);  // 20 dB amplitude step = 100x power
+}
+
+TEST(stft, band_power_trace_ignores_out_of_band_energy) {
+  const double fs = 16'000.0;
+  const auto sig = tone(3'000.0, fs, 16'000);
+  const auto trace = band_power_trace(sig, fs, 100.0, 500.0);
+  const auto in_band = band_power_trace(sig, fs, 2'800.0, 3'200.0);
+  double out_sum = 0.0;
+  double in_sum = 0.0;
+  for (const double v : trace) {
+    out_sum += v;
+  }
+  for (const double v : in_band) {
+    in_sum += v;
+  }
+  EXPECT_LT(out_sum, 1e-4 * in_sum);
+}
+
+TEST(stft, frame_time_and_bin_frequency_metadata) {
+  const auto sig = tone(440.0, 16'000.0, 8'000);
+  const auto result = stft(sig, 16'000.0);
+  EXPECT_DOUBLE_EQ(result.frame_time_s(0), 0.0);
+  EXPECT_NEAR(result.frame_time_s(10), 10.0 * 256.0 / 16'000.0, 1e-12);
+  EXPECT_NEAR(result.bin_hz(32), 1'000.0, 1e-9);
+}
+
+TEST(stft, rejects_bad_config) {
+  const auto sig = tone(440.0, 16'000.0, 4'096);
+  stft_config bad;
+  bad.frame_size = 500;  // not a power of two
+  EXPECT_THROW(stft(sig, 16'000.0, bad), std::invalid_argument);
+  bad.frame_size = 512;
+  bad.hop_size = 0;
+  EXPECT_THROW(stft(sig, 16'000.0, bad), std::invalid_argument);
+  EXPECT_THROW(band_power_trace(sig, 16'000.0, 500.0, 400.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::dsp

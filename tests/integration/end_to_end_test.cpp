@@ -1,0 +1,146 @@
+// The headline claims, as tests:
+//   1. The monolithic (prior-work) attack works at short range but its
+//      rig radiates an audible command shadow.
+//   2. The split-spectrum array attacks from room scale (7 m+) while
+//      staying below the hearing threshold at arm's length.
+//   3. The software defense separates injected from genuine captures.
+//   4. The hardened device resists both attacks.
+#include <gtest/gtest.h>
+
+#include "attack/leakage.h"
+#include "defense/classifier.h"
+#include "defense/detector.h"
+#include <algorithm>
+
+#include "defense/roc.h"
+#include "sim/corpus.h"
+#include "sim/scenario.h"
+
+namespace ivc {
+namespace {
+
+sim::attack_scenario monolithic_scenario() {
+  sim::attack_scenario sc;
+  sc.rig = attack::monolithic_rig(18.7);
+  sc.command_id = "mute_yourself";
+  sc.distance_m = 2.0;
+  return sc;
+}
+
+sim::attack_scenario long_range_scenario() {
+  sim::attack_scenario sc;
+  sc.rig = attack::long_range_rig();
+  sc.command_id = "mute_yourself";
+  sc.distance_m = 7.0;
+  return sc;
+}
+
+TEST(end_to_end, monolithic_attack_works_but_leaks_audibly) {
+  sim::attack_session session{monolithic_scenario(), 201};
+  const sim::trial_result r = session.run_trial(0);
+  EXPECT_TRUE(r.success);
+
+  const attack::leakage_report leak = attack::measure_leakage(
+      session.rig().array, acoustics::vec3{0.0, 1.0, 0.0},
+      acoustics::air_model{});
+  EXPECT_TRUE(leak.audibility.audible);
+  // The audible shadow sits in the voice band, not sub-bass.
+  EXPECT_GT(leak.audibility.worst_band_hz, 300.0);
+  EXPECT_LT(leak.audibility.worst_band_hz, 8'000.0);
+  // And it is created by the speaker non-linearity.
+  EXPECT_GT(leak.nonlinear_excess_db, 10.0);
+}
+
+TEST(end_to_end, split_array_attacks_at_7m_inaudibly) {
+  sim::attack_session session{long_range_scenario(), 202};
+  const sim::trial_result r = session.run_trial(0);
+  EXPECT_TRUE(r.success) << "distance=" << r.recognition.best_distance;
+  EXPECT_GT(r.intelligibility, 0.6);
+
+  const attack::leakage_report leak = attack::measure_leakage(
+      session.rig().array, acoustics::vec3{0.0, 1.0, 0.0},
+      acoustics::air_model{});
+  EXPECT_FALSE(leak.audibility.audible);
+  EXPECT_LT(leak.audibility.worst_margin_db, -10.0);
+}
+
+TEST(end_to_end, monolithic_attack_fails_at_long_range) {
+  // The calibrated reference command (short phrases degrade more
+  // gracefully and stretch a little farther).
+  sim::attack_scenario sc = monolithic_scenario();
+  sc.command_id = "take_picture";
+  sc.distance_m = 7.0;
+  sim::attack_session session{sc, 203};
+  EXPECT_FALSE(session.run_trial(0).success);
+}
+
+TEST(end_to_end, hardened_device_resists_the_long_range_attack) {
+  sim::attack_scenario sc = long_range_scenario();
+  sc.distance_m = 2.0;  // even point blank
+  sc.device = mic::hardened_profile();
+  sim::attack_session session{sc, 204};
+  EXPECT_FALSE(session.run_trial(0).success);
+}
+
+TEST(end_to_end, defense_separates_attack_from_genuine) {
+  // Small corpus for test speed; the benches use the full one.
+  sim::corpus_config cfg;
+  cfg.genuine_distances_m = {1.0};
+  cfg.genuine_levels_db = {65.0};
+  cfg.attack_distances_m = {2.0, 5.0};
+  cfg.attack_powers_w = {60.0};
+  cfg.attack_trials_per_combo = 1;
+  cfg.rig = attack::long_range_rig();
+  cfg.rig.total_power_w = 60.0;
+  cfg.max_attack_commands = 4;
+  cfg.max_genuine_phrases = 10;
+  const sim::defense_corpus corpus = sim::build_defense_corpus(cfg, 205);
+  ASSERT_GE(corpus.train.size(), 10u);
+  ASSERT_GE(corpus.test.size(), 10u);
+
+  defense::logistic_classifier clf;
+  clf.train(corpus.train);
+  EXPECT_GT(clf.accuracy(corpus.test), 0.85);
+
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < corpus.test.size(); ++i) {
+    scores.push_back(clf.predict_probability(corpus.test.x[i]));
+    labels.push_back(corpus.test.y[i]);
+  }
+  const defense::roc_curve roc = defense::compute_roc(scores, labels);
+  EXPECT_GT(roc.auc, 0.9);
+}
+
+TEST(end_to_end, detector_flags_long_range_capture_passes_genuine) {
+  // Train across the attack's working envelope (near and far) and with
+  // genuine-condition variety: a detector trained at one condition
+  // generalizes poorly — the paper's defense trains across conditions.
+  sim::corpus_config cfg;
+  cfg.genuine_distances_m = {0.8, 2.0};
+  cfg.genuine_levels_db = {60.0, 68.0};
+  cfg.attack_distances_m = {2.0, 6.0};
+  cfg.attack_powers_w = {120.0};
+  cfg.attack_trials_per_combo = 2;
+  cfg.rig = attack::long_range_rig();
+  cfg.max_attack_commands = 4;
+  cfg.max_genuine_phrases = 8;
+  const sim::defense_corpus corpus = sim::build_defense_corpus(cfg, 206);
+  defense::logistic_classifier clf;
+  clf.train(corpus.train);
+  const defense::classifier_detector detector{clf};
+
+  sim::attack_session session{long_range_scenario(), 207};
+  const defense::detection verdict =
+      detector.detect(session.run_trial(0).capture);
+  EXPECT_TRUE(verdict.is_attack);
+
+  sim::genuine_scenario g;
+  g.phrase_id = "take_picture";
+  ivc::rng rng{208};
+  const defense::detection ok = detector.detect(run_genuine_capture(g, rng));
+  EXPECT_FALSE(ok.is_attack);
+}
+
+}  // namespace
+}  // namespace ivc

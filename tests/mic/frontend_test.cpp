@@ -1,0 +1,186 @@
+#include "mic/frontend.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "audio/metrics.h"
+#include "common/units.h"
+#include "dsp/goertzel.h"
+#include "mic/device_profiles.h"
+
+namespace ivc::mic {
+namespace {
+
+mic_params quiet_params() {
+  mic_params p = phone_profile().mic;
+  p.self_noise_spl_db = -60.0;  // effectively noiseless for clean tests
+  p.agc = std::nullopt;
+  return p;
+}
+
+TEST(frontend, captures_voice_band_tone_at_device_rate) {
+  const mic_params p = quiet_params();
+  const microphone mic{p};
+  // 94 dB SPL tone (1 Pa RMS) at 1 kHz, analog at 48 kHz.
+  const double amp = ivc::spl_db_to_pa(94.0) * std::sqrt(2.0);
+  const audio::buffer pressure = audio::tone(1'000.0, 0.5, 48'000.0, amp);
+  ivc::rng rng{1};
+  const audio::buffer cap = mic.record(pressure, rng);
+  EXPECT_DOUBLE_EQ(cap.sample_rate_hz, 16'000.0);
+  // Expected digital amplitude: 1 Pa·sqrt2 / full-scale-pa.
+  const double fs_pa = ivc::spl_db_to_pa(p.full_scale_spl_db) * std::sqrt(2.0);
+  const std::span<const double> mid{cap.samples.data() + 3'200, 3'200};
+  EXPECT_NEAR(ivc::dsp::goertzel_amplitude(mid, 16'000.0, 1'000.0),
+              amp / fs_pa, 0.05 * amp / fs_pa);
+}
+
+TEST(frontend, removes_ultrasound_but_keeps_demodulated_product) {
+  // AM ultrasound in, voice out: the end-to-end demodulation effect.
+  const mic_params p = quiet_params();
+  const microphone mic{p};
+  const double fs = 192'000.0;
+  const double fc = 40'000.0;
+  const std::size_t n = 1 << 17;
+  std::vector<double> pressure(n);
+  const double carrier_peak = ivc::spl_db_to_pa(110.0) * std::sqrt(2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double m = std::sin(2.0 * M_PI * 400.0 * t);
+    pressure[i] = carrier_peak * (0.5 + 0.5 * m) * std::cos(2.0 * M_PI * fc * t);
+  }
+  ivc::rng rng{2};
+  const audio::buffer cap = mic.record({pressure, fs}, rng);
+  const std::span<const double> mid{cap.samples.data() + 2'000,
+                                    cap.size() - 4'000};
+  const double demod = ivc::dsp::goertzel_amplitude(mid, 16'000.0, 400.0);
+  EXPECT_GT(demod, 1e-4);  // the command came through
+  // No energy anywhere near the (removed) carrier band remains: probing
+  // the top of the capture band instead.
+  EXPECT_LT(ivc::dsp::goertzel_amplitude(mid, 16'000.0, 7'900.0),
+            0.05 * demod);
+}
+
+TEST(frontend, hardened_device_demodulates_far_less) {
+  const double fs = 192'000.0;
+  const std::size_t n = 1 << 17;
+  std::vector<double> pressure(n);
+  const double carrier_peak = ivc::spl_db_to_pa(110.0) * std::sqrt(2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double m = std::sin(2.0 * M_PI * 400.0 * t);
+    pressure[i] =
+        carrier_peak * (0.5 + 0.5 * m) * std::cos(2.0 * M_PI * 40'000.0 * t);
+  }
+  mic_params normal = quiet_params();
+  mic_params hard = hardened_profile().mic;
+  hard.self_noise_spl_db = -60.0;
+  hard.agc = std::nullopt;
+  ivc::rng r1{3};
+  ivc::rng r2{3};
+  const audio::buffer cap_normal =
+      microphone{normal}.record({pressure, fs}, r1);
+  const audio::buffer cap_hard = microphone{hard}.record({pressure, fs}, r2);
+  const std::span<const double> m1{cap_normal.samples.data() + 2'000,
+                                   cap_normal.size() - 4'000};
+  const std::span<const double> m2{cap_hard.samples.data() + 2'000,
+                                   cap_hard.size() - 4'000};
+  const double d_normal = ivc::dsp::goertzel_amplitude(m1, 16'000.0, 400.0);
+  const double d_hard = ivc::dsp::goertzel_amplitude(m2, 16'000.0, 400.0);
+  // Hardened: ~30 dB enclosure loss twice over + 9x lower a2.
+  EXPECT_LT(d_hard, 1e-3 * d_normal);
+}
+
+TEST(frontend, enclosure_loss_ramp) {
+  enclosure_model e{18'000.0, 30'000.0, 12.0};
+  EXPECT_DOUBLE_EQ(e.loss_db_at(1'000.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.loss_db_at(18'000.0), 0.0);
+  EXPECT_NEAR(e.loss_db_at(24'000.0), 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(e.loss_db_at(40'000.0), 12.0);
+  const enclosure_model none{};
+  EXPECT_DOUBLE_EQ(none.loss_db_at(40'000.0), 0.0);
+}
+
+TEST(frontend, self_noise_sets_capture_floor) {
+  mic_params p = quiet_params();
+  p.self_noise_spl_db = 30.0;
+  const microphone mic{p};
+  const audio::buffer silence{std::vector<double>(48'000, 0.0), 48'000.0};
+  ivc::rng rng{4};
+  const audio::buffer cap = mic.record(silence, rng);
+  const double rms_digital = audio::rms(cap.samples);
+  const double fs_pa = ivc::spl_db_to_pa(p.full_scale_spl_db) * std::sqrt(2.0);
+  const double measured_spl = ivc::pa_to_spl_db(rms_digital * fs_pa);
+  // The rating is in-band: the captured floor matches it within the DC
+  // blocker / quantizer slop.
+  EXPECT_NEAR(measured_spl, 30.0, 2.5);
+}
+
+TEST(frontend, clipping_at_overload_point) {
+  const mic_params p = quiet_params();
+  const microphone mic{p};
+  // 20 dB above the overload point must clip to ±1.
+  const double amp = ivc::spl_db_to_pa(p.full_scale_spl_db + 20.0) * std::sqrt(2.0);
+  const audio::buffer pressure = audio::tone(1'000.0, 0.1, 48'000.0, amp);
+  ivc::rng rng{5};
+  const audio::buffer cap = mic.record(pressure, rng);
+  EXPECT_LE(audio::peak(cap.samples), 1.0);
+  EXPECT_GT(audio::peak(cap.samples), 0.99);
+}
+
+TEST(frontend, agc_boosts_quiet_capture_toward_target) {
+  mic_params p = quiet_params();
+  agc_config agc;
+  agc.target_rms_dbfs = -20.0;
+  agc.max_gain_db = 30.0;
+  p.agc = agc;
+  const microphone mic{p};
+  const double amp = ivc::spl_db_to_pa(70.0) * std::sqrt(2.0);
+  const audio::buffer pressure = audio::tone(500.0, 1.0, 48'000.0, amp);
+  ivc::rng rng{6};
+  const audio::buffer cap = mic.record(pressure, rng);
+  // Without AGC this sits at 70-120-3 = -53 dBFS; AGC pulls it up by
+  // up to 30 dB. Measure the steady-state tail.
+  const std::span<const double> tail{cap.samples.data() + cap.size() / 2,
+                                     cap.size() / 2};
+  const double tail_dbfs = ivc::amplitude_to_db(audio::rms(tail));
+  EXPECT_GT(tail_dbfs, -28.0);
+}
+
+TEST(frontend, agc_does_not_boost_silence) {
+  const audio::buffer quiet{std::vector<double>(16'000, 1e-6), 16'000.0};
+  agc_config agc;
+  const audio::buffer out = apply_agc(quiet, agc);
+  EXPECT_NEAR(audio::peak(out.samples), 1e-6, 2e-6);
+}
+
+TEST(frontend, rejects_bad_configs) {
+  mic_params p = quiet_params();
+  p.capture_rate_hz = 0.0;
+  EXPECT_THROW(microphone{p}, std::invalid_argument);
+  mic_params q = quiet_params();
+  q.analog_lpf_hz = 10'000.0;  // above capture Nyquist
+  EXPECT_THROW(microphone{q}, std::invalid_argument);
+  const microphone mic{quiet_params()};
+  ivc::rng rng{7};
+  const audio::buffer low_rate{std::vector<double>(100, 0.0), 8'000.0};
+  EXPECT_THROW(mic.record(low_rate, rng), std::invalid_argument);
+}
+
+TEST(frontend, device_profiles_are_valid_and_distinct) {
+  const auto profiles = all_profiles();
+  EXPECT_GE(profiles.size(), 4u);
+  for (const auto& p : profiles) {
+    EXPECT_NO_THROW(microphone{p.mic});
+    EXPECT_FALSE(p.name.empty());
+  }
+  // Smart speaker has a grille, phone does not.
+  EXPECT_GT(smart_speaker_profile().mic.enclosure.ultra_loss_db, 0.0);
+  EXPECT_DOUBLE_EQ(phone_profile().mic.enclosure.ultra_loss_db, 0.0);
+  // Hardened is far less non-linear.
+  EXPECT_LT(hardened_profile().mic.nonlinearity.a2,
+            phone_profile().mic.nonlinearity.a2 / 5.0);
+}
+
+}  // namespace
+}  // namespace ivc::mic

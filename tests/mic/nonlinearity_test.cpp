@@ -1,0 +1,87 @@
+#include "mic/nonlinearity.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "audio/generate.h"
+#include "dsp/goertzel.h"
+
+namespace ivc::mic {
+namespace {
+
+TEST(nonlinearity, linear_profile_is_identity) {
+  const poly_nonlinearity nl{1.0, 0.0, 0.0, 0.0};
+  EXPECT_TRUE(nl.is_linear());
+  EXPECT_DOUBLE_EQ(nl(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(nl(-2.0), -2.0);
+}
+
+TEST(nonlinearity, polynomial_evaluation_matches_horner) {
+  const poly_nonlinearity nl{1.0, 0.1, 0.01, 0.001};
+  const double x = 1.7;
+  const double expected = x + 0.1 * x * x + 0.01 * x * x * x +
+                          0.001 * x * x * x * x;
+  EXPECT_NEAR(nl(x), expected, 1e-12);
+}
+
+TEST(nonlinearity, two_tone_intermodulation_at_difference_frequency) {
+  // The paper's core physics: 25 kHz + 30 kHz in, 5 kHz out.
+  const double fs = 192'000.0;
+  const std::vector<double> freqs{25'000.0, 30'000.0};
+  const audio::buffer in = audio::multi_tone(freqs, 0.5, fs, 1.0);
+  const poly_nonlinearity nl{1.0, 0.05, 0.0, 0.0};
+  const auto out = apply_nonlinearity(in.samples, nl);
+
+  const double measured = ivc::dsp::goertzel_amplitude(out, fs, 5'000.0);
+  const double predicted = predicted_imd2_amplitude(nl, 1.0);
+  EXPECT_NEAR(measured, predicted, 0.05 * predicted);
+  // Harmonics also appear at 2f1 and f1+f2.
+  EXPECT_NEAR(ivc::dsp::goertzel_amplitude(out, fs, 50'000.0),
+              0.5 * predicted, 0.05 * predicted);
+  EXPECT_NEAR(ivc::dsp::goertzel_amplitude(out, fs, 55'000.0), predicted,
+              0.05 * predicted);
+}
+
+TEST(nonlinearity, no_intermodulation_without_a2) {
+  const double fs = 192'000.0;
+  const std::vector<double> freqs{25'000.0, 30'000.0};
+  const audio::buffer in = audio::multi_tone(freqs, 0.5, fs, 1.0);
+  const poly_nonlinearity nl{1.0, 0.0, 0.0, 0.0};
+  const auto out = apply_nonlinearity(in.samples, nl);
+  EXPECT_LT(ivc::dsp::goertzel_amplitude(out, fs, 5'000.0), 1e-9);
+}
+
+TEST(nonlinearity, am_signal_self_demodulates) {
+  // s(t) = (0.5 + 0.5 m(t))·cos(w_c t) with m a 1 kHz tone: the a2 term
+  // recreates the 1 kHz baseband.
+  const double fs = 192'000.0;
+  const double fc = 40'000.0;
+  const std::size_t n = 1 << 16;
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double m = std::sin(2.0 * M_PI * 1'000.0 * t);
+    s[i] = (0.5 + 0.5 * m) * std::cos(2.0 * M_PI * fc * t);
+  }
+  const poly_nonlinearity nl{1.0, 0.1, 0.0, 0.0};
+  const auto out = apply_nonlinearity(s, nl);
+  // Expected baseband term: a2 · 2 · carrier · depth · m/2 =
+  // 0.1 · 0.5 · 0.5 · m → amplitude 0.025 at 1 kHz.
+  EXPECT_NEAR(ivc::dsp::goertzel_amplitude(out, fs, 1'000.0), 0.025, 0.003);
+}
+
+TEST(nonlinearity, third_order_creates_asymmetric_products) {
+  const double fs = 192'000.0;
+  const std::vector<double> freqs{30'000.0, 31'000.0};
+  const audio::buffer in = audio::multi_tone(freqs, 0.5, fs, 1.0);
+  const poly_nonlinearity nl{1.0, 0.0, 0.05, 0.0};
+  const auto out = apply_nonlinearity(in.samples, nl);
+  // 2f1 - f2 = 29 kHz and 2f2 - f1 = 32 kHz (third-order IMD).
+  EXPECT_GT(ivc::dsp::goertzel_amplitude(out, fs, 29'000.0), 0.01);
+  EXPECT_GT(ivc::dsp::goertzel_amplitude(out, fs, 32'000.0), 0.01);
+  // But no second-order difference tone.
+  EXPECT_LT(ivc::dsp::goertzel_amplitude(out, fs, 1'000.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace ivc::mic

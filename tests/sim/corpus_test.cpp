@@ -1,0 +1,92 @@
+#include "sim/corpus.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace ivc::sim {
+namespace {
+
+corpus_config tiny_config() {
+  corpus_config cfg;
+  cfg.genuine_distances_m = {1.0};
+  cfg.genuine_levels_db = {65.0};
+  cfg.genuine_per_combo = 1;
+  cfg.attack_distances_m = {2.0, 5.0};
+  cfg.attack_powers_w = {60.0};
+  cfg.attack_trials_per_combo = 1;
+  cfg.rig = attack::long_range_rig();
+  cfg.rig.total_power_w = 60.0;
+  cfg.max_attack_commands = 2;
+  cfg.max_genuine_phrases = 6;
+  return cfg;
+}
+
+TEST(corpus, builds_both_classes_into_both_halves) {
+  const defense_corpus corpus = build_defense_corpus(tiny_config(), 11);
+  for (const defense::labelled_features* half :
+       {&corpus.train, &corpus.test}) {
+    EXPECT_GE(half->size(), 8u);
+    EXPECT_TRUE(std::any_of(half->y.begin(), half->y.end(),
+                            [](int y) { return y == 0; }));
+    EXPECT_TRUE(std::any_of(half->y.begin(), half->y.end(),
+                            [](int y) { return y == 1; }));
+  }
+  EXPECT_EQ(corpus.test_captures.size(), corpus.test.size());
+  EXPECT_EQ(corpus.test_labels.size(), corpus.test.size());
+}
+
+TEST(corpus, split_covers_attack_conditions_in_both_halves) {
+  // The regression this guards: a round-robin split once sent every
+  // near-distance attack to train and every far one to test, teaching
+  // the classifier a distance artifact. With the hash split, attack
+  // samples must appear in both halves.
+  corpus_config cfg = tiny_config();
+  cfg.max_attack_commands = 4;  // 8 attack samples across 2 distances
+  const defense_corpus corpus = build_defense_corpus(cfg, 12);
+  const auto attacks_in = [](const defense::labelled_features& set) {
+    return std::count(set.y.begin(), set.y.end(), 1);
+  };
+  EXPECT_GE(attacks_in(corpus.train), 2);
+  EXPECT_GE(attacks_in(corpus.test), 2);
+}
+
+TEST(corpus, deterministic_for_fixed_seed) {
+  const defense_corpus a = build_defense_corpus(tiny_config(), 13);
+  const defense_corpus b = build_defense_corpus(tiny_config(), 13);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.x[i], b.train.x[i]);
+    EXPECT_EQ(a.train.y[i], b.train.y[i]);
+  }
+}
+
+TEST(corpus, labels_match_captures) {
+  const defense_corpus corpus = build_defense_corpus(tiny_config(), 14);
+  // Attack captures in the test half must look attack-like on average:
+  // higher waveform trace correlation than genuine ones.
+  double attack_mean = 0.0;
+  double genuine_mean = 0.0;
+  double attack_n = 0.0;
+  double genuine_n = 0.0;
+  for (std::size_t i = 0; i < corpus.test.size(); ++i) {
+    if (corpus.test.y[i] == 1) {
+      attack_mean += corpus.test.x[i][4];
+      attack_n += 1.0;
+    } else {
+      genuine_mean += corpus.test.x[i][4];
+      genuine_n += 1.0;
+    }
+  }
+  ASSERT_GT(attack_n, 0.0);
+  ASSERT_GT(genuine_n, 0.0);
+  EXPECT_GT(attack_mean / attack_n, genuine_mean / genuine_n);
+}
+
+TEST(corpus, rejects_empty_conditions) {
+  corpus_config bad = tiny_config();
+  bad.attack_distances_m.clear();
+  EXPECT_THROW(build_defense_corpus(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::sim

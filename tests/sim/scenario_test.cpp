@@ -1,0 +1,148 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/metrics.h"
+#include "sim/sweep.h"
+
+namespace ivc::sim {
+namespace {
+
+attack_scenario quick_mono(double distance) {
+  attack_scenario sc;
+  sc.rig = attack::monolithic_rig(18.7);
+  sc.command_id = "mute_yourself";  // shortest command, fastest tests
+  sc.distance_m = distance;
+  return sc;
+}
+
+TEST(scenario, monolithic_attack_succeeds_close_fails_far) {
+  attack_session session{quick_mono(1.5), 101};
+  const trial_result close = session.run_trial(0);
+  EXPECT_TRUE(close.success);
+  EXPECT_GT(close.intelligibility, 0.5);
+
+  session.set_distance(12.0);
+  const trial_result far = session.run_trial(0);
+  EXPECT_FALSE(far.success);
+}
+
+TEST(scenario, trials_are_deterministic_per_index) {
+  attack_session session{quick_mono(2.0), 102};
+  const trial_result a = session.run_trial(3);
+  const trial_result b = session.run_trial(3);
+  EXPECT_EQ(a.capture.samples, b.capture.samples);
+  EXPECT_EQ(a.success, b.success);
+  // Different indices draw different noise.
+  const trial_result c = session.run_trial(4);
+  EXPECT_NE(a.capture.samples, c.capture.samples);
+}
+
+TEST(scenario, power_rescaling_changes_received_level) {
+  attack_session session{quick_mono(2.0), 103};
+  const audio::buffer strong = session.render_field(0);
+  session.set_total_power(4.7);
+  const audio::buffer weak = session.render_field(0);
+  EXPECT_GT(audio::rms(strong.samples), 1.5 * audio::rms(weak.samples));
+  EXPECT_NEAR(session.total_power_w(), 4.7, 1e-9);
+}
+
+TEST(scenario, device_swap_keeps_capture_rate) {
+  attack_session session{quick_mono(2.0), 104};
+  session.set_device(mic::smart_speaker_profile());
+  const trial_result r = session.run_trial(0);
+  EXPECT_DOUBLE_EQ(r.capture.sample_rate_hz, 16'000.0);
+}
+
+TEST(scenario, genuine_capture_is_recognized_and_attack_free) {
+  genuine_scenario g;
+  g.phrase_id = "take_picture";
+  g.distance_m = 1.0;
+  ivc::rng rng{105};
+  const audio::buffer cap = run_genuine_capture(g, rng);
+  EXPECT_DOUBLE_EQ(cap.sample_rate_hz, 16'000.0);
+  const asr::recognizer rec = make_enrolled_recognizer(16'000.0, 11);
+  const asr::recognition_result r = rec.recognize(cap);
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(*r.command_id, "take_picture");
+}
+
+TEST(scenario, quieter_talker_is_harder_to_recognize) {
+  const asr::recognizer rec = make_enrolled_recognizer(16'000.0, 11);
+  genuine_scenario loud;
+  loud.phrase_id = "add_milk";
+  loud.level_db_spl_at_1m = 70.0;
+  genuine_scenario whisper = loud;
+  whisper.level_db_spl_at_1m = 38.0;
+  whisper.distance_m = 3.0;
+  ivc::rng r1{106};
+  ivc::rng r2{106};
+  const auto loud_res = rec.recognize(run_genuine_capture(loud, r1));
+  const auto quiet_res = rec.recognize(run_genuine_capture(whisper, r2));
+  EXPECT_LT(loud_res.best_distance, quiet_res.best_distance);
+}
+
+TEST(scenario, invalid_configs_throw) {
+  attack_scenario bad = quick_mono(0.0);
+  EXPECT_THROW(attack_session(bad, 1), std::invalid_argument);
+  attack_session session{quick_mono(1.0), 107};
+  EXPECT_THROW(session.set_distance(-1.0), std::invalid_argument);
+  EXPECT_THROW(session.set_total_power(0.0), std::invalid_argument);
+}
+
+TEST(sweep, wilson_interval_brackets_proportion) {
+  double lo = 0.0;
+  double hi = 0.0;
+  wilson_interval(8, 10, lo, hi);
+  EXPECT_GT(lo, 0.4);
+  EXPECT_LT(hi, 0.99);
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 0.8);
+  wilson_interval(0, 10, lo, hi);
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_LT(hi, 0.35);
+}
+
+TEST(sweep, estimate_success_counts_trials) {
+  attack_session session{quick_mono(1.5), 108};
+  const success_estimate est = estimate_success(session, 3);
+  EXPECT_EQ(est.trials, 3u);
+  EXPECT_GE(est.rate, 0.0);
+  EXPECT_LE(est.rate, 1.0);
+  EXPECT_LE(est.ci_low, est.rate);
+  EXPECT_GE(est.ci_high, est.rate);
+}
+
+TEST(sweep, success_declines_with_distance) {
+  attack_session session{quick_mono(1.0), 109};
+  const std::vector<double> distances{1.5, 10.0};
+  const auto points = sweep_distance(session, distances, 3);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points[0].result.rate, points[1].result.rate);
+  EXPECT_GT(points[0].result.mean_intelligibility,
+            points[1].result.mean_intelligibility);
+}
+
+TEST(sweep, success_improves_with_power) {
+  attack_scenario sc = quick_mono(3.5);
+  attack_session session{sc, 111};
+  const std::vector<double> powers{2.0, 30.0};
+  const auto points = sweep_power(session, powers, 3);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_LE(points[0].result.rate, points[1].result.rate);
+  EXPECT_LT(points[0].result.mean_intelligibility,
+            points[1].result.mean_intelligibility);
+}
+
+TEST(sweep, max_range_finds_boundary) {
+  attack_session session{quick_mono(1.0), 110};
+  const double range = max_attack_range_m(session, 0.5, 2, 1.0, 10.0, 1.0);
+  // The boundary exists and sits inside the scan: short commands carry a
+  // little farther than the calibrated reference phrase, but not past
+  // ~8 m at 18.7 W.
+  EXPECT_GE(range, 2.0);
+  EXPECT_LE(range, 8.0);
+}
+
+}  // namespace
+}  // namespace ivc::sim
