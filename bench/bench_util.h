@@ -1,10 +1,20 @@
-// Shared formatting helpers for the experiment binaries. Each bench
-// prints the rows/series of one paper table or figure, in a fixed-width
-// layout that is stable for diffing across runs.
+// Shared helpers for the experiment binaries. Each bench prints the
+// rows/series of one paper table or figure in a fixed-width layout that
+// is stable for diffing across runs, and — with `--json <path>` — also
+// emits a machine-readable report (result tables + scalar metrics) for
+// tracking the perf/accuracy trajectory across PRs.
 #pragma once
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.h"
 
 namespace ivc::bench {
 
@@ -26,5 +36,96 @@ inline void note(const char* fmt, ...) {
 inline void rule() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+// Common bench flags:
+//   --json <path>    write a machine-readable report
+//   --threads <n>    experiment-engine thread count (0 = all hardware)
+//   --trials <n>     override the figure's trials-per-point
+struct options {
+  std::string json_path;
+  std::size_t threads = 0;
+  std::size_t trials = 0;
+};
+
+inline options parse_options(int argc, char** argv) {
+  // Negative or garbage counts fall back to 0 (= the figure default /
+  // all hardware threads) instead of wrapping to SIZE_MAX.
+  const auto count_arg = [](const char* s) {
+    const long long v = std::atoll(s);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{0};
+  };
+  options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = count_arg(argv[++i]);
+    } else if (arg == "--trials" && i + 1 < argc) {
+      opts.trials = count_arg(argv[++i]);
+    }
+  }
+  return opts;
+}
+
+class stopwatch {
+ public:
+  stopwatch() : start_{std::chrono::steady_clock::now()} {}
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable figure report: named result tables plus scalar
+// metrics (wall time, derived summaries), written as one JSON object.
+class json_report {
+ public:
+  json_report(std::string figure_id, std::string title)
+      : figure_id_{std::move(figure_id)}, title_{std::move(title)} {}
+
+  void add_table(const std::string& name, const sim::result_table& table) {
+    tables_.emplace_back(name, table.to_json());
+  }
+  void add_metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  // Writes when `path` is non-empty (i.e. --json was passed).
+  bool write(const std::string& path) const {
+    if (path.empty()) {
+      return false;
+    }
+    std::ofstream out{path};
+    if (!out.good()) {
+      std::fprintf(stderr, "json_report: cannot open %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"figure\": \"" << sim::json_escape(figure_id_)
+        << "\",\n  \"title\": \"" << sim::json_escape(title_)
+        << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << '"' << sim::json_escape(metrics_[i].first)
+          << "\": " << sim::format_double_exact(metrics_[i].second);
+    }
+    out << "},\n  \"tables\": {";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n    \""
+          << sim::json_escape(tables_[i].first) << "\": " << tables_[i].second;
+    }
+    out << "\n  }\n}\n";
+    return out.good();
+  }
+
+ private:
+  std::string figure_id_;
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace ivc::bench

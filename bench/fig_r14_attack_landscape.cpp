@@ -5,15 +5,22 @@
 // powered tweeter (BackDoor/short-paper class), and the spectrum-split
 // array (the long-range attack). For each: maximum range against the
 // phone, and whether a bystander at 1 m hears anything.
-#include <cstdio>
+//
+// Ported to the experiment engine: a custom rig axis measured through
+// `run_metrics`; each point's range scan itself runs its distance
+// ladder on the thread pool.
+#include <utility>
+#include <vector>
 
 #include "attack/leakage.h"
 #include "bench_util.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "sim/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R14", "attack landscape: pocket vs tweeter vs array");
 
   struct rig_case {
@@ -21,30 +28,49 @@ int main() {
     attack::rig_config cfg;
     double scan_max_m;
   };
-  const rig_case cases[] = {
-      {"pocket transducer, 1.5 W", attack::portable_rig(), 3.0},
-      {"powered tweeter, 18.7 W", attack::monolithic_rig(18.7), 8.0},
-      {"split array 49x, 120 W", attack::long_range_rig(), 10.0},
+  const std::vector<rig_case> cases{
+      {"pocket_1.5W", attack::portable_rig(), 3.0},
+      {"tweeter_18.7W", attack::monolithic_rig(18.7), 8.0},
+      {"split49_120W", attack::long_range_rig(), 10.0},
   };
 
-  std::printf("%-28s %12s %16s %14s\n", "rig", "range (m)",
-              "audible @ 1 m?", "margin (dB)");
-  bench::rule();
-  for (const rig_case& c : cases) {
-    sim::attack_scenario sc;
-    sc.rig = c.cfg;
-    sc.command_id = "take_picture";
-    sim::attack_session session{sc, 42};
-    const double range =
-        sim::max_attack_range_m(session, 0.5, 3, 0.25, c.scan_max_m, 0.25);
-
-    const attack::leakage_report leak = attack::measure_leakage(
-        session.rig().array, acoustics::vec3{0.0, 1.0, 0.0},
-        acoustics::air_model{});
-    std::printf("%-28s %12.2f %16s %+14.1f\n", c.label, range,
-                leak.audibility.audible ? "AUDIBLE" : "silent",
-                leak.audibility.worst_margin_db);
+  std::vector<sim::axis_point> rig_points;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const attack::rig_config rig = cases[i].cfg;
+    rig_points.push_back(sim::axis_point{
+        cases[i].label, static_cast<double>(i),
+        [rig](sim::attack_scenario& sc) { sc.rig = rig; }, nullptr});
   }
+
+  sim::attack_scenario base;
+  base.command_id = "take_picture";
+
+  // The rigs run serially here; each rig's range scan parallelizes its
+  // own distance ladder instead (that is where the work is).
+  sim::run_config cfg;
+  cfg.num_threads = 1;
+  const std::size_t trials = opts.trials > 0 ? opts.trials : 3;
+  const sim::result_table table = sim::engine{cfg}.run_metrics(
+      base,
+      sim::grid::cartesian({sim::custom_axis("rig", std::move(rig_points))}),
+      {"range_m", "audible", "margin_db"},
+      [&](const sim::attack_scenario& sc, std::uint64_t, std::size_t point) {
+        const sim::attack_session session{sc, 42};
+        const double max_m = cases[point].scan_max_m;
+        const double range = sim::max_attack_range_m(
+            session, 0.5, trials, 0.25, max_m, 0.25, opts.threads);
+        const attack::leakage_report leak = attack::measure_leakage(
+            session.rig().array, acoustics::vec3{0.0, 1.0, 0.0},
+            acoustics::air_model{});
+        return std::vector<double>{range,
+                                   leak.audibility.audible ? 1.0 : 0.0,
+                                   leak.audibility.worst_margin_db};
+      });
+  table.print();
+
+  bench::json_report report{"F-R14", "attack landscape"};
+  report.add_table("landscape", table);
+  report.write(opts.json_path);
 
   bench::rule();
   bench::note("the paper's position: prior rigs trade range against");

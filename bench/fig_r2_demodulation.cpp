@@ -5,33 +5,47 @@
 // recording is to the clean command (band-envelope intelligibility +
 // recognizer verdict). Reproduces the papers' recorded-spectrogram
 // figure as a similarity series, and shows the usable carrier window.
-#include <cstdio>
+//
+// Ported to the experiment engine (carrier axis, one session per point,
+// points run in parallel).
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R2", "recorded signal vs carrier frequency (mono rig, 2 m)");
-  std::printf("%10s %16s %14s %12s\n", "fc (kHz)", "intelligibility",
-              "ASR distance", "recognized");
 
+  std::vector<double> carriers_hz;
   for (const double fc_khz : {24.0, 26.0, 28.0, 30.0, 34.0, 38.0, 42.0,
                               46.0, 50.0, 56.0, 62.0}) {
-    sim::attack_scenario sc;
-    sc.rig = attack::monolithic_rig(18.7);
-    sc.rig.modulator.carrier_hz = fc_khz * 1'000.0;
-    sc.command_id = "take_picture";
-    sc.distance_m = 2.0;
-    sim::attack_session session{sc, 42};
-    const sim::trial_result r = session.run_trial(0);
-    std::printf("%10.0f %16.2f %14.1f %12s\n", fc_khz, r.intelligibility,
-                r.recognition.best_distance, r.success ? "YES" : "no");
+    carriers_hz.push_back(fc_khz * 1'000.0);
   }
 
+  sim::attack_scenario sc;
+  sc.rig = attack::monolithic_rig(18.7);
+  sc.command_id = "take_picture";
+  sc.distance_m = 2.0;
+
+  sim::run_config cfg;
+  cfg.trials_per_point = opts.trials > 0 ? opts.trials : 2;
+  cfg.seed = 42;
+  cfg.num_threads = opts.threads;
+  const sim::result_table table = sim::engine{cfg}.run(
+      sc, sim::grid::cartesian({sim::carrier_axis(carriers_hz)}));
+  table.print();
+
+  bench::json_report report{"F-R2", "recorded signal vs carrier frequency"};
+  report.add_table("demodulation", table);
+  report.write(opts.json_path);
+
   bench::rule();
-  bench::note("expected shape: a wide usable plateau once fc - 8 kHz clears");
-  bench::note("the audible band, decaying at high fc as the tweeter response");
-  bench::note("and air absorption take over.");
+  bench::note("mean_score = band-envelope intelligibility vs the clean");
+  bench::note("command. expected shape: a wide usable plateau once fc - 8 kHz");
+  bench::note("clears the audible band, decaying at high fc as the tweeter");
+  bench::note("response and air absorption take over.");
   return 0;
 }

@@ -5,16 +5,21 @@
 // command *at the speaker* and the leak crosses the hearing threshold,
 // while the spectrum-split array stays inaudible across the whole sweep.
 // A bystander standing 1 m from the rig is the measurement point.
-#include <cstdio>
+//
+// Ported to the experiment engine: a rig-mode axis × a power axis,
+// measured through `run_metrics` (rigs build in parallel on the pool).
+#include <vector>
 
 #include "attack/leakage.h"
 #include "attack/planner.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "sim/experiment.h"
 #include "synth/commands.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R3", "audible leakage at 1 m vs transmit power");
 
   ivc::rng rng{7};
@@ -24,34 +29,48 @@ int main() {
   const acoustics::vec3 bystander{0.0, 1.0, 0.0};
   const acoustics::air_model air;
 
-  std::printf("%10s | %22s | %22s\n", "", "monolithic rig", "split array rig");
-  std::printf("%10s | %10s %11s | %10s %11s\n", "power (W)", "margin dB",
-              "audible?", "margin dB", "audible?");
+  // Mode first, power second, so the power axis overrides the preset
+  // rig's budget.
+  sim::axis mode = sim::custom_axis(
+      "rig",
+      {sim::axis_point{"monolithic", 0.0,
+                       [](sim::attack_scenario& sc) {
+                         sc.rig = attack::monolithic_rig(sc.rig.total_power_w);
+                       },
+                       nullptr},
+       sim::axis_point{"split_array", 1.0,
+                       [](sim::attack_scenario& sc) {
+                         sc.rig = attack::long_range_rig();
+                       },
+                       nullptr}});
+  sim::axis power =
+      sim::power_axis({2.0, 4.0, 8.0, 12.0, 18.7, 25.0, 40.0, 60.0});
+
+  sim::run_config cfg;
+  cfg.num_threads = opts.threads;
+  const sim::result_table table =
+      sim::engine{cfg}.run_metrics(
+          sim::attack_scenario{},
+          sim::grid::cartesian({std::move(mode), std::move(power)}),
+          {"margin_db", "audible"},
+          [&](const sim::attack_scenario& sc, std::uint64_t, std::size_t) {
+            const attack::attack_rig rig =
+                attack::build_attack_rig(command, sc.rig);
+            const attack::leakage_report leak =
+                attack::measure_leakage(rig.array, bystander, air);
+            return std::vector<double>{leak.audibility.worst_margin_db,
+                                       leak.audibility.audible ? 1.0 : 0.0};
+          });
+  table.print();
+
+  bench::json_report report{"F-R3", "audible leakage at 1 m vs power"};
+  report.add_table("leakage_vs_power", table);
+  report.write(opts.json_path);
+
   bench::rule();
-
-  for (const double power : {2.0, 4.0, 8.0, 12.0, 18.7, 25.0, 40.0, 60.0}) {
-    attack::rig_config mono_cfg = attack::monolithic_rig(power);
-    const attack::attack_rig mono = attack::build_attack_rig(command, mono_cfg);
-    const attack::leakage_report mono_leak =
-        attack::measure_leakage(mono.array, bystander, air);
-
-    attack::rig_config split_cfg = attack::long_range_rig();
-    split_cfg.total_power_w = power;
-    const attack::attack_rig split =
-        attack::build_attack_rig(command, split_cfg);
-    const attack::leakage_report split_leak =
-        attack::measure_leakage(split.array, bystander, air);
-
-    std::printf("%10.1f | %+10.1f %11s | %+10.1f %11s\n", power,
-                mono_leak.audibility.worst_margin_db,
-                mono_leak.audibility.audible ? "AUDIBLE" : "quiet",
-                split_leak.audibility.worst_margin_db,
-                split_leak.audibility.audible ? "AUDIBLE" : "quiet");
-  }
-
-  bench::rule();
-  bench::note("margin = worst third-octave band SPL minus hearing threshold");
-  bench::note("paper shape: mono crosses 0 dB as power rises; split stays");
-  bench::note("well below threshold at every power.");
+  bench::note("margin = worst third-octave band SPL minus hearing threshold;");
+  bench::note("audible = 1 when the margin crosses 0 dB. paper shape: mono");
+  bench::note("crosses as power rises; split stays below threshold at every");
+  bench::note("power.");
   return 0;
 }

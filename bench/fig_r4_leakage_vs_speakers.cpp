@@ -5,43 +5,71 @@
 // where the ear is deaf and the tweeter cannot radiate. Also reports the
 // recovered-command intelligibility at the victim (splitting must not
 // cost attack quality).
-#include <cstdio>
+//
+// Ported to the experiment engine: a custom chunk-count axis measured
+// through `run_metrics` (each point builds its rig + fires one trial,
+// points run in parallel).
+#include <vector>
 
 #include "attack/leakage.h"
 #include "bench_util.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R4", "leakage and attack quality vs chunk-speaker count");
-  std::printf("%9s %12s %12s %10s %14s %12s\n", "speakers", "chunk (Hz)",
-              "margin dB", "audible?", "intelligibility", "success@4m");
 
   const acoustics::vec3 bystander{0.0, 1.0, 0.0};
   const acoustics::air_model air;
 
+  std::vector<sim::axis_point> chunk_points;
   for (const std::size_t chunks : {1u, 2u, 4u, 8u, 16u, 32u, 60u}) {
-    sim::attack_scenario sc;
-    sc.rig = attack::long_range_rig();
-    sc.rig.splitter.num_chunks = chunks;
-    // Hold total power and stack depth fixed across the sweep.
-    sc.rig.total_power_w = 120.0;
-    sc.command_id = "mute_yourself";
-    sc.distance_m = 4.0;
-    sim::attack_session session{sc, 42};
-
-    const attack::leakage_report leak =
-        attack::measure_leakage(session.rig().array, bystander, air);
-    const sim::trial_result trial = session.run_trial(0);
-    const double chunk_hz =
-        (sc.rig.splitter.voice_high_hz - sc.rig.splitter.voice_low_hz) /
-        static_cast<double>(chunks);
-    std::printf("%9zu %12.0f %+12.1f %10s %14.2f %12s\n",
-                chunks + 1,  // + the carrier speaker
-                chunk_hz, leak.audibility.worst_margin_db,
-                leak.audibility.audible ? "AUDIBLE" : "quiet",
-                trial.intelligibility, trial.success ? "YES" : "no");
+    char label[32];
+    // Label counts the speakers: chunks + the carrier speaker.
+    std::snprintf(label, sizeof label, "%zu", chunks + 1);
+    chunk_points.push_back(sim::axis_point{
+        label, static_cast<double>(chunks + 1),
+        [chunks](sim::attack_scenario& sc) {
+          sc.rig.splitter.num_chunks = chunks;
+        },
+        nullptr});
   }
+
+  sim::attack_scenario base;
+  base.rig = attack::long_range_rig();
+  base.rig.total_power_w = 120.0;  // held fixed across the sweep
+  base.command_id = "mute_yourself";
+  base.distance_m = 4.0;
+
+  sim::run_config cfg;
+  cfg.seed = 42;
+  cfg.num_threads = opts.threads;
+  const sim::result_table table = sim::engine{cfg}.run_metrics(
+      base, sim::grid::cartesian({sim::custom_axis("speakers",
+                                                   std::move(chunk_points))}),
+      {"chunk_hz", "margin_db", "audible", "intelligibility", "success"},
+      [&](const sim::attack_scenario& sc, std::uint64_t point_seed,
+          std::size_t) {
+        const sim::attack_session session{sc, point_seed};
+        const attack::leakage_report leak =
+            attack::measure_leakage(session.rig().array, bystander, air);
+        const sim::trial_result trial = session.run_trial(0);
+        const double chunk_hz =
+            (sc.rig.splitter.voice_high_hz - sc.rig.splitter.voice_low_hz) /
+            static_cast<double>(sc.rig.splitter.num_chunks);
+        return std::vector<double>{chunk_hz,
+                                   leak.audibility.worst_margin_db,
+                                   leak.audibility.audible ? 1.0 : 0.0,
+                                   trial.intelligibility,
+                                   trial.success ? 1.0 : 0.0};
+      });
+  table.print();
+
+  bench::json_report report{"F-R4", "leakage vs chunk-speaker count"};
+  report.add_table("leakage_vs_speakers", table);
+  report.write(opts.json_path);
 
   bench::rule();
   bench::note("paper shape: leakage margin falls as speakers are added;");

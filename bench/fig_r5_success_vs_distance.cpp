@@ -5,57 +5,74 @@
 // grille-covered smart speaker. The paper's claim: the array reaches
 // ~25 ft (7.6 m) while the single speaker dies within a few meters —
 // and the array does it inaudibly (see F-R3/F-R4).
+//
+// Ported to the experiment engine: each series is a distance grid run
+// on the thread pool from one prepared session (the rig is built once
+// per series). `--threads N` bounds the pool, `--json <path>` dumps the
+// tables and wall time for cross-PR tracking.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
-#include "sim/sweep.h"
 
-namespace {
-
-void run_series(const char* label, const ivc::sim::attack_scenario& base,
-                const std::vector<double>& distances, std::size_t trials) {
-  ivc::sim::attack_session session{base, 42};
-  std::printf("%s\n", label);
-  std::printf("%12s %12s %12s %16s\n", "distance (m)", "success", "95% CI",
-              "intelligibility");
-  for (const double d : distances) {
-    session.set_distance(d);
-    const ivc::sim::success_estimate est =
-        ivc::sim::estimate_success(session, trials);
-    std::printf("%12.1f %11.0f%% [%4.0f,%4.0f]%% %16.2f\n", d,
-                100.0 * est.rate, 100.0 * est.ci_low, 100.0 * est.ci_high,
-                est.mean_intelligibility);
-  }
-  ivc::bench::rule();
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R5", "attack success rate vs distance (headline result)");
 
   const std::vector<double> distances{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
                                       7.6, 8.5};
-  constexpr std::size_t trials = 10;
+  sim::run_config cfg;
+  cfg.trials_per_point = opts.trials > 0 ? opts.trials : 10;
+  cfg.seed = 42;
+  cfg.num_threads = opts.threads;
+  const sim::engine engine{cfg};
+  const sim::grid grid = sim::grid::cartesian({sim::distance_axis(distances)});
 
   sim::attack_scenario mono;
   mono.rig = attack::monolithic_rig(18.7);
   mono.command_id = "mute_yourself";
-  run_series("monolithic rig, 18.7 W, phone:", mono, distances, trials);
 
   sim::attack_scenario split = mono;
   split.rig = attack::long_range_rig();
-  run_series("split array (49 transducers), 120 W, phone:", split, distances,
-             trials);
 
   sim::attack_scenario split_echo = split;
   split_echo.device = mic::smart_speaker_profile();
-  run_series("split array (49 transducers), 120 W, smart speaker:",
-             split_echo, distances, trials);
 
+  const struct {
+    const char* name;
+    const char* label;
+    const sim::attack_scenario* scenario;
+  } series[] = {
+      {"mono_phone", "monolithic rig, 18.7 W, phone:", &mono},
+      {"split_phone", "split array (49 transducers), 120 W, phone:", &split},
+      {"split_echo", "split array (49 transducers), 120 W, smart speaker:",
+       &split_echo},
+  };
+
+  bench::json_report report{"F-R5", "attack success rate vs distance"};
+  const bench::stopwatch clock;
+  for (const auto& s : series) {
+    const sim::result_table table = engine.run(*s.scenario, grid);
+    std::printf("%s\n", s.label);
+    table.print();
+    bench::rule();
+    report.add_table(s.name, table);
+  }
+  const double elapsed = clock.elapsed_s();
+  report.add_metric("elapsed_s", elapsed);
+  report.add_metric("threads", static_cast<double>(
+                                   cfg.num_threads == 0
+                                       ? ivc::default_thread_count()
+                                       : cfg.num_threads));
+  report.write(opts.json_path);
+
+  bench::note("grids ran in %.2f s on %zu thread(s)", elapsed,
+              cfg.num_threads == 0 ? ivc::default_thread_count()
+                                   : cfg.num_threads);
   bench::note("paper shape: mono collapses by ~4 m; the array holds ~100%%");
   bench::note("success through 7.6 m (25 ft) on the phone, with the grille-");
   bench::note("covered smart speaker consistently a step shorter.");

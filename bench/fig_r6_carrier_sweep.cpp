@@ -4,31 +4,45 @@
 // usable window: f_c − bandwidth must clear 20 kHz (inaudibility),
 // the tweeter response and air absorption decay at high f_c, and the
 // microphone's own response shapes what demodulates.
-#include <cstdio>
+//
+// Ported to the experiment engine: the carrier axis forces a rig
+// rebuild per point, so each point builds its own session — in
+// parallel on the pool.
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
-#include "sim/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R6", "success vs carrier frequency (split rig, 7 m)");
-  std::printf("%10s %10s %12s %16s\n", "fc (kHz)", "success", "95% CI",
-              "intelligibility");
 
-  for (const double fc : {26.0, 30.0, 34.0, 38.0, 42.0, 46.0, 50.0, 56.0,
-                          64.0, 72.0}) {
-    sim::attack_scenario sc;
-    sc.rig = attack::long_range_rig();
-    sc.rig.modulator.carrier_hz = fc * 1'000.0;
-    sc.command_id = "mute_yourself";
-    sc.distance_m = 7.0;
-    sim::attack_session session{sc, 42};
-    const sim::success_estimate est = sim::estimate_success(session, 6);
-    std::printf("%10.0f %9.0f%% [%3.0f,%3.0f]%% %16.2f\n", fc,
-                100.0 * est.rate, 100.0 * est.ci_low, 100.0 * est.ci_high,
-                est.mean_intelligibility);
+  std::vector<double> carriers_hz;
+  for (const double fc_khz : {26.0, 30.0, 34.0, 38.0, 42.0, 46.0, 50.0, 56.0,
+                              64.0, 72.0}) {
+    carriers_hz.push_back(fc_khz * 1'000.0);
   }
+
+  sim::attack_scenario sc;
+  sc.rig = attack::long_range_rig();
+  sc.command_id = "mute_yourself";
+  sc.distance_m = 7.0;
+
+  sim::run_config cfg;
+  cfg.trials_per_point = opts.trials > 0 ? opts.trials : 6;
+  cfg.seed = 42;
+  cfg.num_threads = opts.threads;
+  const bench::stopwatch clock;
+  const sim::result_table table = sim::engine{cfg}.run(
+      sc, sim::grid::cartesian({sim::carrier_axis(carriers_hz)}));
+  table.print();
+
+  bench::json_report report{"F-R6", "success vs carrier frequency"};
+  report.add_table("carrier_sweep", table);
+  report.add_metric("elapsed_s", clock.elapsed_s());
+  report.write(opts.json_path);
 
   bench::rule();
   bench::note("expected shape: plateau through the tweeter passband, decay");

@@ -3,55 +3,60 @@
 // Trains the classifier once on the standard corpus, then measures
 // detection rate on fresh attack captures across distance, and the
 // false-positive rate on genuine utterances, at three ambient levels.
+//
+// Ported to the experiment engine: the corpus renders on the thread
+// pool, and the ambient × distance detection grid runs through the
+// engine with a custom trial evaluator ("success" = the defense
+// flagged the capture).
 #include <cstdio>
 
 #include "bench_util.h"
 #include "defense/classifier.h"
 #include "defense/detector.h"
 #include "sim/corpus.h"
+#include "sim/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R9", "detection rate vs attacker distance and ambient");
 
+  const bench::stopwatch corpus_clock;
   sim::corpus_config cfg;
   cfg.rig = attack::long_range_rig();
+  cfg.num_threads = opts.threads;
   const sim::defense_corpus corpus = sim::build_defense_corpus(cfg, 9);
   defense::logistic_classifier clf;
   clf.train(corpus.train);
   const defense::classifier_detector detector{clf};
   bench::note("classifier trained on %zu captures; held-out accuracy %.1f%%",
               corpus.train.size(), 100.0 * clf.accuracy(corpus.test));
+  bench::note("corpus rendered in %.2f s", corpus_clock.elapsed_s());
   bench::rule();
 
-  std::printf("%14s", "ambient (dB)");
-  for (const double d : {1.0, 2.0, 4.0, 6.0, 7.5}) {
-    std::printf("   atk@%.1fm", d);
-  }
-  std::printf("   genuine FPR\n");
+  sim::attack_scenario sc;
+  sc.rig = attack::long_range_rig();
+  sc.command_id = "open_door";
+
+  sim::run_config run;
+  run.trials_per_point = opts.trials > 0 ? opts.trials : 4;
+  run.seed = 90;
+  run.num_threads = opts.threads;
+  // rate = fraction of attack captures the defense flagged.
+  const sim::result_table detection = sim::engine{run}.run(
+      sc,
+      sim::grid::cartesian({sim::ambient_axis({30.0, 40.0, 50.0}),
+                            sim::distance_axis({1.0, 2.0, 4.0, 6.0, 7.5})}),
+      [&detector](const sim::trial_result& r) {
+        const defense::detection d = detector.detect(r.capture);
+        return sim::trial_outcome{d.is_attack, d.score};
+      });
+  detection.print();
   bench::rule();
 
+  // Genuine false positives per ambient level.
+  std::printf("%14s %12s\n", "ambient (dB)", "genuine FPR");
   for (const double ambient : {30.0, 40.0, 50.0}) {
-    std::printf("%14.0f", ambient);
-    for (const double dist : {1.0, 2.0, 4.0, 6.0, 7.5}) {
-      sim::attack_scenario sc;
-      sc.rig = attack::long_range_rig();
-      sc.command_id = "open_door";
-      sc.distance_m = dist;
-      sc.environment.ambient_spl_db = ambient;
-      sim::attack_session session{sc, 90 + static_cast<std::uint64_t>(dist)};
-      std::size_t detected = 0;
-      constexpr std::size_t trials = 4;
-      for (std::size_t t = 0; t < trials; ++t) {
-        const auto capture = session.run_trial(t).capture;
-        if (detector.detect(capture).is_attack) {
-          ++detected;
-        }
-      }
-      std::printf("   %7.0f%%", 100.0 * static_cast<double>(detected) / trials);
-    }
-
-    // Genuine false positives at this ambient level.
     std::size_t false_alarms = 0;
     std::size_t genuine_total = 0;
     std::uint64_t seed = 1'000;
@@ -66,10 +71,16 @@ int main() {
       }
       ++genuine_total;
     }
-    std::printf("   %10.0f%%\n",
+    std::printf("%14.0f %11.0f%%\n", ambient,
                 100.0 * static_cast<double>(false_alarms) /
                     static_cast<double>(genuine_total));
   }
+
+  bench::json_report report{"F-R9", "detection vs distance and ambient"};
+  report.add_table("detection", detection);
+  report.add_metric("train_size", static_cast<double>(corpus.train.size()));
+  report.add_metric("held_out_accuracy", clf.accuracy(corpus.test));
+  report.write(opts.json_path);
 
   bench::rule();
   bench::note("paper shape: detection stays high across the attack's whole");

@@ -6,27 +6,32 @@
 //
 // Reproduced with the monolithic rig (hi-fi horn tweeter, 30 kHz
 // carrier). Range = farthest distance with >= 50% command success.
+//
+// Ported to the experiment engine: max_attack_range_m now scans its
+// distance ladder on the thread pool, and the measured table lands in a
+// result_table for printing/JSON instead of hand-rolled printf rows.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "sim/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("T-R1", "attack range vs input power (monolithic rig)");
 
   const std::vector<double> powers{9.2, 11.8, 14.8, 18.7, 23.7};
   const double paper_phone[] = {222.0, 255.0, 277.0, 313.0, 354.0};
   const double paper_echo[] = {145.0, 168.0, 187.0, 213.0, 239.0};
+  const std::size_t trials = opts.trials > 0 ? opts.trials : 4;
 
-  std::printf("%12s %18s %18s\n", "power (W)", "phone range (cm)",
-              "echo range (cm)");
-  std::printf("%12s %9s %8s %9s %8s\n", "", "measured", "paper", "measured",
-              "paper");
-  bench::rule();
-
+  sim::result_table table{
+      {"power_w"},
+      {"phone_range_cm", "phone_paper_cm", "echo_range_cm", "echo_paper_cm"}};
+  const bench::stopwatch clock;
   for (std::size_t i = 0; i < powers.size(); ++i) {
     double measured[2] = {0.0, 0.0};
     int col = 0;
@@ -37,13 +42,23 @@ int main() {
       if (echo) {
         sc.device = mic::smart_speaker_profile();
       }
-      sim::attack_session session{sc, 42};
-      measured[col++] = 100.0 * sim::max_attack_range_m(
-                                    session, 0.5, 4, 0.5, 6.0, 0.25);
+      const sim::attack_session session{sc, 42};
+      measured[col++] =
+          100.0 * sim::max_attack_range_m(session, 0.5, trials, 0.5, 6.0,
+                                          0.25, opts.threads);
     }
-    std::printf("%12.1f %9.0f %8.0f %9.0f %8.0f\n", powers[i], measured[0],
-                paper_phone[i], measured[1], paper_echo[i]);
+    char label[32];
+    std::snprintf(label, sizeof label, "%g", powers[i]);
+    table.add_row({{label},
+                   {powers[i]},
+                   {measured[0], paper_phone[i], measured[1], paper_echo[i]}});
   }
+  table.print();
+
+  bench::json_report report{"T-R1", "attack range vs input power"};
+  report.add_table("range_vs_power", table);
+  report.add_metric("elapsed_s", clock.elapsed_s());
+  report.write(opts.json_path);
 
   bench::rule();
   bench::note("paper shape: range grows with power; the grille-covered echo");

@@ -4,41 +4,61 @@
 // at 4 m. Mirrors the papers' multi-device tables: consumer devices fall,
 // the hardened profile (acoustic ultrasound filter + low-distortion
 // capsule) resists.
+//
+// Ported to the experiment engine: per command, a device-axis grid runs
+// over one prepared session (devices share the capture rate, so the
+// session fast path applies and the expensive rig build happens once
+// per command, with devices probed in parallel).
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
-#include "sim/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("T-R2", "device x command success (split rig, 120 W, 4 m)");
 
-  const auto devices = mic::all_profiles();
-  std::printf("%-16s", "command");
-  for (const auto& d : devices) {
-    std::printf(" %14s", d.name.c_str());
-  }
-  std::printf("\n");
-  bench::rule();
+  const std::vector<mic::device_profile> devices = mic::all_profiles();
+  const sim::grid grid = sim::grid::cartesian({sim::device_axis(devices)});
+  const std::size_t trials = opts.trials > 0 ? opts.trials : 5;
 
-  constexpr std::size_t trials = 5;
+  std::vector<std::string> device_columns;
+  for (const mic::device_profile& d : devices) {
+    device_columns.push_back(d.name + "_rate");
+  }
+  sim::result_table matrix{{"command"}, device_columns};
+
+  bench::json_report report{"T-R2", "device x command success matrix"};
+  const bench::stopwatch clock;
   std::size_t session_seed = 0;
   for (const synth::command& cmd : synth::command_bank()) {
-    std::printf("%-16s", cmd.id.c_str());
     sim::attack_scenario sc;
     sc.rig = attack::long_range_rig();
     sc.command_id = cmd.id;
     sc.distance_m = 4.0;
-    sim::attack_session session{sc, 42 + session_seed++};
-    for (const auto& device : devices) {
-      session.set_device(device);
-      const sim::success_estimate est =
-          sim::estimate_success(session, trials);
-      std::printf(" %13.0f%%", 100.0 * est.rate);
+
+    sim::run_config cfg;
+    cfg.trials_per_point = trials;
+    cfg.seed = 42 + session_seed;
+    cfg.num_threads = opts.threads;
+    const sim::result_table per_device = sim::engine{cfg}.run(sc, grid);
+
+    std::vector<double> rates;
+    for (std::size_t d = 0; d < per_device.size(); ++d) {
+      rates.push_back(per_device.metric(d, "rate"));
     }
-    std::printf("\n");
+    matrix.add_row(
+        {{cmd.id}, {static_cast<double>(session_seed)}, std::move(rates)});
+    ++session_seed;
   }
+  matrix.print();
+
+  report.add_table("device_matrix", matrix);
+  report.add_metric("elapsed_s", clock.elapsed_s());
+  report.write(opts.json_path);
 
   bench::rule();
   bench::note("paper shape: consumer devices (phone/speaker/laptop) accept");

@@ -7,12 +7,18 @@
 // distance, and reports success rate, recognizer distances, leakage at a
 // bystander, and writes the device's capture to capture.wav so you can
 // listen to what the victim actually recorded.
+//
+// The success curve at the end runs through the experiment engine: a
+// distance grid over the prepared session, executed on the thread pool
+// and written to range_curve.csv for plotting.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "attack/leakage.h"
 #include "audio/wav_io.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "sim/sweep.h"
 
@@ -64,15 +70,27 @@ int main(int argc, char** argv) {
               r.recognition.accepted() ? r.recognition.command_id->c_str()
                                        : "rejected");
 
-  // Sketch the success-vs-distance curve around the requested point.
-  std::printf("\nsuccess curve:\n");
+  // Sketch the success-vs-distance curve around the requested point —
+  // one engine run over a distance grid, all points in parallel.
+  std::vector<double> curve_distances;
   for (double d = std::max(0.5, distance - 3.0); d <= distance + 3.0;
        d += 1.0) {
-    session.set_distance(d);
-    const sim::success_estimate point = sim::estimate_success(session, 4);
-    std::printf("  %4.1f m: %3.0f%%  %s\n", d, 100.0 * point.rate,
-                std::string(static_cast<std::size_t>(point.rate * 30.0), '#')
+    curve_distances.push_back(d);
+  }
+  sim::run_config cfg;
+  cfg.trials_per_point = 4;
+  const sim::result_table curve = sim::engine{cfg}.run_over(
+      session, sim::grid::cartesian({sim::distance_axis(curve_distances)}));
+
+  std::printf("\nsuccess curve:\n");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const double rate = curve.metric(i, "rate");
+    std::printf("  %4.1f m: %3.0f%%  %s\n", curve.at(i).coords[0],
+                100.0 * rate,
+                std::string(static_cast<std::size_t>(rate * 30.0), '#')
                     .c_str());
   }
+  curve.write_csv_file("range_curve.csv");
+  std::printf("curve written to range_curve.csv\n");
   return 0;
 }

@@ -1,0 +1,137 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ivc {
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+struct thread_pool::impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;  // workers: a new job is posted
+  std::condition_variable done_cv;  // caller: all workers left the job
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t busy_workers = 0;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+  // Held by the caller from job setup until it has collected `error`,
+  // so a second concurrent parallel_for cannot clear or steal the
+  // first job's exception.
+  bool job_active = false;
+  std::exception_ptr error;
+
+  // Claims indices until the job is exhausted. Runs outside the mutex.
+  void drain(const std::function<void(std::size_t)>& job, std::size_t n) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> guard{mutex};
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock{mutex};
+    for (;;) {
+      work_cv.wait(lock, [&] { return stopping || generation != seen; });
+      if (stopping) {
+        return;
+      }
+      seen = generation;
+      const std::function<void(std::size_t)>* job = fn;
+      const std::size_t n = count;
+      lock.unlock();
+      drain(*job, n);
+      lock.lock();
+      if (--busy_workers == 0) {
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+thread_pool::thread_pool(std::size_t num_threads) : impl_{new impl} {
+  if (num_threads == 0) {
+    num_threads = default_thread_count();
+  }
+  impl_->workers.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> guard{impl_->mutex};
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) {
+    worker.join();
+  }
+}
+
+std::size_t thread_pool::size() const { return impl_->workers.size() + 1; }
+
+void thread_pool::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock{impl_->mutex};
+  // Serialize concurrent callers: the previous job stays "active" until
+  // its caller has collected the error slot.
+  impl_->done_cv.wait(lock, [&] { return !impl_->job_active; });
+  impl_->job_active = true;
+  impl_->fn = &fn;
+  impl_->count = count;
+  impl_->next.store(0, std::memory_order_relaxed);
+  impl_->error = nullptr;
+  impl_->busy_workers = impl_->workers.size();
+  ++impl_->generation;
+  lock.unlock();
+  impl_->work_cv.notify_all();
+
+  impl_->drain(fn, count);
+
+  lock.lock();
+  impl_->done_cv.wait(lock, [&] { return impl_->busy_workers == 0; });
+  const std::exception_ptr error = impl_->error;
+  impl_->error = nullptr;
+  impl_->job_active = false;
+  impl_->done_cv.notify_all();  // admit the next waiting caller
+  lock.unlock();
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& fn) {
+  thread_pool pool{num_threads};
+  pool.parallel_for(count, fn);
+}
+
+}  // namespace ivc

@@ -1,0 +1,50 @@
+// Shared-memory parallelism primitives.
+//
+// A small persistent thread pool with a blocking `parallel_for`. The
+// experiment engine, the sweep wrappers, and the corpus builder all
+// schedule work as index ranges, where task `i` writes only slot `i` of
+// a pre-sized output — so results are bit-identical at any thread count
+// and no caller needs locks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace ivc {
+
+// Worker count used when a caller passes 0 (one per hardware thread,
+// never less than 1).
+std::size_t default_thread_count();
+
+class thread_pool {
+ public:
+  // `num_threads` counts the calling thread: a pool of 1 runs everything
+  // on the caller and spawns nothing. 0 means default_thread_count().
+  explicit thread_pool(std::size_t num_threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  // Threads participating in parallel_for, including the caller.
+  std::size_t size() const;
+
+  // Runs fn(0) .. fn(count - 1), dynamically distributing indices over
+  // the pool; the calling thread participates. Blocks until every index
+  // has run, then rethrows the first exception any index threw (the
+  // remaining indices still run). Safe to call repeatedly; concurrent
+  // calls from different threads are serialized.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+// One-shot convenience for callers without a pool to reuse.
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace ivc

@@ -1,6 +1,7 @@
 #include "sim/corpus.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace ivc::sim {
 namespace {
@@ -18,17 +19,20 @@ bool goes_to_train(std::size_t index) {
   return (z & 1ULL) == 0ULL;
 }
 
-void add_sample(defense_corpus& corpus, const audio::buffer& capture,
-                int label, std::size_t index) {
-  const defense::trace_features f = defense::extract_trace_features(capture);
-  if (goes_to_train(index)) {
-    corpus.train.add(f, label);
-  } else {
-    corpus.test.add(f, label);
-    corpus.test_captures.push_back(capture);
-    corpus.test_labels.push_back(label);
-  }
-}
+// A rendered capture waiting for the serial train/test assembly.
+struct pending_sample {
+  defense::trace_features features;
+  audio::buffer capture;
+  int label = 0;
+};
+
+struct genuine_job {
+  const synth::command* phrase = nullptr;
+  synth::voice_params base_voice;
+  double distance_m = 0.0;
+  double level_db = 0.0;
+  std::size_t index = 0;  // global sample index
+};
 
 }  // namespace
 
@@ -38,12 +42,8 @@ defense_corpus build_defense_corpus(const corpus_config& config,
               !config.attack_distances_m.empty(),
           "build_defense_corpus: need both genuine and attack conditions");
 
-  defense_corpus corpus;
-  ivc::rng rng{seed};
-  std::size_t index = 0;
-
-  // ---- Genuine side: benign phrases AND genuinely spoken commands (the
-  // defense must pass real commands, not just chatter).
+  // ---- Enumerate the genuine side: benign phrases AND genuinely spoken
+  // commands (the defense must pass real commands, not just chatter).
   std::vector<const synth::command*> genuine_phrases;
   for (const synth::command& c : synth::benign_bank()) {
     genuine_phrases.push_back(&c);
@@ -58,51 +58,105 @@ defense_corpus build_defense_corpus(const corpus_config& config,
 
   const synth::voice_params voices[] = {synth::male_voice(),
                                         synth::female_voice()};
+  std::vector<genuine_job> genuine_jobs;
+  std::size_t index = 0;
   for (const synth::command* phrase : genuine_phrases) {
     for (const synth::voice_params& base_voice : voices) {
       for (const double dist : config.genuine_distances_m) {
         for (const double level : config.genuine_levels_db) {
           for (std::size_t k = 0; k < config.genuine_per_combo; ++k) {
-            ivc::rng trial_rng = rng.split(index * 7919 + 17);
-            genuine_scenario g;
-            g.phrase_id = phrase->id;
-            g.voice = synth::perturbed_voice(base_voice, trial_rng);
-            g.distance_m = dist;
-            g.level_db_spl_at_1m = level;
-            g.environment = config.environment;
-            g.device = config.device;
-            add_sample(corpus, run_genuine_capture(g, trial_rng), 0, index);
+            genuine_jobs.push_back(
+                genuine_job{phrase, base_voice, dist, level, index});
             ++index;
           }
         }
       }
     }
   }
+  const std::size_t genuine_total = index;
 
-  // ---- Attack side: every (participating) bank command through the rig.
-  std::size_t session_seed = 0;
+  // ---- Attack side: every (participating) bank command through the
+  // rig. Each command gets one session; its samples occupy a contiguous
+  // index block, so per-sample indices (and therefore trial noise and
+  // the train/test split) are computable up front.
   std::size_t attack_commands = synth::command_bank().size();
   if (config.max_attack_commands > 0) {
     attack_commands = std::min(attack_commands, config.max_attack_commands);
   }
-  for (std::size_t c = 0; c < attack_commands; ++c) {
+  const std::size_t samples_per_command = config.attack_distances_m.size() *
+                                          config.attack_powers_w.size() *
+                                          config.attack_trials_per_combo;
+  const std::size_t total =
+      genuine_total + attack_commands * samples_per_command;
+
+  // ---- Render every sample on the pool. Slot i of `samples` is written
+  // only by the task that owns global index i, so the corpus is
+  // bit-identical at any thread count (and to the old serial builder:
+  // the per-sample RNG streams are pure functions of `seed` and the
+  // global index).
+  std::vector<pending_sample> samples(total);
+  const ivc::rng base_rng{seed};
+
+  thread_pool pool{config.num_threads};
+  pool.parallel_for(genuine_jobs.size(), [&](std::size_t j) {
+    const genuine_job& job = genuine_jobs[j];
+    ivc::rng trial_rng = base_rng.split(job.index * 7919 + 17);
+    genuine_scenario g;
+    g.phrase_id = job.phrase->id;
+    g.voice = synth::perturbed_voice(job.base_voice, trial_rng);
+    g.distance_m = job.distance_m;
+    g.level_db_spl_at_1m = job.level_db;
+    g.environment = config.environment;
+    g.device = config.device;
+    audio::buffer capture = run_genuine_capture(g, trial_rng);
+    pending_sample& slot = samples[job.index];
+    slot.features = defense::extract_trace_features(capture);
+    slot.label = 0;
+    // Only the test half keeps raw audio; dropping train captures here
+    // bounds peak memory at the test half, like the serial builder.
+    if (!goes_to_train(job.index)) {
+      slot.capture = std::move(capture);
+    }
+  });
+
+  pool.parallel_for(attack_commands, [&](std::size_t c) {
     const synth::command& cmd = synth::command_bank()[c];
     attack_scenario sc;
     sc.rig = config.rig;
     sc.device = config.device;
     sc.environment = config.environment;
     sc.command_id = cmd.id;
-    attack_session session{sc, seed ^ (0xa77ac0 + session_seed++)};
+    attack_session session{sc, seed ^ (0xa77ac0 + c)};
+    std::size_t sample_index = genuine_total + c * samples_per_command;
     for (const double dist : config.attack_distances_m) {
       session.set_distance(dist);
       for (const double power : config.attack_powers_w) {
         session.set_total_power(power);
         for (std::size_t t = 0; t < config.attack_trials_per_combo; ++t) {
-          const trial_result r = session.run_trial(index);
-          add_sample(corpus, r.capture, 1, index);
-          ++index;
+          trial_result r = session.run_trial(sample_index);
+          pending_sample& slot = samples[sample_index];
+          slot.features = defense::extract_trace_features(r.capture);
+          slot.label = 1;
+          if (!goes_to_train(sample_index)) {
+            slot.capture = std::move(r.capture);
+          }
+          ++sample_index;
         }
       }
+    }
+  });
+
+  // ---- Serial assembly in index order: the split and the row order in
+  // each half match the serial builder exactly.
+  defense_corpus corpus;
+  for (std::size_t i = 0; i < total; ++i) {
+    pending_sample& sample = samples[i];
+    if (goes_to_train(i)) {
+      corpus.train.add(sample.features, sample.label);
+    } else {
+      corpus.test.add(sample.features, sample.label);
+      corpus.test_captures.push_back(std::move(sample.capture));
+      corpus.test_labels.push_back(sample.label);
     }
   }
 

@@ -26,6 +26,9 @@ struct corpus_config {
   // tests and interactive demos; the benches use the full banks.
   std::size_t max_attack_commands = 0;
   std::size_t max_genuine_phrases = 0;
+  // Rendering threads (0 = one per hardware thread). The corpus is
+  // bit-identical at any thread count.
+  std::size_t num_threads = 0;
 };
 
 struct defense_corpus {

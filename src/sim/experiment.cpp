@@ -1,0 +1,521 @@
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace ivc::sim {
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return std::string{buf};
+}
+
+// splitmix64 finalizer: decorrelates per-point session seeds.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t point) {
+  std::uint64_t z = seed + (point + 1) * 0x9e37'79b9'7f4a'7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d0'49bb'1331'11ebULL;
+  return z ^ (z >> 31);
+}
+
+trial_outcome default_outcome(const trial_result& r) {
+  return trial_outcome{r.success, r.intelligibility};
+}
+
+// rate / CI / mean score over one point's trial outcomes.
+std::vector<double> summarize(const std::vector<trial_outcome>& outcomes) {
+  std::size_t successes = 0;
+  double score = 0.0;
+  for (const trial_outcome& o : outcomes) {
+    if (o.success) {
+      ++successes;
+    }
+    score += o.score;
+  }
+  const double n = static_cast<double>(outcomes.size());
+  const interval ci = wilson_interval(successes, outcomes.size());
+  return {static_cast<double>(successes) / n, ci.low, ci.high, score / n,
+          static_cast<double>(successes), n};
+}
+
+std::vector<std::string> grid_axis_names(const grid& g) {
+  std::vector<std::string> names;
+  names.reserve(g.axes().size());
+  for (const axis& a : g.axes()) {
+    names.push_back(a.name);
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string format_double_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string{buf};
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------- axes
+
+bool axis::session_mutable() const {
+  for (const axis_point& p : points) {
+    if (!p.apply_session) {
+      return false;
+    }
+  }
+  return !points.empty();
+}
+
+axis distance_axis(const std::vector<double>& distances_m) {
+  axis a{"distance_m", {}};
+  for (const double d : distances_m) {
+    a.points.push_back(axis_point{
+        format_value(d), d,
+        [d](attack_scenario& sc) { sc.distance_m = d; },
+        [d](attack_session& s) { s.set_distance(d); }});
+  }
+  return a;
+}
+
+axis power_axis(const std::vector<double>& powers_w) {
+  axis a{"power_w", {}};
+  for (const double p : powers_w) {
+    a.points.push_back(axis_point{
+        format_value(p), p,
+        [p](attack_scenario& sc) { sc.rig.total_power_w = p; },
+        [p](attack_session& s) { s.set_total_power(p); }});
+  }
+  return a;
+}
+
+axis carrier_axis(const std::vector<double>& carriers_hz) {
+  axis a{"carrier_hz", {}};
+  for (const double hz : carriers_hz) {
+    a.points.push_back(axis_point{
+        format_value(hz), hz,
+        [hz](attack_scenario& sc) { sc.rig.modulator.carrier_hz = hz; },
+        nullptr});
+  }
+  return a;
+}
+
+axis ambient_axis(const std::vector<double>& ambient_spl_db) {
+  axis a{"ambient_db", {}};
+  for (const double spl : ambient_spl_db) {
+    a.points.push_back(axis_point{
+        format_value(spl), spl,
+        [spl](attack_scenario& sc) { sc.environment.ambient_spl_db = spl; },
+        nullptr});
+  }
+  return a;
+}
+
+axis device_axis(const std::vector<mic::device_profile>& devices) {
+  axis a{"device", {}};
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const mic::device_profile d = devices[i];
+    a.points.push_back(axis_point{
+        d.name, static_cast<double>(i),
+        [d](attack_scenario& sc) { sc.device = d; },
+        [d](attack_session& s) { s.set_device(d); }});
+  }
+  return a;
+}
+
+axis command_axis(const std::vector<std::string>& command_ids) {
+  axis a{"command", {}};
+  for (std::size_t i = 0; i < command_ids.size(); ++i) {
+    const std::string id = command_ids[i];
+    a.points.push_back(axis_point{
+        id, static_cast<double>(i),
+        [id](attack_scenario& sc) { sc.command_id = id; }, nullptr});
+  }
+  return a;
+}
+
+axis voice_axis(
+    const std::vector<std::pair<std::string, synth::voice_params>>& voices) {
+  axis a{"voice", {}};
+  for (std::size_t i = 0; i < voices.size(); ++i) {
+    const synth::voice_params v = voices[i].second;
+    a.points.push_back(axis_point{
+        voices[i].first, static_cast<double>(i),
+        [v](attack_scenario& sc) { sc.voice = v; }, nullptr});
+  }
+  return a;
+}
+
+axis custom_axis(std::string name, std::vector<axis_point> points) {
+  return axis{std::move(name), std::move(points)};
+}
+
+// -------------------------------------------------------------------- grid
+
+grid::grid(std::vector<axis> axes, bool cartesian)
+    : axes_{std::move(axes)}, cartesian_{cartesian} {
+  expects(!axes_.empty(), "grid: need at least one axis");
+  for (const axis& a : axes_) {
+    expects(!a.points.empty(), "grid: axis '" + a.name + "' has no values");
+    for (const axis_point& p : a.points) {
+      expects(static_cast<bool>(p.apply),
+              "grid: axis '" + a.name + "' has a point without apply()");
+    }
+  }
+  if (cartesian_) {
+    num_points_ = 1;
+    for (const axis& a : axes_) {
+      num_points_ *= a.points.size();
+    }
+  } else {
+    num_points_ = axes_.front().points.size();
+    for (const axis& a : axes_) {
+      expects(a.points.size() == num_points_,
+              "grid::zipped: axes must have equal lengths");
+    }
+  }
+}
+
+grid grid::cartesian(std::vector<axis> axes) {
+  return grid{std::move(axes), true};
+}
+
+grid grid::zipped(std::vector<axis> axes) {
+  return grid{std::move(axes), false};
+}
+
+std::vector<std::size_t> grid::value_indices(std::size_t point) const {
+  expects(point < num_points_, "grid: point index out of range");
+  std::vector<std::size_t> indices(axes_.size());
+  if (cartesian_) {
+    // Last axis fastest-varying, like nested loops.
+    std::size_t rest = point;
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      const std::size_t n = axes_[a].points.size();
+      indices[a] = rest % n;
+      rest /= n;
+    }
+  } else {
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      indices[a] = point;
+    }
+  }
+  return indices;
+}
+
+std::vector<std::string> grid::labels(std::size_t point) const {
+  const std::vector<std::size_t> indices = value_indices(point);
+  std::vector<std::string> labels(axes_.size());
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    labels[a] = axes_[a].points[indices[a]].label;
+  }
+  return labels;
+}
+
+std::vector<double> grid::coords(std::size_t point) const {
+  const std::vector<std::size_t> indices = value_indices(point);
+  std::vector<double> coords(axes_.size());
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    coords[a] = axes_[a].points[indices[a]].value;
+  }
+  return coords;
+}
+
+attack_scenario grid::scenario_at(std::size_t point,
+                                  const attack_scenario& base) const {
+  const std::vector<std::size_t> indices = value_indices(point);
+  attack_scenario sc = base;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    axes_[a].points[indices[a]].apply(sc);
+  }
+  return sc;
+}
+
+bool grid::session_mutable() const {
+  for (const axis& a : axes_) {
+    if (!a.session_mutable()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void grid::mutate_session(std::size_t point, attack_session& session) const {
+  const std::vector<std::size_t> indices = value_indices(point);
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const axis_point& p = axes_[a].points[indices[a]];
+    expects(static_cast<bool>(p.apply_session),
+            "grid: axis '" + axes_[a].name + "' is not session-mutable");
+    p.apply_session(session);
+  }
+}
+
+// ----------------------------------------------------------------- results
+
+result_table::result_table(std::vector<std::string> axis_names,
+                           std::vector<std::string> metric_names)
+    : axis_names_{std::move(axis_names)},
+      metric_names_{std::move(metric_names)} {}
+
+double result_table::metric(std::size_t row_index,
+                            const std::string& name) const {
+  const row& r = rows_.at(row_index);
+  for (std::size_t m = 0; m < metric_names_.size(); ++m) {
+    if (metric_names_[m] == name) {
+      return r.metrics[m];
+    }
+  }
+  throw std::invalid_argument{"result_table: unknown metric '" + name + "'"};
+}
+
+success_estimate result_table::estimate(std::size_t row_index) const {
+  success_estimate est;
+  est.rate = metric(row_index, "rate");
+  est.ci_low = metric(row_index, "ci_low");
+  est.ci_high = metric(row_index, "ci_high");
+  est.mean_intelligibility = metric(row_index, "mean_score");
+  est.successes = static_cast<std::size_t>(metric(row_index, "successes"));
+  est.trials = static_cast<std::size_t>(metric(row_index, "trials"));
+  return est;
+}
+
+void result_table::add_row(row r) {
+  expects(r.labels.size() == axis_names_.size() &&
+              r.coords.size() == axis_names_.size(),
+          "result_table: row axis width mismatch");
+  expects(r.metrics.size() == metric_names_.size(),
+          "result_table: row metric width mismatch");
+  rows_.push_back(std::move(r));
+}
+
+void result_table::write_csv(std::ostream& out) const {
+  bool first = true;
+  for (const std::string& a : axis_names_) {
+    out << (first ? "" : ",") << a;
+    first = false;
+  }
+  for (const std::string& m : metric_names_) {
+    out << (first ? "" : ",") << m;
+    first = false;
+  }
+  out << "\n";
+  for (const row& r : rows_) {
+    first = true;
+    for (const std::string& label : r.labels) {
+      out << (first ? "" : ",") << label;
+      first = false;
+    }
+    for (const double m : r.metrics) {
+      out << (first ? "" : ",") << format_double_exact(m);
+      first = false;
+    }
+    out << "\n";
+  }
+}
+
+std::string result_table::to_csv() const {
+  std::ostringstream out;
+  write_csv(out);
+  return out.str();
+}
+
+void result_table::write_csv_file(const std::string& path) const {
+  std::ofstream out{path};
+  ensures(out.good(), "result_table: cannot open '" + path + "'");
+  write_csv(out);
+}
+
+void result_table::write_json(std::ostream& out) const {
+  const auto write_names = [&out](const std::vector<std::string>& names) {
+    out << "[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << '"' << json_escape(names[i]) << '"';
+    }
+    out << "]";
+  };
+  out << "{\n  \"axis_names\": ";
+  write_names(axis_names_);
+  out << ",\n  \"metric_names\": ";
+  write_names(metric_names_);
+  out << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const row& r = rows_[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"labels\": ";
+    write_names(r.labels);
+    out << ", \"coords\": [";
+    for (std::size_t a = 0; a < r.coords.size(); ++a) {
+      out << (a == 0 ? "" : ", ") << format_double_exact(r.coords[a]);
+    }
+    out << "], \"metrics\": [";
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      out << (m == 0 ? "" : ", ") << format_double_exact(r.metrics[m]);
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string result_table::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void result_table::write_json_file(const std::string& path) const {
+  std::ofstream out{path};
+  ensures(out.good(), "result_table: cannot open '" + path + "'");
+  write_json(out);
+}
+
+void result_table::print(std::FILE* out) const {
+  const auto at_least = [](std::size_t w, std::size_t min_width) {
+    return w > min_width ? w : min_width;
+  };
+  std::vector<std::size_t> widths(axis_names_.size());
+  for (std::size_t a = 0; a < axis_names_.size(); ++a) {
+    widths[a] = at_least(axis_names_[a].size(), 10);
+    for (const row& r : rows_) {
+      widths[a] = at_least(r.labels[a].size(), widths[a]);
+    }
+  }
+  for (std::size_t a = 0; a < axis_names_.size(); ++a) {
+    std::fprintf(out, " %*s", static_cast<int>(widths[a]),
+                 axis_names_[a].c_str());
+  }
+  for (const std::string& name : metric_names_) {
+    std::fprintf(out, " %*s", static_cast<int>(at_least(name.size(), 10)),
+                 name.c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const row& r : rows_) {
+    for (std::size_t a = 0; a < r.labels.size(); ++a) {
+      std::fprintf(out, " %*s", static_cast<int>(widths[a]),
+                   r.labels[a].c_str());
+    }
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      std::fprintf(out, " %*.4g",
+                   static_cast<int>(at_least(metric_names_[m].size(), 10)),
+                   r.metrics[m]);
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+// ------------------------------------------------------------------ engine
+
+const std::vector<std::string>& success_metric_names() {
+  static const std::vector<std::string> names{
+      "rate", "ci_low", "ci_high", "mean_score", "successes", "trials"};
+  return names;
+}
+
+engine::engine(run_config config) : config_{config} {
+  expects(config_.trials_per_point > 0,
+          "engine: trials_per_point must be > 0");
+}
+
+result_table engine::run(const attack_scenario& base, const grid& g) const {
+  return run(base, g, default_outcome);
+}
+
+result_table engine::run(const attack_scenario& base, const grid& g,
+                         const trial_evaluator& eval) const {
+  if (g.session_mutable()) {
+    return run_over(attack_session{base, config_.seed}, g, eval);
+  }
+  result_table table{grid_axis_names(g), success_metric_names()};
+  std::vector<result_table::row> rows(g.size());
+  const std::size_t trials = config_.trials_per_point;
+  parallel_for(g.size(), config_.num_threads, [&](std::size_t p) {
+    const attack_session session{g.scenario_at(p, base),
+                                 mix_seed(config_.seed, p)};
+    std::vector<trial_outcome> outcomes(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      outcomes[t] = eval(session.run_trial(t));
+    }
+    rows[p] = result_table::row{g.labels(p), g.coords(p), summarize(outcomes)};
+  });
+  for (result_table::row& r : rows) {
+    table.add_row(std::move(r));
+  }
+  return table;
+}
+
+result_table engine::run_over(const attack_session& prototype,
+                              const grid& g) const {
+  return run_over(prototype, g, default_outcome);
+}
+
+result_table engine::run_over(const attack_session& prototype, const grid& g,
+                              const trial_evaluator& eval) const {
+  expects(g.session_mutable(),
+          "engine::run_over: every axis must be session-mutable");
+  result_table table{grid_axis_names(g), success_metric_names()};
+  std::vector<result_table::row> rows(g.size());
+  const std::size_t trials = config_.trials_per_point;
+  parallel_for(g.size(), config_.num_threads, [&](std::size_t p) {
+    attack_session session = prototype;  // thread-private copy
+    g.mutate_session(p, session);
+    // Trial indices accumulate across points, matching the legacy
+    // serial sweeps bit for bit.
+    const std::uint64_t base_index = p * trials;
+    std::vector<trial_outcome> outcomes(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      outcomes[t] = eval(session.run_trial(base_index + t));
+    }
+    rows[p] = result_table::row{g.labels(p), g.coords(p), summarize(outcomes)};
+  });
+  for (result_table::row& r : rows) {
+    table.add_row(std::move(r));
+  }
+  return table;
+}
+
+result_table engine::run_metrics(const attack_scenario& base, const grid& g,
+                                 std::vector<std::string> metric_names,
+                                 const point_evaluator& eval) const {
+  expects(!metric_names.empty(), "engine::run_metrics: need metric names");
+  const std::size_t num_metrics = metric_names.size();
+  result_table table{grid_axis_names(g), std::move(metric_names)};
+  std::vector<result_table::row> rows(g.size());
+  parallel_for(g.size(), config_.num_threads, [&](std::size_t p) {
+    std::vector<double> metrics =
+        eval(g.scenario_at(p, base), mix_seed(config_.seed, p), p);
+    ensures(metrics.size() == num_metrics,
+            "engine::run_metrics: evaluator returned wrong metric count");
+    rows[p] = result_table::row{g.labels(p), g.coords(p), std::move(metrics)};
+  });
+  for (result_table::row& r : rows) {
+    table.add_row(std::move(r));
+  }
+  return table;
+}
+
+}  // namespace ivc::sim

@@ -1,0 +1,223 @@
+// Declarative experiment engine.
+//
+// Every result in the paper is a grid of attack trials over scenario
+// axes — distance, power, carrier, device, ambient, voice, command.
+// Instead of each figure hand-rolling its sweep loop, an experiment is
+// declared as a `grid` of `axis` values over a base `attack_scenario`
+// and handed to the `engine`, which:
+//
+//   * executes grid points on a thread pool (common/parallel.h),
+//   * seeds every point and trial deterministically from the run seed
+//     and the point index — results are bit-identical at any thread
+//     count,
+//   * uses a fast path when every axis can mutate a prepared
+//     `attack_session` in place (distance/power/device), so the
+//     expensive rig build happens once per run instead of once per
+//     point,
+//   * collects results into a typed `result_table` with success rates,
+//     Wilson intervals, and CSV/JSON writers, so benches stop
+//     formatting by hand.
+//
+// New axes need no engine changes: `custom_axis` takes arbitrary
+// per-value setter callbacks over the scenario (and optionally the
+// session).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "sim/sweep.h"
+
+namespace ivc::sim {
+
+// ------------------------------------------------------------------ axes
+
+// One value of one axis: a display label, a numeric coordinate for
+// plotting/CSV, the scenario mutation it stands for, and — when the
+// mutation is cheap on a live session — the session fast-path mutation.
+struct axis_point {
+  std::string label;
+  double value = 0.0;
+  std::function<void(attack_scenario&)> apply;
+  std::function<void(attack_session&)> apply_session;  // optional
+};
+
+struct axis {
+  std::string name;
+  std::vector<axis_point> points;
+
+  // True when every point can mutate a prepared session in place.
+  bool session_mutable() const;
+};
+
+axis distance_axis(const std::vector<double>& distances_m);
+axis power_axis(const std::vector<double>& powers_w);
+axis carrier_axis(const std::vector<double>& carriers_hz);
+axis ambient_axis(const std::vector<double>& ambient_spl_db);
+axis device_axis(const std::vector<mic::device_profile>& devices);
+axis command_axis(const std::vector<std::string>& command_ids);
+axis voice_axis(
+    const std::vector<std::pair<std::string, synth::voice_params>>& voices);
+
+// Extension point: any named list of labelled scenario mutations.
+axis custom_axis(std::string name, std::vector<axis_point> points);
+
+// ------------------------------------------------------------------ grid
+
+// An ordered set of experiment points over one or more axes. Cartesian
+// grids enumerate the cross product (last axis fastest-varying, like
+// nested loops); zipped grids advance all axes together.
+class grid {
+ public:
+  static grid cartesian(std::vector<axis> axes);
+  static grid zipped(std::vector<axis> axes);
+
+  std::size_t size() const { return num_points_; }
+  const std::vector<axis>& axes() const { return axes_; }
+
+  // Per-axis value index of a grid point.
+  std::vector<std::size_t> value_indices(std::size_t point) const;
+  // Label / numeric coordinate per axis at a grid point.
+  std::vector<std::string> labels(std::size_t point) const;
+  std::vector<double> coords(std::size_t point) const;
+
+  // The base scenario with every axis mutation for `point` applied.
+  attack_scenario scenario_at(std::size_t point,
+                              const attack_scenario& base) const;
+
+  // True when every axis is session-mutable (engine fast path).
+  bool session_mutable() const;
+  void mutate_session(std::size_t point, attack_session& session) const;
+
+ private:
+  grid(std::vector<axis> axes, bool cartesian);
+
+  std::vector<axis> axes_;
+  bool cartesian_ = true;
+  std::size_t num_points_ = 0;
+};
+
+// --------------------------------------------------------------- results
+
+// Serialization helpers shared by result_table and the bench JSON
+// reporters: minimal JSON string escaping, and double formatting with
+// enough digits to round-trip bit-identically.
+std::string json_escape(const std::string& s);
+std::string format_double_exact(double v);
+
+// A rectangular result set: one row per grid point, axis columns
+// (label + numeric coordinate) followed by named metric columns.
+class result_table {
+ public:
+  struct row {
+    std::vector<std::string> labels;   // one per axis
+    std::vector<double> coords;        // one per axis
+    std::vector<double> metrics;       // one per metric column
+    bool operator==(const row&) const = default;
+  };
+
+  result_table() = default;
+  result_table(std::vector<std::string> axis_names,
+               std::vector<std::string> metric_names);
+
+  const std::vector<std::string>& axis_names() const { return axis_names_; }
+  const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+  const std::vector<row>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  const row& at(std::size_t index) const { return rows_.at(index); }
+
+  // Metric lookup by column name; throws for unknown names.
+  double metric(std::size_t row_index, const std::string& name) const;
+  // Reconstructs the success estimate from the standard engine columns.
+  success_estimate estimate(std::size_t row_index) const;
+
+  void add_row(row r);  // validates column counts
+
+  // CSV: header of axis + metric names; doubles at full precision so a
+  // written table parses back bit-identically.
+  std::string to_csv() const;
+  void write_csv(std::ostream& out) const;
+  void write_csv_file(const std::string& path) const;
+
+  // JSON object {axis_names, metric_names, rows:[{labels, coords,
+  // metrics}]} at full precision.
+  std::string to_json() const;
+  void write_json(std::ostream& out) const;
+  void write_json_file(const std::string& path) const;
+
+  // Fixed-width human-readable table (what benches print).
+  void print(std::FILE* out = stdout) const;
+
+  bool operator==(const result_table&) const = default;
+
+ private:
+  std::vector<std::string> axis_names_;
+  std::vector<std::string> metric_names_;
+  std::vector<row> rows_;
+};
+
+// ---------------------------------------------------------------- engine
+
+struct run_config {
+  std::size_t trials_per_point = 8;
+  std::uint64_t seed = 42;
+  // 0 = one thread per hardware thread.
+  std::size_t num_threads = 0;
+};
+
+// Verdict of one trial under a custom evaluator.
+struct trial_outcome {
+  bool success = false;
+  double score = 0.0;
+};
+using trial_evaluator = std::function<trial_outcome(const trial_result&)>;
+
+// Names of the standard success-experiment metric columns, in order:
+// rate, ci_low, ci_high, mean_score, successes, trials.
+const std::vector<std::string>& success_metric_names();
+
+class engine {
+ public:
+  explicit engine(run_config config = {});
+  const run_config& config() const { return config_; }
+
+  // Standard success-rate experiment: per grid point, builds (or
+  // mutates) a session, runs `trials_per_point` trials, and records
+  // rate / Wilson CI / mean score. The default evaluator scores
+  // recognizer success and intelligibility; pass `eval` to redefine
+  // what counts as success (e.g. "the defense detected the capture").
+  result_table run(const attack_scenario& base, const grid& g) const;
+  result_table run(const attack_scenario& base, const grid& g,
+                   const trial_evaluator& eval) const;
+
+  // Fast path over a caller-prepared session; every grid axis must be
+  // session-mutable. Trial indices accumulate across points exactly
+  // like the legacy serial sweeps, so results match them bit for bit.
+  result_table run_over(const attack_session& prototype, const grid& g) const;
+  result_table run_over(const attack_session& prototype, const grid& g,
+                        const trial_evaluator& eval) const;
+
+  // Fully custom per-point measurement (leakage figures, range scans):
+  // `eval` receives the point's scenario, a deterministic per-point
+  // seed, and the grid point index (for per-point side tables), and
+  // returns one value per metric name.
+  using point_evaluator = std::function<std::vector<double>(
+      const attack_scenario&, std::uint64_t point_seed,
+      std::size_t point_index)>;
+  result_table run_metrics(const attack_scenario& base, const grid& g,
+                           std::vector<std::string> metric_names,
+                           const point_evaluator& eval) const;
+
+ private:
+  run_config config_;
+};
+
+}  // namespace ivc::sim

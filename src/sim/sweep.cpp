@@ -4,11 +4,33 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "sim/experiment.h"
 
 namespace ivc::sim {
+namespace {
 
-void wilson_interval(std::size_t successes, std::size_t trials, double& low,
-                     double& high) {
+// Runs a one-axis grid over copies of `session` and converts the rows
+// back to the classic sweep_point curve.
+std::vector<sweep_point> sweep_axis(const attack_session& session, axis ax,
+                                    std::size_t trials_per_point,
+                                    std::size_t num_threads) {
+  run_config cfg;
+  cfg.trials_per_point = trials_per_point;
+  cfg.num_threads = num_threads;
+  const engine eng{cfg};
+  const grid g = grid::cartesian({std::move(ax)});
+  const result_table table = eng.run_over(session, g);
+  std::vector<sweep_point> points;
+  points.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    points.push_back(sweep_point{table.at(i).coords[0], table.estimate(i)});
+  }
+  return points;
+}
+
+}  // namespace
+
+interval wilson_interval(std::size_t successes, std::size_t trials) {
   expects(trials > 0, "wilson_interval: trials must be > 0");
   constexpr double z = 1.96;  // 95%
   const double n = static_cast<double>(trials);
@@ -17,8 +39,7 @@ void wilson_interval(std::size_t successes, std::size_t trials, double& low,
   const double center = (p + z * z / (2.0 * n)) / denom;
   const double half =
       z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / denom;
-  low = std::max(0.0, center - half);
-  high = std::min(1.0, center + half);
+  return interval{std::max(0.0, center - half), std::min(1.0, center + half)};
 }
 
 success_estimate estimate_success(const attack_session& session,
@@ -37,56 +58,52 @@ success_estimate estimate_success(const attack_session& session,
   }
   est.rate = static_cast<double>(est.successes) / static_cast<double>(trials);
   est.mean_intelligibility = intel / static_cast<double>(trials);
-  wilson_interval(est.successes, est.trials, est.ci_low, est.ci_high);
+  const interval ci = wilson_interval(est.successes, est.trials);
+  est.ci_low = ci.low;
+  est.ci_high = ci.high;
   return est;
 }
 
-std::vector<sweep_point> sweep_distance(attack_session& session,
+std::vector<sweep_point> sweep_distance(const attack_session& session,
                                         const std::vector<double>& distances_m,
-                                        std::size_t trials_per_point) {
+                                        std::size_t trials_per_point,
+                                        std::size_t num_threads) {
   expects(!distances_m.empty(), "sweep_distance: need at least one distance");
-  std::vector<sweep_point> points;
-  std::uint64_t base = 0;
-  for (const double d : distances_m) {
-    session.set_distance(d);
-    points.push_back(
-        sweep_point{d, estimate_success(session, trials_per_point, base)});
-    base += trials_per_point;
-  }
-  return points;
+  return sweep_axis(session, distance_axis(distances_m), trials_per_point,
+                    num_threads);
 }
 
-std::vector<sweep_point> sweep_power(attack_session& session,
+std::vector<sweep_point> sweep_power(const attack_session& session,
                                      const std::vector<double>& powers_w,
-                                     std::size_t trials_per_point) {
+                                     std::size_t trials_per_point,
+                                     std::size_t num_threads) {
   expects(!powers_w.empty(), "sweep_power: need at least one power");
-  std::vector<sweep_point> points;
-  std::uint64_t base = 0;
-  for (const double p : powers_w) {
-    session.set_total_power(p);
-    points.push_back(
-        sweep_point{p, estimate_success(session, trials_per_point, base)});
-    base += trials_per_point;
-  }
-  return points;
+  return sweep_axis(session, power_axis(powers_w), trials_per_point,
+                    num_threads);
 }
 
-double max_attack_range_m(attack_session& session, double min_rate,
+double max_attack_range_m(const attack_session& session, double min_rate,
                           std::size_t trials_per_point, double start_m,
-                          double max_m, double step_m) {
+                          double max_m, double step_m,
+                          std::size_t num_threads) {
   expects(min_rate > 0.0 && min_rate <= 1.0,
           "max_attack_range_m: min_rate must be in (0, 1]");
   expects(step_m > 0.0 && start_m > 0.0 && max_m > start_m,
           "max_attack_range_m: need 0 < start < max with step > 0");
-  double best = 0.0;
-  std::uint64_t base = 0;
+  // The whole ladder runs in parallel (the serial version early-exited
+  // past the range edge; computing the tail costs nothing extra on a
+  // pool and per-point results are unchanged — trials are index-seeded).
+  std::vector<double> ladder;
   for (double d = start_m; d <= max_m + 1e-9; d += step_m) {
-    session.set_distance(d);
-    const success_estimate est =
-        estimate_success(session, trials_per_point, base);
-    base += trials_per_point;
-    if (est.rate >= min_rate) {
-      best = d;
+    ladder.push_back(d);
+  }
+  const std::vector<sweep_point> points =
+      sweep_axis(session, distance_axis(ladder), trials_per_point,
+                 num_threads);
+  double best = 0.0;
+  for (const sweep_point& point : points) {
+    if (point.result.rate >= min_rate) {
+      best = point.x;
     } else if (best > 0.0) {
       break;  // past the edge of the working range
     }

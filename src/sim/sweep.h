@@ -1,6 +1,13 @@
 // Sweep drivers: success-rate estimation over distance, power, and
 // carrier frequency — the machinery behind every attack-performance table
 // and figure.
+//
+// The sweep functions are thin wrappers over the declarative experiment
+// engine (sim/experiment.h), preserved for callers that want a one-call
+// curve; new experiments should build a grid and use the engine
+// directly. Wrapper results match the legacy serial implementations bit
+// for bit (same session seed, same per-point trial bases), but the
+// points now run on a thread pool.
 #pragma once
 
 #include <vector>
@@ -8,6 +15,15 @@
 #include "sim/scenario.h"
 
 namespace ivc::sim {
+
+// A closed interval, e.g. a binomial confidence interval on [0, 1].
+struct interval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+// Wilson score 95% interval for a binomial proportion.
+interval wilson_interval(std::size_t successes, std::size_t trials);
 
 struct success_estimate {
   double rate = 0.0;           // fraction of successful trials
@@ -29,25 +45,25 @@ struct sweep_point {
   success_estimate result;
 };
 
-// Success vs. distance at fixed power.
-std::vector<sweep_point> sweep_distance(attack_session& session,
+// Success vs. distance at fixed power. `num_threads` sizes the engine
+// pool (0 = all hardware threads).
+std::vector<sweep_point> sweep_distance(const attack_session& session,
                                         const std::vector<double>& distances_m,
-                                        std::size_t trials_per_point);
+                                        std::size_t trials_per_point,
+                                        std::size_t num_threads = 0);
 
 // Success vs. total power at fixed distance.
-std::vector<sweep_point> sweep_power(attack_session& session,
+std::vector<sweep_point> sweep_power(const attack_session& session,
                                      const std::vector<double>& powers_w,
-                                     std::size_t trials_per_point);
+                                     std::size_t trials_per_point,
+                                     std::size_t num_threads = 0);
 
 // Maximum distance (m) with success rate >= `min_rate`, scanned outward
 // in `step_m` increments from `start_m` up to `max_m`. Returns 0 when
 // even the first point fails — matches how the papers report "range".
-double max_attack_range_m(attack_session& session, double min_rate,
+double max_attack_range_m(const attack_session& session, double min_rate,
                           std::size_t trials_per_point, double start_m,
-                          double max_m, double step_m);
-
-// Wilson score interval for a binomial proportion.
-void wilson_interval(std::size_t successes, std::size_t trials,
-                     double& low, double& high);
+                          double max_m, double step_m,
+                          std::size_t num_threads = 0);
 
 }  // namespace ivc::sim

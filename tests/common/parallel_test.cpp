@@ -1,0 +1,93 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ivc {
+namespace {
+
+TEST(parallel, covers_every_index_exactly_once) {
+  constexpr std::size_t count = 1'000;
+  std::vector<std::atomic<int>> hits(count);
+  thread_pool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  pool.parallel_for(count, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(parallel, single_thread_pool_runs_on_caller) {
+  thread_pool pool{1};
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(8, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(parallel, pool_is_reusable_across_jobs) {
+  thread_pool pool{3};
+  std::vector<double> out(64, 0.0);
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] += static_cast<double>(i);
+    });
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], 5.0 * static_cast<double>(i));
+  }
+}
+
+TEST(parallel, zero_count_is_a_no_op) {
+  thread_pool pool{2};
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(parallel, rethrows_first_exception_and_still_covers_indices) {
+  thread_pool pool{2};
+  std::vector<std::atomic<int>> hits(32);
+  EXPECT_THROW(
+      pool.parallel_for(hits.size(),
+                        [&](std::size_t i) {
+                          hits[i].fetch_add(1);
+                          if (i == 7) {
+                            throw std::runtime_error{"index 7"};
+                          }
+                        }),
+      std::runtime_error);
+  // The failure does not abort the remaining indices.
+  int total = 0;
+  for (std::atomic<int>& h : hits) {
+    total += h.load();
+  }
+  EXPECT_EQ(total, 32);
+  // And the pool still works afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(4, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(parallel, one_shot_helper_works) {
+  std::vector<int> out(100, 0);
+  parallel_for(out.size(), 0, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 100);
+}
+
+TEST(parallel, default_thread_count_is_positive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ivc

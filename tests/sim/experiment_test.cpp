@@ -1,0 +1,240 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.h"
+
+namespace ivc::sim {
+namespace {
+
+attack_scenario quick_mono(double distance) {
+  attack_scenario sc;
+  sc.rig = attack::monolithic_rig(18.7);
+  sc.command_id = "mute_yourself";  // shortest command, fastest tests
+  sc.distance_m = distance;
+  return sc;
+}
+
+// ------------------------------------------------------------------ grid
+
+TEST(experiment_grid, cartesian_enumerates_cross_product_row_major) {
+  const grid g = grid::cartesian(
+      {distance_axis({1.0, 2.0, 3.0}), power_axis({5.0, 10.0})});
+  ASSERT_EQ(g.size(), 6u);
+  // Last axis fastest-varying.
+  EXPECT_EQ(g.value_indices(0), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(g.value_indices(1), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(g.value_indices(2), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(g.value_indices(5), (std::vector<std::size_t>{2, 1}));
+  EXPECT_EQ(g.coords(3), (std::vector<double>{2.0, 10.0}));
+  EXPECT_EQ(g.labels(5), (std::vector<std::string>{"3", "10"}));
+
+  // The scenario at a point carries every axis mutation.
+  const attack_scenario sc = g.scenario_at(5, quick_mono(9.0));
+  EXPECT_DOUBLE_EQ(sc.distance_m, 3.0);
+  EXPECT_DOUBLE_EQ(sc.rig.total_power_w, 10.0);
+}
+
+TEST(experiment_grid, zipped_advances_axes_together) {
+  const grid g = grid::zipped(
+      {distance_axis({1.0, 2.0}), ambient_axis({30.0, 50.0})});
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.value_indices(1), (std::vector<std::size_t>{1, 1}));
+  const attack_scenario sc = g.scenario_at(1, quick_mono(9.0));
+  EXPECT_DOUBLE_EQ(sc.distance_m, 2.0);
+  EXPECT_DOUBLE_EQ(sc.environment.ambient_spl_db, 50.0);
+}
+
+TEST(experiment_grid, zipped_rejects_mismatched_lengths) {
+  EXPECT_THROW(
+      grid::zipped({distance_axis({1.0, 2.0}), power_axis({5.0})}),
+      std::invalid_argument);
+}
+
+TEST(experiment_grid, session_mutability_tracks_axes) {
+  EXPECT_TRUE(grid::cartesian({distance_axis({1.0}), power_axis({5.0})})
+                  .session_mutable());
+  // Carrier changes force a rig rebuild: no session fast path.
+  EXPECT_FALSE(grid::cartesian({distance_axis({1.0}), carrier_axis({30e3})})
+                   .session_mutable());
+}
+
+TEST(experiment_grid, custom_axis_extends_the_vocabulary) {
+  axis chunks = custom_axis(
+      "chunks", {axis_point{"4", 4.0,
+                            [](attack_scenario& sc) {
+                              sc.rig.splitter.num_chunks = 4;
+                            },
+                            nullptr},
+                 axis_point{"16", 16.0,
+                            [](attack_scenario& sc) {
+                              sc.rig.splitter.num_chunks = 16;
+                            },
+                            nullptr}});
+  const grid g = grid::cartesian({chunks});
+  attack_scenario base = quick_mono(2.0);
+  base.rig = attack::long_range_rig();
+  EXPECT_EQ(g.scenario_at(0, base).rig.splitter.num_chunks, 4u);
+  EXPECT_EQ(g.scenario_at(1, base).rig.splitter.num_chunks, 16u);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(experiment_engine, deterministic_at_any_thread_count) {
+  const grid g = grid::cartesian(
+      {distance_axis({1.5, 6.0}), power_axis({5.0, 18.7})});
+  run_config cfg;
+  cfg.trials_per_point = 2;
+  cfg.seed = 2'024;
+
+  cfg.num_threads = 1;
+  const result_table serial = engine{cfg}.run(quick_mono(2.0), g);
+  cfg.num_threads = 4;
+  const result_table threaded = engine{cfg}.run(quick_mono(2.0), g);
+
+  EXPECT_EQ(serial, threaded);  // bit-identical rows, labels, metrics
+  ASSERT_EQ(serial.size(), 4u);
+  // Close + strong beats far + weak.
+  EXPECT_GE(serial.metric(1, "rate"), serial.metric(2, "rate"));
+}
+
+TEST(experiment_engine, scenario_path_is_deterministic_too) {
+  // A carrier axis disables the session fast path; determinism must hold
+  // on the session-per-point path as well.
+  const grid g = grid::cartesian({carrier_axis({30e3, 36e3})});
+  run_config cfg;
+  cfg.trials_per_point = 2;
+  cfg.num_threads = 1;
+  const result_table serial = engine{cfg}.run(quick_mono(2.0), g);
+  cfg.num_threads = 3;
+  const result_table threaded = engine{cfg}.run(quick_mono(2.0), g);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(experiment_engine, matches_legacy_sweep_seeding) {
+  // The sweep wrappers promise bit-identical results to the legacy
+  // serial loops: same session, trial indices accumulating across
+  // points.
+  const attack_session session{quick_mono(1.0), 108};
+  const std::vector<double> distances{1.5, 10.0};
+  constexpr std::size_t trials = 3;
+  const std::vector<sweep_point> points =
+      sweep_distance(session, distances, trials);
+  ASSERT_EQ(points.size(), 2u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    attack_session probe = session;
+    probe.set_distance(distances[i]);
+    const success_estimate direct =
+        estimate_success(probe, trials, i * trials);
+    EXPECT_EQ(points[i].result.successes, direct.successes);
+    EXPECT_DOUBLE_EQ(points[i].result.mean_intelligibility,
+                     direct.mean_intelligibility);
+  }
+}
+
+TEST(experiment_engine, custom_trial_evaluator_redefines_success) {
+  const grid g = grid::cartesian({distance_axis({1.5})});
+  run_config cfg;
+  cfg.trials_per_point = 3;
+  cfg.num_threads = 1;
+  const result_table t = engine{cfg}.run(
+      quick_mono(1.5), g, [](const trial_result& r) {
+        return trial_outcome{r.capture.size() > 0, 1.0};
+      });
+  EXPECT_DOUBLE_EQ(t.metric(0, "rate"), 1.0);
+  EXPECT_DOUBLE_EQ(t.metric(0, "mean_score"), 1.0);
+  EXPECT_DOUBLE_EQ(t.metric(0, "trials"), 3.0);
+}
+
+TEST(experiment_engine, run_metrics_maps_points_to_columns) {
+  const grid g = grid::cartesian({power_axis({2.0, 4.0, 8.0})});
+  run_config cfg;
+  cfg.num_threads = 2;
+  const result_table t = engine{cfg}.run_metrics(
+      quick_mono(2.0), g, {"power_squared", "seed_is_nonzero", "point"},
+      [](const attack_scenario& sc, std::uint64_t point_seed,
+         std::size_t point) {
+        return std::vector<double>{
+            sc.rig.total_power_w * sc.rig.total_power_w,
+            point_seed != 0 ? 1.0 : 0.0, static_cast<double>(point)};
+      });
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.metric(1, "power_squared"), 16.0);
+  EXPECT_DOUBLE_EQ(t.metric(2, "power_squared"), 64.0);
+  EXPECT_DOUBLE_EQ(t.metric(0, "seed_is_nonzero"), 1.0);
+  EXPECT_DOUBLE_EQ(t.metric(2, "point"), 2.0);
+}
+
+// --------------------------------------------------------------- writers
+
+result_table sample_table() {
+  result_table t{{"distance_m"}, {"rate", "ci_low"}};
+  t.add_row({{"1.5"}, {1.5}, {0.625, 0.3000000000000000444}});
+  t.add_row({{"7.25"}, {7.25}, {1.0 / 3.0, 0.0}});
+  return t;
+}
+
+TEST(experiment_results, csv_round_trips_at_full_precision) {
+  const result_table t = sample_table();
+  std::istringstream in{t.to_csv()};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "distance_m,rate,ci_low");
+
+  result_table parsed{{"distance_m"}, {"rate", "ci_low"}};
+  while (std::getline(in, line)) {
+    std::istringstream cells{line};
+    std::string cell;
+    result_table::row r;
+    ASSERT_TRUE(std::getline(cells, cell, ','));
+    r.labels.push_back(cell);
+    r.coords.push_back(std::strtod(cell.c_str(), nullptr));
+    while (std::getline(cells, cell, ',')) {
+      r.metrics.push_back(std::strtod(cell.c_str(), nullptr));
+    }
+    parsed.add_row(std::move(r));
+  }
+  EXPECT_EQ(parsed, t);  // bit-identical doubles after the round trip
+}
+
+TEST(experiment_results, json_contains_names_and_exact_values) {
+  const std::string json = sample_table().to_json();
+  EXPECT_NE(json.find("\"axis_names\": [\"distance_m\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"metric_names\": [\"rate\", \"ci_low\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("0.625"), std::string::npos);
+  // Full-precision value survives.
+  EXPECT_NE(json.find("0.30000000000000004"), std::string::npos);
+}
+
+TEST(experiment_results, file_writers_produce_readable_files) {
+  const result_table t = sample_table();
+  const std::string csv_path = "experiment_test_table.csv";
+  const std::string json_path = "experiment_test_table.json";
+  t.write_csv_file(csv_path);
+  t.write_json_file(json_path);
+  std::ifstream csv{csv_path};
+  std::ifstream json{json_path};
+  ASSERT_TRUE(csv.good());
+  ASSERT_TRUE(json.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "distance_m,rate,ci_low");
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(experiment_results, metric_lookup_rejects_unknown_names) {
+  const result_table t = sample_table();
+  EXPECT_THROW(t.metric(0, "no_such_metric"), std::invalid_argument);
+  EXPECT_THROW(t.at(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ivc::sim

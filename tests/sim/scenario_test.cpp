@@ -91,16 +91,15 @@ TEST(scenario, invalid_configs_throw) {
 }
 
 TEST(sweep, wilson_interval_brackets_proportion) {
-  double lo = 0.0;
-  double hi = 0.0;
-  wilson_interval(8, 10, lo, hi);
-  EXPECT_GT(lo, 0.4);
-  EXPECT_LT(hi, 0.99);
-  EXPECT_LT(lo, 0.8);
-  EXPECT_GT(hi, 0.8);
-  wilson_interval(0, 10, lo, hi);
-  EXPECT_DOUBLE_EQ(lo, 0.0);
-  EXPECT_LT(hi, 0.35);
+  const interval ci = wilson_interval(8, 10);
+  EXPECT_GT(ci.low, 0.4);
+  EXPECT_LT(ci.high, 0.99);
+  EXPECT_LT(ci.low, 0.8);
+  EXPECT_GT(ci.high, 0.8);
+  const interval zero = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_LT(zero.high, 0.35);
+  EXPECT_THROW(wilson_interval(1, 0), std::invalid_argument);
 }
 
 TEST(sweep, estimate_success_counts_trials) {
