@@ -1,0 +1,500 @@
+// PERF: hot-path microbenchmarks and the cross-PR perf trajectory.
+//
+// Times the per-trial hot path at several altitudes — planned rfft,
+// STFT, MFCC extraction, DTW, session construction, and end-to-end
+// trial throughput — and, for the stages this PR rewired, times the
+// pre-change implementation with the SAME harness in the SAME process:
+// the seed's recurrence-twiddle complex FFT, the vector-of-vectors
+// MFCC/DTW pair, and cold-cache session enrollment. The speedup ratios
+// land in BENCH_perf.json so every future perf PR appends a comparable
+// point to the trajectory.
+//
+// Flags (on top of the common bench flags in bench_util.h):
+//   --smoke                 tiny repetition counts for CI (same metrics)
+//   --baseline-json <path>  a previous BENCH_perf.json (or any report
+//                           with the same metric names) to diff against:
+//                           *_speedup metrics are then computed as
+//                           cross-run throughput ratios, which is how
+//                           the trajectory compares whole PRs. The
+//                           committed bench/baselines/BENCH_perf_pr1.json
+//                           holds the pre-change (PR 1) reference,
+//                           measured with this harness's e2e/MFCC
+//                           protocol compiled against that tree.
+//
+// Without --baseline-json, e2e falls back to the in-process protocol
+// baseline (fresh enrollment per point — the pre-change behavior the
+// bench can re-enact in one binary); component speedups always come
+// from the embedded seed implementations.
+//
+// The JSON is written to BENCH_perf.json unless --json overrides it.
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "asr/mel.h"
+#include "asr/mfcc.h"
+#include "asr/dtw.h"
+#include "audio/generate.h"
+#include "bench_util.h"
+#include "common/constants.h"
+#include "common/rng.h"
+#include "dsp/fft_plan.h"
+#include "dsp/stft.h"
+#include "sim/scenario.h"
+
+namespace baseline {
+// ---------------------------------------------------------------------
+// Pre-change implementations, kept verbatim from the seed so the
+// harness measures old-vs-new inside one binary. Reference only — the
+// library paths these shadow live in src/dsp and src/asr.
+// ---------------------------------------------------------------------
+
+using cplx = std::complex<double>;
+
+void fft_pow2(std::vector<cplx>& data, bool inverse) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? ivc::two_pi : -ivc::two_pi) / static_cast<double>(len);
+    const cplx wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) {
+      x *= scale;
+    }
+  }
+}
+
+std::vector<double> dct2(const std::vector<double>& x,
+                         std::size_t num_coeffs) {
+  const std::size_t n = x.size();
+  std::vector<double> out(num_coeffs, 0.0);
+  for (std::size_t k = 0; k < num_coeffs; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += x[i] * std::cos(ivc::pi * static_cast<double>(k) *
+                             (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(n));
+    }
+    out[k] = acc * std::sqrt(2.0 / static_cast<double>(n));
+  }
+  return out;
+}
+
+// Seed extract_mfcc: per-call filterbank/window builds, complex FFT per
+// frame, one heap row per frame.
+std::vector<std::vector<double>> extract_mfcc(
+    const ivc::audio::buffer& input, const ivc::asr::mfcc_config& config) {
+  const double fs = input.sample_rate_hz;
+  const auto frame_len =
+      static_cast<std::size_t>(std::llround(config.frame_s * fs));
+  const auto hop_len =
+      static_cast<std::size_t>(std::llround(config.hop_s * fs));
+  const std::size_t fft_len = ivc::dsp::next_pow2(frame_len);
+  const std::size_t num_bins = fft_len / 2 + 1;
+  const double high = std::min(config.high_hz, 0.49 * fs);
+  const ivc::asr::mel_filterbank bank = ivc::asr::make_mel_filterbank(
+      config.num_filters, num_bins, fs, config.low_hz, high);
+  const std::vector<double> window = ivc::dsp::make_periodic_window(
+      ivc::dsp::window_kind::hamming, frame_len);
+
+  std::vector<double> x(input.samples.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = input.samples[i] - config.pre_emphasis * prev;
+    prev = input.samples[i];
+  }
+
+  std::vector<std::vector<double>> cepstra;
+  std::vector<cplx> frame(fft_len);
+  for (std::size_t start = 0; start + frame_len <= x.size();
+       start += hop_len) {
+    for (std::size_t i = 0; i < fft_len; ++i) {
+      const double v = i < frame_len ? x[start + i] * window[i] : 0.0;
+      frame[i] = cplx{v, 0.0};
+    }
+    fft_pow2(frame, /*inverse=*/false);
+    std::vector<double> power(num_bins);
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      power[k] = std::norm(frame[k]);
+    }
+    std::vector<double> mel = bank.apply(power);
+    double mel_max = 0.0;
+    for (const double m : mel) {
+      mel_max = std::max(mel_max, m);
+    }
+    const double floor = std::max(1e-12, mel_max * config.mel_floor_rel);
+    for (double& m : mel) {
+      m = std::log(std::max(m, floor));
+    }
+    std::vector<double> c = dct2(mel, config.num_coeffs);
+    if (config.lifter > 0.0) {
+      for (std::size_t k = 1; k < c.size(); ++k) {
+        c[k] *= 1.0 + 0.5 * config.lifter *
+                          std::sin(ivc::pi * static_cast<double>(k) /
+                                   config.lifter);
+      }
+    }
+    cepstra.push_back(std::move(c));
+  }
+
+  if (config.cepstral_mean_norm && !cepstra.empty()) {
+    std::vector<double> mean(config.num_coeffs, 0.0);
+    for (const auto& c : cepstra) {
+      for (std::size_t k = 0; k < c.size(); ++k) {
+        mean[k] += c[k];
+      }
+    }
+    for (double& m : mean) {
+      m /= static_cast<double>(cepstra.size());
+    }
+    for (auto& c : cepstra) {
+      for (std::size_t k = 0; k < c.size(); ++k) {
+        c[k] -= mean[k];
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> out;
+  const auto n = static_cast<std::ptrdiff_t>(cepstra.size());
+  for (std::ptrdiff_t t = 0; t < n; ++t) {
+    std::vector<double> row = cepstra[static_cast<std::size_t>(t)];
+    if (config.append_delta) {
+      for (std::size_t k = 0; k < config.num_coeffs; ++k) {
+        double num = 0.0;
+        double den = 0.0;
+        for (std::ptrdiff_t d = 1; d <= 2; ++d) {
+          const std::size_t lo =
+              static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, t - d));
+          const std::size_t hi =
+              static_cast<std::size_t>(std::min(n - 1, t + d));
+          num += static_cast<double>(d) * (cepstra[hi][k] - cepstra[lo][k]);
+          den += 2.0 * static_cast<double>(d * d);
+        }
+        row.push_back(num / den);
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// Seed dtw_distance over vector-of-vectors storage.
+double dtw(const std::vector<std::vector<double>>& a,
+           const std::vector<std::vector<double>>& b,
+           double band_fraction) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const auto band = std::max<std::ptrdiff_t>(
+      static_cast<std::ptrdiff_t>(band_fraction *
+                                  static_cast<double>(std::max(n, m))),
+      static_cast<std::ptrdiff_t>(std::max(n, m) - std::min(n, m)) + 1);
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, inf);
+  std::vector<double> cur(m + 1, inf);
+  std::vector<double> prev_steps(m + 1, 0.0);
+  std::vector<double> cur_steps(m + 1, 0.0);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    const auto diag = static_cast<std::ptrdiff_t>(
+        static_cast<double>(i) * static_cast<double>(m) /
+        static_cast<double>(n));
+    const auto j_lo =
+        static_cast<std::size_t>(std::max<std::ptrdiff_t>(1, diag - band));
+    const auto j_hi = static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(m), diag + band));
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a[i - 1].size(); ++k) {
+        const double d = a[i - 1][k] - b[j - 1][k];
+        acc += d * d;
+      }
+      const double d = std::sqrt(acc);
+      double best = prev[j - 1];
+      double steps = prev_steps[j - 1];
+      if (prev[j] < best) {
+        best = prev[j];
+        steps = prev_steps[j];
+      }
+      if (cur[j - 1] < best) {
+        best = cur[j - 1];
+        steps = cur_steps[j - 1];
+      }
+      if (best < inf) {
+        cur[j] = best + d;
+        cur_steps[j] = steps + 1.0;
+      }
+    }
+    std::swap(prev, cur);
+    std::swap(prev_steps, cur_steps);
+  }
+  return prev[m] / std::max(1.0, prev_steps[m]);
+}
+
+}  // namespace baseline
+
+namespace {
+
+// Wall time of `reps` runs of `fn`, best of three passes so a stray
+// scheduler hiccup does not pollute the trajectory.
+template <typename Fn>
+double time_reps(std::size_t reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 3; ++pass) {
+    const ivc::bench::stopwatch clock;
+    for (std::size_t r = 0; r < reps; ++r) {
+      fn();
+    }
+    best = std::min(best, clock.elapsed_s());
+  }
+  return best;
+}
+
+volatile double sink = 0.0;  // defeats whole-benchmark dead-code elimination
+
+// Minimal metric lookup in a same-format report: finds `"name": <value>`
+// and parses the number. Returns 0.0 when absent.
+double metric_from_json(const std::string& text, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) {
+    return 0.0;
+  }
+  return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  if (!in.good()) {
+    std::fprintf(stderr, "perf_hotpath: cannot read baseline %s\n",
+                 path.c_str());
+    return {};
+  }
+  std::string text{std::istreambuf_iterator<char>{in},
+                   std::istreambuf_iterator<char>{}};
+  return text;
+}
+
+ivc::sim::attack_scenario bench_scenario() {
+  ivc::sim::attack_scenario sc;
+  sc.rig = ivc::attack::monolithic_rig(18.7);
+  sc.command_id = "mute_yourself";
+  sc.distance_m = 2.0;
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  bench::options opts = bench::parse_options(argc, argv);
+  bool smoke = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--baseline-json" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  const std::string baseline_text =
+      baseline_path.empty() ? std::string{} : slurp(baseline_path);
+  if (opts.json_path.empty()) {
+    opts.json_path = "BENCH_perf.json";
+  }
+  bench::banner("PERF", smoke ? "hot-path microbenchmarks (smoke)"
+                              : "hot-path microbenchmarks");
+  bench::json_report report{"PERF", "hot-path microbenchmarks"};
+  report.add_metric("smoke", smoke ? 1.0 : 0.0);
+  const bench::stopwatch total_clock;
+
+  // ---- rfft vs the seed's promote-to-complex recurrence FFT ----------
+  {
+    const std::size_t n = 512;
+    const std::size_t reps = smoke ? 400 : 4'000;
+    ivc::rng rng{1};
+    std::vector<double> x(n);
+    for (double& v : x) {
+      v = rng.normal();
+    }
+    const double base_s = time_reps(reps, [&] {
+      std::vector<baseline::cplx> data(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        data[i] = baseline::cplx{x[i], 0.0};
+      }
+      baseline::fft_pow2(data, false);
+      sink = sink + data[1].real();
+    });
+    const auto plan = dsp::get_fft_plan(n);
+    std::vector<dsp::cplx> bins(plan->num_real_bins());
+    const double new_s = time_reps(reps, [&] {
+      plan->rfft(x, bins);
+      sink = sink + bins[1].real();
+    });
+    const double speedup = base_s / new_s;
+    bench::note("rfft-%zu: %8.0f /s -> %8.0f /s  (%.2fx)", n,
+                reps / base_s, reps / new_s, speedup);
+    report.add_metric("rfft_512_per_s_base", reps / base_s);
+    report.add_metric("rfft_512_per_s", reps / new_s);
+    report.add_metric("rfft_speedup", speedup);
+  }
+
+  // ---- STFT throughput (planned path; no seed twin to race) ----------
+  {
+    const std::size_t reps = smoke ? 20 : 200;
+    ivc::rng rng{2};
+    const audio::buffer sig = audio::white_noise(1.0, 16'000.0, 0.1, rng);
+    const double new_s = time_reps(reps, [&] {
+      const dsp::stft_result s = dsp::stft(sig.samples, sig.sample_rate_hz);
+      sink = sink + s.frames[0][0].real();
+    });
+    bench::note("stft 1s@16k: %8.1f /s", reps / new_s);
+    report.add_metric("stft_1s_per_s", reps / new_s);
+  }
+
+  // ---- MFCC extraction, planned pipeline vs the seed pipeline --------
+  double mfcc_speedup = 0.0;
+  {
+    const std::size_t reps = smoke ? 20 : 200;
+    ivc::rng rng{3};
+    const audio::buffer sig = audio::white_noise(1.0, 16'000.0, 0.1, rng);
+    const asr::mfcc_config cfg;
+    const double base_s = time_reps(reps, [&] {
+      const auto f = baseline::extract_mfcc(sig, cfg);
+      sink = sink + f.front().front();
+    });
+    const double new_s = time_reps(reps, [&] {
+      const asr::feature_matrix f = asr::extract_mfcc(sig, cfg);
+      sink = sink + f.data.front();
+    });
+    // Prefer the cross-run baseline (a real pre-change build) when one
+    // was supplied; the embedded seed implementation is the fallback.
+    const double cross = metric_from_json(baseline_text, "mfcc_1s_per_s");
+    mfcc_speedup = cross > 0.0 ? (reps / new_s) / cross : base_s / new_s;
+    bench::note("mfcc 1s@16k: %8.1f /s -> %8.1f /s  (%.2fx%s)", reps / base_s,
+                reps / new_s, mfcc_speedup,
+                cross > 0.0 ? " vs baseline run" : "");
+    report.add_metric("mfcc_1s_per_s_base", cross > 0.0 ? cross : reps / base_s);
+    report.add_metric("mfcc_1s_per_s", reps / new_s);
+    report.add_metric("mfcc_speedup", mfcc_speedup);
+  }
+
+  // ---- DTW, flattened rows vs vector-of-vectors ----------------------
+  {
+    const std::size_t reps = smoke ? 50 : 500;
+    ivc::rng rng{4};
+    const audio::buffer sa = audio::white_noise(1.2, 16'000.0, 0.1, rng);
+    const audio::buffer sb = audio::white_noise(1.0, 16'000.0, 0.1, rng);
+    const asr::feature_matrix fa = asr::extract_mfcc(sa);
+    const asr::feature_matrix fb = asr::extract_mfcc(sb);
+    std::vector<std::vector<double>> va;
+    std::vector<std::vector<double>> vb;
+    for (std::size_t i = 0; i < fa.num_frames(); ++i) {
+      va.emplace_back(fa.frame(i).begin(), fa.frame(i).end());
+    }
+    for (std::size_t i = 0; i < fb.num_frames(); ++i) {
+      vb.emplace_back(fb.frame(i).begin(), fb.frame(i).end());
+    }
+    const double base_s =
+        time_reps(reps, [&] { sink = sink + baseline::dtw(va, vb, 0.2); });
+    const double new_s =
+        time_reps(reps, [&] { sink = sink + asr::dtw_distance(fa, fb); });
+    const double speedup = base_s / new_s;
+    bench::note("dtw %zux%zu: %8.1f /s -> %8.1f /s  (%.2fx)",
+                fa.num_frames(), fb.num_frames(), reps / base_s,
+                reps / new_s, speedup);
+    report.add_metric("dtw_per_s_base", reps / base_s);
+    report.add_metric("dtw_per_s", reps / new_s);
+    report.add_metric("dtw_speedup", speedup);
+  }
+
+  // ---- Session construction + end-to-end trial throughput ------------
+  // One "point" is what the engine pays per scenario-path grid point:
+  // build an attack_session, run its trials. The baseline clears the
+  // enrolled-template cache first (the seed always re-enrolled); the
+  // new path measures a warm cache. Same harness, same work otherwise.
+  double e2e_speedup = 0.0;
+  {
+    // One trial per point: the scenario-grid unit of work. Keep this
+    // fixed across PRs — cross-run e2e comparisons assume the protocol.
+    const std::size_t points = smoke ? 2 : 5;
+    const std::size_t trials = 1;
+    const sim::attack_scenario sc = bench_scenario();
+    const auto run_point = [&](std::uint64_t seed) {
+      const sim::attack_session session{sc, seed};
+      for (std::size_t t = 0; t < trials; ++t) {
+        sink = sink + session.run_trial(t).intelligibility;
+      }
+    };
+    const double base_s = time_reps(points, [&] {
+      sim::clear_enrolled_recognizer_cache();
+      run_point(42);
+    });
+    sim::clear_enrolled_recognizer_cache();
+    run_point(42);  // warm the cache once, outside the timer
+    const double new_s = time_reps(points, [&] { run_point(42); });
+    // Cross-run baseline (the pre-change build timed with this same
+    // protocol) when supplied; otherwise the in-process protocol
+    // baseline above, which can only re-enact the enrollment behavior.
+    const double cross = metric_from_json(baseline_text, "e2e_points_per_s");
+    e2e_speedup =
+        cross > 0.0 ? (points / new_s) / cross : base_s / new_s;
+    bench::note("e2e point (session + %zu trials): %6.2f /s -> %6.2f /s  (%.2fx%s)",
+                trials, points / base_s, points / new_s, e2e_speedup,
+                cross > 0.0 ? " vs baseline run" : "");
+    report.add_metric("e2e_points_per_s_base",
+                      cross > 0.0 ? cross : points / base_s);
+    report.add_metric("e2e_points_per_s", points / new_s);
+    report.add_metric("e2e_trial_speedup", e2e_speedup);
+
+    // Session construction alone, warm cache (the trajectory number for
+    // future template-bank work).
+    const double build_s = time_reps(points, [&] {
+      const sim::attack_session session{sc, 42};
+      sink = sink + static_cast<double>(session.num_speakers());
+    });
+    bench::note("session build (warm cache): %6.2f /s", points / build_s);
+    report.add_metric("session_builds_per_s", points / build_s);
+  }
+
+  const double elapsed = total_clock.elapsed_s();
+  report.add_metric("elapsed_s", elapsed);
+  bench::rule();
+  bench::note("targets: e2e >= 3x (got %.2fx), mfcc >= 2x (got %.2fx)",
+              e2e_speedup, mfcc_speedup);
+  bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
+  report.write(opts.json_path);
+  return 0;
+}

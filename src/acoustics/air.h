@@ -9,6 +9,8 @@
 
 namespace ivc::acoustics {
 
+struct absorption_model;
+
 struct air_model {
   double temperature_c = 20.0;
   double relative_humidity_percent = 50.0;
@@ -23,6 +25,30 @@ struct air_model {
   // Linear amplitude factor after `dist_m` meters at `freq_hz`
   // (absorption only, no spreading).
   double absorption_gain(double freq_hz, double dist_m) const;
+
+  // Precomputes every frequency-independent term of the ISO 9613-1
+  // chain. Per-bin loops over large spectra (array render, propagation,
+  // room responses) hoist one of these instead of re-deriving the
+  // relaxation frequencies hundreds of thousands of times.
+  absorption_model absorption() const;
+};
+
+struct absorption_model {
+  // ISO 9613-1 intermediates (see air_model::absorption_db_per_m).
+  double fr_o = 0.0;        // O2 relaxation frequency, Hz
+  double fr_n = 0.0;        // N2 relaxation frequency, Hz
+  double classical = 0.0;   // classical + rotational term
+  double vib_scale = 0.0;   // pow(t_rel, -2.5)
+  double vib_o_num = 0.0;   // 0.01275 · exp(-2239.1 / T)
+  double vib_n_num = 0.0;   // 0.1068 · exp(-3352.0 / T)
+
+  // Same value as air_model::absorption_db_per_m(freq_hz) — identical
+  // arithmetic, just with the f-independent factors precomputed.
+  double db_per_m(double freq_hz) const;
+  // Linear amplitude factor after dist_m meters. Evaluated as
+  // exp(ln(10)/20 · dB) rather than pow(10, dB/20), so it can differ
+  // from air_model::absorption_gain in the last ulps.
+  double gain(double freq_hz, double dist_m) const;
 };
 
 }  // namespace ivc::acoustics

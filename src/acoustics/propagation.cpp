@@ -6,7 +6,7 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "common/units.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::acoustics {
 
@@ -23,30 +23,37 @@ std::vector<double> propagate(std::span<const double> pressure_at_1m,
       static_cast<std::size_t>(std::ceil(delay_s * sample_rate_hz));
 
   // Zero-pad past the delayed content so the circular FFT shift cannot
-  // wrap energy back to the start.
+  // wrap energy back to the start. The channel response (real magnitude,
+  // delay phase) is conjugate-symmetric, so the planned half-spectrum
+  // round trip carries the whole filter.
   const std::size_t padded = pressure_at_1m.size() + delay_samples + 64;
   const std::size_t n = ivc::dsp::next_pow2(padded);
-  std::vector<ivc::dsp::cplx> spec(n, ivc::dsp::cplx{0.0, 0.0});
+  const auto plan = ivc::dsp::get_fft_plan(n);
+  const std::size_t bins = plan->num_real_bins();
+  std::vector<double> time(n, 0.0);
   for (std::size_t i = 0; i < pressure_at_1m.size(); ++i) {
-    spec[i] = ivc::dsp::cplx{pressure_at_1m[i], 0.0};
+    time[i] = pressure_at_1m[i];
   }
-  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/false);
+  std::vector<ivc::dsp::cplx> spec(bins);
+  plan->rfft(time, spec);
 
   const double spreading = 1.0 / std::max(config.distance_m, 1e-3);
   const double extra = ivc::db_to_amplitude(-config.extra_loss_db);
   const double absorb_dist = std::max(0.0, config.distance_m - 1.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double f = ivc::dsp::bin_frequency_hz(i, n, sample_rate_hz);
-    const double mag = spreading * extra *
-                       config.air.absorption_gain(std::abs(f), absorb_dist);
+  const absorption_model absorb = config.air.absorption();
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double f =
+        static_cast<double>(i) * sample_rate_hz / static_cast<double>(n);
+    const double mag = spreading * extra * absorb.gain(f, absorb_dist);
     const double phase = -two_pi * f * delay_s;
     spec[i] *= mag * ivc::dsp::cplx{std::cos(phase), std::sin(phase)};
   }
-  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/true);
+  std::vector<ivc::dsp::cplx> work(plan->workspace_size());
+  plan->irfft(spec, time, work);
 
   std::vector<double> out(pressure_at_1m.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = spec[i].real();
+    out[i] = time[i];
   }
   return out;
 }

@@ -6,7 +6,7 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "common/units.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::acoustics {
 namespace {
@@ -108,36 +108,41 @@ audio::buffer render_in_room(const audio::buffer& pressure_at_1m,
   const std::size_t out_len = pressure_at_1m.size() + max_delay + 64;
   const std::size_t n = ivc::dsp::next_pow2(out_len);
 
-  // One forward FFT of the source; accumulate every image's frequency
-  // response; one inverse FFT.
-  std::vector<ivc::dsp::cplx> src(n, ivc::dsp::cplx{0.0, 0.0});
+  // One forward half-spectrum FFT of the source; accumulate every
+  // image's (conjugate-symmetric) frequency response; one inverse.
+  const auto plan = ivc::dsp::get_fft_plan(n);
+  const std::size_t bins = plan->num_real_bins();
+  std::vector<double> time(n, 0.0);
   for (std::size_t i = 0; i < pressure_at_1m.size(); ++i) {
-    src[i] = ivc::dsp::cplx{pressure_at_1m.samples[i], 0.0};
+    time[i] = pressure_at_1m.samples[i];
   }
-  ivc::dsp::fft_pow2_inplace(src, /*inverse=*/false);
+  std::vector<ivc::dsp::cplx> src(bins);
+  plan->rfft(time, src);
 
-  std::vector<ivc::dsp::cplx> total(n, ivc::dsp::cplx{0.0, 0.0});
+  const absorption_model absorb = air.absorption();
+  std::vector<ivc::dsp::cplx> total(bins, ivc::dsp::cplx{0.0, 0.0});
   for (const image_source& img : images) {
     const double dist = std::max(distance(img.position, listener), 1e-2);
     const double delay_s = dist / c;
     const double spreading = 1.0 / dist;
     const double absorb_dist = std::max(0.0, dist - 1.0);
-    for (std::size_t k = 0; k < n; ++k) {
-      const double f = ivc::dsp::bin_frequency_hz(k, n, rate);
-      const double af = std::abs(f);
+    for (std::size_t k = 0; k < bins; ++k) {
+      const double f =
+          static_cast<double>(k) * rate / static_cast<double>(n);
       const double mag = spreading *
-                         air.absorption_gain(af, absorb_dist) *
-                         reflection_gain(room, af, img.reflections);
+                         absorb.gain(f, absorb_dist) *
+                         reflection_gain(room, f, img.reflections);
       const double phase = -two_pi * f * delay_s;
       total[k] += src[k] * (mag * ivc::dsp::cplx{std::cos(phase),
                                                  std::sin(phase)});
     }
   }
-  ivc::dsp::fft_pow2_inplace(total, /*inverse=*/true);
+  std::vector<ivc::dsp::cplx> work(plan->workspace_size());
+  plan->irfft(total, time, work);
 
   audio::buffer out{std::vector<double>(out_len - 64, 0.0), rate};
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out.samples[i] = total[i].real();
+    out.samples[i] = time[i];
   }
   return out;
 }

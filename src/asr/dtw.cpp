@@ -10,10 +10,9 @@
 namespace ivc::asr {
 namespace {
 
-double frame_distance(const std::vector<double>& a,
-                      const std::vector<double>& b) {
+double frame_distance(const double* a, const double* b, std::size_t dims) {
   double acc = 0.0;
-  for (std::size_t k = 0; k < a.size(); ++k) {
+  for (std::size_t k = 0; k < dims; ++k) {
     const double d = a[k] - b[k];
     acc += d * d;
   }
@@ -46,6 +45,11 @@ double dtw_distance(const feature_matrix& a, const feature_matrix& b,
   std::vector<double> cur_steps(m + 1, 0.0);
   prev[0] = 0.0;
 
+  // Contiguous row-major feature storage keeps the inner loop streaming
+  // linearly: row i of `a` is fixed while the band walks rows of `b`.
+  const std::size_t dims = a.dims();
+  const double* a_data = a.data.data();
+  const double* b_data = b.data.data();
   for (std::size_t i = 1; i <= n; ++i) {
     std::fill(cur.begin(), cur.end(), inf);
     // Band limits for this row (diagonal ± band).
@@ -56,8 +60,9 @@ double dtw_distance(const feature_matrix& a, const feature_matrix& b,
         std::max<std::ptrdiff_t>(1, diag - band));
     const std::size_t j_hi = static_cast<std::size_t>(
         std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(m), diag + band));
+    const double* a_row = a_data + (i - 1) * dims;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
-      const double d = frame_distance(a.frames[i - 1], b.frames[j - 1]);
+      const double d = frame_distance(a_row, b_data + (j - 1) * dims, dims);
       // Transitions: match (diag), insertion, deletion.
       double best = prev[j - 1];
       double steps = prev_steps[j - 1];

@@ -7,7 +7,7 @@
 #include "asr/mel.h"
 #include "common/error.h"
 #include "dsp/correlate.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/window.h"
 
 namespace ivc::asr {
@@ -27,20 +27,23 @@ std::vector<std::vector<double>> band_envelopes(
   const std::vector<double> win =
       ivc::dsp::make_periodic_window(ivc::dsp::window_kind::hann, frame_len);
 
+  // Planned packed real transform over reused frame/power buffers.
+  const auto plan = ivc::dsp::get_fft_plan(fft_len);
   std::vector<std::vector<double>> envelopes(cfg.num_bands);
-  std::vector<ivc::dsp::cplx> frame(fft_len);
+  std::vector<double> windowed(fft_len, 0.0);  // tail stays zero-padded
+  std::vector<ivc::dsp::cplx> bins(num_bins);
+  std::vector<double> power(num_bins);
+  std::vector<double> bands;
   for (std::size_t start = 0; start + frame_len <= b.size();
        start += hop_len) {
-    for (std::size_t i = 0; i < fft_len; ++i) {
-      const double v = i < frame_len ? b.samples[start + i] * win[i] : 0.0;
-      frame[i] = ivc::dsp::cplx{v, 0.0};
+    for (std::size_t i = 0; i < frame_len; ++i) {
+      windowed[i] = b.samples[start + i] * win[i];
     }
-    ivc::dsp::fft_pow2_inplace(frame, /*inverse=*/false);
-    std::vector<double> power(num_bins);
+    plan->rfft(windowed, bins);
     for (std::size_t k = 0; k < num_bins; ++k) {
-      power[k] = std::norm(frame[k]);
+      power[k] = std::norm(bins[k]);
     }
-    const std::vector<double> bands = bank.apply(power);
+    bank.apply_to(power, bands);
     for (std::size_t m = 0; m < cfg.num_bands; ++m) {
       envelopes[m].push_back(std::sqrt(std::max(0.0, bands[m])));
     }

@@ -1,5 +1,6 @@
 #include "asr/mel.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -14,18 +15,28 @@ double mel_to_hz(double mel) {
 
 std::vector<double> mel_filterbank::apply(
     const std::vector<double>& power_spectrum) const {
+  std::vector<double> out;
+  apply_to(power_spectrum, out);
+  return out;
+}
+
+void mel_filterbank::apply_to(const std::vector<double>& power_spectrum,
+                              std::vector<double>& out) const {
   expects(!weights.empty(), "mel_filterbank::apply: empty bank");
   expects(power_spectrum.size() == weights.front().size(),
           "mel_filterbank::apply: spectrum size mismatch");
-  std::vector<double> out(weights.size(), 0.0);
+  const bool sparse = support.size() == weights.size();
+  out.resize(weights.size());
   for (std::size_t m = 0; m < weights.size(); ++m) {
+    const std::size_t lo = sparse ? support[m].first : 0;
+    const std::size_t hi = sparse ? support[m].second : power_spectrum.size();
+    const double* w = weights[m].data();
     double acc = 0.0;
-    for (std::size_t k = 0; k < power_spectrum.size(); ++k) {
-      acc += weights[m][k] * power_spectrum[k];
+    for (std::size_t k = lo; k < hi; ++k) {
+      acc += w[k] * power_spectrum[k];
     }
     out[m] = acc;
   }
-  return out;
 }
 
 mel_filterbank make_mel_filterbank(std::size_t num_filters,
@@ -53,11 +64,14 @@ mel_filterbank make_mel_filterbank(std::size_t num_filters,
   mel_filterbank bank;
   bank.weights.assign(num_filters, std::vector<double>(num_bins, 0.0));
   bank.center_hz.resize(num_filters);
+  bank.support.assign(num_filters, {0, 0});
   for (std::size_t m = 0; m < num_filters; ++m) {
     const double left = edges_hz[m];
     const double center = edges_hz[m + 1];
     const double right = edges_hz[m + 2];
     bank.center_hz[m] = center;
+    std::size_t lo = num_bins;
+    std::size_t hi = 0;
     for (std::size_t k = 0; k < num_bins; ++k) {
       const double f = static_cast<double>(k) * bin_hz;
       if (f > left && f < center) {
@@ -65,7 +79,13 @@ mel_filterbank make_mel_filterbank(std::size_t num_filters,
       } else if (f >= center && f < right) {
         bank.weights[m][k] = (right - f) / (right - center);
       }
+      if (bank.weights[m][k] != 0.0) {
+        lo = std::min(lo, k);
+        hi = k + 1;
+      }
     }
+    bank.support[m] = lo < hi ? std::pair<std::size_t, std::size_t>{lo, hi}
+                              : std::pair<std::size_t, std::size_t>{0, 0};
   }
   return bank;
 }

@@ -6,120 +6,192 @@
 #include "asr/mel.h"
 #include "common/constants.h"
 #include "common/error.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/window.h"
 
 namespace ivc::asr {
-namespace {
 
-// DCT-II of the log-mel energies, truncated to num_coeffs.
-std::vector<double> dct2(const std::vector<double>& x, std::size_t num_coeffs) {
-  const std::size_t n = x.size();
-  std::vector<double> out(num_coeffs, 0.0);
-  for (std::size_t k = 0; k < num_coeffs; ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      acc += x[i] * std::cos(pi * static_cast<double>(k) *
-                             (static_cast<double>(i) + 0.5) /
-                             static_cast<double>(n));
-    }
-    out[k] = acc * std::sqrt(2.0 / static_cast<double>(n));
+void feature_matrix::push_frame(std::span<const double> row) {
+  expects(!row.empty(), "feature_matrix::push_frame: empty row");
+  if (num_dims == 0) {
+    num_dims = row.size();
   }
-  return out;
+  expects(row.size() == num_dims,
+          "feature_matrix::push_frame: row width mismatch");
+  data.insert(data.end(), row.begin(), row.end());
 }
 
-}  // namespace
+// Everything that depends only on (config, sample rate), plus the
+// scratch buffers the per-frame loop reuses. Scratch makes extract()
+// non-reentrant; concurrent callers hold their own extractor (the
+// extract_mfcc wrapper keeps one per thread).
+struct mfcc_extractor::impl {
+  mfcc_config config;
+  double fs = 0.0;
+  std::size_t frame_len = 0;
+  std::size_t hop_len = 0;
+  std::size_t fft_len = 0;
+  std::size_t num_bins = 0;
+  mel_filterbank bank;
+  std::vector<double> window;
+  // DCT-II basis rows (num_coeffs × num_filters) and the shared
+  // sqrt(2/n) scale, applied after accumulation exactly like the
+  // on-the-fly version so coefficients match bit for bit.
+  std::vector<double> dct_basis;
+  double dct_scale = 0.0;
+  std::vector<double> lifter_weights;  // num_coeffs, [0] unused
+  std::shared_ptr<const ivc::dsp::fft_plan> plan;
 
-feature_matrix extract_mfcc(const audio::buffer& input,
-                            const mfcc_config& config) {
-  audio::validate(input, "extract_mfcc");
+  mutable std::vector<double> pre;       // pre-emphasized signal
+  mutable std::vector<double> windowed;  // fft_len, zero-padded tail
+  mutable std::vector<ivc::dsp::cplx> bins;
+  mutable std::vector<double> power;
+  mutable std::vector<double> mel;
+  mutable std::vector<double> cepstra;   // frames × num_coeffs, flat
+};
+
+mfcc_extractor::mfcc_extractor(const mfcc_config& config,
+                               double sample_rate_hz)
+    : impl_{std::make_unique<impl>()} {
+  expects(sample_rate_hz > 0.0, "mfcc_extractor: sample rate must be > 0");
   expects(config.frame_s > 0.0 && config.hop_s > 0.0,
           "extract_mfcc: frame and hop must be > 0");
   expects(config.num_coeffs >= 2 && config.num_coeffs <= config.num_filters,
           "extract_mfcc: need 2 <= num_coeffs <= num_filters");
 
-  const double fs = input.sample_rate_hz;
-  const auto frame_len =
-      static_cast<std::size_t>(std::llround(config.frame_s * fs));
-  const auto hop_len = static_cast<std::size_t>(std::llround(config.hop_s * fs));
-  expects(frame_len >= 16, "extract_mfcc: frame too short for this rate");
+  impl& s = *impl_;
+  s.config = config;
+  s.fs = sample_rate_hz;
+  s.frame_len = static_cast<std::size_t>(std::llround(config.frame_s * s.fs));
+  s.hop_len = static_cast<std::size_t>(std::llround(config.hop_s * s.fs));
+  expects(s.frame_len >= 16, "extract_mfcc: frame too short for this rate");
 
-  const std::size_t fft_len = ivc::dsp::next_pow2(frame_len);
-  const std::size_t num_bins = fft_len / 2 + 1;
-  const double high = std::min(config.high_hz, 0.49 * fs);
-  const mel_filterbank bank = make_mel_filterbank(
-      config.num_filters, num_bins, fs, config.low_hz, high);
-  const std::vector<double> window =
-      ivc::dsp::make_periodic_window(ivc::dsp::window_kind::hamming, frame_len);
+  s.fft_len = ivc::dsp::next_pow2(s.frame_len);
+  s.num_bins = s.fft_len / 2 + 1;
+  const double high = std::min(config.high_hz, 0.49 * s.fs);
+  s.bank = make_mel_filterbank(config.num_filters, s.num_bins, s.fs,
+                               config.low_hz, high);
+  s.window = ivc::dsp::make_periodic_window(ivc::dsp::window_kind::hamming,
+                                            s.frame_len);
+  s.plan = ivc::dsp::get_fft_plan(s.fft_len);
+
+  const std::size_t nf = config.num_filters;
+  s.dct_basis.resize(config.num_coeffs * nf);
+  for (std::size_t k = 0; k < config.num_coeffs; ++k) {
+    for (std::size_t i = 0; i < nf; ++i) {
+      s.dct_basis[k * nf + i] =
+          std::cos(pi * static_cast<double>(k) *
+                   (static_cast<double>(i) + 0.5) / static_cast<double>(nf));
+    }
+  }
+  s.dct_scale = std::sqrt(2.0 / static_cast<double>(nf));
+
+  s.lifter_weights.assign(config.num_coeffs, 1.0);
+  if (config.lifter > 0.0) {
+    for (std::size_t k = 1; k < config.num_coeffs; ++k) {
+      s.lifter_weights[k] =
+          1.0 + 0.5 * config.lifter *
+                    std::sin(pi * static_cast<double>(k) / config.lifter);
+    }
+  }
+
+  s.windowed.assign(s.fft_len, 0.0);  // tail past frame_len stays zero
+  s.bins.resize(s.num_bins);
+  s.power.resize(s.num_bins);
+  s.mel.resize(nf);
+}
+
+mfcc_extractor::~mfcc_extractor() = default;
+
+const mfcc_config& mfcc_extractor::config() const { return impl_->config; }
+
+double mfcc_extractor::sample_rate_hz() const { return impl_->fs; }
+
+bool mfcc_extractor::matches(const mfcc_config& config,
+                             double sample_rate_hz) const {
+  return impl_->config == config && impl_->fs == sample_rate_hz;
+}
+
+feature_matrix mfcc_extractor::extract(const audio::buffer& input) const {
+  audio::validate(input, "extract_mfcc");
+  expects(input.sample_rate_hz == impl_->fs,
+          "mfcc_extractor: input rate differs from the planned rate");
+  const impl& s = *impl_;
+  const mfcc_config& config = s.config;
 
   // Pre-emphasis.
-  std::vector<double> x(input.samples.size());
+  std::vector<double>& x = s.pre;
+  x.resize(input.samples.size());
   double prev = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] = input.samples[i] - config.pre_emphasis * prev;
     prev = input.samples[i];
   }
 
-  // Framing + per-frame cepstra.
-  std::vector<std::vector<double>> cepstra;
-  std::vector<ivc::dsp::cplx> frame(fft_len);
-  for (std::size_t start = 0; start + frame_len <= x.size();
-       start += hop_len) {
-    for (std::size_t i = 0; i < fft_len; ++i) {
-      const double v = i < frame_len ? x[start + i] * window[i] : 0.0;
-      frame[i] = ivc::dsp::cplx{v, 0.0};
+  // Framing + per-frame cepstra into one flat frames × num_coeffs block.
+  const std::size_t nc = config.num_coeffs;
+  const std::size_t nf = config.num_filters;
+  std::vector<double>& cepstra = s.cepstra;
+  cepstra.clear();
+  for (std::size_t start = 0; start + s.frame_len <= x.size();
+       start += s.hop_len) {
+    for (std::size_t i = 0; i < s.frame_len; ++i) {
+      s.windowed[i] = x[start + i] * s.window[i];
     }
-    ivc::dsp::fft_pow2_inplace(frame, /*inverse=*/false);
-    std::vector<double> power(num_bins);
-    for (std::size_t k = 0; k < num_bins; ++k) {
-      power[k] = std::norm(frame[k]);
+    s.plan->rfft(s.windowed, s.bins);
+    for (std::size_t k = 0; k < s.num_bins; ++k) {
+      s.power[k] = std::norm(s.bins[k]);
     }
-    std::vector<double> mel = bank.apply(power);
+    s.bank.apply_to(s.power, s.mel);
     double mel_max = 0.0;
-    for (const double m : mel) {
+    for (const double m : s.mel) {
       mel_max = std::max(mel_max, m);
     }
     const double floor = std::max(1e-12, mel_max * config.mel_floor_rel);
-    for (double& m : mel) {
+    for (double& m : s.mel) {
       m = std::log(std::max(m, floor));
     }
-    std::vector<double> c = dct2(mel, config.num_coeffs);
-    if (config.lifter > 0.0) {
-      for (std::size_t k = 1; k < c.size(); ++k) {
-        c[k] *= 1.0 + 0.5 * config.lifter *
-                          std::sin(pi * static_cast<double>(k) / config.lifter);
+    const std::size_t row = cepstra.size();
+    cepstra.resize(row + nc);
+    for (std::size_t k = 0; k < nc; ++k) {
+      const double* basis = s.dct_basis.data() + k * nf;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < nf; ++i) {
+        acc += s.mel[i] * basis[i];
       }
+      cepstra[row + k] = acc * s.dct_scale * s.lifter_weights[k];
     }
-    cepstra.push_back(std::move(c));
   }
   expects(!cepstra.empty(), "extract_mfcc: input shorter than one frame");
+  const std::size_t num_frames = cepstra.size() / nc;
 
   // Cepstral mean normalization (per coefficient, over the utterance).
   if (config.cepstral_mean_norm) {
-    std::vector<double> mean(config.num_coeffs, 0.0);
-    for (const auto& c : cepstra) {
-      for (std::size_t k = 0; k < c.size(); ++k) {
-        mean[k] += c[k];
+    for (std::size_t k = 0; k < nc; ++k) {
+      double mean = 0.0;
+      for (std::size_t t = 0; t < num_frames; ++t) {
+        mean += cepstra[t * nc + k];
       }
-    }
-    for (double& m : mean) {
-      m /= static_cast<double>(cepstra.size());
-    }
-    for (auto& c : cepstra) {
-      for (std::size_t k = 0; k < c.size(); ++k) {
-        c[k] -= mean[k];
+      mean /= static_cast<double>(num_frames);
+      for (std::size_t t = 0; t < num_frames; ++t) {
+        cepstra[t * nc + k] -= mean;
       }
     }
   }
 
-  // Δ features over a ±2 frame regression window.
+  // Assemble rows (+Δ over a ±2 frame regression window) contiguously.
   feature_matrix out;
   out.hop_s = config.hop_s;
-  const auto n = static_cast<std::ptrdiff_t>(cepstra.size());
+  out.num_dims = config.append_delta ? 2 * nc : nc;
+  out.data.resize(num_frames * out.num_dims);
+  const auto n = static_cast<std::ptrdiff_t>(num_frames);
   for (std::ptrdiff_t t = 0; t < n; ++t) {
-    std::vector<double> row = cepstra[static_cast<std::size_t>(t)];
+    double* row = out.data.data() +
+                  static_cast<std::size_t>(t) * out.num_dims;
+    const double* src = cepstra.data() + static_cast<std::size_t>(t) * nc;
+    std::copy_n(src, nc, row);
     if (config.append_delta) {
-      for (std::size_t k = 0; k < config.num_coeffs; ++k) {
+      for (std::size_t k = 0; k < nc; ++k) {
         double num = 0.0;
         double den = 0.0;
         for (std::ptrdiff_t d = 1; d <= 2; ++d) {
@@ -127,15 +199,28 @@ feature_matrix extract_mfcc(const audio::buffer& input,
               static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, t - d));
           const std::size_t hi =
               static_cast<std::size_t>(std::min(n - 1, t + d));
-          num += static_cast<double>(d) * (cepstra[hi][k] - cepstra[lo][k]);
+          num += static_cast<double>(d) *
+                 (cepstra[hi * nc + k] - cepstra[lo * nc + k]);
           den += 2.0 * static_cast<double>(d * d);
         }
-        row.push_back(num / den);
+        row[nc + k] = num / den;
       }
     }
-    out.frames.push_back(std::move(row));
   }
   return out;
+}
+
+feature_matrix extract_mfcc(const audio::buffer& input,
+                            const mfcc_config& config) {
+  audio::validate(input, "extract_mfcc");
+  // Consecutive calls share (config, rate) almost everywhere — template
+  // enrollment, recognition, corpus building — so one extractor per
+  // thread amortizes the basis builds without any locking.
+  thread_local std::unique_ptr<mfcc_extractor> cached;
+  if (!cached || !cached->matches(config, input.sample_rate_hz)) {
+    cached = std::make_unique<mfcc_extractor>(config, input.sample_rate_hz);
+  }
+  return cached->extract(input);
 }
 
 }  // namespace ivc::asr

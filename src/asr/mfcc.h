@@ -4,9 +4,16 @@
 // mel filterbank → log → DCT-II → liftering, plus Δ (delta) features and
 // optional cepstral mean normalization. The recognizer's DTW distance
 // operates on these vectors.
+//
+// The per-utterance invariants (mel filterbank, analysis window, DCT-II
+// basis, lifter weights, FFT plan) live in `mfcc_extractor`, which hot
+// callers construct once and reuse; `extract_mfcc` keeps the one-call
+// interface over a per-thread extractor cache.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "audio/buffer.h"
@@ -28,18 +35,63 @@ struct mfcc_config {
   // Keeps empty bands (band-limited channels, silence) from dominating
   // cepstral distances through log(~0).
   double mel_floor_rel = 1e-2;
+
+  bool operator==(const mfcc_config&) const = default;
 };
 
-// One feature matrix: frames × dims (dims = num_coeffs · (1 + delta)).
+// One feature matrix: frames × dims (dims = num_coeffs · (1 + delta)),
+// stored contiguously row-major so frame-distance loops stream linearly
+// through cache instead of chasing one heap block per frame.
 struct feature_matrix {
-  std::vector<std::vector<double>> frames;
+  std::vector<double> data;  // row-major, num_frames() × dims()
+  std::size_t num_dims = 0;
   double hop_s = 0.010;
 
-  std::size_t num_frames() const { return frames.size(); }
-  std::size_t dims() const { return frames.empty() ? 0 : frames.front().size(); }
+  std::size_t num_frames() const {
+    return num_dims == 0 ? 0 : data.size() / num_dims;
+  }
+  std::size_t dims() const { return num_dims; }
+
+  // Row view of frame `i` (no bounds check beyond the data it owns).
+  std::span<const double> frame(std::size_t i) const {
+    return {data.data() + i * num_dims, num_dims};
+  }
+
+  // Appends one frame; the first push fixes dims(), later pushes must
+  // match it.
+  void push_frame(std::span<const double> row);
+  void push_frame(std::initializer_list<double> row) {
+    push_frame(std::span<const double>{row.begin(), row.size()});
+  }
 };
 
-// Extracts MFCC (+Δ) features from a mono buffer.
+// Reusable extractor: precomputes everything that depends only on
+// (config, sample rate) and owns the per-frame scratch buffers, so
+// extraction performs no per-frame allocation and no per-utterance
+// basis rebuilds.
+class mfcc_extractor {
+ public:
+  mfcc_extractor(const mfcc_config& config, double sample_rate_hz);
+  ~mfcc_extractor();
+
+  mfcc_extractor(const mfcc_extractor&) = delete;
+  mfcc_extractor& operator=(const mfcc_extractor&) = delete;
+
+  const mfcc_config& config() const;
+  double sample_rate_hz() const;
+  bool matches(const mfcc_config& config, double sample_rate_hz) const;
+
+  // Extracts MFCC (+Δ) features; input must be at this extractor's rate.
+  feature_matrix extract(const audio::buffer& input) const;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+// Extracts MFCC (+Δ) features from a mono buffer. Reuses a per-thread
+// mfcc_extractor while consecutive calls share (config, sample rate) —
+// the common case everywhere in the pipeline.
 feature_matrix extract_mfcc(const audio::buffer& input,
                             const mfcc_config& config = {});
 

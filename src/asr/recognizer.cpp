@@ -40,6 +40,11 @@ recognizer::recognizer(recognizer_config config) : config_{config} {
 feature_matrix recognizer::features_of(const audio::buffer& input) const {
   const audio::buffer trimmed =
       config_.trim_with_vad ? trim_to_activity(input, config_.vad) : input;
+  return features_from_trimmed(trimmed);
+}
+
+feature_matrix recognizer::features_from_trimmed(
+    const audio::buffer& trimmed) const {
   if (config_.dither_snr_db > 0.0) {
     return extract_mfcc(dithered(trimmed, config_.dither_snr_db),
                         config_.mfcc);
@@ -68,7 +73,9 @@ recognition_result recognizer::recognize(const audio::buffer& capture) const {
   if (trimmed.duration_s() < 0.15) {
     return result;
   }
-  const feature_matrix features = features_of(capture);
+  // The duration gate already trimmed the capture; extract features from
+  // that buffer instead of re-running the VAD from scratch.
+  const feature_matrix features = features_from_trimmed(trimmed);
 
   double best = std::numeric_limits<double>::infinity();
   double second = std::numeric_limits<double>::infinity();

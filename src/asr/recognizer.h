@@ -76,6 +76,8 @@ class recognizer {
   };
 
   feature_matrix features_of(const audio::buffer& input) const;
+  // Feature extraction for a buffer the caller has already VAD-trimmed.
+  feature_matrix features_from_trimmed(const audio::buffer& trimmed) const;
 
   recognizer_config config_;
   std::vector<entry> templates_;

@@ -5,7 +5,7 @@
 
 #include "common/constants.h"
 #include "common/error.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::attack {
 namespace {
@@ -68,17 +68,18 @@ split_plan split_spectrum(const audio::buffer& baseband,
   const std::size_t len = baseband.size();
   const std::size_t n = ivc::dsp::next_pow2(len);
 
-  // Analytic spectrum of the baseband (positive frequencies doubled).
+  // Analytic spectrum of the baseband (positive frequencies doubled):
+  // the forward transform only needs the nonnegative half, which the
+  // planned packed real FFT computes directly.
+  const auto fft = ivc::dsp::get_fft_plan(n);
   std::vector<ivc::dsp::cplx> spec(n, ivc::dsp::cplx{0.0, 0.0});
+  std::vector<double> padded(n, 0.0);
   for (std::size_t i = 0; i < len; ++i) {
-    spec[i] = ivc::dsp::cplx{baseband.samples[i], 0.0};
+    padded[i] = baseband.samples[i];
   }
-  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/false);
+  fft->rfft(padded, spec);
   for (std::size_t i = 1; i < n / 2; ++i) {
     spec[i] *= 2.0;
-  }
-  for (std::size_t i = n / 2 + 1; i < n; ++i) {
-    spec[i] = ivc::dsp::cplx{0.0, 0.0};
   }
 
   const std::vector<chunk_band> bands = make_bands(config);
@@ -100,7 +101,7 @@ split_plan split_spectrum(const audio::buffer& baseband,
     std::fill(chunk_spec.begin() + static_cast<std::ptrdiff_t>(n / 2 + 1),
               chunk_spec.end(), ivc::dsp::cplx{0.0, 0.0});
     std::vector<ivc::dsp::cplx> analytic = chunk_spec;
-    ivc::dsp::fft_pow2_inplace(analytic, /*inverse=*/true);
+    fft->inverse(analytic);
 
     // Single-sideband shift to the carrier: Re{ã(t)·e^{jω_c t}}.
     std::vector<double> drive(len);
@@ -139,30 +140,34 @@ audio::buffer sum_of_chunks_baseband(const audio::buffer& baseband,
   const std::size_t len = baseband.size();
   const std::size_t n = ivc::dsp::next_pow2(len);
 
-  std::vector<ivc::dsp::cplx> spec(n, ivc::dsp::cplx{0.0, 0.0});
+  // The mask is real and even in frequency, so the filtered signal stays
+  // real: run the planned half-spectrum round trip.
+  const auto plan = ivc::dsp::get_fft_plan(n);
+  const std::size_t bins = plan->num_real_bins();
+  std::vector<double> padded(n, 0.0);
   for (std::size_t i = 0; i < len; ++i) {
-    spec[i] = ivc::dsp::cplx{baseband.samples[i], 0.0};
+    padded[i] = baseband.samples[i];
   }
-  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/false);
+  std::vector<ivc::dsp::cplx> spec(bins);
+  plan->rfft(padded, spec);
 
   const std::vector<chunk_band> bands = make_bands(config);
   const double chunk_width = bands.front().high_hz - bands.front().low_hz;
   const double tw = config.transition_fraction * chunk_width;
 
-  // Total mask = sum of chunk masks, applied symmetrically to keep the
-  // signal real.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double f = std::abs(ivc::dsp::bin_frequency_hz(i, n, fs));
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double f = static_cast<double>(i) * fs / static_cast<double>(n);
     double mask = 0.0;
     for (const chunk_band& band : bands) {
       mask += chunk_mask(f, band.low_hz, band.high_hz, tw);
     }
     spec[i] *= std::min(mask, 1.0);
   }
-  ivc::dsp::fft_pow2_inplace(spec, /*inverse=*/true);
+  std::vector<ivc::dsp::cplx> work(plan->workspace_size());
+  plan->irfft(spec, padded, work);
   std::vector<double> out(len);
   for (std::size_t i = 0; i < len; ++i) {
-    out[i] = spec[i].real();
+    out[i] = padded[i];
   }
   return audio::buffer{std::move(out), fs};
 }

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::dsp {
 namespace {
@@ -46,22 +46,30 @@ std::vector<double> normalized_cross_correlation(std::span<const double> a,
   expects(!a.empty() && !b.empty(),
           "normalized_cross_correlation: inputs must be non-empty");
   // corr(a, b)[lag] = sum_i a[i+lag]·b[i] == conv(a, reverse(b)).
+  // Both inputs are real, so the planned packed transform carries the
+  // whole product in the n/2 + 1 nonnegative-frequency bins (a product
+  // of conjugate-symmetric spectra stays conjugate-symmetric).
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out_len);
-  std::vector<cplx> fa(n, cplx{0.0, 0.0});
-  std::vector<cplx> fb(n, cplx{0.0, 0.0});
+  const auto plan = get_fft_plan(n);
+  const std::size_t bins = plan->num_real_bins();
+  std::vector<double> pa(n, 0.0);
+  std::vector<double> pb(n, 0.0);
   for (std::size_t i = 0; i < a.size(); ++i) {
-    fa[i] = cplx{a[i], 0.0};
+    pa[i] = a[i];
   }
   for (std::size_t i = 0; i < b.size(); ++i) {
-    fb[i] = cplx{b[b.size() - 1 - i], 0.0};
+    pb[i] = b[b.size() - 1 - i];
   }
-  fft_pow2_inplace(fa, /*inverse=*/false);
-  fft_pow2_inplace(fb, /*inverse=*/false);
-  for (std::size_t i = 0; i < n; ++i) {
+  std::vector<cplx> fa(bins);
+  std::vector<cplx> fb(bins);
+  plan->rfft(pa, fa);
+  plan->rfft(pb, fb);
+  for (std::size_t i = 0; i < bins; ++i) {
     fa[i] *= fb[i];
   }
-  fft_pow2_inplace(fa, /*inverse=*/true);
+  std::vector<cplx> work(plan->workspace_size());
+  plan->irfft(fa, pa, work);
 
   double na = 0.0;
   double nb = 0.0;
@@ -74,7 +82,7 @@ std::vector<double> normalized_cross_correlation(std::span<const double> a,
   const double norm = std::sqrt(na * nb);
   std::vector<double> out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) {
-    out[i] = norm > 1e-300 ? fa[i].real() / norm : 0.0;
+    out[i] = norm > 1e-300 ? pa[i] / norm : 0.0;
   }
   return out;
 }

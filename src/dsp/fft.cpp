@@ -4,29 +4,13 @@
 
 #include "common/constants.h"
 #include "common/error.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::dsp {
 namespace {
 
-// Bit-reversal permutation for the iterative radix-2 kernel.
-void bit_reverse_permute(std::vector<cplx>& data) {
-  const std::size_t n = data.size();
-  std::size_t j = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    while (j & bit) {
-      j ^= bit;
-      bit >>= 1;
-    }
-    j |= bit;
-    if (i < j) {
-      std::swap(data[i], data[j]);
-    }
-  }
-}
-
 // Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
-// convolution, evaluated with power-of-two FFTs.
+// convolution, evaluated with (planned) power-of-two FFTs.
 std::vector<cplx> bluestein(std::span<const cplx> input, bool inverse) {
   const std::size_t n = input.size();
   const double sign = inverse ? 1.0 : -1.0;
@@ -41,6 +25,7 @@ std::vector<cplx> bluestein(std::span<const cplx> input, bool inverse) {
   }
 
   const std::size_t m = next_pow2(2 * n - 1);
+  const auto plan = get_fft_plan(m);
   std::vector<cplx> a(m, cplx{0.0, 0.0});
   std::vector<cplx> b(m, cplx{0.0, 0.0});
   for (std::size_t k = 0; k < n; ++k) {
@@ -51,12 +36,12 @@ std::vector<cplx> bluestein(std::span<const cplx> input, bool inverse) {
     b[m - k] = std::conj(chirp[k]);
   }
 
-  fft_pow2_inplace(a, /*inverse=*/false);
-  fft_pow2_inplace(b, /*inverse=*/false);
+  plan->forward(a);
+  plan->forward(b);
   for (std::size_t k = 0; k < m; ++k) {
     a[k] *= b[k];
   }
-  fft_pow2_inplace(a, /*inverse=*/true);
+  plan->inverse(a);
 
   std::vector<cplx> out(n);
   for (std::size_t k = 0; k < n; ++k) {
@@ -80,28 +65,14 @@ bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 void fft_pow2_inplace(std::vector<cplx>& data, bool inverse) {
   const std::size_t n = data.size();
   expects(is_pow2(n), "fft_pow2_inplace: length must be a power of two");
-  bit_reverse_permute(data);
-
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? two_pi : -two_pi) / static_cast<double>(len);
-    const cplx wlen{std::cos(angle), std::sin(angle)};
-    for (std::size_t i = 0; i < n; i += len) {
-      cplx w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx u = data[i + k];
-        const cplx v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-
+  // Shared plans hold the twiddle/bit-reversal tables, so repeated
+  // transforms of one size stop recomputing roots via the old
+  // error-accumulating recurrence.
+  const auto plan = get_fft_plan(n);
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& x : data) {
-      x *= scale;
-    }
+    plan->inverse(data);
+  } else {
+    plan->forward(data);
   }
 }
 
@@ -134,14 +105,37 @@ std::vector<cplx> ifft(std::span<const cplx> input) {
 
 std::vector<cplx> fft_real(std::span<const double> input) {
   expects(!input.empty(), "fft_real: input must be non-empty");
-  std::vector<cplx> data(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
+  const std::size_t n = input.size();
+  if (is_pow2(n)) {
+    // Planned packed real transform for the half spectrum, mirrored to
+    // the full length this interface promises.
+    const auto plan = get_fft_plan(n);
+    std::vector<cplx> out(n);
+    plan->rfft(input, out);
+    for (std::size_t k = n / 2 + 1; k < n; ++k) {
+      out[k] = std::conj(out[n - k]);
+    }
+    return out;
+  }
+  std::vector<cplx> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
     data[i] = cplx{input[i], 0.0};
   }
   return fft(data);
 }
 
 std::vector<double> ifft_real(std::span<const cplx> spectrum) {
+  expects(!spectrum.empty(), "ifft_real: spectrum must be non-empty");
+  const std::size_t n = spectrum.size();
+  if (is_pow2(n)) {
+    // Conjugate symmetry is promised, so the n/2 + 1 leading bins carry
+    // the whole signal: run the packed half-size inverse.
+    const auto plan = get_fft_plan(n);
+    std::vector<double> out(n);
+    std::vector<cplx> work(plan->workspace_size());
+    plan->irfft(spectrum, out, work);
+    return out;
+  }
   const std::vector<cplx> time = ifft(spectrum);
   std::vector<double> out(time.size());
   for (std::size_t i = 0; i < time.size(); ++i) {

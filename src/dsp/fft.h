@@ -2,8 +2,11 @@
 //
 // Implements an iterative radix-2 Cooley–Tukey FFT for power-of-two sizes
 // and Bluestein's chirp-z algorithm for arbitrary sizes, plus real-signal
-// helpers. All transforms are unnormalized forward / (1/N)-normalized
-// inverse, matching the common engineering convention.
+// helpers. Power-of-two transforms run through the shared plan cache in
+// dsp/fft_plan.h (precomputed twiddles and bit-reversal tables); hot
+// paths that transform many same-size real frames should hold a plan and
+// use its rfft/irfft directly. All transforms are unnormalized forward /
+// (1/N)-normalized inverse, matching the common engineering convention.
 #pragma once
 
 #include <complex>

@@ -5,7 +5,7 @@
 
 #include "common/constants.h"
 #include "common/error.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::dsp {
 namespace {
@@ -44,27 +44,30 @@ std::vector<double> windowed_sinc(std::size_t num_taps, double cutoff_hz,
 
 std::vector<double> convolve_fft(std::span<const double> signal,
                                  std::span<const double> taps) {
+  // Real × real convolution through the planned half-spectrum path.
   const std::size_t out_len = signal.size() + taps.size() - 1;
   const std::size_t n = next_pow2(out_len);
-  std::vector<cplx> a(n, cplx{0.0, 0.0});
-  std::vector<cplx> b(n, cplx{0.0, 0.0});
+  const auto plan = get_fft_plan(n);
+  const std::size_t bins = plan->num_real_bins();
+  std::vector<double> pa(n, 0.0);
+  std::vector<double> pb(n, 0.0);
   for (std::size_t i = 0; i < signal.size(); ++i) {
-    a[i] = cplx{signal[i], 0.0};
+    pa[i] = signal[i];
   }
   for (std::size_t i = 0; i < taps.size(); ++i) {
-    b[i] = cplx{taps[i], 0.0};
+    pb[i] = taps[i];
   }
-  fft_pow2_inplace(a, /*inverse=*/false);
-  fft_pow2_inplace(b, /*inverse=*/false);
-  for (std::size_t i = 0; i < n; ++i) {
-    a[i] *= b[i];
+  std::vector<cplx> fa(bins);
+  std::vector<cplx> fb(bins);
+  plan->rfft(pa, fa);
+  plan->rfft(pb, fb);
+  for (std::size_t i = 0; i < bins; ++i) {
+    fa[i] *= fb[i];
   }
-  fft_pow2_inplace(a, /*inverse=*/true);
-  std::vector<double> out(out_len);
-  for (std::size_t i = 0; i < out_len; ++i) {
-    out[i] = a[i].real();
-  }
-  return out;
+  std::vector<cplx> work(plan->workspace_size());
+  plan->irfft(fa, pa, work);
+  pa.resize(out_len);
+  return pa;
 }
 
 std::vector<double> convolve_direct(std::span<const double> signal,
@@ -173,22 +176,30 @@ std::vector<double> apply_magnitude_response(
   expects(!signal.empty(), "apply_magnitude_response: signal must be non-empty");
   expects(sample_rate_hz > 0.0,
           "apply_magnitude_response: sample rate must be > 0");
+  // A real magnitude response applied symmetrically keeps the spectrum
+  // conjugate-symmetric, so the half-spectrum round trip suffices. The
+  // scratch is per-thread: large callers (ambient noise at the wideband
+  // rate, enclosure responses) would otherwise fault in ~10 MB of fresh
+  // pages per call.
   const std::size_t n = next_pow2(signal.size());
-  std::vector<cplx> spec(n, cplx{0.0, 0.0});
+  const auto plan = get_fft_plan(n);
+  thread_local std::vector<double> padded;
+  thread_local std::vector<cplx> spec;
+  thread_local std::vector<cplx> work;
+  padded.assign(n, 0.0);
   for (std::size_t i = 0; i < signal.size(); ++i) {
-    spec[i] = cplx{signal[i], 0.0};
+    padded[i] = signal[i];
   }
-  fft_pow2_inplace(spec, /*inverse=*/false);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double f = std::abs(bin_frequency_hz(i, n, sample_rate_hz));
+  spec.resize(plan->num_real_bins());
+  plan->rfft(padded, spec);
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const double f = bin_frequency_hz(i, n, sample_rate_hz);
     spec[i] *= gain(f);
   }
-  fft_pow2_inplace(spec, /*inverse=*/true);
-  std::vector<double> out(signal.size());
-  for (std::size_t i = 0; i < signal.size(); ++i) {
-    out[i] = spec[i].real();
-  }
-  return out;
+  work.resize(plan->workspace_size());
+  plan->irfft(spec, padded, work);
+  return {padded.begin(), padded.begin() + static_cast<std::ptrdiff_t>(
+                                               signal.size())};
 }
 
 }  // namespace ivc::dsp

@@ -5,7 +5,7 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "dsp/biquad.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::dsp {
 
@@ -14,20 +14,22 @@ std::vector<std::complex<double>> analytic_signal(
   expects(!input.empty(), "analytic_signal: input must be non-empty");
   const std::size_t len = input.size();
   const std::size_t n = next_pow2(len);
+  const auto plan = get_fft_plan(n);
+  // The forward transform only needs the nonnegative-frequency half
+  // (the rest is zeroed by the analytic filter anyway), so run the
+  // packed real transform and inverse in place in one spectrum buffer.
   std::vector<cplx> spec(n, cplx{0.0, 0.0});
+  std::vector<double> padded(n, 0.0);
   for (std::size_t i = 0; i < len; ++i) {
-    spec[i] = cplx{input[i], 0.0};
+    padded[i] = input[i];
   }
-  fft_pow2_inplace(spec, /*inverse=*/false);
+  plan->rfft(padded, spec);
 
   // Zero negative frequencies, double positive ones, keep DC and Nyquist.
   for (std::size_t i = 1; i < n / 2; ++i) {
     spec[i] *= 2.0;
   }
-  for (std::size_t i = n / 2 + 1; i < n; ++i) {
-    spec[i] = cplx{0.0, 0.0};
-  }
-  fft_pow2_inplace(spec, /*inverse=*/true);
+  plan->inverse(spec);
   spec.resize(len);
   return spec;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
+#include <tuple>
 
 #include "common/error.h"
 #include "dsp/fir.h"
@@ -68,11 +70,22 @@ std::vector<double> resample(std::span<const double> signal, double rate_in_hz,
   if (num_taps % 2 == 0) {
     ++num_taps;
   }
-  std::vector<double> taps = design_fir_lowpass(
-      num_taps, cutoff, internal_rate, window_kind::kaiser, beta);
-  // Gain of L compensates the energy spread over inserted zeros.
-  for (double& t : taps) {
-    t *= static_cast<double>(r.up);
+  // The Kaiser design (a Bessel evaluation per tap, often hundreds of
+  // taps) depends only on the rate pair and design parameters, so each
+  // thread caches it — the microphone decimator redesigns it per
+  // capture otherwise.
+  using design_key = std::tuple<double, double, double, double>;
+  thread_local std::map<design_key, std::vector<double>> design_cache;
+  std::vector<double>& taps =
+      design_cache[design_key{rate_in_hz, rate_out_hz, attenuation_db,
+                              transition_fraction}];
+  if (taps.empty()) {
+    taps = design_fir_lowpass(num_taps, cutoff, internal_rate,
+                              window_kind::kaiser, beta);
+    // Gain of L compensates the energy spread over inserted zeros.
+    for (double& t : taps) {
+      t *= static_cast<double>(r.up);
+    }
   }
 
   const std::size_t out_len =

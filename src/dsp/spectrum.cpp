@@ -5,7 +5,7 @@
 
 #include "common/error.h"
 #include "common/units.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::dsp {
 
@@ -60,30 +60,33 @@ psd_estimate welch_psd(std::span<const double> signal, double sample_rate_hz,
   const std::size_t num_bins = seg / 2 + 1;
   std::vector<double> acc(num_bins, 0.0);
   std::size_t count = 0;
-  std::vector<cplx> frame(seg);
+  // Planned packed real transform through reused frame/bin buffers.
+  const auto plan = get_fft_plan(seg);
+  std::vector<double> windowed(seg);
+  std::vector<cplx> bins(num_bins);
 
   for (std::size_t start = 0; start + seg <= signal.size(); start += hop) {
     for (std::size_t i = 0; i < seg; ++i) {
-      frame[i] = cplx{signal[start + i] * win[i], 0.0};
+      windowed[i] = signal[start + i] * win[i];
     }
-    fft_pow2_inplace(frame, /*inverse=*/false);
+    plan->rfft(windowed, bins);
     for (std::size_t k = 0; k < num_bins; ++k) {
       // One-sided density: double all interior bins.
       const double scale = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
-      acc[k] += scale * std::norm(frame[k]) / (win_power * sample_rate_hz);
+      acc[k] += scale * std::norm(bins[k]) / (win_power * sample_rate_hz);
     }
     ++count;
   }
   if (count == 0) {
     // Signal shorter than the smallest segment: single zero-padded frame.
-    std::vector<cplx> padded(seg, cplx{0.0, 0.0});
+    std::fill(windowed.begin(), windowed.end(), 0.0);
     for (std::size_t i = 0; i < signal.size(); ++i) {
-      padded[i] = cplx{signal[i] * win[i], 0.0};
+      windowed[i] = signal[i] * win[i];
     }
-    fft_pow2_inplace(padded, /*inverse=*/false);
+    plan->rfft(windowed, bins);
     for (std::size_t k = 0; k < num_bins; ++k) {
       const double scale = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
-      acc[k] += scale * std::norm(padded[k]) / (win_power * sample_rate_hz);
+      acc[k] += scale * std::norm(bins[k]) / (win_power * sample_rate_hz);
     }
     count = 1;
   }

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace ivc::dsp {
 
@@ -36,20 +36,21 @@ stft_result stft(std::span<const double> signal, double sample_rate_hz,
   result.hop_size = config.hop_size;
   result.sample_rate_hz = sample_rate_hz;
 
-  std::vector<cplx> frame(config.frame_size);
+  // Planned real transform: frames are real, so only the n/2 + 1
+  // nonnegative-frequency bins (exactly what stft_result stores) are
+  // ever computed, through one reused window buffer.
+  const auto plan = get_fft_plan(config.frame_size);
+  std::vector<double> windowed(config.frame_size);
   for (std::ptrdiff_t start = -half; start + half < len;
        start += static_cast<std::ptrdiff_t>(config.hop_size)) {
     for (std::size_t i = 0; i < config.frame_size; ++i) {
       const std::ptrdiff_t idx = start + static_cast<std::ptrdiff_t>(i);
       const double s =
           (idx >= 0 && idx < len) ? signal[static_cast<std::size_t>(idx)] : 0.0;
-      frame[i] = cplx{s * win[i], 0.0};
+      windowed[i] = s * win[i];
     }
-    fft_pow2_inplace(frame, /*inverse=*/false);
-    std::vector<cplx> bins(config.frame_size / 2 + 1);
-    for (std::size_t k = 0; k < bins.size(); ++k) {
-      bins[k] = frame[k];
-    }
+    std::vector<cplx> bins(plan->num_real_bins());
+    plan->rfft(windowed, bins);
     result.frames.push_back(std::move(bins));
   }
   ensures(!result.frames.empty(), "stft: produced no frames");

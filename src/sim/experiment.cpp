@@ -53,6 +53,21 @@ std::vector<std::string> grid_axis_names(const grid& g) {
   return names;
 }
 
+// How many chunks to split each point's trials into. 1 when the grid
+// alone covers the pool; more when few points would leave threads idle
+// (the max_attack_range_m-style single-point scan). Outcomes are
+// indexed by (point, trial) and trial seeding ignores the split, so any
+// chunking gives bit-identical results.
+std::size_t chunks_per_point(std::size_t points, std::size_t trials,
+                             std::size_t num_threads) {
+  const std::size_t pool =
+      num_threads == 0 ? default_thread_count() : num_threads;
+  if (points == 0 || points >= pool) {
+    return 1;
+  }
+  return std::min(trials, (pool + points - 1) / points);
+}
+
 }  // namespace
 
 std::string format_double_exact(double v) {
@@ -451,19 +466,34 @@ result_table engine::run(const attack_scenario& base, const grid& g,
     return run_over(attack_session{base, config_.seed}, g, eval);
   }
   result_table table{grid_axis_names(g), success_metric_names()};
-  std::vector<result_table::row> rows(g.size());
   const std::size_t trials = config_.trials_per_point;
-  parallel_for(g.size(), config_.num_threads, [&](std::size_t p) {
-    const attack_session session{g.scenario_at(p, base),
-                                 mix_seed(config_.seed, p)};
-    std::vector<trial_outcome> outcomes(trials);
-    for (std::size_t t = 0; t < trials; ++t) {
-      outcomes[t] = eval(session.run_trial(t));
+  const std::size_t chunks =
+      chunks_per_point(g.size(), trials, config_.num_threads);
+  const std::size_t chunk_len = (trials + chunks - 1) / chunks;
+  std::vector<std::vector<trial_outcome>> outcomes(
+      g.size(), std::vector<trial_outcome>(trials));
+  parallel_for(g.size() * chunks, config_.num_threads, [&](std::size_t w) {
+    const std::size_t p = w / chunks;
+    const std::size_t t_lo = (w % chunks) * chunk_len;
+    const std::size_t t_hi = std::min(trials, t_lo + chunk_len);
+    if (t_lo >= t_hi) {
+      return;
     }
-    rows[p] = result_table::row{g.labels(p), g.coords(p), summarize(outcomes)};
+    attack_scenario sc = g.scenario_at(p, base);
+    // One victim per run: every point shares the run-seed enrollment
+    // (unless the caller pinned one), so the template cache makes the
+    // per-point session builds pay synthesis + rig only.
+    if (sc.enrollment_seed == 0) {
+      sc.enrollment_seed = config_.seed ^ 0x5eedu;
+    }
+    const attack_session session{sc, mix_seed(config_.seed, p)};
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      outcomes[p][t] = eval(session.run_trial(t));
+    }
   });
-  for (result_table::row& r : rows) {
-    table.add_row(std::move(r));
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    table.add_row(
+        result_table::row{g.labels(p), g.coords(p), summarize(outcomes[p])});
   }
   return table;
 }
@@ -478,22 +508,31 @@ result_table engine::run_over(const attack_session& prototype, const grid& g,
   expects(g.session_mutable(),
           "engine::run_over: every axis must be session-mutable");
   result_table table{grid_axis_names(g), success_metric_names()};
-  std::vector<result_table::row> rows(g.size());
   const std::size_t trials = config_.trials_per_point;
-  parallel_for(g.size(), config_.num_threads, [&](std::size_t p) {
-    attack_session session = prototype;  // thread-private copy
+  const std::size_t chunks =
+      chunks_per_point(g.size(), trials, config_.num_threads);
+  const std::size_t chunk_len = (trials + chunks - 1) / chunks;
+  std::vector<std::vector<trial_outcome>> outcomes(
+      g.size(), std::vector<trial_outcome>(trials));
+  parallel_for(g.size() * chunks, config_.num_threads, [&](std::size_t w) {
+    const std::size_t p = w / chunks;
+    const std::size_t t_lo = (w % chunks) * chunk_len;
+    const std::size_t t_hi = std::min(trials, t_lo + chunk_len);
+    if (t_lo >= t_hi) {
+      return;
+    }
+    attack_session session = prototype;  // task-private copy
     g.mutate_session(p, session);
     // Trial indices accumulate across points, matching the legacy
     // serial sweeps bit for bit.
     const std::uint64_t base_index = p * trials;
-    std::vector<trial_outcome> outcomes(trials);
-    for (std::size_t t = 0; t < trials; ++t) {
-      outcomes[t] = eval(session.run_trial(base_index + t));
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      outcomes[p][t] = eval(session.run_trial(base_index + t));
     }
-    rows[p] = result_table::row{g.labels(p), g.coords(p), summarize(outcomes)};
   });
-  for (result_table::row& r : rows) {
-    table.add_row(std::move(r));
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    table.add_row(
+        result_table::row{g.labels(p), g.coords(p), summarize(outcomes[p])});
   }
   return table;
 }

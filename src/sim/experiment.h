@@ -7,9 +7,11 @@
 // and handed to the `engine`, which:
 //
 //   * executes grid points on a thread pool (common/parallel.h),
+//     splitting a point's trials across the pool when the grid alone
+//     cannot fill it (single-point range scans),
 //   * seeds every point and trial deterministically from the run seed
 //     and the point index — results are bit-identical at any thread
-//     count,
+//     count and any trial split,
 //   * uses a fast path when every axis can mutate a prepared
 //     `attack_session` in place (distance/power/device), so the
 //     expensive rig build happens once per run instead of once per

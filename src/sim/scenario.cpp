@@ -1,7 +1,12 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <future>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "audio/metrics.h"
 #include "audio/ops.h"
@@ -33,6 +38,62 @@ asr::recognizer make_enrolled_recognizer(double capture_rate_hz,
   return rec;
 }
 
+namespace {
+
+using enrollment_key = std::pair<std::uint64_t, std::uint64_t>;
+using enrollment_future =
+    std::shared_future<std::shared_ptr<const asr::recognizer>>;
+
+std::mutex& enrollment_cache_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<enrollment_key, enrollment_future>& enrollment_cache() {
+  static std::map<enrollment_key, enrollment_future> cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const asr::recognizer> shared_enrolled_recognizer(
+    double capture_rate_hz, std::uint64_t seed) {
+  const enrollment_key key{std::bit_cast<std::uint64_t>(capture_rate_hz),
+                           seed};
+  // The slot holds a future, claimed under the lock but fulfilled
+  // outside it: concurrent builds of one key wait on the first builder
+  // (one enrollment per key), while distinct keys — a device-matrix
+  // grid spanning capture rates — still enroll in parallel.
+  std::promise<std::shared_ptr<const asr::recognizer>> builder;
+  enrollment_future shared;
+  bool is_builder = false;
+  {
+    std::lock_guard<std::mutex> lock{enrollment_cache_mutex()};
+    auto [it, inserted] = enrollment_cache().try_emplace(key);
+    if (inserted) {
+      it->second = builder.get_future().share();
+      is_builder = true;
+    }
+    shared = it->second;
+  }
+  if (is_builder) {
+    try {
+      builder.set_value(std::make_shared<const asr::recognizer>(
+          make_enrolled_recognizer(capture_rate_hz, seed)));
+    } catch (...) {
+      builder.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock{enrollment_cache_mutex()};
+      enrollment_cache().erase(key);
+    }
+  }
+  return shared.get();
+}
+
+void clear_enrolled_recognizer_cache() {
+  std::lock_guard<std::mutex> lock{enrollment_cache_mutex()};
+  enrollment_cache().clear();
+}
+
 attack_session::attack_session(attack_scenario scenario, std::uint64_t seed)
     : scenario_{std::move(scenario)}, base_rng_{seed} {
   expects(scenario_.distance_m > 0.0,
@@ -47,7 +108,10 @@ attack_session::attack_session(attack_scenario scenario, std::uint64_t seed)
   // Build the rig from the command at the device capture rate.
   rig_ = attack::build_attack_rig(clean_, scenario_.rig);
 
-  recognizer_ = make_enrolled_recognizer(capture_rate, seed ^ 0x5eedu);
+  const std::uint64_t enroll_seed = scenario_.enrollment_seed != 0
+                                        ? scenario_.enrollment_seed
+                                        : (seed ^ 0x5eedu);
+  recognizer_ = shared_enrolled_recognizer(capture_rate, enroll_seed);
 }
 
 void attack_session::set_distance(double distance_m) {
@@ -104,7 +168,7 @@ trial_result attack_session::run_trial(std::uint64_t trial_index) const {
   const mic::microphone microphone{scenario_.device.mic};
   result.capture = microphone.record(field, mic_rng);
 
-  result.recognition = recognizer_.recognize(result.capture);
+  result.recognition = recognizer_->recognize(result.capture);
   result.success = result.recognition.accepted() &&
                    *result.recognition.command_id == scenario_.command_id;
   result.intelligibility = asr::intelligibility_score(clean_, result.capture);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "acoustics/noise.h"
@@ -31,6 +32,12 @@ struct attack_scenario {
   environment_config environment;
   std::string command_id = "take_picture";
   synth::voice_params voice = synth::male_voice();
+  // Seed for the victim recognizer's enrolled template bank. 0 (the
+  // default) derives it from the session seed, matching the legacy
+  // per-session enrollment bit for bit. Experiments that model ONE
+  // victim across many sessions (the engine's scenario-path grids) set
+  // it explicitly so every session shares one cached enrollment.
+  std::uint64_t enrollment_seed = 0;
 };
 
 struct trial_result {
@@ -58,7 +65,7 @@ class attack_session {
   std::size_t num_speakers() const { return rig_.num_speakers; }
   const attack::attack_rig& rig() const { return rig_; }
   const audio::buffer& clean_command() const { return clean_; }
-  const asr::recognizer& command_recognizer() const { return recognizer_; }
+  const asr::recognizer& command_recognizer() const { return *recognizer_; }
 
   // Runs one attack trial; `trial_index` decorrelates noise streams and
   // makes each trial individually reproducible.
@@ -72,7 +79,10 @@ class attack_session {
   attack_scenario scenario_;
   attack::attack_rig rig_;
   audio::buffer clean_;  // clean command at device capture rate
-  asr::recognizer recognizer_;
+  // Shared with the process-wide template cache: copying a session (the
+  // engine's per-point/per-chunk pattern) no longer copies the enrolled
+  // template bank.
+  std::shared_ptr<const asr::recognizer> recognizer_;
   ivc::rng base_rng_;
   // The rig's field at the device is deterministic given distance/power,
   // so it is rendered once and reused across trials (only ambient and
@@ -82,9 +92,21 @@ class attack_session {
 };
 
 // Builds a recognizer enrolled with clean templates of every command in
-// the bank, rendered with the standard voices.
+// the bank, rendered with the standard voices. Always enrolls from
+// scratch; sessions go through shared_enrolled_recognizer instead.
 asr::recognizer make_enrolled_recognizer(double capture_rate_hz,
                                          std::uint64_t seed);
+
+// Process-wide enrolled-template cache, keyed by (capture rate,
+// enrollment seed) — enrollment is deterministic in those two, so a hit
+// is bit-identical to a fresh enrollment. Thread-safe; each distinct
+// key enrolls exactly once per process.
+std::shared_ptr<const asr::recognizer> shared_enrolled_recognizer(
+    double capture_rate_hz, std::uint64_t seed);
+
+// Drops every cached enrollment (tests and the perf harness use this to
+// measure the cold path; sessions holding a recognizer keep it alive).
+void clear_enrolled_recognizer_cache();
 
 struct genuine_scenario {
   std::string phrase_id = "hello_how";  // from command or benign bank

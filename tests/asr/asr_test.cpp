@@ -1,5 +1,9 @@
+#include <algorithm>
 #include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
+#include <utility>
+#include <vector>
 
 #include "asr/dtw.h"
 #include "asr/intelligibility.h"
@@ -81,7 +85,7 @@ TEST(mfcc, distinguishes_tones_from_noise) {
 TEST(dtw, identical_sequences_have_zero_distance) {
   feature_matrix a;
   for (int i = 0; i < 20; ++i) {
-    a.frames.push_back({static_cast<double>(i), 1.0});
+    a.push_frame({static_cast<double>(i), 1.0});
   }
   EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0);
 }
@@ -92,10 +96,10 @@ TEST(dtw, tolerates_time_stretching) {
   feature_matrix a;
   feature_matrix b;
   for (int i = 0; i < 30; ++i) {
-    a.frames.push_back({std::sin(0.3 * i), std::cos(0.3 * i)});
+    a.push_frame({std::sin(0.3 * i), std::cos(0.3 * i)});
   }
   for (int i = 0; i < 60; ++i) {
-    b.frames.push_back({std::sin(0.15 * i), std::cos(0.15 * i)});
+    b.push_frame({std::sin(0.15 * i), std::cos(0.15 * i)});
   }
   dtw_config cfg;
   cfg.band_fraction = 0.6;
@@ -104,10 +108,120 @@ TEST(dtw, tolerates_time_stretching) {
 
 TEST(dtw, rejects_mismatched_dims) {
   feature_matrix a;
-  a.frames.push_back({1.0, 2.0});
+  a.push_frame({1.0, 2.0});
   feature_matrix b;
-  b.frames.push_back({1.0});
+  b.push_frame({1.0});
   EXPECT_THROW(dtw_distance(a, b), std::invalid_argument);
+}
+
+TEST(dtw, feature_matrix_rows_stay_contiguous_and_addressable) {
+  feature_matrix a;
+  a.push_frame({1.0, 2.0, 3.0});
+  a.push_frame({4.0, 5.0, 6.0});
+  ASSERT_EQ(a.num_frames(), 2u);
+  ASSERT_EQ(a.dims(), 3u);
+  EXPECT_DOUBLE_EQ(a.frame(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.frame(1)[2], 6.0);
+  EXPECT_EQ(a.data.size(), 6u);
+  // Mismatched widths within one matrix are rejected.
+  EXPECT_THROW(a.push_frame({1.0}), std::invalid_argument);
+}
+
+// Reference DTW retained from the pre-flattening implementation
+// (vector-of-vectors storage, identical recurrence); the flattened
+// production path must match it bit for bit.
+double reference_dtw(const std::vector<std::vector<double>>& a,
+                     const std::vector<std::vector<double>>& b,
+                     double band_fraction) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const auto band = std::max<std::ptrdiff_t>(
+      static_cast<std::ptrdiff_t>(band_fraction *
+                                  static_cast<double>(std::max(n, m))),
+      static_cast<std::ptrdiff_t>(std::max(n, m) - std::min(n, m)) + 1);
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, inf);
+  std::vector<double> cur(m + 1, inf);
+  std::vector<double> prev_steps(m + 1, 0.0);
+  std::vector<double> cur_steps(m + 1, 0.0);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    const auto diag = static_cast<std::ptrdiff_t>(
+        static_cast<double>(i) * static_cast<double>(m) /
+        static_cast<double>(n));
+    const auto j_lo = static_cast<std::size_t>(
+        std::max<std::ptrdiff_t>(1, diag - band));
+    const auto j_hi = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(m), diag + band));
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a[i - 1].size(); ++k) {
+        const double d = a[i - 1][k] - b[j - 1][k];
+        acc += d * d;
+      }
+      const double d = std::sqrt(acc);
+      double best = prev[j - 1];
+      double steps = prev_steps[j - 1];
+      if (prev[j] < best) {
+        best = prev[j];
+        steps = prev_steps[j];
+      }
+      if (cur[j - 1] < best) {
+        best = cur[j - 1];
+        steps = cur_steps[j - 1];
+      }
+      if (best < inf) {
+        cur[j] = best + d;
+        cur_steps[j] = steps + 1.0;
+      }
+    }
+    std::swap(prev, cur);
+    std::swap(prev_steps, cur_steps);
+  }
+  if (prev[m] == inf) {
+    return inf;
+  }
+  return prev[m] / std::max(1.0, prev_steps[m]);
+}
+
+TEST(dtw, flattened_storage_matches_seed_implementation) {
+  ivc::rng rng{42};
+  for (const auto& [frames_a, frames_b] :
+       {std::pair<int, int>{25, 40}, {40, 25}, {1, 1}, {13, 13}}) {
+    std::vector<std::vector<double>> ref_a;
+    std::vector<std::vector<double>> ref_b;
+    feature_matrix a;
+    feature_matrix b;
+    for (int i = 0; i < frames_a; ++i) {
+      std::vector<double> row(8);
+      for (double& v : row) {
+        v = rng.normal();
+      }
+      ref_a.push_back(row);
+      a.push_frame(row);
+    }
+    for (int i = 0; i < frames_b; ++i) {
+      std::vector<double> row(8);
+      for (double& v : row) {
+        v = rng.normal();
+      }
+      ref_b.push_back(row);
+      b.push_frame(row);
+    }
+    for (const double band : {0.2, 0.6, 1.0}) {
+      dtw_config cfg;
+      cfg.band_fraction = band;
+      const double expected = reference_dtw(ref_a, ref_b, band);
+      const double actual = dtw_distance(a, b, cfg);
+      if (std::isinf(expected)) {
+        EXPECT_TRUE(std::isinf(actual));
+      } else {
+        EXPECT_DOUBLE_EQ(actual, expected)
+            << frames_a << "x" << frames_b << " band " << band;
+      }
+    }
+  }
 }
 
 TEST(vad, detects_activity_island) {

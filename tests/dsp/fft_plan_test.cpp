@@ -1,0 +1,152 @@
+#include "dsp/fft_plan.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/rng.h"
+
+namespace ivc::dsp {
+namespace {
+
+// O(n^2) reference DFT of a real signal (ground truth for every fast
+// path under test).
+std::vector<cplx> reference_dft(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle = -two_pi * static_cast<double>(k) *
+                           static_cast<double>(i) / static_cast<double>(n);
+      acc += x[i] * cplx{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  ivc::rng rng{seed};
+  std::vector<double> x(n);
+  for (double& v : x) {
+    v = rng.normal();
+  }
+  return x;
+}
+
+TEST(fft_plan, rejects_non_pow2_sizes) {
+  EXPECT_THROW((fft_plan{12}), std::invalid_argument);
+  EXPECT_THROW(get_fft_plan(0), std::invalid_argument);
+  EXPECT_THROW(get_fft_plan(48), std::invalid_argument);
+}
+
+TEST(fft_plan, rfft_matches_reference_dft_at_pow2_lengths) {
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 64u, 256u, 1024u}) {
+    const std::vector<double> x = random_signal(n, 7 + n);
+    const std::vector<cplx> ref = reference_dft(x);
+    const std::vector<cplx> half = rfft(x);
+    ASSERT_EQ(half.size(), n / 2 + 1) << "n=" << n;
+    for (std::size_t k = 0; k < half.size(); ++k) {
+      EXPECT_NEAR(half[k].real(), ref[k].real(), 1e-8) << "n=" << n;
+      EXPECT_NEAR(half[k].imag(), ref[k].imag(), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(fft_plan, rfft_matches_reference_dft_at_odd_lengths) {
+  // Non-pow2 (including odd and prime) lengths route through Bluestein;
+  // the half-spectrum contract is the same.
+  for (const std::size_t n : {3u, 5u, 17u, 63u, 100u, 255u}) {
+    const std::vector<double> x = random_signal(n, 31 + n);
+    const std::vector<cplx> ref = reference_dft(x);
+    const std::vector<cplx> half = rfft(x);
+    ASSERT_EQ(half.size(), n / 2 + 1) << "n=" << n;
+    for (std::size_t k = 0; k < half.size(); ++k) {
+      EXPECT_NEAR(half[k].real(), ref[k].real(), 1e-7) << "n=" << n;
+      EXPECT_NEAR(half[k].imag(), ref[k].imag(), 1e-7) << "n=" << n;
+    }
+  }
+}
+
+TEST(fft_plan, rfft_irfft_round_trips_at_pow2_and_odd_lengths) {
+  for (const std::size_t n : {1u, 2u, 8u, 100u, 128u, 255u, 501u, 1024u}) {
+    const std::vector<double> x = random_signal(n, 100 + n);
+    const std::vector<double> back = irfft(rfft(x), n);
+    ASSERT_EQ(back.size(), n) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i], x[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(fft_plan, planned_complex_transform_matches_unplanned_fft) {
+  ivc::rng rng{5};
+  const std::size_t n = 512;
+  std::vector<cplx> x(n);
+  for (auto& v : x) {
+    v = cplx{rng.normal(), rng.normal()};
+  }
+  // Unplanned reference through the public entry point.
+  const std::vector<cplx> expected = fft(x);
+  // Planned in-place execute.
+  const auto plan = get_fft_plan(n);
+  std::vector<cplx> data = x;
+  plan->forward(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(data[i] - expected[i]), 0.0, 1e-9);
+  }
+  // And the inverse round-trips.
+  plan->inverse(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(data[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(fft_plan, plan_cache_shares_one_plan_per_size) {
+  const auto a = get_fft_plan(256);
+  const auto b = get_fft_plan(256);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->size(), 256u);
+  EXPECT_EQ(a->num_real_bins(), 129u);
+  EXPECT_NE(a.get(), get_fft_plan(512).get());
+}
+
+TEST(fft_plan, member_rfft_needs_no_allocation_buffers_of_exact_size) {
+  const std::size_t n = 64;
+  const auto plan = get_fft_plan(n);
+  const std::vector<double> x = random_signal(n, 9);
+  std::vector<cplx> out(plan->num_real_bins());
+  plan->rfft(x, out);
+  const std::vector<cplx> expected = reference_dft(x);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_NEAR(std::abs(out[k] - expected[k]), 0.0, 1e-9);
+  }
+  // irfft with a caller-owned workspace recovers the signal.
+  std::vector<double> back(n);
+  std::vector<cplx> work(plan->workspace_size());
+  plan->irfft(out, back, work);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-10);
+  }
+  // Size mismatches are rejected rather than silently misread.
+  std::vector<cplx> short_out(3);
+  EXPECT_THROW(plan->rfft(x, short_out), std::invalid_argument);
+  std::vector<cplx> no_work;
+  EXPECT_THROW(plan->irfft(out, back, no_work), std::invalid_argument);
+}
+
+TEST(fft_plan, sine_lands_in_expected_half_spectrum_bin) {
+  const std::size_t n = 256;
+  const std::size_t k = 10;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(two_pi * static_cast<double>(k * i) / n);
+  }
+  const std::vector<cplx> half = rfft(x);
+  EXPECT_NEAR(std::abs(half[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(half[k + 3]), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ivc::dsp

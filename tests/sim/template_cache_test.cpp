@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace ivc::sim {
+namespace {
+
+attack_scenario quick_mono(double distance) {
+  attack_scenario sc;
+  sc.rig = attack::monolithic_rig(18.7);
+  sc.command_id = "mute_yourself";
+  sc.distance_m = distance;
+  return sc;
+}
+
+TEST(template_cache, cached_recognizer_matches_fresh_enrollment) {
+  clear_enrolled_recognizer_cache();
+  const auto cached = shared_enrolled_recognizer(16'000.0, 99);
+  const asr::recognizer fresh = make_enrolled_recognizer(16'000.0, 99);
+  ASSERT_EQ(cached->num_templates(), fresh.num_templates());
+
+  // Bit-identical recognitions on a clean rendition and on a harder
+  // perturbed one: distance, margin, and the accepted id all match.
+  ivc::rng rng{1};
+  const audio::buffer probe = synth::render_command(
+      synth::command_by_id("add_milk"), synth::male_voice(), rng, 16'000.0);
+  ivc::rng rng2{2};
+  const audio::buffer perturbed = synth::render_command(
+      synth::command_by_id("open_door"),
+      synth::perturbed_voice(synth::female_voice(), rng2), rng2, 16'000.0);
+  for (const audio::buffer* b : {&probe, &perturbed}) {
+    const asr::recognition_result a = cached->recognize(*b);
+    const asr::recognition_result c = fresh.recognize(*b);
+    EXPECT_EQ(a.command_id, c.command_id);
+    EXPECT_EQ(a.best_distance, c.best_distance);  // bit-identical
+    EXPECT_EQ(a.margin, c.margin);
+  }
+}
+
+TEST(template_cache, same_key_returns_the_shared_instance) {
+  clear_enrolled_recognizer_cache();
+  const auto a = shared_enrolled_recognizer(16'000.0, 7);
+  const auto b = shared_enrolled_recognizer(16'000.0, 7);
+  EXPECT_EQ(a.get(), b.get());
+  // Different seed or rate means a different enrollment.
+  EXPECT_NE(a.get(), shared_enrolled_recognizer(16'000.0, 8).get());
+  EXPECT_NE(a.get(), shared_enrolled_recognizer(48'000.0, 7).get());
+  // Clearing drops the cache but live references stay valid.
+  clear_enrolled_recognizer_cache();
+  EXPECT_NE(a.get(), shared_enrolled_recognizer(16'000.0, 7).get());
+  EXPECT_GT(a->num_templates(), 0u);
+}
+
+TEST(template_cache, sessions_with_shared_seed_share_the_enrollment) {
+  clear_enrolled_recognizer_cache();
+  const attack_session first{quick_mono(1.5), 314};
+  const attack_session second{quick_mono(3.0), 314};  // same session seed
+  EXPECT_EQ(&first.command_recognizer(), &second.command_recognizer());
+
+  attack_scenario pinned = quick_mono(1.5);
+  pinned.enrollment_seed = 0xfeedu;
+  const attack_session third{pinned, 1};
+  const attack_session fourth{pinned, 2};  // different session seed
+  EXPECT_EQ(&third.command_recognizer(), &fourth.command_recognizer());
+  EXPECT_NE(&first.command_recognizer(), &third.command_recognizer());
+}
+
+TEST(template_cache, cached_sessions_run_bit_identical_trials) {
+  // A session built on a cold cache and one built on a warm cache must
+  // produce the same captures and recognitions.
+  clear_enrolled_recognizer_cache();
+  const attack_session cold{quick_mono(1.5), 271};
+  const trial_result a = cold.run_trial(0);
+  const attack_session warm{quick_mono(1.5), 271};
+  const trial_result b = warm.run_trial(0);
+  EXPECT_EQ(a.capture.samples, b.capture.samples);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.recognition.best_distance, b.recognition.best_distance);
+  EXPECT_EQ(a.intelligibility, b.intelligibility);
+}
+
+TEST(template_cache, engine_trial_chunking_is_invariant_to_pool_size) {
+  // A single-point grid exercises the per-trial split: with 1 thread
+  // there is one chunk, with 4 threads several — results must be
+  // bit-identical (this is the ROADMAP's single-point-scan case).
+  const grid g = grid::cartesian({distance_axis({2.0})});
+  run_config cfg;
+  cfg.trials_per_point = 6;
+  cfg.seed = 2'025;
+  cfg.num_threads = 1;
+  const result_table serial = engine{cfg}.run(quick_mono(2.0), g);
+  cfg.num_threads = 4;
+  const result_table chunked = engine{cfg}.run(quick_mono(2.0), g);
+  EXPECT_EQ(serial, chunked);
+  EXPECT_DOUBLE_EQ(serial.metric(0, "trials"), 6.0);
+
+  // Same invariance on the scenario path (non-session-mutable axis).
+  const grid carrier = grid::cartesian({carrier_axis({30e3})});
+  cfg.num_threads = 1;
+  const result_table c_serial = engine{cfg}.run(quick_mono(2.0), carrier);
+  cfg.num_threads = 3;
+  const result_table c_chunked = engine{cfg}.run(quick_mono(2.0), carrier);
+  EXPECT_EQ(c_serial, c_chunked);
+}
+
+}  // namespace
+}  // namespace ivc::sim
