@@ -2,7 +2,10 @@
 // rows/series of one paper table or figure in a fixed-width layout that
 // is stable for diffing across runs, and — with `--json <path>` — also
 // emits a machine-readable report (result tables + scalar metrics) for
-// tracking the perf/accuracy trajectory across PRs.
+// tracking the perf/accuracy trajectory across PRs. Every JSON report
+// additionally appends a (figure, grid signature, seed)-keyed record to
+// the append-only run log (sim/runlog.h), so results accumulate across
+// commits instead of overwriting each other.
 #pragma once
 
 #include <chrono>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/runlog.h"
 
 namespace ivc::bench {
 
@@ -39,10 +43,13 @@ inline void rule() {
 
 // Common bench flags:
 //   --json <path>    write a machine-readable report
+//   --runlog <path>  append the run record here (default: runlog.jsonl,
+//                    written whenever --json is given)
 //   --threads <n>    experiment-engine thread count (0 = all hardware)
 //   --trials <n>     override the figure's trials-per-point
 struct options {
   std::string json_path;
+  std::string runlog_path;  // explicit --runlog; empty = default behavior
   std::size_t threads = 0;
   std::size_t trials = 0;
 };
@@ -59,6 +66,8 @@ inline options parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       opts.json_path = argv[++i];
+    } else if (arg == "--runlog" && i + 1 < argc) {
+      opts.runlog_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       opts.threads = count_arg(argv[++i]);
     } else if (arg == "--trials" && i + 1 < argc) {
@@ -82,14 +91,23 @@ class stopwatch {
 };
 
 // Machine-readable figure report: named result tables plus scalar
-// metrics (wall time, derived summaries), written as one JSON object.
+// metrics (wall time, derived summaries), written as one JSON object —
+// and, through write(options), appended to the run log keyed by
+// (figure, grid signature, seed).
 class json_report {
  public:
   json_report(std::string figure_id, std::string title)
       : figure_id_{std::move(figure_id)}, title_{std::move(title)} {}
 
+  // The experiment's run seed and trials-per-point; both are part of
+  // the run-log key so trend diffs only ever compare runs of the
+  // identical experiment (a --trials 1 smoke is not the full run).
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  void set_trials(std::uint64_t trials) { trials_ = trials; }
+
   void add_table(const std::string& name, const sim::result_table& table) {
     tables_.emplace_back(name, table.to_json());
+    grid_signatures_.emplace_back(name, sim::grid_signature(table));
   }
   void add_metric(const std::string& name, double value) {
     metrics_.emplace_back(name, value);
@@ -105,9 +123,12 @@ class json_report {
       std::fprintf(stderr, "json_report: cannot open %s\n", path.c_str());
       return false;
     }
+    // Seed as a string: 64-bit identities corrupt when a JSON reader
+    // rounds them through a double (same rationale as sim/runlog.cpp).
     out << "{\n  \"figure\": \"" << sim::json_escape(figure_id_)
         << "\",\n  \"title\": \"" << sim::json_escape(title_)
-        << "\",\n  \"metrics\": {";
+        << "\",\n  \"seed\": \"" << seed_ << "\",\n  \"trials\": " << trials_
+        << ",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       out << (i == 0 ? "" : ", ") << '"' << sim::json_escape(metrics_[i].first)
           << "\": " << sim::format_double_exact(metrics_[i].second);
@@ -121,10 +142,46 @@ class json_report {
     return out.good();
   }
 
+  // Writes the JSON report (when --json was passed) and appends the run
+  // record to the run log: to --runlog when given, else to the default
+  // "runlog.jsonl" whenever a JSON report was requested.
+  bool write(const options& opts) const {
+    const bool wrote = write(opts.json_path);
+    std::string log_path = opts.runlog_path;
+    if (log_path.empty() && !opts.json_path.empty()) {
+      log_path = "runlog.jsonl";
+    }
+    if (!log_path.empty()) {
+      sim::append_run_record(log_path, run_record());
+    }
+    return wrote;
+  }
+
+  // The (figure, grid, seed)-keyed record this report stands for. The
+  // grid signature concatenates every added table's signature, so a
+  // report with several tables still keys on the full swept shape.
+  sim::run_record run_record() const {
+    sim::run_record record;
+    record.figure = figure_id_;
+    record.seed = seed_;
+    record.trials = trials_;
+    for (const auto& [name, signature] : grid_signatures_) {
+      if (!record.grid_signature.empty()) {
+        record.grid_signature += ';';
+      }
+      record.grid_signature += name + "=" + signature;
+    }
+    record.metrics = metrics_;
+    return record;
+  }
+
  private:
   std::string figure_id_;
   std::string title_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t trials_ = 0;
   std::vector<std::pair<std::string, std::string>> tables_;
+  std::vector<std::pair<std::string, std::string>> grid_signatures_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
 

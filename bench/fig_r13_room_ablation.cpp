@@ -6,67 +6,96 @@
 // defense features — reverberation must neither break recognition nor
 // trip the defense's trace detector (reflections are linear; they create
 // no v² term).
+//
+// Ported to the experiment engine: reflection order is a custom genuine
+// axis over a room-placed genuine_scenario, measured through
+// run_genuine_metrics with --json/--threads/--trials support.
 #include <cstdio>
+#include <vector>
 
 #include "acoustics/room.h"
-#include "audio/metrics.h"
-#include "audio/ops.h"
 #include "bench_util.h"
-#include "common/units.h"
 #include "defense/features.h"
-#include "mic/frontend.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ivc;
+  const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R13", "room-reverberation ablation (extension)");
   bench::note("6.5 x 4 x 2.5 m meeting room, talker at (1.5, 1.0, 1.2),");
   bench::note("device at (5.0, 3.0, 1.0); 65 dB SPL at 1 m");
   bench::rule();
 
-  const asr::recognizer rec = sim::make_enrolled_recognizer(16'000.0, 11);
-  const acoustics::vec3 talker{1.5, 1.0, 1.2};
-  const acoustics::vec3 device{5.0, 3.0, 1.0};
+  const std::shared_ptr<const asr::recognizer> rec =
+      sim::shared_enrolled_recognizer(
+          mic::phone_profile().mic.capture_rate_hz, 11);
 
-  std::printf("%8s %8s %14s %12s %14s %12s\n", "order", "images",
-              "ASR distance", "recognized", "low-band corr", "trace dB");
+  sim::genuine_scenario base;
+  base.phrase_id = "take_picture";
+  base.level_db_spl_at_1m = 65.0;
+  base.room = sim::room_placement{};  // the paper's meeting-room layout
+
+  std::vector<sim::genuine_axis_point> order_points;
   for (const std::size_t order : {0u, 1u, 2u}) {
-    acoustics::room_model room;
-    room.max_reflection_order = order;
-
-    ivc::rng rng{13};
-    audio::buffer voice = synth::render_command(
-        synth::command_by_id("take_picture"), synth::male_voice(), rng,
-        48'000.0);
-    voice = audio::normalize_rms(voice, spl_db_to_pa(65.0));
-    const audio::buffer field =
-        acoustics::render_in_room(voice, talker, device, room,
-                                  acoustics::air_model{});
-
-    // Add ambient and capture through the phone mic.
-    audio::buffer at_port = field;
-    ivc::rng noise_rng{14};
-    const audio::buffer ambient = acoustics::ambient_noise(
-        at_port.duration_s(), 48'000.0, 38.0,
-        acoustics::noise_kind::speech_shaped, noise_rng);
-    for (std::size_t i = 0;
-         i < std::min(at_port.size(), ambient.size()); ++i) {
-      at_port.samples[i] += ambient.samples[i];
-    }
-    ivc::rng mic_rng{15};
-    const mic::microphone microphone{mic::phone_profile().mic};
-    const audio::buffer capture = microphone.record(at_port, mic_rng);
-
-    const asr::recognition_result res = rec.recognize(capture);
-    const defense::trace_features f =
-        defense::extract_trace_features(capture);
-    const std::size_t images =
-        acoustics::compute_image_sources(room, talker).size();
-    std::printf("%8zu %8zu %14.1f %12s %14.2f %12.1f\n", order, images,
-                res.best_distance,
-                res.accepted() ? res.command_id->c_str() : "(rej)",
-                f.low_band_envelope_corr, f.low_band_ratio_db);
+    order_points.push_back(sim::genuine_axis_point{
+        std::to_string(order), static_cast<double>(order),
+        [order](sim::genuine_scenario& sc) {
+          sc.room->room.max_reflection_order = order;
+        },
+        nullptr});
   }
+
+  sim::run_config run;
+  run.trials_per_point = opts.trials > 0 ? opts.trials : 2;
+  run.seed = 13;
+  run.num_threads = opts.threads;
+  const std::size_t trials = run.trials_per_point;
+  const sim::result_table table = sim::engine{run}.run_genuine_metrics(
+      base,
+      sim::genuine_grid::cartesian(
+          {sim::custom_axis("reflection_order", std::move(order_points))}),
+      {"images", "asr_distance", "recognized_rate", "low_band_corr",
+       "trace_db"},
+      [&](const sim::genuine_scenario& sc, std::uint64_t point_seed,
+          std::size_t) {
+        const sim::genuine_session session{sc, point_seed};
+        double distance = 0.0;
+        double recognized = 0.0;
+        double corr = 0.0;
+        double trace = 0.0;
+        for (std::size_t t = 0; t < trials; ++t) {
+          const audio::buffer capture = session.run_trial(t);
+          const asr::recognition_result res = rec->recognize(capture);
+          const defense::trace_features f =
+              defense::extract_trace_features(capture);
+          distance += res.best_distance;
+          if (res.accepted() && *res.command_id == sc.phrase_id) {
+            recognized += 1.0;
+          }
+          corr += f.low_band_envelope_corr;
+          trace += f.low_band_ratio_db;
+        }
+        const double n = static_cast<double>(trials);
+        const double images = static_cast<double>(
+            acoustics::compute_image_sources(sc.room->room, sc.room->talker)
+                .size());
+        return std::vector<double>{images, distance / n, recognized / n,
+                                   corr / n, trace / n};
+      });
+  table.print();
+
+  bench::json_report report{"F-R13", "room-reverberation ablation"};
+  report.set_seed(run.seed);
+  report.set_trials(run.trials_per_point);
+  report.add_table("room_ablation", table);
+  // Headline scalars for the run-log trend view: the deepest-reverb row
+  // is the one reverberation could break.
+  const std::size_t last = table.size() - 1;
+  report.add_metric("recognized_rate_max_order",
+                    table.metric(last, "recognized_rate"));
+  report.add_metric("trace_db_max_order", table.metric(last, "trace_db"));
+  report.write(opts);
 
   bench::rule();
   bench::note("expected: recognition survives first/second-order");

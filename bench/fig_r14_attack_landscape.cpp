@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace ivc;
   const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("F-R14", "attack landscape: pocket vs tweeter vs array");
+  constexpr std::uint64_t kSeed = 42;  // session seed AND run-log key
 
   struct rig_case {
     const char* label;
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
       sim::grid::cartesian({sim::custom_axis("rig", std::move(rig_points))}),
       {"range_m", "audible", "margin_db"},
       [&](const sim::attack_scenario& sc, std::uint64_t, std::size_t point) {
-        const sim::attack_session session{sc, 42};
+        const sim::attack_session session{sc, kSeed};
         const double max_m = cases[point].scan_max_m;
         const double range = sim::max_attack_range_m(
             session, 0.5, trials, 0.25, max_m, 0.25, opts.threads);
@@ -69,8 +70,10 @@ int main(int argc, char** argv) {
   table.print();
 
   bench::json_report report{"F-R14", "attack landscape"};
+  report.set_seed(kSeed);
+  report.set_trials(trials);
   report.add_table("landscape", table);
-  report.write(opts.json_path);
+  report.write(opts);
 
   bench::rule();
   bench::note("the paper's position: prior rigs trade range against");

@@ -40,7 +40,9 @@ int main(int argc, char** argv) {
 
   bench::json_report report{"F-R2", "recorded signal vs carrier frequency"};
   report.add_table("demodulation", table);
-  report.write(opts.json_path);
+  report.set_seed(cfg.seed);
+  report.set_trials(cfg.trials_per_point);
+  report.write(opts);
 
   bench::rule();
   bench::note("mean_score = band-envelope intelligibility vs the clean");

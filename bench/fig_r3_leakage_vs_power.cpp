@@ -64,8 +64,9 @@ int main(int argc, char** argv) {
   table.print();
 
   bench::json_report report{"F-R3", "audible leakage at 1 m vs power"};
+  report.set_seed(cfg.seed);
   report.add_table("leakage_vs_power", table);
-  report.write(opts.json_path);
+  report.write(opts);
 
   bench::rule();
   bench::note("margin = worst third-octave band SPL minus hearing threshold;");

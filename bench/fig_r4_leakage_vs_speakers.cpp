@@ -69,7 +69,9 @@ int main(int argc, char** argv) {
 
   bench::json_report report{"F-R4", "leakage vs chunk-speaker count"};
   report.add_table("leakage_vs_speakers", table);
-  report.write(opts.json_path);
+  report.set_seed(cfg.seed);
+  report.set_trials(cfg.trials_per_point);
+  report.write(opts);
 
   bench::rule();
   bench::note("paper shape: leakage margin falls as speakers are added;");

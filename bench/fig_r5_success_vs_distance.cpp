@@ -68,7 +68,9 @@ int main(int argc, char** argv) {
                                    cfg.num_threads == 0
                                        ? ivc::default_thread_count()
                                        : cfg.num_threads));
-  report.write(opts.json_path);
+  report.set_seed(cfg.seed);
+  report.set_trials(cfg.trials_per_point);
+  report.write(opts);
 
   bench::note("grids ran in %.2f s on %zu thread(s)", elapsed,
               cfg.num_threads == 0 ? ivc::default_thread_count()

@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
   bench::json_report report{"F-R6", "success vs carrier frequency"};
   report.add_table("carrier_sweep", table);
   report.add_metric("elapsed_s", clock.elapsed_s());
-  report.write(opts.json_path);
+  report.set_seed(cfg.seed);
+  report.set_trials(cfg.trials_per_point);
+  report.write(opts);
 
   bench::rule();
   bench::note("expected shape: plateau through the tweeter passband, decay");

@@ -336,7 +336,10 @@ int main(int argc, char** argv) {
   }
   bench::banner("PERF", smoke ? "hot-path microbenchmarks (smoke)"
                               : "hot-path microbenchmarks");
-  bench::json_report report{"PERF", "hot-path microbenchmarks"};
+  // Smoke and full runs use different repetition counts — different
+  // experiments, so they must not share a run-log key.
+  bench::json_report report{smoke ? "PERF-smoke" : "PERF",
+                            "hot-path microbenchmarks"};
   report.add_metric("smoke", smoke ? 1.0 : 0.0);
   const bench::stopwatch total_clock;
 
@@ -495,6 +498,6 @@ int main(int argc, char** argv) {
   bench::note("targets: e2e >= 3x (got %.2fx), mfcc >= 2x (got %.2fx)",
               e2e_speedup, mfcc_speedup);
   bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
-  report.write(opts.json_path);
+  report.write(opts);
   return 0;
 }

@@ -1,0 +1,76 @@
+// Run-log aggregator: the cross-PR trend view over the append-only
+// JSONL log every `--json` bench writes (sim/runlog.h).
+//
+//   runlog_report [path ...]
+//
+// Reads each log (default: runlog.jsonl), collapses records to their
+// distinct (figure, grid, seed) keys, and prints the latest metrics per
+// key with deltas against the previous run of the same experiment —
+// same-key records measured an identical grid with an identical seed,
+// so any metric movement is a code change, not noise.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runlog.h"
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    paths.emplace_back(argv[i]);
+  }
+  if (paths.empty()) {
+    paths.emplace_back("runlog.jsonl");
+  }
+
+  std::vector<sim::run_record> records;
+  for (const std::string& path : paths) {
+    std::vector<sim::run_record> part = sim::read_run_log(path);
+    if (part.empty()) {
+      std::fprintf(stderr, "runlog_report: no records in %s\n", path.c_str());
+    }
+    records.insert(records.end(), part.begin(), part.end());
+  }
+  if (records.empty()) {
+    return 1;
+  }
+
+  const std::vector<sim::run_diff> diffs = sim::diff_latest_runs(records);
+  std::printf("%zu record(s), %zu distinct experiment(s)\n", records.size(),
+              diffs.size());
+  for (const sim::run_diff& d : diffs) {
+    std::printf("\n%s  seed=%llu  trials=%llu  runs=%zu  latest=%s\n",
+                d.latest.figure.c_str(),
+                static_cast<unsigned long long>(d.latest.seed),
+                static_cast<unsigned long long>(d.latest.trials),
+                d.occurrences, d.latest.timestamp.c_str());
+    std::printf("  grid %s\n", d.latest.grid_signature.c_str());
+    if (!d.has_previous) {
+      for (const auto& [name, value] : d.latest.metrics) {
+        std::printf("  %-28s %14.6g   (first run)\n", name.c_str(), value);
+      }
+      continue;
+    }
+    for (const sim::metric_delta& m : d.deltas) {
+      const double delta = m.latest - m.previous;
+      std::printf("  %-28s %14.6g   was %-12.6g %+.6g\n", m.name.c_str(),
+                  m.latest, m.previous, delta);
+    }
+    // Metrics the latest run added that the previous one lacked: not in
+    // deltas, but part of the result.
+    for (const auto& [name, value] : d.latest.metrics) {
+      bool in_deltas = false;
+      for (const sim::metric_delta& m : d.deltas) {
+        if (m.name == name) {
+          in_deltas = true;
+          break;
+        }
+      }
+      if (!in_deltas) {
+        std::printf("  %-28s %14.6g   (new metric)\n", name.c_str(), value);
+      }
+    }
+  }
+  return 0;
+}

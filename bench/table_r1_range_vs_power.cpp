@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace ivc;
   const bench::options opts = bench::parse_options(argc, argv);
   bench::banner("T-R1", "attack range vs input power (monolithic rig)");
+  constexpr std::uint64_t kSeed = 42;  // session seed AND run-log key
 
   const std::vector<double> powers{9.2, 11.8, 14.8, 18.7, 23.7};
   const double paper_phone[] = {222.0, 255.0, 277.0, 313.0, 354.0};
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
       if (echo) {
         sc.device = mic::smart_speaker_profile();
       }
-      const sim::attack_session session{sc, 42};
+      const sim::attack_session session{sc, kSeed};
       measured[col++] =
           100.0 * sim::max_attack_range_m(session, 0.5, trials, 0.5, 6.0,
                                           0.25, opts.threads);
@@ -56,9 +57,11 @@ int main(int argc, char** argv) {
   table.print();
 
   bench::json_report report{"T-R1", "attack range vs input power"};
+  report.set_seed(kSeed);
+  report.set_trials(trials);
   report.add_table("range_vs_power", table);
   report.add_metric("elapsed_s", clock.elapsed_s());
-  report.write(opts.json_path);
+  report.write(opts);
 
   bench::rule();
   bench::note("paper shape: range grows with power; the grille-covered echo");

@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   sim::result_table matrix{{"command"}, device_columns};
 
   bench::json_report report{"T-R2", "device x command success matrix"};
+  report.set_seed(42);
+  report.set_trials(trials);
   const bench::stopwatch clock;
   std::size_t session_seed = 0;
   for (const synth::command& cmd : synth::command_bank()) {
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
 
   report.add_table("device_matrix", matrix);
   report.add_metric("elapsed_s", clock.elapsed_s());
-  report.write(opts.json_path);
+  report.write(opts);
 
   bench::rule();
   bench::note("paper shape: consumer devices (phone/speaker/laptop) accept");

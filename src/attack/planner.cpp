@@ -98,9 +98,21 @@ rig_config portable_rig() {
   return cfg;
 }
 
+audio::buffer condition_for_rig(const audio::buffer& command,
+                                const rig_config& config) {
+  return condition_command(command, config.conditioner);
+}
+
 attack_rig build_attack_rig(const audio::buffer& command,
                             const rig_config& config,
                             const acoustics::vec3& origin) {
+  return assemble_attack_rig(condition_for_rig(command, config), config,
+                             origin);
+}
+
+attack_rig assemble_attack_rig(const audio::buffer& conditioned,
+                               const rig_config& config,
+                               const acoustics::vec3& origin) {
   expects(config.total_power_w > 0.0,
           "build_attack_rig: total power must be > 0");
   expects(config.carrier_power_fraction > 0.0 &&
@@ -112,8 +124,9 @@ attack_rig build_attack_rig(const audio::buffer& command,
   attack_rig rig;
   rig.config = config;
 
-  // Condition, then optionally pre-distort for trace cancellation.
-  audio::buffer baseband = condition_command(command, config.conditioner);
+  // Optionally pre-distort the conditioned baseband for trace
+  // cancellation.
+  audio::buffer baseband = conditioned;
   if (config.cancellation.has_value() &&
       config.cancellation->accuracy > 0.0) {
     baseband = apply_trace_cancellation(baseband, config.modulator,

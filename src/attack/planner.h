@@ -68,10 +68,22 @@ struct attack_rig {
 
 // Builds the rig for `command` (a voice-rate recording). The array is a
 // line centered at `origin` along +x. Throws when the per-element power
-// would exceed the driver rating.
+// would exceed the driver rating. Equivalent to
+// assemble_attack_rig(condition_for_rig(command, config), config, origin).
 attack_rig build_attack_rig(const audio::buffer& command,
                             const rig_config& config,
                             const acoustics::vec3& origin = {});
+
+// The two stages of build_attack_rig, exposed separately so adaptive-
+// attacker sweeps can re-assemble a rig at a new cancellation setting
+// without re-conditioning the command: conditioning depends only on the
+// conditioner config, while cancellation/modulation/splitting and array
+// assembly depend on the rest of the rig config.
+audio::buffer condition_for_rig(const audio::buffer& command,
+                                const rig_config& config);
+attack_rig assemble_attack_rig(const audio::buffer& conditioned,
+                               const rig_config& config,
+                               const acoustics::vec3& origin = {});
 
 // Applies the trace-cancellation pre-distortion to a conditioned
 // baseband (exposed for the adaptive-attacker experiments).

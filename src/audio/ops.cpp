@@ -59,6 +59,20 @@ buffer mix(const buffer& a, const buffer& b) {
   return out;
 }
 
+void mix_into(buffer& dst, const buffer& src) {
+  validate(dst, "mix_into");
+  validate(src, "mix_into");
+  expects(dst.sample_rate_hz == src.sample_rate_hz,
+          "mix_into: sample-rate mismatch");
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst.samples[i] += src.samples[j];
+    if (++j == src.size()) {
+      j = 0;
+    }
+  }
+}
+
 buffer mix_at(const buffer& a, const buffer& b, double offset_s) {
   validate(a, "mix_at");
   validate(b, "mix_at");

@@ -22,6 +22,12 @@ buffer normalize_rms(const buffer& b, double target_rms);
 // Sample-wise sum; the shorter input is zero-padded. Rates must match.
 buffer mix(const buffer& a, const buffer& b);
 
+// Adds `src` into `dst` in place over dst's FULL length, repeating src
+// cyclically when it is shorter — a noise bed one rounding-sample short
+// must not leave a noiseless tail. Rates must match; src must be
+// non-empty.
+void mix_into(buffer& dst, const buffer& src);
+
 // Sum of b into a starting at `offset_s` seconds.
 buffer mix_at(const buffer& a, const buffer& b, double offset_s);
 

@@ -1,0 +1,285 @@
+#include "common/json_min.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ivc::json {
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::invalid_argument{"json: " + what + " at offset " +
+                              std::to_string(pos)};
+}
+
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_{text} {}
+
+  value parse_document() {
+    skip_ws();
+    value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(pos_, "trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  // Nesting far beyond anything our writers emit; bounds recursion on
+  // hostile input.
+  static constexpr std::size_t max_depth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail(pos_, "unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string{"expected '"} + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') {
+      ++n;
+    }
+    if (text_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  value parse_value(std::size_t depth) {
+    if (depth > max_depth) {
+      fail(pos_, "nesting too deep");
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return value{parse_string()};
+      case 't':
+        if (consume_literal("true")) {
+          return value{true};
+        }
+        fail(pos_, "bad literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return value{false};
+        }
+        fail(pos_, "bad literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return value{nullptr};
+        }
+        fail(pos_, "bad literal");
+      default:
+        return value{parse_number()};
+    }
+  }
+
+  value parse_object(std::size_t depth) {
+    expect('{');
+    object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value{std::move(members)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value{std::move(members)};
+    }
+  }
+
+  value parse_array(std::size_t depth) {
+    expect('[');
+    array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value{std::move(items)};
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value{std::move(items)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail(pos_, "unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail(pos_, "unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  // \uXXXX, decoded to UTF-8 (no surrogate-pair support: our writers
+  // only emit \u00XX control-character escapes).
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) {
+      fail(pos_, "truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + i];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail(pos_ + i, "bad \\u digit");
+      }
+    }
+    pos_ += 4;
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+    return out;
+  }
+
+  double parse_number() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      fail(pos_, "expected a value");
+    }
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::invalid_argument{std::string{"json: value is not "} + wanted};
+}
+
+}  // namespace
+
+bool value::boolean() const {
+  if (!is_bool()) {
+    type_error("a bool");
+  }
+  return std::get<bool>(data_);
+}
+
+double value::number() const {
+  if (!is_number()) {
+    type_error("a number");
+  }
+  return std::get<double>(data_);
+}
+
+const std::string& value::string() const {
+  if (!is_string()) {
+    type_error("a string");
+  }
+  return std::get<std::string>(data_);
+}
+
+const array& value::items() const {
+  if (!is_array()) {
+    type_error("an array");
+  }
+  return std::get<array>(data_);
+}
+
+const object& value::members() const {
+  if (!is_object()) {
+    type_error("an object");
+  }
+  return std::get<object>(data_);
+}
+
+const value* value::find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : std::get<object>(data_)) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+value parse(const std::string& text) {
+  return parser{text}.parse_document();
+}
+
+}  // namespace ivc::json

@@ -1,0 +1,58 @@
+// Minimal JSON reader.
+//
+// Just enough of RFC 8259 to parse back what this codebase writes —
+// result_table::to_json, the bench json_report, and the sim/runlog
+// JSONL records — without an external dependency: null/bool/number/
+// string/array/object, string escapes including \uXXXX, full-precision
+// numbers via strtod. Object members keep file order (our writers are
+// deterministic, so round-trip comparisons stay simple).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ivc::json {
+
+class value;
+using array = std::vector<value>;
+using object = std::vector<std::pair<std::string, value>>;
+
+class value {
+ public:
+  value() : data_{nullptr} {}
+  explicit value(std::nullptr_t) : data_{nullptr} {}
+  explicit value(bool b) : data_{b} {}
+  explicit value(double n) : data_{n} {}
+  explicit value(std::string s) : data_{std::move(s)} {}
+  explicit value(array a) : data_{std::move(a)} {}
+  explicit value(object o) : data_{std::move(o)} {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<array>(data_); }
+  bool is_object() const { return std::holds_alternative<object>(data_); }
+
+  // Typed accessors; throw std::invalid_argument on type mismatch.
+  bool boolean() const;
+  double number() const;
+  const std::string& string() const;
+  const array& items() const;
+  const object& members() const;
+
+  // Object member lookup (first match); nullptr when absent or when
+  // this value is not an object.
+  const value* find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, array, object> data_;
+};
+
+// Parses one JSON document (surrounding whitespace allowed); throws
+// std::invalid_argument with a position on malformed input.
+value parse(const std::string& text);
+
+}  // namespace ivc::json

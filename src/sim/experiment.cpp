@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/json_min.h"
 #include "common/parallel.h"
 
 namespace ivc::sim {
@@ -44,10 +45,11 @@ std::vector<double> summarize(const std::vector<trial_outcome>& outcomes) {
           static_cast<double>(successes), n};
 }
 
-std::vector<std::string> grid_axis_names(const grid& g) {
+template <class Grid>
+std::vector<std::string> grid_axis_names(const Grid& g) {
   std::vector<std::string> names;
   names.reserve(g.axes().size());
-  for (const axis& a : g.axes()) {
+  for (const auto& a : g.axes()) {
     names.push_back(a.name);
   }
   return names;
@@ -67,6 +69,119 @@ std::size_t chunks_per_point(std::size_t points, std::size_t trials,
   }
   return std::min(trials, (pool + points - 1) / points);
 }
+
+// The (point × trial-chunk) scheduling every engine path shares:
+// run_chunk(point, t_lo, t_hi, slots) fills trial slots [t_lo, t_hi) of
+// its point's pre-sized row. Slots are disjoint across tasks, so the
+// collected outcomes are bit-identical at any thread count.
+template <class Outcome, class RunChunk>
+std::vector<std::vector<Outcome>> scheduled_outcomes(
+    std::size_t points, std::size_t trials, std::size_t num_threads,
+    const RunChunk& run_chunk) {
+  const std::size_t chunks = chunks_per_point(points, trials, num_threads);
+  const std::size_t chunk_len = (trials + chunks - 1) / chunks;
+  std::vector<std::vector<Outcome>> outcomes(points,
+                                             std::vector<Outcome>(trials));
+  parallel_for(points * chunks, num_threads, [&](std::size_t w) {
+    const std::size_t p = w / chunks;
+    const std::size_t t_lo = (w % chunks) * chunk_len;
+    const std::size_t t_hi = std::min(trials, t_lo + chunk_len);
+    if (t_lo >= t_hi) {
+      return;
+    }
+    run_chunk(p, t_lo, t_hi, outcomes[p]);
+  });
+  return outcomes;
+}
+
+// RFC 4180: quote a CSV field when it contains a comma, a quote, or a
+// line break; embedded quotes double.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    return s;
+  }
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits RFC 4180 text into records of fields (handles quoted fields
+// with embedded commas, quotes, and line breaks). A trailing newline
+// does not produce an empty record.
+std::vector<std::vector<std::string>> parse_csv_records(
+    const std::string& csv) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once the current record has content
+  for (std::size_t i = 0; i < csv.size(); ++i) {
+    const char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      record.push_back(std::move(field));
+      field.clear();
+      field_started = true;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < csv.size() && csv[i + 1] == '\n') {
+        ++i;
+      }
+      if (field_started || !field.empty()) {
+        record.push_back(std::move(field));
+        field.clear();
+        records.push_back(std::move(record));
+        record.clear();
+        field_started = false;
+      }
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    throw std::invalid_argument{"result_table::from_csv: unterminated quote"};
+  }
+  if (field_started || !field.empty()) {
+    record.push_back(std::move(field));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+double parse_double_exact(const std::string& s, const char* context) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::invalid_argument{std::string{context} + ": bad number '" + s +
+                                "'"};
+  }
+  return v;
+}
+
+const std::string coord_suffix = ":coord";
 
 }  // namespace
 
@@ -90,8 +205,23 @@ std::string json_escape(const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
       default:
-        out += c;
+        // Remaining control characters would corrupt the document (and
+        // a JSONL run log in particular); emit \u00XX.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
         break;
     }
   }
@@ -99,15 +229,6 @@ std::string json_escape(const std::string& s) {
 }
 
 // -------------------------------------------------------------------- axes
-
-bool axis::session_mutable() const {
-  for (const axis_point& p : points) {
-    if (!p.apply_session) {
-      return false;
-    }
-  }
-  return !points.empty();
-}
 
 axis distance_axis(const std::vector<double>& distances_m) {
   axis a{"distance_m", {}};
@@ -192,104 +313,80 @@ axis custom_axis(std::string name, std::vector<axis_point> points) {
   return axis{std::move(name), std::move(points)};
 }
 
-// -------------------------------------------------------------------- grid
-
-grid::grid(std::vector<axis> axes, bool cartesian)
-    : axes_{std::move(axes)}, cartesian_{cartesian} {
-  expects(!axes_.empty(), "grid: need at least one axis");
-  for (const axis& a : axes_) {
-    expects(!a.points.empty(), "grid: axis '" + a.name + "' has no values");
-    for (const axis_point& p : a.points) {
-      expects(static_cast<bool>(p.apply),
-              "grid: axis '" + a.name + "' has a point without apply()");
-    }
-  }
-  if (cartesian_) {
-    num_points_ = 1;
-    for (const axis& a : axes_) {
-      num_points_ *= a.points.size();
-    }
-  } else {
-    num_points_ = axes_.front().points.size();
-    for (const axis& a : axes_) {
-      expects(a.points.size() == num_points_,
-              "grid::zipped: axes must have equal lengths");
-    }
-  }
+genuine_axis custom_axis(std::string name,
+                         std::vector<genuine_axis_point> points) {
+  return genuine_axis{std::move(name), std::move(points)};
 }
 
-grid grid::cartesian(std::vector<axis> axes) {
-  return grid{std::move(axes), true};
-}
+// ------------------------------------------------------------ genuine axes
 
-grid grid::zipped(std::vector<axis> axes) {
-  return grid{std::move(axes), false};
-}
-
-std::vector<std::size_t> grid::value_indices(std::size_t point) const {
-  expects(point < num_points_, "grid: point index out of range");
-  std::vector<std::size_t> indices(axes_.size());
-  if (cartesian_) {
-    // Last axis fastest-varying, like nested loops.
-    std::size_t rest = point;
-    for (std::size_t a = axes_.size(); a-- > 0;) {
-      const std::size_t n = axes_[a].points.size();
-      indices[a] = rest % n;
-      rest /= n;
-    }
-  } else {
-    for (std::size_t a = 0; a < axes_.size(); ++a) {
-      indices[a] = point;
-    }
+genuine_axis genuine_ambient_axis(const std::vector<double>& ambient_spl_db) {
+  genuine_axis a{"ambient_db", {}};
+  for (const double spl : ambient_spl_db) {
+    a.points.push_back(genuine_axis_point{
+        format_value(spl), spl,
+        [spl](genuine_scenario& sc) { sc.environment.ambient_spl_db = spl; },
+        [spl](genuine_session& s) { s.set_ambient(spl); }});
   }
-  return indices;
+  return a;
 }
 
-std::vector<std::string> grid::labels(std::size_t point) const {
-  const std::vector<std::size_t> indices = value_indices(point);
-  std::vector<std::string> labels(axes_.size());
-  for (std::size_t a = 0; a < axes_.size(); ++a) {
-    labels[a] = axes_[a].points[indices[a]].label;
+genuine_axis genuine_distance_axis(const std::vector<double>& distances_m) {
+  genuine_axis a{"distance_m", {}};
+  for (const double d : distances_m) {
+    a.points.push_back(genuine_axis_point{
+        format_value(d), d,
+        [d](genuine_scenario& sc) { sc.distance_m = d; },
+        [d](genuine_session& s) { s.set_distance(d); }});
   }
-  return labels;
+  return a;
 }
 
-std::vector<double> grid::coords(std::size_t point) const {
-  const std::vector<std::size_t> indices = value_indices(point);
-  std::vector<double> coords(axes_.size());
-  for (std::size_t a = 0; a < axes_.size(); ++a) {
-    coords[a] = axes_[a].points[indices[a]].value;
+genuine_axis genuine_level_axis(const std::vector<double>& levels_db_spl) {
+  genuine_axis a{"level_db", {}};
+  for (const double level : levels_db_spl) {
+    a.points.push_back(genuine_axis_point{
+        format_value(level), level,
+        [level](genuine_scenario& sc) { sc.level_db_spl_at_1m = level; },
+        [level](genuine_session& s) { s.set_level(level); }});
   }
-  return coords;
+  return a;
 }
 
-attack_scenario grid::scenario_at(std::size_t point,
-                                  const attack_scenario& base) const {
-  const std::vector<std::size_t> indices = value_indices(point);
-  attack_scenario sc = base;
-  for (std::size_t a = 0; a < axes_.size(); ++a) {
-    axes_[a].points[indices[a]].apply(sc);
+genuine_axis genuine_device_axis(
+    const std::vector<mic::device_profile>& devices) {
+  genuine_axis a{"device", {}};
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const mic::device_profile d = devices[i];
+    a.points.push_back(genuine_axis_point{
+        d.name, static_cast<double>(i),
+        [d](genuine_scenario& sc) { sc.device = d; },
+        [d](genuine_session& s) { s.set_device(d); }});
   }
-  return sc;
+  return a;
 }
 
-bool grid::session_mutable() const {
-  for (const axis& a : axes_) {
-    if (!a.session_mutable()) {
-      return false;
-    }
+genuine_axis genuine_phrase_axis(const std::vector<std::string>& phrase_ids) {
+  genuine_axis a{"phrase", {}};
+  for (std::size_t i = 0; i < phrase_ids.size(); ++i) {
+    const std::string id = phrase_ids[i];
+    a.points.push_back(genuine_axis_point{
+        id, static_cast<double>(i),
+        [id](genuine_scenario& sc) { sc.phrase_id = id; }, nullptr});
   }
-  return true;
+  return a;
 }
 
-void grid::mutate_session(std::size_t point, attack_session& session) const {
-  const std::vector<std::size_t> indices = value_indices(point);
-  for (std::size_t a = 0; a < axes_.size(); ++a) {
-    const axis_point& p = axes_[a].points[indices[a]];
-    expects(static_cast<bool>(p.apply_session),
-            "grid: axis '" + axes_[a].name + "' is not session-mutable");
-    p.apply_session(session);
+genuine_axis genuine_voice_axis(
+    const std::vector<std::pair<std::string, synth::voice_params>>& voices) {
+  genuine_axis a{"voice", {}};
+  for (std::size_t i = 0; i < voices.size(); ++i) {
+    const synth::voice_params v = voices[i].second;
+    a.points.push_back(genuine_axis_point{
+        voices[i].first, static_cast<double>(i),
+        [v](genuine_scenario& sc) { sc.voice = v; }, nullptr});
   }
+  return a;
 }
 
 // ----------------------------------------------------------------- results
@@ -297,7 +394,24 @@ void grid::mutate_session(std::size_t point, attack_session& session) const {
 result_table::result_table(std::vector<std::string> axis_names,
                            std::vector<std::string> metric_names)
     : axis_names_{std::move(axis_names)},
-      metric_names_{std::move(metric_names)} {}
+      metric_names_{std::move(metric_names)} {
+  // ":coord" is reserved for the CSV coordinate columns; a column named
+  // that way would make a written table parse back with the wrong
+  // shape, so reject it at the source.
+  const auto reserved = [](const std::string& name) {
+    return name.size() >= coord_suffix.size() &&
+           name.compare(name.size() - coord_suffix.size(),
+                        coord_suffix.size(), coord_suffix) == 0;
+  };
+  for (const std::string& name : axis_names_) {
+    expects(!reserved(name),
+            "result_table: axis name '" + name + "' uses reserved ':coord'");
+  }
+  for (const std::string& name : metric_names_) {
+    expects(!reserved(name),
+            "result_table: metric name '" + name + "' uses reserved ':coord'");
+  }
+}
 
 double result_table::metric(std::size_t row_index,
                             const std::string& name) const {
@@ -332,24 +446,26 @@ void result_table::add_row(row r) {
 
 void result_table::write_csv(std::ostream& out) const {
   bool first = true;
-  for (const std::string& a : axis_names_) {
-    out << (first ? "" : ",") << a;
+  const auto cell = [&](const std::string& text) {
+    out << (first ? "" : ",") << csv_field(text);
     first = false;
+  };
+  for (const std::string& a : axis_names_) {
+    cell(a);
+    cell(a + coord_suffix);
   }
   for (const std::string& m : metric_names_) {
-    out << (first ? "" : ",") << m;
-    first = false;
+    cell(m);
   }
   out << "\n";
   for (const row& r : rows_) {
     first = true;
-    for (const std::string& label : r.labels) {
-      out << (first ? "" : ",") << label;
-      first = false;
+    for (std::size_t a = 0; a < r.labels.size(); ++a) {
+      cell(r.labels[a]);
+      cell(format_double_exact(r.coords[a]));
     }
     for (const double m : r.metrics) {
-      out << (first ? "" : ",") << format_double_exact(m);
-      first = false;
+      cell(format_double_exact(m));
     }
     out << "\n";
   }
@@ -365,6 +481,49 @@ void result_table::write_csv_file(const std::string& path) const {
   std::ofstream out{path};
   ensures(out.good(), "result_table: cannot open '" + path + "'");
   write_csv(out);
+}
+
+result_table result_table::from_csv(const std::string& csv) {
+  const std::vector<std::vector<std::string>> records =
+      parse_csv_records(csv);
+  if (records.empty()) {
+    throw std::invalid_argument{"result_table::from_csv: empty input"};
+  }
+  const std::vector<std::string>& header = records.front();
+
+  // The axis block is self-describing: each axis label column is
+  // immediately followed by its "<axis>:coord" column.
+  std::vector<std::string> axis_names;
+  std::size_t col = 0;
+  while (col + 1 < header.size() &&
+         header[col + 1] == header[col] + coord_suffix) {
+    axis_names.push_back(header[col]);
+    col += 2;
+  }
+  std::vector<std::string> metric_names(header.begin() + col, header.end());
+
+  result_table table{axis_names, metric_names};
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const std::vector<std::string>& cells = records[i];
+    if (cells.size() != header.size()) {
+      throw std::invalid_argument{
+          "result_table::from_csv: row " + std::to_string(i) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(header.size())};
+    }
+    row r;
+    for (std::size_t a = 0; a < axis_names.size(); ++a) {
+      r.labels.push_back(cells[2 * a]);
+      r.coords.push_back(
+          parse_double_exact(cells[2 * a + 1], "result_table::from_csv"));
+    }
+    for (std::size_t m = 2 * axis_names.size(); m < cells.size(); ++m) {
+      r.metrics.push_back(
+          parse_double_exact(cells[m], "result_table::from_csv"));
+    }
+    table.add_row(std::move(r));
+  }
+  return table;
 }
 
 void result_table::write_json(std::ostream& out) const {
@@ -407,6 +566,47 @@ void result_table::write_json_file(const std::string& path) const {
   std::ofstream out{path};
   ensures(out.good(), "result_table: cannot open '" + path + "'");
   write_json(out);
+}
+
+result_table result_table::from_json(const std::string& text) {
+  const json::value doc = json::parse(text);
+  const auto names_of = [](const json::value* v, const char* what) {
+    if (v == nullptr || !v->is_array()) {
+      throw std::invalid_argument{
+          std::string{"result_table::from_json: missing "} + what};
+    }
+    std::vector<std::string> names;
+    for (const json::value& item : v->items()) {
+      names.push_back(item.string());
+    }
+    return names;
+  };
+  const auto numbers_of = [](const json::value* v, const char* what) {
+    if (v == nullptr || !v->is_array()) {
+      throw std::invalid_argument{
+          std::string{"result_table::from_json: row missing "} + what};
+    }
+    std::vector<double> numbers;
+    for (const json::value& item : v->items()) {
+      numbers.push_back(item.number());
+    }
+    return numbers;
+  };
+
+  result_table table{names_of(doc.find("axis_names"), "axis_names"),
+                     names_of(doc.find("metric_names"), "metric_names")};
+  const json::value* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    throw std::invalid_argument{"result_table::from_json: missing rows"};
+  }
+  for (const json::value& r : rows->items()) {
+    row parsed;
+    parsed.labels = names_of(r.find("labels"), "labels");
+    parsed.coords = numbers_of(r.find("coords"), "coords");
+    parsed.metrics = numbers_of(r.find("metrics"), "metrics");
+    table.add_row(std::move(parsed));
+  }
+  return table;
 }
 
 void result_table::print(std::FILE* out) const {
@@ -467,30 +667,22 @@ result_table engine::run(const attack_scenario& base, const grid& g,
   }
   result_table table{grid_axis_names(g), success_metric_names()};
   const std::size_t trials = config_.trials_per_point;
-  const std::size_t chunks =
-      chunks_per_point(g.size(), trials, config_.num_threads);
-  const std::size_t chunk_len = (trials + chunks - 1) / chunks;
-  std::vector<std::vector<trial_outcome>> outcomes(
-      g.size(), std::vector<trial_outcome>(trials));
-  parallel_for(g.size() * chunks, config_.num_threads, [&](std::size_t w) {
-    const std::size_t p = w / chunks;
-    const std::size_t t_lo = (w % chunks) * chunk_len;
-    const std::size_t t_hi = std::min(trials, t_lo + chunk_len);
-    if (t_lo >= t_hi) {
-      return;
-    }
-    attack_scenario sc = g.scenario_at(p, base);
-    // One victim per run: every point shares the run-seed enrollment
-    // (unless the caller pinned one), so the template cache makes the
-    // per-point session builds pay synthesis + rig only.
-    if (sc.enrollment_seed == 0) {
-      sc.enrollment_seed = config_.seed ^ 0x5eedu;
-    }
-    const attack_session session{sc, mix_seed(config_.seed, p)};
-    for (std::size_t t = t_lo; t < t_hi; ++t) {
-      outcomes[p][t] = eval(session.run_trial(t));
-    }
-  });
+  const auto outcomes = scheduled_outcomes<trial_outcome>(
+      g.size(), trials, config_.num_threads,
+      [&](std::size_t p, std::size_t t_lo, std::size_t t_hi,
+          std::vector<trial_outcome>& slots) {
+        attack_scenario sc = g.scenario_at(p, base);
+        // One victim per run: every point shares the run-seed enrollment
+        // (unless the caller pinned one), so the template cache makes the
+        // per-point session builds pay synthesis + rig only.
+        if (sc.enrollment_seed == 0) {
+          sc.enrollment_seed = config_.seed ^ 0x5eedu;
+        }
+        const attack_session session{sc, mix_seed(config_.seed, p)};
+        for (std::size_t t = t_lo; t < t_hi; ++t) {
+          slots[t] = eval(session.run_trial(t));
+        }
+      });
   for (std::size_t p = 0; p < g.size(); ++p) {
     table.add_row(
         result_table::row{g.labels(p), g.coords(p), summarize(outcomes[p])});
@@ -509,27 +701,131 @@ result_table engine::run_over(const attack_session& prototype, const grid& g,
           "engine::run_over: every axis must be session-mutable");
   result_table table{grid_axis_names(g), success_metric_names()};
   const std::size_t trials = config_.trials_per_point;
-  const std::size_t chunks =
-      chunks_per_point(g.size(), trials, config_.num_threads);
-  const std::size_t chunk_len = (trials + chunks - 1) / chunks;
-  std::vector<std::vector<trial_outcome>> outcomes(
-      g.size(), std::vector<trial_outcome>(trials));
-  parallel_for(g.size() * chunks, config_.num_threads, [&](std::size_t w) {
-    const std::size_t p = w / chunks;
-    const std::size_t t_lo = (w % chunks) * chunk_len;
-    const std::size_t t_hi = std::min(trials, t_lo + chunk_len);
-    if (t_lo >= t_hi) {
-      return;
+  const auto outcomes = scheduled_outcomes<trial_outcome>(
+      g.size(), trials, config_.num_threads,
+      [&](std::size_t p, std::size_t t_lo, std::size_t t_hi,
+          std::vector<trial_outcome>& slots) {
+        attack_session session = prototype;  // task-private copy
+        g.mutate_session(p, session);
+        // Trial indices accumulate across points, matching the legacy
+        // serial sweeps bit for bit.
+        const std::uint64_t base_index = p * trials;
+        for (std::size_t t = t_lo; t < t_hi; ++t) {
+          slots[t] = eval(session.run_trial(base_index + t));
+        }
+      });
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    table.add_row(
+        result_table::row{g.labels(p), g.coords(p), summarize(outcomes[p])});
+  }
+  return table;
+}
+
+result_table engine::run_trial_means(const attack_scenario& base,
+                                     const grid& g,
+                                     std::vector<std::string> metric_names,
+                                     const trial_metrics_evaluator& eval)
+    const {
+  expects(!metric_names.empty(), "engine::run_trial_means: need metric names");
+  const std::size_t num_metrics = metric_names.size();
+  result_table table{grid_axis_names(g), std::move(metric_names)};
+  const std::size_t trials = config_.trials_per_point;
+
+  const auto checked = [&](std::vector<double> metrics) {
+    ensures(metrics.size() == num_metrics,
+            "engine::run_trial_means: evaluator returned wrong metric count");
+    return metrics;
+  };
+
+  std::vector<std::vector<std::vector<double>>> outcomes;
+  if (g.session_mutable()) {
+    // Same fast path as run_over: one build, task-private copies, trial
+    // indices accumulating across points.
+    const attack_session prototype{base, config_.seed};
+    outcomes = scheduled_outcomes<std::vector<double>>(
+        g.size(), trials, config_.num_threads,
+        [&](std::size_t p, std::size_t t_lo, std::size_t t_hi,
+            std::vector<std::vector<double>>& slots) {
+          attack_session session = prototype;
+          g.mutate_session(p, session);
+          const std::uint64_t base_index = p * trials;
+          for (std::size_t t = t_lo; t < t_hi; ++t) {
+            slots[t] = checked(eval(session.run_trial(base_index + t)));
+          }
+        });
+  } else {
+    outcomes = scheduled_outcomes<std::vector<double>>(
+        g.size(), trials, config_.num_threads,
+        [&](std::size_t p, std::size_t t_lo, std::size_t t_hi,
+            std::vector<std::vector<double>>& slots) {
+          attack_scenario sc = g.scenario_at(p, base);
+          if (sc.enrollment_seed == 0) {
+            sc.enrollment_seed = config_.seed ^ 0x5eedu;
+          }
+          const attack_session session{sc, mix_seed(config_.seed, p)};
+          for (std::size_t t = t_lo; t < t_hi; ++t) {
+            slots[t] = checked(eval(session.run_trial(t)));
+          }
+        });
+  }
+
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    std::vector<double> means(num_metrics, 0.0);
+    for (const std::vector<double>& trial : outcomes[p]) {
+      for (std::size_t m = 0; m < num_metrics; ++m) {
+        means[m] += trial[m];
+      }
     }
-    attack_session session = prototype;  // task-private copy
-    g.mutate_session(p, session);
-    // Trial indices accumulate across points, matching the legacy
-    // serial sweeps bit for bit.
-    const std::uint64_t base_index = p * trials;
-    for (std::size_t t = t_lo; t < t_hi; ++t) {
-      outcomes[p][t] = eval(session.run_trial(base_index + t));
+    for (double& m : means) {
+      m /= static_cast<double>(trials);
     }
-  });
+    table.add_row(
+        result_table::row{g.labels(p), g.coords(p), std::move(means)});
+  }
+  return table;
+}
+
+result_table engine::run_genuine(const genuine_scenario& base,
+                                 const genuine_grid& g,
+                                 const genuine_trial_evaluator& eval) const {
+  result_table table{grid_axis_names(g), success_metric_names()};
+  const std::size_t trials = config_.trials_per_point;
+
+  std::vector<std::vector<trial_outcome>> outcomes;
+  if (g.session_mutable()) {
+    // One rendition for the whole grid; global trial indices keep the
+    // noise streams distinct per (point, trial). Warm the field cache
+    // so copies only re-propagate when their point mutates placement.
+    const genuine_session prototype{base, config_.seed};
+    prototype.prepare();
+    outcomes = scheduled_outcomes<trial_outcome>(
+        g.size(), trials, config_.num_threads,
+        [&](std::size_t p, std::size_t t_lo, std::size_t t_hi,
+            std::vector<trial_outcome>& slots) {
+          genuine_session session = prototype;  // task-private copy
+          g.mutate_session(p, session);
+          const std::uint64_t base_index = p * trials;
+          for (std::size_t t = t_lo; t < t_hi; ++t) {
+            slots[t] = eval(session.run_trial(base_index + t));
+          }
+        });
+  } else {
+    // Per-point sessions seeded from the point index: every axis —
+    // ambient level included — lands in the per-trial noise streams,
+    // so no two grid points reuse a voice or noise rendition (the
+    // legacy F-R9 loop reset its seed per ambient level and did).
+    outcomes = scheduled_outcomes<trial_outcome>(
+        g.size(), trials, config_.num_threads,
+        [&](std::size_t p, std::size_t t_lo, std::size_t t_hi,
+            std::vector<trial_outcome>& slots) {
+          const genuine_session session{g.scenario_at(p, base),
+                                        mix_seed(config_.seed, p)};
+          for (std::size_t t = t_lo; t < t_hi; ++t) {
+            slots[t] = eval(session.run_trial(t));
+          }
+        });
+  }
+
   for (std::size_t p = 0; p < g.size(); ++p) {
     table.add_row(
         result_table::row{g.labels(p), g.coords(p), summarize(outcomes[p])});
@@ -549,6 +845,28 @@ result_table engine::run_metrics(const attack_scenario& base, const grid& g,
         eval(g.scenario_at(p, base), mix_seed(config_.seed, p), p);
     ensures(metrics.size() == num_metrics,
             "engine::run_metrics: evaluator returned wrong metric count");
+    rows[p] = result_table::row{g.labels(p), g.coords(p), std::move(metrics)};
+  });
+  for (result_table::row& r : rows) {
+    table.add_row(std::move(r));
+  }
+  return table;
+}
+
+result_table engine::run_genuine_metrics(
+    const genuine_scenario& base, const genuine_grid& g,
+    std::vector<std::string> metric_names,
+    const genuine_point_evaluator& eval) const {
+  expects(!metric_names.empty(),
+          "engine::run_genuine_metrics: need metric names");
+  const std::size_t num_metrics = metric_names.size();
+  result_table table{grid_axis_names(g), std::move(metric_names)};
+  std::vector<result_table::row> rows(g.size());
+  parallel_for(g.size(), config_.num_threads, [&](std::size_t p) {
+    std::vector<double> metrics =
+        eval(g.scenario_at(p, base), mix_seed(config_.seed, p), p);
+    ensures(metrics.size() == num_metrics,
+            "engine::run_genuine_metrics: evaluator returned wrong count");
     rows[p] = result_table::row{g.labels(p), g.coords(p), std::move(metrics)};
   });
   for (result_table::row& r : rows) {

@@ -1,10 +1,11 @@
 // Declarative experiment engine.
 //
-// Every result in the paper is a grid of attack trials over scenario
-// axes — distance, power, carrier, device, ambient, voice, command.
-// Instead of each figure hand-rolling its sweep loop, an experiment is
-// declared as a `grid` of `axis` values over a base `attack_scenario`
-// and handed to the `engine`, which:
+// Every result in the paper is a grid of trials over scenario axes —
+// distance, power, carrier, device, ambient, voice, command — on both
+// sides of the ROC: attack captures (detection / success rates) and
+// genuine captures (false positives). Instead of each figure
+// hand-rolling its sweep loop, an experiment is declared as a `grid` of
+// `axis` values over a base scenario and handed to the `engine`, which:
 //
 //   * executes grid points on a thread pool (common/parallel.h),
 //     splitting a point's trials across the pool when the grid alone
@@ -12,17 +13,20 @@
 //   * seeds every point and trial deterministically from the run seed
 //     and the point index — results are bit-identical at any thread
 //     count and any trial split,
-//   * uses a fast path when every axis can mutate a prepared
-//     `attack_session` in place (distance/power/device), so the
-//     expensive rig build happens once per run instead of once per
-//     point,
+//   * uses a fast path when every axis can mutate a prepared session in
+//     place (distance/power/device on the attack side; ambient/
+//     distance/level/device on the genuine side), so the expensive
+//     build happens once per run instead of once per point,
 //   * collects results into a typed `result_table` with success rates,
-//     Wilson intervals, and CSV/JSON writers, so benches stop
-//     formatting by hand.
+//     Wilson intervals, and CSV/JSON writers **and parsers**, so benches
+//     stop formatting by hand and written tables round-trip.
 //
-// New axes need no engine changes: `custom_axis` takes arbitrary
-// per-value setter callbacks over the scenario (and optionally the
-// session).
+// The axis/grid machinery is templated over (scenario, session) pairs:
+// `axis`/`grid` sweep `attack_scenario`/`attack_session`,
+// `genuine_axis`/`genuine_grid` sweep `genuine_scenario`/
+// `genuine_session`. New axes need no engine changes: `custom_axis`
+// takes arbitrary per-value setter callbacks over the scenario (and
+// optionally the session).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "sim/scenario.h"
 #include "sim/sweep.h"
 
@@ -43,20 +48,34 @@ namespace ivc::sim {
 // One value of one axis: a display label, a numeric coordinate for
 // plotting/CSV, the scenario mutation it stands for, and — when the
 // mutation is cheap on a live session — the session fast-path mutation.
-struct axis_point {
+template <class Scenario, class Session>
+struct basic_axis_point {
   std::string label;
   double value = 0.0;
-  std::function<void(attack_scenario&)> apply;
-  std::function<void(attack_session&)> apply_session;  // optional
+  std::function<void(Scenario&)> apply;
+  std::function<void(Session&)> apply_session;  // optional
 };
 
-struct axis {
+template <class Scenario, class Session>
+struct basic_axis {
   std::string name;
-  std::vector<axis_point> points;
+  std::vector<basic_axis_point<Scenario, Session>> points;
 
   // True when every point can mutate a prepared session in place.
-  bool session_mutable() const;
+  bool session_mutable() const {
+    for (const basic_axis_point<Scenario, Session>& p : points) {
+      if (!p.apply_session) {
+        return false;
+      }
+    }
+    return !points.empty();
+  }
 };
+
+using axis_point = basic_axis_point<attack_scenario, attack_session>;
+using axis = basic_axis<attack_scenario, attack_session>;
+using genuine_axis_point = basic_axis_point<genuine_scenario, genuine_session>;
+using genuine_axis = basic_axis<genuine_scenario, genuine_session>;
 
 axis distance_axis(const std::vector<double>& distances_m);
 axis power_axis(const std::vector<double>& powers_w);
@@ -67,43 +86,148 @@ axis command_axis(const std::vector<std::string>& command_ids);
 axis voice_axis(
     const std::vector<std::pair<std::string, synth::voice_params>>& voices);
 
-// Extension point: any named list of labelled scenario mutations.
+// Genuine-side vocabulary (the F-R9 false-positive grids). Ambient,
+// distance, talker level, and device mutate a prepared genuine_session
+// in place; phrase and voice re-render the rendition, so they are
+// scenario-only.
+genuine_axis genuine_ambient_axis(const std::vector<double>& ambient_spl_db);
+genuine_axis genuine_distance_axis(const std::vector<double>& distances_m);
+genuine_axis genuine_level_axis(const std::vector<double>& levels_db_spl);
+genuine_axis genuine_device_axis(
+    const std::vector<mic::device_profile>& devices);
+genuine_axis genuine_phrase_axis(const std::vector<std::string>& phrase_ids);
+genuine_axis genuine_voice_axis(
+    const std::vector<std::pair<std::string, synth::voice_params>>& voices);
+
+// Extension point: any named list of labelled scenario mutations, on
+// either side. (Concrete overloads, not a template: callers pass braced
+// initializer lists, which cannot deduce the scenario type.)
 axis custom_axis(std::string name, std::vector<axis_point> points);
+genuine_axis custom_axis(std::string name,
+                         std::vector<genuine_axis_point> points);
 
 // ------------------------------------------------------------------ grid
 
 // An ordered set of experiment points over one or more axes. Cartesian
 // grids enumerate the cross product (last axis fastest-varying, like
 // nested loops); zipped grids advance all axes together.
-class grid {
+template <class Scenario, class Session>
+class basic_grid {
  public:
-  static grid cartesian(std::vector<axis> axes);
-  static grid zipped(std::vector<axis> axes);
+  using axis_type = basic_axis<Scenario, Session>;
+
+  static basic_grid cartesian(std::vector<axis_type> axes) {
+    return basic_grid{std::move(axes), true};
+  }
+  static basic_grid zipped(std::vector<axis_type> axes) {
+    return basic_grid{std::move(axes), false};
+  }
 
   std::size_t size() const { return num_points_; }
-  const std::vector<axis>& axes() const { return axes_; }
+  const std::vector<axis_type>& axes() const { return axes_; }
 
   // Per-axis value index of a grid point.
-  std::vector<std::size_t> value_indices(std::size_t point) const;
+  std::vector<std::size_t> value_indices(std::size_t point) const {
+    expects(point < num_points_, "grid: point index out of range");
+    std::vector<std::size_t> indices(axes_.size());
+    if (cartesian_) {
+      // Last axis fastest-varying, like nested loops.
+      std::size_t rest = point;
+      for (std::size_t a = axes_.size(); a-- > 0;) {
+        const std::size_t n = axes_[a].points.size();
+        indices[a] = rest % n;
+        rest /= n;
+      }
+    } else {
+      for (std::size_t a = 0; a < axes_.size(); ++a) {
+        indices[a] = point;
+      }
+    }
+    return indices;
+  }
+
   // Label / numeric coordinate per axis at a grid point.
-  std::vector<std::string> labels(std::size_t point) const;
-  std::vector<double> coords(std::size_t point) const;
+  std::vector<std::string> labels(std::size_t point) const {
+    const std::vector<std::size_t> indices = value_indices(point);
+    std::vector<std::string> labels(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      labels[a] = axes_[a].points[indices[a]].label;
+    }
+    return labels;
+  }
+
+  std::vector<double> coords(std::size_t point) const {
+    const std::vector<std::size_t> indices = value_indices(point);
+    std::vector<double> coords(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      coords[a] = axes_[a].points[indices[a]].value;
+    }
+    return coords;
+  }
 
   // The base scenario with every axis mutation for `point` applied.
-  attack_scenario scenario_at(std::size_t point,
-                              const attack_scenario& base) const;
+  Scenario scenario_at(std::size_t point, const Scenario& base) const {
+    const std::vector<std::size_t> indices = value_indices(point);
+    Scenario sc = base;
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      axes_[a].points[indices[a]].apply(sc);
+    }
+    return sc;
+  }
 
   // True when every axis is session-mutable (engine fast path).
-  bool session_mutable() const;
-  void mutate_session(std::size_t point, attack_session& session) const;
+  bool session_mutable() const {
+    for (const axis_type& a : axes_) {
+      if (!a.session_mutable()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void mutate_session(std::size_t point, Session& session) const {
+    const std::vector<std::size_t> indices = value_indices(point);
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const basic_axis_point<Scenario, Session>& p =
+          axes_[a].points[indices[a]];
+      expects(static_cast<bool>(p.apply_session),
+              "grid: axis '" + axes_[a].name + "' is not session-mutable");
+      p.apply_session(session);
+    }
+  }
 
  private:
-  grid(std::vector<axis> axes, bool cartesian);
+  basic_grid(std::vector<axis_type> axes, bool cartesian)
+      : axes_{std::move(axes)}, cartesian_{cartesian} {
+    expects(!axes_.empty(), "grid: need at least one axis");
+    for (const axis_type& a : axes_) {
+      expects(!a.points.empty(), "grid: axis '" + a.name + "' has no values");
+      for (const basic_axis_point<Scenario, Session>& p : a.points) {
+        expects(static_cast<bool>(p.apply),
+                "grid: axis '" + a.name + "' has a point without apply()");
+      }
+    }
+    if (cartesian_) {
+      num_points_ = 1;
+      for (const axis_type& a : axes_) {
+        num_points_ *= a.points.size();
+      }
+    } else {
+      num_points_ = axes_.front().points.size();
+      for (const axis_type& a : axes_) {
+        expects(a.points.size() == num_points_,
+                "grid::zipped: axes must have equal lengths");
+      }
+    }
+  }
 
-  std::vector<axis> axes_;
+  std::vector<axis_type> axes_;
   bool cartesian_ = true;
   std::size_t num_points_ = 0;
 };
+
+using grid = basic_grid<attack_scenario, attack_session>;
+using genuine_grid = basic_grid<genuine_scenario, genuine_session>;
 
 // --------------------------------------------------------------- results
 
@@ -143,17 +267,27 @@ class result_table {
 
   void add_row(row r);  // validates column counts
 
-  // CSV: header of axis + metric names; doubles at full precision so a
-  // written table parses back bit-identically.
+  // CSV: per axis a label column and a "<axis>:coord" numeric column,
+  // then the metric columns. Fields are quoted per RFC 4180 ('"'
+  // doubling) and doubles written at full precision, so a written table
+  // parses back bit-identically through from_csv.
   std::string to_csv() const;
   void write_csv(std::ostream& out) const;
   void write_csv_file(const std::string& path) const;
+
+  // Inverse of to_csv(): throws std::invalid_argument on malformed
+  // input or a header without the axis/coord column structure.
+  static result_table from_csv(const std::string& csv);
 
   // JSON object {axis_names, metric_names, rows:[{labels, coords,
   // metrics}]} at full precision.
   std::string to_json() const;
   void write_json(std::ostream& out) const;
   void write_json_file(const std::string& path) const;
+
+  // Inverse of to_json(); throws std::invalid_argument on malformed or
+  // mis-shaped input.
+  static result_table from_json(const std::string& json);
 
   // Fixed-width human-readable table (what benches print).
   void print(std::FILE* out = stdout) const;
@@ -182,6 +316,16 @@ struct trial_outcome {
 };
 using trial_evaluator = std::function<trial_outcome(const trial_result&)>;
 
+// Genuine-side evaluator: judges one genuine capture (e.g. "the defense
+// false-alarmed on it").
+using genuine_trial_evaluator =
+    std::function<trial_outcome(const audio::buffer& capture)>;
+
+// Per-trial metric vector (one value per metric column); the engine
+// reports per-point means. Rates are means of 0/1 indicators.
+using trial_metrics_evaluator =
+    std::function<std::vector<double>(const trial_result&)>;
+
 // Names of the standard success-experiment metric columns, in order:
 // rate, ci_low, ci_high, mean_score, successes, trials.
 const std::vector<std::string>& success_metric_names();
@@ -207,6 +351,22 @@ class engine {
   result_table run_over(const attack_session& prototype, const grid& g,
                         const trial_evaluator& eval) const;
 
+  // Per-point means of per-trial metric vectors (the F-R10 shape: one
+  // row per cancellation accuracy, columns for residual trace, defense
+  // verdicts, attack success). Uses the session fast path when the grid
+  // allows it.
+  result_table run_trial_means(const attack_scenario& base, const grid& g,
+                               std::vector<std::string> metric_names,
+                               const trial_metrics_evaluator& eval) const;
+
+  // Genuine-side success grid (the F-R9 false-positive measurement):
+  // per point, builds (or mutates) a genuine_session and evaluates
+  // `trials_per_point` captures. Point seeds fold every axis — ambient
+  // included — into the per-trial noise streams, and results are
+  // bit-identical at any thread count.
+  result_table run_genuine(const genuine_scenario& base, const genuine_grid& g,
+                           const genuine_trial_evaluator& eval) const;
+
   // Fully custom per-point measurement (leakage figures, range scans):
   // `eval` receives the point's scenario, a deterministic per-point
   // seed, and the grid point index (for per-point side tables), and
@@ -217,6 +377,15 @@ class engine {
   result_table run_metrics(const attack_scenario& base, const grid& g,
                            std::vector<std::string> metric_names,
                            const point_evaluator& eval) const;
+
+  // Genuine-side counterpart of run_metrics (the F-R13 room ablation).
+  using genuine_point_evaluator = std::function<std::vector<double>(
+      const genuine_scenario&, std::uint64_t point_seed,
+      std::size_t point_index)>;
+  result_table run_genuine_metrics(const genuine_scenario& base,
+                                   const genuine_grid& g,
+                                   std::vector<std::string> metric_names,
+                                   const genuine_point_evaluator& eval) const;
 
  private:
   run_config config_;

@@ -23,6 +23,29 @@ acoustics::vec3 device_position(double distance_m) {
   return acoustics::vec3{0.0, distance_m, 0.0};
 }
 
+// Genuine speech carries no ultrasound, so the analog path runs at
+// 48 kHz instead of the wideband rate.
+constexpr double genuine_analog_rate_hz = 48'000.0;
+
+// The talker's voice at the device port: free-field propagation at the
+// scenario distance, or the image-source room render when a room
+// placement is set. `voice` must already be scaled to the talker level.
+audio::buffer genuine_field(const genuine_scenario& scenario,
+                            const audio::buffer& voice) {
+  if (scenario.room.has_value()) {
+    return acoustics::render_in_room(voice, scenario.room->talker,
+                                     scenario.room->device,
+                                     scenario.room->room,
+                                     scenario.environment.air);
+  }
+  acoustics::propagation_config prop;
+  prop.distance_m = scenario.distance_m;
+  prop.air = scenario.environment.air;
+  return audio::buffer{
+      acoustics::propagate(voice.samples, voice.sample_rate_hz, prop),
+      voice.sample_rate_hz};
+}
+
 }  // namespace
 
 asr::recognizer make_enrolled_recognizer(double capture_rate_hz,
@@ -105,8 +128,10 @@ attack_session::attack_session(attack_scenario scenario, std::uint64_t seed)
   const double capture_rate = scenario_.device.mic.capture_rate_hz;
   clean_ = synth::render_command(cmd, scenario_.voice, synth_rng, capture_rate);
 
-  // Build the rig from the command at the device capture rate.
-  rig_ = attack::build_attack_rig(clean_, scenario_.rig);
+  // Build the rig from the command at the device capture rate, keeping
+  // the conditioned baseband so cancellation swaps skip conditioning.
+  conditioned_ = attack::condition_for_rig(clean_, scenario_.rig);
+  rig_ = attack::assemble_attack_rig(conditioned_, scenario_.rig);
 
   const std::uint64_t enroll_seed = scenario_.enrollment_seed != 0
                                         ? scenario_.enrollment_seed
@@ -137,6 +162,19 @@ void attack_session::set_device(const mic::device_profile& device) {
   scenario_.device = device;
 }
 
+void attack_session::set_cancellation(
+    const std::optional<attack::cancellation_config>& c) {
+  scenario_.rig.cancellation = c;
+  // Re-assemble from the cached conditioned baseband; the rig comes
+  // back at the config power, so restore any set_total_power override.
+  const double power = rig_.array.total_power_w();
+  rig_ = attack::assemble_attack_rig(conditioned_, scenario_.rig);
+  if (power != rig_.array.total_power_w()) {
+    rig_.array.scale_power(power / rig_.array.total_power_w());
+  }
+  field_valid_ = false;
+}
+
 audio::buffer attack_session::render_field(std::uint64_t trial_index) const {
   // Stream ids spaced far apart so ambient and microphone noise never
   // collide, whatever trial indices callers use.
@@ -153,10 +191,7 @@ audio::buffer attack_session::render_field(std::uint64_t trial_index) const {
       field.duration_s(), field.sample_rate_hz,
       scenario_.environment.ambient_spl_db, scenario_.environment.ambient_kind,
       noise_rng);
-  const std::size_t n = std::min(field.size(), ambient.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    field.samples[i] += ambient.samples[i];
-  }
+  audio::mix_into(field, ambient);
   return field;
 }
 
@@ -177,37 +212,95 @@ trial_result attack_session::run_trial(std::uint64_t trial_index) const {
 
 audio::buffer run_genuine_capture(const genuine_scenario& scenario,
                                   ivc::rng& rng) {
-  expects(scenario.distance_m > 0.0,
+  // distance_m is ignored when a room placement positions the talker.
+  expects(scenario.room.has_value() || scenario.distance_m > 0.0,
           "run_genuine_capture: distance must be > 0");
 
   const synth::command& cmd = synth::command_by_id(scenario.phrase_id);
-  // Analog path at 48 kHz: genuine speech carries no ultrasound.
-  constexpr double analog_rate = 48'000.0;
   audio::buffer voice =
-      synth::render_command(cmd, scenario.voice, rng, analog_rate);
+      synth::render_command(cmd, scenario.voice, rng, genuine_analog_rate_hz);
 
-  // Scale to the talker's level at 1 m, in pascal.
+  // Scale to the talker's level at 1 m, in pascal, then take it through
+  // the air (or the room) to the device.
   const double target_rms = ivc::spl_db_to_pa(scenario.level_db_spl_at_1m);
   voice = audio::normalize_rms(voice, target_rms);
-
-  // Propagate to the device.
-  acoustics::propagation_config prop;
-  prop.distance_m = scenario.distance_m;
-  prop.air = scenario.environment.air;
-  audio::buffer field{
-      acoustics::propagate(voice.samples, analog_rate, prop), analog_rate};
+  audio::buffer field = genuine_field(scenario, voice);
 
   // Ambient noise.
   const audio::buffer ambient = acoustics::ambient_noise(
-      field.duration_s(), analog_rate, scenario.environment.ambient_spl_db,
-      scenario.environment.ambient_kind, rng);
-  const std::size_t n = std::min(field.size(), ambient.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    field.samples[i] += ambient.samples[i];
-  }
+      field.duration_s(), field.sample_rate_hz,
+      scenario.environment.ambient_spl_db, scenario.environment.ambient_kind,
+      rng);
+  audio::mix_into(field, ambient);
 
   const mic::microphone microphone{scenario.device.mic};
   return microphone.record(field, rng);
+}
+
+genuine_session::genuine_session(genuine_scenario scenario, std::uint64_t seed)
+    : scenario_{std::move(scenario)}, base_rng_{seed} {
+  expects(scenario_.room.has_value() || scenario_.distance_m > 0.0,
+          "genuine_session: distance must be > 0");
+  // Render the rendition once from the same stream id attack_session
+  // uses for its command; level scaling happens at field build so
+  // set_level stays cheap and history-free.
+  ivc::rng synth_rng = base_rng_.split(1);
+  const synth::command& cmd = synth::command_by_id(scenario_.phrase_id);
+  voice_ = synth::render_command(cmd, scenario_.voice, synth_rng,
+                                 genuine_analog_rate_hz);
+}
+
+void genuine_session::set_ambient(double spl_db) {
+  // Ambient is synthesized per trial; the cached field stays valid.
+  scenario_.environment.ambient_spl_db = spl_db;
+}
+
+void genuine_session::set_distance(double distance_m) {
+  expects(distance_m > 0.0, "genuine_session: distance must be > 0");
+  if (distance_m != scenario_.distance_m) {
+    field_valid_ = false;
+  }
+  scenario_.distance_m = distance_m;
+}
+
+void genuine_session::set_level(double db_spl_at_1m) {
+  if (db_spl_at_1m != scenario_.level_db_spl_at_1m) {
+    field_valid_ = false;
+  }
+  scenario_.level_db_spl_at_1m = db_spl_at_1m;
+}
+
+void genuine_session::set_device(const mic::device_profile& device) {
+  // Unlike attack_session there is no enrolled recognizer tied to the
+  // capture rate, so any device profile is fair game; the microphone
+  // resamples from the analog rate itself.
+  scenario_.device = device;
+}
+
+const audio::buffer& genuine_session::field() const {
+  if (!field_valid_) {
+    const audio::buffer scaled = audio::normalize_rms(
+        voice_, ivc::spl_db_to_pa(scenario_.level_db_spl_at_1m));
+    cached_field_ = genuine_field(scenario_, scaled);
+    field_valid_ = true;
+  }
+  return cached_field_;
+}
+
+audio::buffer genuine_session::run_trial(std::uint64_t trial_index) const {
+  // Same stream spacing as attack_session: ambient and microphone noise
+  // never collide, whatever trial indices callers use.
+  audio::buffer at_port = field();
+  ivc::rng noise_rng = base_rng_.split(0x10'0000ULL + trial_index);
+  const audio::buffer ambient = acoustics::ambient_noise(
+      at_port.duration_s(), at_port.sample_rate_hz,
+      scenario_.environment.ambient_spl_db, scenario_.environment.ambient_kind,
+      noise_rng);
+  audio::mix_into(at_port, ambient);
+
+  ivc::rng mic_rng = base_rng_.split(0x20'0000ULL + trial_index);
+  const mic::microphone microphone{scenario_.device.mic};
+  return microphone.record(at_port, mic_rng);
 }
 
 }  // namespace ivc::sim

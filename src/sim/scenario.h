@@ -8,7 +8,10 @@
 #include <memory>
 #include <string>
 
+#include <optional>
+
 #include "acoustics/noise.h"
+#include "acoustics/room.h"
 #include "asr/intelligibility.h"
 #include "asr/recognizer.h"
 #include "attack/planner.h"
@@ -59,6 +62,12 @@ class attack_session {
   void set_distance(double distance_m);
   void set_total_power(double watts);
   void set_device(const mic::device_profile& device);
+  // Swaps the trace-cancellation setting (the F-R10 adaptive-attacker
+  // axis): re-assembles the rig from the cached conditioned baseband,
+  // so synthesis, conditioning, and enrollment all happen once per
+  // session however many settings a sweep visits. Preserves the current
+  // array power.
+  void set_cancellation(const std::optional<attack::cancellation_config>& c);
 
   double distance_m() const { return scenario_.distance_m; }
   double total_power_w() const { return rig_.array.total_power_w(); }
@@ -79,6 +88,9 @@ class attack_session {
   attack_scenario scenario_;
   attack::attack_rig rig_;
   audio::buffer clean_;  // clean command at device capture rate
+  // Conditioned baseband before cancellation: set_cancellation
+  // re-assembles the rig from here instead of re-conditioning.
+  audio::buffer conditioned_;
   // Shared with the process-wide template cache: copying a session (the
   // engine's per-point/per-chunk pattern) no longer copies the enrolled
   // template bank.
@@ -108,6 +120,16 @@ std::shared_ptr<const asr::recognizer> shared_enrolled_recognizer(
 // measure the cold path; sessions holding a recognizer keep it alive).
 void clear_enrolled_recognizer_cache();
 
+// Talker and device placed inside the shoebox meeting room
+// (image-source model). When set on a genuine_scenario, the voice
+// renders through the room's reflections instead of free-field
+// propagation and `distance_m` is ignored.
+struct room_placement {
+  acoustics::room_model room;
+  acoustics::vec3 talker{1.5, 1.0, 1.2};
+  acoustics::vec3 device{5.0, 3.0, 1.0};
+};
+
 struct genuine_scenario {
   std::string phrase_id = "hello_how";  // from command or benign bank
   synth::voice_params voice = synth::male_voice();
@@ -115,12 +137,57 @@ struct genuine_scenario {
   double level_db_spl_at_1m = 65.0;
   environment_config environment;
   mic::device_profile device = mic::phone_profile();
+  std::optional<room_placement> room;
 };
 
 // Renders a genuine utterance through air + microphone; returns the
 // device capture. The analog path runs at 48 kHz (speech carries no
-// ultrasound, so the wideband rate is unnecessary).
+// ultrasound, so the wideband rate is unnecessary). One rng stream
+// threads through voice, ambient, and microphone noise — the corpus
+// builder depends on that stream layout staying put. Grid experiments
+// use genuine_session instead, whose per-trial streams decorrelate the
+// way attack_session's do.
 audio::buffer run_genuine_capture(const genuine_scenario& scenario,
                                   ivc::rng& rng);
+
+// One prepared genuine talker: the voice rendition renders once (the
+// expensive step); ambient level, distance, talker level, and device
+// mutate cheaply between trials. The propagated field is cached per
+// placement, so an ambient sweep pays only noise synthesis and the
+// microphone per trial. Mirrors attack_session: `seed` fixes the
+// rendition, and every trial's ambient/microphone noise streams are
+// pure functions of (seed, trial_index) — never of mutation history or
+// thread schedule.
+class genuine_session {
+ public:
+  genuine_session(genuine_scenario scenario, std::uint64_t seed);
+
+  void set_ambient(double spl_db);
+  void set_distance(double distance_m);
+  void set_level(double db_spl_at_1m);
+  void set_device(const mic::device_profile& device);
+
+  const genuine_scenario& scenario() const { return scenario_; }
+  const audio::buffer& voice() const { return voice_; }
+
+  // One genuine capture at the device; `trial_index` decorrelates the
+  // ambient and microphone noise streams and makes each trial
+  // individually reproducible.
+  audio::buffer run_trial(std::uint64_t trial_index) const;
+
+  // Renders and caches the propagated field now. The engine warms the
+  // prototype before fanning out task-private copies, so an ambient
+  // sweep inherits the field instead of re-propagating per task.
+  void prepare() const { field(); }
+
+ private:
+  const audio::buffer& field() const;  // voice at the device, pre-noise
+
+  genuine_scenario scenario_;
+  audio::buffer voice_;  // rendition at the analog rate, unscaled
+  ivc::rng base_rng_;
+  mutable audio::buffer cached_field_;
+  mutable bool field_valid_ = false;
+};
 
 }  // namespace ivc::sim

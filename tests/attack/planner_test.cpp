@@ -87,6 +87,28 @@ TEST(planner, rejects_power_beyond_element_rating) {
                std::invalid_argument);
 }
 
+TEST(planner, build_equals_condition_then_assemble) {
+  // build_attack_rig is exactly the two exposed stages composed — the
+  // adaptive-attacker sweep re-runs only the second one.
+  rig_config cfg = small_split_rig();
+  cancellation_config cancel;
+  cancel.accuracy = 0.5;
+  cfg.cancellation = cancel;
+  const audio::buffer command = short_command();
+
+  const attack_rig direct = build_attack_rig(command, cfg);
+  const attack_rig staged =
+      assemble_attack_rig(condition_for_rig(command, cfg), cfg);
+  EXPECT_EQ(direct.num_speakers, staged.num_speakers);
+  EXPECT_EQ(direct.conditioned_baseband.samples,
+            staged.conditioned_baseband.samples);
+  ASSERT_EQ(direct.array.size(), staged.array.size());
+  for (std::size_t i = 0; i < direct.array.size(); ++i) {
+    EXPECT_EQ(direct.array.elements()[i].drive.samples,
+              staged.array.elements()[i].drive.samples);
+  }
+}
+
 TEST(planner, trace_cancellation_reduces_demodulated_m2) {
   // Build the predicted square-law output with and without cancellation
   // and compare the sub-120 Hz trace.

@@ -40,6 +40,32 @@ TEST(ops, mix_pads_shorter_signal) {
   EXPECT_DOUBLE_EQ(m.samples[1], 1.0);
 }
 
+TEST(ops, mix_into_covers_full_length_by_tiling) {
+  // A noise bed one rounding-sample short must not leave a silent tail:
+  // the source repeats cyclically until dst is covered.
+  buffer dst{{1.0, 1.0, 1.0, 1.0, 1.0}, 8'000.0};
+  const buffer src{{0.25, 0.5}, 8'000.0};
+  mix_into(dst, src);
+  EXPECT_DOUBLE_EQ(dst.samples[0], 1.25);
+  EXPECT_DOUBLE_EQ(dst.samples[1], 1.5);
+  EXPECT_DOUBLE_EQ(dst.samples[2], 1.25);
+  EXPECT_DOUBLE_EQ(dst.samples[3], 1.5);
+  EXPECT_DOUBLE_EQ(dst.samples[4], 1.25);  // tail covered, not silent
+}
+
+TEST(ops, mix_into_equal_length_matches_mix) {
+  buffer dst{{1.0, -2.0}, 8'000.0};
+  const buffer src{{0.5, 0.25}, 8'000.0};
+  const buffer expected = mix(dst, src);
+  mix_into(dst, src);
+  EXPECT_EQ(dst.samples, expected.samples);
+}
+
+TEST(ops, mix_into_rejects_bad_inputs) {
+  buffer dst{{1.0}, 8'000.0};
+  EXPECT_THROW(mix_into(dst, buffer{{1.0}, 16'000.0}), std::invalid_argument);
+}
+
 TEST(ops, mix_at_offsets_addend) {
   const buffer a{std::vector<double>(10, 0.0), 10.0};
   const buffer b{{1.0, 1.0}, 10.0};

@@ -1,0 +1,67 @@
+#include "common/json_min.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace ivc::json {
+namespace {
+
+TEST(json_min, parses_scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").boolean());
+  EXPECT_FALSE(parse("false").boolean());
+  EXPECT_DOUBLE_EQ(parse("-12.5e2").number(), -1250.0);
+  EXPECT_EQ(parse("\"hi\"").string(), "hi");
+  // Full-precision doubles survive (what format_double_exact emits).
+  EXPECT_DOUBLE_EQ(parse("0.30000000000000004").number(),
+                   0.30000000000000004);
+}
+
+TEST(json_min, parses_string_escapes) {
+  EXPECT_EQ(parse("\"a\\\"b\\\\c\\nd\\te\"").string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse("\"\\u0041\\u00e9\"").string(), "A\u00e9");
+  EXPECT_EQ(parse("\"\\u0007\"").string(), "\a");
+}
+
+TEST(json_min, parses_nested_structures) {
+  const value v = parse(
+      R"({"name": "F-R9", "seed": 91, "rows": [[1, 2], []], "meta": {"ok": true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->string(), "F-R9");
+  EXPECT_DOUBLE_EQ(v.find("seed")->number(), 91.0);
+  const array& rows = v.find("rows")->items();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].items()[1].number(), 2.0);
+  EXPECT_TRUE(rows[1].items().empty());
+  EXPECT_TRUE(v.find("meta")->find("ok")->boolean());
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(json_min, object_members_keep_insertion_order) {
+  const value v = parse(R"({"b": 1, "a": 2})");
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+}
+
+TEST(json_min, rejects_malformed_documents) {
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("{"), std::invalid_argument);
+  EXPECT_THROW(parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(parse("[1, 2,]"), std::invalid_argument);
+  EXPECT_THROW(parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse("troo"), std::invalid_argument);
+  EXPECT_THROW(parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse("\"\\u00zz\""), std::invalid_argument);
+}
+
+TEST(json_min, accessors_reject_type_mismatches) {
+  EXPECT_THROW(parse("1").string(), std::invalid_argument);
+  EXPECT_THROW(parse("\"s\"").number(), std::invalid_argument);
+  EXPECT_THROW(parse("[1]").members(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::json

@@ -152,6 +152,36 @@ TEST(experiment_engine, custom_trial_evaluator_redefines_success) {
   EXPECT_DOUBLE_EQ(t.metric(0, "trials"), 3.0);
 }
 
+TEST(experiment_engine, run_trial_means_averages_per_point) {
+  const grid g = grid::cartesian(
+      {distance_axis({1.5, 6.0}), power_axis({5.0, 18.7})});
+  run_config cfg;
+  cfg.trials_per_point = 2;
+  cfg.seed = 2'025;
+  const trial_metrics_evaluator eval = [](const trial_result& r) {
+    return std::vector<double>{r.success ? 1.0 : 0.0, r.intelligibility};
+  };
+
+  cfg.num_threads = 1;
+  const result_table serial = engine{cfg}.run_trial_means(
+      quick_mono(2.0), g, {"success", "intel"}, eval);
+  cfg.num_threads = 4;
+  const result_table threaded = engine{cfg}.run_trial_means(
+      quick_mono(2.0), g, {"success", "intel"}, eval);
+  EXPECT_EQ(serial, threaded);  // bit-identical at any thread count
+  ASSERT_EQ(serial.size(), 4u);
+
+  // This grid is session-mutable, so engine::run takes the SAME fast
+  // path (one prototype seeded config_.seed, trial indices p*trials+t)
+  // as run_trial_means: the noise streams match bit for bit, and the
+  // success means must equal the reported rates exactly — a structural
+  // invariant, not a lucky draw.
+  const result_table rates = engine{cfg}.run(quick_mono(2.0), g);
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_DOUBLE_EQ(serial.metric(p, "success"), rates.metric(p, "rate"));
+  }
+}
+
 TEST(experiment_engine, run_metrics_maps_points_to_columns) {
   const grid g = grid::cartesian({power_axis({2.0, 4.0, 8.0})});
   run_config cfg;
@@ -180,27 +210,50 @@ result_table sample_table() {
   return t;
 }
 
+// Labels with a comma, quotes, and a newline — the fields RFC 4180
+// quoting exists for. A device or command label with a comma used to
+// shift every column to its right.
+result_table awkward_table() {
+  result_table t{{"device", "command"}, {"rate"}};
+  t.add_row({{"Echo, 2nd gen", "say \"hello\""}, {0.0, 1.0}, {0.5}});
+  t.add_row({{"phone\nline2", ","}, {1.0, 2.0}, {0.25}});
+  return t;
+}
+
 TEST(experiment_results, csv_round_trips_at_full_precision) {
   const result_table t = sample_table();
   std::istringstream in{t.to_csv()};
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
-  EXPECT_EQ(line, "distance_m,rate,ci_low");
+  // Header carries the coord columns the table promises.
+  EXPECT_EQ(line, "distance_m,distance_m:coord,rate,ci_low");
+  EXPECT_EQ(result_table::from_csv(t.to_csv()), t);  // bit-identical
+}
 
-  result_table parsed{{"distance_m"}, {"rate", "ci_low"}};
-  while (std::getline(in, line)) {
-    std::istringstream cells{line};
-    std::string cell;
-    result_table::row r;
-    ASSERT_TRUE(std::getline(cells, cell, ','));
-    r.labels.push_back(cell);
-    r.coords.push_back(std::strtod(cell.c_str(), nullptr));
-    while (std::getline(cells, cell, ',')) {
-      r.metrics.push_back(std::strtod(cell.c_str(), nullptr));
-    }
-    parsed.add_row(std::move(r));
-  }
-  EXPECT_EQ(parsed, t);  // bit-identical doubles after the round trip
+TEST(experiment_results, csv_quotes_awkward_labels_per_rfc4180) {
+  const result_table t = awkward_table();
+  const std::string csv = t.to_csv();
+  // Comma-bearing label is quoted, embedded quotes double.
+  EXPECT_NE(csv.find("\"Echo, 2nd gen\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hello\"\"\""), std::string::npos);
+  EXPECT_EQ(result_table::from_csv(csv), t);
+}
+
+TEST(experiment_results, json_round_trips_awkward_labels) {
+  const result_table t = awkward_table();
+  EXPECT_EQ(result_table::from_json(t.to_json()), t);
+}
+
+TEST(experiment_results, from_csv_rejects_malformed_input) {
+  EXPECT_THROW(result_table::from_csv(""), std::invalid_argument);
+  EXPECT_THROW(result_table::from_csv("a,a:coord,m\n\"unterminated"),
+               std::invalid_argument);
+  // Row width mismatch against the header.
+  EXPECT_THROW(result_table::from_csv("a,a:coord,m\nx,1.0\n"),
+               std::invalid_argument);
+  // Non-numeric coord cell.
+  EXPECT_THROW(result_table::from_csv("a,a:coord,m\nx,oops,1.0\n"),
+               std::invalid_argument);
 }
 
 TEST(experiment_results, json_contains_names_and_exact_values) {
@@ -225,9 +278,17 @@ TEST(experiment_results, file_writers_produce_readable_files) {
   ASSERT_TRUE(json.good());
   std::string header;
   std::getline(csv, header);
-  EXPECT_EQ(header, "distance_m,rate,ci_low");
+  EXPECT_EQ(header, "distance_m,distance_m:coord,rate,ci_low");
   std::remove(csv_path.c_str());
   std::remove(json_path.c_str());
+}
+
+TEST(experiment_results, column_names_reject_reserved_coord_suffix) {
+  // A metric named like an axis's coordinate column would parse back
+  // with the wrong shape.
+  EXPECT_THROW((result_table{{"d"}, {"x", "x:coord"}}),
+               std::invalid_argument);
+  EXPECT_THROW((result_table{{"d:coord"}, {"rate"}}), std::invalid_argument);
 }
 
 TEST(experiment_results, metric_lookup_rejects_unknown_names) {

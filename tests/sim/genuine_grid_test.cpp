@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audio/metrics.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace ivc::sim {
+namespace {
+
+genuine_scenario quick_genuine() {
+  genuine_scenario g;
+  g.phrase_id = "what_time";  // short benign phrase, fast tests
+  return g;
+}
+
+// ---------------------------------------------------------------- session
+
+TEST(genuine_session, trials_are_reproducible_and_decorrelated) {
+  const genuine_session session{quick_genuine(), 404};
+  const audio::buffer again = session.run_trial(3);
+  EXPECT_EQ(session.run_trial(3).samples, again.samples);
+  // Different trials draw different ambient/microphone noise.
+  EXPECT_NE(session.run_trial(4).samples, again.samples);
+}
+
+TEST(genuine_session, mutation_matches_fresh_session) {
+  // A mutated session must be indistinguishable from one built at the
+  // target scenario: the rendition depends only on (phrase, voice,
+  // seed), never on mutation history.
+  genuine_session mutated{quick_genuine(), 11};
+  mutated.set_distance(3.0);
+  mutated.set_ambient(50.0);
+  mutated.set_level(70.0);
+
+  genuine_scenario direct = quick_genuine();
+  direct.distance_m = 3.0;
+  direct.environment.ambient_spl_db = 50.0;
+  direct.level_db_spl_at_1m = 70.0;
+  const genuine_session fresh{direct, 11};
+  EXPECT_EQ(fresh.run_trial(0).samples, mutated.run_trial(0).samples);
+}
+
+TEST(genuine_session, room_placement_renders_reverberant_capture) {
+  genuine_scenario g = quick_genuine();
+  g.room = room_placement{};
+  g.room->room.max_reflection_order = 2;
+  const genuine_session session{g, 7};
+  const audio::buffer capture = session.run_trial(0);
+  EXPECT_GT(capture.size(), 0u);
+  EXPECT_GT(audio::rms(capture.samples), 0.0);
+
+  // Reflections change the capture relative to order 0.
+  genuine_scenario direct = g;
+  direct.room->room.max_reflection_order = 0;
+  const genuine_session direct_session{direct, 7};
+  EXPECT_NE(direct_session.run_trial(0).samples, capture.samples);
+}
+
+// ------------------------------------------------------------------- grid
+
+TEST(genuine_grid, bit_identical_at_any_thread_count) {
+  // Phrase axis is scenario-only, so this exercises the per-point
+  // session path (the F-R9 FPR shape).
+  const genuine_grid g = genuine_grid::cartesian(
+      {genuine_ambient_axis({30.0, 50.0}),
+       genuine_phrase_axis({"what_time", "stop_music"})});
+  run_config cfg;
+  cfg.trials_per_point = 2;
+  cfg.seed = 909;
+  const genuine_trial_evaluator eval = [](const audio::buffer& capture) {
+    return trial_outcome{capture.size() > 0, audio::rms(capture.samples)};
+  };
+
+  cfg.num_threads = 1;
+  const result_table serial = engine{cfg}.run_genuine(quick_genuine(), g, eval);
+  cfg.num_threads = 4;
+  const result_table threaded =
+      engine{cfg}.run_genuine(quick_genuine(), g, eval);
+
+  EXPECT_EQ(serial, threaded);  // bit-identical rows, labels, metrics
+  ASSERT_EQ(serial.size(), 4u);
+  EXPECT_DOUBLE_EQ(serial.metric(0, "trials"), 2.0);
+}
+
+TEST(genuine_grid, session_fast_path_is_deterministic_too) {
+  // Ambient × distance are both session-mutable: one rendition, global
+  // trial indices.
+  const genuine_grid g = genuine_grid::cartesian(
+      {genuine_ambient_axis({35.0, 45.0}),
+       genuine_distance_axis({1.0, 2.5})});
+  ASSERT_TRUE(g.session_mutable());
+  run_config cfg;
+  cfg.trials_per_point = 2;
+  cfg.seed = 910;
+  const genuine_trial_evaluator eval = [](const audio::buffer& capture) {
+    return trial_outcome{true, audio::rms(capture.samples)};
+  };
+  cfg.num_threads = 1;
+  const result_table serial = engine{cfg}.run_genuine(quick_genuine(), g, eval);
+  cfg.num_threads = 3;
+  const result_table threaded =
+      engine{cfg}.run_genuine(quick_genuine(), g, eval);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(genuine_grid, ambient_level_lands_in_the_seed_stream) {
+  // The legacy F-R9 loop reset its RNG per ambient level, so every
+  // level reused identical noise streams. On the grid path each point
+  // gets its own seed: same phrase, different ambient row, different
+  // point seed.
+  const genuine_grid g = genuine_grid::cartesian(
+      {genuine_ambient_axis({30.0, 50.0}),
+       genuine_phrase_axis({"what_time"})});
+  run_config cfg;
+  cfg.num_threads = 1;
+  std::vector<std::uint64_t> seeds;
+  engine{cfg}.run_genuine_metrics(
+      quick_genuine(), g, {"seed_lo"},
+      [&seeds](const genuine_scenario&, std::uint64_t point_seed,
+               std::size_t) {
+        seeds.push_back(point_seed);
+        return std::vector<double>{static_cast<double>(point_seed & 0xffff)};
+      });
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_NE(seeds[0], seeds[1]);
+}
+
+TEST(genuine_grid, run_genuine_metrics_maps_points_to_columns) {
+  const genuine_grid g =
+      genuine_grid::cartesian({genuine_level_axis({60.0, 70.0})});
+  run_config cfg;
+  cfg.num_threads = 2;
+  const result_table t = engine{cfg}.run_genuine_metrics(
+      quick_genuine(), g, {"level", "point"},
+      [](const genuine_scenario& sc, std::uint64_t, std::size_t point) {
+        return std::vector<double>{sc.level_db_spl_at_1m,
+                                   static_cast<double>(point)};
+      });
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.metric(0, "level"), 60.0);
+  EXPECT_DOUBLE_EQ(t.metric(1, "level"), 70.0);
+  EXPECT_DOUBLE_EQ(t.metric(1, "point"), 1.0);
+}
+
+}  // namespace
+}  // namespace ivc::sim

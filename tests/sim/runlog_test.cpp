@@ -1,0 +1,136 @@
+#include "sim/runlog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ivc::sim {
+namespace {
+
+class runlog_test : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path.c_str()); }
+  const std::string path = "runlog_test.jsonl";
+};
+
+run_record sample_record(double rate) {
+  run_record r;
+  r.figure = "F-R9";
+  r.grid_signature = "ambient_db*phrase|27|0011223344556677";
+  r.seed = 91;
+  r.trials = 3;
+  r.metrics = {{"fpr", rate}, {"held_out_accuracy", 0.97}};
+  return r;
+}
+
+TEST_F(runlog_test, append_then_read_round_trips) {
+  run_record r = sample_record(0.125);
+  // Awkward characters must survive the JSONL encoding.
+  r.figure = "F-R9 \"genuine\", side\n";
+  append_run_record(path, r);
+
+  const std::vector<run_record> records = read_run_log(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].figure, r.figure);
+  EXPECT_EQ(records[0].grid_signature, r.grid_signature);
+  EXPECT_EQ(records[0].seed, 91u);
+  EXPECT_EQ(records[0].trials, 3u);
+  EXPECT_FALSE(records[0].timestamp.empty());  // stamped on append
+  ASSERT_EQ(records[0].metrics.size(), 2u);
+  EXPECT_EQ(records[0].metrics[0].first, "fpr");
+  EXPECT_DOUBLE_EQ(records[0].metrics[0].second, 0.125);
+}
+
+TEST_F(runlog_test, append_is_append_only) {
+  append_run_record(path, sample_record(0.1));
+  append_run_record(path, sample_record(0.2));
+  EXPECT_EQ(read_run_log(path).size(), 2u);
+}
+
+TEST_F(runlog_test, torn_lines_are_skipped) {
+  append_run_record(path, sample_record(0.1));
+  {
+    std::ofstream out{path, std::ios::app};
+    out << "{\"figure\": \"torn";  // no closing quote/brace
+  }
+  EXPECT_EQ(read_run_log(path).size(), 1u);
+}
+
+TEST_F(runlog_test, missing_file_reads_empty) {
+  EXPECT_TRUE(read_run_log("no_such_runlog.jsonl").empty());
+}
+
+TEST(runlog_signature, tracks_grid_shape_not_metrics) {
+  result_table a{{"ambient_db"}, {"rate"}};
+  a.add_row({{"30"}, {30.0}, {0.1}});
+  result_table b{{"ambient_db"}, {"rate"}};
+  b.add_row({{"30"}, {30.0}, {0.9}});  // same grid, different result
+  EXPECT_EQ(grid_signature(a), grid_signature(b));
+
+  result_table c{{"ambient_db"}, {"rate"}};
+  c.add_row({{"50"}, {50.0}, {0.1}});  // different swept point
+  EXPECT_NE(grid_signature(a), grid_signature(c));
+}
+
+TEST(runlog_diff, latest_run_diffs_against_previous_same_key) {
+  std::vector<run_record> records;
+  records.push_back(sample_record(0.30));
+  run_record other = sample_record(0.5);
+  other.figure = "F-R10";  // distinct key, interleaved
+  records.push_back(other);
+  records.push_back(sample_record(0.20));
+  records.push_back(sample_record(0.10));
+
+  const std::vector<run_diff> diffs = diff_latest_runs(records);
+  ASSERT_EQ(diffs.size(), 2u);  // same-key records collapse
+
+  // First-seen key order.
+  EXPECT_EQ(diffs[0].latest.figure, "F-R9");
+  EXPECT_EQ(diffs[0].occurrences, 3u);
+  ASSERT_TRUE(diffs[0].has_previous);
+  // Latest against the *previous* record, not the first.
+  ASSERT_EQ(diffs[0].deltas.size(), 2u);
+  EXPECT_EQ(diffs[0].deltas[0].name, "fpr");
+  EXPECT_DOUBLE_EQ(diffs[0].deltas[0].latest, 0.10);
+  EXPECT_DOUBLE_EQ(diffs[0].deltas[0].previous, 0.20);
+
+  EXPECT_EQ(diffs[1].latest.figure, "F-R10");
+  EXPECT_EQ(diffs[1].occurrences, 1u);
+  EXPECT_FALSE(diffs[1].has_previous);
+}
+
+TEST(runlog_diff, records_with_different_seeds_do_not_collide) {
+  run_record a = sample_record(0.1);
+  run_record b = sample_record(0.2);
+  b.seed = 92;
+  const std::vector<run_diff> diffs = diff_latest_runs({a, b});
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_FALSE(diffs[0].has_previous);
+  EXPECT_FALSE(diffs[1].has_previous);
+}
+
+TEST(runlog_diff, records_with_different_trial_counts_do_not_collide) {
+  // A --trials 1 CI smoke and the full default run sweep the same grid
+  // with the same seed, but they are not the same experiment.
+  run_record smoke = sample_record(0.1);
+  smoke.trials = 1;
+  const std::vector<run_diff> diffs =
+      diff_latest_runs({sample_record(0.3), smoke});
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_FALSE(diffs[0].has_previous);
+  EXPECT_FALSE(diffs[1].has_previous);
+}
+
+TEST_F(runlog_test, large_seeds_round_trip_exactly) {
+  run_record r = sample_record(0.1);
+  r.seed = 0x9e37'79b9'7f4a'7c15ULL;  // above 2^53: breaks via a double
+  append_run_record(path, r);
+  const std::vector<run_record> records = read_run_log(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seed, 0x9e37'79b9'7f4a'7c15ULL);
+}
+
+}  // namespace
+}  // namespace ivc::sim

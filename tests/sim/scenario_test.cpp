@@ -54,6 +54,31 @@ TEST(scenario, device_swap_keeps_capture_rate) {
   EXPECT_DOUBLE_EQ(r.capture.sample_rate_hz, 16'000.0);
 }
 
+TEST(scenario, cancellation_swap_matches_fresh_session) {
+  // The F-R10 session mutation: swapping the cancellation setting on a
+  // live session must reproduce a session built with it from scratch.
+  attack_scenario with_cancel = quick_mono(2.0);
+  attack::cancellation_config cancel;
+  cancel.accuracy = 0.75;
+  with_cancel.rig.cancellation = cancel;
+  const attack_session fresh{with_cancel, 107};
+
+  attack_session mutated{quick_mono(2.0), 107};
+  mutated.set_cancellation(cancel);
+  const trial_result a = fresh.run_trial(2);
+  const trial_result b = mutated.run_trial(2);
+  EXPECT_EQ(a.capture.samples, b.capture.samples);
+  EXPECT_EQ(a.success, b.success);
+
+  // And swapping back restores the uncancelled rig.
+  attack_session round_trip{quick_mono(2.0), 107};
+  round_trip.set_cancellation(cancel);
+  round_trip.set_cancellation(std::nullopt);
+  const attack_session plain{quick_mono(2.0), 107};
+  EXPECT_EQ(plain.run_trial(1).capture.samples,
+            round_trip.run_trial(1).capture.samples);
+}
+
 TEST(scenario, genuine_capture_is_recognized_and_attack_free) {
   genuine_scenario g;
   g.phrase_id = "take_picture";
