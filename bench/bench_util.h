@@ -8,11 +8,13 @@
 // commits instead of overwriting each other.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -90,6 +92,21 @@ class stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Wall time of `reps` runs of `fn`, best of three passes so a stray
+// scheduler hiccup does not pollute the perf trajectory.
+template <typename Fn>
+double time_reps(std::size_t reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 3; ++pass) {
+    const stopwatch clock;
+    for (std::size_t r = 0; r < reps; ++r) {
+      fn();
+    }
+    best = std::min(best, clock.elapsed_s());
+  }
+  return best;
+}
+
 // Machine-readable figure report: named result tables plus scalar
 // metrics (wall time, derived summaries), written as one JSON object —
 // and, through write(options), appended to the run log keyed by
@@ -104,6 +121,14 @@ class json_report {
   // identical experiment (a --trials 1 smoke is not the full run).
   void set_seed(std::uint64_t seed) { seed_ = seed; }
   void set_trials(std::uint64_t trials) { trials_ = trials; }
+
+  // Explicit run-key signature for reports whose experiment is not a
+  // swept result_table (the perf/serving harnesses): names the protocol
+  // so the run-log key changes when the measurement protocol does.
+  // Prepended before any table signatures.
+  void set_signature(std::string signature) {
+    signature_ = std::move(signature);
+  }
 
   void add_table(const std::string& name, const sim::result_table& table) {
     tables_.emplace_back(name, table.to_json());
@@ -165,6 +190,7 @@ class json_report {
     record.figure = figure_id_;
     record.seed = seed_;
     record.trials = trials_;
+    record.grid_signature = signature_;
     for (const auto& [name, signature] : grid_signatures_) {
       if (!record.grid_signature.empty()) {
         record.grid_signature += ';';
@@ -178,6 +204,7 @@ class json_report {
  private:
   std::string figure_id_;
   std::string title_;
+  std::string signature_;
   std::uint64_t seed_ = 0;
   std::uint64_t trials_ = 0;
   std::vector<std::pair<std::string, std::string>> tables_;

@@ -266,20 +266,7 @@ double dtw(const std::vector<std::vector<double>>& a,
 
 namespace {
 
-// Wall time of `reps` runs of `fn`, best of three passes so a stray
-// scheduler hiccup does not pollute the trajectory.
-template <typename Fn>
-double time_reps(std::size_t reps, Fn&& fn) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int pass = 0; pass < 3; ++pass) {
-    const ivc::bench::stopwatch clock;
-    for (std::size_t r = 0; r < reps; ++r) {
-      fn();
-    }
-    best = std::min(best, clock.elapsed_s());
-  }
-  return best;
-}
+using ivc::bench::time_reps;
 
 volatile double sink = 0.0;  // defeats whole-benchmark dead-code elimination
 
@@ -340,6 +327,9 @@ int main(int argc, char** argv) {
   // experiments, so they must not share a run-log key.
   bench::json_report report{smoke ? "PERF-smoke" : "PERF",
                             "hot-path microbenchmarks"};
+  // No swept table — the run-log key carries the protocol name instead,
+  // so the trajectory breaks cleanly if the measurement protocol changes.
+  report.set_signature("hotpath-v1");
   report.add_metric("smoke", smoke ? 1.0 : 0.0);
   const bench::stopwatch total_clock;
 

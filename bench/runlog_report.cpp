@@ -8,6 +8,7 @@
 // key with deltas against the previous run of the same experiment —
 // same-key records measured an identical grid with an identical seed,
 // so any metric movement is a code change, not noise.
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -54,8 +55,18 @@ int main(int argc, char** argv) {
     }
     for (const sim::metric_delta& m : d.deltas) {
       const double delta = m.latest - m.previous;
-      std::printf("  %-28s %14.6g   was %-12.6g %+.6g\n", m.name.c_str(),
-                  m.latest, m.previous, delta);
+      // Relative movement makes throughput/speedup metrics (the perf
+      // records) comparable at a glance across very different scales.
+      // |previous| keeps the percentage's sign equal to the delta's for
+      // negative-valued metrics (dB levels).
+      if (m.previous != 0.0) {
+        std::printf("  %-28s %14.6g   was %-12.6g %+.6g (%+.1f%%)\n",
+                    m.name.c_str(), m.latest, m.previous, delta,
+                    100.0 * delta / std::abs(m.previous));
+      } else {
+        std::printf("  %-28s %14.6g   was %-12.6g %+.6g\n", m.name.c_str(),
+                    m.latest, m.previous, delta);
+      }
     }
     // Metrics the latest run added that the previous one lacked: not in
     // deltas, but part of the result.

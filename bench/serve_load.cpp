@@ -1,0 +1,359 @@
+// SERVE: scenario-driven load harness for the multi-stream serving layer.
+//
+// Renders a fleet of mixed genuine/attack device streams with
+// sim::traffic (deterministic per-session seeds), then sweeps
+// session count × ingest block size × worker threads through
+// serve::session_manager, interleaving offers round-robin across
+// sessions with periodic fork-join drains — the arrival pattern of a
+// fleet of concurrent capture streams. Reports per-combo wall time,
+// real-time factor (audio seconds scored per wall second), fleet-wide
+// p50/p95/p99 block latency, and shed/rejected block counts into
+// BENCH_serve.json (+ the run log).
+//
+// Two invariants are CHECKED, not just reported:
+//   * determinism: per-session verdict streams must be bit-identical at
+//     1 worker vs N workers (exit 1 on any mismatch);
+//   * backpressure: a dedicated overload pass with a tiny queue bound
+//     and shed_newest policy must shed a deterministic block count.
+//
+// Flags (on top of the common bench flags in bench_util.h):
+//   --smoke          CI-sized run: 64 sessions, one block size, 1-vs-N
+//   --sessions <n>   override the session-count sweep with a single value
+//
+// The JSON is written to BENCH_serve.json unless --json overrides it.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "defense/classifier.h"
+#include "defense/detector.h"
+#include "serve/session_manager.h"
+#include "sim/corpus.h"
+#include "sim/traffic.h"
+
+namespace {
+
+// Classifier trained on a small real corpus (same physics as the
+// traffic), so serving-level verdict rates mean something. Small caps
+// keep the bench about the serving layer, not corpus rendering.
+ivc::defense::classifier_detector trained_detector(std::size_t threads) {
+  ivc::sim::corpus_config cfg;
+  cfg.rig = ivc::attack::monolithic_rig();
+  cfg.max_attack_commands = 4;
+  cfg.max_genuine_phrases = 6;
+  cfg.num_threads = threads;
+  const ivc::sim::defense_corpus corpus =
+      ivc::sim::build_defense_corpus(cfg, 70);
+  ivc::defense::logistic_classifier clf;
+  clf.train(corpus.train);
+  return ivc::defense::classifier_detector{clf};
+}
+
+// The detector is expensive to train; cache it across combos.
+const ivc::defense::classifier_detector& trained_detector_cache() {
+  static const ivc::defense::classifier_detector detector =
+      trained_detector(0);
+  return detector;
+}
+
+struct combo_result {
+  double wall_s = 0.0;
+  ivc::serve::serve_totals totals;
+  std::vector<std::vector<ivc::defense::stream_event>> verdicts;
+};
+
+// Feeds the first `num_sessions` scripts through a manager: offers one
+// block per session per round (round-robin, the concurrent-arrival
+// shape), draining every `drain_every` rounds and at the end. Under the
+// reject policy, a bounced offer drains and retries — explicit
+// producer-side backpressure.
+combo_result run_combo(const std::vector<ivc::sim::session_script>& scripts,
+                       std::size_t num_sessions, double block_ms,
+                       const ivc::serve::serve_config& cfg,
+                       std::size_t drain_every) {
+  using ivc::serve::offer_status;
+  ivc::serve::session_manager manager{trained_detector_cache(), cfg};
+  combo_result result;
+  // Block size in samples per session, from each device's own capture
+  // rate — a 50 ms block means 50 ms of audio on every profile.
+  std::vector<std::size_t> block_samples(num_sessions);
+  std::vector<std::size_t> blocks_total(num_sessions);
+  std::size_t max_rounds = 0;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    manager.open_session();
+    block_samples[s] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(block_ms * 1e-3 *
+                                    scripts[s].capture.sample_rate_hz));
+    const std::size_t n =
+        (scripts[s].capture.size() + block_samples[s] - 1) / block_samples[s];
+    blocks_total[s] = n;
+    max_rounds = std::max(max_rounds, n);
+  }
+
+  const ivc::bench::stopwatch clock;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      if (round >= blocks_total[s]) {
+        continue;
+      }
+      const std::size_t start = round * block_samples[s];
+      const std::size_t end = std::min(start + block_samples[s],
+                                       scripts[s].capture.size());
+      ivc::audio::buffer block{
+          {scripts[s].capture.samples.begin() +
+               static_cast<std::ptrdiff_t>(start),
+           scripts[s].capture.samples.begin() +
+               static_cast<std::ptrdiff_t>(end)},
+          scripts[s].capture.sample_rate_hz};
+      while (manager.offer(s, block) == offer_status::rejected) {
+        manager.drain();  // backpressure: drain, then retry the offer
+      }
+    }
+    if ((round + 1) % drain_every == 0) {
+      manager.drain();
+    }
+  }
+  manager.finish();
+  result.wall_s = clock.elapsed_s();
+  result.totals = manager.aggregate();
+  result.verdicts.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    result.verdicts.push_back(manager.verdicts(s));
+  }
+  return result;
+}
+
+bool identical_verdicts(const std::vector<ivc::defense::stream_event>& a,
+                        const std::vector<ivc::defense::stream_event>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time_s != b[i].time_s || a[i].score != b[i].score ||
+        a[i].is_attack != b[i].is_attack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ivc;
+  bench::options opts = bench::parse_options(argc, argv);
+  bool smoke = false;
+  std::size_t sessions_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      const long long v = std::atoll(argv[++i]);
+      sessions_override = v > 0 ? static_cast<std::size_t>(v) : 0;
+    }
+  }
+  if (opts.json_path.empty()) {
+    opts.json_path = "BENCH_serve.json";
+  }
+  const std::size_t hw = default_thread_count();
+
+  std::vector<std::size_t> session_counts =
+      smoke ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{16, 64, 256};
+  if (sessions_override > 0) {
+    session_counts = {sessions_override};
+  }
+  const std::vector<double> block_ms =
+      smoke ? std::vector<double>{50.0} : std::vector<double>{20.0, 50.0, 100.0};
+  // Fixed worker counts, not hardware-derived: the 1-vs-N determinism
+  // check must exercise real concurrency even on a 1-core box
+  // (oversubscribed pools still interleave), and sweeping the same
+  // counts everywhere keeps run-log records comparable across machines.
+  std::vector<std::size_t> workers =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, hw};
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+
+  bench::banner("SERVE", smoke ? "multi-stream serving load (smoke)"
+                               : "multi-stream serving load");
+  bench::json_report report{smoke ? "SERVE-smoke" : "SERVE",
+                            "multi-stream serving load"};
+  report.set_signature("serve-load-v1");
+  report.set_seed(7);
+  const bench::stopwatch total_clock;
+
+  // ---- Traffic: rendered once at the largest session count. ----------
+  sim::traffic_config tc;
+  tc.num_sessions = *std::max_element(session_counts.begin(),
+                                      session_counts.end());
+  tc.utterances_per_session = smoke ? 1 : 2;
+  tc.num_threads = opts.threads;
+  const sim::traffic_generator generator{tc, 7};
+  (void)trained_detector_cache();  // train before timing the render
+  const bench::stopwatch render_clock;
+  const std::vector<sim::session_script> scripts = generator.render_all();
+  double fleet_audio_s = 0.0;
+  std::size_t attack_streams = 0;
+  for (const sim::session_script& s : scripts) {
+    fleet_audio_s += s.capture.duration_s();
+    attack_streams += s.is_attack ? 1 : 0;
+  }
+  bench::note("fleet: %zu streams (%zu attack), %.1f s of audio, "
+              "rendered in %.2f s",
+              scripts.size(), attack_streams, fleet_audio_s,
+              render_clock.elapsed_s());
+  report.add_metric("fleet_streams", static_cast<double>(scripts.size()));
+  report.add_metric("fleet_attack_streams",
+                    static_cast<double>(attack_streams));
+  report.add_metric("fleet_audio_s", fleet_audio_s);
+  bench::rule();
+
+  // ---- Sweep: sessions × block size × workers. -----------------------
+  sim::result_table sweep{
+      {"sessions", "block_ms", "workers"},
+      {"wall_s", "audio_s", "rtf", "p50_ms", "p95_ms", "p99_ms",
+       "shed_blocks", "events"}};
+  bool determinism_ok = true;
+  double serving_detection_rate = 0.0;
+  double serving_fpr = 0.0;
+  std::printf("%9s %9s %8s %9s %9s %9s %9s %9s %7s\n", "sessions", "block",
+              "workers", "wall s", "rtf", "p50 ms", "p95 ms", "p99 ms",
+              "events");
+  for (const std::size_t S : session_counts) {
+    for (const double B : block_ms) {
+      // Reference verdict streams for this (S, B): the 1-worker run.
+      std::vector<std::vector<defense::stream_event>> reference;
+      for (const std::size_t W : workers) {
+        serve::serve_config cfg;
+        cfg.worker_threads = W;
+        cfg.queue_capacity = 64;
+        cfg.policy = serve::overflow_policy::reject;
+        const combo_result r = run_combo(scripts, S, B, cfg,
+                                         /*drain_every=*/4);
+        if (reference.empty()) {
+          reference = r.verdicts;
+          // Serving-level ground truth at the full fleet size: a stream
+          // counts as flagged when any of its verdicts says attack.
+          if (S == session_counts.back() && B == block_ms.front()) {
+            std::size_t attacks = 0, flagged_attack = 0, flagged_genuine = 0;
+            for (std::size_t s = 0; s < S; ++s) {
+              bool flagged = false;
+              for (const defense::stream_event& e : r.verdicts[s]) {
+                flagged = flagged || e.is_attack;
+              }
+              if (scripts[s].is_attack) {
+                ++attacks;
+                flagged_attack += flagged ? 1 : 0;
+              } else {
+                flagged_genuine += flagged ? 1 : 0;
+              }
+            }
+            serving_detection_rate =
+                attacks > 0 ? static_cast<double>(flagged_attack) /
+                                  static_cast<double>(attacks)
+                            : 0.0;
+            serving_fpr = (S - attacks) > 0
+                              ? static_cast<double>(flagged_genuine) /
+                                    static_cast<double>(S - attacks)
+                              : 0.0;
+          }
+        } else {
+          for (std::size_t s = 0; s < S; ++s) {
+            if (!identical_verdicts(reference[s], r.verdicts[s])) {
+              determinism_ok = false;
+              std::fprintf(stderr,
+                           "DETERMINISM VIOLATION: session %zu verdicts "
+                           "differ at %zu vs %zu workers\n",
+                           s, workers.front(), W);
+            }
+          }
+        }
+        const serve::serve_totals& t = r.totals;
+        const double audio_s = t.stats.audio_s_processed;
+        const double rtf = audio_s / r.wall_s;
+        const double p50 = 1e3 * t.stats.latency.quantile(0.50);
+        const double p95 = 1e3 * t.stats.latency.quantile(0.95);
+        const double p99 = 1e3 * t.stats.latency.quantile(0.99);
+        std::printf("%9zu %7.0fms %8zu %9.2f %9.1f %9.2f %9.2f %9.2f %7llu\n",
+                    S, B, W, r.wall_s, rtf, p50, p95, p99,
+                    static_cast<unsigned long long>(t.stats.events));
+        sim::result_table::row row;
+        row.labels = {std::to_string(S), std::to_string(B),
+                      std::to_string(W)};
+        row.coords = {static_cast<double>(S), B, static_cast<double>(W)};
+        row.metrics = {r.wall_s,
+                       audio_s,
+                       rtf,
+                       p50,
+                       p95,
+                       p99,
+                       static_cast<double>(t.stats.blocks_shed),
+                       static_cast<double>(t.stats.events)};
+        sweep.add_row(row);
+      }
+    }
+  }
+  sweep.print();
+  report.add_table("sweep", sweep);
+  report.add_metric("determinism_ok", determinism_ok ? 1.0 : 0.0);
+  report.add_metric("max_sessions",
+                    static_cast<double>(session_counts.back()));
+  report.add_metric("serving_detection_rate", serving_detection_rate);
+  report.add_metric("serving_fpr", serving_fpr);
+  bench::note("serving-level rates at %zu streams: detection %.0f%%, "
+              "false positives %.0f%%",
+              session_counts.back(), 100.0 * serving_detection_rate,
+              100.0 * serving_fpr);
+  bench::rule();
+
+  // ---- Overload: tiny queue bound, shed_newest, sparse drains. -------
+  // Offers between two drains exceed the ring, so the shed count is a
+  // deterministic function of the schedule (drains are barriers and the
+  // producer is single-threaded): every session sheds
+  // (drain_every - capacity) blocks per full inter-drain burst.
+  {
+    const std::size_t S = std::min<std::size_t>(session_counts.back(),
+                                                scripts.size());
+    serve::serve_config cfg;
+    cfg.worker_threads = workers.back();
+    cfg.queue_capacity = 4;
+    cfg.policy = serve::overflow_policy::shed_newest;
+    const combo_result r =
+        run_combo(scripts, S, block_ms.front(), cfg, /*drain_every=*/16);
+    const serve::serve_totals& t = r.totals;
+    const double offered = static_cast<double>(t.stats.blocks_offered);
+    const double shed_fraction =
+        offered > 0.0 ? static_cast<double>(t.stats.blocks_shed) / offered
+                      : 0.0;
+    bench::note("overload (queue=4, drain every 16): %llu of %llu blocks "
+                "shed (%.0f%%), p99 %.2f ms",
+                static_cast<unsigned long long>(t.stats.blocks_shed),
+                static_cast<unsigned long long>(t.stats.blocks_offered),
+                100.0 * shed_fraction,
+                1e3 * t.stats.latency.quantile(0.99));
+    report.add_metric("overload_shed_blocks",
+                      static_cast<double>(t.stats.blocks_shed));
+    report.add_metric("overload_shed_fraction", shed_fraction);
+    report.add_metric("overload_p99_ms",
+                      1e3 * t.stats.latency.quantile(0.99));
+    if (t.stats.blocks_shed == 0) {
+      std::fprintf(stderr, "overload pass unexpectedly shed nothing\n");
+      return 1;
+    }
+  }
+
+  const double elapsed = total_clock.elapsed_s();
+  report.add_metric("elapsed_s", elapsed);
+  bench::rule();
+  bench::note("verdict streams bit-identical at 1 vs N workers: %s",
+              determinism_ok ? "yes" : "NO");
+  bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
+  report.write(opts);
+  return determinism_ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ivc {
+
+std::size_t log_histogram::bin_index(double value) {
+  if (value <= lo_edge_) {
+    return 0;
+  }
+  if (value >= hi_edge_) {
+    return num_bins_ - 1;
+  }
+  const double pos = std::log10(value / lo_edge_) *
+                     static_cast<double>(bins_per_decade_);
+  const auto idx = static_cast<std::size_t>(pos);
+  return std::min(idx, num_bins_ - 1);
+}
+
+void log_histogram::record(double value) {
+  value = std::max(value, 0.0);
+  ++bins_[bin_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+double log_histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double log_histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double log_histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double log_histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "log_histogram::quantile: q must be in [0,1]");
+  if (count_ == 0) {
+    return 0.0;
+  }
+  // The extreme quantiles are tracked exactly.
+  if (q == 0.0) {
+    return min_;
+  }
+  if (q == 1.0) {
+    return max_;
+  }
+  // Rank of the q-quantile among count_ sorted samples (nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < num_bins_; ++b) {
+    cum += bins_[b];
+    if (cum >= target) {
+      const double lo =
+          lo_edge_ * std::pow(10.0, static_cast<double>(b) /
+                                        static_cast<double>(bins_per_decade_));
+      const double hi =
+          lo * std::pow(10.0, 1.0 / static_cast<double>(bins_per_decade_));
+      return std::clamp(std::sqrt(lo * hi), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void log_histogram::merge(const log_histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < num_bins_; ++b) {
+    bins_[b] += other.bins_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace ivc

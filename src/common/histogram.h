@@ -1,0 +1,53 @@
+// Log-spaced latency histogram.
+//
+// The serving layer accounts per-block latency per session and globally;
+// a fixed-size log-spaced histogram gives p50/p95/p99 with O(1) record
+// cost and exact-count merges, so per-session histograms can be folded
+// into a fleet-wide view without storing every sample. Values span
+// 100 ns .. 1000 s (anything outside clamps into the edge bins); the
+// recorded min/max keep the extreme quantiles exact at the tails.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ivc {
+
+class log_histogram {
+ public:
+  // Records one non-negative value (seconds, or any unit — the histogram
+  // only assumes a positive dynamic range). Negative values clamp to 0.
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double min() const;   // 0 when empty
+  double max() const;   // 0 when empty
+  double mean() const;  // 0 when empty
+
+  // Quantile in [0, 1] (0.5 = median). Returns the geometric midpoint of
+  // the bin holding the rank, clamped to the observed [min, max]; exact
+  // to within one bin width (~15% with 16 bins per decade). 0 when empty.
+  double quantile(double q) const;
+
+  // Folds `other` into this histogram (counts add; min/max/mean merge).
+  void merge(const log_histogram& other);
+
+  void reset() { *this = log_histogram{}; }
+
+ private:
+  static constexpr double lo_edge_ = 1e-7;   // 100 ns
+  static constexpr double hi_edge_ = 1e3;    // 1000 s
+  static constexpr std::size_t bins_per_decade_ = 16;
+  static constexpr std::size_t num_bins_ = 10 * bins_per_decade_;
+
+  static std::size_t bin_index(double value);
+
+  std::array<std::uint64_t, num_bins_> bins_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ivc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <vector>
 
 #include "asr/vad.h"
@@ -27,6 +28,37 @@ std::vector<double> frame_power(std::span<const double> x, std::size_t frame) {
     out.push_back(acc / static_cast<double>(frame));
   }
   return out;
+}
+
+// Per-thread cache of designed band filters. The serving layer scores
+// thousands of windows with one (config, rate) pair per thread, and the
+// Butterworth design (pole placement + bilinear transform) was being
+// redone three times per window. Thread-local storage keeps the cache
+// lock-free; the hit returns a copy (a few biquad coefficients — cheap
+// next to the design) so eviction can never invalidate a filter a
+// caller still holds. Bounded small: a process only ever sees a
+// handful of distinct band designs.
+ivc::dsp::iir_cascade cached_bandpass(std::size_t order, double lo_hz,
+                                      double hi_hz, double fs) {
+  struct entry {
+    std::size_t order;
+    double lo_hz, hi_hz, fs;
+    ivc::dsp::iir_cascade filter;
+  };
+  thread_local std::deque<entry> cache;
+  for (const entry& e : cache) {
+    if (e.order == order && e.lo_hz == lo_hz && e.hi_hz == hi_hz &&
+        e.fs == fs) {
+      return e.filter;
+    }
+  }
+  if (cache.size() >= 16) {
+    cache.pop_front();  // oldest design; never hot in practice
+  }
+  cache.push_back(entry{order, lo_hz, hi_hz, fs,
+                        ivc::dsp::butterworth_bandpass(order, lo_hz, hi_hz,
+                                                       fs)});
+  return cache.back().filter;
 }
 
 // Voice-active interior of the capture: VAD region shrunk by the margin,
@@ -80,10 +112,10 @@ trace_features extract_trace_features(const audio::buffer& capture,
   // Band decomposition. Zero-phase filtering keeps the low-band trace
   // time-aligned with the voice envelope and squares the stop-band slope
   // (the low band must be isolated against a voice band 40+ dB hotter).
-  const ivc::dsp::iir_cascade low_band = ivc::dsp::butterworth_bandpass(
+  const ivc::dsp::iir_cascade low_band = cached_bandpass(
       config.band_filter_order, config.low_band_lo_hz, config.low_band_hi_hz,
       fs);
-  const ivc::dsp::iir_cascade voice_band = ivc::dsp::butterworth_bandpass(
+  const ivc::dsp::iir_cascade voice_band = cached_bandpass(
       config.band_filter_order, config.voice_band_lo_hz,
       std::min(config.voice_band_hi_hz, 0.45 * fs), fs);
   const std::vector<double> low =

@@ -1,0 +1,145 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace ivc::serve {
+
+namespace {
+using clock = std::chrono::steady_clock;
+}  // namespace
+
+detection_session::detection_session(std::uint64_t id,
+                                     defense::classifier_detector detector,
+                                     const serve_config& config)
+    : id_{id},
+      capacity_{config.queue_capacity},
+      policy_{config.policy},
+      ring_(config.queue_capacity),
+      detector_{std::move(detector), config.stream} {
+  expects(capacity_ >= 1, "detection_session: queue capacity must be >= 1");
+}
+
+offer_status detection_session::offer(audio::buffer block) {
+  audio::validate(block, "detection_session::offer");
+  const clock::time_point now = clock::now();
+  std::lock_guard<std::mutex> lock{mutex_};
+  ++stats_.blocks_offered;
+  if (closed_) {
+    // Distinct from `rejected`: a rejected offer succeeds after a
+    // drain, a closed session never accepts again — conflating the two
+    // would livelock the drain-and-retry backpressure loop.
+    ++stats_.blocks_rejected;
+    return offer_status::closed;
+  }
+  if (count_ == capacity_) {
+    switch (policy_) {
+      case overflow_policy::shed_newest:
+        ++stats_.blocks_shed;
+        return offer_status::shed;
+      case overflow_policy::reject:
+        ++stats_.blocks_rejected;
+        return offer_status::rejected;
+      case overflow_policy::shed_oldest:
+        // Evict the head slot and fall through to enqueue. NOTE: evicting
+        // mid-stream drops audio the detector never sees, so later
+        // windows slide over a splice — that is the cost of shedding, and
+        // exactly what the shed counters exist to expose.
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+        ++stats_.blocks_shed;
+        break;
+    }
+  }
+  const std::size_t slot = (head_ + count_) % capacity_;
+  ring_[slot] = queued_block{std::move(block), now};
+  ++count_;
+  ++stats_.blocks_accepted;
+  return offer_status::accepted;
+}
+
+void detection_session::close() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  closed_ = true;
+}
+
+bool detection_session::closed() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return closed_;
+}
+
+bool detection_session::has_work() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return count_ > 0 || (closed_ && !finished_);
+}
+
+bool detection_session::pop(queued_block& out) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (count_ == 0) {
+    return false;
+  }
+  out = std::move(ring_[head_]);
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+  return true;
+}
+
+std::size_t detection_session::process(std::size_t max_blocks) {
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true)) {
+    return 0;  // another worker owns this session right now
+  }
+  std::size_t processed = 0;
+  queued_block item;
+  while ((max_blocks == 0 || processed < max_blocks) && pop(item)) {
+    // Feed outside the queue lock: scoring is the expensive part and
+    // producers must be able to keep enqueueing meanwhile.
+    const double rate = item.block.sample_rate_hz;
+    const std::size_t samples = item.block.size();
+    const std::vector<defense::stream_event> events =
+        detector_.feed(item.block);
+    verdicts_.insert(verdicts_.end(), events.begin(), events.end());
+    const double latency_s =
+        std::chrono::duration<double>(clock::now() - item.enqueued).count();
+    std::lock_guard<std::mutex> lock{mutex_};
+    ++stats_.blocks_processed;
+    stats_.samples_processed += samples;
+    stats_.audio_s_processed += static_cast<double>(samples) / rate;
+    stats_.events += events.size();
+    for (const defense::stream_event& e : events) {
+      stats_.attack_events += e.is_attack ? 1 : 0;
+    }
+    stats_.latency.record(latency_s);
+    ++processed;
+  }
+  // End-of-stream flush: once the producer closed the session and the
+  // queue is empty, flush the partial window exactly once.
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (closed_ && !finished_ && count_ == 0) {
+      finished_ = true;
+    } else {
+      busy_.store(false);
+      return processed;
+    }
+  }
+  const std::vector<defense::stream_event> tail = detector_.finish();
+  verdicts_.insert(verdicts_.end(), tail.begin(), tail.end());
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stats_.events += tail.size();
+    for (const defense::stream_event& e : tail) {
+      stats_.attack_events += e.is_attack ? 1 : 0;
+    }
+  }
+  busy_.store(false);
+  return processed;
+}
+
+session_stats detection_session::stats() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+}  // namespace ivc::serve

@@ -1,0 +1,133 @@
+// One concurrent detection session of the serving layer.
+//
+// A detection_session wraps a defense::stream_detector behind a bounded
+// ring-buffered ingest queue so that producers (capture threads, the
+// load generator) and consumers (the session_manager's worker pool) are
+// decoupled. The contract that makes the whole layer testable:
+//
+//   * the verdict stream is a pure function of the sequence of ACCEPTED
+//     blocks — workers drain a session exclusively and in FIFO order, so
+//     verdicts are bit-identical at any worker count and any drain
+//     schedule; scheduling only moves the latency numbers;
+//   * overflow is explicit: when the ring is full the configured policy
+//     either sheds (newest or oldest, counted per session) or rejects
+//     the offer so the producer can apply backpressure and retry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "audio/buffer.h"
+#include "common/histogram.h"
+#include "defense/detector.h"
+#include "defense/stream.h"
+
+namespace ivc::serve {
+
+// What happens when a block is offered to a full ingest queue.
+enum class overflow_policy {
+  shed_newest,  // drop the offered block (default: protect the backlog)
+  shed_oldest,  // evict the oldest queued block, accept the new one
+  reject,       // accept nothing; the producer must drain and retry
+};
+
+struct serve_config {
+  defense::stream_config stream;  // per-session sliding-window detector
+  std::size_t queue_capacity = 64;       // blocks per session ring
+  overflow_policy policy = overflow_policy::shed_newest;
+  // Worker threads draining sessions (session_manager); counts the
+  // calling thread like common/parallel.h. 0 = one per hardware thread.
+  std::size_t worker_threads = 0;
+  // Blocks a worker processes per claim of one session (its scoring
+  // batch). 0 = drain the session's queue completely per claim.
+  std::size_t max_blocks_per_pass = 0;
+};
+
+enum class offer_status {
+  accepted,  // enqueued (under shed_oldest, possibly evicting a block)
+  shed,      // dropped under shed_newest; counted in blocks_shed
+  rejected,  // queue full under reject policy: drain and retry
+  closed,    // session is closed: no retry will ever succeed
+};
+
+struct session_stats {
+  std::uint64_t blocks_offered = 0;
+  std::uint64_t blocks_accepted = 0;
+  std::uint64_t blocks_processed = 0;
+  std::uint64_t blocks_shed = 0;      // dropped or evicted at the queue
+  std::uint64_t blocks_rejected = 0;  // bounced back to the producer
+  std::uint64_t samples_processed = 0;
+  double audio_s_processed = 0.0;
+  std::uint64_t events = 0;         // verdicts emitted
+  std::uint64_t attack_events = 0;  // verdicts with is_attack
+  // Per-block latency, offer() to scored, seconds.
+  log_histogram latency;
+};
+
+class detection_session {
+ public:
+  detection_session(std::uint64_t id, defense::classifier_detector detector,
+                    const serve_config& config);
+
+  std::uint64_t id() const { return id_; }
+
+  // Producer side (thread-safe): offers one ingest block. Blocks are
+  // accepted in call order; concurrent producers to the SAME session
+  // serialize on the queue lock with no order guarantee between them.
+  offer_status offer(audio::buffer block);
+
+  // Marks end-of-stream: later offers return offer_status::closed, and
+  // the next drain flushes the detector's partial window
+  // (stream_detector::finish).
+  void close();
+  bool closed() const;
+
+  // True while queued blocks remain or a close() flush is still owed.
+  bool has_work() const;
+
+  // Consumer side: processes up to `max_blocks` queued blocks (0 = all
+  // currently queued) through the detector, appending verdicts. Only one
+  // worker runs a session at a time — concurrent callers return 0
+  // immediately instead of blocking. Returns blocks processed.
+  std::size_t process(std::size_t max_blocks = 0);
+
+  // The verdict stream so far. Stable (and safe to read) once no worker
+  // is draining this session — i.e. after session_manager::drain.
+  const std::vector<defense::stream_event>& verdicts() const {
+    return verdicts_;
+  }
+
+  session_stats stats() const;
+
+ private:
+  struct queued_block {
+    audio::buffer block;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // Pops the oldest queued block; false when the queue is empty.
+  bool pop(queued_block& out);
+
+  const std::uint64_t id_;
+  const std::size_t capacity_;
+  const overflow_policy policy_;
+
+  mutable std::mutex mutex_;  // guards ring_, stats_, closed_
+  std::vector<queued_block> ring_;
+  std::size_t head_ = 0;   // oldest queued block
+  std::size_t count_ = 0;  // queued blocks
+  session_stats stats_;
+  bool closed_ = false;
+  bool finished_ = false;  // close() flush done
+
+  std::atomic<bool> busy_{false};  // one worker at a time
+
+  // Touched only by the worker holding busy_.
+  defense::stream_detector detector_;
+  std::vector<defense::stream_event> verdicts_;
+};
+
+}  // namespace ivc::serve

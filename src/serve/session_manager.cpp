@@ -1,0 +1,123 @@
+#include "serve/session_manager.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace ivc::serve {
+
+session_manager::session_manager(defense::classifier_detector detector,
+                                 serve_config config)
+    : detector_{std::move(detector)},
+      config_{config},
+      pool_{config.worker_threads} {}
+
+std::uint64_t session_manager::open_session() {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const auto id = static_cast<std::uint64_t>(sessions_.size());
+  sessions_.push_back(
+      std::make_unique<detection_session>(id, detector_, config_));
+  return id;
+}
+
+std::size_t session_manager::num_sessions() const {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  return sessions_.size();
+}
+
+const detection_session& session_manager::session(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < sessions_.size(), "session_manager: unknown session id");
+  return *sessions_[id];
+}
+
+offer_status session_manager::offer(std::uint64_t id, audio::buffer block) {
+  detection_session* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock{sessions_mutex_};
+    expects(id < sessions_.size(), "session_manager: unknown session id");
+    s = sessions_[id].get();
+  }
+  return s->offer(std::move(block));
+}
+
+void session_manager::close(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < sessions_.size(), "session_manager: unknown session id");
+  sessions_[id]->close();
+}
+
+void session_manager::close_all() {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  for (const std::unique_ptr<detection_session>& s : sessions_) {
+    s->close();
+  }
+}
+
+void session_manager::drain() {
+  for (;;) {
+    std::vector<detection_session*> ready;
+    {
+      std::lock_guard<std::mutex> lock{sessions_mutex_};
+      ready.reserve(sessions_.size());
+      for (const std::unique_ptr<detection_session>& s : sessions_) {
+        if (s->has_work()) {
+          ready.push_back(s.get());
+        }
+      }
+    }
+    if (ready.empty()) {
+      return;
+    }
+    // One task per ready session: a session is drained by exactly one
+    // worker (process() claims it), so verdict order never depends on
+    // the pool size.
+    pool_.parallel_for(ready.size(), [&](std::size_t i) {
+      ready[i]->process(config_.max_blocks_per_pass);
+    });
+  }
+}
+
+void session_manager::finish() {
+  close_all();
+  drain();
+}
+
+const std::vector<defense::stream_event>& session_manager::verdicts(
+    std::uint64_t id) const {
+  return session(id).verdicts();
+}
+
+session_stats session_manager::stats(std::uint64_t id) const {
+  return session(id).stats();
+}
+
+serve_totals session_manager::aggregate() const {
+  std::vector<detection_session*> all;
+  {
+    std::lock_guard<std::mutex> lock{sessions_mutex_};
+    all.reserve(sessions_.size());
+    for (const std::unique_ptr<detection_session>& s : sessions_) {
+      all.push_back(s.get());
+    }
+  }
+  serve_totals totals;
+  totals.num_sessions = all.size();
+  for (const detection_session* s : all) {
+    const session_stats st = s->stats();
+    totals.stats.blocks_offered += st.blocks_offered;
+    totals.stats.blocks_accepted += st.blocks_accepted;
+    totals.stats.blocks_processed += st.blocks_processed;
+    totals.stats.blocks_shed += st.blocks_shed;
+    totals.stats.blocks_rejected += st.blocks_rejected;
+    totals.stats.samples_processed += st.samples_processed;
+    totals.stats.audio_s_processed += st.audio_s_processed;
+    totals.stats.events += st.events;
+    totals.stats.attack_events += st.attack_events;
+    totals.stats.latency.merge(st.latency);
+    totals.sessions_with_attack_events += st.attack_events > 0 ? 1 : 0;
+  }
+  return totals;
+}
+
+}  // namespace ivc::serve

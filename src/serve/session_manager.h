@@ -1,0 +1,86 @@
+// Multi-stream defense serving layer: N concurrent detection sessions
+// drained by a shared worker pool.
+//
+// The manager owns the sessions and a common/parallel.h thread pool.
+// Producers offer ingest blocks to sessions at any time (thread-safe);
+// drain() fans the pool out over every session with pending work, each
+// worker claiming one session at a time and scoring its queued windows
+// back-to-back — the scoring batch — so the per-thread caches under
+// feature extraction (band-filter designs, FFT plans) are hit instead
+// of rebuilt per window. Because a session is always drained
+// exclusively and in FIFO order, per-session verdict streams are
+// bit-identical at any worker count; only latency/throughput move.
+//
+// Backpressure is explicit and lives at the session queues: a full ring
+// sheds (newest or oldest) or rejects per serve_config::policy, and
+// every shed/reject is counted. The aggregate() view merges per-session
+// counters and latency histograms into the fleet-wide p50/p95/p99 the
+// load bench reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.h"
+#include "serve/session.h"
+
+namespace ivc::serve {
+
+// Fleet-wide totals: summed session counters plus the merged latency
+// histogram.
+struct serve_totals {
+  session_stats stats;            // counters summed over sessions
+  std::size_t num_sessions = 0;
+  std::size_t sessions_with_attack_events = 0;
+};
+
+class session_manager {
+ public:
+  explicit session_manager(defense::classifier_detector detector,
+                           serve_config config = {});
+
+  const serve_config& config() const { return config_; }
+
+  // Opens a new session and returns its id (dense, starting at 0).
+  // Thread-safe with respect to other open_session calls; do not call
+  // concurrently with drain().
+  std::uint64_t open_session();
+
+  std::size_t num_sessions() const;
+
+  // Producer side: offers one block to session `id`. Thread-safe.
+  offer_status offer(std::uint64_t id, audio::buffer block);
+
+  // Marks a session (or all of them) end-of-stream; the next drain
+  // flushes partial windows.
+  void close(std::uint64_t id);
+  void close_all();
+
+  // Runs the worker pool over every session with pending work until all
+  // queues are empty (and closed sessions are flushed). Safe to call
+  // repeatedly; producers may keep offering concurrently, in which case
+  // drain returns once it observes a pass with nothing left to do.
+  void drain();
+
+  // close_all() + drain(): end-of-run flush.
+  void finish();
+
+  const detection_session& session(std::uint64_t id) const;
+
+  // The verdict stream of one session (stable after drain()).
+  const std::vector<defense::stream_event>& verdicts(std::uint64_t id) const;
+
+  session_stats stats(std::uint64_t id) const;
+  serve_totals aggregate() const;
+
+ private:
+  defense::classifier_detector detector_;
+  serve_config config_;
+  thread_pool pool_;
+  mutable std::mutex sessions_mutex_;  // guards the vector, not sessions
+  std::vector<std::unique_ptr<detection_session>> sessions_;
+};
+
+}  // namespace ivc::serve

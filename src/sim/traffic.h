@@ -1,0 +1,86 @@
+// Scenario-driven traffic generation for the serving layer.
+//
+// Synthesizes a fleet of heterogeneous device streams — some genuine
+// talkers, some inaudible-command attacks — from the existing scenario
+// and device-profile library, and slices each stream into ingest blocks
+// for the serve/ session manager. Determinism is the load-bearing
+// property: a session's stream is a pure function of (config, seed,
+// session index) — never of render order or thread count — so the load
+// bench can assert bit-identical per-session verdict streams whatever
+// parallelism rendered the traffic or drained the sessions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/planner.h"
+#include "audio/buffer.h"
+#include "common/rng.h"
+#include "mic/device_profiles.h"
+#include "sim/scenario.h"
+
+namespace ivc::sim {
+
+struct traffic_config {
+  std::size_t num_sessions = 64;
+  // Expected fraction of attack streams (per-session Bernoulli draw).
+  double attack_fraction = 0.3;
+  // Ingest block duration the stream is sliced into.
+  double block_s = 0.05;
+  // Utterances per stream, separated by silence gaps.
+  std::size_t utterances_per_session = 1;
+  std::pair<double, double> gap_s{0.15, 0.45};
+  // Devices cycled over the fleet; empty = mic::all_profiles().
+  std::vector<mic::device_profile> devices;
+  // Per-session parameter ranges (uniform draws).
+  std::pair<double, double> genuine_distance_m{0.5, 3.0};
+  std::pair<double, double> genuine_level_db{60.0, 70.0};
+  std::pair<double, double> attack_distance_m{1.0, 3.5};
+  std::pair<double, double> ambient_spl_db{32.0, 50.0};
+  // Attack rig template. The single-speaker rig keeps per-session render
+  // cost low; the load bench is about the defense side, not the rig.
+  attack::rig_config rig = attack::monolithic_rig();
+  // Threads for render_all (0 = hardware). Output is bit-identical at
+  // any count.
+  std::size_t num_threads = 0;
+};
+
+// One synthesized stream: the full capture at the device rate plus its
+// ground truth, sliceable into ingest blocks.
+struct session_script {
+  std::size_t index = 0;
+  bool is_attack = false;
+  std::string phrase_id;
+  std::string device_name;
+  double distance_m = 0.0;
+  double ambient_spl_db = 0.0;
+  audio::buffer capture;          // device-rate stream (utterances + gaps)
+  std::size_t block_samples = 0;  // ingest block size in samples
+
+  std::size_t num_blocks() const;
+  // Block `b` of the stream (the last block may be short).
+  audio::buffer block(std::size_t b) const;
+};
+
+class traffic_generator {
+ public:
+  traffic_generator(traffic_config config, std::uint64_t seed);
+
+  const traffic_config& config() const { return config_; }
+  std::size_t num_sessions() const { return config_.num_sessions; }
+
+  // Renders session `index`'s stream. Pure in (config, seed, index).
+  session_script script(std::size_t index) const;
+
+  // Renders every session on a thread pool (slot-per-session writes, so
+  // the result is bit-identical at any thread count).
+  std::vector<session_script> render_all() const;
+
+ private:
+  traffic_config config_;
+  ivc::rng base_rng_;
+};
+
+}  // namespace ivc::sim

@@ -1,0 +1,94 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ivc {
+namespace {
+
+TEST(histogram, empty_reads_as_zero) {
+  const log_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(histogram, single_value_pins_every_quantile) {
+  log_histogram h;
+  h.record(3.5e-3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.5e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 3.5e-3);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5e-3);
+  // Quantiles clamp to the observed range, so they are exact here.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.5e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5e-3);
+}
+
+TEST(histogram, quantiles_track_a_known_distribution) {
+  log_histogram h;
+  ivc::rng rng{5};
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.uniform(1e-3, 1.0);  // 1 ms .. 1 s
+    values.push_back(v);
+    h.record(v);
+  }
+  // Uniform on [1e-3, 1]: p50 ≈ 0.5, p95 ≈ 0.95. Log bins are ~15% wide,
+  // so accept 20%.
+  EXPECT_NEAR(h.quantile(0.50), 0.5, 0.1);
+  EXPECT_NEAR(h.quantile(0.95), 0.95, 0.19);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(histogram, out_of_range_values_clamp_into_edge_bins) {
+  log_histogram h;
+  h.record(0.0);      // below the lowest edge
+  h.record(-1.0);     // negative clamps to 0
+  h.record(1e6);      // above the highest edge
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 1e6);
+  EXPECT_LE(h.quantile(0.3), h.quantile(0.99));
+}
+
+TEST(histogram, merge_equals_recording_everything_in_one) {
+  log_histogram a;
+  log_histogram b;
+  log_histogram all;
+  ivc::rng rng{6};
+  for (int i = 0; i < 2'000; ++i) {
+    const double v = rng.uniform(1e-5, 1e-1);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+  }
+}
+
+TEST(histogram, merge_into_empty_copies) {
+  log_histogram a;
+  log_histogram b;
+  b.record(2e-3);
+  b.record(4e-3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 2e-3);
+  EXPECT_DOUBLE_EQ(a.max(), 4e-3);
+}
+
+}  // namespace
+}  // namespace ivc

@@ -90,6 +90,81 @@ TEST(stream, block_size_does_not_change_decisions) {
   }
 }
 
+// Feeds `speech` in `block`-sample slices (the whole buffer when block
+// is 0) and returns the full event stream including the finish() tail.
+std::vector<stream_event> feed_chunked(stream_detector& det,
+                                       const audio::buffer& speech,
+                                       std::size_t block) {
+  std::vector<stream_event> events;
+  if (block == 0) {
+    block = speech.size();
+  }
+  for (std::size_t start = 0; start < speech.size(); start += block) {
+    const std::size_t len = std::min(block, speech.size() - start);
+    audio::buffer piece{{speech.samples.begin() +
+                             static_cast<std::ptrdiff_t>(start),
+                         speech.samples.begin() +
+                             static_cast<std::ptrdiff_t>(start + len)},
+                        speech.sample_rate_hz};
+    const auto ev = det.feed(piece);
+    events.insert(events.end(), ev.begin(), ev.end());
+  }
+  const auto tail = det.finish();
+  events.insert(events.end(), tail.begin(), tail.end());
+  return events;
+}
+
+// The serving layer's correctness rests on this invariance: however a
+// capture is sliced into ingest blocks — single samples, odd sizes, or
+// the whole buffer at once — the event stream must be byte-identical.
+TEST(stream, chunking_invariance_is_bit_exact) {
+  const audio::buffer speech = speech_with_trace(0.25, 94);
+  stream_detector whole{classifier_detector{tiny_classifier()}};
+  const auto reference = feed_chunked(whole, speech, 0);
+  ASSERT_GE(reference.size(), 2u);
+
+  for (const std::size_t block : {std::size_t{1}, std::size_t{997},
+                                  std::size_t{4'096}}) {
+    stream_detector chunked{classifier_detector{tiny_classifier()}};
+    const auto events = feed_chunked(chunked, speech, block);
+    ASSERT_EQ(reference.size(), events.size()) << "block " << block;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      // Exact equality, not NEAR: the pending-buffer path must not
+      // reorder or recompute anything.
+      EXPECT_EQ(reference[i].time_s, events[i].time_s) << "block " << block;
+      EXPECT_EQ(reference[i].score, events[i].score) << "block " << block;
+      EXPECT_EQ(reference[i].is_attack, events[i].is_attack)
+          << "block " << block;
+    }
+  }
+}
+
+// reset() must return the detector to a bit-identical start state: the
+// same capture fed again after reset (in different chunking) reproduces
+// the same events, including the finish() flush.
+TEST(stream, chunking_invariance_survives_reset_and_finish) {
+  const audio::buffer speech = speech_with_trace(0.3, 95);
+  stream_detector det{classifier_detector{tiny_classifier()}};
+  const auto first = feed_chunked(det, speech, 0);
+  ASSERT_GE(first.size(), 1u);
+
+  det.reset();
+  const auto second = feed_chunked(det, speech, 997);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time_s, second[i].time_s);
+    EXPECT_EQ(first[i].score, second[i].score);
+    EXPECT_EQ(first[i].is_attack, second[i].is_attack);
+  }
+
+  // finish() then more feeding without reset is a contract violation the
+  // caller avoids; after reset the clock starts at zero again.
+  det.reset();
+  const auto third = feed_chunked(det, speech, 1'000);
+  ASSERT_FALSE(third.empty());
+  EXPECT_EQ(third.front().time_s, first.front().time_s);
+}
+
 TEST(stream, reset_restarts_clock) {
   stream_detector det{classifier_detector{tiny_classifier()}};
   det.feed(speech_with_trace(0.0, 93));

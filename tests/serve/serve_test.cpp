@@ -1,0 +1,238 @@
+#include "serve/session_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "audio/buffer.h"
+#include "audio/ops.h"
+#include "common/rng.h"
+#include "defense/classifier.h"
+#include "synth/commands.h"
+
+namespace ivc::serve {
+namespace {
+
+// Tiny trained classifier fixture (same shape as the stream tests).
+defense::logistic_classifier tiny_classifier() {
+  ivc::rng rng{90};
+  defense::labelled_features data;
+  for (int i = 0; i < 120; ++i) {
+    defense::trace_features f;
+    const bool attack = i % 2 == 0;
+    const double c = attack ? 1.0 : -1.0;
+    f.low_band_envelope_corr = c + rng.normal(0.0, 0.3);
+    f.low_band_ratio_db = 4.0 * c + rng.normal(0.0, 1.0);
+    f.amplitude_skew = 0.4 * c + rng.normal(0.0, 0.2);
+    f.low_band_waveform_corr = c + rng.normal(0.0, 0.3);
+    data.add(f, attack ? 1 : 0);
+  }
+  defense::logistic_classifier clf;
+  clf.train(data);
+  return clf;
+}
+
+defense::classifier_detector tiny_detector() {
+  return defense::classifier_detector{tiny_classifier()};
+}
+
+// A per-session stream: rendered speech with a quadratic trace whose
+// strength varies by seed, padded so several windows complete.
+audio::buffer session_stream(std::uint64_t seed) {
+  ivc::rng rng{seed};
+  audio::buffer v = synth::render_command(synth::command_by_id("open_door"),
+                                          synth::male_voice(), rng, 16'000.0);
+  const double beta = 0.1 + 0.05 * static_cast<double>(seed % 5);
+  for (double& s : v.samples) {
+    s = s + beta * s * s;
+  }
+  return audio::remove_dc(v);
+}
+
+// Offers every session's stream in `block` sample slices, round-robin
+// across sessions, draining every fourth round; returns the per-session
+// verdict streams.
+std::vector<std::vector<defense::stream_event>> run_fleet(
+    const std::vector<audio::buffer>& streams, std::size_t block,
+    serve_config cfg) {
+  session_manager manager{tiny_detector(), cfg};
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    manager.open_session();
+  }
+  std::size_t max_rounds = 0;
+  for (const audio::buffer& st : streams) {
+    max_rounds = std::max(max_rounds, (st.size() + block - 1) / block);
+  }
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      const std::size_t start = round * block;
+      if (start >= streams[s].size()) {
+        continue;
+      }
+      const std::size_t end = std::min(start + block, streams[s].size());
+      audio::buffer piece{
+          {streams[s].samples.begin() + static_cast<std::ptrdiff_t>(start),
+           streams[s].samples.begin() + static_cast<std::ptrdiff_t>(end)},
+          streams[s].sample_rate_hz};
+      while (manager.offer(s, piece) == offer_status::rejected) {
+        manager.drain();
+      }
+    }
+    if ((round + 1) % 4 == 0) {
+      manager.drain();
+    }
+  }
+  manager.finish();
+  std::vector<std::vector<defense::stream_event>> verdicts;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    verdicts.push_back(manager.verdicts(s));
+  }
+  return verdicts;
+}
+
+TEST(serve, verdict_streams_identical_at_any_worker_count) {
+  std::vector<audio::buffer> streams;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    streams.push_back(session_stream(100 + s));
+  }
+  serve_config cfg;
+  cfg.queue_capacity = 16;
+  cfg.policy = overflow_policy::reject;
+
+  cfg.worker_threads = 1;
+  const auto serial = run_fleet(streams, 1'024, cfg);
+  std::size_t total_events = 0;
+  for (const auto& v : serial) {
+    total_events += v.size();
+  }
+  ASSERT_GT(total_events, 0u);
+
+  for (const std::size_t workers : {3u, 8u}) {
+    cfg.worker_threads = workers;
+    const auto parallel = run_fleet(streams, 1'024, cfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      ASSERT_EQ(serial[s].size(), parallel[s].size())
+          << "session " << s << " at " << workers << " workers";
+      for (std::size_t i = 0; i < serial[s].size(); ++i) {
+        EXPECT_EQ(serial[s][i].time_s, parallel[s][i].time_s);
+        EXPECT_EQ(serial[s][i].score, parallel[s][i].score);
+        EXPECT_EQ(serial[s][i].is_attack, parallel[s][i].is_attack);
+      }
+    }
+  }
+}
+
+TEST(serve, reject_policy_bounces_until_drained) {
+  serve_config cfg;
+  cfg.queue_capacity = 2;
+  cfg.policy = overflow_policy::reject;
+  cfg.worker_threads = 1;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer block = audio::silence(0.05, 16'000.0);
+
+  EXPECT_EQ(manager.offer(sid, block), offer_status::accepted);
+  EXPECT_EQ(manager.offer(sid, block), offer_status::accepted);
+  EXPECT_EQ(manager.offer(sid, block), offer_status::rejected);
+  EXPECT_EQ(manager.offer(sid, block), offer_status::rejected);
+
+  session_stats st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_accepted, 2u);
+  EXPECT_EQ(st.blocks_rejected, 2u);
+  EXPECT_EQ(st.blocks_shed, 0u);
+
+  // Draining empties the queue; the producer can continue.
+  manager.drain();
+  EXPECT_EQ(manager.offer(sid, block), offer_status::accepted);
+  manager.finish();
+  st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_processed, 3u);
+}
+
+TEST(serve, shed_newest_drops_the_offered_block) {
+  serve_config cfg;
+  cfg.queue_capacity = 2;
+  cfg.policy = overflow_policy::shed_newest;
+  cfg.worker_threads = 1;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer block = audio::silence(0.05, 16'000.0);
+  for (int i = 0; i < 5; ++i) {
+    manager.offer(sid, block);
+  }
+  const session_stats st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_offered, 5u);
+  EXPECT_EQ(st.blocks_accepted, 2u);
+  EXPECT_EQ(st.blocks_shed, 3u);
+  manager.finish();
+  EXPECT_EQ(manager.stats(sid).blocks_processed, 2u);
+}
+
+TEST(serve, shed_oldest_evicts_but_accepts) {
+  serve_config cfg;
+  cfg.queue_capacity = 2;
+  cfg.policy = overflow_policy::shed_oldest;
+  cfg.worker_threads = 1;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer block = audio::silence(0.05, 16'000.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(manager.offer(sid, block), offer_status::accepted);
+  }
+  const session_stats st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_accepted, 5u);
+  EXPECT_EQ(st.blocks_shed, 3u);
+  manager.finish();
+  // Only the last `capacity` blocks survive to be scored.
+  EXPECT_EQ(manager.stats(sid).blocks_processed, 2u);
+}
+
+TEST(serve, close_rejects_offers_and_flushes_partial_window) {
+  serve_config cfg;
+  cfg.worker_threads = 2;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  // 0.7 s of speech: less than one full 1 s window, more than the 0.5 s
+  // flush threshold — only finish() can produce the verdict.
+  audio::buffer stream = session_stream(7);
+  stream.samples.resize(static_cast<std::size_t>(0.7 * 16'000.0));
+  manager.offer(sid, stream);
+  manager.drain();
+  EXPECT_TRUE(manager.verdicts(sid).empty());
+
+  manager.close(sid);
+  EXPECT_EQ(manager.offer(sid, stream), offer_status::closed);
+  manager.drain();
+  EXPECT_EQ(manager.verdicts(sid).size(), 1u);
+  // The flush happens exactly once.
+  manager.drain();
+  EXPECT_EQ(manager.verdicts(sid).size(), 1u);
+}
+
+TEST(serve, aggregate_sums_sessions_and_latency) {
+  serve_config cfg;
+  cfg.worker_threads = 2;
+  session_manager manager{tiny_detector(), cfg};
+  const audio::buffer stream = session_stream(11);
+  for (int s = 0; s < 3; ++s) {
+    manager.open_session();
+    manager.offer(static_cast<std::uint64_t>(s), stream);
+  }
+  manager.finish();
+  const serve_totals totals = manager.aggregate();
+  EXPECT_EQ(totals.num_sessions, 3u);
+  EXPECT_EQ(totals.stats.blocks_processed, 3u);
+  EXPECT_EQ(totals.stats.latency.count(), 3u);
+  std::uint64_t events = 0;
+  for (int s = 0; s < 3; ++s) {
+    events += manager.stats(static_cast<std::uint64_t>(s)).events;
+  }
+  EXPECT_EQ(totals.stats.events, events);
+  EXPECT_GE(totals.stats.latency.quantile(0.99),
+            totals.stats.latency.quantile(0.50));
+}
+
+}  // namespace
+}  // namespace ivc::serve

@@ -1,0 +1,111 @@
+#include "sim/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/buffer.h"
+
+namespace ivc::sim {
+namespace {
+
+// Small genuine-only fleet: cheap to render, covers slicing/determinism.
+traffic_config small_genuine_config() {
+  traffic_config cfg;
+  cfg.num_sessions = 4;
+  cfg.attack_fraction = 0.0;
+  cfg.block_s = 0.05;
+  cfg.devices = {mic::phone_profile(), mic::smart_speaker_profile()};
+  return cfg;
+}
+
+TEST(traffic, scripts_are_deterministic_per_index) {
+  const traffic_generator gen{small_genuine_config(), 21};
+  const session_script a = gen.script(2);
+  const session_script b = gen.script(2);
+  EXPECT_EQ(a.is_attack, b.is_attack);
+  EXPECT_EQ(a.phrase_id, b.phrase_id);
+  EXPECT_EQ(a.device_name, b.device_name);
+  ASSERT_EQ(a.capture.size(), b.capture.size());
+  EXPECT_EQ(a.capture.samples, b.capture.samples);
+}
+
+TEST(traffic, render_all_is_bit_identical_at_any_thread_count) {
+  traffic_config cfg = small_genuine_config();
+  cfg.num_threads = 1;
+  const std::vector<session_script> serial =
+      traffic_generator{cfg, 21}.render_all();
+  cfg.num_threads = 4;
+  const std::vector<session_script> parallel =
+      traffic_generator{cfg, 21}.render_all();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].is_attack, parallel[i].is_attack);
+    EXPECT_EQ(serial[i].capture.samples, parallel[i].capture.samples)
+        << "session " << i;
+  }
+}
+
+TEST(traffic, blocks_tile_the_capture_exactly) {
+  const traffic_generator gen{small_genuine_config(), 22};
+  const session_script s = gen.script(0);
+  ASSERT_GT(s.num_blocks(), 1u);
+  std::vector<double> reassembled;
+  for (std::size_t b = 0; b < s.num_blocks(); ++b) {
+    const audio::buffer piece = s.block(b);
+    EXPECT_EQ(piece.sample_rate_hz, s.capture.sample_rate_hz);
+    if (b + 1 < s.num_blocks()) {
+      EXPECT_EQ(piece.size(), s.block_samples);
+    }
+    reassembled.insert(reassembled.end(), piece.samples.begin(),
+                       piece.samples.end());
+  }
+  EXPECT_EQ(reassembled, s.capture.samples);
+}
+
+TEST(traffic, attack_fraction_one_renders_attack_streams) {
+  traffic_config cfg;
+  cfg.num_sessions = 1;
+  cfg.attack_fraction = 1.0;
+  cfg.devices = {mic::phone_profile()};
+  const traffic_generator gen{cfg, 23};
+  const session_script s = gen.script(0);
+  EXPECT_TRUE(s.is_attack);
+  EXPECT_GT(s.capture.size(), 0u);
+  EXPECT_EQ(s.capture.sample_rate_hz,
+            mic::phone_profile().mic.capture_rate_hz);
+  EXPECT_GE(s.distance_m, cfg.attack_distance_m.first);
+  EXPECT_LE(s.distance_m, cfg.attack_distance_m.second);
+}
+
+TEST(traffic, session_parameters_stay_in_their_ranges) {
+  traffic_config cfg = small_genuine_config();
+  cfg.num_sessions = 6;
+  const traffic_generator gen{cfg, 24};
+  for (std::size_t i = 0; i < cfg.num_sessions; ++i) {
+    const session_script s = gen.script(i);
+    EXPECT_FALSE(s.is_attack);
+    EXPECT_GE(s.ambient_spl_db, cfg.ambient_spl_db.first);
+    EXPECT_LE(s.ambient_spl_db, cfg.ambient_spl_db.second);
+    EXPECT_GE(s.distance_m, cfg.genuine_distance_m.first);
+    EXPECT_LE(s.distance_m, cfg.genuine_distance_m.second);
+    EXPECT_TRUE(s.device_name == "phone" ||
+                s.device_name == mic::phone_profile().name ||
+                s.device_name == mic::smart_speaker_profile().name);
+  }
+}
+
+TEST(traffic, invalid_configs_throw) {
+  traffic_config cfg = small_genuine_config();
+  cfg.num_sessions = 0;
+  EXPECT_THROW((traffic_generator{cfg, 1}), std::invalid_argument);
+  cfg = small_genuine_config();
+  cfg.attack_fraction = 1.5;
+  EXPECT_THROW((traffic_generator{cfg, 1}), std::invalid_argument);
+  cfg = small_genuine_config();
+  cfg.block_s = 0.0;
+  EXPECT_THROW((traffic_generator{cfg, 1}), std::invalid_argument);
+  const traffic_generator gen{small_genuine_config(), 1};
+  EXPECT_THROW(gen.script(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::sim
