@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "sim/experiment.h"
 #include "sim/runlog.h"
 
@@ -136,6 +137,18 @@ class json_report {
   }
   void add_metric(const std::string& name, double value) {
     metrics_.emplace_back(name, value);
+  }
+
+  // The standard quantile view of a latency histogram (seconds in,
+  // milliseconds out): <name>_p50_ms/_p95_ms/_p99_ms/_mean_ms plus the
+  // sample count — the shape the serving harness reports for total,
+  // queue-wait, and service latency alike.
+  void add_latency_metrics(const std::string& name, const log_histogram& h) {
+    add_metric(name + "_p50_ms", 1e3 * h.quantile(0.50));
+    add_metric(name + "_p95_ms", 1e3 * h.quantile(0.95));
+    add_metric(name + "_p99_ms", 1e3 * h.quantile(0.99));
+    add_metric(name + "_mean_ms", 1e3 * h.mean());
+    add_metric(name + "_count", static_cast<double>(h.count()));
   }
 
   // Writes when `path` is non-empty (i.e. --json was passed).

@@ -16,15 +16,32 @@
 //   * backpressure: a dedicated overload pass with a tiny queue bound
 //     and shed_newest policy must shed a deterministic block count.
 //
+// `--paced` switches to the streaming replay protocol (`serve-paced-v1`
+// run-log signature): sim::traffic stamps each fleet stream with a
+// deterministic arrival timeline (Poisson session starts + per-block
+// capture times), and the harness offers every block AT its arrival
+// time against a live streaming manager (session_manager::start/stop —
+// long-lived workers, no fork-join barriers). Queue-wait and service
+// latency are reported as SEPARATE histograms, and the per-session
+// verdict streams of every paced run must be bit-identical to a
+// fork-join drain() replay of the same blocks (exit 1 on mismatch).
+//
 // Flags (on top of the common bench flags in bench_util.h):
 //   --smoke          CI-sized run: 64 sessions, one block size, 1-vs-N
 //   --sessions <n>   override the session-count sweep with a single value
+//   --paced          streaming arrival-time replay protocol (see above)
+//   --pace <x>       paced replay speed multiplier (default 4: the
+//                    timeline plays back 4x faster than real time)
+//   --rate <s/s>     paced Poisson session-start rate (default 32/s)
 //
 // The JSON is written to BENCH_serve.json unless --json overrides it.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench_util.h"
@@ -141,17 +158,290 @@ bool identical_verdicts(const std::vector<ivc::defense::stream_event>& a,
   return true;
 }
 
+// ---- Paced streaming replay (serve-paced-v1) -------------------------
+
+// One block arrival on the fleet timeline.
+struct arrival_event {
+  double arrival_s = 0.0;
+  std::size_t session = 0;
+  std::size_t block = 0;
+};
+
+// Every block of the first `num_sessions` scripts, sorted by arrival
+// time (ties break by session then block index, so the offer order is
+// deterministic even when the timeline has no spread).
+std::vector<arrival_event> build_timeline(
+    const std::vector<ivc::sim::session_script>& scripts,
+    std::size_t num_sessions) {
+  std::vector<arrival_event> events;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    for (std::size_t b = 0; b < scripts[s].num_blocks(); ++b) {
+      events.push_back({scripts[s].block_arrival_s(b), s, b});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const arrival_event& a, const arrival_event& b) {
+              return std::tie(a.arrival_s, a.session, a.block) <
+                     std::tie(b.arrival_s, b.session, b.block);
+            });
+  return events;
+}
+
+// Fork-join reference for the paced replay: the same per-script blocks
+// offered in timeline order with no pacing, drained by the barrier
+// loop. The paced streaming runs must reproduce these verdict streams
+// bit-exactly.
+std::vector<std::vector<ivc::defense::stream_event>> forkjoin_reference(
+    const std::vector<ivc::sim::session_script>& scripts,
+    const std::vector<arrival_event>& timeline, std::size_t num_sessions,
+    ivc::serve::serve_config cfg) {
+  using ivc::serve::offer_status;
+  cfg.worker_threads = 1;
+  ivc::serve::session_manager manager{trained_detector_cache(), cfg};
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    manager.open_session();
+  }
+  for (const arrival_event& e : timeline) {
+    while (manager.offer(e.session, scripts[e.session].block(e.block)) ==
+           offer_status::rejected) {
+      manager.drain();
+    }
+  }
+  manager.finish();
+  std::vector<std::vector<ivc::defense::stream_event>> verdicts;
+  verdicts.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    verdicts.push_back(manager.verdicts(s));
+  }
+  return verdicts;
+}
+
+struct paced_result {
+  double wall_s = 0.0;
+  ivc::serve::serve_totals totals;
+  std::vector<std::vector<ivc::defense::stream_event>> verdicts;
+};
+
+// Replays the timeline against a LIVE streaming manager: start(workers)
+// first, then every block is offered at arrival_s / pace on the wall
+// clock (an offer that falls behind schedule goes out immediately — a
+// congested replay degrades into a burst, like a real backlogged
+// capture pipe). A session is closed right after its last block, so
+// end-of-stream flushes interleave with later arrivals instead of
+// gathering at the end.
+paced_result run_paced(const std::vector<ivc::sim::session_script>& scripts,
+                       const std::vector<arrival_event>& timeline,
+                       std::size_t num_sessions,
+                       const ivc::serve::serve_config& cfg,
+                       std::size_t workers, double pace) {
+  using ivc::serve::offer_status;
+  namespace chrono = std::chrono;
+  ivc::serve::serve_config streaming_cfg = cfg;
+  // Streaming workers come from start(); a pool of 1 spawns no threads
+  // and still serves the final drain() sweep on the caller.
+  streaming_cfg.worker_threads = 1;
+  ivc::serve::session_manager manager{trained_detector_cache(),
+                                      streaming_cfg};
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    manager.open_session();
+  }
+  manager.start(workers);
+  paced_result result;
+  const auto t0 = chrono::steady_clock::now();
+  for (const arrival_event& e : timeline) {
+    const auto due =
+        t0 + chrono::duration_cast<chrono::steady_clock::duration>(
+                 chrono::duration<double>(e.arrival_s / pace));
+    std::this_thread::sleep_until(due);
+    while (manager.offer(e.session, scripts[e.session].block(e.block)) ==
+           offer_status::rejected) {
+      // Backpressure under the reject policy: the streaming workers are
+      // draining concurrently, so yield briefly and retry.
+      std::this_thread::sleep_for(chrono::microseconds(200));
+    }
+    if (e.block + 1 == scripts[e.session].num_blocks()) {
+      manager.close(e.session);
+    }
+  }
+  manager.close_all();
+  manager.stop();
+  manager.finish();  // sweep any offer that raced the stop
+  result.wall_s =
+      chrono::duration<double>(chrono::steady_clock::now() - t0).count();
+  result.totals = manager.aggregate();
+  result.verdicts.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    result.verdicts.push_back(manager.verdicts(s));
+  }
+  return result;
+}
+
+// The full paced protocol: timeline-stamped traffic, a fork-join
+// reference, then a streaming replay per worker count — each checked
+// bit-identical to the reference — reporting queue-wait and service
+// latency as separate histograms.
+int run_paced_protocol(const ivc::bench::options& opts, bool smoke,
+                       std::size_t sessions_override, double pace,
+                       double session_rate_hz) {
+  using namespace ivc;
+  const std::size_t hw = default_thread_count();
+  const std::size_t num_sessions =
+      sessions_override > 0 ? sessions_override
+                            : (smoke ? std::size_t{64} : std::size_t{256});
+  std::vector<std::size_t> workers =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, hw};
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+
+  bench::banner("SERVE-paced", smoke
+                                   ? "streaming arrival-paced load (smoke)"
+                                   : "streaming arrival-paced load");
+  bench::json_report report{smoke ? "SERVE-paced-smoke" : "SERVE-paced",
+                            "streaming arrival-paced load"};
+  report.set_signature("serve-paced-v1");
+  report.set_seed(7);
+  const bench::stopwatch total_clock;
+
+  // ---- Traffic with a deterministic arrival timeline. ----------------
+  sim::traffic_config tc;
+  tc.num_sessions = num_sessions;
+  tc.utterances_per_session = smoke ? 1 : 2;
+  tc.session_rate_hz = session_rate_hz;
+  tc.num_threads = opts.threads;
+  const sim::traffic_generator generator{tc, 7};
+  (void)trained_detector_cache();  // train before timing the render
+  const bench::stopwatch render_clock;
+  const std::vector<sim::session_script> scripts = generator.render_all();
+  double fleet_audio_s = 0.0;
+  double timeline_end_s = 0.0;
+  for (const sim::session_script& s : scripts) {
+    fleet_audio_s += s.capture.duration_s();
+    timeline_end_s = std::max(timeline_end_s, s.end_s());
+  }
+  const std::vector<arrival_event> timeline =
+      build_timeline(scripts, num_sessions);
+  bench::note("fleet: %zu streams, %.1f s of audio over a %.1f s timeline "
+              "(Poisson starts at %.0f/s), replayed at %.0fx, rendered in "
+              "%.2f s",
+              scripts.size(), fleet_audio_s, timeline_end_s, session_rate_hz,
+              pace, render_clock.elapsed_s());
+  report.add_metric("fleet_streams", static_cast<double>(scripts.size()));
+  report.add_metric("fleet_audio_s", fleet_audio_s);
+  report.add_metric("timeline_s", timeline_end_s);
+  report.add_metric("pace", pace);
+  report.add_metric("session_rate_hz", session_rate_hz);
+  bench::rule();
+
+  serve::serve_config cfg;
+  cfg.queue_capacity = 64;
+  cfg.policy = serve::overflow_policy::reject;
+
+  // ---- Fork-join reference: the determinism anchor. ------------------
+  const auto reference =
+      forkjoin_reference(scripts, timeline, num_sessions, cfg);
+  std::size_t reference_events = 0;
+  for (const auto& v : reference) {
+    reference_events += v.size();
+  }
+  bench::note("fork-join reference: %zu verdicts over %zu sessions",
+              reference_events, reference.size());
+
+  // ---- Streaming replays: one per worker count. ----------------------
+  // Under the reject policy nothing can shed — the backpressure signal
+  // of a paced run is the rejected-offer count (producer stall events).
+  sim::result_table sweep{{"workers"},
+                          {"wall_s", "rtf", "queue_p50_ms", "queue_p95_ms",
+                           "queue_p99_ms", "service_p50_ms", "service_p95_ms",
+                           "service_p99_ms", "rejected_blocks", "events"}};
+  bool determinism_ok = true;
+  std::printf("%8s %9s %9s %10s %10s %10s %12s %12s %7s\n", "workers",
+              "wall s", "rtf", "queue p50", "queue p95", "queue p99",
+              "service p50", "service p95", "events");
+  for (const std::size_t W : workers) {
+    const paced_result r =
+        run_paced(scripts, timeline, num_sessions, cfg, W, pace);
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      if (!identical_verdicts(reference[s], r.verdicts[s])) {
+        determinism_ok = false;
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: paced session %zu verdicts "
+                     "differ from fork-join drain at %zu workers\n",
+                     s, W);
+      }
+    }
+    const serve::serve_totals& t = r.totals;
+    const double rtf = t.stats.audio_s_processed / r.wall_s;
+    std::printf("%8zu %9.2f %9.1f %8.2fms %8.2fms %8.2fms %10.2fms %10.2fms "
+                "%7llu\n",
+                W, r.wall_s, rtf, 1e3 * t.stats.queue_wait.quantile(0.50),
+                1e3 * t.stats.queue_wait.quantile(0.95),
+                1e3 * t.stats.queue_wait.quantile(0.99),
+                1e3 * t.stats.service.quantile(0.50),
+                1e3 * t.stats.service.quantile(0.95),
+                static_cast<unsigned long long>(t.stats.events));
+    sim::result_table::row row;
+    row.labels = {std::to_string(W)};
+    row.coords = {static_cast<double>(W)};
+    row.metrics = {r.wall_s,
+                   rtf,
+                   1e3 * t.stats.queue_wait.quantile(0.50),
+                   1e3 * t.stats.queue_wait.quantile(0.95),
+                   1e3 * t.stats.queue_wait.quantile(0.99),
+                   1e3 * t.stats.service.quantile(0.50),
+                   1e3 * t.stats.service.quantile(0.95),
+                   1e3 * t.stats.service.quantile(0.99),
+                   static_cast<double>(t.stats.blocks_rejected),
+                   static_cast<double>(t.stats.events)};
+    sweep.add_row(row);
+    if (W == workers.back()) {
+      report.add_latency_metrics("latency", t.stats.latency);
+      report.add_latency_metrics("queue_wait", t.stats.queue_wait);
+      report.add_latency_metrics("service", t.stats.service);
+      report.add_metric("rejected_blocks",
+                        static_cast<double>(t.stats.blocks_rejected));
+      report.add_metric("events", static_cast<double>(t.stats.events));
+      report.add_metric("wall_s", r.wall_s);
+      report.add_metric("rtf", rtf);
+    }
+  }
+  sweep.print();
+  report.add_table("paced_sweep", sweep);
+  report.add_metric("determinism_ok", determinism_ok ? 1.0 : 0.0);
+  report.add_metric("sessions", static_cast<double>(num_sessions));
+
+  const double elapsed = total_clock.elapsed_s();
+  report.add_metric("elapsed_s", elapsed);
+  bench::rule();
+  bench::note("paced verdict streams bit-identical to fork-join drain: %s",
+              determinism_ok ? "yes" : "NO");
+  bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
+  report.write(opts);
+  return determinism_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ivc;
   bench::options opts = bench::parse_options(argc, argv);
   bool smoke = false;
+  bool paced = false;
+  double pace = 4.0;
+  double session_rate_hz = 32.0;
   std::size_t sessions_override = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--paced") {
+      paced = true;
+    } else if (arg == "--pace" && i + 1 < argc) {
+      const double v = std::atof(argv[++i]);
+      pace = v > 0.0 ? v : pace;
+    } else if (arg == "--rate" && i + 1 < argc) {
+      const double v = std::atof(argv[++i]);
+      session_rate_hz = v > 0.0 ? v : session_rate_hz;
     } else if (arg == "--sessions" && i + 1 < argc) {
       const long long v = std::atoll(argv[++i]);
       sessions_override = v > 0 ? static_cast<std::size_t>(v) : 0;
@@ -159,6 +449,10 @@ int main(int argc, char** argv) {
   }
   if (opts.json_path.empty()) {
     opts.json_path = "BENCH_serve.json";
+  }
+  if (paced) {
+    return run_paced_protocol(opts, smoke, sessions_override, pace,
+                              session_rate_hz);
   }
   const std::size_t hw = default_thread_count();
 

@@ -7,17 +7,29 @@
 
 namespace ivc {
 
-std::size_t log_histogram::bin_index(double value) {
-  if (value <= lo_edge_) {
+log_histogram::log_histogram(const histogram_config& config)
+    : config_{config} {
+  expects(config_.lo_edge > 0.0 && config_.hi_edge > config_.lo_edge,
+          "log_histogram: need 0 < lo_edge < hi_edge");
+  expects(config_.bins_per_decade >= 1,
+          "log_histogram: need >= 1 bin per decade");
+  const double decades = std::log10(config_.hi_edge / config_.lo_edge);
+  const auto bins = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(config_.bins_per_decade)));
+  bins_.assign(std::max<std::size_t>(bins, 1), 0);
+}
+
+std::size_t log_histogram::bin_index(double value) const {
+  if (value <= config_.lo_edge) {
     return 0;
   }
-  if (value >= hi_edge_) {
-    return num_bins_ - 1;
+  if (value >= config_.hi_edge) {
+    return bins_.size() - 1;
   }
-  const double pos = std::log10(value / lo_edge_) *
-                     static_cast<double>(bins_per_decade_);
+  const double pos = std::log10(value / config_.lo_edge) *
+                     static_cast<double>(config_.bins_per_decade);
   const auto idx = static_cast<std::size_t>(pos);
-  return std::min(idx, num_bins_ - 1);
+  return std::min(idx, bins_.size() - 1);
 }
 
 void log_histogram::record(double value) {
@@ -58,14 +70,16 @@ double log_histogram::quantile(double q) const {
       std::ceil(q * static_cast<double>(count_)));
   const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
   std::uint64_t cum = 0;
-  for (std::size_t b = 0; b < num_bins_; ++b) {
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
     cum += bins_[b];
     if (cum >= target) {
       const double lo =
-          lo_edge_ * std::pow(10.0, static_cast<double>(b) /
-                                        static_cast<double>(bins_per_decade_));
+          config_.lo_edge *
+          std::pow(10.0, static_cast<double>(b) /
+                             static_cast<double>(config_.bins_per_decade));
       const double hi =
-          lo * std::pow(10.0, 1.0 / static_cast<double>(bins_per_decade_));
+          lo * std::pow(10.0,
+                        1.0 / static_cast<double>(config_.bins_per_decade));
       return std::clamp(std::sqrt(lo * hi), min_, max_);
     }
   }
@@ -73,6 +87,8 @@ double log_histogram::quantile(double q) const {
 }
 
 void log_histogram::merge(const log_histogram& other) {
+  expects(config_ == other.config_,
+          "log_histogram::merge: binning configs differ");
   if (other.count_ == 0) {
     return;
   }
@@ -83,7 +99,7 @@ void log_histogram::merge(const log_histogram& other) {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
-  for (std::size_t b = 0; b < num_bins_; ++b) {
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
     bins_[b] += other.bins_[b];
   }
   count_ += other.count_;

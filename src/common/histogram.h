@@ -3,19 +3,40 @@
 // The serving layer accounts per-block latency per session and globally;
 // a fixed-size log-spaced histogram gives p50/p95/p99 with O(1) record
 // cost and exact-count merges, so per-session histograms can be folded
-// into a fleet-wide view without storing every sample. Values span
-// 100 ns .. 1000 s (anything outside clamps into the edge bins); the
-// recorded min/max keep the extreme quantiles exact at the tails.
+// into a fleet-wide view without storing every sample. The default
+// config spans 100 ns .. 1000 s at 16 bins per decade (anything outside
+// clamps into the edge bins); the recorded min/max keep the extreme
+// quantiles exact at the tails. Merging is only defined between
+// histograms of the SAME binning config — bin counts are meaningless
+// across different edges, so merge() enforces the match instead of
+// silently corrupting bins.
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace ivc {
 
+// Binning of a log_histogram. Two histograms are mergeable iff their
+// configs compare equal.
+struct histogram_config {
+  double lo_edge = 1e-7;  // 100 ns
+  double hi_edge = 1e3;   // 1000 s
+  std::size_t bins_per_decade = 16;
+
+  friend bool operator==(const histogram_config&,
+                         const histogram_config&) = default;
+};
+
 class log_histogram {
  public:
+  log_histogram() : log_histogram(histogram_config{}) {}
+  explicit log_histogram(const histogram_config& config);
+
+  const histogram_config& config() const { return config_; }
+  std::size_t num_bins() const { return bins_.size(); }
+
   // Records one non-negative value (seconds, or any unit — the histogram
   // only assumes a positive dynamic range). Negative values clamp to 0.
   void record(double value);
@@ -31,19 +52,19 @@ class log_histogram {
   double quantile(double q) const;
 
   // Folds `other` into this histogram (counts add; min/max/mean merge).
+  // Precondition: other.config() == config() — bin-by-bin addition
+  // across different edges would silently misfile every sample (and
+  // read out of bounds when the bin counts differ).
   void merge(const log_histogram& other);
 
-  void reset() { *this = log_histogram{}; }
+  // Clears the counts; the binning config is preserved.
+  void reset() { *this = log_histogram{config_}; }
 
  private:
-  static constexpr double lo_edge_ = 1e-7;   // 100 ns
-  static constexpr double hi_edge_ = 1e3;    // 1000 s
-  static constexpr std::size_t bins_per_decade_ = 16;
-  static constexpr std::size_t num_bins_ = 10 * bins_per_decade_;
+  std::size_t bin_index(double value) const;
 
-  static std::size_t bin_index(double value);
-
-  std::array<std::uint64_t, num_bins_> bins_{};
+  histogram_config config_;
+  std::vector<std::uint64_t> bins_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

@@ -28,7 +28,14 @@ std::vector<stream_event> stream_detector::feed(const audio::buffer& block) {
 }
 
 std::vector<stream_event> stream_detector::finish() {
-  return drain(/*flush=*/true);
+  std::vector<stream_event> events = drain(/*flush=*/true);
+  // A finished stream is over: leaving pending_/rate_/consumed_s_ intact
+  // would let a later feed() silently continue it with spliced
+  // timestamps (and leak the sub-half-window residue into the next
+  // stream). Reset so feeding again starts a fresh stream at t = 0 —
+  // identical to an explicit reset().
+  reset();
+  return events;
 }
 
 void stream_detector::reset() {

@@ -31,7 +31,10 @@ class stream_detector {
   // Feeds a block of samples; returns any decisions completed by it.
   std::vector<stream_event> feed(const audio::buffer& block);
 
-  // Flushes buffered samples shorter than a full window.
+  // Flushes buffered samples shorter than a full window, then resets:
+  // the stream is over, and a subsequent feed() starts a NEW stream at
+  // t = 0 (equivalent to calling reset()) rather than silently splicing
+  // onto the finished one.
   std::vector<stream_event> finish();
 
   void reset();

@@ -17,6 +17,7 @@ detection_session::detection_session(std::uint64_t id,
       capacity_{config.queue_capacity},
       policy_{config.policy},
       ring_(config.queue_capacity),
+      stats_{config.latency_bins},
       detector_{std::move(detector), config.stream} {
   expects(capacity_ >= 1, "detection_session: queue capacity must be >= 1");
 }
@@ -94,15 +95,23 @@ std::size_t detection_session::process(std::size_t max_blocks) {
   queued_block item;
   while ((max_blocks == 0 || processed < max_blocks) && pop(item)) {
     // Feed outside the queue lock: scoring is the expensive part and
-    // producers must be able to keep enqueueing meanwhile.
+    // producers must be able to keep enqueueing meanwhile. Only the
+    // detector itself lives outside the lock — verdict/stat appends go
+    // back under it so concurrent readers (streaming mode) are safe.
+    const clock::time_point claimed = clock::now();
     const double rate = item.block.sample_rate_hz;
     const std::size_t samples = item.block.size();
     const std::vector<defense::stream_event> events =
         detector_.feed(item.block);
-    verdicts_.insert(verdicts_.end(), events.begin(), events.end());
+    const clock::time_point scored = clock::now();
+    const double queue_wait_s =
+        std::chrono::duration<double>(claimed - item.enqueued).count();
+    const double service_s =
+        std::chrono::duration<double>(scored - claimed).count();
     const double latency_s =
-        std::chrono::duration<double>(clock::now() - item.enqueued).count();
+        std::chrono::duration<double>(scored - item.enqueued).count();
     std::lock_guard<std::mutex> lock{mutex_};
+    verdicts_.insert(verdicts_.end(), events.begin(), events.end());
     ++stats_.blocks_processed;
     stats_.samples_processed += samples;
     stats_.audio_s_processed += static_cast<double>(samples) / rate;
@@ -111,6 +120,8 @@ std::size_t detection_session::process(std::size_t max_blocks) {
       stats_.attack_events += e.is_attack ? 1 : 0;
     }
     stats_.latency.record(latency_s);
+    stats_.queue_wait.record(queue_wait_s);
+    stats_.service.record(service_s);
     ++processed;
   }
   // End-of-stream flush: once the producer closed the session and the
@@ -125,9 +136,9 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     }
   }
   const std::vector<defense::stream_event> tail = detector_.finish();
-  verdicts_.insert(verdicts_.end(), tail.begin(), tail.end());
   {
     std::lock_guard<std::mutex> lock{mutex_};
+    verdicts_.insert(verdicts_.end(), tail.begin(), tail.end());
     stats_.events += tail.size();
     for (const defense::stream_event& e : tail) {
       stats_.attack_events += e.is_attack ? 1 : 0;
@@ -135,6 +146,11 @@ std::size_t detection_session::process(std::size_t max_blocks) {
   }
   busy_.store(false);
   return processed;
+}
+
+std::vector<defense::stream_event> detection_session::verdicts() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return verdicts_;
 }
 
 session_stats detection_session::stats() const {

@@ -2,16 +2,22 @@
 //
 // A detection_session wraps a defense::stream_detector behind a bounded
 // ring-buffered ingest queue so that producers (capture threads, the
-// load generator) and consumers (the session_manager's worker pool) are
+// load generator) and consumers (the session_manager's workers) are
 // decoupled. The contract that makes the whole layer testable:
 //
 //   * the verdict stream is a pure function of the sequence of ACCEPTED
 //     blocks — workers drain a session exclusively and in FIFO order, so
 //     verdicts are bit-identical at any worker count and any drain
-//     schedule; scheduling only moves the latency numbers;
+//     schedule (fork-join drain() or streaming start()/stop());
+//     scheduling only moves the latency numbers;
 //   * overflow is explicit: when the ring is full the configured policy
 //     either sheds (newest or oldest, counted per session) or rejects
 //     the offer so the producer can apply backpressure and retry.
+//
+// All shared state — the ring, the counters, AND the verdict stream —
+// is guarded by the session mutex; verdicts() hands out a snapshot copy
+// so the streaming mode can read a live session's verdicts while a
+// worker appends to them.
 #pragma once
 
 #include <atomic>
@@ -38,12 +44,18 @@ struct serve_config {
   defense::stream_config stream;  // per-session sliding-window detector
   std::size_t queue_capacity = 64;       // blocks per session ring
   overflow_policy policy = overflow_policy::shed_newest;
-  // Worker threads draining sessions (session_manager); counts the
-  // calling thread like common/parallel.h. 0 = one per hardware thread.
+  // Worker threads draining sessions. For fork-join drain() this sizes
+  // the common/parallel.h pool (counts the calling thread; 0 = one per
+  // hardware thread). For streaming start() it is the default long-lived
+  // worker count when start(0) is called.
   std::size_t worker_threads = 0;
   // Blocks a worker processes per claim of one session (its scoring
   // batch). 0 = drain the session's queue completely per claim.
   std::size_t max_blocks_per_pass = 0;
+  // Binning of every latency histogram (total, queue-wait, service).
+  // Per-session histograms and the aggregate() fold all use this, so
+  // merges always see matching configs.
+  histogram_config latency_bins;
 };
 
 enum class offer_status {
@@ -54,6 +66,10 @@ enum class offer_status {
 };
 
 struct session_stats {
+  session_stats() = default;
+  explicit session_stats(const histogram_config& bins)
+      : latency{bins}, queue_wait{bins}, service{bins} {}
+
   std::uint64_t blocks_offered = 0;
   std::uint64_t blocks_accepted = 0;
   std::uint64_t blocks_processed = 0;
@@ -63,8 +79,16 @@ struct session_stats {
   double audio_s_processed = 0.0;
   std::uint64_t events = 0;         // verdicts emitted
   std::uint64_t attack_events = 0;  // verdicts with is_attack
-  // Per-block latency, offer() to scored, seconds.
+  // Per-block latency decomposition, seconds:
+  //   latency    = offer() to scored (end to end)
+  //   queue_wait = offer() to claimed by a worker
+  //   service    = claimed to scored (detector time)
+  // latency ≈ queue_wait + service per block; the histograms bin each
+  // part independently so paced replays can tell congestion (queue
+  // growth) from slow scoring.
   log_histogram latency;
+  log_histogram queue_wait;
+  log_histogram service;
 };
 
 class detection_session {
@@ -94,11 +118,9 @@ class detection_session {
   // immediately instead of blocking. Returns blocks processed.
   std::size_t process(std::size_t max_blocks = 0);
 
-  // The verdict stream so far. Stable (and safe to read) once no worker
-  // is draining this session — i.e. after session_manager::drain.
-  const std::vector<defense::stream_event>& verdicts() const {
-    return verdicts_;
-  }
+  // Snapshot of the verdict stream so far. Safe to call at any time,
+  // including while a worker is appending (streaming mode).
+  std::vector<defense::stream_event> verdicts() const;
 
   session_stats stats() const;
 
@@ -115,19 +137,19 @@ class detection_session {
   const std::size_t capacity_;
   const overflow_policy policy_;
 
-  mutable std::mutex mutex_;  // guards ring_, stats_, closed_
+  mutable std::mutex mutex_;  // guards ring_, stats_, closed_, verdicts_
   std::vector<queued_block> ring_;
   std::size_t head_ = 0;   // oldest queued block
   std::size_t count_ = 0;  // queued blocks
   session_stats stats_;
   bool closed_ = false;
   bool finished_ = false;  // close() flush done
+  std::vector<defense::stream_event> verdicts_;
 
   std::atomic<bool> busy_{false};  // one worker at a time
 
   // Touched only by the worker holding busy_.
   defense::stream_detector detector_;
-  std::vector<defense::stream_event> verdicts_;
 };
 
 }  // namespace ivc::serve

@@ -12,11 +12,17 @@ session_manager::session_manager(defense::classifier_detector detector,
       config_{config},
       pool_{config.worker_threads} {}
 
+session_manager::~session_manager() { stop(); }
+
 std::uint64_t session_manager::open_session() {
   std::lock_guard<std::mutex> lock{sessions_mutex_};
   const auto id = static_cast<std::uint64_t>(sessions_.size());
   sessions_.push_back(
       std::make_unique<detection_session>(id, detector_, config_));
+  {
+    std::lock_guard<std::mutex> sched_lock{sched_mutex_};
+    sched_.push_back(sched_state::idle);
+  }
   return id;
 }
 
@@ -38,23 +44,43 @@ offer_status session_manager::offer(std::uint64_t id, audio::buffer block) {
     expects(id < sessions_.size(), "session_manager: unknown session id");
     s = sessions_[id].get();
   }
-  return s->offer(std::move(block));
+  const offer_status status = s->offer(std::move(block));
+  if (status == offer_status::accepted) {
+    notify_ready(id, s);
+  }
+  return status;
 }
 
 void session_manager::close(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
-  expects(id < sessions_.size(), "session_manager: unknown session id");
-  sessions_[id]->close();
+  detection_session* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock{sessions_mutex_};
+    expects(id < sessions_.size(), "session_manager: unknown session id");
+    s = sessions_[id].get();
+  }
+  s->close();
+  notify_ready(id, s);  // the close() flush is work
 }
 
 void session_manager::close_all() {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
-  for (const std::unique_ptr<detection_session>& s : sessions_) {
+  std::vector<detection_session*> all;
+  {
+    std::lock_guard<std::mutex> lock{sessions_mutex_};
+    all.reserve(sessions_.size());
+    for (const std::unique_ptr<detection_session>& s : sessions_) {
+      all.push_back(s.get());
+    }
+  }
+  for (detection_session* s : all) {
     s->close();
+    notify_ready(s->id(), s);
   }
 }
 
 void session_manager::drain() {
+  expects(!streaming(),
+          "session_manager: drain() must not run while streaming workers "
+          "are live — call stop() first");
   for (;;) {
     std::vector<detection_session*> ready;
     {
@@ -78,12 +104,126 @@ void session_manager::drain() {
   }
 }
 
+void session_manager::start(std::size_t n_workers) {
+  const std::size_t count =
+      n_workers == 0 ? default_thread_count() : n_workers;
+  {
+    // Hold BOTH locks (sessions, then sched — the global order) across
+    // seeding and worker spawn: an open_session + offer racing start()
+    // then either lands before (and the seed scan below sees its work)
+    // or after (and notify_ready sees live workers and enqueues it) —
+    // never in a gap where both miss it.
+    std::lock_guard<std::mutex> sessions_lock{sessions_mutex_};
+    std::lock_guard<std::mutex> lock{sched_mutex_};
+    if (!workers_.empty()) {
+      return;  // idempotent: already streaming
+    }
+    stopping_ = false;
+    // Seed the ready-queue with everything offered before start(): those
+    // offers saw no live workers and did not enqueue.
+    for (const std::unique_ptr<detection_session>& s : sessions_) {
+      const std::uint64_t id = s->id();
+      if (sched_[id] == sched_state::idle && s->has_work()) {
+        sched_[id] = sched_state::queued;
+        ready_.emplace_back(id, s.get());
+      }
+    }
+    workers_.reserve(count);
+    for (std::size_t w = 0; w < count; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+  sched_cv_.notify_all();
+}
+
+void session_manager::stop() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock{sched_mutex_};
+    if (workers_.empty()) {
+      return;  // idempotent: not streaming
+    }
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  sched_cv_.notify_all();
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  std::lock_guard<std::mutex> lock{sched_mutex_};
+  // Offers racing with stop() can strand entries after the last worker
+  // exits; reset the schedule — the blocks themselves are still queued
+  // in their sessions and the next start()/drain() picks them up.
+  ready_.clear();
+  for (sched_state& st : sched_) {
+    st = sched_state::idle;
+  }
+}
+
+bool session_manager::streaming() const {
+  std::lock_guard<std::mutex> lock{sched_mutex_};
+  return !workers_.empty();
+}
+
+void session_manager::notify_ready(std::uint64_t id, detection_session* s) {
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock{sched_mutex_};
+    if (workers_.empty()) {
+      return;  // not streaming: drain() discovers work by scanning
+    }
+    if (sched_[id] == sched_state::idle) {
+      sched_[id] = sched_state::queued;
+      ready_.emplace_back(id, s);
+      enqueued = true;
+    }
+  }
+  if (enqueued) {
+    sched_cv_.notify_one();
+  }
+}
+
+void session_manager::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock{sched_mutex_};
+    sched_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      return;  // stopping_ and nothing left to do
+    }
+    const auto [id, s] = ready_.front();
+    ready_.pop_front();
+    sched_[id] = sched_state::claimed;
+    lock.unlock();
+
+    s->process(config_.max_blocks_per_pass);
+
+    lock.lock();
+    // Re-check under the scheduler lock: an offer that arrived while we
+    // were processing saw state `claimed` and did not enqueue — it is
+    // our job to re-queue. Conversely an offer that lands after this
+    // check sees `idle` and enqueues itself. Either way no block is
+    // stranded.
+    if (s->has_work()) {
+      sched_[id] = sched_state::queued;
+      ready_.emplace_back(id, s);
+      lock.unlock();
+      sched_cv_.notify_one();
+    } else {
+      sched_[id] = sched_state::idle;
+    }
+  }
+}
+
 void session_manager::finish() {
   close_all();
+  // stop() is a no-op when not streaming; when streaming it flushes
+  // everything enqueued, and the scan-based drain sweeps any block a
+  // racing offer left behind.
+  stop();
   drain();
 }
 
-const std::vector<defense::stream_event>& session_manager::verdicts(
+std::vector<defense::stream_event> session_manager::verdicts(
     std::uint64_t id) const {
   return session(id).verdicts();
 }
@@ -101,7 +241,10 @@ serve_totals session_manager::aggregate() const {
       all.push_back(s.get());
     }
   }
+  // The fleet histograms must use the same binning as the per-session
+  // ones: log_histogram::merge requires matching configs.
   serve_totals totals;
+  totals.stats = session_stats{config_.latency_bins};
   totals.num_sessions = all.size();
   for (const detection_session* s : all) {
     const session_stats st = s->stats();
@@ -115,6 +258,8 @@ serve_totals session_manager::aggregate() const {
     totals.stats.events += st.events;
     totals.stats.attack_events += st.attack_events;
     totals.stats.latency.merge(st.latency);
+    totals.stats.queue_wait.merge(st.queue_wait);
+    totals.stats.service.merge(st.service);
     totals.sessions_with_attack_events += st.attack_events > 0 ? 1 : 0;
   }
   return totals;

@@ -1,15 +1,28 @@
 // Multi-stream defense serving layer: N concurrent detection sessions
 // drained by a shared worker pool.
 //
-// The manager owns the sessions and a common/parallel.h thread pool.
-// Producers offer ingest blocks to sessions at any time (thread-safe);
-// drain() fans the pool out over every session with pending work, each
-// worker claiming one session at a time and scoring its queued windows
-// back-to-back — the scoring batch — so the per-thread caches under
-// feature extraction (band-filter designs, FFT plans) are hit instead
-// of rebuilt per window. Because a session is always drained
-// exclusively and in FIFO order, per-session verdict streams are
-// bit-identical at any worker count; only latency/throughput move.
+// The manager owns the sessions and offers two drain disciplines over
+// the same exclusive-claim contract:
+//
+//   * Fork-join drain(): every pass fans the common/parallel.h pool out
+//     over the sessions that currently have work and barriers on the
+//     slowest — the batch-replay shape. Simple, but a fleet that keeps
+//     offering audio re-arms the pass forever and every pass pays for
+//     its slowest session.
+//   * Streaming start(n)/stop(): n long-lived workers block on a
+//     condition-variable ready-queue. A session enqueues itself when an
+//     offer()/close() gives it work; a worker claims it exclusively,
+//     scores its queued blocks back-to-back (the scoring batch — the
+//     per-thread caches under feature extraction are hit instead of
+//     rebuilt per window), then re-queues it if more work arrived
+//     meanwhile. No barriers: latency is per-session, not
+//     per-slowest-session, which is what arrival-time-paced workloads
+//     need.
+//
+// Because a session is always drained exclusively and in FIFO order
+// under EITHER discipline, per-session verdict streams are bit-identical
+// at any worker count and across the two modes; only latency and
+// throughput move.
 //
 // Backpressure is explicit and lives at the session queues: a full ring
 // sheds (newest or oldest) or rejects per serve_config::policy, and
@@ -18,9 +31,12 @@
 // load bench reports.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -29,7 +45,7 @@
 namespace ivc::serve {
 
 // Fleet-wide totals: summed session counters plus the merged latency
-// histogram.
+// histograms (binned per serve_config::latency_bins).
 struct serve_totals {
   session_stats stats;            // counters summed over sessions
   std::size_t num_sessions = 0;
@@ -40,47 +56,91 @@ class session_manager {
  public:
   explicit session_manager(defense::classifier_detector detector,
                            serve_config config = {});
+  ~session_manager();  // stops streaming workers if still running
 
   const serve_config& config() const { return config_; }
 
   // Opens a new session and returns its id (dense, starting at 0).
-  // Thread-safe with respect to other open_session calls; do not call
-  // concurrently with drain().
+  // Thread-safe; sessions may be opened mid-stream while streaming
+  // workers run (the new session joins the ready-queue on its first
+  // offer). Do not call concurrently with fork-join drain().
   std::uint64_t open_session();
 
   std::size_t num_sessions() const;
 
-  // Producer side: offers one block to session `id`. Thread-safe.
+  // Producer side: offers one block to session `id`. Thread-safe. While
+  // streaming, an accepted offer (or a shed_oldest eviction) enqueues
+  // the session on the ready-queue if it is not already queued/claimed.
   offer_status offer(std::uint64_t id, audio::buffer block);
 
-  // Marks a session (or all of them) end-of-stream; the next drain
-  // flushes partial windows.
+  // Marks a session (or all of them) end-of-stream; the flush happens on
+  // the next drain, or — while streaming — as soon as a worker claims
+  // the session.
   void close(std::uint64_t id);
   void close_all();
 
-  // Runs the worker pool over every session with pending work until all
-  // queues are empty (and closed sessions are flushed). Safe to call
-  // repeatedly; producers may keep offering concurrently, in which case
-  // drain returns once it observes a pass with nothing left to do.
+  // Fork-join: runs the worker pool over every session with pending work
+  // until all queues are empty (and closed sessions are flushed). Safe
+  // to call repeatedly; producers may keep offering concurrently, in
+  // which case drain returns once it observes a pass with nothing left
+  // to do. Must not be called while streaming workers run.
   void drain();
 
-  // close_all() + drain(): end-of-run flush.
+  // Streaming: spawns `n_workers` long-lived worker threads (0 =
+  // default_thread_count()) blocking on the ready-queue, and enqueues
+  // every session that already has work. Idempotent: calling start()
+  // while streaming is a no-op (the worker count does not change).
+  void start(std::size_t n_workers = 0);
+
+  // Streaming: finishes everything on the ready-queue (including work
+  // sessions re-queue for themselves while stopping), then joins the
+  // workers. Offers that race with stop() may leave queued blocks
+  // behind; they are picked up by the next start() or drain().
+  // Idempotent: stop() without start() is a no-op.
+  void stop();
+
+  // True between start() and stop().
+  bool streaming() const;
+
+  // close_all() + flush: in streaming mode stops the workers after the
+  // flush; otherwise runs a fork-join drain.
   void finish();
 
   const detection_session& session(std::uint64_t id) const;
 
-  // The verdict stream of one session (stable after drain()).
-  const std::vector<defense::stream_event>& verdicts(std::uint64_t id) const;
+  // Snapshot of one session's verdict stream. Safe at any time, even
+  // while streaming workers append.
+  std::vector<defense::stream_event> verdicts(std::uint64_t id) const;
 
   session_stats stats(std::uint64_t id) const;
   serve_totals aggregate() const;
 
  private:
+  // Scheduling state of one session on the streaming ready-queue. A
+  // session is enqueued at most once (queued), and claimed by at most
+  // one worker (claimed) — the exclusive-claim invariant that keeps
+  // verdict streams bit-identical.
+  enum class sched_state : std::uint8_t { idle, queued, claimed };
+
+  // Enqueues session `id` if streaming and the session is idle.
+  void notify_ready(std::uint64_t id, detection_session* s);
+  void worker_loop();
+
   defense::classifier_detector detector_;
   serve_config config_;
   thread_pool pool_;
   mutable std::mutex sessions_mutex_;  // guards the vector, not sessions
   std::vector<std::unique_ptr<detection_session>> sessions_;
+
+  // Streaming state. Lock order: sched_mutex_ may be taken while no
+  // session mutex is held, and a session mutex may be taken under
+  // sched_mutex_ (has_work re-check) — never the other way around.
+  mutable std::mutex sched_mutex_;
+  std::condition_variable sched_cv_;
+  std::deque<std::pair<std::uint64_t, detection_session*>> ready_;
+  std::vector<sched_state> sched_;  // indexed by session id
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace ivc::serve

@@ -33,6 +33,16 @@ audio::buffer session_script::block(std::size_t b) const {
       capture.sample_rate_hz};
 }
 
+double session_script::block_arrival_s(std::size_t b) const {
+  expects(b < num_blocks(), "session_script: block index out of range");
+  const std::size_t end = std::min((b + 1) * block_samples, capture.size());
+  return start_s + static_cast<double>(end) / capture.sample_rate_hz;
+}
+
+double session_script::end_s() const {
+  return block_arrival_s(num_blocks() - 1);
+}
+
 traffic_generator::traffic_generator(traffic_config config, std::uint64_t seed)
     : config_{std::move(config)}, base_rng_{seed} {
   expects(config_.num_sessions > 0, "traffic_generator: need >= 1 session");
@@ -41,9 +51,36 @@ traffic_generator::traffic_generator(traffic_config config, std::uint64_t seed)
   expects(config_.block_s > 0.0, "traffic_generator: block_s must be > 0");
   expects(config_.utterances_per_session >= 1,
           "traffic_generator: need >= 1 utterance per session");
+  expects(config_.start_spread_s >= 0.0,
+          "traffic_generator: start_spread_s must be >= 0");
+  expects(config_.session_rate_hz >= 0.0,
+          "traffic_generator: session_rate_hz must be >= 0");
   if (config_.devices.empty()) {
     config_.devices = mic::all_profiles();
   }
+  // Start offsets come from one dedicated stream past every per-session
+  // id (sessions own ids 4i .. 4i+3), drawn in index order — adding or
+  // changing the pacing never changes any session's audio.
+  start_s_.assign(config_.num_sessions, 0.0);
+  ivc::rng arrival_rng = base_rng_.split(4 * config_.num_sessions);
+  if (config_.session_rate_hz > 0.0) {
+    double t = 0.0;
+    for (double& start : start_s_) {
+      // Exponential inter-arrival gap: -ln(1 - U) / rate, U in [0, 1).
+      t += -std::log(1.0 - arrival_rng.uniform()) / config_.session_rate_hz;
+      start = t;
+    }
+  } else if (config_.start_spread_s > 0.0) {
+    for (double& start : start_s_) {
+      start = arrival_rng.uniform(0.0, config_.start_spread_s);
+    }
+  }
+}
+
+double traffic_generator::session_start_s(std::size_t index) const {
+  expects(index < config_.num_sessions,
+          "traffic_generator: session index out of range");
+  return start_s_[index];
 }
 
 session_script traffic_generator::script(std::size_t index) const {
@@ -59,6 +96,7 @@ session_script traffic_generator::script(std::size_t index) const {
 
   session_script s;
   s.index = index;
+  s.start_s = start_s_[index];
   s.is_attack = params_rng.bernoulli(config_.attack_fraction);
   // Devices cycle round-robin (not a random draw): every profile is
   // guaranteed to appear once the fleet is at least as large as the

@@ -45,6 +45,15 @@ struct traffic_config {
   // Threads for render_all (0 = hardware). Output is bit-identical at
   // any count.
   std::size_t num_threads = 0;
+  // ---- Arrival timeline (serve_load --paced) -------------------------
+  // Sessions start uniformly spread over [0, start_spread_s] seconds
+  // (0 = everyone starts at t = 0); a session's block `b` then arrives
+  // once its audio has been captured, i.e. at start + end-of-block time.
+  double start_spread_s = 0.0;
+  // > 0: session starts instead form a Poisson process at this rate
+  // (sessions/s) — exponential inter-arrival gaps seeded from the run
+  // seed, cumulative in session index. Overrides start_spread_s.
+  double session_rate_hz = 0.0;
 };
 
 // One synthesized stream: the full capture at the device rate plus its
@@ -56,12 +65,19 @@ struct session_script {
   std::string device_name;
   double distance_m = 0.0;
   double ambient_spl_db = 0.0;
+  double start_s = 0.0;           // timeline offset of the stream start
   audio::buffer capture;          // device-rate stream (utterances + gaps)
   std::size_t block_samples = 0;  // ingest block size in samples
 
   std::size_t num_blocks() const;
   // Block `b` of the stream (the last block may be short).
   audio::buffer block(std::size_t b) const;
+  // Timeline instant block `b` becomes available to offer: the session
+  // start offset plus the capture time of the block's last sample (a
+  // capture device can only hand over a block once it has recorded it).
+  double block_arrival_s(std::size_t b) const;
+  // Arrival of the final block — when the stream is over.
+  double end_s() const;
 };
 
 class traffic_generator {
@@ -74,6 +90,12 @@ class traffic_generator {
   // Renders session `index`'s stream. Pure in (config, seed, index).
   session_script script(std::size_t index) const;
 
+  // Timeline start offset of session `index` (also stamped into its
+  // script). Pure in (config, seed, index); the Poisson process draws
+  // its gaps from a dedicated stream split off the run seed, so start
+  // times never perturb the audio content of any session.
+  double session_start_s(std::size_t index) const;
+
   // Renders every session on a thread pool (slot-per-session writes, so
   // the result is bit-identical at any thread count).
   std::vector<session_script> render_all() const;
@@ -81,6 +103,7 @@ class traffic_generator {
  private:
   traffic_config config_;
   ivc::rng base_rng_;
+  std::vector<double> start_s_;  // per-session timeline offsets
 };
 
 }  // namespace ivc::sim

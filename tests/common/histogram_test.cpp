@@ -90,5 +90,56 @@ TEST(histogram, merge_into_empty_copies) {
   EXPECT_DOUBLE_EQ(a.max(), 4e-3);
 }
 
+TEST(histogram, custom_config_sizes_bins_and_still_tracks_quantiles) {
+  histogram_config cfg;
+  cfg.lo_edge = 1e-3;
+  cfg.hi_edge = 10.0;
+  cfg.bins_per_decade = 8;
+  log_histogram h{cfg};
+  EXPECT_EQ(h.num_bins(), 32u);  // 4 decades x 8 bins
+  ivc::rng rng{9};
+  for (int i = 0; i < 5'000; ++i) {
+    h.record(rng.uniform(1e-2, 1.0));
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.15);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.5));
+}
+
+// Regression: merging histograms with different binning used to add
+// bin-by-bin anyway — misfiling every sample and reading other.bins_
+// out of bounds when `other` had fewer bins. Now it is a precondition.
+TEST(histogram, merge_rejects_mismatched_configs) {
+  histogram_config small;
+  small.lo_edge = 1e-3;
+  small.hi_edge = 1.0;
+  small.bins_per_decade = 4;
+  log_histogram a;
+  log_histogram b{small};
+  b.record(0.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(b.merge(a), std::invalid_argument);
+  // Same custom config on both sides merges fine.
+  log_histogram c{small};
+  c.record(0.25);
+  c.merge(b);
+  EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(histogram, reset_preserves_the_binning_config) {
+  histogram_config cfg;
+  cfg.lo_edge = 1e-4;
+  cfg.hi_edge = 1.0;
+  cfg.bins_per_decade = 4;
+  log_histogram h{cfg};
+  h.record(0.1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.config(), cfg);
+  log_histogram other{cfg};
+  other.record(0.2);
+  h.merge(other);  // still mergeable after reset
+  EXPECT_EQ(h.count(), 1u);
+}
+
 }  // namespace
 }  // namespace ivc

@@ -157,12 +157,35 @@ TEST(stream, chunking_invariance_survives_reset_and_finish) {
     EXPECT_EQ(first[i].is_attack, second[i].is_attack);
   }
 
-  // finish() then more feeding without reset is a contract violation the
-  // caller avoids; after reset the clock starts at zero again.
+  // finish() resets on its own, so an explicit reset() in between is
+  // optional — with or without it the clock starts at zero again.
   det.reset();
   const auto third = feed_chunked(det, speech, 1'000);
   ASSERT_FALSE(third.empty());
   EXPECT_EQ(third.front().time_s, first.front().time_s);
+}
+
+// Regression: finish() used to leave pending_/rate_/consumed_s_ intact,
+// so a later feed() silently continued the finished stream with spliced
+// timestamps (and inherited its sub-half-window residue). finish() now
+// resets: feeding again is a NEW stream, bit-identical to the first.
+TEST(stream, feed_after_finish_starts_a_fresh_stream) {
+  const audio::buffer speech = speech_with_trace(0.3, 96);
+  stream_detector det{classifier_detector{tiny_classifier()}};
+  const auto first = feed_chunked(det, speech, 997);
+  ASSERT_GE(first.size(), 1u);
+
+  // No reset() between: feed_chunked ends in finish(), which must have
+  // restored the start state on its own.
+  const auto second = feed_chunked(det, speech, 1'024);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time_s, second[i].time_s);
+    EXPECT_EQ(first[i].score, second[i].score);
+    EXPECT_EQ(first[i].is_attack, second[i].is_attack);
+  }
+  // A new stream may even change sample rate — the old one is over.
+  EXPECT_NO_THROW(det.feed(audio::silence(0.1, 48'000.0)));
 }
 
 TEST(stream, reset_restarts_clock) {

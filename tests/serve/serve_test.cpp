@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "audio/buffer.h"
@@ -209,6 +212,211 @@ TEST(serve, close_rejects_offers_and_flushes_partial_window) {
   // The flush happens exactly once.
   manager.drain();
   EXPECT_EQ(manager.verdicts(sid).size(), 1u);
+}
+
+// Streaming counterpart of run_fleet: long-lived workers via
+// start()/stop(), no fork-join drains. A rejected offer retries after a
+// short yield — the workers are draining concurrently.
+std::vector<std::vector<defense::stream_event>> run_fleet_streaming(
+    const std::vector<audio::buffer>& streams, std::size_t block,
+    serve_config cfg, std::size_t workers) {
+  cfg.worker_threads = 1;  // streaming workers come from start(), not the pool
+  session_manager manager{tiny_detector(), cfg};
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    manager.open_session();
+  }
+  manager.start(workers);
+  std::size_t max_rounds = 0;
+  for (const audio::buffer& st : streams) {
+    max_rounds = std::max(max_rounds, (st.size() + block - 1) / block);
+  }
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      const std::size_t start = round * block;
+      if (start >= streams[s].size()) {
+        continue;
+      }
+      const std::size_t end = std::min(start + block, streams[s].size());
+      audio::buffer piece{
+          {streams[s].samples.begin() + static_cast<std::ptrdiff_t>(start),
+           streams[s].samples.begin() + static_cast<std::ptrdiff_t>(end)},
+          streams[s].sample_rate_hz};
+      while (manager.offer(s, piece) == offer_status::rejected) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  }
+  manager.close_all();
+  manager.stop();
+  manager.finish();  // sweep anything that raced the stop
+  std::vector<std::vector<defense::stream_event>> verdicts;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    verdicts.push_back(manager.verdicts(s));
+  }
+  return verdicts;
+}
+
+// The tentpole invariant: the streaming drain mode reproduces the
+// fork-join verdict streams bit-exactly at any worker count — long-lived
+// workers and the ready-queue only change latency, never decisions.
+TEST(serve, streaming_matches_forkjoin_at_any_worker_count) {
+  std::vector<audio::buffer> streams;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    streams.push_back(session_stream(200 + s));
+  }
+  serve_config cfg;
+  cfg.queue_capacity = 16;
+  cfg.policy = overflow_policy::reject;
+
+  cfg.worker_threads = 1;
+  const auto reference = run_fleet(streams, 1'024, cfg);
+  std::size_t total_events = 0;
+  for (const auto& v : reference) {
+    total_events += v.size();
+  }
+  ASSERT_GT(total_events, 0u);
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const auto streaming = run_fleet_streaming(streams, 1'024, cfg, workers);
+    ASSERT_EQ(reference.size(), streaming.size());
+    for (std::size_t s = 0; s < reference.size(); ++s) {
+      ASSERT_EQ(reference[s].size(), streaming[s].size())
+          << "session " << s << " at " << workers << " streaming workers";
+      for (std::size_t i = 0; i < reference[s].size(); ++i) {
+        EXPECT_EQ(reference[s][i].time_s, streaming[s][i].time_s);
+        EXPECT_EQ(reference[s][i].score, streaming[s][i].score);
+        EXPECT_EQ(reference[s][i].is_attack, streaming[s][i].is_attack);
+      }
+    }
+  }
+}
+
+TEST(serve, streaming_start_stop_idempotent_with_mid_stream_opens) {
+  serve_config cfg;
+  cfg.queue_capacity = 8;
+  cfg.policy = overflow_policy::reject;
+  session_manager manager{tiny_detector(), cfg};
+  const audio::buffer stream = session_stream(31);
+
+  // Work offered BEFORE start() must be picked up by the backlog scan.
+  const std::uint64_t first = manager.open_session();
+  manager.offer(first, stream);
+
+  manager.start(2);
+  EXPECT_TRUE(manager.streaming());
+  manager.start(8);  // idempotent no-op while streaming
+  EXPECT_TRUE(manager.streaming());
+
+  // Sessions opened mid-stream join the ready-queue on their first offer.
+  const std::uint64_t second = manager.open_session();
+  while (manager.offer(second, stream) == offer_status::rejected) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  manager.close_all();
+  manager.stop();
+  EXPECT_FALSE(manager.streaming());
+  manager.stop();  // idempotent no-op when not streaming
+  manager.finish();
+
+  for (const std::uint64_t id : {first, second}) {
+    const session_stats st = manager.stats(id);
+    EXPECT_EQ(st.blocks_processed, st.blocks_accepted) << "session " << id;
+    EXPECT_GT(manager.verdicts(id).size(), 0u) << "session " << id;
+  }
+
+  // A fresh start() after stop() works (and drains nothing new).
+  manager.start(1);
+  manager.stop();
+}
+
+// Shed accounting must be a pure function of the offer schedule, not of
+// worker timing: with no workers running, a paced burst over a tiny ring
+// sheds exactly (offers - capacity) blocks; the streaming workers then
+// score exactly the `capacity` survivors.
+TEST(serve, streaming_shed_counters_deterministic_under_paced_overload) {
+  serve_config cfg;
+  cfg.queue_capacity = 4;
+  cfg.policy = overflow_policy::shed_newest;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer block = audio::silence(0.05, 16'000.0);
+  for (int i = 0; i < 20; ++i) {
+    manager.offer(sid, block);  // paced arrivals, consumer not yet started
+  }
+  session_stats st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_offered, 20u);
+  EXPECT_EQ(st.blocks_accepted, 4u);
+  EXPECT_EQ(st.blocks_shed, 16u);
+
+  manager.start(2);
+  manager.close_all();
+  manager.stop();
+  st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_processed, 4u);
+  EXPECT_EQ(st.blocks_shed, 16u);
+}
+
+// Regression for the verdicts_ data race: snapshots must be safe while
+// streaming workers are appending. The reader thread hammers verdicts()
+// and stats() concurrently with live scoring; sizes may only grow.
+TEST(serve, verdict_snapshots_are_safe_while_streaming) {
+  serve_config cfg;
+  cfg.queue_capacity = 32;
+  cfg.policy = overflow_policy::reject;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer stream = session_stream(47);
+
+  manager.start(2);
+  std::atomic<bool> done{false};
+  std::size_t last_seen = 0;
+  bool monotonic = true;
+  std::thread reader{[&] {
+    while (!done.load()) {
+      const std::size_t n = manager.verdicts(sid).size();
+      monotonic = monotonic && n >= last_seen;
+      last_seen = n;
+      (void)manager.stats(sid).events;
+    }
+  }};
+  const std::size_t block = 512;
+  for (std::size_t start = 0; start < stream.size(); start += block) {
+    const std::size_t end = std::min(start + block, stream.size());
+    audio::buffer piece{
+        {stream.samples.begin() + static_cast<std::ptrdiff_t>(start),
+         stream.samples.begin() + static_cast<std::ptrdiff_t>(end)},
+        stream.sample_rate_hz};
+    while (manager.offer(sid, piece) == offer_status::rejected) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  manager.close_all();
+  manager.stop();
+  done.store(true);
+  reader.join();
+  EXPECT_TRUE(monotonic);
+  const session_stats st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_processed, st.blocks_accepted);
+  EXPECT_EQ(manager.verdicts(sid).size(), st.events);
+}
+
+// The queue-wait / service decomposition: every processed block records
+// one sample in each histogram, and the parts sum to about the total.
+TEST(serve, latency_split_accounts_every_block) {
+  serve_config cfg;
+  cfg.worker_threads = 2;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  manager.offer(sid, session_stream(12));
+  manager.finish();
+  const session_stats st = manager.stats(sid);
+  ASSERT_GT(st.blocks_processed, 0u);
+  EXPECT_EQ(st.latency.count(), st.blocks_processed);
+  EXPECT_EQ(st.queue_wait.count(), st.blocks_processed);
+  EXPECT_EQ(st.service.count(), st.blocks_processed);
+  EXPECT_LE(st.queue_wait.mean(), st.latency.mean());
+  EXPECT_LE(st.service.mean(), st.latency.mean());
 }
 
 TEST(serve, aggregate_sums_sessions_and_latency) {

@@ -93,6 +93,69 @@ TEST(traffic, session_parameters_stay_in_their_ranges) {
   }
 }
 
+TEST(traffic, default_timeline_starts_everyone_at_zero) {
+  const traffic_generator gen{small_genuine_config(), 21};
+  const session_script s = gen.script(1);
+  EXPECT_EQ(s.start_s, 0.0);
+  EXPECT_EQ(gen.session_start_s(1), 0.0);
+  // Block b arrives once its audio exists: monotone, ending at the
+  // capture duration.
+  double prev = 0.0;
+  for (std::size_t b = 0; b < s.num_blocks(); ++b) {
+    const double t = s.block_arrival_s(b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(s.end_s(), s.capture.duration_s());
+}
+
+TEST(traffic, uniform_spread_stays_in_range_and_is_deterministic) {
+  traffic_config cfg = small_genuine_config();
+  cfg.start_spread_s = 2.0;
+  const traffic_generator a{cfg, 21};
+  const traffic_generator b{cfg, 21};
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < cfg.num_sessions; ++i) {
+    const double t = a.session_start_s(i);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 2.0);
+    EXPECT_EQ(t, b.session_start_s(i));
+    EXPECT_EQ(a.script(i).start_s, t);
+    any_nonzero = any_nonzero || t > 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(traffic, poisson_starts_are_cumulative_and_deterministic) {
+  traffic_config cfg = small_genuine_config();
+  cfg.num_sessions = 8;
+  cfg.session_rate_hz = 4.0;
+  const traffic_generator a{cfg, 33};
+  const traffic_generator b{cfg, 33};
+  double prev = 0.0;
+  for (std::size_t i = 0; i < cfg.num_sessions; ++i) {
+    const double t = a.session_start_s(i);
+    EXPECT_GT(t, prev);  // a Poisson arrival process is strictly ordered
+    EXPECT_EQ(t, b.session_start_s(i));
+    prev = t;
+  }
+  // Mean inter-arrival ~ 1/rate; with 8 draws just sanity-bound it.
+  EXPECT_GT(prev, 0.0);
+  EXPECT_LT(prev, 8.0 * 4.0 / cfg.session_rate_hz);
+}
+
+// The pacing timeline must never perturb the audio: its draws come from
+// a dedicated stream past every per-session id.
+TEST(traffic, pacing_config_does_not_change_the_audio) {
+  traffic_config cfg = small_genuine_config();
+  const session_script plain = traffic_generator{cfg, 21}.script(2);
+  cfg.session_rate_hz = 16.0;
+  const session_script paced = traffic_generator{cfg, 21}.script(2);
+  EXPECT_EQ(plain.phrase_id, paced.phrase_id);
+  EXPECT_EQ(plain.capture.samples, paced.capture.samples);
+  EXPECT_NE(paced.start_s, 0.0);
+}
+
 TEST(traffic, invalid_configs_throw) {
   traffic_config cfg = small_genuine_config();
   cfg.num_sessions = 0;
@@ -103,8 +166,15 @@ TEST(traffic, invalid_configs_throw) {
   cfg = small_genuine_config();
   cfg.block_s = 0.0;
   EXPECT_THROW((traffic_generator{cfg, 1}), std::invalid_argument);
+  cfg = small_genuine_config();
+  cfg.start_spread_s = -1.0;
+  EXPECT_THROW((traffic_generator{cfg, 1}), std::invalid_argument);
+  cfg = small_genuine_config();
+  cfg.session_rate_hz = -2.0;
+  EXPECT_THROW((traffic_generator{cfg, 1}), std::invalid_argument);
   const traffic_generator gen{small_genuine_config(), 1};
   EXPECT_THROW(gen.script(99), std::invalid_argument);
+  EXPECT_THROW(gen.session_start_s(99), std::invalid_argument);
 }
 
 }  // namespace
