@@ -14,12 +14,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/json_min.h"
 #include "sim/experiment.h"
 #include "sim/runlog.h"
 
@@ -106,6 +109,35 @@ double time_reps(std::size_t reps, Fn&& fn) {
     best = std::min(best, clock.elapsed_s());
   }
   return best;
+}
+
+// Reads the "metrics" object of a json_report file back as name→value
+// pairs (file order). Empty on a missing/unreadable file or a document
+// without a metrics object — the perf gate treats that as "nothing to
+// compare", not an error, so a fresh checkout with no baseline passes.
+inline std::vector<std::pair<std::string, double>> read_report_metrics(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::ifstream in{path};
+  if (!in.good()) {
+    return metrics;
+  }
+  const std::string text{std::istreambuf_iterator<char>{in},
+                         std::istreambuf_iterator<char>{}};
+  try {
+    const json::value doc = json::parse(text);
+    const json::value* obj = doc.find("metrics");
+    if (obj != nullptr && obj->is_object()) {
+      for (const auto& [name, v] : obj->members()) {
+        if (v.is_number()) {
+          metrics.emplace_back(name, v.number());
+        }
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    metrics.clear();
+  }
+  return metrics;
 }
 
 // Machine-readable figure report: named result tables plus scalar

@@ -26,6 +26,21 @@
 // verdict streams of every paced run must be bit-identical to a
 // fork-join drain() replay of the same blocks (exit 1 on mismatch).
 //
+// `--e2e` switches to the end-to-end command-pipeline protocol
+// (`serve-e2e-v1` run-log signature, default JSON BENCH_serve_e2e.json):
+// every session is opened with a per-session config override that adds
+// the serve::command_pipeline stage (utterance segmenter → shared
+// asr::recognizer templates → intent engine) behind its verdict stream.
+// The harness scores STREAM-level end-to-end outcomes against the
+// traffic ground truth — attacker success means the intended command
+// EXECUTED (recognized, not blocked, mapped to an intent), genuine task
+// completion means a genuine user's command executed — and reports ASR
+// latency as its own histogram, split from detector service time. The
+// per-session outcome streams of every run (fork-join at each worker
+// count, plus a streaming start/stop run) must be bit-identical to the
+// 1-worker fork-join reference (exit 1 on mismatch); only the asr_s
+// wall-time field is exempt.
+//
 // Flags (on top of the common bench flags in bench_util.h):
 //   --smoke          CI-sized run: 64 sessions, one block size, 1-vs-N
 //   --sessions <n>   override the session-count sweep with a single value
@@ -33,6 +48,7 @@
 //   --pace <x>       paced replay speed multiplier (default 4: the
 //                    timeline plays back 4x faster than real time)
 //   --rate <s/s>     paced Poisson session-start rate (default 32/s)
+//   --e2e            end-to-end command-pipeline protocol (see above)
 //
 // The JSON is written to BENCH_serve.json unless --json overrides it.
 #include <algorithm>
@@ -50,6 +66,7 @@
 #include "defense/detector.h"
 #include "serve/session_manager.h"
 #include "sim/corpus.h"
+#include "sim/scenario.h"
 #include "sim/traffic.h"
 
 namespace {
@@ -420,6 +437,332 @@ int run_paced_protocol(const ivc::bench::options& opts, bool smoke,
   return determinism_ok ? 0 : 1;
 }
 
+// ---- End-to-end command pipeline (serve-e2e-v1) ----------------------
+
+bool identical_outcomes(const std::vector<ivc::serve::command_outcome>& a,
+                        const std::vector<ivc::serve::command_outcome>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // asr_s is wall time — timing, not content — and is the ONLY field
+    // allowed to differ between runs.
+    if (a[i].start_s != b[i].start_s || a[i].end_s != b[i].end_s ||
+        a[i].kind != b[i].kind || a[i].command_id != b[i].command_id ||
+        a[i].intent != b[i].intent ||
+        a[i].asr_distance != b[i].asr_distance ||
+        a[i].asr_margin != b[i].asr_margin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct e2e_result {
+  double wall_s = 0.0;
+  ivc::serve::serve_totals totals;
+  std::vector<std::vector<ivc::defense::stream_event>> verdicts;
+  std::vector<std::vector<ivc::serve::command_outcome>> outcomes;
+};
+
+// Feeds the fleet through a manager whose sessions each carry their OWN
+// config (the per-session override path): the fleet config has no
+// pipeline, every opened session adds one — segmenter → shared
+// recognizer → intent — via open_session(config). Fork-join mode
+// offers round-robin with periodic drains; streaming mode runs live
+// start(workers)/stop() with per-session closes.
+e2e_result run_e2e(const std::vector<ivc::sim::session_script>& scripts,
+                   std::size_t num_sessions,
+                   const ivc::serve::serve_config& fleet_cfg,
+                   std::size_t workers, bool streaming) {
+  using ivc::serve::offer_status;
+  ivc::serve::serve_config cfg = fleet_cfg;
+  cfg.worker_threads = streaming ? 1 : workers;
+  ivc::serve::session_manager manager{trained_detector_cache(), cfg};
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    ivc::serve::serve_config per_session = cfg;
+    ivc::serve::pipeline_config pipeline;
+    pipeline.recognizer = ivc::sim::shared_enrolled_recognizer(
+        scripts[s].capture.sample_rate_hz, /*enrollment_seed=*/1);
+    per_session.pipeline = pipeline;  // decision window adopts window_s
+    manager.open_session(per_session);
+  }
+  if (streaming) {
+    manager.start(workers);
+  }
+  e2e_result result;
+  std::size_t max_blocks = 0;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    max_blocks = std::max(max_blocks, scripts[s].num_blocks());
+  }
+  const ivc::bench::stopwatch clock;
+  for (std::size_t round = 0; round < max_blocks; ++round) {
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      if (round >= scripts[s].num_blocks()) {
+        continue;
+      }
+      while (manager.offer(s, scripts[s].block(round)) ==
+             offer_status::rejected) {
+        if (streaming) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        } else {
+          manager.drain();
+        }
+      }
+      if (streaming && round + 1 == scripts[s].num_blocks()) {
+        manager.close(s);
+      }
+    }
+    if (!streaming && (round + 1) % 4 == 0) {
+      manager.drain();
+    }
+  }
+  if (streaming) {
+    manager.close_all();
+    manager.stop();
+  }
+  manager.finish();
+  result.wall_s = clock.elapsed_s();
+  result.totals = manager.aggregate();
+  result.verdicts.reserve(num_sessions);
+  result.outcomes.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    result.verdicts.push_back(manager.verdicts(s));
+    result.outcomes.push_back(manager.outcomes(s));
+  }
+  return result;
+}
+
+// Stream-level scoring of one run's outcome streams against the traffic
+// ground truth (session_script::intended_command_id).
+struct e2e_scorecard {
+  std::size_t attack_streams = 0;
+  std::size_t attack_executed = 0;  // attacker success: intended ran
+  std::size_t attack_blocked = 0;   // at least one utterance vetoed
+  std::size_t genuine_command_streams = 0;
+  std::size_t genuine_completed = 0;  // intended command executed
+  std::size_t benign_streams = 0;
+  std::size_t benign_executed = 0;  // false execute: nothing was intended
+};
+
+e2e_scorecard score_e2e(const std::vector<ivc::sim::session_script>& scripts,
+                        const e2e_result& r, std::size_t num_sessions) {
+  e2e_scorecard card;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    bool intended_executed = false;
+    bool any_executed = false;
+    bool any_blocked = false;
+    for (const ivc::serve::command_outcome& o : r.outcomes[s]) {
+      using kind_t = ivc::serve::command_outcome::kind_t;
+      any_blocked = any_blocked || o.kind == kind_t::blocked;
+      if (o.kind == kind_t::executed) {
+        any_executed = true;
+        intended_executed = intended_executed ||
+                            o.command_id == scripts[s].intended_command_id;
+      }
+    }
+    if (scripts[s].is_attack) {
+      ++card.attack_streams;
+      card.attack_executed += intended_executed ? 1 : 0;
+      card.attack_blocked += any_blocked ? 1 : 0;
+    } else if (!scripts[s].intended_command_id.empty()) {
+      ++card.genuine_command_streams;
+      card.genuine_completed += intended_executed ? 1 : 0;
+    } else {
+      ++card.benign_streams;
+      card.benign_executed += any_executed ? 1 : 0;
+    }
+  }
+  return card;
+}
+
+// The full end-to-end protocol: fleet traffic with ground-truth command
+// labels, a 1-worker fork-join reference, then N-worker fork-join AND
+// streaming runs — every one checked outcome- and verdict-bit-identical
+// to the reference — reporting attacker success / blocked / genuine
+// completion rates and the ASR latency histogram split from detector
+// service time.
+int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
+                     std::size_t sessions_override) {
+  using namespace ivc;
+  const std::size_t hw = default_thread_count();
+  const std::size_t num_sessions =
+      sessions_override > 0 ? sessions_override
+                            : (smoke ? std::size_t{64} : std::size_t{128});
+  std::vector<std::size_t> workers =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, hw};
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+
+  bench::banner("SERVE-e2e", smoke ? "end-to-end command pipeline (smoke)"
+                                   : "end-to-end command pipeline");
+  bench::json_report report{smoke ? "SERVE-e2e-smoke" : "SERVE-e2e",
+                            "end-to-end command pipeline"};
+  report.set_signature("serve-e2e-v1");
+  report.set_seed(7);
+  const bench::stopwatch total_clock;
+
+  sim::traffic_config tc;
+  tc.num_sessions = num_sessions;
+  tc.utterances_per_session = smoke ? 1 : 2;
+  tc.num_threads = opts.threads;
+  const sim::traffic_generator generator{tc, 7};
+  (void)trained_detector_cache();  // train before timing the render
+  // Enroll the shared template bank up front too (one 16 kHz entry
+  // serves the whole fleet — every device profile captures at 16 kHz).
+  (void)sim::shared_enrolled_recognizer(16'000.0, 1);
+  const bench::stopwatch render_clock;
+  const std::vector<sim::session_script> scripts = generator.render_all();
+  double fleet_audio_s = 0.0;
+  std::size_t attack_streams = 0;
+  for (const sim::session_script& s : scripts) {
+    fleet_audio_s += s.capture.duration_s();
+    attack_streams += s.is_attack ? 1 : 0;
+  }
+  bench::note("fleet: %zu streams (%zu attack), %.1f s of audio, "
+              "rendered in %.2f s",
+              scripts.size(), attack_streams, fleet_audio_s,
+              render_clock.elapsed_s());
+  report.add_metric("fleet_streams", static_cast<double>(scripts.size()));
+  report.add_metric("fleet_attack_streams",
+                    static_cast<double>(attack_streams));
+  report.add_metric("fleet_audio_s", fleet_audio_s);
+  bench::rule();
+
+  serve::serve_config cfg;
+  cfg.queue_capacity = 64;
+  cfg.policy = serve::overflow_policy::reject;
+
+  // ---- Reference: 1-worker fork-join. --------------------------------
+  const e2e_result reference =
+      run_e2e(scripts, num_sessions, cfg, /*workers=*/1, /*streaming=*/false);
+  const e2e_scorecard card = score_e2e(scripts, reference, num_sessions);
+
+  // ---- Replays: fork-join at each worker count + one streaming run, --
+  // all bit-identical to the reference in outcomes AND verdicts.
+  bool determinism_ok = true;
+  sim::result_table sweep{{"mode", "workers"},
+                          {"wall_s", "rtf", "service_p50_ms", "asr_p50_ms",
+                           "asr_p95_ms", "utterances", "executed", "blocked"}};
+  std::printf("%10s %8s %9s %9s %12s %10s %10s %7s %7s\n", "mode", "workers",
+              "wall s", "rtf", "service p50", "asr p50", "asr p95", "utter",
+              "exec");
+  const auto run_one = [&](const char* mode, std::size_t W, bool streaming) {
+    const e2e_result r = streaming || W != 1
+                             ? run_e2e(scripts, num_sessions, cfg, W, streaming)
+                             : reference;
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      if (!identical_verdicts(reference.verdicts[s], r.verdicts[s]) ||
+          !identical_outcomes(reference.outcomes[s], r.outcomes[s])) {
+        determinism_ok = false;
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: e2e session %zu %s differs "
+                     "from the 1-worker fork-join reference (%s, %zu "
+                     "workers)\n",
+                     s,
+                     identical_verdicts(reference.verdicts[s], r.verdicts[s])
+                         ? "outcome stream"
+                         : "verdict stream",
+                     mode, W);
+      }
+    }
+    const serve::serve_totals& t = r.totals;
+    const double rtf = t.stats.audio_s_processed / r.wall_s;
+    std::printf("%10s %8zu %9.2f %9.1f %10.2fms %8.2fms %8.2fms %7llu "
+                "%7llu\n",
+                mode, W, r.wall_s, rtf,
+                1e3 * t.stats.service.quantile(0.50),
+                1e3 * t.stats.asr_service.quantile(0.50),
+                1e3 * t.stats.asr_service.quantile(0.95),
+                static_cast<unsigned long long>(t.stats.utterances),
+                static_cast<unsigned long long>(t.stats.commands_executed));
+    sim::result_table::row row;
+    row.labels = {mode, std::to_string(W)};
+    row.coords = {streaming ? 1.0 : 0.0, static_cast<double>(W)};
+    row.metrics = {r.wall_s,
+                   rtf,
+                   1e3 * t.stats.service.quantile(0.50),
+                   1e3 * t.stats.asr_service.quantile(0.50),
+                   1e3 * t.stats.asr_service.quantile(0.95),
+                   static_cast<double>(t.stats.utterances),
+                   static_cast<double>(t.stats.commands_executed),
+                   static_cast<double>(t.stats.commands_blocked)};
+    sweep.add_row(row);
+    if (streaming) {
+      // The streaming run is the deployment shape: its histograms are
+      // the report's canonical latency decomposition.
+      report.add_latency_metrics("latency", t.stats.latency);
+      report.add_latency_metrics("service", t.stats.service);
+      report.add_latency_metrics("asr_service", t.stats.asr_service);
+      report.add_metric("utterances",
+                        static_cast<double>(t.stats.utterances));
+      report.add_metric("commands_blocked",
+                        static_cast<double>(t.stats.commands_blocked));
+      report.add_metric("commands_executed",
+                        static_cast<double>(t.stats.commands_executed));
+      report.add_metric("commands_rejected",
+                        static_cast<double>(t.stats.commands_rejected));
+      report.add_metric("commands_ignored",
+                        static_cast<double>(t.stats.commands_ignored));
+      report.add_metric("rtf", rtf);
+      report.add_metric("wall_s", r.wall_s);
+    }
+  };
+  for (const std::size_t W : workers) {
+    run_one("fork-join", W, /*streaming=*/false);
+  }
+  run_one("streaming", workers.back(), /*streaming=*/true);
+  sweep.print();
+  report.add_table("e2e_sweep", sweep);
+  bench::rule();
+
+  // ---- Stream-level scoring against the traffic ground truth. --------
+  const auto rate = [](std::size_t num, std::size_t den) {
+    return den > 0 ? static_cast<double>(num) / static_cast<double>(den)
+                   : 0.0;
+  };
+  const double attacker_success = rate(card.attack_executed,
+                                       card.attack_streams);
+  const double attack_blocked = rate(card.attack_blocked,
+                                     card.attack_streams);
+  const double genuine_completion = rate(card.genuine_completed,
+                                         card.genuine_command_streams);
+  const double benign_false_execute = rate(card.benign_executed,
+                                           card.benign_streams);
+  bench::note("attack streams: %zu — %.0f%% blocked by the defense, "
+              "%.0f%% still executed their command (attacker success)",
+              card.attack_streams, 100.0 * attack_blocked,
+              100.0 * attacker_success);
+  bench::note("genuine command streams: %zu — %.0f%% completed their task",
+              card.genuine_command_streams, 100.0 * genuine_completion);
+  bench::note("benign chatter streams: %zu — %.0f%% falsely executed "
+              "a command",
+              card.benign_streams, 100.0 * benign_false_execute);
+  report.add_metric("attack_streams",
+                    static_cast<double>(card.attack_streams));
+  report.add_metric("genuine_command_streams",
+                    static_cast<double>(card.genuine_command_streams));
+  report.add_metric("benign_streams",
+                    static_cast<double>(card.benign_streams));
+  report.add_metric("attacker_success_rate", attacker_success);
+  report.add_metric("attack_blocked_rate", attack_blocked);
+  report.add_metric("genuine_completion_rate", genuine_completion);
+  report.add_metric("benign_false_execute_rate", benign_false_execute);
+  report.add_metric("determinism_ok", determinism_ok ? 1.0 : 0.0);
+  report.add_metric("sessions", static_cast<double>(num_sessions));
+
+  const double elapsed = total_clock.elapsed_s();
+  report.add_metric("elapsed_s", elapsed);
+  bench::rule();
+  bench::note("outcome + verdict streams bit-identical across workers and "
+              "modes: %s",
+              determinism_ok ? "yes" : "NO");
+  bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
+  report.write(opts);
+  return determinism_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -427,6 +770,7 @@ int main(int argc, char** argv) {
   bench::options opts = bench::parse_options(argc, argv);
   bool smoke = false;
   bool paced = false;
+  bool e2e = false;
   double pace = 4.0;
   double session_rate_hz = 32.0;
   std::size_t sessions_override = 0;
@@ -436,6 +780,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--paced") {
       paced = true;
+    } else if (arg == "--e2e") {
+      e2e = true;
     } else if (arg == "--pace" && i + 1 < argc) {
       const double v = std::atof(argv[++i]);
       pace = v > 0.0 ? v : pace;
@@ -448,7 +794,10 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.json_path.empty()) {
-    opts.json_path = "BENCH_serve.json";
+    opts.json_path = e2e ? "BENCH_serve_e2e.json" : "BENCH_serve.json";
+  }
+  if (e2e) {
+    return run_e2e_protocol(opts, smoke, sessions_override);
   }
   if (paced) {
     return run_paced_protocol(opts, smoke, sessions_override, pace,

@@ -45,6 +45,11 @@ feature_matrix recognizer::features_of(const audio::buffer& input) const {
 
 feature_matrix recognizer::features_from_trimmed(
     const audio::buffer& trimmed) const {
+  // extract_mfcc reuses a per-thread cached mfcc_extractor keyed on
+  // (config, rate): the serving batch path — many recognitions per
+  // worker claim, all at one device rate — never re-derives the
+  // filterbank/window/DCT bases, and the cache being thread-local is
+  // what keeps this const method safe under concurrent callers.
   if (config_.dither_snr_db > 0.0) {
     return extract_mfcc(dithered(trimmed, config_.dither_snr_db),
                         config_.mfcc);

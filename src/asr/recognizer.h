@@ -5,6 +5,16 @@
 // with a rejection threshold; an attack trial "succeeds" when the
 // recognizer accepts the intended command id — the same success criterion
 // the papers apply to Google Assistant / Alexa.
+//
+// Concurrency: recognize() is const-thread-safe. The serving layer calls
+// it from N workers against ONE shared template set
+// (sim::shared_enrolled_recognizer), which is sound because the const
+// path touches no shared mutable state: templates_ is read-only after
+// enrollment, DTW is stateless, the dither stream is a fixed-seed local
+// rng, and MFCC extraction runs through the per-thread cached
+// mfcc_extractor (extract_mfcc's thread_local cache), so concurrent
+// recognitions never contend on — or rebuild — the filterbank/DCT
+// bases. add_template() is NOT thread-safe; enroll before sharing.
 #pragma once
 
 #include <optional>

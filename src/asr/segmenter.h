@@ -1,0 +1,93 @@
+// Streaming utterance segmentation: the duration-gate VAD as an
+// incremental stage.
+//
+// The batch VAD (vad.h) trims one capture around its loudest region; the
+// serving pipeline instead consumes an unbounded block stream and must
+// cut it into utterances on the fly. The segmenter accumulates samples
+// into fixed-size energy frames and runs a small state machine over
+// them: a frame whose RMS clears the activity floor opens an utterance
+// (with a short pre-roll so onset consonants survive), `hang_s` of
+// consecutive silence closes it, and `max_utterance_s` force-closes a
+// stream that never goes quiet (the timeout). Utterances shorter than
+// `min_utterance_s` are dropped — the duration gate that already fronts
+// the recognizer.
+//
+// Determinism is load-bearing, exactly as for defense::stream_detector:
+// frames are assembled from the concatenated sample stream at fixed
+// sample counts, so the emitted utterance stream is a pure function of
+// the sample sequence — bit-identical however the stream is chunked
+// into feed() blocks (1-sample, odd, or whole-buffer blocks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/buffer.h"
+
+namespace ivc::asr {
+
+struct segmenter_config {
+  // Energy frame the activity decision is made on.
+  double frame_s = 0.02;
+  // A frame is active when its RMS clears this (digital full scale = 1).
+  // The traffic streams separate utterances with digital silence while
+  // ambient + mic noise rides inside the rendered parts, so the floor
+  // sits well below ambient level and well above numeric dust.
+  double activity_floor = 1e-5;
+  // Consecutive silence that closes an utterance (must not exceed the
+  // inter-utterance gaps of the workload).
+  double hang_s = 0.10;
+  // Pre/post-roll kept around the active region.
+  double pad_s = 0.04;
+  // Duration gate: shorter utterances are dropped, not emitted.
+  double min_utterance_s = 0.15;
+  // Timeout: activity longer than this force-closes (a stream that hums
+  // forever must not buffer unboundedly or starve the recognizer).
+  double max_utterance_s = 8.0;
+};
+
+// One segmented utterance: its bounds on the stream timeline plus the
+// audio itself (pre/post-roll included).
+struct utterance {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  audio::buffer samples;
+};
+
+class utterance_segmenter {
+ public:
+  explicit utterance_segmenter(segmenter_config config = {});
+
+  // Feeds one stream block; returns the utterances completed by it.
+  std::vector<utterance> feed(const audio::buffer& block);
+
+  // Flushes the in-progress utterance (if any survives the duration
+  // gate), then resets: the stream is over and the next feed() starts a
+  // new one at t = 0.
+  std::vector<utterance> finish();
+
+  void reset();
+
+ private:
+  // Consumes one complete frame sitting at the front of pending_.
+  void consume_frame(std::vector<utterance>& out);
+  // Closes the open utterance; emits it when it passes the gate.
+  // `trailing_silent` frames at its end are trimmed back to the pad.
+  void close_utterance(std::vector<utterance>& out,
+                       std::size_t trailing_silent);
+
+  segmenter_config config_;
+  double rate_ = 0.0;
+  std::size_t frame_samples_ = 0;
+  std::vector<double> pending_;      // sub-frame residue of the stream
+  std::uint64_t frames_consumed_ = 0;
+  // Pre-roll: the most recent inactive frames, oldest first.
+  std::vector<std::vector<double>> preroll_;
+  // Open utterance state.
+  bool in_utterance_ = false;
+  std::uint64_t utterance_start_frame_ = 0;
+  std::vector<double> utterance_;    // samples, pre-roll included
+  std::size_t silent_run_ = 0;       // trailing silent frames so far
+};
+
+}  // namespace ivc::asr

@@ -1,0 +1,189 @@
+#include "serve/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "synth/commands.h"
+
+namespace ivc::serve {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::vector<intent_rule> default_rules() {
+  std::vector<intent_rule> rules;
+  for (const synth::command& c : synth::command_bank()) {
+    rules.push_back(intent_rule{c.id, "intent/" + c.id});
+  }
+  return rules;
+}
+
+}  // namespace
+
+intent_engine::intent_engine(intent_config config)
+    : config_{std::move(config)} {
+  expects(config_.timeout_s > 0.0, "intent_engine: timeout_s must be > 0");
+  if (config_.rules.empty()) {
+    config_.rules = default_rules();
+  }
+}
+
+bool intent_engine::armed_at(double time_s) const {
+  if (config_.wake_command_id.empty()) {
+    return true;  // no wake stage configured: always armed
+  }
+  return armed_ && time_s <= armed_until_s_;
+}
+
+std::optional<std::string> intent_engine::on_command(
+    const std::string& command_id, double time_s) {
+  if (!config_.wake_command_id.empty() &&
+      command_id == config_.wake_command_id) {
+    armed_ = true;
+    armed_until_s_ = time_s + config_.timeout_s;
+    return std::nullopt;  // arming is not an intent
+  }
+  if (!armed_at(time_s)) {
+    armed_ = false;  // timed out: back to idle until the next wake
+    return std::nullopt;
+  }
+  for (const intent_rule& r : config_.rules) {
+    if (r.command_id == command_id) {
+      // An accepted command keeps the session hot (the sln_voice
+      // engine re-arms its timeout on every recognized intent).
+      if (!config_.wake_command_id.empty()) {
+        armed_until_s_ = time_s + config_.timeout_s;
+      }
+      return r.intent;
+    }
+  }
+  return std::nullopt;  // armed but unmapped
+}
+
+void intent_engine::reset() {
+  armed_ = false;
+  armed_until_s_ = 0.0;
+}
+
+command_pipeline::command_pipeline(pipeline_config config)
+    : config_{std::move(config)},
+      segmenter_{config_.segmenter},
+      intent_{config_.intent} {
+  expects(config_.recognizer != nullptr,
+          "command_pipeline: a shared recognizer template set is required");
+  expects(config_.decision_window_s >= 0.0,
+          "command_pipeline: decision_window_s must be >= 0");
+  expects(config_.verdict_guard_s >= 0.0,
+          "command_pipeline: verdict_guard_s must be >= 0");
+}
+
+void command_pipeline::absorb_verdicts(
+    const std::vector<defense::stream_event>& verdicts) {
+  for (const defense::stream_event& e : verdicts) {
+    if (e.is_attack) {
+      attack_windows_.emplace_back(e.time_s,
+                                   e.time_s + config_.decision_window_s);
+    }
+  }
+}
+
+std::vector<command_outcome> command_pipeline::feed(
+    const audio::buffer& block,
+    const std::vector<defense::stream_event>& verdicts) {
+  // Verdicts first: any utterance this block completes resolves against
+  // every window decided up to and including this block.
+  absorb_verdicts(verdicts);
+  consumed_s_ += block.duration_s();
+  std::vector<asr::utterance> cut = segmenter_.feed(block);
+  for (asr::utterance& u : cut) {
+    pending_.push_back(std::move(u));
+  }
+  std::vector<command_outcome> out;
+  resolve_ready(/*flush=*/false, out);
+  return out;
+}
+
+std::vector<command_outcome> command_pipeline::finish(
+    const std::vector<defense::stream_event>& tail_verdicts) {
+  absorb_verdicts(tail_verdicts);
+  std::vector<asr::utterance> cut = segmenter_.finish();
+  for (asr::utterance& u : cut) {
+    pending_.push_back(std::move(u));
+  }
+  std::vector<command_outcome> out;
+  resolve_ready(/*flush=*/true, out);
+  attack_windows_.clear();
+  intent_.reset();
+  consumed_s_ = 0.0;
+  return out;
+}
+
+void command_pipeline::resolve_ready(bool flush,
+                                     std::vector<command_outcome>& out) {
+  while (!pending_.empty()) {
+    const asr::utterance& u = pending_.front();
+    // Every defense window overlapping [start, end] starts before
+    // end_s, so it has been decided once the detector consumed past
+    // end_s + window. Until then the utterance is not decidable —
+    // resolving early could miss a veto and would break determinism.
+    if (!flush && consumed_s_ < u.end_s + config_.decision_window_s) {
+      break;
+    }
+    out.push_back(resolve(u));
+    pending_.pop_front();
+  }
+  // Windows that can no longer overlap anything pending are done.
+  const double horizon =
+      pending_.empty() ? consumed_s_ : pending_.front().start_s;
+  std::erase_if(attack_windows_, [&](const std::pair<double, double>& w) {
+    return w.second + config_.verdict_guard_s < horizon;
+  });
+}
+
+command_outcome command_pipeline::resolve(const asr::utterance& u) {
+  command_outcome o;
+  o.start_s = u.start_s;
+  o.end_s = u.end_s;
+
+  // Defense veto: a flagged window that overlaps the utterance (grown
+  // by the guard) blocks it before any recognition runs — the deployed
+  // defense sits AHEAD of the assistant's ASR.
+  for (const std::pair<double, double>& w : attack_windows_) {
+    if (w.first < u.end_s + config_.verdict_guard_s &&
+        w.second > u.start_s - config_.verdict_guard_s) {
+      o.kind = command_outcome::kind_t::blocked;
+      return o;
+    }
+  }
+
+  const clock::time_point t0 = clock::now();
+  const asr::recognition_result r = config_.recognizer->recognize(u.samples);
+  o.asr_s = std::chrono::duration<double>(clock::now() - t0).count();
+  o.asr_distance = r.best_distance;
+  o.asr_margin = r.margin;
+  if (!r.accepted()) {
+    o.kind = command_outcome::kind_t::rejected_by_asr;
+    return o;
+  }
+  o.command_id = *r.command_id;
+  const std::optional<std::string> intent =
+      intent_.on_command(o.command_id, u.end_s);
+  if (intent.has_value()) {
+    o.kind = command_outcome::kind_t::executed;
+    o.intent = *intent;
+  } else {
+    o.kind = command_outcome::kind_t::ignored;
+  }
+  return o;
+}
+
+void command_pipeline::reset() {
+  segmenter_.reset();
+  intent_.reset();
+  attack_windows_.clear();
+  pending_.clear();
+  consumed_s_ = 0.0;
+}
+
+}  // namespace ivc::serve

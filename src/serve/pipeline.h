@@ -1,0 +1,166 @@
+// Second pipeline stage of the serving layer: recognition + intent
+// behind the defense verdict.
+//
+// The detection stage (session.h) stops at attack/genuine verdicts, but
+// the papers score attacker success as COMMAND EXECUTION on a real
+// assistant — an attack that the detector misses still fails if the
+// recognizer rejects its demodulated audio, and a genuine request that
+// the detector falsely flags is a real denial of service. This stage
+// closes that gap per session:
+//
+//   accepted blocks ─► utterance segmenter (duration-gate VAD)
+//                  ─► defense verdict overlap: flagged ⇒ BLOCKED
+//                  ─► asr::recognizer over the shared template set
+//                  ─► keyword→intent state machine (wake/arm/timeout)
+//                  ─► outcome stream: blocked / executed(intent) /
+//                     rejected_by_asr / ignored
+//
+// The outcome stream is a pure function of the accepted-block order —
+// the same contract as the verdict stream — so it is bit-identical at
+// any worker count, in both drain disciplines, and under any block
+// chunking. An utterance only resolves once the detector has consumed
+// past its end by a full analysis window, i.e. once every defense
+// window that could overlap it has been decided; scheduling moves when
+// a resolution happens, never what it says.
+//
+// The intent machine follows the sln_voice intent-engine shape: an
+// optional wake command arms the engine for `timeout_s`; while armed,
+// recognized commands map through the keyword→intent table; a timeout
+// disarms back to idle. With no wake command configured the engine is
+// always armed (the serving default — fleet streams carry bare
+// commands).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asr/recognizer.h"
+#include "asr/segmenter.h"
+#include "audio/buffer.h"
+#include "defense/stream.h"
+
+namespace ivc::serve {
+
+struct intent_rule {
+  std::string command_id;
+  std::string intent;
+};
+
+struct intent_config {
+  // Keyword → intent table; empty = identity over synth::command_bank()
+  // ("open_door" → "intent/open_door").
+  std::vector<intent_rule> rules;
+  // Non-empty: the two-stage machine — this command arms the engine,
+  // and only an armed engine maps commands. Empty: always armed.
+  std::string wake_command_id;
+  // Seconds the engine stays armed after the wake (and after each
+  // accepted command — a command chain keeps the session hot).
+  double timeout_s = 5.0;
+};
+
+// Keyword → intent state machine with wake/arm/timeout handling.
+class intent_engine {
+ public:
+  explicit intent_engine(intent_config config = {});
+
+  // A recognized command at stream time `time_s`. Returns the mapped
+  // intent when the engine is armed and the table maps the command;
+  // nullopt when the command is the wake word (arming, not an intent),
+  // the engine is idle, or the command is unmapped.
+  std::optional<std::string> on_command(const std::string& command_id,
+                                        double time_s);
+
+  bool armed_at(double time_s) const;
+  void reset();
+
+  const intent_config& config() const { return config_; }
+
+ private:
+  intent_config config_;
+  bool armed_ = false;
+  double armed_until_s_ = 0.0;
+};
+
+// Per-utterance outcome of the end-to-end pipeline.
+struct command_outcome {
+  enum class kind_t {
+    blocked,          // defense flagged an overlapping window: no ASR ran
+    executed,         // recognized and mapped to an intent — attacker
+                      // success / genuine task completion
+    rejected_by_asr,  // survived the defense but the recognizer rejected
+    ignored,          // recognized, but the intent engine was idle (wake
+                      // machine) or the command is unmapped / a wake word
+  };
+
+  double start_s = 0.0;  // utterance bounds on the session stream
+  double end_s = 0.0;
+  kind_t kind = kind_t::rejected_by_asr;
+  std::string command_id;  // recognized command (empty when none ran/matched)
+  std::string intent;      // mapped intent when executed
+  double asr_distance = 0.0;
+  double asr_margin = 0.0;
+  // Recognizer wall time for this utterance, seconds. Timing, not
+  // content: excluded from determinism comparisons.
+  double asr_s = 0.0;
+};
+
+struct pipeline_config {
+  asr::segmenter_config segmenter;
+  intent_config intent;
+  // Shared enrolled template set. recognize() is const-thread-safe (see
+  // asr/recognizer.h), so ONE recognizer serves every session and every
+  // worker; sim::shared_enrolled_recognizer is the canonical provider.
+  std::shared_ptr<const asr::recognizer> recognizer;
+  // Defense analysis window length: an utterance resolves only once the
+  // stream has been consumed this far past its end, so every verdict
+  // window that could overlap it has been decided. 0 = adopt the
+  // session's stream_config::window_s (what detection_session does).
+  double decision_window_s = 0.0;
+  // Attack windows are grown by this on both sides before the overlap
+  // test — a verdict just outside the utterance bounds still vetoes it.
+  double verdict_guard_s = 0.1;
+};
+
+// The per-session stage. Single-consumer, like the stream_detector it
+// sits behind: the session's exclusive-claim contract means only one
+// worker feeds it at a time.
+class command_pipeline {
+ public:
+  explicit command_pipeline(pipeline_config config);
+
+  // Feeds the block the detector just scored plus the verdicts that
+  // scoring emitted; returns every outcome resolved by it.
+  std::vector<command_outcome> feed(
+      const audio::buffer& block,
+      const std::vector<defense::stream_event>& verdicts);
+
+  // End of stream: absorbs the detector's finish() tail verdicts,
+  // flushes the segmenter, resolves everything pending, and resets.
+  std::vector<command_outcome> finish(
+      const std::vector<defense::stream_event>& tail_verdicts = {});
+
+  void reset();
+
+  const pipeline_config& config() const { return config_; }
+
+ private:
+  void absorb_verdicts(const std::vector<defense::stream_event>& verdicts);
+  // Resolves pending utterances that are decidable at stream time
+  // `consumed_s` (all of them when `flush` is set).
+  void resolve_ready(bool flush, std::vector<command_outcome>& out);
+  command_outcome resolve(const asr::utterance& u);
+
+  pipeline_config config_;
+  asr::utterance_segmenter segmenter_;
+  intent_engine intent_;
+  // Decided attack windows, as [start, end] intervals on the stream.
+  std::vector<std::pair<double, double>> attack_windows_;
+  std::deque<asr::utterance> pending_;
+  double consumed_s_ = 0.0;
+};
+
+}  // namespace ivc::serve

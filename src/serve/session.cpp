@@ -20,6 +20,16 @@ detection_session::detection_session(std::uint64_t id,
       stats_{config.latency_bins},
       detector_{std::move(detector), config.stream} {
   expects(capacity_ >= 1, "detection_session: queue capacity must be >= 1");
+  if (config.pipeline.has_value()) {
+    pipeline_config pc = *config.pipeline;
+    if (pc.decision_window_s == 0.0) {
+      // The pipeline defers utterance resolution by the detector's
+      // actual analysis window; anything else would resolve before
+      // every overlapping verdict is decided.
+      pc.decision_window_s = config.stream.window_s;
+    }
+    pipeline_.emplace(std::move(pc));
+  }
 }
 
 offer_status detection_session::offer(audio::buffer block) {
@@ -104,12 +114,22 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     const std::vector<defense::stream_event> events =
         detector_.feed(item.block);
     const clock::time_point scored = clock::now();
+    // The command stage runs after the detector on the same block, so
+    // its outcomes inherit the accepted-block-order determinism. Its
+    // time is the pipeline's own bill, not the detector's: `service`
+    // stays detector-only and the per-utterance recognizer time lands
+    // in `asr_service`; the end-to-end `latency` covers both.
+    std::vector<command_outcome> outcomes;
+    if (pipeline_.has_value()) {
+      outcomes = pipeline_->feed(item.block, events);
+    }
+    const clock::time_point piped = clock::now();
     const double queue_wait_s =
         std::chrono::duration<double>(claimed - item.enqueued).count();
     const double service_s =
         std::chrono::duration<double>(scored - claimed).count();
     const double latency_s =
-        std::chrono::duration<double>(scored - item.enqueued).count();
+        std::chrono::duration<double>(piped - item.enqueued).count();
     std::lock_guard<std::mutex> lock{mutex_};
     verdicts_.insert(verdicts_.end(), events.begin(), events.end());
     ++stats_.blocks_processed;
@@ -122,6 +142,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     stats_.latency.record(latency_s);
     stats_.queue_wait.record(queue_wait_s);
     stats_.service.record(service_s);
+    record_outcomes(outcomes);
     ++processed;
   }
   // End-of-stream flush: once the producer closed the session and the
@@ -136,6 +157,11 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     }
   }
   const std::vector<defense::stream_event> tail = detector_.finish();
+  std::vector<command_outcome> tail_outcomes;
+  if (pipeline_.has_value()) {
+    // The flush tail can still veto (or contain) the final utterances.
+    tail_outcomes = pipeline_->finish(tail);
+  }
   {
     std::lock_guard<std::mutex> lock{mutex_};
     verdicts_.insert(verdicts_.end(), tail.begin(), tail.end());
@@ -143,14 +169,47 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     for (const defense::stream_event& e : tail) {
       stats_.attack_events += e.is_attack ? 1 : 0;
     }
+    record_outcomes(tail_outcomes);
   }
   busy_.store(false);
   return processed;
 }
 
+// Appends pipeline outcomes and folds them into the counters and the
+// ASR latency histogram. Caller holds mutex_.
+void detection_session::record_outcomes(
+    const std::vector<command_outcome>& outcomes) {
+  for (const command_outcome& o : outcomes) {
+    ++stats_.utterances;
+    switch (o.kind) {
+      case command_outcome::kind_t::blocked:
+        ++stats_.commands_blocked;
+        break;
+      case command_outcome::kind_t::executed:
+        ++stats_.commands_executed;
+        break;
+      case command_outcome::kind_t::rejected_by_asr:
+        ++stats_.commands_rejected;
+        break;
+      case command_outcome::kind_t::ignored:
+        ++stats_.commands_ignored;
+        break;
+    }
+    if (o.kind != command_outcome::kind_t::blocked) {
+      stats_.asr_service.record(o.asr_s);
+    }
+  }
+  outcomes_.insert(outcomes_.end(), outcomes.begin(), outcomes.end());
+}
+
 std::vector<defense::stream_event> detection_session::verdicts() const {
   std::lock_guard<std::mutex> lock{mutex_};
   return verdicts_;
+}
+
+std::vector<command_outcome> detection_session::outcomes() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return outcomes_;
 }
 
 session_stats detection_session::stats() const {

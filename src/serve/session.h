@@ -24,12 +24,14 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "audio/buffer.h"
 #include "common/histogram.h"
 #include "defense/detector.h"
 #include "defense/stream.h"
+#include "serve/pipeline.h"
 
 namespace ivc::serve {
 
@@ -42,6 +44,12 @@ enum class overflow_policy {
 
 struct serve_config {
   defense::stream_config stream;  // per-session sliding-window detector
+  // End-to-end command stage behind the verdict stream (segmenter →
+  // recognizer → intent). Disengaged when unset: the session serves
+  // detector verdicts only, exactly as before. When the pipeline's
+  // decision_window_s is 0 it adopts stream.window_s, so the verdict
+  // overlap test always matches the detector's actual analysis window.
+  std::optional<pipeline_config> pipeline;
   std::size_t queue_capacity = 64;       // blocks per session ring
   overflow_policy policy = overflow_policy::shed_newest;
   // Worker threads draining sessions. For fork-join drain() this sizes
@@ -68,7 +76,7 @@ enum class offer_status {
 struct session_stats {
   session_stats() = default;
   explicit session_stats(const histogram_config& bins)
-      : latency{bins}, queue_wait{bins}, service{bins} {}
+      : latency{bins}, queue_wait{bins}, service{bins}, asr_service{bins} {}
 
   std::uint64_t blocks_offered = 0;
   std::uint64_t blocks_accepted = 0;
@@ -79,6 +87,12 @@ struct session_stats {
   double audio_s_processed = 0.0;
   std::uint64_t events = 0;         // verdicts emitted
   std::uint64_t attack_events = 0;  // verdicts with is_attack
+  // Command-pipeline outcome counters (all zero without a pipeline).
+  std::uint64_t utterances = 0;          // outcomes emitted
+  std::uint64_t commands_blocked = 0;    // vetoed by the defense verdict
+  std::uint64_t commands_executed = 0;   // recognized + intent mapped
+  std::uint64_t commands_rejected = 0;   // recognizer rejected
+  std::uint64_t commands_ignored = 0;    // recognized, intent engine idle
   // Per-block latency decomposition, seconds:
   //   latency    = offer() to scored (end to end)
   //   queue_wait = offer() to claimed by a worker
@@ -89,6 +103,10 @@ struct session_stats {
   log_histogram latency;
   log_histogram queue_wait;
   log_histogram service;
+  // Recognizer time per resolved utterance (the ASR stage's own service
+  // clock, split from the detector's `service`). One sample per outcome
+  // that reached the recognizer — blocked utterances never run ASR.
+  log_histogram asr_service;
 };
 
 class detection_session {
@@ -122,6 +140,10 @@ class detection_session {
   // including while a worker is appending (streaming mode).
   std::vector<defense::stream_event> verdicts() const;
 
+  // Snapshot of the command-outcome stream (empty when the session has
+  // no pipeline configured). Same safety contract as verdicts().
+  std::vector<command_outcome> outcomes() const;
+
   session_stats stats() const;
 
  private:
@@ -132,6 +154,8 @@ class detection_session {
 
   // Pops the oldest queued block; false when the queue is empty.
   bool pop(queued_block& out);
+  // Folds pipeline outcomes into outcomes_/stats_; caller holds mutex_.
+  void record_outcomes(const std::vector<command_outcome>& outcomes);
 
   const std::uint64_t id_;
   const std::size_t capacity_;
@@ -145,11 +169,13 @@ class detection_session {
   bool closed_ = false;
   bool finished_ = false;  // close() flush done
   std::vector<defense::stream_event> verdicts_;
+  std::vector<command_outcome> outcomes_;
 
   std::atomic<bool> busy_{false};  // one worker at a time
 
   // Touched only by the worker holding busy_.
   defense::stream_detector detector_;
+  std::optional<command_pipeline> pipeline_;
 };
 
 }  // namespace ivc::serve

@@ -14,11 +14,16 @@ session_manager::session_manager(defense::classifier_detector detector,
 
 session_manager::~session_manager() { stop(); }
 
-std::uint64_t session_manager::open_session() {
+std::uint64_t session_manager::open_session() { return open_session(config_); }
+
+std::uint64_t session_manager::open_session(const serve_config& config) {
+  expects(config.latency_bins == config_.latency_bins,
+          "session_manager: a per-session config must keep the fleet's "
+          "latency binning — aggregate() merges histograms config-checked");
   std::lock_guard<std::mutex> lock{sessions_mutex_};
   const auto id = static_cast<std::uint64_t>(sessions_.size());
   sessions_.push_back(
-      std::make_unique<detection_session>(id, detector_, config_));
+      std::make_unique<detection_session>(id, detector_, config));
   {
     std::lock_guard<std::mutex> sched_lock{sched_mutex_};
     sched_.push_back(sched_state::idle);
@@ -228,6 +233,11 @@ std::vector<defense::stream_event> session_manager::verdicts(
   return session(id).verdicts();
 }
 
+std::vector<command_outcome> session_manager::outcomes(
+    std::uint64_t id) const {
+  return session(id).outcomes();
+}
+
 session_stats session_manager::stats(std::uint64_t id) const {
   return session(id).stats();
 }
@@ -257,9 +267,15 @@ serve_totals session_manager::aggregate() const {
     totals.stats.audio_s_processed += st.audio_s_processed;
     totals.stats.events += st.events;
     totals.stats.attack_events += st.attack_events;
+    totals.stats.utterances += st.utterances;
+    totals.stats.commands_blocked += st.commands_blocked;
+    totals.stats.commands_executed += st.commands_executed;
+    totals.stats.commands_rejected += st.commands_rejected;
+    totals.stats.commands_ignored += st.commands_ignored;
     totals.stats.latency.merge(st.latency);
     totals.stats.queue_wait.merge(st.queue_wait);
     totals.stats.service.merge(st.service);
+    totals.stats.asr_service.merge(st.asr_service);
     totals.sessions_with_attack_events += st.attack_events > 0 ? 1 : 0;
   }
   return totals;

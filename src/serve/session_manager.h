@@ -66,6 +66,15 @@ class session_manager {
   // offer). Do not call concurrently with fork-join drain().
   std::uint64_t open_session();
 
+  // Opens a session with its OWN config — detector stream windowing,
+  // command pipeline (recognizer/segmenter/intent), queue bound and
+  // overflow policy may all differ per session. The latency binning
+  // must match the fleet config: aggregate() merges per-session
+  // histograms, and log_histogram::merge only accepts identical
+  // binning, so a divergent config is rejected here instead of
+  // corrupting the fleet view later.
+  std::uint64_t open_session(const serve_config& config);
+
   std::size_t num_sessions() const;
 
   // Producer side: offers one block to session `id`. Thread-safe. While
@@ -111,6 +120,10 @@ class session_manager {
   // Snapshot of one session's verdict stream. Safe at any time, even
   // while streaming workers append.
   std::vector<defense::stream_event> verdicts(std::uint64_t id) const;
+
+  // Snapshot of one session's command-outcome stream (empty unless the
+  // session's config carries a pipeline). Same safety contract.
+  std::vector<command_outcome> outcomes(std::uint64_t id) const;
 
   session_stats stats(std::uint64_t id) const;
   serve_totals aggregate() const;

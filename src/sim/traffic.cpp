@@ -127,6 +127,7 @@ session_script traffic_generator::script(std::size_t index) const {
     // enrollment instead of enrolling per stream.
     sc.enrollment_seed = 1;
     s.phrase_id = sc.command_id;
+    s.intended_command_id = sc.command_id;
     s.distance_m = sc.distance_m;
     const attack_session session{sc, base_rng_.split(4 * index + 2).seed()};
     const mic::microphone microphone{device.mic};
@@ -150,6 +151,11 @@ session_script traffic_generator::script(std::size_t index) const {
         pick < benign.size() ? benign[pick] : commands[pick - benign.size()];
     genuine_scenario g;
     g.phrase_id = phrase.id;
+    // A genuine user issuing a real command expects it to execute; benign
+    // chatter carries no intent (and executing anything on it is a bug).
+    if (pick >= benign.size()) {
+      s.intended_command_id = phrase.id;
+    }
     const synth::voice_params base_voice = params_rng.bernoulli(0.5)
                                                ? synth::female_voice()
                                                : synth::male_voice();

@@ -62,6 +62,14 @@ struct session_script {
   std::size_t index = 0;
   bool is_attack = false;
   std::string phrase_id;
+  // Ground truth for the end-to-end pipeline: the command id this
+  // stream's utterances intend to execute — the injected command for an
+  // attack stream, the spoken command for a genuine user issuing one,
+  // and EMPTY for benign chatter (nothing should execute; an execution
+  // on such a stream is a pipeline false-execute). Lets serve_load
+  // score attacker success (= intended command executed) and genuine
+  // task completion, not just detector hits.
+  std::string intended_command_id;
   std::string device_name;
   double distance_m = 0.0;
   double ambient_spl_db = 0.0;

@@ -1,0 +1,147 @@
+#include "asr/segmenter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "audio/buffer.h"
+
+namespace ivc::asr {
+namespace {
+
+constexpr double kRate = 16'000.0;
+
+// A stream of alternating segments: (duration_s, amplitude) pairs, where
+// amplitude 0 is digital silence (the traffic-gap shape) and anything
+// else is a sine burst at that amplitude.
+audio::buffer make_stream(
+    const std::vector<std::pair<double, double>>& segments) {
+  std::vector<double> samples;
+  for (const auto& [duration_s, amplitude] : segments) {
+    const auto n = static_cast<std::size_t>(duration_s * kRate);
+    for (std::size_t i = 0; i < n; ++i) {
+      samples.push_back(
+          amplitude *
+          std::sin(2.0 * M_PI * 440.0 * static_cast<double>(i) / kRate));
+    }
+  }
+  return audio::buffer{samples, kRate};
+}
+
+// Feeds `stream` in `block`-sample chunks (0 = the whole buffer at
+// once), collecting everything feed() and finish() emit.
+std::vector<utterance> segment_chunked(const audio::buffer& stream,
+                                       std::size_t block,
+                                       const segmenter_config& cfg = {}) {
+  utterance_segmenter seg{cfg};
+  std::vector<utterance> out;
+  const std::size_t step = block == 0 ? stream.size() : block;
+  for (std::size_t start = 0; start < stream.size(); start += step) {
+    const std::size_t end = std::min(start + step, stream.size());
+    const audio::buffer piece{
+        {stream.samples.begin() + static_cast<std::ptrdiff_t>(start),
+         stream.samples.begin() + static_cast<std::ptrdiff_t>(end)},
+        kRate};
+    for (utterance& u : seg.feed(piece)) {
+      out.push_back(std::move(u));
+    }
+  }
+  for (utterance& u : seg.finish()) {
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+TEST(segmenter, cuts_bursts_at_silence_with_padded_bounds) {
+  const audio::buffer stream = make_stream(
+      {{0.50, 0.0}, {0.40, 0.1}, {0.50, 0.0}, {0.30, 0.1}, {0.30, 0.0}});
+  const std::vector<utterance> utts = segment_chunked(stream, 0);
+  ASSERT_EQ(utts.size(), 2u);
+
+  // Bounds land within a frame of the burst edges, grown by the pad.
+  const segmenter_config cfg;
+  const double tol = cfg.frame_s + 1e-9;
+  EXPECT_NEAR(utts[0].start_s, 0.50 - cfg.pad_s, tol);
+  EXPECT_NEAR(utts[0].end_s, 0.90 + cfg.pad_s, tol);
+  EXPECT_NEAR(utts[1].start_s, 1.40 - cfg.pad_s, tol);
+  EXPECT_NEAR(utts[1].end_s, 1.70 + cfg.pad_s, tol);
+  for (const utterance& u : utts) {
+    EXPECT_EQ(u.samples.sample_rate_hz, kRate);
+    EXPECT_NEAR(u.samples.duration_s(), u.end_s - u.start_s, 1e-9);
+  }
+}
+
+// The tentpole invariant: the utterance stream is a pure function of
+// the sample sequence — bit-identical however the stream is chunked
+// into feed() blocks (1-sample, odd-size, or whole-buffer blocks).
+TEST(segmenter, utterances_invariant_to_block_chunking) {
+  const audio::buffer stream = make_stream(
+      {{0.31, 0.0}, {0.43, 0.08}, {0.27, 0.0}, {0.52, 0.12}, {0.21, 0.0}});
+  const std::vector<utterance> whole = segment_chunked(stream, 0);
+  ASSERT_GE(whole.size(), 2u);
+  for (const std::size_t block : {std::size_t{1}, std::size_t{997},
+                                  std::size_t{4'096}}) {
+    const std::vector<utterance> chunked = segment_chunked(stream, block);
+    ASSERT_EQ(whole.size(), chunked.size()) << "block " << block;
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(whole[i].start_s, chunked[i].start_s) << "block " << block;
+      EXPECT_EQ(whole[i].end_s, chunked[i].end_s) << "block " << block;
+      ASSERT_EQ(whole[i].samples.size(), chunked[i].samples.size())
+          << "block " << block;
+      EXPECT_EQ(whole[i].samples.samples, chunked[i].samples.samples)
+          << "block " << block;
+    }
+  }
+}
+
+TEST(segmenter, duration_gate_drops_short_blips) {
+  // 60 ms blip < the 150 ms gate; the long burst next to it survives.
+  const audio::buffer stream = make_stream(
+      {{0.30, 0.0}, {0.06, 0.1}, {0.40, 0.0}, {0.30, 0.1}, {0.30, 0.0}});
+  const std::vector<utterance> utts = segment_chunked(stream, 0);
+  ASSERT_EQ(utts.size(), 1u);
+  EXPECT_GT(utts[0].start_s, 0.5);  // the blip was dropped, not merged
+}
+
+TEST(segmenter, timeout_force_closes_unbounded_activity) {
+  segmenter_config cfg;
+  cfg.max_utterance_s = 1.0;
+  // 2.6 s of continuous activity never goes quiet: without the timeout
+  // it would buffer forever. Expect force-closed pieces of at most the
+  // timeout length (plus a trailing pad-sized remainder).
+  const audio::buffer stream = make_stream({{0.20, 0.0}, {2.60, 0.1}});
+  const std::vector<utterance> utts = segment_chunked(stream, 0, cfg);
+  ASSERT_GE(utts.size(), 2u);
+  for (const utterance& u : utts) {
+    EXPECT_LE(u.end_s - u.start_s, cfg.max_utterance_s + cfg.frame_s + 1e-9);
+  }
+  // The pieces tile the burst: consecutive, non-overlapping.
+  for (std::size_t i = 1; i < utts.size(); ++i) {
+    EXPECT_GE(utts[i].start_s, utts[i - 1].end_s - 1e-9);
+  }
+}
+
+TEST(segmenter, finish_flushes_utterance_open_at_end_of_stream) {
+  // The stream ends mid-speech; only finish() can close the utterance.
+  const audio::buffer stream = make_stream({{0.30, 0.0}, {0.50, 0.1}});
+  utterance_segmenter seg;
+  std::vector<utterance> from_feed = seg.feed(stream);
+  EXPECT_TRUE(from_feed.empty());
+  const std::vector<utterance> flushed = seg.finish();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_NEAR(flushed[0].end_s, 0.80, segmenter_config{}.frame_s + 1e-9);
+
+  // finish() also resets: the next stream starts at t = 0 again.
+  std::vector<utterance> next = seg.feed(stream);
+  for (utterance& u : seg.finish()) {
+    next.push_back(std::move(u));
+  }
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].start_s, flushed[0].start_s);
+  EXPECT_EQ(next[0].end_s, flushed[0].end_s);
+}
+
+}  // namespace
+}  // namespace ivc::asr

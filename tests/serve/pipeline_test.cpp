@@ -1,0 +1,385 @@
+// End-to-end command pipeline: intent state machine, verdict-gated ASR,
+// and the serving-level bit-identity contract for outcome streams.
+#include "serve/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "audio/buffer.h"
+#include "common/rng.h"
+#include "defense/classifier.h"
+#include "serve/session_manager.h"
+#include "sim/scenario.h"
+#include "synth/commands.h"
+
+namespace ivc::serve {
+namespace {
+
+// ---- intent_engine ---------------------------------------------------
+
+TEST(intent_engine, always_armed_maps_command_bank_by_default) {
+  intent_engine engine;
+  const auto intent = engine.on_command("open_door", 0.0);
+  ASSERT_TRUE(intent.has_value());
+  EXPECT_EQ(*intent, "intent/open_door");
+  EXPECT_FALSE(engine.on_command("not_a_command", 1.0).has_value());
+  EXPECT_TRUE(engine.armed_at(1'000.0));  // no wake word: armed forever
+}
+
+TEST(intent_engine, wake_machine_arms_maps_and_times_out) {
+  intent_config cfg;
+  cfg.wake_command_id = "wake_up";
+  cfg.rules = {{"open_door", "unlock"}};
+  cfg.timeout_s = 2.0;
+  intent_engine engine{cfg};
+
+  // Idle engine: commands are ignored until the wake word arms it.
+  EXPECT_FALSE(engine.on_command("open_door", 0.0).has_value());
+  // The wake word arms but is not itself an intent.
+  EXPECT_FALSE(engine.on_command("wake_up", 1.0).has_value());
+  EXPECT_TRUE(engine.armed_at(1.5));
+
+  // Within the timeout the table maps; an accepted command re-arms.
+  auto intent = engine.on_command("open_door", 2.5);
+  ASSERT_TRUE(intent.has_value());
+  EXPECT_EQ(*intent, "unlock");
+  EXPECT_TRUE(engine.on_command("open_door", 4.4).has_value());  // 2.5 + 2.0
+
+  // Past the (re-armed) deadline the engine has gone idle again.
+  EXPECT_FALSE(engine.armed_at(6.5));
+  EXPECT_FALSE(engine.on_command("open_door", 6.5).has_value());
+
+  engine.reset();
+  EXPECT_FALSE(engine.on_command("open_door", 0.0).has_value());
+}
+
+// ---- command_pipeline ------------------------------------------------
+
+constexpr double kRate = 16'000.0;
+
+// One spoken command padded with digital silence on both sides — the
+// traffic-stream shape the segmenter cuts on.
+audio::buffer spoken(const std::string& command_id, std::uint64_t seed) {
+  ivc::rng rng{seed};
+  std::vector<audio::buffer> parts;
+  parts.push_back(audio::silence(0.3, kRate));
+  parts.push_back(synth::render_command(synth::command_by_id(command_id),
+                                        synth::male_voice(), rng, kRate));
+  parts.push_back(audio::silence(0.3, kRate));
+  return audio::concat(parts);
+}
+
+pipeline_config test_pipeline(double decision_window_s = 1.0) {
+  pipeline_config cfg;
+  cfg.recognizer = sim::shared_enrolled_recognizer(kRate, 1);
+  cfg.decision_window_s = decision_window_s;
+  return cfg;
+}
+
+TEST(command_pipeline, recognizes_and_executes_clean_command) {
+  command_pipeline pipeline{test_pipeline()};
+  std::vector<command_outcome> outcomes =
+      pipeline.feed(spoken("open_door", 3), {});
+  for (command_outcome& o : pipeline.finish()) {
+    outcomes.push_back(std::move(o));
+  }
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::executed);
+  EXPECT_EQ(outcomes[0].command_id, "open_door");
+  EXPECT_EQ(outcomes[0].intent, "intent/open_door");
+  EXPECT_GT(outcomes[0].asr_margin, 0.0);
+}
+
+TEST(command_pipeline, attack_verdict_blocks_without_running_asr) {
+  command_pipeline pipeline{test_pipeline()};
+  const audio::buffer stream = spoken("open_door", 3);
+  // A defense window flagged at t = 0.5 overlaps the utterance.
+  const std::vector<defense::stream_event> verdicts = {{0.5, 3.0, true}};
+  std::vector<command_outcome> outcomes = pipeline.feed(stream, verdicts);
+  for (command_outcome& o : pipeline.finish()) {
+    outcomes.push_back(std::move(o));
+  }
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::blocked);
+  EXPECT_TRUE(outcomes[0].command_id.empty());
+  EXPECT_EQ(outcomes[0].asr_s, 0.0);  // the veto short-circuits the ASR
+}
+
+TEST(command_pipeline, genuine_verdict_does_not_block) {
+  command_pipeline pipeline{test_pipeline()};
+  const std::vector<defense::stream_event> verdicts = {{0.5, -2.0, false}};
+  std::vector<command_outcome> outcomes =
+      pipeline.feed(spoken("open_door", 3), verdicts);
+  for (command_outcome& o : pipeline.finish()) {
+    outcomes.push_back(std::move(o));
+  }
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::executed);
+}
+
+TEST(command_pipeline, noise_is_rejected_by_asr) {
+  command_pipeline pipeline{test_pipeline()};
+  // A loud tone is an utterance to the segmenter but no command to the
+  // recognizer.
+  std::vector<audio::buffer> parts;
+  parts.push_back(audio::silence(0.3, kRate));
+  audio::buffer tone = audio::silence(0.8, kRate);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone.samples[i] = 0.1 * std::sin(2.0 * M_PI * 300.0 *
+                                     static_cast<double>(i) / kRate);
+  }
+  parts.push_back(tone);
+  parts.push_back(audio::silence(0.3, kRate));
+  std::vector<command_outcome> outcomes =
+      pipeline.feed(audio::concat(parts), {});
+  for (command_outcome& o : pipeline.finish()) {
+    outcomes.push_back(std::move(o));
+  }
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::rejected_by_asr);
+  EXPECT_TRUE(outcomes[0].command_id.empty());
+}
+
+TEST(command_pipeline, wake_machine_ignores_unwoken_command) {
+  pipeline_config cfg = test_pipeline();
+  cfg.intent.wake_command_id = "wake_up";  // never spoken in this stream
+  command_pipeline pipeline{cfg};
+  std::vector<command_outcome> outcomes =
+      pipeline.feed(spoken("open_door", 3), {});
+  for (command_outcome& o : pipeline.finish()) {
+    outcomes.push_back(std::move(o));
+  }
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::ignored);
+  EXPECT_EQ(outcomes[0].command_id, "open_door");  // recognized, not run
+}
+
+// ---- serving-level integration ---------------------------------------
+
+defense::logistic_classifier tiny_classifier() {
+  ivc::rng rng{90};
+  defense::labelled_features data;
+  for (int i = 0; i < 120; ++i) {
+    defense::trace_features f;
+    const bool attack = i % 2 == 0;
+    const double c = attack ? 1.0 : -1.0;
+    f.low_band_envelope_corr = c + rng.normal(0.0, 0.3);
+    f.low_band_ratio_db = 4.0 * c + rng.normal(0.0, 1.0);
+    f.amplitude_skew = 0.4 * c + rng.normal(0.0, 0.2);
+    f.low_band_waveform_corr = c + rng.normal(0.0, 0.3);
+    data.add(f, attack ? 1 : 0);
+  }
+  defense::logistic_classifier clf;
+  clf.train(data);
+  return clf;
+}
+
+defense::classifier_detector tiny_detector() {
+  return defense::classifier_detector{tiny_classifier()};
+}
+
+std::vector<audio::buffer> command_streams() {
+  const std::vector<synth::command>& bank = synth::command_bank();
+  std::vector<audio::buffer> streams;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    streams.push_back(spoken(bank[s % bank.size()].id, 40 + s));
+  }
+  return streams;
+}
+
+serve_config pipelined_config() {
+  serve_config cfg;
+  cfg.queue_capacity = 16;
+  cfg.policy = overflow_policy::reject;
+  cfg.pipeline = test_pipeline(/*decision_window_s=*/0.0);  // adopt window_s
+  return cfg;
+}
+
+// Offers every stream in `block`-sample slices round-robin; fork-join
+// drains or streaming start(workers)/stop per `streaming`. Returns the
+// per-session outcome streams.
+std::vector<std::vector<command_outcome>> run_fleet_outcomes(
+    const std::vector<audio::buffer>& streams, std::size_t block,
+    serve_config cfg, std::size_t workers, bool streaming) {
+  cfg.worker_threads = streaming ? 1 : workers;
+  session_manager manager{tiny_detector(), cfg};
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    manager.open_session(cfg);  // the per-session override path
+  }
+  if (streaming) {
+    manager.start(workers);
+  }
+  std::size_t max_rounds = 0;
+  for (const audio::buffer& st : streams) {
+    max_rounds = std::max(max_rounds, (st.size() + block - 1) / block);
+  }
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      const std::size_t start = round * block;
+      if (start >= streams[s].size()) {
+        continue;
+      }
+      const std::size_t end = std::min(start + block, streams[s].size());
+      const audio::buffer piece{
+          {streams[s].samples.begin() + static_cast<std::ptrdiff_t>(start),
+           streams[s].samples.begin() + static_cast<std::ptrdiff_t>(end)},
+          streams[s].sample_rate_hz};
+      while (manager.offer(s, piece) == offer_status::rejected) {
+        if (streaming) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        } else {
+          manager.drain();
+        }
+      }
+    }
+    if (!streaming && (round + 1) % 4 == 0) {
+      manager.drain();
+    }
+  }
+  if (streaming) {
+    manager.close_all();
+    manager.stop();
+  }
+  manager.finish();
+  std::vector<std::vector<command_outcome>> outcomes;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    outcomes.push_back(manager.outcomes(s));
+  }
+  return outcomes;
+}
+
+void expect_identical_outcomes(
+    const std::vector<std::vector<command_outcome>>& a,
+    const std::vector<std::vector<command_outcome>>& b,
+    const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size()) << label << " session " << s;
+    for (std::size_t i = 0; i < a[s].size(); ++i) {
+      EXPECT_EQ(a[s][i].start_s, b[s][i].start_s) << label;
+      EXPECT_EQ(a[s][i].end_s, b[s][i].end_s) << label;
+      EXPECT_EQ(a[s][i].kind, b[s][i].kind) << label;
+      EXPECT_EQ(a[s][i].command_id, b[s][i].command_id) << label;
+      EXPECT_EQ(a[s][i].intent, b[s][i].intent) << label;
+      EXPECT_EQ(a[s][i].asr_distance, b[s][i].asr_distance) << label;
+      EXPECT_EQ(a[s][i].asr_margin, b[s][i].asr_margin) << label;
+      // asr_s is wall time and deliberately NOT compared.
+    }
+  }
+}
+
+// The tentpole contract: the outcome stream is a pure function of the
+// accepted-block order — bit-identical at 1/2/8 workers, in BOTH drain
+// disciplines.
+TEST(serve_pipeline, outcomes_identical_across_workers_and_drain_modes) {
+  const std::vector<audio::buffer> streams = command_streams();
+  const serve_config cfg = pipelined_config();
+
+  const auto reference =
+      run_fleet_outcomes(streams, 1'024, cfg, 1, /*streaming=*/false);
+  std::size_t total = 0;
+  for (const auto& v : reference) {
+    total += v.size();
+  }
+  ASSERT_GT(total, 0u);
+
+  for (const std::size_t workers : {2u, 8u}) {
+    expect_identical_outcomes(
+        reference,
+        run_fleet_outcomes(streams, 1'024, cfg, workers, /*streaming=*/false),
+        "fork-join x" + std::to_string(workers));
+    expect_identical_outcomes(
+        reference,
+        run_fleet_outcomes(streams, 1'024, cfg, workers, /*streaming=*/true),
+        "streaming x" + std::to_string(workers));
+  }
+
+  // And invariant to the ingest chunking, like the verdict stream.
+  expect_identical_outcomes(
+      reference, run_fleet_outcomes(streams, 997, cfg, 2, /*streaming=*/false),
+      "block 997");
+}
+
+TEST(serve_pipeline, stats_count_outcomes_and_split_asr_latency) {
+  const std::vector<audio::buffer> streams = command_streams();
+  serve_config cfg = pipelined_config();
+  cfg.worker_threads = 2;
+  session_manager manager{tiny_detector(), cfg};
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    manager.open_session(cfg);
+    manager.offer(s, streams[s]);
+  }
+  manager.finish();
+  const serve_totals totals = manager.aggregate();
+  std::uint64_t outcomes = 0;
+  std::uint64_t not_blocked = 0;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (const command_outcome& o : manager.outcomes(s)) {
+      ++outcomes;
+      not_blocked += o.kind != command_outcome::kind_t::blocked ? 1 : 0;
+    }
+  }
+  ASSERT_GT(outcomes, 0u);
+  EXPECT_EQ(totals.stats.utterances, outcomes);
+  EXPECT_EQ(totals.stats.commands_blocked + totals.stats.commands_executed +
+                totals.stats.commands_rejected + totals.stats.commands_ignored,
+            outcomes);
+  // One asr_service sample per outcome that reached the recognizer:
+  // blocked utterances never run ASR.
+  EXPECT_EQ(totals.stats.asr_service.count(), not_blocked);
+  // The detector's service histogram is per-block, not per-utterance —
+  // the two clocks stay split.
+  EXPECT_EQ(totals.stats.service.count(), totals.stats.blocks_processed);
+}
+
+TEST(serve_pipeline, per_session_config_must_keep_fleet_binning) {
+  serve_config fleet;
+  session_manager manager{tiny_detector(), fleet};
+
+  // Per-session overrides that keep the binning are fine — with or
+  // without a pipeline, and with different queue shapes.
+  serve_config custom = fleet;
+  custom.queue_capacity = 4;
+  custom.policy = overflow_policy::shed_oldest;
+  custom.pipeline = test_pipeline();
+  EXPECT_NO_THROW(manager.open_session(custom));
+
+  // Divergent latency binning would corrupt aggregate()'s merge.
+  serve_config divergent = fleet;
+  divergent.latency_bins.bins_per_decade += 8;
+  EXPECT_THROW(manager.open_session(divergent), std::invalid_argument);
+}
+
+// The recognizer-sharing contract the pipeline relies on: concurrent
+// recognize() calls against one shared template set return identical
+// results (see the concurrency note in asr/recognizer.h).
+TEST(serve_pipeline, shared_recognizer_is_const_thread_safe) {
+  const std::shared_ptr<const asr::recognizer> recognizer =
+      sim::shared_enrolled_recognizer(kRate, 1);
+  const audio::buffer capture = spoken("take_picture", 9);
+  const asr::recognition_result expected = recognizer->recognize(capture);
+  ASSERT_TRUE(expected.accepted());
+
+  std::vector<asr::recognition_result> results(8);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] { results[t] = recognizer->recognize(capture); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const asr::recognition_result& r : results) {
+    ASSERT_TRUE(r.accepted());
+    EXPECT_EQ(*r.command_id, *expected.command_id);
+    EXPECT_EQ(r.best_distance, expected.best_distance);
+    EXPECT_EQ(r.margin, expected.margin);
+  }
+}
+
+}  // namespace
+}  // namespace ivc::serve
