@@ -137,6 +137,18 @@ void utterance_segmenter::close_utterance(std::vector<utterance>& out,
   silent_run_ = 0;
 }
 
+double utterance_segmenter::earliest_start_s() const {
+  if (rate_ == 0.0) {
+    return 0.0;  // nothing fed yet
+  }
+  const std::uint64_t frame =
+      in_utterance_
+          ? utterance_start_frame_
+          : frames_consumed_ - static_cast<std::uint64_t>(preroll_.size());
+  return static_cast<double>(frame) * static_cast<double>(frame_samples_) /
+         rate_;
+}
+
 std::vector<utterance> utterance_segmenter::finish() {
   std::vector<utterance> out;
   if (in_utterance_) {

@@ -66,6 +66,14 @@ class utterance_segmenter {
   // new one at t = 0.
   std::vector<utterance> finish();
 
+  // Earliest stream time any utterance not yet emitted can start: the
+  // open utterance's start when one is open, else the oldest held
+  // pre-roll frame (a future utterance adopts the current pre-roll as
+  // its onset padding). Consumers holding per-utterance state keyed by
+  // stream time (the serving pipeline's verdict windows) must retain
+  // everything at or after this point.
+  double earliest_start_s() const;
+
   void reset();
 
  private:

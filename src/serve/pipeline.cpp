@@ -94,7 +94,14 @@ std::vector<command_outcome> command_pipeline::feed(
   // Verdicts first: any utterance this block completes resolves against
   // every window decided up to and including this block.
   absorb_verdicts(verdicts);
-  consumed_s_ += block.duration_s();
+  // Integer sample count, like the segmenter's frame grid: the stream
+  // position the gate compares against must not depend on how the
+  // stream was chunked into feed() blocks.
+  if (rate_ == 0.0) {
+    rate_ = block.sample_rate_hz;
+  }
+  consumed_samples_ += block.samples.size();
+  consumed_s_ = static_cast<double>(consumed_samples_) / rate_;
   std::vector<asr::utterance> cut = segmenter_.feed(block);
   for (asr::utterance& u : cut) {
     pending_.push_back(std::move(u));
@@ -115,7 +122,9 @@ std::vector<command_outcome> command_pipeline::finish(
   resolve_ready(/*flush=*/true, out);
   attack_windows_.clear();
   intent_.reset();
+  consumed_samples_ = 0;
   consumed_s_ = 0.0;
+  rate_ = 0.0;
   return out;
 }
 
@@ -123,19 +132,28 @@ void command_pipeline::resolve_ready(bool flush,
                                      std::vector<command_outcome>& out) {
   while (!pending_.empty()) {
     const asr::utterance& u = pending_.front();
-    // Every defense window overlapping [start, end] starts before
-    // end_s, so it has been decided once the detector consumed past
-    // end_s + window. Until then the utterance is not decidable —
-    // resolving early could miss a veto and would break determinism.
-    if (!flush && consumed_s_ < u.end_s + config_.decision_window_s) {
+    // resolve() accepts any window starting before end_s +
+    // verdict_guard_s, and such a window is only decided once the
+    // detector has consumed a full analysis window past its start. So
+    // the utterance is decidable only once the stream has been consumed
+    // past end_s + verdict_guard_s + decision_window_s — resolving
+    // earlier could miss a veto and would break determinism.
+    if (!flush && consumed_s_ < u.end_s + config_.verdict_guard_s +
+                                    config_.decision_window_s) {
       break;
     }
     out.push_back(resolve(u));
     pending_.pop_front();
   }
-  // Windows that can no longer overlap anything pending are done.
-  const double horizon =
-      pending_.empty() ? consumed_s_ : pending_.front().start_s;
+  // Windows that can no longer overlap anything pending are done. The
+  // segmenter may still hold an OPEN utterance (or pre-roll a future
+  // one will adopt) reaching back before consumed_s_, so the prune
+  // horizon is the earliest point any unresolved utterance can start —
+  // not the consumption front.
+  double horizon = segmenter_.earliest_start_s();
+  if (!pending_.empty()) {
+    horizon = std::min(horizon, pending_.front().start_s);
+  }
   std::erase_if(attack_windows_, [&](const std::pair<double, double>& w) {
     return w.second + config_.verdict_guard_s < horizon;
   });
@@ -183,7 +201,9 @@ void command_pipeline::reset() {
   intent_.reset();
   attack_windows_.clear();
   pending_.clear();
+  consumed_samples_ = 0;
   consumed_s_ = 0.0;
+  rate_ = 0.0;
 }
 
 }  // namespace ivc::serve

@@ -19,9 +19,10 @@
 // the same contract as the verdict stream — so it is bit-identical at
 // any worker count, in both drain disciplines, and under any block
 // chunking. An utterance only resolves once the detector has consumed
-// past its end by a full analysis window, i.e. once every defense
-// window that could overlap it has been decided; scheduling moves when
-// a resolution happens, never what it says.
+// past its end by the verdict guard plus a full analysis window, i.e.
+// once every defense window that the guard-grown overlap test could
+// match has been decided; scheduling moves when a resolution happens,
+// never what it says.
 //
 // The intent machine follows the sln_voice intent-engine shape: an
 // optional wake command arms the engine for `timeout_s`; while armed,
@@ -31,6 +32,7 @@
 // commands).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -116,9 +118,10 @@ struct pipeline_config {
   // worker; sim::shared_enrolled_recognizer is the canonical provider.
   std::shared_ptr<const asr::recognizer> recognizer;
   // Defense analysis window length: an utterance resolves only once the
-  // stream has been consumed this far past its end, so every verdict
-  // window that could overlap it has been decided. 0 = adopt the
-  // session's stream_config::window_s (what detection_session does).
+  // stream has been consumed this far (plus the verdict guard) past its
+  // end, so every verdict window that could overlap it has been
+  // decided. 0 = adopt the session's stream_config::window_s (what
+  // detection_session does).
   double decision_window_s = 0.0;
   // Attack windows are grown by this on both sides before the overlap
   // test — a verdict just outside the utterance bounds still vetoes it.
@@ -160,7 +163,12 @@ class command_pipeline {
   // Decided attack windows, as [start, end] intervals on the stream.
   std::vector<std::pair<double, double>> attack_windows_;
   std::deque<asr::utterance> pending_;
+  // Stream position, tracked as an exact sample count (consumed_s_ is
+  // derived) so the resolution gate and window pruning compare the same
+  // values under any block chunking.
+  std::uint64_t consumed_samples_ = 0;
   double consumed_s_ = 0.0;
+  double rate_ = 0.0;
 };
 
 }  // namespace ivc::serve

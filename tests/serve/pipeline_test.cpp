@@ -81,6 +81,47 @@ pipeline_config test_pipeline(double decision_window_s = 1.0) {
   return cfg;
 }
 
+// Leading silence, `tone_s` of a 300 Hz tone (an utterance to the
+// segmenter, no command to the recognizer), `tail_s` of silence.
+audio::buffer tone_stream(double tone_s, double tail_s = 0.3) {
+  std::vector<audio::buffer> parts;
+  parts.push_back(audio::silence(0.3, kRate));
+  audio::buffer tone = audio::silence(tone_s, kRate);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone.samples[i] =
+        0.1 * std::sin(2.0 * M_PI * 300.0 * static_cast<double>(i) / kRate);
+  }
+  parts.push_back(tone);
+  parts.push_back(audio::silence(tail_s, kRate));
+  return audio::concat(parts);
+}
+
+// Feeds `stream` to `pipeline` in `block`-sample slices, handing over
+// `verdicts_at(consumed_s)` with each slice, and returns the full
+// outcome stream (finish() tail included).
+template <typename VerdictsAt>
+std::vector<command_outcome> feed_in_blocks(command_pipeline& pipeline,
+                                            const audio::buffer& stream,
+                                            std::size_t block,
+                                            VerdictsAt&& verdicts_at) {
+  std::vector<command_outcome> outcomes;
+  for (std::size_t start = 0; start < stream.size(); start += block) {
+    const std::size_t end = std::min(start + block, stream.size());
+    const audio::buffer piece{
+        {stream.samples.begin() + static_cast<std::ptrdiff_t>(start),
+         stream.samples.begin() + static_cast<std::ptrdiff_t>(end)},
+        kRate};
+    const double consumed_s = static_cast<double>(end) / kRate;
+    for (command_outcome& o : pipeline.feed(piece, verdicts_at(consumed_s))) {
+      outcomes.push_back(std::move(o));
+    }
+  }
+  for (command_outcome& o : pipeline.finish()) {
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
 TEST(command_pipeline, recognizes_and_executes_clean_command) {
   command_pipeline pipeline{test_pipeline()};
   std::vector<command_outcome> outcomes =
@@ -143,6 +184,71 @@ TEST(command_pipeline, noise_is_rejected_by_asr) {
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::rejected_by_asr);
   EXPECT_TRUE(outcomes[0].command_id.empty());
+}
+
+TEST(command_pipeline, onset_attack_window_blocks_long_open_utterance) {
+  // A ~3 s utterance whose ONSET alone is flagged: the window
+  // [0.35, 1.35] is fully decided — and lies well behind the
+  // consumption front — long before the utterance closes. The veto must
+  // survive in the window set while the segmenter still holds the
+  // utterance open, under any ingest chunking.
+  const audio::buffer stream = tone_stream(3.0);
+  const std::vector<defense::stream_event> onset = {{0.35, 3.0, true}};
+  for (const std::size_t block :
+       {stream.size(), std::size_t{1'600}, std::size_t{997}}) {
+    command_pipeline pipeline{test_pipeline()};
+    bool delivered = false;
+    const std::vector<command_outcome> outcomes = feed_in_blocks(
+        pipeline, stream, block,
+        [&](double) -> std::vector<defense::stream_event> {
+          if (delivered) {
+            return {};
+          }
+          delivered = true;
+          return onset;
+        });
+    ASSERT_EQ(outcomes.size(), 1u) << "block " << block;
+    EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::blocked)
+        << "block " << block;
+    EXPECT_EQ(outcomes[0].asr_s, 0.0) << "block " << block;
+  }
+}
+
+TEST(command_pipeline, guard_window_just_past_utterance_end_still_vetoes) {
+  // A flagged window starting INSIDE the guard band past the utterance
+  // end, delivered only once the detector has consumed a full analysis
+  // window past its start (exactly when a real detector emits it). The
+  // resolution gate must wait for it.
+  const audio::buffer stream = tone_stream(0.8, /*tail_s=*/2.5);
+  double end_s = 0.0;
+  {
+    command_pipeline probe{test_pipeline()};
+    const std::vector<command_outcome> outcomes = feed_in_blocks(
+        probe, stream, stream.size(),
+        [](double) { return std::vector<defense::stream_event>{}; });
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_EQ(outcomes[0].kind, command_outcome::kind_t::rejected_by_asr);
+    end_s = outcomes[0].end_s;
+  }
+
+  const double window_start = end_s + 0.05;  // inside verdict_guard_s = 0.1
+  const double emitted_at = window_start + 1.0;  // + decision_window_s
+  command_pipeline pipeline{test_pipeline()};
+  bool delivered = false;
+  const std::vector<command_outcome> outcomes = feed_in_blocks(
+      pipeline, stream, /*block=*/400,
+      [&](double consumed_s) -> std::vector<defense::stream_event> {
+        if (delivered || consumed_s < emitted_at) {
+          return {};
+        }
+        delivered = true;
+        return {{window_start, 3.0, true}};
+      });
+  // The stream must be long enough that the verdict was emitted (and the
+  // utterance resolved) mid-stream, not swept up by the finish() flush.
+  ASSERT_TRUE(delivered);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, command_outcome::kind_t::blocked);
 }
 
 TEST(command_pipeline, wake_machine_ignores_unwoken_command) {
