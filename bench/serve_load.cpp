@@ -41,6 +41,17 @@
 // 1-worker fork-join reference (exit 1 on mismatch); only the asr_s
 // wall-time field is exempt.
 //
+// `--chaos` switches to the fault-injection sweep (`serve-chaos-v1`
+// run-log signature, default JSON BENCH_serve_chaos.json): the e2e fleet
+// runs under a deterministic serve::fault_injector schedule at several
+// fault scales, and three properties are checked, not just reported —
+// verdict+outcome streams stay bit-identical across 1/2/8 workers and
+// fork-join vs streaming under the SAME fault schedule; injected faults
+// never increase attacker success (fail-closed); and the fleet completes
+// every run without process death. Smoke mode additionally requires the
+// top scale to put faults into >= 25% of sessions with attacker success
+// pinned at 0%.
+//
 // Flags (on top of the common bench flags in bench_util.h):
 //   --smoke          CI-sized run: 64 sessions, one block size, 1-vs-N
 //   --sessions <n>   override the session-count sweep with a single value
@@ -49,6 +60,7 @@
 //                    timeline plays back 4x faster than real time)
 //   --rate <s/s>     paced Poisson session-start rate (default 32/s)
 //   --e2e            end-to-end command-pipeline protocol (see above)
+//   --chaos          deterministic fault-injection sweep (see above)
 //
 // The JSON is written to BENCH_serve.json unless --json overrides it.
 #include <algorithm>
@@ -448,8 +460,8 @@ bool identical_outcomes(const std::vector<ivc::serve::command_outcome>& a,
     // asr_s is wall time — timing, not content — and is the ONLY field
     // allowed to differ between runs.
     if (a[i].start_s != b[i].start_s || a[i].end_s != b[i].end_s ||
-        a[i].kind != b[i].kind || a[i].command_id != b[i].command_id ||
-        a[i].intent != b[i].intent ||
+        a[i].kind != b[i].kind || a[i].fault != b[i].fault ||
+        a[i].command_id != b[i].command_id || a[i].intent != b[i].intent ||
         a[i].asr_distance != b[i].asr_distance ||
         a[i].asr_margin != b[i].asr_margin) {
       return false;
@@ -463,6 +475,7 @@ struct e2e_result {
   ivc::serve::serve_totals totals;
   std::vector<std::vector<ivc::defense::stream_event>> verdicts;
   std::vector<std::vector<ivc::serve::command_outcome>> outcomes;
+  std::vector<ivc::serve::session_stats> stats;  // per-session counters
 };
 
 // Feeds the fleet through a manager whose sessions each carry their OWN
@@ -526,9 +539,11 @@ e2e_result run_e2e(const std::vector<ivc::sim::session_script>& scripts,
   result.totals = manager.aggregate();
   result.verdicts.reserve(num_sessions);
   result.outcomes.reserve(num_sessions);
+  result.stats.reserve(num_sessions);
   for (std::size_t s = 0; s < num_sessions; ++s) {
     result.verdicts.push_back(manager.verdicts(s));
     result.outcomes.push_back(manager.outcomes(s));
+    result.stats.push_back(manager.stats(s));
   }
   return result;
 }
@@ -763,6 +778,244 @@ int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
   return determinism_ok ? 0 : 1;
 }
 
+// ---- Chaos: deterministic fault sweep (serve-chaos-v1) ---------------
+
+// Per-session fault exposure of one run: how many sessions saw at least
+// one injected/contained fault of any kind.
+std::size_t sessions_with_faults(const e2e_result& r) {
+  std::size_t n = 0;
+  for (const ivc::serve::session_stats& st : r.stats) {
+    const std::uint64_t faults = st.detector_faults + st.recognizer_faults +
+                                 st.corrupt_blocks + st.asr_deadline_overruns;
+    n += faults > 0 ? 1 : 0;
+  }
+  return n;
+}
+
+// The chaos protocol: the e2e fleet under a deterministic fault-injection
+// sweep (fault scale × workers). Three properties are CHECKED, not just
+// reported (exit 1 on any violation):
+//   * determinism under fault load — with a fixed fault seed the verdict
+//     AND outcome streams are bit-identical across 1/2/8 workers and in
+//     fork-join vs streaming drain;
+//   * fail-closed — injected faults never INCREASE attacker success (or
+//     benign false executes) over the fault-free baseline;
+//   * containment — the fleet completes every run without process death
+//     (pre-containment, the first injected throw killed the harness in
+//     std::terminate), and in smoke mode the top fault scale must
+//     actually exercise the machinery: ≥25% of sessions carry faults and
+//     attacker success stays 0%.
+int run_chaos_protocol(const ivc::bench::options& opts, bool smoke,
+                       std::size_t sessions_override) {
+  using namespace ivc;
+  const std::size_t num_sessions =
+      sessions_override > 0 ? sessions_override
+                            : (smoke ? std::size_t{64} : std::size_t{128});
+  // 1/2/8 fixed: the determinism gate needs real concurrency even on a
+  // small box, and fixed counts keep run-log records comparable.
+  const std::vector<std::size_t> workers{1, 2, 8};
+  const std::vector<double> fault_scales =
+      smoke ? std::vector<double>{0.0, 1.0}
+            : std::vector<double>{0.0, 0.25, 1.0, 2.0};
+
+  bench::banner("SERVE-chaos", smoke ? "fault-injection sweep (smoke)"
+                                     : "fault-injection sweep");
+  bench::json_report report{smoke ? "SERVE-chaos-smoke" : "SERVE-chaos",
+                            "fault-injection sweep"};
+  report.set_signature("serve-chaos-v1");
+  report.set_seed(7);
+  const bench::stopwatch total_clock;
+
+  sim::traffic_config tc;
+  tc.num_sessions = num_sessions;
+  tc.utterances_per_session = smoke ? 1 : 2;
+  tc.num_threads = opts.threads;
+  const sim::traffic_generator generator{tc, 7};
+  (void)trained_detector_cache();
+  (void)sim::shared_enrolled_recognizer(16'000.0, 1);
+  const std::vector<sim::session_script> scripts = generator.render_all();
+  std::size_t attack_streams = 0;
+  for (const sim::session_script& s : scripts) {
+    attack_streams += s.is_attack ? 1 : 0;
+  }
+  bench::note("fleet: %zu streams (%zu attack), fault scales ×%zu, "
+              "workers 1/2/8 fork-join + streaming",
+              scripts.size(), attack_streams, fault_scales.size());
+  report.add_metric("fleet_streams", static_cast<double>(scripts.size()));
+  report.add_metric("fleet_attack_streams",
+                    static_cast<double>(attack_streams));
+  bench::rule();
+
+  serve::serve_config base_cfg;
+  base_cfg.queue_capacity = 64;
+  base_cfg.policy = serve::overflow_policy::reject;
+
+  bool determinism_ok = true;
+  bool fail_closed_ok = true;
+  double clean_attacker_success = 0.0;
+  double clean_benign_false = 0.0;
+  double top_scale_fault_fraction = 0.0;
+  double top_scale_attacker_success = 0.0;
+  sim::result_table sweep{
+      {"fault_scale", "mode", "workers"},
+      {"wall_s", "faulty_sessions", "quarantines", "reopens",
+       "detector_faults", "recognizer_faults", "corrupt_blocks", "overruns",
+       "shed_degraded", "failed_closed", "executed", "attacker_success"}};
+  std::printf("%7s %10s %8s %9s %7s %6s %6s %7s %7s %7s\n", "scale", "mode",
+              "workers", "wall s", "faulty", "quar", "reopen", "f.clsd",
+              "exec", "atk%%");
+  for (const double scale : fault_scales) {
+    serve::serve_config cfg = base_cfg;
+    if (scale > 0.0) {
+      serve::fault_config fc;
+      fc.seed = 7;
+      // Base rates at scale 1 — block-level faults are rare per block
+      // (sessions see many blocks), utterance-level faults are common
+      // per utterance (sessions see few).
+      fc.detector_throw_rate = std::min(1.0, 0.01 * scale);
+      fc.corrupt_block_rate = std::min(1.0, 0.01 * scale);
+      // Per utterance that actually REACHES recognition (verdict-vetoed,
+      // shed, and overrun utterances never draw), so the rate is high
+      // enough that the site reliably fires in a 64-session smoke.
+      fc.recognizer_throw_rate = std::min(1.0, 0.35 * scale);
+      fc.recognizer_overrun_rate = std::min(1.0, 0.25 * scale);
+      cfg.faults = std::make_shared<serve::fault_injector>(fc);
+    }
+
+    // Reference: 1-worker fork-join under this exact fault schedule.
+    const e2e_result reference = run_e2e(scripts, num_sessions, cfg,
+                                         /*workers=*/1, /*streaming=*/false);
+    const e2e_scorecard card = score_e2e(scripts, reference, num_sessions);
+    const double attacker_success =
+        card.attack_streams > 0
+            ? static_cast<double>(card.attack_executed) /
+                  static_cast<double>(card.attack_streams)
+            : 0.0;
+    const double benign_false =
+        card.benign_streams > 0
+            ? static_cast<double>(card.benign_executed) /
+                  static_cast<double>(card.benign_streams)
+            : 0.0;
+    if (scale == 0.0) {
+      clean_attacker_success = attacker_success;
+      clean_benign_false = benign_false;
+    } else {
+      // Fail-closed: faults may only ever SHRINK the executed set.
+      if (attacker_success > clean_attacker_success ||
+          benign_false > clean_benign_false) {
+        fail_closed_ok = false;
+        std::fprintf(stderr,
+                     "FAIL-CLOSED VIOLATION: fault scale %.2f raised "
+                     "attacker success %.3f→%.3f / benign false execute "
+                     "%.3f→%.3f\n",
+                     scale, clean_attacker_success, attacker_success,
+                     clean_benign_false, benign_false);
+      }
+    }
+    const double fault_fraction =
+        static_cast<double>(sessions_with_faults(reference)) /
+        static_cast<double>(num_sessions);
+    if (scale == fault_scales.back()) {
+      top_scale_fault_fraction = fault_fraction;
+      top_scale_attacker_success = attacker_success;
+    }
+
+    const auto run_one = [&](const char* mode, std::size_t W,
+                             bool streaming) {
+      const e2e_result r =
+          streaming || W != 1
+              ? run_e2e(scripts, num_sessions, cfg, W, streaming)
+              : reference;
+      for (std::size_t s = 0; s < num_sessions; ++s) {
+        if (!identical_verdicts(reference.verdicts[s], r.verdicts[s]) ||
+            !identical_outcomes(reference.outcomes[s], r.outcomes[s])) {
+          determinism_ok = false;
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: chaos session %zu differs "
+                       "from the 1-worker reference (scale %.2f, %s, %zu "
+                       "workers)\n",
+                       s, scale, mode, W);
+        }
+      }
+      const serve::session_stats& t = r.totals.stats;
+      std::printf("%7.2f %10s %8zu %9.2f %7zu %6llu %6llu %7llu %7llu "
+                  "%6.1f%%\n",
+                  scale, mode, W, r.wall_s, sessions_with_faults(r),
+                  static_cast<unsigned long long>(t.quarantines),
+                  static_cast<unsigned long long>(t.reopens),
+                  static_cast<unsigned long long>(t.utterances_failed_closed),
+                  static_cast<unsigned long long>(t.commands_executed),
+                  100.0 * attacker_success);
+      sim::result_table::row row;
+      row.labels = {std::to_string(scale), mode, std::to_string(W)};
+      row.coords = {scale, streaming ? 1.0 : 0.0, static_cast<double>(W)};
+      row.metrics = {r.wall_s,
+                     static_cast<double>(sessions_with_faults(r)),
+                     static_cast<double>(t.quarantines),
+                     static_cast<double>(t.reopens),
+                     static_cast<double>(t.detector_faults),
+                     static_cast<double>(t.recognizer_faults),
+                     static_cast<double>(t.corrupt_blocks),
+                     static_cast<double>(t.asr_deadline_overruns),
+                     static_cast<double>(t.utterances_shed_degraded),
+                     static_cast<double>(t.utterances_failed_closed),
+                     static_cast<double>(t.commands_executed),
+                     attacker_success};
+      sweep.add_row(row);
+    };
+    for (const std::size_t W : workers) {
+      run_one("fork-join", W, /*streaming=*/false);
+    }
+    run_one("streaming", workers.back(), /*streaming=*/true);
+  }
+  sweep.print();
+  report.add_table("chaos_sweep", sweep);
+  bench::rule();
+
+  // Smoke-mode coverage gates: the chaos pass is only meaningful when
+  // the fault machinery actually engaged.
+  bool coverage_ok = true;
+  if (smoke) {
+    if (top_scale_fault_fraction < 0.25) {
+      coverage_ok = false;
+      std::fprintf(stderr,
+                   "CHAOS COVERAGE: only %.0f%% of sessions carried faults "
+                   "at the top scale (need >= 25%%)\n",
+                   100.0 * top_scale_fault_fraction);
+    }
+    if (top_scale_attacker_success > 0.0) {
+      coverage_ok = false;
+      std::fprintf(stderr,
+                   "CHAOS GATE: attacker success %.3f under faults "
+                   "(must stay 0)\n",
+                   top_scale_attacker_success);
+    }
+  }
+  report.add_metric("determinism_ok", determinism_ok ? 1.0 : 0.0);
+  report.add_metric("fail_closed_ok", fail_closed_ok ? 1.0 : 0.0);
+  report.add_metric("clean_attacker_success", clean_attacker_success);
+  report.add_metric("top_scale_attacker_success", top_scale_attacker_success);
+  report.add_metric("top_scale_faulty_session_fraction",
+                    top_scale_fault_fraction);
+  report.add_metric("sessions", static_cast<double>(num_sessions));
+
+  const double elapsed = total_clock.elapsed_s();
+  report.add_metric("elapsed_s", elapsed);
+  bench::rule();
+  bench::note("streams bit-identical across workers and modes under fault "
+              "load: %s",
+              determinism_ok ? "yes" : "NO");
+  bench::note("injected faults never increased attacker success: %s",
+              fail_closed_ok ? "yes" : "NO");
+  bench::note("%.0f%% of sessions carried faults at the top scale; attacker "
+              "success there %.1f%%",
+              100.0 * top_scale_fault_fraction,
+              100.0 * top_scale_attacker_success);
+  bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
+  report.write(opts);
+  return determinism_ok && fail_closed_ok && coverage_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -771,6 +1024,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool paced = false;
   bool e2e = false;
+  bool chaos = false;
   double pace = 4.0;
   double session_rate_hz = 32.0;
   std::size_t sessions_override = 0;
@@ -782,6 +1036,8 @@ int main(int argc, char** argv) {
       paced = true;
     } else if (arg == "--e2e") {
       e2e = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else if (arg == "--pace" && i + 1 < argc) {
       const double v = std::atof(argv[++i]);
       pace = v > 0.0 ? v : pace;
@@ -794,7 +1050,12 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.json_path.empty()) {
-    opts.json_path = e2e ? "BENCH_serve_e2e.json" : "BENCH_serve.json";
+    opts.json_path = chaos ? "BENCH_serve_chaos.json"
+                           : (e2e ? "BENCH_serve_e2e.json"
+                                  : "BENCH_serve.json");
+  }
+  if (chaos) {
+    return run_chaos_protocol(opts, smoke, sessions_override);
   }
   if (e2e) {
     return run_e2e_protocol(opts, smoke, sessions_override);

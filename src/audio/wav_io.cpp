@@ -76,12 +76,19 @@ buffer read_wav(const std::string& path) {
   ensures(host_is_little_endian(), "read_wav: big-endian hosts unsupported");
   std::ifstream in{path, std::ios::binary};
   ensures(in.good(), "read_wav: cannot open " + path);
+  // Total file size up front: every declared chunk size is validated
+  // against the bytes that actually exist, so a garbage size field (a
+  // truncated upload, a fuzzed header) fails with a clean error instead
+  // of a multi-gigabyte allocation or a silent mis-parse.
+  in.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
 
   std::array<char, 4> tag{};
   in.read(tag.data(), 4);
   ensures(in.good() && std::memcmp(tag.data(), "RIFF", 4) == 0,
           "read_wav: missing RIFF header in " + path);
-  (void)read_le<std::uint32_t>(in);  // riff size
+  (void)read_le<std::uint32_t>(in);  // riff size (advisory; not trusted)
   in.read(tag.data(), 4);
   ensures(in.good() && std::memcmp(tag.data(), "WAVE", 4) == 0,
           "read_wav: missing WAVE tag in " + path);
@@ -100,7 +107,13 @@ buffer read_wav(const std::string& path) {
       break;
     }
     const auto chunk_size = read_le<std::uint32_t>(in);
+    const auto body_start = static_cast<std::uint64_t>(in.tellg());
+    ensures(body_start + chunk_size <= file_bytes,
+            "read_wav: chunk size overruns the file in " + path);
     if (std::memcmp(tag.data(), "fmt ", 4) == 0) {
+      // A fmt body shorter than the 16 fixed bytes would make the reads
+      // below swallow the next chunk's header as format fields.
+      ensures(chunk_size >= 16, "read_wav: malformed fmt chunk in " + path);
       fmt = read_le<std::uint16_t>(in);
       channels = read_le<std::uint16_t>(in);
       rate = read_le<std::uint32_t>(in);
@@ -112,7 +125,7 @@ buffer read_wav(const std::string& path) {
       }
       have_fmt = true;
     } else if (std::memcmp(tag.data(), "data", 4) == 0) {
-      data.resize(chunk_size);
+      data.resize(chunk_size);  // safe: bounded by file_bytes above
       in.read(reinterpret_cast<char*>(data.data()), chunk_size);
       ensures(in.good(), "read_wav: truncated data chunk in " + path);
       have_data = true;
@@ -124,6 +137,10 @@ buffer read_wav(const std::string& path) {
   ensures(fmt == format_pcm || fmt == format_ieee_float,
           "read_wav: unsupported format code in " + path);
   ensures(channels >= 1, "read_wav: zero channels in " + path);
+  ensures(rate > 0, "read_wav: zero sample rate in " + path);
+  ensures(fmt == format_pcm ? (bits == 16 || bits == 24 || bits == 32)
+                            : (bits == 32 || bits == 64),
+          "read_wav: unsupported bit depth in " + path);
   const std::size_t bytes_per_sample = bits / 8;
   ensures(bytes_per_sample > 0, "read_wav: zero bit depth in " + path);
   const std::size_t frame_bytes = bytes_per_sample * channels;

@@ -1,0 +1,67 @@
+#include "serve/fault.h"
+
+#include "common/error.h"
+
+namespace ivc::serve {
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing, stable across platforms.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e37'79b9'7f4a'7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+fault_injector::fault_injector(fault_config config)
+    : config_{std::move(config)} {
+  const auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  expects(valid_rate(config_.detector_throw_rate) &&
+              valid_rate(config_.recognizer_throw_rate) &&
+              valid_rate(config_.recognizer_overrun_rate) &&
+              valid_rate(config_.corrupt_block_rate),
+          "fault_injector: rates must be in [0, 1]");
+}
+
+double fault_injector::rate_of(fault_kind kind) const {
+  switch (kind) {
+    case fault_kind::detector_throw:
+      return config_.detector_throw_rate;
+    case fault_kind::recognizer_throw:
+      return config_.recognizer_throw_rate;
+    case fault_kind::recognizer_overrun:
+      return config_.recognizer_overrun_rate;
+    case fault_kind::corrupt_block:
+      return config_.corrupt_block_rate;
+  }
+  return 0.0;
+}
+
+bool fault_injector::fires(fault_kind kind, std::uint64_t session,
+                           std::uint64_t index) const {
+  for (const fault_event& e : config_.schedule) {
+    if (e.kind == kind && e.session == session && e.index == index) {
+      return true;
+    }
+  }
+  const double rate = rate_of(kind);
+  if (rate <= 0.0) {
+    return false;
+  }
+  // Chain the coordinates through the mixer instead of XOR-folding them
+  // so (session=1, index=2) and (session=2, index=1) draw independently.
+  std::uint64_t h =
+      mix64(config_.seed ^ (0xfa'0000ULL + static_cast<std::uint64_t>(kind)));
+  h = mix64(h ^ session);
+  h = mix64(h ^ index);
+  return to_unit(h) < rate;
+}
+
+}  // namespace ivc::serve

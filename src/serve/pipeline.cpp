@@ -125,6 +125,35 @@ std::vector<command_outcome> command_pipeline::finish(
   consumed_samples_ = 0;
   consumed_s_ = 0.0;
   rate_ = 0.0;
+  degraded_until_s_ = 0.0;
+  return out;
+}
+
+std::vector<command_outcome> command_pipeline::fail_closed() {
+  // The segmenter may hold an open utterance or pre-roll; adopt whatever
+  // it can still cut so those utterances are accounted for — as blocked,
+  // never executed. If the segmenter itself is the faulted state, its
+  // samples are lost: losing genuine audio is the accepted cost,
+  // leaking a command is not.
+  try {
+    std::vector<asr::utterance> cut = segmenter_.finish();
+    for (asr::utterance& u : cut) {
+      pending_.push_back(std::move(u));
+    }
+  } catch (...) {
+    segmenter_.reset();
+  }
+  std::vector<command_outcome> out;
+  out.reserve(pending_.size());
+  for (const asr::utterance& u : pending_) {
+    command_outcome o;
+    o.start_s = u.start_s;
+    o.end_s = u.end_s;
+    o.kind = command_outcome::kind_t::blocked;
+    o.fault = command_outcome::fault_t::stage_fault;
+    out.push_back(std::move(o));
+  }
+  reset();
   return out;
 }
 
@@ -160,6 +189,10 @@ void command_pipeline::resolve_ready(bool flush,
 }
 
 command_outcome command_pipeline::resolve(const asr::utterance& u) {
+  // Fault-schedule coordinate for this utterance: advances in
+  // accepted-block order and is never rewound (not even by reset()), so
+  // a reopened session never replays already-fired coordinates.
+  const std::uint64_t utterance_index = utterance_index_++;
   command_outcome o;
   o.start_s = u.start_s;
   o.end_s = u.end_s;
@@ -173,6 +206,44 @@ command_outcome command_pipeline::resolve(const asr::utterance& u) {
       o.kind = command_outcome::kind_t::blocked;
       return o;
     }
+  }
+
+  // Degradation ladder, first rung: while the ASR stage is shed the
+  // utterance resolves fail-closed without recognition. The comparison
+  // uses the utterance's resolution-eligibility time — a pure function
+  // of its bounds — not consumed_s_, which depends on block chunking.
+  const double eligible_s =
+      u.end_s + config_.verdict_guard_s + config_.decision_window_s;
+  if (eligible_s < degraded_until_s_) {
+    o.kind = command_outcome::kind_t::blocked;
+    o.fault = command_outcome::fault_t::degraded_shed;
+    return o;
+  }
+
+  // ASR deadline: the MODELED recognizer cost (deterministic, never wall
+  // clock) against the budget. An injected overrun stalls the model past
+  // any budget. Overruns resolve fail-closed and shed the ASR stage for
+  // the degrade window.
+  const bool injected_overrun =
+      config_.faults != nullptr &&
+      config_.faults->fires(fault_kind::recognizer_overrun,
+                            config_.fault_session_id, utterance_index);
+  if (injected_overrun ||
+      (config_.asr_deadline_s > 0.0 &&
+       u.samples.duration_s() * config_.asr_cost_rtf >
+           config_.asr_deadline_s)) {
+    o.kind = command_outcome::kind_t::blocked;
+    o.fault = command_outcome::fault_t::deadline_overrun;
+    degraded_until_s_ = eligible_s + config_.degrade_window_s;
+    return o;
+  }
+
+  if (config_.faults != nullptr &&
+      config_.faults->fires(fault_kind::recognizer_throw,
+                            config_.fault_session_id, utterance_index)) {
+    // Escapes to the session's containment: the session quarantines and
+    // this utterance (still pending) is flushed fail-closed.
+    throw std::runtime_error{"injected fault: recognizer throw"};
   }
 
   const clock::time_point t0 = clock::now();
@@ -204,6 +275,9 @@ void command_pipeline::reset() {
   consumed_samples_ = 0;
   consumed_s_ = 0.0;
   rate_ = 0.0;
+  degraded_until_s_ = 0.0;
+  // utterance_index_ is deliberately NOT reset: it is a fault-schedule
+  // coordinate, and rewinding it would replay fired faults after reopen.
 }
 
 }  // namespace ivc::serve

@@ -44,6 +44,7 @@
 #include "asr/segmenter.h"
 #include "audio/buffer.h"
 #include "defense/stream.h"
+#include "serve/fault.h"
 
 namespace ivc::serve {
 
@@ -98,9 +99,22 @@ struct command_outcome {
                       // machine) or the command is unmapped / a wake word
   };
 
+  // Why a `blocked` outcome was blocked when the cause was a FAULT, not
+  // a defense verdict. Fail-closed is the contract: a faulted stage can
+  // only ever widen `blocked`, never produce `executed` — an attacker
+  // who crashes or stalls the pipeline gains nothing.
+  enum class fault_t {
+    none,              // blocked by a verdict, or not blocked at all
+    recognizer_throw,  // the ASR stage threw mid-recognition
+    deadline_overrun,  // modeled recognizer cost blew the deadline budget
+    degraded_shed,     // session in detector-only mode: ASR stage shed
+    stage_fault,       // containment flushed it after a stage crash
+  };
+
   double start_s = 0.0;  // utterance bounds on the session stream
   double end_s = 0.0;
   kind_t kind = kind_t::rejected_by_asr;
+  fault_t fault = fault_t::none;
   std::string command_id;  // recognized command (empty when none ran/matched)
   std::string intent;      // mapped intent when executed
   double asr_distance = 0.0;
@@ -126,6 +140,31 @@ struct pipeline_config {
   // Attack windows are grown by this on both sides before the overlap
   // test — a verdict just outside the utterance bounds still vetoes it.
   double verdict_guard_s = 0.1;
+  // ---- Fault tolerance / graceful degradation ------------------------
+  // Deadline budget for the MODELED recognizer cost of one utterance
+  // (asr_cost_rtf × utterance duration, plus any injected penalty). The
+  // budget is a deterministic cost model, never wall clock, so an
+  // overrun fires at the same utterance at any worker count. An
+  // utterance that overruns resolves fail-closed (`blocked`,
+  // fault=deadline_overrun) and trips the degradation ladder below.
+  // 0 disables the deadline.
+  double asr_deadline_s = 0.0;
+  // Modeled recognizer cost per second of utterance audio.
+  double asr_cost_rtf = 0.05;
+  // Degradation ladder, first rung: after a deadline overrun the session
+  // sheds its ASR stage and serves detector-only fail-closed for this
+  // much stream time — every utterance resolving inside the window is
+  // `blocked` (fault=degraded_shed) without running ASR. Shedding the
+  // ASR stage comes BEFORE shedding detector blocks (the queue's
+  // overflow policy stays the last rung). Stream-time-windowed, so the
+  // ladder is chunking-invariant like everything else in the stage.
+  double degrade_window_s = 2.0;
+  // Deterministic fault injection (chaos harness / tests). The injector
+  // is shared and const-thread-safe; null = no injection. The session
+  // that owns this pipeline stamps `fault_session_id` so recognizer
+  // faults key on (kind, session, utterance index).
+  std::shared_ptr<const fault_injector> faults;
+  std::uint64_t fault_session_id = 0;
 };
 
 // The per-session stage. Single-consumer, like the stream_detector it
@@ -145,6 +184,18 @@ class command_pipeline {
   // flushes the segmenter, resolves everything pending, and resets.
   std::vector<command_outcome> finish(
       const std::vector<defense::stream_event>& tail_verdicts = {});
+
+  // Fault containment: resolves EVERY pending utterance as `blocked`
+  // (fault=stage_fault) without running ASR, flushes whatever the
+  // segmenter still holds the same way, and resets the stage. Called by
+  // the session when an exception escapes a pipeline stage — the
+  // fail-closed guarantee that a crashed stage can never leak an
+  // `executed` outcome.
+  std::vector<command_outcome> fail_closed();
+
+  // True while the degradation ladder has the ASR stage shed
+  // (detector-only fail-closed mode).
+  bool degraded() const { return consumed_s_ < degraded_until_s_; }
 
   void reset();
 
@@ -169,6 +220,13 @@ class command_pipeline {
   std::uint64_t consumed_samples_ = 0;
   double consumed_s_ = 0.0;
   double rate_ = 0.0;
+  // Monotonic per-session resolved-utterance counter — the `index` the
+  // fault injector keys recognizer faults on. Advances in accepted-block
+  // order; survives finish() so a reopened stream never replays the
+  // same schedule coordinates.
+  std::uint64_t utterance_index_ = 0;
+  // Degradation ladder: stream time until which the ASR stage is shed.
+  double degraded_until_s_ = 0.0;
 };
 
 }  // namespace ivc::serve

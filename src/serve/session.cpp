@@ -1,5 +1,7 @@
 #include "serve/session.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.h"
@@ -8,6 +10,30 @@ namespace ivc::serve {
 
 namespace {
 using clock = std::chrono::steady_clock;
+
+// Releases the session's exclusive claim on every exit path — including
+// an exception escaping process() itself. Containment must never leave
+// busy_ stuck true, or the session would be unclaimable forever.
+class busy_guard {
+ public:
+  explicit busy_guard(std::atomic<bool>& flag) : flag_{flag} {}
+  ~busy_guard() { flag_.store(false); }
+  busy_guard(const busy_guard&) = delete;
+  busy_guard& operator=(const busy_guard&) = delete;
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+bool all_finite(const audio::buffer& b) {
+  for (const double s : b.samples) {
+    if (!std::isfinite(s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 detection_session::detection_session(std::uint64_t id,
@@ -16,6 +42,8 @@ detection_session::detection_session(std::uint64_t id,
     : id_{id},
       capacity_{config.queue_capacity},
       policy_{config.policy},
+      fault_tolerance_{config.fault_tolerance},
+      faults_{config.faults},
       ring_(config.queue_capacity),
       stats_{config.latency_bins},
       detector_{std::move(detector), config.stream} {
@@ -28,6 +56,12 @@ detection_session::detection_session(std::uint64_t id,
       // every overlapping verdict is decided.
       pc.decision_window_s = config.stream.window_s;
     }
+    // The recognizer-site fault coordinates are (kind, session id,
+    // utterance index); the stage inherits the session's injector.
+    if (pc.faults == nullptr) {
+      pc.faults = faults_;
+    }
+    pc.fault_session_id = id_;
     pipeline_.emplace(std::move(pc));
   }
 }
@@ -43,6 +77,11 @@ offer_status detection_session::offer(audio::buffer block) {
     // would livelock the drain-and-retry backpressure loop.
     ++stats_.blocks_rejected;
     return offer_status::closed;
+  }
+  if (state_ == session_state::quarantined) {
+    // Same shape as closed: no amount of draining helps, only reopen().
+    ++stats_.blocks_rejected;
+    return offer_status::quarantined;
   }
   if (count_ == capacity_) {
     switch (policy_) {
@@ -80,8 +119,21 @@ bool detection_session::closed() const {
   return closed_;
 }
 
+session_state detection_session::state() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return state_;
+}
+
+std::string detection_session::last_error() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return last_error_;
+}
+
 bool detection_session::has_work() const {
   std::lock_guard<std::mutex> lock{mutex_};
+  if (state_ == session_state::quarantined) {
+    return false;  // nothing can be scored until reopen()
+  }
   return count_ > 0 || (closed_ && !finished_);
 }
 
@@ -96,14 +148,135 @@ bool detection_session::pop(queued_block& out) {
   return true;
 }
 
+void detection_session::reset_stages() {
+  detector_.reset();
+  if (pipeline_.has_value()) {
+    pipeline_->reset();
+  }
+}
+
+bool detection_session::reopen() {
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true)) {
+    return false;  // a worker owns the session (mid-containment)
+  }
+  const busy_guard guard{busy_};
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (state_ != session_state::quarantined) {
+      return false;
+    }
+    state_ = session_state::recovering;
+    last_error_.clear();
+    ++stats_.reopens;
+  }
+  // A manual reopen grants a fresh retry budget and restarts the backoff
+  // ladder at its first rung.
+  reopen_count_ = 0;
+  backoff_remaining_ = fault_tolerance_.backoff_blocks;
+  reset_stages();
+  return true;
+}
+
+void detection_session::force_quarantine(const std::string& what) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (state_ == session_state::quarantined) {
+    return;
+  }
+  state_ = session_state::quarantined;
+  last_error_ = what;
+  ++stats_.quarantines;
+}
+
+// Containment: the calling worker holds busy_; an exception just escaped
+// a scoring stage. Quarantine THIS session fail-closed and either
+// auto-reopen (bounded retry + block-counted backoff) or park it.
+void detection_session::contain_fault(std::uint64_t session_stats::* counter,
+                                      const std::string& what) {
+  // Flush the pipeline fail-closed FIRST: every utterance it still holds
+  // resolves as blocked — a faulted stage must never leave an utterance
+  // in a state where a later code path could execute it.
+  std::vector<command_outcome> flushed;
+  if (pipeline_.has_value()) {
+    flushed = pipeline_->fail_closed();
+  }
+  const bool retry = fault_tolerance_.auto_reopen &&
+                     reopen_count_ < fault_tolerance_.max_reopens;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stats_.*counter += 1;
+    ++stats_.quarantines;
+    record_outcomes(flushed);
+    last_error_ = what;
+    if (retry) {
+      state_ = session_state::recovering;
+      ++stats_.reopens;
+    } else {
+      state_ = session_state::quarantined;
+    }
+  }
+  if (retry) {
+    // Exponential block-counted backoff: 8, 16, 32, ... accepted blocks
+    // consumed unscored before the stream restarts. Counted in blocks —
+    // never wall clock — so recovery lands at the same stream position
+    // at any worker count.
+    backoff_remaining_ = static_cast<std::uint64_t>(
+                             fault_tolerance_.backoff_blocks)
+                         << reopen_count_;
+    ++reopen_count_;
+    reset_stages();
+  }
+}
+
 std::size_t detection_session::process(std::size_t max_blocks) {
   bool expected = false;
   if (!busy_.compare_exchange_strong(expected, true)) {
     return 0;  // another worker owns this session right now
   }
+  const busy_guard guard{busy_};
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (state_ == session_state::quarantined) {
+      return 0;  // parked: only reopen() restores service
+    }
+  }
   std::size_t processed = 0;
   queued_block item;
-  while ((max_blocks == 0 || processed < max_blocks) && pop(item)) {
+  while (max_blocks == 0 || processed < max_blocks) {
+    {
+      // Re-check per block: contain_fault() may have parked the session
+      // mid-drain. Parked = stop scoring; queued blocks survive for a
+      // potential reopen().
+      std::lock_guard<std::mutex> lock{mutex_};
+      if (state_ == session_state::quarantined) {
+        return processed;
+      }
+    }
+    if (!pop(item)) {
+      break;
+    }
+    ++processed;
+    // Fault-schedule coordinate of this block (accepted order).
+    const std::uint64_t block_index = consumed_blocks_++;
+    if (backoff_remaining_ > 0) {
+      // Recovering: consume-and-drop until the backoff window passes,
+      // then resume scoring with the fresh stages.
+      --backoff_remaining_;
+      std::lock_guard<std::mutex> lock{mutex_};
+      ++stats_.blocks_dropped_backoff;
+      if (backoff_remaining_ == 0 && state_ == session_state::recovering) {
+        state_ = session_state::serving;
+      }
+      continue;
+    }
+    if (faults_ != nullptr &&
+        faults_->fires(fault_kind::corrupt_block, id_, block_index)) {
+      // Poison the queued audio the way a DMA/driver bug would; the
+      // scoring boundary below must catch it.
+      for (double& s : item.block.samples) {
+        s = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
     // Feed outside the queue lock: scoring is the expensive part and
     // producers must be able to keep enqueueing meanwhile. Only the
     // detector itself lives outside the lock — verdict/stat appends go
@@ -111,8 +284,30 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     const clock::time_point claimed = clock::now();
     const double rate = item.block.sample_rate_hz;
     const std::size_t samples = item.block.size();
-    const std::vector<defense::stream_event> events =
-        detector_.feed(item.block);
+    // Ingest validation: a non-finite block would turn every feature
+    // downstream into NaN and the verdict stream into silent garbage —
+    // worse than a crash. Treat it as a contained fault instead.
+    if (!all_finite(item.block)) {
+      contain_fault(&session_stats::corrupt_blocks,
+                    "corrupt audio block: non-finite sample at block " +
+                        std::to_string(block_index));
+      continue;  // recovering (backoff) or parked; loop re-checks
+    }
+    std::vector<defense::stream_event> events;
+    try {
+      if (faults_ != nullptr &&
+          faults_->fires(fault_kind::detector_throw, id_, block_index)) {
+        throw std::runtime_error{"injected fault: detector throw"};
+      }
+      events = detector_.feed(item.block);
+    } catch (const std::exception& e) {
+      contain_fault(&session_stats::detector_faults, e.what());
+      continue;
+    } catch (...) {
+      contain_fault(&session_stats::detector_faults,
+                    "detector fault: unknown exception");
+      continue;
+    }
     const clock::time_point scored = clock::now();
     // The command stage runs after the detector on the same block, so
     // its outcomes inherit the accepted-block-order determinism. Its
@@ -121,7 +316,27 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     // in `asr_service`; the end-to-end `latency` covers both.
     std::vector<command_outcome> outcomes;
     if (pipeline_.has_value()) {
-      outcomes = pipeline_->feed(item.block, events);
+      try {
+        outcomes = pipeline_->feed(item.block, events);
+      } catch (const std::exception& e) {
+        // The detector's verdicts for this block are still valid — keep
+        // them — but the command stage is now suspect: contain it. Its
+        // pending utterances flush fail-closed inside contain_fault.
+        {
+          std::lock_guard<std::mutex> lock{mutex_};
+          verdicts_.insert(verdicts_.end(), events.begin(), events.end());
+          stats_.events += events.size();
+          for (const defense::stream_event& ev : events) {
+            stats_.attack_events += ev.is_attack ? 1 : 0;
+          }
+        }
+        contain_fault(&session_stats::recognizer_faults, e.what());
+        continue;
+      } catch (...) {
+        contain_fault(&session_stats::recognizer_faults,
+                      "recognizer fault: unknown exception");
+        continue;
+      }
     }
     const clock::time_point piped = clock::now();
     const double queue_wait_s =
@@ -143,24 +358,56 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     stats_.queue_wait.record(queue_wait_s);
     stats_.service.record(service_s);
     record_outcomes(outcomes);
-    ++processed;
+    // Surface the pipeline's degradation ladder as session health.
+    if (state_ == session_state::serving && pipeline_.has_value() &&
+        pipeline_->degraded()) {
+      state_ = session_state::degraded;
+    } else if (state_ == session_state::degraded &&
+               (!pipeline_.has_value() || !pipeline_->degraded())) {
+      state_ = session_state::serving;
+    }
   }
   // End-of-stream flush: once the producer closed the session and the
   // queue is empty, flush the partial window exactly once.
   {
     std::lock_guard<std::mutex> lock{mutex_};
-    if (closed_ && !finished_ && count_ == 0) {
+    if (closed_ && !finished_ && count_ == 0 &&
+        state_ != session_state::quarantined) {
       finished_ = true;
     } else {
-      busy_.store(false);
       return processed;
     }
   }
-  const std::vector<defense::stream_event> tail = detector_.finish();
+  // The flush is owed exactly once (finished_ is already set); a fault
+  // here quarantines like any other — the tail resolves fail-closed.
+  // Two separate catch scopes so the fault is attributed to the stage
+  // that actually threw (the command stage's final resolutions run the
+  // recognizer, not the detector).
+  std::vector<defense::stream_event> tail;
+  try {
+    tail = detector_.finish();
+  } catch (const std::exception& e) {
+    contain_fault(&session_stats::detector_faults, e.what());
+    return processed;
+  } catch (...) {
+    contain_fault(&session_stats::detector_faults,
+                  "detector fault: unknown exception in finish");
+    return processed;
+  }
   std::vector<command_outcome> tail_outcomes;
+  bool pipeline_ok = true;
+  std::string pipeline_error;
   if (pipeline_.has_value()) {
-    // The flush tail can still veto (or contain) the final utterances.
-    tail_outcomes = pipeline_->finish(tail);
+    try {
+      // The flush tail can still veto (or contain) the final utterances.
+      tail_outcomes = pipeline_->finish(tail);
+    } catch (const std::exception& e) {
+      pipeline_ok = false;
+      pipeline_error = e.what();
+    } catch (...) {
+      pipeline_ok = false;
+      pipeline_error = "recognizer fault: unknown exception in finish";
+    }
   }
   {
     std::lock_guard<std::mutex> lock{mutex_};
@@ -171,7 +418,9 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     }
     record_outcomes(tail_outcomes);
   }
-  busy_.store(false);
+  if (!pipeline_ok) {
+    contain_fault(&session_stats::recognizer_faults, pipeline_error);
+  }
   return processed;
 }
 
@@ -193,6 +442,22 @@ void detection_session::record_outcomes(
         break;
       case command_outcome::kind_t::ignored:
         ++stats_.commands_ignored;
+        break;
+    }
+    switch (o.fault) {
+      case command_outcome::fault_t::none:
+        break;
+      case command_outcome::fault_t::deadline_overrun:
+        ++stats_.asr_deadline_overruns;
+        ++stats_.utterances_failed_closed;
+        break;
+      case command_outcome::fault_t::degraded_shed:
+        ++stats_.utterances_shed_degraded;
+        ++stats_.utterances_failed_closed;
+        break;
+      case command_outcome::fault_t::recognizer_throw:
+      case command_outcome::fault_t::stage_fault:
+        ++stats_.utterances_failed_closed;
         break;
     }
     if (o.kind != command_outcome::kind_t::blocked) {

@@ -23,14 +23,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "audio/buffer.h"
 #include "common/histogram.h"
 #include "defense/detector.h"
 #include "defense/stream.h"
+#include "serve/fault.h"
 #include "serve/pipeline.h"
 
 namespace ivc::serve {
@@ -40,6 +43,35 @@ enum class overflow_policy {
   shed_newest,  // drop the offered block (default: protect the backlog)
   shed_oldest,  // evict the oldest queued block, accept the new one
   reject,       // accept nothing; the producer must drain and retry
+};
+
+// Health of one session. Fault containment quarantines a session whose
+// scoring stage crashed instead of letting the exception kill the
+// worker fleet; recovery (automatic or via reopen()) resets the
+// detector/segmenter/pipeline and works off a block-counted backoff
+// before scoring resumes. The ladder is strictly fail-closed: a session
+// not in `serving`/`degraded` emits no `executed` outcomes, ever.
+enum class session_state : std::uint8_t {
+  serving,      // healthy, full pipeline
+  degraded,     // ASR stage shed (detector-only fail-closed mode)
+  recovering,   // reopened after a fault: dropping backoff blocks
+  quarantined,  // stage crashed; parked until reopen() (or forever once
+                // the bounded retry budget is spent)
+};
+
+// Containment + recovery policy of the serving layer.
+struct fault_tolerance_config {
+  // Reopen a faulted session automatically (bounded by max_reopens).
+  // When false the session stays quarantined until a manual reopen().
+  bool auto_reopen = true;
+  // Retry budget: after this many automatic reopens the next fault
+  // parks the session permanently (still fail-closed, still counted).
+  std::size_t max_reopens = 3;
+  // Block-counted backoff: after the n-th reopen the session consumes
+  // and drops `backoff_blocks << n` accepted blocks before scoring
+  // resumes. Counted in accepted blocks — never wall clock — so the
+  // recovery point is identical at any worker count.
+  std::size_t backoff_blocks = 8;
 };
 
 struct serve_config {
@@ -64,13 +96,22 @@ struct serve_config {
   // Per-session histograms and the aggregate() fold all use this, so
   // merges always see matching configs.
   histogram_config latency_bins;
+  // Containment + recovery policy (always on; the knobs bound it).
+  fault_tolerance_config fault_tolerance;
+  // Deterministic fault injection (chaos harness / tests). Shared and
+  // const-thread-safe; null = no injection. The per-session pipeline
+  // inherits it for the recognizer sites.
+  std::shared_ptr<const fault_injector> faults;
 };
 
 enum class offer_status {
-  accepted,  // enqueued (under shed_oldest, possibly evicting a block)
-  shed,      // dropped under shed_newest; counted in blocks_shed
-  rejected,  // queue full under reject policy: drain and retry
-  closed,    // session is closed: no retry will ever succeed
+  accepted,     // enqueued (under shed_oldest, possibly evicting a block)
+  shed,         // dropped under shed_newest; counted in blocks_shed
+  rejected,     // queue full under reject policy: drain and retry
+  closed,       // session is closed: no retry will ever succeed
+  quarantined,  // session is parked after a fault: only reopen() helps —
+                // retrying without one would livelock the backpressure
+                // loop, exactly like offering to a closed session
 };
 
 struct session_stats {
@@ -107,6 +148,20 @@ struct session_stats {
   // clock, split from the detector's `service`). One sample per outcome
   // that reached the recognizer — blocked utterances never run ASR.
   log_histogram asr_service;
+  // ---- Health / fault counters (all zero on a healthy session) -------
+  std::uint64_t detector_faults = 0;    // contained detector-stage crashes
+  std::uint64_t recognizer_faults = 0;  // contained ASR-stage crashes
+  std::uint64_t corrupt_blocks = 0;     // non-finite ingest blocks caught
+                                        // at the scoring boundary
+  std::uint64_t asr_deadline_overruns = 0;  // modeled-cost budget blown
+  std::uint64_t utterances_shed_degraded = 0;  // blocked in detector-only
+                                               // mode (ASR stage shed)
+  std::uint64_t utterances_failed_closed = 0;  // blocked by ANY fault
+                                               // path (never executed)
+  std::uint64_t quarantines = 0;        // containment events
+  std::uint64_t reopens = 0;            // recoveries (auto + manual)
+  std::uint64_t blocks_dropped_backoff = 0;  // consumed unscored while
+                                             // recovering
 };
 
 class detection_session {
@@ -124,8 +179,35 @@ class detection_session {
   // Marks end-of-stream: later offers return offer_status::closed, and
   // the next drain flushes the detector's partial window
   // (stream_detector::finish).
+  //
+  // Lifecycle edges (pinned by tests, not left implicit):
+  //   * close() is idempotent — a second close() is a no-op;
+  //   * offer() after close() returns offer_status::closed and counts
+  //     the bounce in blocks_rejected; queued blocks are still scored;
+  //   * closing a session that never accepted a block is fine: the next
+  //     drain runs the (empty) finish flush exactly once.
   void close();
   bool closed() const;
+
+  // Health of the session (see session_state). Thread-safe snapshot.
+  session_state state() const;
+
+  // Message of the last contained fault (empty while healthy).
+  std::string last_error() const;
+
+  // Recovery from quarantine: resets the detector, segmenter and
+  // pipeline to fresh-stream state, grants a fresh retry budget, and
+  // re-enters service through a block-counted backoff (the next
+  // fault_tolerance.backoff_blocks accepted blocks are consumed
+  // unscored). Returns false when the session is not quarantined or a
+  // worker still owns it. Queued blocks survive and are scored — as a
+  // NEW stream at t = 0 — once the backoff drains.
+  bool reopen();
+
+  // Last-resort containment used by the manager's worker wrappers when
+  // an exception escapes process() itself: parks the session
+  // immediately (no reset, no backoff) so the fleet keeps serving.
+  void force_quarantine(const std::string& what);
 
   // True while queued blocks remain or a close() flush is still owed.
   bool has_work() const;
@@ -156,18 +238,31 @@ class detection_session {
   bool pop(queued_block& out);
   // Folds pipeline outcomes into outcomes_/stats_; caller holds mutex_.
   void record_outcomes(const std::vector<command_outcome>& outcomes);
+  // Containment: called by process() (holding busy_) when an exception
+  // escapes a scoring stage. Flushes the pipeline fail-closed, counts
+  // the fault against `counter`, then either auto-reopens (bounded
+  // retry, block-counted backoff) or parks the session quarantined.
+  void contain_fault(std::uint64_t session_stats::* counter,
+                     const std::string& what);
+  // Resets detector/pipeline to fresh-stream state. Caller holds busy_.
+  void reset_stages();
 
   const std::uint64_t id_;
   const std::size_t capacity_;
   const overflow_policy policy_;
+  const fault_tolerance_config fault_tolerance_;
+  const std::shared_ptr<const fault_injector> faults_;
 
-  mutable std::mutex mutex_;  // guards ring_, stats_, closed_, verdicts_
+  mutable std::mutex mutex_;  // guards ring_, stats_, closed_, verdicts_,
+                              // state_, last_error_
   std::vector<queued_block> ring_;
   std::size_t head_ = 0;   // oldest queued block
   std::size_t count_ = 0;  // queued blocks
   session_stats stats_;
   bool closed_ = false;
   bool finished_ = false;  // close() flush done
+  session_state state_ = session_state::serving;
+  std::string last_error_;
   std::vector<defense::stream_event> verdicts_;
   std::vector<command_outcome> outcomes_;
 
@@ -176,6 +271,14 @@ class detection_session {
   // Touched only by the worker holding busy_.
   defense::stream_detector detector_;
   std::optional<command_pipeline> pipeline_;
+  // Fault-schedule coordinate: every block consumed off the ring (scored
+  // or dropped), in accepted order. Monotonic forever — reopen() must
+  // not rewind it, or a pinned fault would re-fire after every reset.
+  std::uint64_t consumed_blocks_ = 0;
+  // Automatic-reopen retry budget spent so far.
+  std::size_t reopen_count_ = 0;
+  // Accepted blocks still to drop before scoring resumes (recovering).
+  std::uint64_t backoff_remaining_ = 0;
 };
 
 }  // namespace ivc::serve

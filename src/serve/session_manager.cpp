@@ -102,9 +102,19 @@ void session_manager::drain() {
     }
     // One task per ready session: a session is drained by exactly one
     // worker (process() claims it), so verdict order never depends on
-    // the pool size.
+    // the pool size. The backstop catch is the fleet's containment of
+    // last resort — process() contains stage faults itself, but if an
+    // exception ever escapes it, that session is parked and the OTHER
+    // sessions keep draining instead of the whole process dying in
+    // std::terminate.
     pool_.parallel_for(ready.size(), [&](std::size_t i) {
-      ready[i]->process(config_.max_blocks_per_pass);
+      try {
+        ready[i]->process(config_.max_blocks_per_pass);
+      } catch (const std::exception& e) {
+        ready[i]->force_quarantine(e.what());
+      } catch (...) {
+        ready[i]->force_quarantine("unknown exception escaped process()");
+      }
     });
   }
 }
@@ -170,6 +180,25 @@ bool session_manager::streaming() const {
   return !workers_.empty();
 }
 
+bool session_manager::reopen(std::uint64_t id) {
+  detection_session* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock{sessions_mutex_};
+    expects(id < sessions_.size(), "session_manager: unknown session id");
+    s = sessions_[id].get();
+  }
+  if (!s->reopen()) {
+    return false;
+  }
+  // While quarantined the session refused the ready-queue via
+  // has_work() == false; blocks that were already queued (or a pending
+  // close() flush) are work again now.
+  if (s->has_work()) {
+    notify_ready(id, s);
+  }
+  return true;
+}
+
 void session_manager::notify_ready(std::uint64_t id, detection_session* s) {
   bool enqueued = false;
   {
@@ -200,7 +229,17 @@ void session_manager::worker_loop() {
     sched_[id] = sched_state::claimed;
     lock.unlock();
 
-    s->process(config_.max_blocks_per_pass);
+    // Same backstop as drain(): a streaming worker thread that lets an
+    // exception escape dies in std::terminate and takes the process with
+    // it. Park the session instead; the worker survives to serve the
+    // rest of the fleet.
+    try {
+      s->process(config_.max_blocks_per_pass);
+    } catch (const std::exception& e) {
+      s->force_quarantine(e.what());
+    } catch (...) {
+      s->force_quarantine("unknown exception escaped process()");
+    }
 
     lock.lock();
     // Re-check under the scheduler lock: an offer that arrived while we
@@ -276,7 +315,29 @@ serve_totals session_manager::aggregate() const {
     totals.stats.queue_wait.merge(st.queue_wait);
     totals.stats.service.merge(st.service);
     totals.stats.asr_service.merge(st.asr_service);
+    totals.stats.detector_faults += st.detector_faults;
+    totals.stats.recognizer_faults += st.recognizer_faults;
+    totals.stats.corrupt_blocks += st.corrupt_blocks;
+    totals.stats.asr_deadline_overruns += st.asr_deadline_overruns;
+    totals.stats.utterances_shed_degraded += st.utterances_shed_degraded;
+    totals.stats.utterances_failed_closed += st.utterances_failed_closed;
+    totals.stats.quarantines += st.quarantines;
+    totals.stats.reopens += st.reopens;
+    totals.stats.blocks_dropped_backoff += st.blocks_dropped_backoff;
     totals.sessions_with_attack_events += st.attack_events > 0 ? 1 : 0;
+    switch (s->state()) {
+      case session_state::serving:
+        break;
+      case session_state::degraded:
+        ++totals.sessions_degraded;
+        break;
+      case session_state::recovering:
+        ++totals.sessions_recovering;
+        break;
+      case session_state::quarantined:
+        ++totals.sessions_quarantined;
+        break;
+    }
   }
   return totals;
 }

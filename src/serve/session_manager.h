@@ -50,6 +50,11 @@ struct serve_totals {
   session_stats stats;            // counters summed over sessions
   std::size_t num_sessions = 0;
   std::size_t sessions_with_attack_events = 0;
+  // Fleet health roll-up: sessions currently NOT serving at full
+  // capability, by state at snapshot time.
+  std::size_t sessions_degraded = 0;     // ASR stage shed
+  std::size_t sessions_recovering = 0;   // working off reopen backoff
+  std::size_t sessions_quarantined = 0;  // parked after a fault
 };
 
 class session_manager {
@@ -110,6 +115,12 @@ class session_manager {
 
   // True between start() and stop().
   bool streaming() const;
+
+  // Recovery: reopens a quarantined session (detection_session::reopen)
+  // and — while streaming — puts it back on the ready-queue if it has
+  // queued blocks waiting. Returns false when the session is not
+  // quarantined or a worker still owns it.
+  bool reopen(std::uint64_t id);
 
   // close_all() + flush: in streaming mode stops the workers after the
   // flush; otherwise runs a fork-join drain.

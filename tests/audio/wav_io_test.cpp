@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <gtest/gtest.h>
+#include <system_error>
+#include <vector>
 
 #include "audio/generate.h"
 #include "common/rng.h"
@@ -120,6 +122,138 @@ TEST(wav_io, write_rejects_empty_buffer) {
   const buffer empty;
   EXPECT_THROW(write_wav(temp_wav_path("ivc_empty.wav"), empty),
                std::invalid_argument);
+}
+
+// ---- malformed-file hardening ----------------------------------------
+// Every case must fail with a clean exception — never an allocation
+// bomb, a garbage buffer, or a crash.
+
+namespace {
+
+void write_bytes(const std::string& path,
+                 const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+void push_le32(std::vector<unsigned char>& v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(static_cast<unsigned char>((x >> (8 * i)) & 0xFF));
+  }
+}
+
+void push_le16(std::vector<unsigned char>& v, std::uint16_t x) {
+  v.push_back(static_cast<unsigned char>(x & 0xFF));
+  v.push_back(static_cast<unsigned char>(x >> 8));
+}
+
+void push_tag(std::vector<unsigned char>& v, const char* tag) {
+  v.insert(v.end(), tag, tag + 4);
+}
+
+// A minimal well-formed header: RIFF/WAVE + a 16-byte PCM fmt chunk.
+// Callers append their own (possibly malformed) chunks after it.
+std::vector<unsigned char> riff_with_fmt(std::uint32_t rate = 16'000,
+                                         std::uint16_t bits = 16) {
+  std::vector<unsigned char> v;
+  push_tag(v, "RIFF");
+  push_le32(v, 0);  // advisory size; the reader does not trust it
+  push_tag(v, "WAVE");
+  push_tag(v, "fmt ");
+  push_le32(v, 16);
+  push_le16(v, 1);  // PCM
+  push_le16(v, 1);  // mono
+  push_le32(v, rate);
+  push_le32(v, rate * 2);  // byte rate
+  push_le16(v, 2);         // block align
+  push_le16(v, bits);
+  return v;
+}
+
+}  // namespace
+
+TEST(wav_io, read_rejects_oversized_data_chunk_without_allocating) {
+  const std::string path = temp_wav_path("ivc_bomb.wav");
+  std::vector<unsigned char> v = riff_with_fmt();
+  push_tag(v, "data");
+  push_le32(v, 0xFFFF'FFF0u);  // claims ~4 GiB; the file holds 4 bytes
+  push_le32(v, 0);
+  write_bytes(path, v);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, read_rejects_truncated_file) {
+  const std::string path = temp_wav_path("ivc_truncated.wav");
+  const buffer wave = tone(440.0, 0.05, 16'000.0, 0.5);
+  write_wav(path, wave, wav_format::pcm16);
+  // Chop the file mid-data: the declared data size now overruns.
+  std::error_code ec;
+  const auto full = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(path, full / 2, ec);
+  ASSERT_FALSE(ec);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, read_rejects_missing_data_chunk) {
+  const std::string path = temp_wav_path("ivc_nodata.wav");
+  write_bytes(path, riff_with_fmt());  // fmt only, no data chunk
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, read_rejects_undersized_fmt_chunk) {
+  const std::string path = temp_wav_path("ivc_shortfmt.wav");
+  std::vector<unsigned char> v;
+  push_tag(v, "RIFF");
+  push_le32(v, 0);
+  push_tag(v, "WAVE");
+  push_tag(v, "fmt ");
+  push_le32(v, 8);  // shorter than the 16 fixed format bytes
+  push_le16(v, 1);
+  push_le16(v, 1);
+  push_le32(v, 16'000);
+  push_tag(v, "data");
+  push_le32(v, 0);
+  write_bytes(path, v);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, read_rejects_zero_sample_rate) {
+  const std::string path = temp_wav_path("ivc_zerorate.wav");
+  std::vector<unsigned char> v = riff_with_fmt(/*rate=*/0);
+  push_tag(v, "data");
+  push_le32(v, 4);
+  push_le32(v, 0);
+  write_bytes(path, v);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, read_rejects_unsupported_bit_depth) {
+  const std::string path = temp_wav_path("ivc_12bit.wav");
+  std::vector<unsigned char> v = riff_with_fmt(16'000, /*bits=*/12);
+  push_tag(v, "data");
+  push_le32(v, 4);
+  push_le32(v, 0);
+  write_bytes(path, v);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(wav_io, read_rejects_skip_chunk_overrunning_file) {
+  const std::string path = temp_wav_path("ivc_skipbomb.wav");
+  std::vector<unsigned char> v = riff_with_fmt();
+  push_tag(v, "LIST");           // unknown chunk the reader would skip
+  push_le32(v, 0x7FFF'FFFFu);    // claims 2 GiB of body that is not there
+  write_bytes(path, v);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

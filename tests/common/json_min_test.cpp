@@ -57,6 +57,52 @@ TEST(json_min, rejects_malformed_documents) {
   EXPECT_THROW(parse("\"\\u00zz\""), std::invalid_argument);
 }
 
+TEST(json_min, rejects_unterminated_strings) {
+  // Every way a string can run off the end of the document: plain text,
+  // a dangling escape, and a \u escape cut mid-digits. None may read
+  // past the buffer or return a partial value.
+  EXPECT_THROW(parse("\"runs off the end"), std::invalid_argument);
+  EXPECT_THROW(parse("\"ends in escape\\"), std::invalid_argument);
+  EXPECT_THROW(parse("\"\\u00"), std::invalid_argument);
+  EXPECT_THROW(parse("{\"key"), std::invalid_argument);
+  EXPECT_THROW(parse("[\"a\", \"b"), std::invalid_argument);
+}
+
+TEST(json_min, rejects_pathologically_deep_nesting) {
+  // The recursive-descent parser caps nesting so a hostile document
+  // ("[[[[...") fails cleanly instead of overflowing the stack.
+  const auto nested = [](std::size_t depth) {
+    std::string doc(depth, '[');
+    doc += "1";
+    doc.append(depth, ']');
+    return doc;
+  };
+  const value* inner = nullptr;
+  const value shallow = parse(nested(32));  // well inside the cap
+  for (inner = &shallow; inner->is_array(); inner = &inner->items()[0]) {
+  }
+  EXPECT_DOUBLE_EQ(inner->number(), 1.0);
+  EXPECT_THROW(parse(nested(100'000)), std::invalid_argument);
+  // Mixed object/array nesting hits the same guard.
+  std::string mixed;
+  for (int i = 0; i < 50'000; ++i) {
+    mixed += "{\"k\":[";
+  }
+  EXPECT_THROW(parse(mixed), std::invalid_argument);
+}
+
+TEST(json_min, rejects_trailing_garbage) {
+  // A valid prefix does not excuse junk after it — JSONL readers rely
+  // on one-document-per-parse.
+  EXPECT_THROW(parse("null null"), std::invalid_argument);
+  EXPECT_THROW(parse("[1, 2] [3]"), std::invalid_argument);
+  EXPECT_THROW(parse("{\"a\": 1}}"), std::invalid_argument);
+  EXPECT_THROW(parse("12.5garbage"), std::invalid_argument);
+  EXPECT_THROW(parse("\"done\"x"), std::invalid_argument);
+  // Trailing whitespace alone stays legal.
+  EXPECT_TRUE(parse("  true  \n").boolean());
+}
+
 TEST(json_min, accessors_reject_type_mismatches) {
   EXPECT_THROW(parse("1").string(), std::invalid_argument);
   EXPECT_THROW(parse("\"s\"").number(), std::invalid_argument);

@@ -442,5 +442,64 @@ TEST(serve, aggregate_sums_sessions_and_latency) {
             totals.stats.latency.quantile(0.50));
 }
 
+// ---- lifecycle edges (pinned, not left implicit) ---------------------
+
+TEST(serve, close_is_idempotent) {
+  serve_config cfg;
+  cfg.worker_threads = 1;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  manager.offer(sid, session_stream(21));
+  manager.close(sid);
+  manager.close(sid);  // second close: no-op, no double flush
+  manager.drain();
+  const std::size_t verdicts = manager.verdicts(sid).size();
+  EXPECT_GT(verdicts, 0u);
+  manager.close(sid);  // close after the flush: still a no-op
+  manager.drain();
+  EXPECT_EQ(manager.verdicts(sid).size(), verdicts);
+}
+
+TEST(serve, offer_after_close_bounces_and_counts) {
+  serve_config cfg;
+  cfg.worker_threads = 1;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer block = audio::silence(0.1, 16'000.0);
+  EXPECT_EQ(manager.offer(sid, block), offer_status::accepted);
+  manager.close(sid);
+  // Offers after close() return `closed` — a terminal status, distinct
+  // from `rejected` (which invites drain-and-retry) — and each bounce is
+  // counted against blocks_rejected.
+  EXPECT_EQ(manager.offer(sid, block), offer_status::closed);
+  EXPECT_EQ(manager.offer(sid, block), offer_status::closed);
+  session_stats st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_offered, 3u);
+  EXPECT_EQ(st.blocks_accepted, 1u);
+  EXPECT_EQ(st.blocks_rejected, 2u);
+  // The block accepted BEFORE the close is still scored.
+  manager.drain();
+  st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_processed, 1u);
+}
+
+TEST(serve, finish_on_never_offered_session_flushes_once) {
+  serve_config cfg;
+  cfg.worker_threads = 1;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  // Close a session that never accepted a block: the (empty) end-of-
+  // stream flush runs exactly once and produces nothing.
+  manager.finish();
+  session_stats st = manager.stats(sid);
+  EXPECT_EQ(st.blocks_processed, 0u);
+  EXPECT_EQ(st.events, 0u);
+  EXPECT_TRUE(manager.verdicts(sid).empty());
+  // Repeat drains do not re-run the flush.
+  manager.drain();
+  EXPECT_TRUE(manager.verdicts(sid).empty());
+  EXPECT_EQ(manager.session(sid).state(), session_state::serving);
+}
+
 }  // namespace
 }  // namespace ivc::serve

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace ivc::sim {
@@ -56,6 +57,46 @@ TEST_F(runlog_test, torn_lines_are_skipped) {
     out << "{\"figure\": \"torn";  // no closing quote/brace
   }
   EXPECT_EQ(read_run_log(path).size(), 1u);
+}
+
+TEST_F(runlog_test, crash_mid_append_leaves_intact_prefix_readable) {
+  // A process dying inside append_run_record leaves the log ending in a
+  // partial record. Simulate every possible tear point: truncate the
+  // trailing line one byte at a time and require the reader to return
+  // exactly the intact records every time — never a crash, never a
+  // phantom record, never losing the good prefix.
+  append_run_record(path, sample_record(0.1));
+  append_run_record(path, sample_record(0.2));
+  append_run_record(path, sample_record(0.3));
+
+  std::string full;
+  {
+    std::ifstream in{path, std::ios::binary};
+    full.assign(std::istreambuf_iterator<char>{in},
+                std::istreambuf_iterator<char>{});
+  }
+  // Start of the final record: one past the newline that ends record 2.
+  const std::size_t last_line =
+      full.rfind('\n', full.size() - 2) + 1;
+  ASSERT_GT(last_line, 0u);
+  ASSERT_LT(last_line, full.size());
+
+  for (std::size_t cut = last_line; cut < full.size() - 1; ++cut) {
+    {
+      std::ofstream out{path, std::ios::binary | std::ios::trunc};
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    const std::vector<run_record> records = read_run_log(path);
+    ASSERT_EQ(records.size(), 2u) << "tear at byte " << cut;
+    EXPECT_DOUBLE_EQ(records[0].metrics[0].second, 0.1);
+    EXPECT_DOUBLE_EQ(records[1].metrics[0].second, 0.2);
+  }
+  // The complete file still reads all three.
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out.write(full.data(), static_cast<std::streamsize>(full.size()));
+  }
+  EXPECT_EQ(read_run_log(path).size(), 3u);
 }
 
 TEST_F(runlog_test, missing_file_reads_empty) {
