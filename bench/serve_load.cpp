@@ -41,6 +41,25 @@
 // 1-worker fork-join reference (exit 1 on mismatch); only the asr_s
 // wall-time field is exempt.
 //
+// `--shard` switches to the sharded-front protocol (`serve-shard-v1`
+// run-log signature, default JSON BENCH_serve_shard.json), in two
+// phases. Phase A is the identity matrix: a small e2e fleet runs
+// through serve::shard_manager at 1/2/4 shards × worker counts × both
+// drain disciplines × eviction on/off × shard_kill fault load, and
+// every variant's per-session verdict+outcome streams must be
+// bit-identical to the 1-shard/1-worker/no-eviction reference (exit 1
+// on mismatch; eviction/kill variants must actually evict). Phase B is
+// the scale run: ~1M open sessions (smoke: 10k) share a small script
+// pool and are offered their blocks in two fleet-wide bursts against a
+// live streaming front whose per-shard residency bound keeps the
+// resident working set a small fraction of the open set — sessions
+// evict to compact snapshots between their bursts and rehydrate
+// transparently on the next offer. The harness reports shard balance,
+// eviction/rehydration counts, rehydrate latency quantiles, peak
+// resident sessions (CHECKED against the bound), and an
+// eviction-on-vs-off verdict-stream hash on a sub-fleet (CHECKED
+// equal).
+//
 // `--chaos` switches to the fault-injection sweep (`serve-chaos-v1`
 // run-log signature, default JSON BENCH_serve_chaos.json): the e2e fleet
 // runs under a deterministic serve::fault_injector schedule at several
@@ -61,6 +80,7 @@
 //   --rate <s/s>     paced Poisson session-start rate (default 32/s)
 //   --e2e            end-to-end command-pipeline protocol (see above)
 //   --chaos          deterministic fault-injection sweep (see above)
+//   --shard          sharded front + snapshot/eviction protocol (above)
 //
 // The JSON is written to BENCH_serve.json unless --json overrides it.
 #include <algorithm>
@@ -77,6 +97,7 @@
 #include "defense/classifier.h"
 #include "defense/detector.h"
 #include "serve/session_manager.h"
+#include "serve/shard.h"
 #include "sim/corpus.h"
 #include "sim/scenario.h"
 #include "sim/traffic.h"
@@ -1016,6 +1037,518 @@ int run_chaos_protocol(const ivc::bench::options& opts, bool smoke,
   return determinism_ok && fail_closed_ok && coverage_ok ? 0 : 1;
 }
 
+// ---- Sharded front + snapshot/eviction (serve-shard-v1) --------------
+
+struct shard_run_result {
+  double wall_s = 0.0;
+  ivc::serve::serve_totals totals;
+  ivc::serve::eviction_stats eviction;
+  ivc::serve::shard_balance balance;
+  std::vector<std::vector<ivc::defense::stream_event>> verdicts;
+  std::vector<std::vector<ivc::serve::command_outcome>> outcomes;
+};
+
+// Phase-A runner: the e2e fleet (per-session pipeline overrides, like
+// run_e2e) through a shard_manager front. Every knob of the identity
+// matrix is a parameter: shard count, per-shard workers, drain
+// discipline, per-shard residency bound, fault injector (shard_kill).
+shard_run_result run_sharded(
+    const std::vector<ivc::sim::session_script>& scripts,
+    std::size_t num_sessions, std::size_t shards, std::size_t workers,
+    bool streaming, std::size_t max_resident,
+    std::shared_ptr<const ivc::serve::fault_injector> faults) {
+  using ivc::serve::offer_status;
+  ivc::serve::serve_config cfg;
+  cfg.queue_capacity = 64;
+  cfg.policy = ivc::serve::overflow_policy::reject;
+  cfg.worker_threads = streaming ? 1 : workers;
+  cfg.max_resident_sessions = max_resident;
+  cfg.faults = faults;
+  ivc::serve::shard_manager front{trained_detector_cache(), cfg, shards};
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    ivc::serve::serve_config per_session = cfg;
+    ivc::serve::pipeline_config pipeline;
+    pipeline.recognizer = ivc::sim::shared_enrolled_recognizer(
+        scripts[s].capture.sample_rate_hz, /*enrollment_seed=*/1);
+    per_session.pipeline = pipeline;
+    front.open_session(per_session);
+  }
+  if (streaming) {
+    front.start(workers);
+  }
+  shard_run_result result;
+  std::size_t max_blocks = 0;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    max_blocks = std::max(max_blocks, scripts[s].num_blocks());
+  }
+  const ivc::bench::stopwatch clock;
+  for (std::size_t round = 0; round < max_blocks; ++round) {
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      if (round >= scripts[s].num_blocks()) {
+        continue;
+      }
+      while (front.offer(s, scripts[s].block(round)) ==
+             offer_status::rejected) {
+        if (streaming) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        } else {
+          front.drain();
+        }
+      }
+      if (streaming && round + 1 == scripts[s].num_blocks()) {
+        front.close(s);
+      }
+    }
+    if (!streaming && (round + 1) % 4 == 0) {
+      front.drain();
+    }
+  }
+  front.finish();
+  result.wall_s = clock.elapsed_s();
+  result.totals = front.aggregate();
+  result.eviction = front.eviction();
+  result.balance = front.balance();
+  result.verdicts.reserve(num_sessions);
+  result.outcomes.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    result.verdicts.push_back(front.verdicts(s));
+    result.outcomes.push_back(front.outcomes(s));
+  }
+  return result;
+}
+
+// FNV-1a over a fleet's verdict streams — the cheap bit-identity
+// fingerprint the scale phase compares across eviction on/off (keeping
+// two full verdict dumps of a 10k-session fleet in memory would dwarf
+// the resident-set budget the phase is demonstrating).
+std::uint64_t fleet_verdict_hash(
+    const std::vector<std::vector<ivc::defense::stream_event>>& verdicts) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& stream : verdicts) {
+    const std::size_t n = stream.size();
+    mix(&n, sizeof n);
+    for (const ivc::defense::stream_event& e : stream) {
+      mix(&e.time_s, sizeof e.time_s);
+      mix(&e.score, sizeof e.score);
+      const unsigned char atk = e.is_attack ? 1 : 0;
+      mix(&atk, 1);
+    }
+  }
+  return h;
+}
+
+// The shard protocol. Phase A: identity matrix on a small e2e fleet.
+// Phase B: the million-session (smoke: 10k) bursty scale run with a
+// bounded resident set, plus an eviction-on/off hash check on a
+// sub-fleet.
+int run_shard_protocol(const ivc::bench::options& opts, bool smoke,
+                       std::size_t sessions_override) {
+  using namespace ivc;
+  const std::size_t hw = default_thread_count();
+
+  bench::banner("SERVE-shard",
+                smoke ? "sharded front + snapshot eviction (smoke)"
+                      : "sharded front + snapshot eviction");
+  bench::json_report report{smoke ? "SERVE-shard-smoke" : "SERVE-shard",
+                            "sharded front + snapshot eviction"};
+  report.set_signature("serve-shard-v1");
+  report.set_seed(7);
+  const bench::stopwatch total_clock;
+
+  // ---- Phase A: the identity matrix. ---------------------------------
+  const std::size_t matrix_sessions = smoke ? 32 : 48;
+  sim::traffic_config tc;
+  tc.num_sessions = matrix_sessions;
+  tc.utterances_per_session = 1;
+  tc.num_threads = opts.threads;
+  const sim::traffic_generator generator{tc, 7};
+  (void)trained_detector_cache();
+  (void)sim::shared_enrolled_recognizer(16'000.0, 1);
+  const std::vector<sim::session_script> scripts = generator.render_all();
+
+  const shard_run_result reference =
+      run_sharded(scripts, matrix_sessions, /*shards=*/1, /*workers=*/1,
+                  /*streaming=*/false, /*max_resident=*/0, nullptr);
+  std::size_t reference_events = 0;
+  for (const auto& v : reference.verdicts) {
+    reference_events += v.size();
+  }
+  bench::note("identity reference (1 shard, 1 worker, no eviction): "
+              "%zu verdicts, %llu outcomes over %zu sessions",
+              reference_events,
+              static_cast<unsigned long long>(
+                  reference.totals.stats.utterances),
+              matrix_sessions);
+
+  struct variant {
+    const char* name;
+    std::size_t shards;
+    std::size_t workers;
+    bool streaming;
+    std::size_t max_resident;  // per shard; 0 = off
+    double shard_kill_rate;
+  };
+  const std::vector<variant> variants = {
+      {"2 shards fork-join", 2, 2, false, 0, 0.0},
+      {"4 shards 4 workers", 4, 4, false, 0, 0.0},
+      {"4 shards streaming", 4, 2, true, 0, 0.0},
+      {"2 shards evict<=4", 2, 2, false, 4, 0.0},
+      {"4 shards stream evict<=2", 4, 2, true, 2, 0.0},
+      {"2 shards evict<=4 +kill", 2, 2, false, 4, 0.05},
+  };
+  bool identity_ok = true;
+  bool eviction_engaged_ok = true;
+  sim::result_table matrix{{"variant"},
+                           {"shards", "workers", "streaming", "bound",
+                            "wall_s", "evictions", "rehydrations",
+                            "shard_kills", "identical"}};
+  std::printf("%-26s %7s %8s %7s %9s %7s %9s %6s %5s\n", "variant", "shards",
+              "workers", "stream", "wall s", "evict", "rehydrate", "kills",
+              "same");
+  for (const variant& v : variants) {
+    std::shared_ptr<const serve::fault_injector> faults;
+    if (v.shard_kill_rate > 0.0) {
+      serve::fault_config fc;
+      fc.seed = 7;
+      fc.shard_kill_rate = v.shard_kill_rate;
+      faults = std::make_shared<serve::fault_injector>(fc);
+    }
+    const shard_run_result r =
+        run_sharded(scripts, matrix_sessions, v.shards, v.workers,
+                    v.streaming, v.max_resident, faults);
+    bool same = true;
+    for (std::size_t s = 0; s < matrix_sessions; ++s) {
+      if (!identical_verdicts(reference.verdicts[s], r.verdicts[s]) ||
+          !identical_outcomes(reference.outcomes[s], r.outcomes[s])) {
+        same = false;
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: session %zu streams differ "
+                     "from the unsharded reference (%s)\n",
+                     s, v.name);
+      }
+    }
+    identity_ok = identity_ok && same;
+    std::uint64_t kills = 0;
+    for (const serve::shard_load& l : r.balance.shards) {
+      kills += l.shard_kills;
+    }
+    if (v.max_resident > 0 && r.eviction.evictions == 0) {
+      eviction_engaged_ok = false;
+      std::fprintf(stderr,
+                   "VACUOUS VARIANT: %s evicted nothing — the bound never "
+                   "engaged\n",
+                   v.name);
+    }
+    if (v.shard_kill_rate > 0.0 && kills == 0) {
+      eviction_engaged_ok = false;
+      std::fprintf(stderr, "VACUOUS VARIANT: %s killed no shard\n", v.name);
+    }
+    std::printf("%-26s %7zu %8zu %7s %9.2f %7llu %9llu %6llu %5s\n", v.name,
+                v.shards, v.workers, v.streaming ? "yes" : "no", r.wall_s,
+                static_cast<unsigned long long>(r.eviction.evictions),
+                static_cast<unsigned long long>(r.eviction.rehydrations),
+                static_cast<unsigned long long>(kills),
+                same ? "yes" : "NO");
+    sim::result_table::row row;
+    row.labels = {v.name};
+    row.coords = {static_cast<double>(matrix.rows().size())};
+    row.metrics = {static_cast<double>(v.shards),
+                   static_cast<double>(v.workers),
+                   v.streaming ? 1.0 : 0.0,
+                   static_cast<double>(v.max_resident),
+                   r.wall_s,
+                   static_cast<double>(r.eviction.evictions),
+                   static_cast<double>(r.eviction.rehydrations),
+                   static_cast<double>(kills),
+                   same ? 1.0 : 0.0};
+    matrix.add_row(row);
+  }
+  matrix.print();
+  report.add_table("identity_matrix", matrix);
+  report.add_metric("identity_ok", identity_ok ? 1.0 : 0.0);
+  bench::rule();
+
+  // ---- Phase B: the bursty scale run. --------------------------------
+  // N open sessions share a small script pool (the serving layer never
+  // sees the sharing — every session scores its own stream state); each
+  // session speaks in two short bursts, the mostly-idle shape that
+  // makes a bounded resident set work. The sweep offers one session's
+  // whole burst back-to-back before moving on, so on the fleet timeline
+  // each session goes idle for an entire sweep of the other N-1
+  // sessions before its second burst arrives — by then it has long been
+  // evicted, and the second burst rehydrates it.
+  const std::size_t scale_sessions =
+      sessions_override > 0 ? sessions_override
+                            : (smoke ? std::size_t{10'000}
+                                     : std::size_t{1'000'000});
+  const std::size_t scale_shards = 4;
+  const std::size_t workers_per_shard =
+      std::max<std::size_t>(1, std::min<std::size_t>(4, hw / scale_shards));
+  const std::size_t bound_per_shard = smoke ? 256 : 1024;
+  // Busy sessions (queued work) cannot evict, so the resident count can
+  // run past the LRU bound by however far the producer gets ahead of
+  // the workers. The watermark trips the producer throttle early; the
+  // gate allows for the throttle's ramp-up (a handful of 32-session
+  // sampling intervals of growth) by sitting at 1.5x the aggregate
+  // bound — a margin that scales with the bound, not the fleet, which
+  // is the whole claim.
+  const std::size_t bound_total = scale_shards * bound_per_shard;
+  const std::size_t resident_watermark = bound_total + 64;
+  const std::size_t resident_cap = bound_total + bound_total / 2;
+
+  const std::size_t pool_size = 32;
+  sim::traffic_config pool_tc;
+  pool_tc.num_sessions = pool_size;
+  pool_tc.utterances_per_session = 1;
+  pool_tc.num_threads = opts.threads;
+  const sim::traffic_generator pool_generator{pool_tc, 11};
+  const std::vector<sim::session_script> pool = pool_generator.render_all();
+
+  const std::size_t block_samples = 2'048;
+  const std::size_t blocks_per_burst = 3;
+  const std::size_t num_bursts = 2;
+  const auto pool_block = [&](std::size_t session, std::size_t index)
+      -> std::optional<audio::buffer> {
+    const audio::buffer& capture = pool[session % pool.size()].capture;
+    const std::size_t start = index * block_samples;
+    if (start >= capture.size()) {
+      return std::nullopt;
+    }
+    const std::size_t end =
+        std::min(start + block_samples, capture.size());
+    return audio::buffer{
+        {capture.samples.begin() + static_cast<std::ptrdiff_t>(start),
+         capture.samples.begin() + static_cast<std::ptrdiff_t>(end)},
+        capture.sample_rate_hz};
+  };
+
+  serve::serve_config scale_cfg;
+  scale_cfg.queue_capacity = 64;
+  scale_cfg.policy = serve::overflow_policy::reject;
+  scale_cfg.worker_threads = 1;
+  scale_cfg.max_resident_sessions = bound_per_shard;
+  serve::shard_manager front{trained_detector_cache(), scale_cfg,
+                             scale_shards};
+
+  const bench::stopwatch open_clock;
+  for (std::size_t s = 0; s < scale_sessions; ++s) {
+    front.open_session();
+  }
+  const double open_s = open_clock.elapsed_s();
+  bench::note("opened %zu sessions across %zu shards in %.2f s (%.0f "
+              "sessions/s); residency bound %zu/shard, peak gate %zu "
+              "(%.2f%% of open)",
+              scale_sessions, scale_shards, open_s,
+              static_cast<double>(scale_sessions) / open_s, bound_per_shard,
+              resident_cap,
+              100.0 * static_cast<double>(resident_cap) /
+                  static_cast<double>(scale_sessions));
+
+  front.start(workers_per_shard);
+  std::size_t peak_resident = 0;
+  std::uint64_t offers = 0;
+  std::uint64_t rejected_retries = 0;
+  std::uint64_t throttle_us = 0;
+  std::uint64_t throttle_sleeps = 0;
+  const bench::stopwatch burst_clock;
+  for (std::size_t burst = 0; burst < num_bursts; ++burst) {
+    for (std::size_t s = 0; s < scale_sessions; ++s) {
+      for (std::size_t b = 0; b < blocks_per_burst; ++b) {
+        const std::optional<audio::buffer> block =
+            pool_block(s, burst * blocks_per_burst + b);
+        if (!block.has_value()) {
+          continue;
+        }
+        while (front.offer(s, *block) ==
+               serve::offer_status::rejected) {
+          ++rejected_retries;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        ++offers;
+      }
+      // The client hangs up at the end of its last burst: the flush
+      // lands while the session is still resident, so once the workers
+      // drain it the LRU sweep can freeze it closed — and finish() then
+      // skips it instead of rehydrating the whole fleet to close it.
+      if (burst + 1 == num_bursts) {
+        front.close(s);
+      }
+      // Producer pacing. The resident count only moves at offer-time
+      // enforcement, so a poll-wait loop here could never converge —
+      // instead the throttle is a sticky per-burst sleep whose length
+      // doubles while samples stay above the watermark (letting workers
+      // drain queues so the NEXT offers' enforcement can evict) and
+      // resets to zero the moment the fleet is back under it.
+      if (throttle_us > 0) {
+        ++throttle_sleeps;
+        std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
+      }
+      if (s % 32 == 0) {
+        const std::size_t resident = front.eviction().resident;
+        peak_resident = std::max(peak_resident, resident);
+        if (resident > resident_watermark) {
+          throttle_us = throttle_us == 0
+                            ? 1'000
+                            : std::min<std::uint64_t>(throttle_us * 2,
+                                                      40'000);
+        } else {
+          throttle_us = 0;
+        }
+      }
+    }
+  }
+  front.finish();
+  const double burst_s = burst_clock.elapsed_s();
+  const serve::eviction_stats ev = front.eviction();
+  peak_resident = std::max(peak_resident, ev.resident);
+  const serve::shard_balance balance = front.balance();
+  const serve::serve_totals totals = front.aggregate();
+  const bool bounded_ok = peak_resident <= resident_cap;
+
+  const double rtf = totals.stats.audio_s_processed / burst_s;
+  const double eviction_rate =
+      offers > 0 ? static_cast<double>(ev.evictions) /
+                       static_cast<double>(offers)
+                 : 0.0;
+  bench::note("replayed %llu offers in %.2f s (%.0f offers/s, %.0fx "
+              "real time), %llu rejected-retry stalls, %llu throttle "
+              "sleeps",
+              static_cast<unsigned long long>(offers), burst_s,
+              static_cast<double>(offers) / burst_s, rtf,
+              static_cast<unsigned long long>(rejected_retries),
+              static_cast<unsigned long long>(throttle_sleeps));
+  bench::note("evictions %llu (%.2f per offer), rehydrations %llu, "
+              "rehydrate p50 %.3f ms / p95 %.3f ms, frozen set %.1f MiB",
+              static_cast<unsigned long long>(ev.evictions), eviction_rate,
+              static_cast<unsigned long long>(ev.rehydrations),
+              1e3 * ev.rehydrate_latency.quantile(0.50),
+              1e3 * ev.rehydrate_latency.quantile(0.95),
+              static_cast<double>(ev.frozen_bytes) / (1024.0 * 1024.0));
+  bench::note("peak resident %zu of %zu open (gate %zu): %s", peak_resident,
+              scale_sessions, resident_cap,
+              bounded_ok ? "bounded" : "EXCEEDED");
+  sim::result_table shard_table{{"shard"},
+                                {"sessions", "offers", "evictions",
+                                 "rehydrations"}};
+  for (std::size_t i = 0; i < balance.shards.size(); ++i) {
+    const serve::shard_load& l = balance.shards[i];
+    sim::result_table::row row;
+    row.labels = {std::to_string(i)};
+    row.coords = {static_cast<double>(i)};
+    row.metrics = {static_cast<double>(l.sessions),
+                   static_cast<double>(l.offers),
+                   static_cast<double>(l.evictions),
+                   static_cast<double>(l.rehydrations)};
+    shard_table.add_row(row);
+  }
+  shard_table.print();
+  report.add_table("shard_balance", shard_table);
+  bench::note("shard spread: %zu..%zu sessions around a %.0f mean",
+              balance.min_sessions, balance.max_sessions,
+              balance.mean_sessions);
+
+  // ---- Eviction-on/off hash check on a sub-fleet. --------------------
+  // A full double scale run would double the protocol's wall time; the
+  // sub-fleet re-runs the exact burst pattern at both settings and the
+  // verdict-stream hashes must agree bit-for-bit (phase A already pins
+  // eviction invisibility with full stream compares — this extends the
+  // check to the scale pattern itself).
+  const std::size_t hash_sessions =
+      std::min<std::size_t>(512, std::max<std::size_t>(64,
+                                                       scale_sessions / 16));
+  const auto hash_run = [&](std::size_t bound) {
+    serve::serve_config cfg = scale_cfg;
+    cfg.worker_threads = 2;
+    cfg.max_resident_sessions = bound;
+    serve::shard_manager sub{trained_detector_cache(), cfg, scale_shards};
+    for (std::size_t s = 0; s < hash_sessions; ++s) {
+      sub.open_session();
+    }
+    for (std::size_t index = 0; index < num_bursts * blocks_per_burst;
+         ++index) {
+      for (std::size_t s = 0; s < hash_sessions; ++s) {
+        const std::optional<audio::buffer> block = pool_block(s, index);
+        if (!block.has_value()) {
+          continue;
+        }
+        while (sub.offer(s, *block) == serve::offer_status::rejected) {
+          sub.drain();
+        }
+      }
+      sub.drain();
+    }
+    sub.finish();
+    std::vector<std::vector<defense::stream_event>> verdicts;
+    verdicts.reserve(hash_sessions);
+    for (std::size_t s = 0; s < hash_sessions; ++s) {
+      verdicts.push_back(sub.verdicts(s));
+    }
+    return std::make_pair(fleet_verdict_hash(verdicts),
+                          sub.eviction().evictions);
+  };
+  const auto [hash_evict, evictions_on] = hash_run(/*bound=*/16);
+  const auto [hash_free, evictions_off] = hash_run(/*bound=*/0);
+  const bool hash_ok = hash_evict == hash_free && evictions_on > 0 &&
+                       evictions_off == 0;
+  bench::note("sub-fleet (%zu sessions) verdict hash, evicting vs "
+              "unbounded: %016llx vs %016llx (%llu evictions) — %s",
+              hash_sessions, static_cast<unsigned long long>(hash_evict),
+              static_cast<unsigned long long>(hash_free),
+              static_cast<unsigned long long>(evictions_on),
+              hash_ok ? "identical" : "MISMATCH");
+
+  report.add_metric("sessions", static_cast<double>(scale_sessions));
+  report.add_metric("shards", static_cast<double>(scale_shards));
+  report.add_metric("workers_per_shard",
+                    static_cast<double>(workers_per_shard));
+  report.add_metric("resident_bound_per_shard",
+                    static_cast<double>(bound_per_shard));
+  report.add_metric("resident_cap", static_cast<double>(resident_cap));
+  report.add_metric("peak_resident", static_cast<double>(peak_resident));
+  report.add_metric("bounded_ok", bounded_ok ? 1.0 : 0.0);
+  report.add_metric("open_sessions_per_s",
+                    static_cast<double>(scale_sessions) / open_s);
+  report.add_metric("offers", static_cast<double>(offers));
+  report.add_metric("offers_per_s",
+                    static_cast<double>(offers) / burst_s);
+  report.add_metric("rtf", rtf);
+  report.add_metric("wall_s", burst_s);
+  report.add_metric("evictions", static_cast<double>(ev.evictions));
+  report.add_metric("rehydrations", static_cast<double>(ev.rehydrations));
+  report.add_metric("eviction_rate", eviction_rate);
+  report.add_metric("frozen_mib",
+                    static_cast<double>(ev.frozen_bytes) /
+                        (1024.0 * 1024.0));
+  report.add_latency_metrics("rehydrate", ev.rehydrate_latency);
+  report.add_metric("balance_min_sessions",
+                    static_cast<double>(balance.min_sessions));
+  report.add_metric("balance_max_sessions",
+                    static_cast<double>(balance.max_sessions));
+  report.add_metric("balance_mean_sessions", balance.mean_sessions);
+  report.add_metric("hash_ok", hash_ok ? 1.0 : 0.0);
+  report.add_metric("eviction_engaged_ok",
+                    eviction_engaged_ok ? 1.0 : 0.0);
+
+  const double elapsed = total_clock.elapsed_s();
+  report.add_metric("elapsed_s", elapsed);
+  bench::rule();
+  bench::note("identity matrix bit-identical across shards/workers/"
+              "modes/eviction/kills: %s",
+              identity_ok ? "yes" : "NO");
+  bench::note("resident working set stayed bounded at scale: %s",
+              bounded_ok ? "yes" : "NO");
+  bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
+  report.write(opts);
+  return identity_ok && eviction_engaged_ok && bounded_ok && hash_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1025,6 +1558,7 @@ int main(int argc, char** argv) {
   bool paced = false;
   bool e2e = false;
   bool chaos = false;
+  bool shard = false;
   double pace = 4.0;
   double session_rate_hz = 32.0;
   std::size_t sessions_override = 0;
@@ -1038,6 +1572,8 @@ int main(int argc, char** argv) {
       e2e = true;
     } else if (arg == "--chaos") {
       chaos = true;
+    } else if (arg == "--shard") {
+      shard = true;
     } else if (arg == "--pace" && i + 1 < argc) {
       const double v = std::atof(argv[++i]);
       pace = v > 0.0 ? v : pace;
@@ -1050,9 +1586,13 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.json_path.empty()) {
-    opts.json_path = chaos ? "BENCH_serve_chaos.json"
-                           : (e2e ? "BENCH_serve_e2e.json"
-                                  : "BENCH_serve.json");
+    opts.json_path = shard ? "BENCH_serve_shard.json"
+                           : (chaos ? "BENCH_serve_chaos.json"
+                                    : (e2e ? "BENCH_serve_e2e.json"
+                                           : "BENCH_serve.json"));
+  }
+  if (shard) {
+    return run_shard_protocol(opts, smoke, sessions_override);
   }
   if (chaos) {
     return run_chaos_protocol(opts, smoke, sessions_override);

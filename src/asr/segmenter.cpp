@@ -6,6 +6,7 @@
 
 #include "audio/metrics.h"
 #include "common/error.h"
+#include "common/json_field.h"
 
 namespace ivc::asr {
 namespace {
@@ -161,6 +162,41 @@ std::vector<utterance> utterance_segmenter::finish() {
   }
   reset();
   return out;
+}
+
+json::value utterance_segmenter::snapshot() const {
+  json::object o;
+  o.emplace_back("rate", json::value{rate_});
+  o.emplace_back("fs", json::value{static_cast<double>(frame_samples_)});
+  o.emplace_back("fc", json::value{static_cast<double>(frames_consumed_)});
+  o.emplace_back("in", json::value{in_utterance_});
+  o.emplace_back("usf",
+                 json::value{static_cast<double>(utterance_start_frame_)});
+  o.emplace_back("sr", json::value{static_cast<double>(silent_run_)});
+  o.emplace_back("pend", json::from_samples(pending_));
+  o.emplace_back("utt", json::from_samples(utterance_));
+  json::array preroll;
+  preroll.reserve(preroll_.size());
+  for (const std::vector<double>& frame : preroll_) {
+    preroll.push_back(json::from_samples(frame));
+  }
+  o.emplace_back("pre", json::value{std::move(preroll)});
+  return json::value{std::move(o)};
+}
+
+void utterance_segmenter::restore(const json::value& snap) {
+  rate_ = json::num(snap, "rate");
+  frame_samples_ = static_cast<std::size_t>(json::u64(snap, "fs"));
+  frames_consumed_ = json::u64(snap, "fc");
+  in_utterance_ = json::flag(snap, "in");
+  utterance_start_frame_ = json::u64(snap, "usf");
+  silent_run_ = static_cast<std::size_t>(json::u64(snap, "sr"));
+  pending_ = json::to_samples(json::field(snap, "pend"));
+  utterance_ = json::to_samples(json::field(snap, "utt"));
+  preroll_.clear();
+  for (const json::value& frame : json::arr(snap, "pre")) {
+    preroll_.push_back(json::to_samples(frame));
+  }
 }
 
 void utterance_segmenter::reset() {

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "audio/buffer.h"
+#include "common/json_min.h"
 
 namespace ivc::asr {
 
@@ -73,6 +75,19 @@ class utterance_segmenter {
   // stream time (the serving pipeline's verdict windows) must retain
   // everything at or after this point.
   double earliest_start_s() const;
+
+  // True while no utterance is open. Consumers that checkpoint stream
+  // state (the session's crash-recovery snapshots) only do so at idle
+  // points: restoring a mid-utterance segmenter would re-emit the open
+  // utterance a fail-closed flush already accounted for.
+  bool idle() const { return !in_utterance_; }
+
+  // Serializable stream state (the frame grid position, sub-frame
+  // residue, pre-roll, and any open utterance — everything but the
+  // config, which the owner reconstructs). restore(snapshot()) resumes
+  // the cut stream bit-exactly under any later feed() chunking.
+  json::value snapshot() const;
+  void restore(const json::value& snap);
 
   void reset();
 

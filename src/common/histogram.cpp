@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/json_field.h"
 
 namespace ivc {
 
@@ -104,6 +105,47 @@ void log_histogram::merge(const log_histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+json::value log_histogram::snapshot() const {
+  json::object o;
+  o.emplace_back("lo", json::value{config_.lo_edge});
+  o.emplace_back("hi", json::value{config_.hi_edge});
+  o.emplace_back("bpd",
+                 json::value{static_cast<double>(config_.bins_per_decade)});
+  o.emplace_back("n", json::value{static_cast<double>(count_)});
+  o.emplace_back("sum", json::value{sum_});
+  o.emplace_back("min", json::value{min_});
+  o.emplace_back("max", json::value{max_});
+  json::array bins;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    if (bins_[b] != 0) {
+      bins.emplace_back(static_cast<double>(b));
+      bins.emplace_back(static_cast<double>(bins_[b]));
+    }
+  }
+  o.emplace_back("bins", json::value{std::move(bins)});
+  return json::value{std::move(o)};
+}
+
+void log_histogram::restore(const json::value& snap) {
+  expects(json::num(snap, "lo") == config_.lo_edge &&
+              json::num(snap, "hi") == config_.hi_edge &&
+              json::u64(snap, "bpd") == config_.bins_per_decade,
+          "log_histogram::restore: binning configs differ");
+  std::fill(bins_.begin(), bins_.end(), 0);
+  count_ = json::u64(snap, "n");
+  sum_ = json::num(snap, "sum");
+  min_ = json::num(snap, "min");
+  max_ = json::num(snap, "max");
+  const json::array& bins = json::arr(snap, "bins");
+  expects(bins.size() % 2 == 0,
+          "log_histogram::restore: bins must be (index, count) pairs");
+  for (std::size_t i = 0; i + 1 < bins.size(); i += 2) {
+    const auto b = static_cast<std::size_t>(bins[i].number());
+    expects(b < bins_.size(), "log_histogram::restore: bin index out of range");
+    bins_[b] = static_cast<std::uint64_t>(bins[i + 1].number());
+  }
 }
 
 }  // namespace ivc

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json_min.h"
+
 namespace ivc {
 
 // Binning of a log_histogram. Two histograms are mergeable iff their
@@ -59,6 +61,17 @@ class log_histogram {
 
   // Clears the counts; the binning config is preserved.
   void reset() { *this = log_histogram{config_}; }
+
+  // Serializable state: binning config plus sparse (index, count) bin
+  // pairs and the exact count/sum/min/max — a mostly-empty histogram
+  // (the common case per session) snapshots to a handful of entries.
+  // restore(snapshot()) reproduces every quantile bit-exactly.
+  json::value snapshot() const;
+
+  // Restores counts from a snapshot. Like merge(), only defined between
+  // identical binning configs: restoring across a different binning
+  // would misfile every bin, so a mismatch throws instead.
+  void restore(const json::value& snap);
 
  private:
   std::size_t bin_index(double value) const;

@@ -1,6 +1,9 @@
 #include "common/json_min.h"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace ivc::json {
@@ -280,6 +283,330 @@ const value* value::find(const std::string& key) const {
 
 value parse(const std::string& text) {
   return parser{text}.parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// Text writer.
+
+namespace {
+
+void write_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument{
+        "json: non-finite numbers have no JSON representation"};
+  }
+  char buf[32];
+  // Counters and ids stay integer-shaped (no exponent) inside the exact
+  // window of a double; everything else gets max_digits10 so strtod
+  // reproduces the bits.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+void write_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_value(const value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.boolean() ? "true" : "false";
+  } else if (v.is_number()) {
+    write_number(v.number(), out);
+  } else if (v.is_string()) {
+    write_string(v.string(), out);
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const value& item : v.items()) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      write_value(item, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, member] : v.members()) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      write_string(key, out);
+      out += ':';
+      write_value(member, out);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string write(const value& v) {
+  std::string out;
+  write_value(v, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec.
+
+namespace {
+
+void put_u32(std::uint32_t n, std::string& out) {
+  char buf[4];
+  std::memcpy(buf, &n, 4);
+  out.append(buf, 4);
+}
+
+void put_f64(double v, std::string& out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void encode_value(const value& v, std::string& out) {
+  if (v.is_null()) {
+    out += 'z';
+  } else if (v.is_bool()) {
+    out += v.boolean() ? 't' : 'f';
+  } else if (v.is_number()) {
+    out += 'd';
+    put_f64(v.number(), out);
+  } else if (v.is_string()) {
+    out += 's';
+    put_u32(static_cast<std::uint32_t>(v.string().size()), out);
+    out += v.string();
+  } else if (v.is_array()) {
+    const array& items = v.items();
+    bool all_numbers = true;
+    for (const value& item : items) {
+      if (!item.is_number()) {
+        all_numbers = false;
+        break;
+      }
+    }
+    if (all_numbers && !items.empty()) {
+      // Count value runs: the audio residue a session snapshot holds is
+      // mostly digital silence, which run-length-codes to almost
+      // nothing. Identical-bit comparison, so -0.0 and 0.0 stay
+      // distinct and NaN payloads survive.
+      std::size_t runs = 1;
+      std::uint64_t prev;
+      double first = items[0].number();
+      std::memcpy(&prev, &first, 8);
+      for (std::size_t i = 1; i < items.size(); ++i) {
+        std::uint64_t bits;
+        const double d = items[i].number();
+        std::memcpy(&bits, &d, 8);
+        if (bits != prev) {
+          ++runs;
+          prev = bits;
+        }
+      }
+      if (runs * 12 < items.size() * 8) {
+        out += 'R';
+        put_u32(static_cast<std::uint32_t>(runs), out);
+        std::size_t i = 0;
+        while (i < items.size()) {
+          std::uint64_t bits;
+          const double d = items[i].number();
+          std::memcpy(&bits, &d, 8);
+          std::size_t j = i + 1;
+          while (j < items.size()) {
+            std::uint64_t next;
+            const double dn = items[j].number();
+            std::memcpy(&next, &dn, 8);
+            if (next != bits) {
+              break;
+            }
+            ++j;
+          }
+          put_u32(static_cast<std::uint32_t>(j - i), out);
+          put_f64(d, out);
+          i = j;
+        }
+      } else {
+        out += 'D';
+        put_u32(static_cast<std::uint32_t>(items.size()), out);
+        for (const value& item : items) {
+          put_f64(item.number(), out);
+        }
+      }
+    } else {
+      out += 'a';
+      put_u32(static_cast<std::uint32_t>(items.size()), out);
+      for (const value& item : items) {
+        encode_value(item, out);
+      }
+    }
+  } else {
+    const object& members = v.members();
+    out += 'o';
+    put_u32(static_cast<std::uint32_t>(members.size()), out);
+    for (const auto& [key, member] : members) {
+      put_u32(static_cast<std::uint32_t>(key.size()), out);
+      out += key;
+      encode_value(member, out);
+    }
+  }
+}
+
+class binary_reader {
+ public:
+  explicit binary_reader(const std::string& bytes) : bytes_{bytes} {}
+
+  value decode_document() {
+    value v = decode_value();
+    if (pos_ != bytes_.size()) {
+      throw std::invalid_argument{"json binary: trailing bytes"};
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument{std::string{"json binary: "} + what +
+                                " at offset " + std::to_string(pos_)};
+  }
+
+  char take_tag() {
+    if (pos_ >= bytes_.size()) {
+      fail("truncated buffer");
+    }
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t take_u32() {
+    if (pos_ + 4 > bytes_.size()) {
+      fail("truncated length");
+    }
+    std::uint32_t n;
+    std::memcpy(&n, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return n;
+  }
+
+  double take_f64() {
+    if (pos_ + 8 > bytes_.size()) {
+      fail("truncated double");
+    }
+    double v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  std::string take_string(std::uint32_t len) {
+    if (pos_ + len > bytes_.size()) {
+      fail("truncated string");
+    }
+    std::string s = bytes_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  value decode_value() {
+    switch (take_tag()) {
+      case 'z':
+        return value{nullptr};
+      case 't':
+        return value{true};
+      case 'f':
+        return value{false};
+      case 'd':
+        return value{take_f64()};
+      case 's': {
+        const std::uint32_t len = take_u32();
+        return value{take_string(len)};
+      }
+      case 'D': {
+        const std::uint32_t n = take_u32();
+        array items;
+        items.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          items.emplace_back(take_f64());
+        }
+        return value{std::move(items)};
+      }
+      case 'R': {
+        const std::uint32_t runs = take_u32();
+        array items;
+        for (std::uint32_t r = 0; r < runs; ++r) {
+          const std::uint32_t len = take_u32();
+          const double v = take_f64();
+          for (std::uint32_t i = 0; i < len; ++i) {
+            items.emplace_back(v);
+          }
+        }
+        return value{std::move(items)};
+      }
+      case 'a': {
+        const std::uint32_t n = take_u32();
+        array items;
+        items.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          items.push_back(decode_value());
+        }
+        return value{std::move(items)};
+      }
+      case 'o': {
+        const std::uint32_t n = take_u32();
+        object members;
+        members.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const std::uint32_t len = take_u32();
+          std::string key = take_string(len);
+          members.emplace_back(std::move(key), decode_value());
+        }
+        return value{std::move(members)};
+      }
+      default:
+        --pos_;
+        fail("unknown tag");
+    }
+  }
+
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_binary(const value& v) {
+  std::string out;
+  encode_value(v, out);
+  return out;
+}
+
+value from_binary(const std::string& bytes) {
+  return binary_reader{bytes}.decode_document();
 }
 
 }  // namespace ivc::json

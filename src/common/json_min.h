@@ -1,4 +1,4 @@
-// Minimal JSON reader.
+// Minimal JSON reader/writer.
 //
 // Just enough of RFC 8259 to parse back what this codebase writes —
 // result_table::to_json, the bench json_report, and the sim/runlog
@@ -6,6 +6,22 @@
 // string/array/object, string escapes including \uXXXX, full-precision
 // numbers via strtod. Object members keep file order (our writers are
 // deterministic, so round-trip comparisons stay simple).
+//
+// write() is the inverse: numbers serialize at max_digits10 precision
+// ("%.17g"), so every finite double — denormals, negative zero, the
+// extremes of the exponent range — parses back bit-identical. That
+// exactness is load-bearing: the serving layer's session snapshots
+// carry detector stream positions and histogram sums through this
+// round trip, and evict/rehydrate promises bit-identical verdict
+// streams afterwards.
+//
+// to_binary()/from_binary() are a compact tag-length-value encoding of
+// the same value tree for the in-memory evicted-session store: doubles
+// are memcpy'd (trivially bit-exact), and all-number arrays pack as
+// raw 8-byte doubles with a run-length-coded variant for the
+// silence-dominated audio residue a snapshot tends to hold. The
+// encoding is a same-process format — it makes no cross-endianness
+// promise the way the JSON text form does.
 #pragma once
 
 #include <string>
@@ -54,5 +70,21 @@ class value {
 // Parses one JSON document (surrounding whitespace allowed); throws
 // std::invalid_argument with a position on malformed input.
 value parse(const std::string& text);
+
+// Serializes a value as one compact JSON document (no added
+// whitespace). Doubles print at max_digits10 ("%.17g"): parse(write(v))
+// reproduces every finite double bit-exactly, including denormals and
+// negative zero. Integral values inside the 2^53 window print without
+// an exponent, so counters stay greppable. Non-finite numbers have no
+// JSON form and throw std::invalid_argument.
+std::string write(const value& v);
+
+// Compact binary form of the same tree (see header comment). Bit-exact
+// for every double including NaN/Inf payloads; same-process only.
+std::string to_binary(const value& v);
+
+// Decodes to_binary() output; throws std::invalid_argument on a
+// malformed or truncated buffer.
+value from_binary(const std::string& bytes);
 
 }  // namespace ivc::json

@@ -5,6 +5,7 @@
 
 #include "audio/metrics.h"
 #include "common/error.h"
+#include "common/json_field.h"
 
 namespace ivc::defense {
 
@@ -42,6 +43,23 @@ void stream_detector::reset() {
   pending_.clear();
   rate_ = 0.0;
   consumed_s_ = 0.0;
+}
+
+json::value stream_detector::snapshot() const {
+  json::object o;
+  o.emplace_back("rate", json::value{rate_});
+  // consumed_s_ is ACCUMULATED (+= hop/rate per window), not derived
+  // from a sample count, so the double itself must ride along — recomputing
+  // it would round differently and shift every future verdict timestamp.
+  o.emplace_back("cs", json::value{consumed_s_});
+  o.emplace_back("pend", json::from_samples(pending_));
+  return json::value{std::move(o)};
+}
+
+void stream_detector::restore(const json::value& snap) {
+  rate_ = json::num(snap, "rate");
+  consumed_s_ = json::num(snap, "cs");
+  pending_ = json::to_samples(json::field(snap, "pend"));
 }
 
 std::vector<stream_event> stream_detector::drain(bool flush) {

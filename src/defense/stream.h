@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "asr/vad.h"
+#include "common/json_min.h"
 #include "defense/detector.h"
 
 namespace ivc::defense {
@@ -38,6 +39,14 @@ class stream_detector {
   std::vector<stream_event> finish();
 
   void reset();
+
+  // Serializable stream state (pending samples, stream position, rate —
+  // NOT the detector weights or config, which the owner reconstructs).
+  // restore(snapshot()) on a detector of the same config resumes the
+  // stream bit-exactly: the evicted/rehydrated session's remaining
+  // verdicts are identical to never having been evicted.
+  json::value snapshot() const;
+  void restore(const json::value& snap);
 
  private:
   std::vector<stream_event> drain(bool flush);

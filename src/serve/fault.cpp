@@ -26,7 +26,8 @@ fault_injector::fault_injector(fault_config config)
   expects(valid_rate(config_.detector_throw_rate) &&
               valid_rate(config_.recognizer_throw_rate) &&
               valid_rate(config_.recognizer_overrun_rate) &&
-              valid_rate(config_.corrupt_block_rate),
+              valid_rate(config_.corrupt_block_rate) &&
+              valid_rate(config_.shard_kill_rate),
           "fault_injector: rates must be in [0, 1]");
 }
 
@@ -40,6 +41,8 @@ double fault_injector::rate_of(fault_kind kind) const {
       return config_.recognizer_overrun_rate;
     case fault_kind::corrupt_block:
       return config_.corrupt_block_rate;
+    case fault_kind::shard_kill:
+      return config_.shard_kill_rate;
   }
   return 0.0;
 }

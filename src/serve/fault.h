@@ -37,11 +37,20 @@ namespace ivc::serve {
 //                       cost model, never wall clock)
 //   corrupt_block     — the queued audio block arrives NaN-poisoned
 //                       (per block; exercises the ingest validation)
+//   shard_kill        — a whole serving shard "crashes": the shard
+//                       front force-evicts every idle session of the
+//                       shard to its snapshot and serves on (per shard
+//                       offer; coordinates are (shard index, per-shard
+//                       offer counter)). Because snapshot/restore is
+//                       bit-exact, a kill must be invisible in the
+//                       verdict/outcome streams — which is exactly what
+//                       the chaos gate checks.
 enum class fault_kind : std::uint8_t {
   detector_throw,
   recognizer_throw,
   recognizer_overrun,
   corrupt_block,
+  shard_kill,
 };
 
 // One pinned fault: fire `kind` in session `session` at per-session
@@ -62,13 +71,14 @@ struct fault_config {
   double recognizer_throw_rate = 0.0;  // per resolved utterance
   double recognizer_overrun_rate = 0.0;  // per resolved utterance
   double corrupt_block_rate = 0.0;     // per consumed block
+  double shard_kill_rate = 0.0;        // per shard-front offer
   // Explicitly pinned faults, in addition to the rate draws.
   std::vector<fault_event> schedule;
 
   bool enabled() const {
     return detector_throw_rate > 0.0 || recognizer_throw_rate > 0.0 ||
            recognizer_overrun_rate > 0.0 || corrupt_block_rate > 0.0 ||
-           !schedule.empty();
+           shard_kill_rate > 0.0 || !schedule.empty();
   }
 };
 

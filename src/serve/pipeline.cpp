@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "common/json_field.h"
 #include "synth/commands.h"
 
 namespace ivc::serve {
@@ -64,6 +65,18 @@ std::optional<std::string> intent_engine::on_command(
 void intent_engine::reset() {
   armed_ = false;
   armed_until_s_ = 0.0;
+}
+
+json::value intent_engine::snapshot() const {
+  json::object o;
+  o.emplace_back("armed", json::value{armed_});
+  o.emplace_back("until", json::value{armed_until_s_});
+  return json::value{std::move(o)};
+}
+
+void intent_engine::restore(const json::value& snap) {
+  armed_ = json::flag(snap, "armed");
+  armed_until_s_ = json::num(snap, "until");
 }
 
 command_pipeline::command_pipeline(pipeline_config config)
@@ -265,6 +278,62 @@ command_outcome command_pipeline::resolve(const asr::utterance& u) {
     o.kind = command_outcome::kind_t::ignored;
   }
   return o;
+}
+
+json::value command_pipeline::snapshot() const {
+  json::object o;
+  o.emplace_back("seg", segmenter_.snapshot());
+  o.emplace_back("int", intent_.snapshot());
+  json::array windows;
+  windows.reserve(attack_windows_.size() * 2);
+  for (const std::pair<double, double>& w : attack_windows_) {
+    windows.emplace_back(w.first);
+    windows.emplace_back(w.second);
+  }
+  o.emplace_back("aw", json::value{std::move(windows)});
+  json::array pending;
+  pending.reserve(pending_.size());
+  for (const asr::utterance& u : pending_) {
+    json::object uo;
+    uo.emplace_back("s", json::value{u.start_s});
+    uo.emplace_back("e", json::value{u.end_s});
+    uo.emplace_back("r", json::value{u.samples.sample_rate_hz});
+    uo.emplace_back("x", json::from_samples(u.samples.samples));
+    pending.emplace_back(std::move(uo));
+  }
+  o.emplace_back("pend", json::value{std::move(pending)});
+  o.emplace_back("csamp", json::value{static_cast<double>(consumed_samples_)});
+  o.emplace_back("rate", json::value{rate_});
+  o.emplace_back("ui", json::value{static_cast<double>(utterance_index_)});
+  o.emplace_back("dg", json::value{degraded_until_s_});
+  return json::value{std::move(o)};
+}
+
+void command_pipeline::restore(const json::value& snap) {
+  segmenter_.restore(json::field(snap, "seg"));
+  intent_.restore(json::field(snap, "int"));
+  attack_windows_.clear();
+  const json::array& windows = json::arr(snap, "aw");
+  for (std::size_t i = 0; i + 1 < windows.size(); i += 2) {
+    attack_windows_.emplace_back(windows[i].number(), windows[i + 1].number());
+  }
+  pending_.clear();
+  for (const json::value& uo : json::arr(snap, "pend")) {
+    asr::utterance u;
+    u.start_s = json::num(uo, "s");
+    u.end_s = json::num(uo, "e");
+    u.samples = audio::buffer{json::to_samples(json::field(uo, "x")),
+                              json::num(uo, "r")};
+    pending_.push_back(std::move(u));
+  }
+  consumed_samples_ = json::u64(snap, "csamp");
+  rate_ = json::num(snap, "rate");
+  // Derived exactly as feed() derives it, so the resolution gate
+  // compares the same double it would have without the round trip.
+  consumed_s_ =
+      rate_ > 0.0 ? static_cast<double>(consumed_samples_) / rate_ : 0.0;
+  utterance_index_ = json::u64(snap, "ui");
+  degraded_until_s_ = json::num(snap, "dg");
 }
 
 void command_pipeline::reset() {

@@ -80,6 +80,11 @@ class intent_engine {
   bool armed_at(double time_s) const;
   void reset();
 
+  // Serializable arm state; restore(snapshot()) resumes the wake
+  // machine bit-exactly (the rules table rides in the config).
+  json::value snapshot() const;
+  void restore(const json::value& snap);
+
   const intent_config& config() const { return config_; }
 
  private:
@@ -196,6 +201,22 @@ class command_pipeline {
   // True while the degradation ladder has the ASR stage shed
   // (detector-only fail-closed mode).
   bool degraded() const { return consumed_s_ < degraded_until_s_; }
+
+  // True when the stage holds no unresolved utterance — no pending
+  // deque entry and no open utterance in the segmenter. The session's
+  // crash-recovery checkpoints only capture at safe points: restoring
+  // a stage that still owed outcomes would emit them twice (once
+  // fail-closed at the fault, once again after the restore).
+  bool snapshot_safe() const {
+    return pending_.empty() && segmenter_.idle();
+  }
+
+  // Serializable stage state: segmenter + intent machine + decided
+  // attack windows + pending utterances + the stream position and
+  // degradation ladder. utterance_index_ rides along — it is a fault
+  // coordinate and must survive eviction like it survives reset().
+  json::value snapshot() const;
+  void restore(const json::value& snap);
 
   void reset();
 

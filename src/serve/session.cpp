@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <type_traits>
 #include <utility>
 
 #include "common/error.h"
+#include "common/json_field.h"
 
 namespace ivc::serve {
 
@@ -34,7 +36,152 @@ bool all_finite(const audio::buffer& b) {
   return true;
 }
 
+// ---- Snapshot codecs ---------------------------------------------------
+// The counter block serializes as one flat number array; encode and
+// decode share this single member walk so the order can never drift.
+// Appending a counter to session_stats means appending it HERE (at the
+// end — the array length is part of the v1 schema).
+template <typename Stats, typename F>
+void for_each_counter(Stats& st, F&& f) {
+  f(st.blocks_offered);
+  f(st.blocks_accepted);
+  f(st.blocks_processed);
+  f(st.blocks_shed);
+  f(st.blocks_rejected);
+  f(st.samples_processed);
+  f(st.audio_s_processed);
+  f(st.events);
+  f(st.attack_events);
+  f(st.utterances);
+  f(st.commands_blocked);
+  f(st.commands_executed);
+  f(st.commands_rejected);
+  f(st.commands_ignored);
+  f(st.detector_faults);
+  f(st.recognizer_faults);
+  f(st.corrupt_blocks);
+  f(st.asr_deadline_overruns);
+  f(st.utterances_shed_degraded);
+  f(st.utterances_failed_closed);
+  f(st.quarantines);
+  f(st.reopens);
+  f(st.blocks_dropped_backoff);
+  f(st.stage_snapshots);
+  f(st.snapshot_restores);
+}
+constexpr std::size_t counter_fields = 25;
+
+json::value encode_counters(const session_stats& st) {
+  json::array a;
+  a.reserve(counter_fields);
+  for_each_counter(st,
+                   [&a](auto v) { a.emplace_back(static_cast<double>(v)); });
+  return json::value{std::move(a)};
+}
+
+void decode_counters(const json::value& v, session_stats& st) {
+  const json::array& a = v.items();
+  expects(a.size() == counter_fields,
+          "session snapshot: counter block size mismatch");
+  std::size_t i = 0;
+  for_each_counter(st, [&](auto& slot) {
+    slot = static_cast<std::decay_t<decltype(slot)>>(a[i++].number());
+  });
+}
+
+// Verdicts pack as flat (time, score, is_attack) triples — an all-number
+// array, which the binary codec stores as packed 8-byte doubles.
+json::value encode_verdicts(const std::vector<defense::stream_event>& ve) {
+  json::array a;
+  a.reserve(ve.size() * 3);
+  for (const defense::stream_event& e : ve) {
+    a.emplace_back(e.time_s);
+    a.emplace_back(e.score);
+    a.emplace_back(e.is_attack ? 1.0 : 0.0);
+  }
+  return json::value{std::move(a)};
+}
+
+std::vector<defense::stream_event> decode_verdicts(const json::value& v) {
+  const json::array& a = v.items();
+  expects(a.size() % 3 == 0, "session snapshot: verdict block not triples");
+  std::vector<defense::stream_event> out;
+  out.reserve(a.size() / 3);
+  for (std::size_t i = 0; i < a.size(); i += 3) {
+    defense::stream_event e;
+    e.time_s = a[i].number();
+    e.score = a[i + 1].number();
+    e.is_attack = a[i + 2].number() != 0.0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+// One outcome per row: [start, end, kind, fault, command, intent,
+// distance, margin, asr_s].
+json::value encode_outcomes(const std::vector<command_outcome>& oc) {
+  json::array all;
+  all.reserve(oc.size());
+  for (const command_outcome& o : oc) {
+    json::array row;
+    row.reserve(9);
+    row.emplace_back(o.start_s);
+    row.emplace_back(o.end_s);
+    row.emplace_back(static_cast<double>(o.kind));
+    row.emplace_back(static_cast<double>(o.fault));
+    row.emplace_back(o.command_id);
+    row.emplace_back(o.intent);
+    row.emplace_back(o.asr_distance);
+    row.emplace_back(o.asr_margin);
+    row.emplace_back(o.asr_s);
+    all.emplace_back(std::move(row));
+  }
+  return json::value{std::move(all)};
+}
+
+std::vector<command_outcome> decode_outcomes(const json::value& v) {
+  std::vector<command_outcome> out;
+  out.reserve(v.items().size());
+  for (const json::value& rv : v.items()) {
+    const json::array& row = rv.items();
+    expects(row.size() == 9, "session snapshot: outcome row size mismatch");
+    command_outcome o;
+    o.start_s = row[0].number();
+    o.end_s = row[1].number();
+    const int kind = static_cast<int>(row[2].number());
+    const int fault = static_cast<int>(row[3].number());
+    expects(kind >= 0 && kind <= 3 && fault >= 0 && fault <= 4,
+            "session snapshot: outcome enum out of range");
+    o.kind = static_cast<command_outcome::kind_t>(kind);
+    o.fault = static_cast<command_outcome::fault_t>(fault);
+    o.command_id = row[4].string();
+    o.intent = row[5].string();
+    o.asr_distance = row[6].number();
+    o.asr_margin = row[7].number();
+    o.asr_s = row[8].number();
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
 }  // namespace
+
+void session_stats::merge(const session_stats& other) {
+  // Zip the two structs through the shared counter walk: read `other`'s
+  // counters into a flat buffer, then add them slot-by-slot.
+  std::vector<double> vals;
+  vals.reserve(counter_fields);
+  for_each_counter(other,
+                   [&vals](auto v) { vals.push_back(static_cast<double>(v)); });
+  std::size_t i = 0;
+  for_each_counter(*this, [&](auto& slot) {
+    slot += static_cast<std::decay_t<decltype(slot)>>(vals[i++]);
+  });
+  latency.merge(other.latency);
+  queue_wait.merge(other.queue_wait);
+  service.merge(other.service);
+  asr_service.merge(other.asr_service);
+}
 
 detection_session::detection_session(std::uint64_t id,
                                      defense::classifier_detector detector,
@@ -155,6 +302,53 @@ void detection_session::reset_stages() {
   }
 }
 
+// Crash recovery: resume the stages from the last good checkpoint when
+// snapshot recovery is on and one exists; otherwise (or when the
+// checkpoint fails to decode) cold-reset to a fresh stream. Caller holds
+// busy_ and NOT mutex_.
+void detection_session::recover_stages() {
+  if (fault_tolerance_.snapshot_recovery && !last_good_.empty()) {
+    try {
+      const json::value chk = json::from_binary(last_good_);
+      detector_.restore(json::field(chk, "det"));
+      if (pipeline_.has_value()) {
+        pipeline_->restore(json::field(chk, "pl"));
+      }
+      std::lock_guard<std::mutex> lock{mutex_};
+      ++stats_.snapshot_restores;
+      return;
+    } catch (...) {
+      // A corrupt checkpoint must not wedge recovery — and the detector
+      // may be half-restored by now, so fall through to the full reset.
+      last_good_.clear();
+    }
+  }
+  reset_stages();
+}
+
+// Crash-recovery checkpoint, taken by the worker that just scored block
+// `block_index` (holding busy_, not mutex_). Only at SAFE points: the
+// block count lines up AND the pipeline owes no outcome — restoring a
+// stage that still held a pending utterance would emit it twice (once
+// fail-closed at the fault, once again after the restore).
+void detection_session::maybe_checkpoint(std::uint64_t block_index) {
+  if (!fault_tolerance_.snapshot_recovery ||
+      fault_tolerance_.snapshot_every_blocks == 0 ||
+      (block_index + 1) % fault_tolerance_.snapshot_every_blocks != 0) {
+    return;
+  }
+  if (pipeline_.has_value() && !pipeline_->snapshot_safe()) {
+    return;
+  }
+  json::object chk;
+  chk.emplace_back("det", detector_.snapshot());
+  chk.emplace_back("pl", pipeline_.has_value() ? pipeline_->snapshot()
+                                               : json::value{});
+  last_good_ = json::to_binary(json::value{std::move(chk)});
+  std::lock_guard<std::mutex> lock{mutex_};
+  ++stats_.stage_snapshots;
+}
+
 bool detection_session::reopen() {
   bool expected = false;
   if (!busy_.compare_exchange_strong(expected, true)) {
@@ -174,7 +368,7 @@ bool detection_session::reopen() {
   // ladder at its first rung.
   reopen_count_ = 0;
   backoff_remaining_ = fault_tolerance_.backoff_blocks;
-  reset_stages();
+  recover_stages();
   return true;
 }
 
@@ -224,7 +418,7 @@ void detection_session::contain_fault(std::uint64_t session_stats::* counter,
                              fault_tolerance_.backoff_blocks)
                          << reopen_count_;
     ++reopen_count_;
-    reset_stages();
+    recover_stages();
   }
 }
 
@@ -345,27 +539,33 @@ std::size_t detection_session::process(std::size_t max_blocks) {
         std::chrono::duration<double>(scored - claimed).count();
     const double latency_s =
         std::chrono::duration<double>(piped - item.enqueued).count();
-    std::lock_guard<std::mutex> lock{mutex_};
-    verdicts_.insert(verdicts_.end(), events.begin(), events.end());
-    ++stats_.blocks_processed;
-    stats_.samples_processed += samples;
-    stats_.audio_s_processed += static_cast<double>(samples) / rate;
-    stats_.events += events.size();
-    for (const defense::stream_event& e : events) {
-      stats_.attack_events += e.is_attack ? 1 : 0;
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      verdicts_.insert(verdicts_.end(), events.begin(), events.end());
+      ++stats_.blocks_processed;
+      stats_.samples_processed += samples;
+      stats_.audio_s_processed += static_cast<double>(samples) / rate;
+      stats_.events += events.size();
+      for (const defense::stream_event& e : events) {
+        stats_.attack_events += e.is_attack ? 1 : 0;
+      }
+      stats_.latency.record(latency_s);
+      stats_.queue_wait.record(queue_wait_s);
+      stats_.service.record(service_s);
+      record_outcomes(outcomes);
+      // Surface the pipeline's degradation ladder as session health.
+      if (state_ == session_state::serving && pipeline_.has_value() &&
+          pipeline_->degraded()) {
+        state_ = session_state::degraded;
+      } else if (state_ == session_state::degraded &&
+                 (!pipeline_.has_value() || !pipeline_->degraded())) {
+        state_ = session_state::serving;
+      }
     }
-    stats_.latency.record(latency_s);
-    stats_.queue_wait.record(queue_wait_s);
-    stats_.service.record(service_s);
-    record_outcomes(outcomes);
-    // Surface the pipeline's degradation ladder as session health.
-    if (state_ == session_state::serving && pipeline_.has_value() &&
-        pipeline_->degraded()) {
-      state_ = session_state::degraded;
-    } else if (state_ == session_state::degraded &&
-               (!pipeline_.has_value() || !pipeline_->degraded())) {
-      state_ = session_state::serving;
-    }
+    // Crash-recovery checkpoint AFTER the block's effects are recorded:
+    // a restore resumes from a stream position whose verdicts/outcomes
+    // are already in the streams, never before it.
+    maybe_checkpoint(block_index);
   }
   // End-of-stream flush: once the producer closed the session and the
   // queue is empty, flush the partial window exactly once.
@@ -480,6 +680,118 @@ std::vector<command_outcome> detection_session::outcomes() const {
 session_stats detection_session::stats() const {
   std::lock_guard<std::mutex> lock{mutex_};
   return stats_;
+}
+
+// Serializes the complete session. Caller holds busy_ AND mutex_ — the
+// image must be a consistent cut of both the worker-owned stage state
+// and the lock-guarded streams/counters.
+json::value detection_session::build_snapshot() const {
+  json::object o;
+  o.emplace_back("v", json::value{1.0});
+  o.emplace_back("cl", json::value{closed_});
+  o.emplace_back("fi", json::value{finished_});
+  o.emplace_back("st", json::value{static_cast<double>(state_)});
+  o.emplace_back("err", json::value{last_error_});
+  o.emplace_back("cb", json::value{static_cast<double>(consumed_blocks_)});
+  o.emplace_back("rc", json::value{static_cast<double>(reopen_count_)});
+  o.emplace_back("bo", json::value{static_cast<double>(backoff_remaining_)});
+  o.emplace_back("ctr", encode_counters(stats_));
+  o.emplace_back("lh", stats_.latency.snapshot());
+  o.emplace_back("qh", stats_.queue_wait.snapshot());
+  o.emplace_back("sh", stats_.service.snapshot());
+  o.emplace_back("ah", stats_.asr_service.snapshot());
+  o.emplace_back("ve", encode_verdicts(verdicts_));
+  o.emplace_back("oc", encode_outcomes(outcomes_));
+  o.emplace_back("det", detector_.snapshot());
+  o.emplace_back("pl", pipeline_.has_value() ? pipeline_->snapshot()
+                                             : json::value{});
+  o.emplace_back("lg",
+                 last_good_.empty() ? json::value{} : json::value{last_good_});
+  return json::value{std::move(o)};
+}
+
+bool detection_session::try_snapshot(json::value& out) {
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true)) {
+    return false;  // a worker owns the session
+  }
+  const busy_guard guard{busy_};
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (count_ > 0 || (closed_ && !finished_)) {
+    // Queued audio is NOT serialized, and a pending close() flush still
+    // mutates the streams — only an idle session snapshots.
+    return false;
+  }
+  out = build_snapshot();
+  return true;
+}
+
+void detection_session::restore(const json::value& snap) {
+  bool expected = false;
+  expects(busy_.compare_exchange_strong(expected, true),
+          "detection_session::restore: session is already shared");
+  const busy_guard guard{busy_};
+  std::lock_guard<std::mutex> lock{mutex_};
+  expects(count_ == 0 && stats_.blocks_offered == 0,
+          "detection_session::restore: session must be freshly constructed");
+  expects(static_cast<int>(json::num(snap, "v")) == 1,
+          "session snapshot: unknown schema version");
+  const json::value& pl = json::field(snap, "pl");
+  expects(pl.is_null() != pipeline_.has_value(),
+          "session snapshot: pipeline presence mismatch");
+  closed_ = json::flag(snap, "cl");
+  finished_ = json::flag(snap, "fi");
+  const int st = static_cast<int>(json::num(snap, "st"));
+  expects(st >= 0 && st <= 3, "session snapshot: state out of range");
+  state_ = static_cast<session_state>(st);
+  last_error_ = json::str(snap, "err");
+  consumed_blocks_ = json::u64(snap, "cb");
+  reopen_count_ = static_cast<std::size_t>(json::num(snap, "rc"));
+  backoff_remaining_ = json::u64(snap, "bo");
+  decode_counters(json::field(snap, "ctr"), stats_);
+  stats_.latency.restore(json::field(snap, "lh"));
+  stats_.queue_wait.restore(json::field(snap, "qh"));
+  stats_.service.restore(json::field(snap, "sh"));
+  stats_.asr_service.restore(json::field(snap, "ah"));
+  verdicts_ = decode_verdicts(json::field(snap, "ve"));
+  outcomes_ = decode_outcomes(json::field(snap, "oc"));
+  detector_.restore(json::field(snap, "det"));
+  if (pipeline_.has_value()) {
+    pipeline_->restore(pl);
+  }
+  const json::value& lg = json::field(snap, "lg");
+  last_good_ = lg.is_null() ? std::string{} : lg.string();
+}
+
+// ---- Frozen-snapshot readers ------------------------------------------
+
+session_stats snapshot_stats(const json::value& snap,
+                             const histogram_config& bins) {
+  session_stats st{bins};
+  decode_counters(json::field(snap, "ctr"), st);
+  st.latency.restore(json::field(snap, "lh"));
+  st.queue_wait.restore(json::field(snap, "qh"));
+  st.service.restore(json::field(snap, "sh"));
+  st.asr_service.restore(json::field(snap, "ah"));
+  return st;
+}
+
+session_state snapshot_state(const json::value& snap) {
+  const int st = static_cast<int>(json::num(snap, "st"));
+  expects(st >= 0 && st <= 3, "session snapshot: state out of range");
+  return static_cast<session_state>(st);
+}
+
+bool snapshot_closed(const json::value& snap) {
+  return json::flag(snap, "cl");
+}
+
+std::vector<defense::stream_event> snapshot_verdicts(const json::value& snap) {
+  return decode_verdicts(json::field(snap, "ve"));
+}
+
+std::vector<command_outcome> snapshot_outcomes(const json::value& snap) {
+  return decode_outcomes(json::field(snap, "oc"));
 }
 
 }  // namespace ivc::serve

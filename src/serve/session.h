@@ -31,6 +31,7 @@
 
 #include "audio/buffer.h"
 #include "common/histogram.h"
+#include "common/json_min.h"
 #include "defense/detector.h"
 #include "defense/stream.h"
 #include "serve/fault.h"
@@ -72,6 +73,19 @@ struct fault_tolerance_config {
   // resumes. Counted in accepted blocks — never wall clock — so the
   // recovery point is identical at any worker count.
   std::size_t backoff_blocks = 8;
+  // Snapshot-based crash recovery: when enabled the session checkpoints
+  // its detector + pipeline stream state every `snapshot_every_blocks`
+  // scored blocks — only at SAFE points, where the pipeline owes no
+  // outcome (pending empty, segmenter idle), so a restore can never
+  // re-emit an utterance the fail-closed flush already resolved. A
+  // contained fault (and a manual reopen()) then restores the stages
+  // from the last good checkpoint instead of cold-resetting: the stream
+  // resumes at the checkpoint's position — verdict timestamps continue
+  // instead of restarting at t = 0 — losing only the audio between the
+  // checkpoint and the fault plus the backoff blocks. Checkpoints are
+  // block-counted, so recovery is bit-identical at any worker count.
+  bool snapshot_recovery = false;
+  std::size_t snapshot_every_blocks = 64;
 };
 
 struct serve_config {
@@ -96,6 +110,13 @@ struct serve_config {
   // Per-session histograms and the aggregate() fold all use this, so
   // merges always see matching configs.
   histogram_config latency_bins;
+  // Residency bound of the owning session_manager (per manager — each
+  // shard of a sharded front gets its own). When more than this many
+  // sessions are LIVE, the manager evicts idle least-recently-offered
+  // sessions to compact snapshots and rebuilds them on their next
+  // offer, bit-identically. 0 = unbounded (no eviction). Ignored by the
+  // session itself.
+  std::size_t max_resident_sessions = 0;
   // Containment + recovery policy (always on; the knobs bound it).
   fault_tolerance_config fault_tolerance;
   // Deterministic fault injection (chaos harness / tests). Shared and
@@ -162,6 +183,15 @@ struct session_stats {
   std::uint64_t reopens = 0;            // recoveries (auto + manual)
   std::uint64_t blocks_dropped_backoff = 0;  // consumed unscored while
                                              // recovering
+  // ---- Snapshot layer (all zero unless snapshot_recovery/eviction) ---
+  std::uint64_t stage_snapshots = 0;    // crash-recovery checkpoints taken
+  std::uint64_t snapshot_restores = 0;  // recoveries from a checkpoint
+                                        // (instead of a cold stage reset)
+
+  // Folds another stats block into this one: counters sum, histograms
+  // merge (the binning configs must match). The fleet/shard aggregation
+  // primitive.
+  void merge(const session_stats& other);
 };
 
 class detection_session {
@@ -195,13 +225,16 @@ class detection_session {
   // Message of the last contained fault (empty while healthy).
   std::string last_error() const;
 
-  // Recovery from quarantine: resets the detector, segmenter and
-  // pipeline to fresh-stream state, grants a fresh retry budget, and
+  // Recovery from quarantine: restores the detector/segmenter/pipeline
+  // from the last good crash-recovery checkpoint when
+  // fault_tolerance.snapshot_recovery is on and one exists, otherwise
+  // resets them to fresh-stream state; grants a fresh retry budget and
   // re-enters service through a block-counted backoff (the next
   // fault_tolerance.backoff_blocks accepted blocks are consumed
   // unscored). Returns false when the session is not quarantined or a
   // worker still owns it. Queued blocks survive and are scored — as a
-  // NEW stream at t = 0 — once the backoff drains.
+  // resumed stream from the checkpoint, or a NEW stream at t = 0 —
+  // once the backoff drains.
   bool reopen();
 
   // Last-resort containment used by the manager's worker wrappers when
@@ -228,6 +261,24 @@ class detection_session {
 
   session_stats stats() const;
 
+  // ---- Eviction snapshots ---------------------------------------------
+  // Serializes the COMPLETE session — counters, histograms, verdict and
+  // outcome streams, fault-ladder position, detector/pipeline stream
+  // state, and any crash-recovery checkpoint — so the manager can evict
+  // the session and rebuild it later with restore(), bit-identically:
+  // the rehydrated session's remaining verdicts/outcomes are the ones
+  // this session would have produced. Claims the session exclusively;
+  // returns false (and writes nothing) when a worker owns it, blocks
+  // are still queued, or a close() flush is owed — only an IDLE session
+  // snapshots, because queued audio is not serialized.
+  bool try_snapshot(json::value& out);
+
+  // Rebuilds from a try_snapshot() image. Must be called on a freshly
+  // constructed session of the SAME config before it is shared with
+  // producers or workers; throws on a snapshot/config mismatch (e.g. a
+  // pipeline snapshot restored into a pipeline-less session).
+  void restore(const json::value& snap);
+
  private:
   struct queued_block {
     audio::buffer block;
@@ -246,6 +297,15 @@ class detection_session {
                      const std::string& what);
   // Resets detector/pipeline to fresh-stream state. Caller holds busy_.
   void reset_stages();
+  // Crash recovery (caller holds busy_): restores the stages from the
+  // last good checkpoint; falls back to reset_stages() when there is
+  // none (or it is corrupt). Counts the restore when it happens.
+  void recover_stages();
+  // Takes a crash-recovery checkpoint when the block count and safety
+  // conditions line up. Caller holds busy_, not mutex_.
+  void maybe_checkpoint(std::uint64_t block_index);
+  // Serializes everything; caller holds busy_ AND mutex_.
+  json::value build_snapshot() const;
 
   const std::uint64_t id_;
   const std::size_t capacity_;
@@ -279,6 +339,22 @@ class detection_session {
   std::size_t reopen_count_ = 0;
   // Accepted blocks still to drop before scoring resumes (recovering).
   std::uint64_t backoff_remaining_ = 0;
+  // Last good crash-recovery checkpoint (binary-encoded detector +
+  // pipeline stream state; empty = none yet). Binary keeps a resident
+  // checkpoint cheap — the pending audio inside it is mostly silence,
+  // which the codec run-length-codes away.
+  std::string last_good_;
 };
+
+// ---- Frozen-snapshot readers ------------------------------------------
+// Decode one field family out of a try_snapshot() image WITHOUT
+// rebuilding the session — how the manager serves stats/verdict/outcome
+// reads for EVICTED sessions (reads must not change residency).
+session_stats snapshot_stats(const json::value& snap,
+                             const histogram_config& bins);
+session_state snapshot_state(const json::value& snap);
+bool snapshot_closed(const json::value& snap);
+std::vector<defense::stream_event> snapshot_verdicts(const json::value& snap);
+std::vector<command_outcome> snapshot_outcomes(const json::value& snap);
 
 }  // namespace ivc::serve

@@ -1,5 +1,6 @@
 #include "serve/session_manager.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/error.h"
@@ -10,75 +11,217 @@ session_manager::session_manager(defense::classifier_detector detector,
                                  serve_config config)
     : detector_{std::move(detector)},
       config_{config},
-      pool_{config.worker_threads} {}
+      pool_{config.worker_threads},
+      evic_{config.latency_bins} {}
 
 session_manager::~session_manager() { stop(); }
 
-std::uint64_t session_manager::open_session() { return open_session(config_); }
+std::uint64_t session_manager::open_session() {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  return open_slot(nullptr, config_);
+}
 
 std::uint64_t session_manager::open_session(const serve_config& config) {
-  expects(config.latency_bins == config_.latency_bins,
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  return open_slot(std::make_shared<const serve_config>(config), config);
+}
+
+std::uint64_t session_manager::open_session(
+    std::shared_ptr<const serve_config> config) {
+  expects(config != nullptr, "session_manager: null shared config");
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const serve_config& effective = *config;
+  return open_slot(std::move(config), effective);
+}
+
+std::uint64_t session_manager::open_slot(
+    std::shared_ptr<const serve_config> cfg, const serve_config& effective) {
+  expects(effective.latency_bins == config_.latency_bins,
           "session_manager: a per-session config must keep the fleet's "
           "latency binning — aggregate() merges histograms config-checked");
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
-  const auto id = static_cast<std::uint64_t>(sessions_.size());
-  sessions_.push_back(
-      std::make_unique<detection_session>(id, detector_, config));
+  const auto id = static_cast<std::uint64_t>(slots_.size());
+  slot sl;
+  sl.live = std::make_shared<detection_session>(id, detector_, effective);
+  sl.cfg = std::move(cfg);
+  sl.touch = ++touch_counter_;
+  slots_.push_back(std::move(sl));
+  ++resident_count_;
+  if (config_.max_resident_sessions > 0) {
+    lru_.emplace(slots_.back().touch, id);
+  }
   {
     std::lock_guard<std::mutex> sched_lock{sched_mutex_};
     sched_.push_back(sched_state::idle);
   }
+  enforce_residency();
   return id;
 }
 
 std::size_t session_manager::num_sessions() const {
   std::lock_guard<std::mutex> lock{sessions_mutex_};
-  return sessions_.size();
+  return slots_.size();
 }
 
 const detection_session& session_manager::session(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock{sessions_mutex_};
-  expects(id < sessions_.size(), "session_manager: unknown session id");
-  return *sessions_[id];
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  expects(slots_[id].live != nullptr,
+          "session_manager: session is evicted — use the id-keyed "
+          "accessors, which read frozen sessions in place");
+  return *slots_[id].live;
+}
+
+bool session_manager::resident(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  return slots_[id].live != nullptr;
+}
+
+// Rebuilds an evicted session from its frozen snapshot. Caller holds
+// sessions_mutex_ — rehydration and eviction are fully serialized.
+const std::shared_ptr<detection_session>& session_manager::ensure_resident(
+    std::uint64_t id) {
+  slot& sl = slots_[id];
+  if (sl.live != nullptr) {
+    return sl.live;
+  }
+  ensures(!sl.frozen.empty(),
+          "session_manager: slot has neither a live session nor a snapshot");
+  const auto t0 = std::chrono::steady_clock::now();
+  const serve_config& cfg = sl.cfg != nullptr ? *sl.cfg : config_;
+  auto s = std::make_shared<detection_session>(id, detector_, cfg);
+  s->restore(json::from_binary(sl.frozen));
+  evic_.frozen_bytes -= sl.frozen.size();
+  sl.frozen.clear();
+  sl.frozen.shrink_to_fit();
+  sl.live = std::move(s);
+  sl.touch = ++touch_counter_;
+  ++resident_count_;
+  ++evic_.rehydrations;
+  if (config_.max_resident_sessions > 0) {
+    lru_.emplace(sl.touch, id);
+  }
+  evic_.rehydrate_latency.record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return sl.live;
+}
+
+// Freezes session `id` if it is idle. Caller holds sessions_mutex_.
+bool session_manager::evict_locked(std::uint64_t id) {
+  slot& sl = slots_[id];
+  if (sl.live == nullptr) {
+    return false;  // already evicted
+  }
+  json::value snap;
+  if (!sl.live->try_snapshot(snap)) {
+    return false;  // busy, queued work, or a close() flush owed
+  }
+  sl.closed_hint = snapshot_closed(snap);
+  sl.frozen = json::to_binary(snap);
+  evic_.frozen_bytes += sl.frozen.size();
+  sl.live.reset();
+  --resident_count_;
+  ++evic_.evictions;
+  return true;
+}
+
+// Evicts least-recently-offered idle sessions until the resident count
+// is back under the bound (or no candidate can be frozen — busy/queued
+// sessions stay, and the bound is enforced again on the next offer).
+// Caller holds sessions_mutex_.
+void session_manager::enforce_residency() {
+  const std::size_t bound = config_.max_resident_sessions;
+  if (bound == 0) {
+    return;
+  }
+  // Candidates that refused to freeze go back on the heap AFTER the
+  // loop, or the loop would pop them forever.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> busy;
+  while (resident_count_ > bound && !lru_.empty()) {
+    const auto [touch, id] = lru_.top();
+    lru_.pop();
+    const slot& sl = slots_[id];
+    if (sl.live == nullptr) {
+      continue;  // dead entry: session was evicted through another path
+    }
+    if (sl.touch != touch) {
+      // Stale: the session was offered again since this entry was
+      // pushed. Re-file it under its real recency and keep looking.
+      lru_.emplace(sl.touch, id);
+      continue;
+    }
+    if (!evict_locked(id)) {
+      busy.emplace_back(touch, id);
+    }
+  }
+  for (const auto& e : busy) {
+    lru_.push(e);
+  }
+}
+
+bool session_manager::evict(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  return evict_locked(id);
+}
+
+std::size_t session_manager::evict_idle() {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  std::size_t evicted = 0;
+  for (std::uint64_t id = 0; id < slots_.size(); ++id) {
+    evicted += evict_locked(id) ? 1 : 0;
+  }
+  return evicted;
+}
+
+eviction_stats session_manager::eviction() const {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  eviction_stats out = evic_;
+  out.resident = resident_count_;
+  return out;
 }
 
 offer_status session_manager::offer(std::uint64_t id, audio::buffer block) {
-  detection_session* s = nullptr;
-  {
-    std::lock_guard<std::mutex> lock{sessions_mutex_};
-    expects(id < sessions_.size(), "session_manager: unknown session id");
-    s = sessions_[id].get();
-  }
+  // One critical section for rehydrate + offer + LRU touch + residency
+  // enforcement: an eviction can never interleave with an offer to the
+  // same session and drop its block.
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  const std::shared_ptr<detection_session> s = ensure_resident(id);
   const offer_status status = s->offer(std::move(block));
+  slots_[id].touch = ++touch_counter_;
   if (status == offer_status::accepted) {
     notify_ready(id, s);
   }
+  enforce_residency();
   return status;
 }
 
 void session_manager::close(std::uint64_t id) {
-  detection_session* s = nullptr;
-  {
-    std::lock_guard<std::mutex> lock{sessions_mutex_};
-    expects(id < sessions_.size(), "session_manager: unknown session id");
-    s = sessions_[id].get();
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  slot& sl = slots_[id];
+  if (sl.live == nullptr && sl.closed_hint) {
+    return;  // frozen image is already closed + flushed: nothing owed
   }
+  const std::shared_ptr<detection_session> s = ensure_resident(id);
   s->close();
   notify_ready(id, s);  // the close() flush is work
 }
 
 void session_manager::close_all() {
-  std::vector<detection_session*> all;
-  {
-    std::lock_guard<std::mutex> lock{sessions_mutex_};
-    all.reserve(sessions_.size());
-    for (const std::unique_ptr<detection_session>& s : sessions_) {
-      all.push_back(s.get());
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  for (std::uint64_t id = 0; id < slots_.size(); ++id) {
+    slot& sl = slots_[id];
+    if (sl.live == nullptr && sl.closed_hint) {
+      continue;  // already closed + flushed when it was frozen
     }
-  }
-  for (detection_session* s : all) {
+    // Rehydrating to flush can overshoot the residency bound; the
+    // freshly closed sessions become evictable again once drained.
+    const std::shared_ptr<detection_session> s = ensure_resident(id);
     s->close();
-    notify_ready(s->id(), s);
+    notify_ready(id, s);
   }
 }
 
@@ -87,13 +230,15 @@ void session_manager::drain() {
           "session_manager: drain() must not run while streaming workers "
           "are live — call stop() first");
   for (;;) {
-    std::vector<detection_session*> ready;
+    std::vector<std::shared_ptr<detection_session>> ready;
     {
       std::lock_guard<std::mutex> lock{sessions_mutex_};
-      ready.reserve(sessions_.size());
-      for (const std::unique_ptr<detection_session>& s : sessions_) {
-        if (s->has_work()) {
-          ready.push_back(s.get());
+      ready.reserve(slots_.size());
+      for (const slot& sl : slots_) {
+        // Evicted sessions are idle by construction: only live ones can
+        // hold work.
+        if (sl.live != nullptr && sl.live->has_work()) {
+          ready.push_back(sl.live);
         }
       }
     }
@@ -136,11 +281,12 @@ void session_manager::start(std::size_t n_workers) {
     stopping_ = false;
     // Seed the ready-queue with everything offered before start(): those
     // offers saw no live workers and did not enqueue.
-    for (const std::unique_ptr<detection_session>& s : sessions_) {
-      const std::uint64_t id = s->id();
-      if (sched_[id] == sched_state::idle && s->has_work()) {
+    for (std::uint64_t id = 0; id < slots_.size(); ++id) {
+      const slot& sl = slots_[id];
+      if (sl.live != nullptr && sched_[id] == sched_state::idle &&
+          sl.live->has_work()) {
         sched_[id] = sched_state::queued;
-        ready_.emplace_back(id, s.get());
+        ready_.emplace_back(id, sl.live);
       }
     }
     workers_.reserve(count);
@@ -181,12 +327,19 @@ bool session_manager::streaming() const {
 }
 
 bool session_manager::reopen(std::uint64_t id) {
-  detection_session* s = nullptr;
-  {
-    std::lock_guard<std::mutex> lock{sessions_mutex_};
-    expects(id < sessions_.size(), "session_manager: unknown session id");
-    s = sessions_[id].get();
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  slot& sl = slots_[id];
+  if (sl.live == nullptr) {
+    // Peek at the frozen state first: reopening is only meaningful for
+    // a quarantined session, and a plain `false` must not change the
+    // resident set.
+    if (snapshot_state(json::from_binary(sl.frozen)) !=
+        session_state::quarantined) {
+      return false;
+    }
   }
+  const std::shared_ptr<detection_session> s = ensure_resident(id);
   if (!s->reopen()) {
     return false;
   }
@@ -199,7 +352,8 @@ bool session_manager::reopen(std::uint64_t id) {
   return true;
 }
 
-void session_manager::notify_ready(std::uint64_t id, detection_session* s) {
+void session_manager::notify_ready(std::uint64_t id,
+                                   const std::shared_ptr<detection_session>& s) {
   bool enqueued = false;
   {
     std::lock_guard<std::mutex> lock{sched_mutex_};
@@ -269,63 +423,59 @@ void session_manager::finish() {
 
 std::vector<defense::stream_event> session_manager::verdicts(
     std::uint64_t id) const {
-  return session(id).verdicts();
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  const slot& sl = slots_[id];
+  if (sl.live != nullptr) {
+    return sl.live->verdicts();
+  }
+  return snapshot_verdicts(json::from_binary(sl.frozen));
 }
 
 std::vector<command_outcome> session_manager::outcomes(
     std::uint64_t id) const {
-  return session(id).outcomes();
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  const slot& sl = slots_[id];
+  if (sl.live != nullptr) {
+    return sl.live->outcomes();
+  }
+  return snapshot_outcomes(json::from_binary(sl.frozen));
 }
 
 session_stats session_manager::stats(std::uint64_t id) const {
-  return session(id).stats();
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  const slot& sl = slots_[id];
+  if (sl.live != nullptr) {
+    return sl.live->stats();
+  }
+  return snapshot_stats(json::from_binary(sl.frozen), config_.latency_bins);
 }
 
 serve_totals session_manager::aggregate() const {
-  std::vector<detection_session*> all;
-  {
-    std::lock_guard<std::mutex> lock{sessions_mutex_};
-    all.reserve(sessions_.size());
-    for (const std::unique_ptr<detection_session>& s : sessions_) {
-      all.push_back(s.get());
-    }
-  }
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
   // The fleet histograms must use the same binning as the per-session
   // ones: log_histogram::merge requires matching configs.
   serve_totals totals;
   totals.stats = session_stats{config_.latency_bins};
-  totals.num_sessions = all.size();
-  for (const detection_session* s : all) {
-    const session_stats st = s->stats();
-    totals.stats.blocks_offered += st.blocks_offered;
-    totals.stats.blocks_accepted += st.blocks_accepted;
-    totals.stats.blocks_processed += st.blocks_processed;
-    totals.stats.blocks_shed += st.blocks_shed;
-    totals.stats.blocks_rejected += st.blocks_rejected;
-    totals.stats.samples_processed += st.samples_processed;
-    totals.stats.audio_s_processed += st.audio_s_processed;
-    totals.stats.events += st.events;
-    totals.stats.attack_events += st.attack_events;
-    totals.stats.utterances += st.utterances;
-    totals.stats.commands_blocked += st.commands_blocked;
-    totals.stats.commands_executed += st.commands_executed;
-    totals.stats.commands_rejected += st.commands_rejected;
-    totals.stats.commands_ignored += st.commands_ignored;
-    totals.stats.latency.merge(st.latency);
-    totals.stats.queue_wait.merge(st.queue_wait);
-    totals.stats.service.merge(st.service);
-    totals.stats.asr_service.merge(st.asr_service);
-    totals.stats.detector_faults += st.detector_faults;
-    totals.stats.recognizer_faults += st.recognizer_faults;
-    totals.stats.corrupt_blocks += st.corrupt_blocks;
-    totals.stats.asr_deadline_overruns += st.asr_deadline_overruns;
-    totals.stats.utterances_shed_degraded += st.utterances_shed_degraded;
-    totals.stats.utterances_failed_closed += st.utterances_failed_closed;
-    totals.stats.quarantines += st.quarantines;
-    totals.stats.reopens += st.reopens;
-    totals.stats.blocks_dropped_backoff += st.blocks_dropped_backoff;
+  totals.num_sessions = slots_.size();
+  for (const slot& sl : slots_) {
+    session_stats st{config_.latency_bins};
+    session_state state = session_state::serving;
+    if (sl.live != nullptr) {
+      st = sl.live->stats();
+      state = sl.live->state();
+    } else {
+      // Frozen sessions aggregate from their snapshot in place —
+      // observing the fleet must not change the resident set.
+      const json::value snap = json::from_binary(sl.frozen);
+      st = snapshot_stats(snap, config_.latency_bins);
+      state = snapshot_state(snap);
+    }
+    totals.stats.merge(st);
     totals.sessions_with_attack_events += st.attack_events > 0 ? 1 : 0;
-    switch (s->state()) {
+    switch (state) {
       case session_state::serving:
         break;
       case session_state::degraded:

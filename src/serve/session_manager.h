@@ -29,6 +29,30 @@
 // every shed/reject is counted. The aggregate() view merges per-session
 // counters and latency histograms into the fleet-wide p50/p95/p99 the
 // load bench reports.
+//
+// ---- Session eviction ---------------------------------------------------
+// A voice fleet has far more OPEN sessions than ACTIVE ones: a session
+// is a device, and a device speaks for a few seconds an hour. Keeping a
+// full detection_session resident per open session (detector window
+// state, segmenter buffers, histogram bins) caps the fleet at
+// memory/session — the million-session benchmark needs the resident set
+// bounded by ACTIVITY instead. When serve_config::max_resident_sessions
+// is set, the manager evicts idle least-recently-offered sessions to a
+// compact binary snapshot (detection_session::try_snapshot) and rebuilds
+// them transparently on their next offer. Because the snapshot is
+// bit-exact, eviction is invisible in the verdict/outcome streams — the
+// bit-identity contract above extends across any eviction schedule.
+// Reads (verdicts/outcomes/stats/aggregate) decode the snapshot in
+// place and never rehydrate: observing a session must not change the
+// resident set. Only IDLE sessions evict — queued audio is never
+// serialized — so eviction can transiently overshoot the bound while
+// every candidate is busy; the bound is enforced again at the next
+// offer.
+//
+// Lock order (global): sessions_mutex_ -> sched_mutex_ -> session
+// mutex_. offer() holds sessions_mutex_ across the whole call —
+// rehydrate + enqueue + residency enforcement — so an offer can never
+// race an eviction of the same session and lose its block.
 #pragma once
 
 #include <condition_variable>
@@ -36,7 +60,10 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <queue>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -55,6 +82,21 @@ struct serve_totals {
   std::size_t sessions_degraded = 0;     // ASR stage shed
   std::size_t sessions_recovering = 0;   // working off reopen backoff
   std::size_t sessions_quarantined = 0;  // parked after a fault
+};
+
+// Eviction-layer counters of one manager (one shard).
+struct eviction_stats {
+  eviction_stats() = default;
+  explicit eviction_stats(const histogram_config& bins)
+      : rehydrate_latency{bins} {}
+
+  std::uint64_t evictions = 0;     // sessions frozen to a snapshot
+  std::uint64_t rehydrations = 0;  // sessions rebuilt from one
+  // Bytes currently held by frozen images (the evicted working set).
+  std::uint64_t frozen_bytes = 0;
+  std::size_t resident = 0;  // live sessions at snapshot time
+  // Wall time of each rehydration (decode + rebuild + restore), seconds.
+  log_histogram rehydrate_latency;
 };
 
 class session_manager {
@@ -80,16 +122,25 @@ class session_manager {
   // corrupting the fleet view later.
   std::uint64_t open_session(const serve_config& config);
 
+  // Same, sharing one config object across sessions — what a
+  // million-session fleet uses so the per-session cost is the session,
+  // not a config copy. The pointee must outlive the manager unchanged.
+  std::uint64_t open_session(std::shared_ptr<const serve_config> config);
+
   std::size_t num_sessions() const;
 
-  // Producer side: offers one block to session `id`. Thread-safe. While
-  // streaming, an accepted offer (or a shed_oldest eviction) enqueues
-  // the session on the ready-queue if it is not already queued/claimed.
+  // Producer side: offers one block to session `id`. Thread-safe.
+  // Rehydrates the session first if it was evicted, and enforces the
+  // residency bound afterwards. While streaming, an accepted offer (or
+  // a shed_oldest eviction) enqueues the session on the ready-queue if
+  // it is not already queued/claimed.
   offer_status offer(std::uint64_t id, audio::buffer block);
 
   // Marks a session (or all of them) end-of-stream; the flush happens on
   // the next drain, or — while streaming — as soon as a worker claims
-  // the session.
+  // the session. close() on an evicted session rehydrates it so the
+  // flush can run (no-op when the snapshot is already closed+flushed);
+  // close_all() skips rehydrating those.
   void close(std::uint64_t id);
   void close_all();
 
@@ -118,18 +169,39 @@ class session_manager {
 
   // Recovery: reopens a quarantined session (detection_session::reopen)
   // and — while streaming — puts it back on the ready-queue if it has
-  // queued blocks waiting. Returns false when the session is not
-  // quarantined or a worker still owns it.
+  // queued blocks waiting. Pinned semantics: an unknown id throws
+  // std::invalid_argument (it is a caller bug, same as offer), a known
+  // session that is NOT quarantined returns false and changes nothing,
+  // and an evicted quarantined session is rehydrated first.
   bool reopen(std::uint64_t id);
 
   // close_all() + flush: in streaming mode stops the workers after the
   // flush; otherwise runs a fork-join drain.
   void finish();
 
+  // Direct access to a RESIDENT session (throws std::invalid_argument
+  // when the id is unknown or the session is currently evicted — use
+  // the id-keyed accessors below, which transparently read frozen
+  // sessions too).
   const detection_session& session(std::uint64_t id) const;
 
+  // True while session `id` is live (not evicted).
+  bool resident(std::uint64_t id) const;
+
+  // Evicts session `id` to its snapshot if it is idle; false when it is
+  // busy, has queued work, owes a close() flush, or is already evicted.
+  bool evict(std::uint64_t id);
+
+  // Evicts every idle session (the shard_kill fault: the shard "loses"
+  // its resident state and must serve on from snapshots). Returns how
+  // many sessions were evicted.
+  std::size_t evict_idle();
+
+  eviction_stats eviction() const;
+
   // Snapshot of one session's verdict stream. Safe at any time, even
-  // while streaming workers append.
+  // while streaming workers append; reads an evicted session's stream
+  // out of its frozen snapshot without rehydrating.
   std::vector<defense::stream_event> verdicts(std::uint64_t id) const;
 
   // Snapshot of one session's command-outcome stream (empty unless the
@@ -140,28 +212,59 @@ class session_manager {
   serve_totals aggregate() const;
 
  private:
+  // One session slot: live object while resident, frozen snapshot while
+  // evicted (exactly one of the two is set once the session exists).
+  struct slot {
+    std::shared_ptr<detection_session> live;
+    std::string frozen;  // binary try_snapshot() image when evicted
+    // Per-session config override; null = the fleet config.
+    std::shared_ptr<const serve_config> cfg;
+    std::uint64_t touch = 0;  // last-offer stamp (LRU recency)
+    // Snapshot was closed+flushed: close_all() need not rehydrate it.
+    bool closed_hint = false;
+  };
+
   // Scheduling state of one session on the streaming ready-queue. A
   // session is enqueued at most once (queued), and claimed by at most
   // one worker (claimed) — the exclusive-claim invariant that keeps
   // verdict streams bit-identical.
   enum class sched_state : std::uint8_t { idle, queued, claimed };
 
+  std::uint64_t open_slot(std::shared_ptr<const serve_config> cfg,
+                          const serve_config& effective);
+  // The following helpers all require sessions_mutex_ held.
+  const std::shared_ptr<detection_session>& ensure_resident(std::uint64_t id);
+  bool evict_locked(std::uint64_t id);
+  void enforce_residency();
   // Enqueues session `id` if streaming and the session is idle.
-  void notify_ready(std::uint64_t id, detection_session* s);
+  void notify_ready(std::uint64_t id,
+                    const std::shared_ptr<detection_session>& s);
   void worker_loop();
 
   defense::classifier_detector detector_;
   serve_config config_;
   thread_pool pool_;
-  mutable std::mutex sessions_mutex_;  // guards the vector, not sessions
-  std::vector<std::unique_ptr<detection_session>> sessions_;
+  mutable std::mutex sessions_mutex_;  // guards slots_ + eviction state
+  std::vector<slot> slots_;
+  std::size_t resident_count_ = 0;
+  std::uint64_t touch_counter_ = 0;
+  // Lazy LRU min-heap of (touch-at-push, id). Entries go stale when a
+  // session is touched again; enforce_residency() skips or refreshes
+  // them on pop, so the heap stays O(resident) instead of O(offers).
+  std::priority_queue<std::pair<std::uint64_t, std::uint64_t>,
+                      std::vector<std::pair<std::uint64_t, std::uint64_t>>,
+                      std::greater<>>
+      lru_;
+  eviction_stats evic_;
 
-  // Streaming state. Lock order: sched_mutex_ may be taken while no
-  // session mutex is held, and a session mutex may be taken under
-  // sched_mutex_ (has_work re-check) — never the other way around.
+  // Streaming state. Lock order: sched_mutex_ may be taken under
+  // sessions_mutex_ (offer -> notify_ready), and a session mutex may be
+  // taken under sched_mutex_ (has_work re-check) — never the other way
+  // around.
   mutable std::mutex sched_mutex_;
   std::condition_variable sched_cv_;
-  std::deque<std::pair<std::uint64_t, detection_session*>> ready_;
+  std::deque<std::pair<std::uint64_t, std::shared_ptr<detection_session>>>
+      ready_;
   std::vector<sched_state> sched_;  // indexed by session id
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
+#include "common/json_min.h"
 #include "common/rng.h"
 
 namespace ivc {
@@ -139,6 +141,78 @@ TEST(histogram, reset_preserves_the_binning_config) {
   other.record(0.2);
   h.merge(other);  // still mergeable after reset
   EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(histogram, snapshot_restore_round_trips_exactly) {
+  log_histogram h;
+  ivc::rng rng{17};
+  for (int i = 0; i < 5'000; ++i) {
+    h.record(rng.uniform(1e-6, 10.0));
+  }
+  h.record(0.0);    // clamps into the low edge bin
+  h.record(1e9);    // clamps into the high edge bin
+
+  log_histogram back;
+  back.restore(h.snapshot());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.min(), h.min());
+  EXPECT_EQ(back.max(), h.max());
+  EXPECT_EQ(back.mean(), h.mean());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(back.quantile(q), h.quantile(q)) << q;
+  }
+  // The restored histogram keeps living: identical records afterwards
+  // keep the two bit-identical (what evict→rehydrate→keep-serving needs).
+  h.record(2.5e-3);
+  back.record(2.5e-3);
+  EXPECT_EQ(back.quantile(0.5), h.quantile(0.5));
+  // And it still merges with fleet histograms of the same binning.
+  log_histogram fleet;
+  fleet.merge(back);
+  EXPECT_EQ(fleet.count(), h.count());
+}
+
+TEST(histogram, snapshot_restore_of_empty_histogram) {
+  const log_histogram h;
+  log_histogram back;
+  back.record(1.0);  // restore must clear pre-existing counts
+  back.restore(h.snapshot());
+  EXPECT_EQ(back.count(), 0u);
+  EXPECT_EQ(back.quantile(0.5), 0.0);
+}
+
+TEST(histogram, snapshot_is_sparse_and_text_round_trips) {
+  // A histogram with two occupied bins snapshots to two (index, count)
+  // pairs — and survives the json text writer's full-precision doubles.
+  log_histogram h;
+  h.record(1e-3);
+  h.record(1e-3);
+  h.record(0.5);
+  const json::value snap = json::parse(json::write(h.snapshot()));
+  EXPECT_EQ(snap.find("bins")->items().size(), 4u);
+  log_histogram back;
+  back.restore(snap);
+  EXPECT_EQ(back.count(), 3u);
+  EXPECT_EQ(back.mean(), h.mean());
+  EXPECT_EQ(back.quantile(0.5), h.quantile(0.5));
+}
+
+TEST(histogram, restore_rejects_mismatched_configs) {
+  histogram_config cfg;
+  cfg.bins_per_decade = 4;
+  const log_histogram theirs{cfg};
+  log_histogram mine;  // default binning
+  EXPECT_THROW(mine.restore(theirs.snapshot()), std::invalid_argument);
+  // Corrupt bin indices cannot scribble out of bounds either.
+  json::value snap = mine.snapshot();
+  json::object o = snap.members();
+  for (auto& [key, val] : o) {
+    if (key == "bins") {
+      val = json::value{
+          json::array{json::value{1e9}, json::value{1.0}}};
+    }
+  }
+  EXPECT_THROW(mine.restore(json::value{o}), std::invalid_argument);
 }
 
 }  // namespace

@@ -442,6 +442,36 @@ TEST(fault_containment, reopen_restores_service_after_quarantine) {
   EXPECT_GT(manager.verdicts(sid).size(), 0u);
 }
 
+// Pinned reopen() semantics on the NON-quarantined paths (the happy
+// path above only exercises quarantined → recovering):
+//   * unknown id          → std::invalid_argument (caller bug, like offer)
+//   * serving session     → false, and counts nothing
+//   * evicted non-quarantined session → false WITHOUT rehydrating — a
+//     read-shaped call must not change the resident set.
+TEST(fault_containment, reopen_is_a_noop_on_non_quarantined_sessions) {
+  serve_config cfg = fleet_config();
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+
+  EXPECT_THROW(manager.reopen(sid + 1), std::invalid_argument);
+
+  // Healthy serving session: no-op, nothing counted.
+  manager.offer(sid, audio::silence(0.2, kRate));
+  manager.drain();
+  EXPECT_FALSE(manager.reopen(sid));
+  EXPECT_EQ(manager.session(sid).state(), session_state::serving);
+  EXPECT_EQ(manager.stats(sid).reopens, 0u);
+
+  // Evicted + not quarantined: still false, and the snapshot peek must
+  // leave the session frozen.
+  ASSERT_TRUE(manager.evict(sid));
+  ASSERT_FALSE(manager.resident(sid));
+  EXPECT_FALSE(manager.reopen(sid));
+  EXPECT_FALSE(manager.resident(sid));
+  EXPECT_EQ(manager.stats(sid).reopens, 0u);
+  EXPECT_EQ(manager.eviction().rehydrations, 0u);
+}
+
 TEST(fault_containment, force_quarantine_parks_without_reset) {
   serve_config cfg = fleet_config();
   session_manager manager{tiny_detector(), cfg};
