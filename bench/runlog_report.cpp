@@ -21,13 +21,24 @@
 // red over a slow runner; --strict turns flagged regressions into
 // exit 1 for same-machine comparisons. A missing/metric-less file on
 // either side passes (nothing to compare).
+//
+//   runlog_report --metrics <timeseries.jsonl> [--baseline <previous.jsonl>]
+//
+// Telemetry mode: summarizes a fleet-sampler time-series (the JSONL
+// `serve_load --telemetry` writes during --paced/--shard runs) — sample
+// count, run duration, PEAK resident working set, end-of-run eviction
+// rate, and the final stage-latency quantiles. With --baseline it
+// prints each summary line's delta against a previous run's series, so
+// two telemetry captures diff the way runlog records do.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/json_min.h"
 #include "sim/runlog.h"
 
 namespace {
@@ -107,6 +118,120 @@ int run_perf_gate(const std::string& current_path,
   return 0;
 }
 
+// ---- telemetry time-series summary ----------------------------------
+
+using flat_sample = std::vector<std::pair<std::string, double>>;
+
+double sample_get(const flat_sample& s, const std::string& key,
+                  double fallback = 0.0) {
+  for (const auto& [name, value] : s) {
+    if (name == key) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+// One fleet-sampler line -> flat numeric map; non-numeric members (none
+// today) are skipped rather than rejected, so the reader survives
+// future fields.
+std::vector<flat_sample> read_series(const std::string& path) {
+  std::vector<flat_sample> series;
+  std::ifstream in{path};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const ivc::json::value v = ivc::json::parse(line);
+    flat_sample s;
+    for (const auto& [name, member] : v.members()) {
+      if (member.is_number()) {
+        s.emplace_back(name, member.number());
+      }
+    }
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+// Collapses a series to the summary lines the report prints. Counters
+// and quantiles are cumulative over the run, so the FINAL sample is the
+// whole-run value; `resident` breathes with the eviction cycle, so its
+// summary is the peak across samples.
+flat_sample summarize_series(const std::vector<flat_sample>& series) {
+  flat_sample out;
+  const flat_sample& last = series.back();
+  out.emplace_back("samples", static_cast<double>(series.size()));
+  out.emplace_back("duration_s", sample_get(last, "t_s") -
+                                     sample_get(series.front(), "t_s"));
+  double peak_resident = 0.0;
+  for (const flat_sample& s : series) {
+    peak_resident = std::max(peak_resident, sample_get(s, "resident"));
+  }
+  out.emplace_back("peak_resident", peak_resident);
+  const double offered = sample_get(last, "blocks_offered");
+  const double evictions = sample_get(last, "evictions");
+  out.emplace_back("evictions", evictions);
+  out.emplace_back("rehydrations", sample_get(last, "rehydrations"));
+  out.emplace_back("eviction_rate", offered > 0.0 ? evictions / offered : 0.0);
+  out.emplace_back("frozen_mib",
+                   sample_get(last, "frozen_bytes") / (1024.0 * 1024.0));
+  for (const char* name :
+       {"blocks_offered", "blocks_shed", "blocks_rejected", "quarantines",
+        "reopens", "queue_p50_ms", "queue_p95_ms", "service_p50_ms",
+        "service_p95_ms", "asr_p50_ms", "asr_p95_ms", "shard_kills"}) {
+    for (const auto& [key, value] : last) {
+      if (key == name) {
+        out.emplace_back(name, value);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int run_metrics_summary(const std::string& current_path,
+                        const std::string& baseline_path) {
+  const std::vector<flat_sample> series = read_series(current_path);
+  if (series.empty()) {
+    std::fprintf(stderr, "runlog_report: no samples in %s\n",
+                 current_path.c_str());
+    return 1;
+  }
+  const flat_sample summary = summarize_series(series);
+  flat_sample previous;
+  if (!baseline_path.empty()) {
+    const std::vector<flat_sample> base_series = read_series(baseline_path);
+    if (base_series.empty()) {
+      std::fprintf(stderr, "runlog_report: no samples in baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    previous = summarize_series(base_series);
+  }
+  std::printf("telemetry %s%s%s\n", current_path.c_str(),
+              previous.empty() ? "" : " vs ",
+              previous.empty() ? "" : baseline_path.c_str());
+  for (const auto& [name, now] : summary) {
+    if (previous.empty()) {
+      std::printf("  %-28s %14.6g\n", name.c_str(), now);
+      continue;
+    }
+    const double base = sample_get(previous, name);
+    const double delta = now - base;
+    if (base != 0.0) {
+      std::printf("  %-28s %14.6g   was %-12.6g %+.6g (%+.1f%%)\n",
+                  name.c_str(), now, base, delta,
+                  100.0 * delta / std::abs(base));
+    } else {
+      std::printf("  %-28s %14.6g   was %-12.6g %+.6g\n", name.c_str(), now,
+                  base, delta);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,12 +239,15 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string gate_current;
   std::string gate_baseline;
+  std::string metrics_series;
   double max_regress_pct = 30.0;
   bool strict = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--perf-gate" && i + 1 < argc) {
       gate_current = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_series = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       gate_baseline = argv[++i];
     } else if (arg == "--max-regress" && i + 1 < argc) {
@@ -137,6 +265,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_perf_gate(gate_current, gate_baseline, max_regress_pct, strict);
+  }
+  if (!metrics_series.empty()) {
+    return run_metrics_summary(metrics_series, gate_baseline);
   }
   if (paths.empty()) {
     paths.emplace_back("runlog.jsonl");

@@ -81,12 +81,29 @@
 //   --e2e            end-to-end command-pipeline protocol (see above)
 //   --chaos          deterministic fault-injection sweep (see above)
 //   --shard          sharded front + snapshot/eviction protocol (above)
+//   --telemetry <dir>  emit fleet telemetry into <dir> and CHECK it:
+//                    under --e2e the run matrix widens to 1/2/8 workers
+//                    × fork-join/streaming, each run gets a fresh
+//                    obs::metrics_registry + per-session flight
+//                    recorders, and the deterministic counter
+//                    fingerprint AND the wall-clock-stripped span
+//                    traces must be bit-identical across every run
+//                    (exit 1 on mismatch; metrics.json / metrics.prom /
+//                    trace fingerprints land in <dir>, and a
+//                    `serve-telemetry-v1` record is appended to the run
+//                    log). Under --paced / --shard a background
+//                    obs::fleet_sampler appends a JSONL time-series of
+//                    serve::telemetry_sample() snapshots; under --chaos
+//                    every quarantine dumps its flight recorder to
+//                    <dir>/quarantine_traces.jsonl (checked non-empty
+//                    when faults actually quarantined).
 //
 // The JSON is written to BENCH_serve.json unless --json overrides it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -96,8 +113,12 @@
 #include "common/parallel.h"
 #include "defense/classifier.h"
 #include "defense/detector.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "serve/session_manager.h"
 #include "serve/shard.h"
+#include "serve/telemetry.h"
 #include "sim/corpus.h"
 #include "sim/scenario.h"
 #include "sim/traffic.h"
@@ -270,6 +291,7 @@ struct paced_result {
   double wall_s = 0.0;
   ivc::serve::serve_totals totals;
   std::vector<std::vector<ivc::defense::stream_event>> verdicts;
+  std::size_t telemetry_samples = 0;  // JSONL lines appended (if sampling)
 };
 
 // Replays the timeline against a LIVE streaming manager: start(workers)
@@ -283,7 +305,8 @@ paced_result run_paced(const std::vector<ivc::sim::session_script>& scripts,
                        const std::vector<arrival_event>& timeline,
                        std::size_t num_sessions,
                        const ivc::serve::serve_config& cfg,
-                       std::size_t workers, double pace) {
+                       std::size_t workers, double pace,
+                       const std::string& timeseries_path = {}) {
   using ivc::serve::offer_status;
   namespace chrono = std::chrono;
   ivc::serve::serve_config streaming_cfg = cfg;
@@ -297,6 +320,18 @@ paced_result run_paced(const std::vector<ivc::sim::session_script>& scripts,
   }
   manager.start(workers);
   paced_result result;
+  // Background fleet sampler: one telemetry_sample() line per tick
+  // while the paced replay runs, the time-series runlog_report
+  // --metrics summarizes.
+  std::unique_ptr<ivc::obs::fleet_sampler> sampler;
+  if (!timeseries_path.empty()) {
+    ivc::obs::sampler_config sc;
+    sc.path = timeseries_path;
+    sc.interval_s = 0.05;
+    sampler = std::make_unique<ivc::obs::fleet_sampler>(
+        sc, [&manager] { return ivc::serve::telemetry_sample(manager); });
+    sampler->start();
+  }
   const auto t0 = chrono::steady_clock::now();
   for (const arrival_event& e : timeline) {
     const auto due =
@@ -316,6 +351,10 @@ paced_result run_paced(const std::vector<ivc::sim::session_script>& scripts,
   manager.close_all();
   manager.stop();
   manager.finish();  // sweep any offer that raced the stop
+  if (sampler != nullptr) {
+    sampler->stop();  // takes the final end-of-run sample
+    result.telemetry_samples = sampler->samples();
+  }
   result.wall_s =
       chrono::duration<double>(chrono::steady_clock::now() - t0).count();
   result.totals = manager.aggregate();
@@ -332,7 +371,8 @@ paced_result run_paced(const std::vector<ivc::sim::session_script>& scripts,
 // latency as separate histograms.
 int run_paced_protocol(const ivc::bench::options& opts, bool smoke,
                        std::size_t sessions_override, double pace,
-                       double session_rate_hz) {
+                       double session_rate_hz,
+                       const std::string& telemetry_dir) {
   using namespace ivc;
   const std::size_t hw = default_thread_count();
   const std::size_t num_sessions =
@@ -408,9 +448,21 @@ int run_paced_protocol(const ivc::bench::options& opts, bool smoke,
   std::printf("%8s %9s %9s %10s %10s %10s %12s %12s %7s\n", "workers",
               "wall s", "rtf", "queue p50", "queue p95", "queue p99",
               "service p50", "service p95", "events");
+  std::size_t telemetry_samples = 0;
   for (const std::size_t W : workers) {
+    // The last (widest) worker count is the deployment shape; that run
+    // carries the background fleet sampler when --telemetry is on.
+    const std::string timeseries =
+        !telemetry_dir.empty() && W == workers.back()
+            ? telemetry_dir + "/paced_timeseries.jsonl"
+            : std::string{};
     const paced_result r =
-        run_paced(scripts, timeline, num_sessions, cfg, W, pace);
+        run_paced(scripts, timeline, num_sessions, cfg, W, pace, timeseries);
+    if (!timeseries.empty()) {
+      telemetry_samples = r.telemetry_samples;
+      bench::note("fleet sampler: %zu time-series samples -> %s",
+                  r.telemetry_samples, timeseries.c_str());
+    }
     for (std::size_t s = 0; s < num_sessions; ++s) {
       if (!identical_verdicts(reference[s], r.verdicts[s])) {
         determinism_ok = false;
@@ -459,6 +511,10 @@ int run_paced_protocol(const ivc::bench::options& opts, bool smoke,
   report.add_table("paced_sweep", sweep);
   report.add_metric("determinism_ok", determinism_ok ? 1.0 : 0.0);
   report.add_metric("sessions", static_cast<double>(num_sessions));
+  if (!telemetry_dir.empty()) {
+    report.add_metric("telemetry_samples",
+                      static_cast<double>(telemetry_samples));
+  }
 
   const double elapsed = total_clock.elapsed_s();
   report.add_metric("elapsed_s", elapsed);
@@ -497,7 +553,26 @@ struct e2e_result {
   std::vector<std::vector<ivc::defense::stream_event>> verdicts;
   std::vector<std::vector<ivc::serve::command_outcome>> outcomes;
   std::vector<ivc::serve::session_stats> stats;  // per-session counters
+  // Telemetry fingerprints (empty unless the run carried a registry):
+  // the deterministic counter subset, and every session's flight
+  // recorder with wall-clock fields zeroed — the two strings the
+  // telemetry gate compares bit-for-bit across runs.
+  std::string metrics_fingerprint;
+  std::string trace_fingerprint;
 };
+
+// Canonical text form of a fleet's span traces with the wall-clock
+// fields stripped: [[session 0 spans], [session 1 spans], ...].
+std::string fleet_trace_fingerprint(const ivc::serve::session_manager& m,
+                                    std::size_t num_sessions) {
+  ivc::json::array all;
+  all.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    all.emplace_back(
+        ivc::obs::encode_spans(ivc::obs::strip_wall_clock(m.trace(s))));
+  }
+  return ivc::json::write(ivc::json::value{std::move(all)});
+}
 
 // Feeds the fleet through a manager whose sessions each carry their OWN
 // config (the per-session override path): the fleet config has no
@@ -566,6 +641,10 @@ e2e_result run_e2e(const std::vector<ivc::sim::session_script>& scripts,
     result.outcomes.push_back(manager.outcomes(s));
     result.stats.push_back(manager.stats(s));
   }
+  if (fleet_cfg.metrics != nullptr) {
+    result.metrics_fingerprint = fleet_cfg.metrics->deterministic_fingerprint();
+    result.trace_fingerprint = fleet_trace_fingerprint(manager, num_sessions);
+  }
   return result;
 }
 
@@ -619,15 +698,21 @@ e2e_scorecard score_e2e(const std::vector<ivc::sim::session_script>& scripts,
 // completion rates and the ASR latency histogram split from detector
 // service time.
 int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
-                     std::size_t sessions_override) {
+                     std::size_t sessions_override,
+                     const std::string& telemetry_dir) {
   using namespace ivc;
+  const bool telemetry = !telemetry_dir.empty();
   const std::size_t hw = default_thread_count();
   const std::size_t num_sessions =
       sessions_override > 0 ? sessions_override
                             : (smoke ? std::size_t{64} : std::size_t{128});
+  // With telemetry the worker matrix is pinned to 1/2/8 — the gate
+  // compares counter/span fingerprints across exactly these runs, in
+  // BOTH drain modes, so the records stay comparable across machines.
   std::vector<std::size_t> workers =
-      smoke ? std::vector<std::size_t>{1, 4}
-            : std::vector<std::size_t>{1, 2, 4, hw};
+      telemetry ? std::vector<std::size_t>{1, 2, 8}
+                : (smoke ? std::vector<std::size_t>{1, 4}
+                         : std::vector<std::size_t>{1, 2, 4, hw});
   std::sort(workers.begin(), workers.end());
   workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
 
@@ -670,14 +755,31 @@ int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
   cfg.queue_capacity = 64;
   cfg.policy = serve::overflow_policy::reject;
 
+  // Every telemetry run gets its OWN registry (end-of-run counter values
+  // are what the gate compares — a shared registry would accumulate).
+  std::shared_ptr<obs::metrics_registry> reference_registry;
+  const auto telemetry_cfg = [&](std::shared_ptr<obs::metrics_registry>* out) {
+    serve::serve_config c = cfg;
+    if (telemetry) {
+      auto reg = std::make_shared<obs::metrics_registry>();
+      c.metrics = reg;
+      if (out != nullptr) {
+        *out = std::move(reg);
+      }
+    }
+    return c;
+  };
+
   // ---- Reference: 1-worker fork-join. --------------------------------
   const e2e_result reference =
-      run_e2e(scripts, num_sessions, cfg, /*workers=*/1, /*streaming=*/false);
+      run_e2e(scripts, num_sessions, telemetry_cfg(&reference_registry),
+              /*workers=*/1, /*streaming=*/false);
   const e2e_scorecard card = score_e2e(scripts, reference, num_sessions);
 
   // ---- Replays: fork-join at each worker count + one streaming run, --
   // all bit-identical to the reference in outcomes AND verdicts.
   bool determinism_ok = true;
+  bool telemetry_ok = true;
   sim::result_table sweep{{"mode", "workers"},
                           {"wall_s", "rtf", "service_p50_ms", "asr_p50_ms",
                            "asr_p95_ms", "utterances", "executed", "blocked"}};
@@ -685,9 +787,32 @@ int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
               "wall s", "rtf", "service p50", "asr p50", "asr p95", "utter",
               "exec");
   const auto run_one = [&](const char* mode, std::size_t W, bool streaming) {
-    const e2e_result r = streaming || W != 1
-                             ? run_e2e(scripts, num_sessions, cfg, W, streaming)
-                             : reference;
+    const e2e_result r =
+        streaming || W != 1
+            ? run_e2e(scripts, num_sessions, telemetry_cfg(nullptr), W,
+                      streaming)
+            : reference;
+    if (telemetry && (streaming || W != 1)) {
+      // The telemetry gate proper: the deterministic counter subset and
+      // the wall-stripped span traces must reproduce the reference
+      // byte-for-byte, like the streams themselves.
+      if (r.metrics_fingerprint != reference.metrics_fingerprint) {
+        telemetry_ok = false;
+        std::fprintf(stderr,
+                     "TELEMETRY VIOLATION: deterministic counter "
+                     "fingerprint differs from the reference (%s, %zu "
+                     "workers)\n",
+                     mode, W);
+      }
+      if (r.trace_fingerprint != reference.trace_fingerprint) {
+        telemetry_ok = false;
+        std::fprintf(stderr,
+                     "TELEMETRY VIOLATION: span traces (wall clock "
+                     "stripped) differ from the reference (%s, %zu "
+                     "workers)\n",
+                     mode, W);
+      }
+    }
     for (std::size_t s = 0; s < num_sessions; ++s) {
       if (!identical_verdicts(reference.verdicts[s], r.verdicts[s]) ||
           !identical_outcomes(reference.outcomes[s], r.outcomes[s])) {
@@ -725,7 +850,7 @@ int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
                    static_cast<double>(t.stats.commands_executed),
                    static_cast<double>(t.stats.commands_blocked)};
     sweep.add_row(row);
-    if (streaming) {
+    if (streaming && W == workers.back()) {
       // The streaming run is the deployment shape: its histograms are
       // the report's canonical latency decomposition.
       report.add_latency_metrics("latency", t.stats.latency);
@@ -748,7 +873,15 @@ int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
   for (const std::size_t W : workers) {
     run_one("fork-join", W, /*streaming=*/false);
   }
-  run_one("streaming", workers.back(), /*streaming=*/true);
+  if (telemetry) {
+    // The full telemetry matrix: streaming at EVERY worker count, so
+    // the gate covers 1/2/8 workers × both drain modes.
+    for (const std::size_t W : workers) {
+      run_one("streaming", W, /*streaming=*/true);
+    }
+  } else {
+    run_one("streaming", workers.back(), /*streaming=*/true);
+  }
   sweep.print();
   report.add_table("e2e_sweep", sweep);
   bench::rule();
@@ -788,6 +921,42 @@ int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
   report.add_metric("determinism_ok", determinism_ok ? 1.0 : 0.0);
   report.add_metric("sessions", static_cast<double>(num_sessions));
 
+  // ---- Telemetry artifacts + the serve-telemetry-v1 run record. ------
+  if (telemetry) {
+    const auto write_text = [](const std::string& path,
+                               const std::string& text) {
+      std::ofstream out{path};
+      out << text;
+      return out.good();
+    };
+    write_text(telemetry_dir + "/metrics.json", reference_registry->to_json());
+    write_text(telemetry_dir + "/metrics.prom",
+               reference_registry->to_prometheus());
+    write_text(telemetry_dir + "/counter_fingerprint.json",
+               reference.metrics_fingerprint + "\n");
+    write_text(telemetry_dir + "/trace_fingerprint.json",
+               reference.trace_fingerprint + "\n");
+    bench::json_report tel{smoke ? "SERVE-telemetry-smoke" : "SERVE-telemetry",
+                           "fleet telemetry determinism gate"};
+    tel.set_signature("serve-telemetry-v1");
+    tel.set_seed(7);
+    tel.add_metric("telemetry_deterministic_ok", telemetry_ok ? 1.0 : 0.0);
+    tel.add_metric("runs_compared",
+                   static_cast<double>(2 * workers.size() - 1));
+    tel.add_metric("sessions", static_cast<double>(num_sessions));
+    tel.add_metric("fingerprint_bytes",
+                   static_cast<double>(reference.metrics_fingerprint.size()));
+    tel.add_metric("trace_bytes",
+                   static_cast<double>(reference.trace_fingerprint.size()));
+    bench::options tel_opts = opts;
+    tel_opts.json_path = telemetry_dir + "/BENCH_serve_telemetry.json";
+    tel.write(tel_opts);
+    bench::note("telemetry fingerprints bit-identical across 1/2/8 workers "
+                "x both modes: %s",
+                telemetry_ok ? "yes" : "NO");
+    bench::note("telemetry artifacts in %s", telemetry_dir.c_str());
+  }
+
   const double elapsed = total_clock.elapsed_s();
   report.add_metric("elapsed_s", elapsed);
   bench::rule();
@@ -796,7 +965,7 @@ int run_e2e_protocol(const ivc::bench::options& opts, bool smoke,
               determinism_ok ? "yes" : "NO");
   bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
   report.write(opts);
-  return determinism_ok ? 0 : 1;
+  return determinism_ok && telemetry_ok ? 0 : 1;
 }
 
 // ---- Chaos: deterministic fault sweep (serve-chaos-v1) ---------------
@@ -827,7 +996,8 @@ std::size_t sessions_with_faults(const e2e_result& r) {
 //     actually exercise the machinery: ≥25% of sessions carry faults and
 //     attacker success stays 0%.
 int run_chaos_protocol(const ivc::bench::options& opts, bool smoke,
-                       std::size_t sessions_override) {
+                       std::size_t sessions_override,
+                       const std::string& telemetry_dir) {
   using namespace ivc;
   const std::size_t num_sessions =
       sessions_override > 0 ? sessions_override
@@ -870,9 +1040,19 @@ int run_chaos_protocol(const ivc::bench::options& opts, bool smoke,
   serve::serve_config base_cfg;
   base_cfg.queue_capacity = 64;
   base_cfg.policy = serve::overflow_policy::reject;
+  // With --telemetry every quarantine across every run dumps its flight
+  // recorder to one JSONL file — the chaos run's black-box artifact.
+  std::shared_ptr<obs::jsonl_trace_sink> trace_sink;
+  if (!telemetry_dir.empty()) {
+    const std::string dump_path = telemetry_dir + "/quarantine_traces.jsonl";
+    std::filesystem::remove(dump_path);  // append-only sink: start fresh
+    trace_sink = std::make_shared<obs::jsonl_trace_sink>(dump_path);
+    base_cfg.trace_sink = trace_sink;
+  }
 
   bool determinism_ok = true;
   bool fail_closed_ok = true;
+  std::uint64_t total_quarantines = 0;
   double clean_attacker_success = 0.0;
   double clean_benign_false = 0.0;
   double top_scale_fault_fraction = 0.0;
@@ -959,6 +1139,7 @@ int run_chaos_protocol(const ivc::bench::options& opts, bool smoke,
         }
       }
       const serve::session_stats& t = r.totals.stats;
+      total_quarantines += t.quarantines;
       std::printf("%7.2f %10s %8zu %9.2f %7zu %6llu %6llu %7llu %7llu "
                   "%6.1f%%\n",
                   scale, mode, W, r.wall_s, sessions_with_faults(r),
@@ -1012,6 +1193,21 @@ int run_chaos_protocol(const ivc::bench::options& opts, bool smoke,
                    top_scale_attacker_success);
     }
   }
+  // Quarantine flight-recorder artifact: when the sweep actually parked
+  // sessions, the sink must hold their dumps (a quarantine with no
+  // black-box record is a telemetry bug).
+  bool dumps_ok = true;
+  if (trace_sink != nullptr) {
+    dumps_ok = total_quarantines == 0 || trace_sink->dumps() > 0;
+    bench::note("quarantine flight-recorder dumps: %zu (from %llu "
+                "quarantines) -> %s/quarantine_traces.jsonl — %s",
+                trace_sink->dumps(),
+                static_cast<unsigned long long>(total_quarantines),
+                telemetry_dir.c_str(), dumps_ok ? "ok" : "MISSING");
+    report.add_metric("trace_dumps",
+                      static_cast<double>(trace_sink->dumps()));
+    report.add_metric("trace_dumps_ok", dumps_ok ? 1.0 : 0.0);
+  }
   report.add_metric("determinism_ok", determinism_ok ? 1.0 : 0.0);
   report.add_metric("fail_closed_ok", fail_closed_ok ? 1.0 : 0.0);
   report.add_metric("clean_attacker_success", clean_attacker_success);
@@ -1034,7 +1230,7 @@ int run_chaos_protocol(const ivc::bench::options& opts, bool smoke,
               100.0 * top_scale_attacker_success);
   bench::note("wrote %s in %.2f s", opts.json_path.c_str(), elapsed);
   report.write(opts);
-  return determinism_ok && fail_closed_ok && coverage_ok ? 0 : 1;
+  return determinism_ok && fail_closed_ok && coverage_ok && dumps_ok ? 0 : 1;
 }
 
 // ---- Sharded front + snapshot/eviction (serve-shard-v1) --------------
@@ -1149,7 +1345,8 @@ std::uint64_t fleet_verdict_hash(
 // bounded resident set, plus an eviction-on/off hash check on a
 // sub-fleet.
 int run_shard_protocol(const ivc::bench::options& opts, bool smoke,
-                       std::size_t sessions_override) {
+                       std::size_t sessions_override,
+                       const std::string& telemetry_dir) {
   using namespace ivc;
   const std::size_t hw = default_thread_count();
 
@@ -1352,6 +1549,17 @@ int run_shard_protocol(const ivc::bench::options& opts, bool smoke,
                   static_cast<double>(scale_sessions));
 
   front.start(workers_per_shard);
+  // Fleet sampler over the sharded front: the burst/evict/rehydrate
+  // cycle is exactly the breathing a time-series makes visible.
+  std::unique_ptr<obs::fleet_sampler> sampler;
+  if (!telemetry_dir.empty()) {
+    obs::sampler_config sc;
+    sc.path = telemetry_dir + "/shard_timeseries.jsonl";
+    sc.interval_s = 0.1;
+    sampler = std::make_unique<obs::fleet_sampler>(
+        sc, [&front] { return serve::telemetry_sample(front); });
+    sampler->start();
+  }
   std::size_t peak_resident = 0;
   std::uint64_t offers = 0;
   std::uint64_t rejected_retries = 0;
@@ -1405,6 +1613,13 @@ int run_shard_protocol(const ivc::bench::options& opts, bool smoke,
     }
   }
   front.finish();
+  std::size_t telemetry_samples = 0;
+  if (sampler != nullptr) {
+    sampler->stop();
+    telemetry_samples = sampler->samples();
+    bench::note("telemetry: %zu fleet samples -> %s/shard_timeseries.jsonl",
+                telemetry_samples, telemetry_dir.c_str());
+  }
   const double burst_s = burst_clock.elapsed_s();
   const serve::eviction_stats ev = front.eviction();
   peak_resident = std::max(peak_resident, ev.resident);
@@ -1535,6 +1750,10 @@ int run_shard_protocol(const ivc::bench::options& opts, bool smoke,
   report.add_metric("hash_ok", hash_ok ? 1.0 : 0.0);
   report.add_metric("eviction_engaged_ok",
                     eviction_engaged_ok ? 1.0 : 0.0);
+  if (!telemetry_dir.empty()) {
+    report.add_metric("telemetry_samples",
+                      static_cast<double>(telemetry_samples));
+  }
 
   const double elapsed = total_clock.elapsed_s();
   report.add_metric("elapsed_s", elapsed);
@@ -1562,6 +1781,7 @@ int main(int argc, char** argv) {
   double pace = 4.0;
   double session_rate_hz = 32.0;
   std::size_t sessions_override = 0;
+  std::string telemetry_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -1583,7 +1803,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--sessions" && i + 1 < argc) {
       const long long v = std::atoll(argv[++i]);
       sessions_override = v > 0 ? static_cast<std::size_t>(v) : 0;
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_dir = argv[++i];
     }
+  }
+  if (!telemetry_dir.empty()) {
+    std::filesystem::create_directories(telemetry_dir);
   }
   if (opts.json_path.empty()) {
     opts.json_path = shard ? "BENCH_serve_shard.json"
@@ -1592,17 +1817,17 @@ int main(int argc, char** argv) {
                                            : "BENCH_serve.json"));
   }
   if (shard) {
-    return run_shard_protocol(opts, smoke, sessions_override);
+    return run_shard_protocol(opts, smoke, sessions_override, telemetry_dir);
   }
   if (chaos) {
-    return run_chaos_protocol(opts, smoke, sessions_override);
+    return run_chaos_protocol(opts, smoke, sessions_override, telemetry_dir);
   }
   if (e2e) {
-    return run_e2e_protocol(opts, smoke, sessions_override);
+    return run_e2e_protocol(opts, smoke, sessions_override, telemetry_dir);
   }
   if (paced) {
     return run_paced_protocol(opts, smoke, sessions_override, pace,
-                              session_rate_hz);
+                              session_rate_hz, telemetry_dir);
   }
   const std::size_t hw = default_thread_count();
 

@@ -1,0 +1,115 @@
+#include "obs/sampler.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ivc::obs {
+
+fleet_sampler::fleet_sampler(sampler_config config,
+                             std::function<json::value()> probe)
+    : config_{std::move(config)}, probe_{std::move(probe)} {
+  expects(!config_.path.empty(), "fleet_sampler: empty output path");
+  expects(config_.interval_s > 0.0, "fleet_sampler: interval must be > 0");
+  expects(probe_ != nullptr, "fleet_sampler: null probe");
+}
+
+fleet_sampler::~fleet_sampler() {
+  stop();
+  if (thread_.joinable()) {
+    thread_.join();  // belt-and-braces against a start()/stop() race
+  }
+}
+
+void fleet_sampler::start() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (running_) {
+      return;  // idempotent: already sampling
+    }
+    running_ = true;
+    stopping_ = false;
+    t0_ = std::chrono::steady_clock::now();
+  }
+  take_sample();  // t ~ 0 baseline, before any interval elapses
+  std::lock_guard<std::mutex> lock{mutex_};
+  thread_ = std::thread{[this] { loop(); }};
+}
+
+void fleet_sampler::stop() {
+  std::thread joinee;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (!running_) {
+      return;  // idempotent: not sampling
+    }
+    running_ = false;
+    stopping_ = true;
+    joinee.swap(thread_);
+  }
+  cv_.notify_all();
+  if (joinee.joinable()) {
+    joinee.join();
+  }
+  take_sample();  // final state of the run, after the workers' last tick
+}
+
+bool fleet_sampler::running() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return running_;
+}
+
+std::size_t fleet_sampler::samples() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return samples_;
+}
+
+void fleet_sampler::loop() {
+  const auto interval = std::chrono::duration<double>(config_.interval_s);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      if (cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+        return;  // stop() takes the final sample itself
+      }
+    }
+    take_sample();
+  }
+}
+
+void fleet_sampler::take_sample() {
+  json::value probed;
+  try {
+    probed = probe_();
+  } catch (...) {
+    return;  // a failed probe drops the tick, never the thread
+  }
+  if (!probed.is_object()) {
+    return;
+  }
+  std::chrono::steady_clock::time_point t0;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    t0 = t0_;
+  }
+  const double t_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  json::object line;
+  line.reserve(probed.members().size() + 1);
+  line.emplace_back("t_s", json::value{t_s});
+  for (const auto& [key, val] : probed.members()) {
+    line.emplace_back(key, val);
+  }
+  const std::string text = json::write(json::value{std::move(line)});
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::ofstream out{config_.path, std::ios::app};
+  if (!out.good()) {
+    return;  // an unwritable path drops samples, not the run
+  }
+  out << text << '\n';
+  ++samples_;
+}
+
+}  // namespace ivc::obs

@@ -44,6 +44,7 @@
 #include "asr/segmenter.h"
 #include "audio/buffer.h"
 #include "defense/stream.h"
+#include "obs/registry.h"
 #include "serve/fault.h"
 
 namespace ivc::serve {
@@ -170,6 +171,10 @@ struct pipeline_config {
   // faults key on (kind, session, utterance index).
   std::shared_ptr<const fault_injector> faults;
   std::uint64_t fault_session_id = 0;
+  // Fleet metrics registry for the stage's utterance-outcome counters;
+  // null = no metrics. detection_session propagates its own registry
+  // here so a fleet needs to be wired exactly once.
+  std::shared_ptr<obs::metrics_registry> metrics;
 };
 
 // The per-session stage. Single-consumer, like the stream_detector it
@@ -223,13 +228,30 @@ class command_pipeline {
   const pipeline_config& config() const { return config_; }
 
  private:
+  // Fleet-wide counter handles, registered once per stage construction.
+  // Outcome counts are pure functions of the accepted-block order, so
+  // they stay in the deterministic fingerprint.
+  struct metric_handles {
+    explicit metric_handles(obs::metrics_registry* reg);
+    obs::counter blocked;
+    obs::counter executed;
+    obs::counter rejected;
+    obs::counter ignored;
+    obs::counter deadline_overruns;
+    obs::counter degraded_sheds;
+    obs::counter stage_fault_flushes;
+  };
+
   void absorb_verdicts(const std::vector<defense::stream_event>& verdicts);
   // Resolves pending utterances that are decidable at stream time
   // `consumed_s` (all of them when `flush` is set).
   void resolve_ready(bool flush, std::vector<command_outcome>& out);
   command_outcome resolve(const asr::utterance& u);
+  // Bumps the outcome/fault counters for one resolved utterance.
+  void note(const command_outcome& o);
 
   pipeline_config config_;
+  metric_handles metrics_;
   asr::utterance_segmenter segmenter_;
   intent_engine intent_;
   // Decided attack windows, as [start, end] intervals on the stream.

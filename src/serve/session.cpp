@@ -164,6 +164,32 @@ std::vector<command_outcome> decode_outcomes(const json::value& v) {
   return out;
 }
 
+// Maps a fault counter to the pipeline stage a flight-recorder span
+// attributes the fault to.
+obs::trace_stage fault_stage(std::uint64_t session_stats::* counter) {
+  if (counter == &session_stats::detector_faults) {
+    return obs::trace_stage::detector;
+  }
+  if (counter == &session_stats::recognizer_faults) {
+    return obs::trace_stage::asr;
+  }
+  return obs::trace_stage::ingest;  // corrupt_blocks
+}
+
+const char* outcome_kind_name(command_outcome::kind_t kind) {
+  switch (kind) {
+    case command_outcome::kind_t::blocked:
+      return "blocked";
+    case command_outcome::kind_t::executed:
+      return "executed";
+    case command_outcome::kind_t::rejected_by_asr:
+      return "rejected_by_asr";
+    case command_outcome::kind_t::ignored:
+      return "ignored";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 void session_stats::merge(const session_stats& other) {
@@ -183,6 +209,30 @@ void session_stats::merge(const session_stats& other) {
   asr_service.merge(other.asr_service);
 }
 
+// Registers the fleet-shared cells once per session; every handle
+// degrades to a no-op when the registry is null (telemetry off).
+detection_session::metric_handles::metric_handles(obs::metrics_registry* reg) {
+  if (reg == nullptr) {
+    return;
+  }
+  blocks_processed = reg->get_counter("serve_blocks_processed_total");
+  // Shed/reject counts depend on drain timing (a streaming fleet drains
+  // while producers offer; a fork-join fleet queues first), so they are
+  // excluded from the deterministic fingerprint.
+  blocks_shed = reg->get_counter("serve_blocks_shed_total", {}, false);
+  blocks_rejected = reg->get_counter("serve_blocks_rejected_total", {}, false);
+  events = reg->get_counter("serve_verdicts_total");
+  attack_events = reg->get_counter("serve_attack_verdicts_total");
+  faults_ingest =
+      reg->get_counter("serve_stage_faults_total", {{"stage", "ingest"}});
+  faults_detector =
+      reg->get_counter("serve_stage_faults_total", {{"stage", "detector"}});
+  faults_asr = reg->get_counter("serve_stage_faults_total", {{"stage", "asr"}});
+  quarantines = reg->get_counter("serve_quarantines_total");
+  reopens = reg->get_counter("serve_reopens_total");
+  backoff_drops = reg->get_counter("serve_backoff_dropped_blocks_total");
+}
+
 detection_session::detection_session(std::uint64_t id,
                                      defense::classifier_detector detector,
                                      const serve_config& config)
@@ -191,8 +241,11 @@ detection_session::detection_session(std::uint64_t id,
       policy_{config.policy},
       fault_tolerance_{config.fault_tolerance},
       faults_{config.faults},
+      trace_sink_{config.trace_sink},
+      metrics_{config.metrics.get()},
       ring_(config.queue_capacity),
       stats_{config.latency_bins},
+      trace_{config.trace_spans},
       detector_{std::move(detector), config.stream} {
   expects(capacity_ >= 1, "detection_session: queue capacity must be >= 1");
   if (config.pipeline.has_value()) {
@@ -204,9 +257,13 @@ detection_session::detection_session(std::uint64_t id,
       pc.decision_window_s = config.stream.window_s;
     }
     // The recognizer-site fault coordinates are (kind, session id,
-    // utterance index); the stage inherits the session's injector.
+    // utterance index); the stage inherits the session's injector —
+    // and the fleet metrics registry for its utterance counters.
     if (pc.faults == nullptr) {
       pc.faults = faults_;
+    }
+    if (pc.metrics == nullptr) {
+      pc.metrics = config.metrics;
     }
     pc.fault_session_id = id_;
     pipeline_.emplace(std::move(pc));
@@ -234,9 +291,11 @@ offer_status detection_session::offer(audio::buffer block) {
     switch (policy_) {
       case overflow_policy::shed_newest:
         ++stats_.blocks_shed;
+        metrics_.blocks_shed.inc();
         return offer_status::shed;
       case overflow_policy::reject:
         ++stats_.blocks_rejected;
+        metrics_.blocks_rejected.inc();
         return offer_status::rejected;
       case overflow_policy::shed_oldest:
         // Evict the head slot and fall through to enqueue. NOTE: evicting
@@ -246,6 +305,7 @@ offer_status detection_session::offer(audio::buffer block) {
         head_ = (head_ + 1) % capacity_;
         --count_;
         ++stats_.blocks_shed;
+        metrics_.blocks_shed.inc();
         break;
     }
   }
@@ -363,6 +423,7 @@ bool detection_session::reopen() {
     state_ = session_state::recovering;
     last_error_.clear();
     ++stats_.reopens;
+    metrics_.reopens.inc();
   }
   // A manual reopen grants a fresh retry budget and restarts the backoff
   // ladder at its first rung.
@@ -373,13 +434,31 @@ bool detection_session::reopen() {
 }
 
 void detection_session::force_quarantine(const std::string& what) {
-  std::lock_guard<std::mutex> lock{mutex_};
-  if (state_ == session_state::quarantined) {
-    return;
+  std::vector<obs::span> dump;
+  bool dumped = false;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (state_ == session_state::quarantined) {
+      return;
+    }
+    state_ = session_state::quarantined;
+    last_error_ = what;
+    ++stats_.quarantines;
+    // Final flight-recorder span: no stage attribution (the exception
+    // escaped process() itself), but the error message rides along.
+    trace_.record({obs::trace_stage::quarantine,
+                   consumed_blocks_ > 0 ? consumed_blocks_ - 1 : 0,
+                   stats_.audio_s_processed, 0.0, 0.0, what});
+    if (trace_sink_ != nullptr) {
+      dump = trace_.spans();
+      dumped = true;
+    }
   }
-  state_ = session_state::quarantined;
-  last_error_ = what;
-  ++stats_.quarantines;
+  metrics_.quarantines.inc();
+  if (dumped) {
+    // Outside mutex_: the sink serializes on its own lock and may do IO.
+    trace_sink_->on_quarantine(id_, what, dump);
+  }
 }
 
 // Containment: the calling worker holds busy_; an exception just escaped
@@ -396,18 +475,53 @@ void detection_session::contain_fault(std::uint64_t session_stats::* counter,
   }
   const bool retry = fault_tolerance_.auto_reopen &&
                      reopen_count_ < fault_tolerance_.max_reopens;
+  const obs::trace_stage stage = fault_stage(counter);
+  std::vector<obs::span> dump;
+  bool dumped = false;
   {
     std::lock_guard<std::mutex> lock{mutex_};
     stats_.*counter += 1;
     ++stats_.quarantines;
     record_outcomes(flushed);
     last_error_ = what;
+    // Flight recorder: the fault span carries the FAULTING stage plus
+    // the error message. When the retry budget is spent this is the
+    // ring's final span — the quarantine dump ends with what killed the
+    // session, attributed to the stage that threw.
+    trace_.record({stage, consumed_blocks_ > 0 ? consumed_blocks_ - 1 : 0,
+                   stats_.audio_s_processed, retry ? 1.0 : 0.0, 0.0, what});
     if (retry) {
       state_ = session_state::recovering;
       ++stats_.reopens;
     } else {
       state_ = session_state::quarantined;
     }
+    // A flight recorder dumps on EVERY quarantine entry, recovered or
+    // parked — the crash the ladder papers over is exactly the one the
+    // black box exists to explain. The fault span's value field (1 =
+    // retried, 0 = parked) tells the two apart in the dump.
+    if (trace_sink_ != nullptr) {
+      dump = trace_.spans();
+      dumped = true;
+    }
+  }
+  switch (stage) {
+    case obs::trace_stage::detector:
+      metrics_.faults_detector.inc();
+      break;
+    case obs::trace_stage::asr:
+      metrics_.faults_asr.inc();
+      break;
+    default:
+      metrics_.faults_ingest.inc();
+      break;
+  }
+  metrics_.quarantines.inc();
+  if (retry) {
+    metrics_.reopens.inc();
+  }
+  if (dumped) {
+    trace_sink_->on_quarantine(id_, what, dump);
   }
   if (retry) {
     // Exponential block-counted backoff: 8, 16, 32, ... accepted blocks
@@ -456,6 +570,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
       // Recovering: consume-and-drop until the backoff window passes,
       // then resume scoring with the fresh stages.
       --backoff_remaining_;
+      metrics_.backoff_drops.inc();
       std::lock_guard<std::mutex> lock{mutex_};
       ++stats_.blocks_dropped_backoff;
       if (backoff_remaining_ == 0 && state_ == session_state::recovering) {
@@ -520,9 +635,13 @@ std::size_t detection_session::process(std::size_t max_blocks) {
           std::lock_guard<std::mutex> lock{mutex_};
           verdicts_.insert(verdicts_.end(), events.begin(), events.end());
           stats_.events += events.size();
+          std::uint64_t attacks = 0;
           for (const defense::stream_event& ev : events) {
-            stats_.attack_events += ev.is_attack ? 1 : 0;
+            attacks += ev.is_attack ? 1 : 0;
           }
+          stats_.attack_events += attacks;
+          metrics_.events.inc(events.size());
+          metrics_.attack_events.inc(attacks);
         }
         contain_fault(&session_stats::recognizer_faults, e.what());
         continue;
@@ -546,12 +665,30 @@ std::size_t detection_session::process(std::size_t max_blocks) {
       stats_.samples_processed += samples;
       stats_.audio_s_processed += static_cast<double>(samples) / rate;
       stats_.events += events.size();
+      std::uint64_t attacks = 0;
       for (const defense::stream_event& e : events) {
-        stats_.attack_events += e.is_attack ? 1 : 0;
+        attacks += e.is_attack ? 1 : 0;
       }
+      stats_.attack_events += attacks;
+      metrics_.blocks_processed.inc();
+      metrics_.events.inc(events.size());
+      metrics_.attack_events.inc(attacks);
       stats_.latency.record(latency_s);
       stats_.queue_wait.record(queue_wait_s);
       stats_.service.record(service_s);
+      if (trace_.enabled()) {
+        // Ingest + detector spans of this block, keyed by its accepted-
+        // order index; t_s is the stream position AFTER the block. Only
+        // wall_s (queue wait / detector service time) is non-
+        // deterministic — everything else is a pure function of the
+        // accepted-block order.
+        trace_.record({obs::trace_stage::ingest, block_index,
+                       stats_.audio_s_processed,
+                       static_cast<double>(samples), queue_wait_s, {}});
+        trace_.record({obs::trace_stage::detector, block_index,
+                       stats_.audio_s_processed,
+                       static_cast<double>(events.size()), service_s, {}});
+      }
       record_outcomes(outcomes);
       // Surface the pipeline's degradation ladder as session health.
       if (state_ == session_state::serving && pipeline_.has_value() &&
@@ -613,9 +750,13 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     std::lock_guard<std::mutex> lock{mutex_};
     verdicts_.insert(verdicts_.end(), tail.begin(), tail.end());
     stats_.events += tail.size();
+    std::uint64_t attacks = 0;
     for (const defense::stream_event& e : tail) {
-      stats_.attack_events += e.is_attack ? 1 : 0;
+      attacks += e.is_attack ? 1 : 0;
     }
+    stats_.attack_events += attacks;
+    metrics_.events.inc(tail.size());
+    metrics_.attack_events.inc(attacks);
     record_outcomes(tail_outcomes);
   }
   if (!pipeline_ok) {
@@ -629,6 +770,10 @@ std::size_t detection_session::process(std::size_t max_blocks) {
 void detection_session::record_outcomes(
     const std::vector<command_outcome>& outcomes) {
   for (const command_outcome& o : outcomes) {
+    // Utterance coordinate of the spans below: the position of this
+    // outcome in the session's resolved-utterance order (deterministic,
+    // like everything in the outcome stream).
+    const std::uint64_t uidx = stats_.utterances;
     ++stats_.utterances;
     switch (o.kind) {
       case command_outcome::kind_t::blocked:
@@ -663,6 +808,24 @@ void detection_session::record_outcomes(
     if (o.kind != command_outcome::kind_t::blocked) {
       stats_.asr_service.record(o.asr_s);
     }
+    if (trace_.enabled()) {
+      // ASR span only when the recognizer actually ran (blocked
+      // utterances never reach it); intent span only when an intent was
+      // mapped; outcome span always. All keyed by the utterance index —
+      // wall_s (the recognizer time) is the only non-deterministic
+      // field.
+      if (o.kind != command_outcome::kind_t::blocked) {
+        trace_.record({obs::trace_stage::asr, uidx, o.end_s, o.asr_distance,
+                       o.asr_s, o.command_id});
+      }
+      if (o.kind == command_outcome::kind_t::executed) {
+        trace_.record(
+            {obs::trace_stage::intent, uidx, o.end_s, 1.0, 0.0, o.intent});
+      }
+      trace_.record({obs::trace_stage::outcome, uidx, o.end_s,
+                     static_cast<double>(o.kind), 0.0,
+                     outcome_kind_name(o.kind)});
+    }
   }
   outcomes_.insert(outcomes_.end(), outcomes.begin(), outcomes.end());
 }
@@ -675,6 +838,11 @@ std::vector<defense::stream_event> detection_session::verdicts() const {
 std::vector<command_outcome> detection_session::outcomes() const {
   std::lock_guard<std::mutex> lock{mutex_};
   return outcomes_;
+}
+
+std::vector<obs::span> detection_session::trace() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return trace_.spans();
 }
 
 session_stats detection_session::stats() const {
@@ -707,6 +875,7 @@ json::value detection_session::build_snapshot() const {
                                              : json::value{});
   o.emplace_back("lg",
                  last_good_.empty() ? json::value{} : json::value{last_good_});
+  o.emplace_back("tr", trace_.snapshot());
   return json::value{std::move(o)};
 }
 
@@ -761,6 +930,12 @@ void detection_session::restore(const json::value& snap) {
   }
   const json::value& lg = json::field(snap, "lg");
   last_good_ = lg.is_null() ? std::string{} : lg.string();
+  // Older images (pre-flight-recorder) carry no "tr" field; an empty
+  // ring is the right rehydration for them.
+  const json::value* tr = snap.find("tr");
+  if (tr != nullptr) {
+    trace_.restore(*tr);
+  }
 }
 
 // ---- Frozen-snapshot readers ------------------------------------------
@@ -786,12 +961,24 @@ bool snapshot_closed(const json::value& snap) {
   return json::flag(snap, "cl");
 }
 
+std::string snapshot_last_error(const json::value& snap) {
+  return json::str(snap, "err");
+}
+
 std::vector<defense::stream_event> snapshot_verdicts(const json::value& snap) {
   return decode_verdicts(json::field(snap, "ve"));
 }
 
 std::vector<command_outcome> snapshot_outcomes(const json::value& snap) {
   return decode_outcomes(json::field(snap, "oc"));
+}
+
+std::vector<obs::span> snapshot_trace(const json::value& snap) {
+  const json::value* tr = snap.find("tr");
+  if (tr == nullptr) {
+    return {};  // pre-flight-recorder image
+  }
+  return obs::decode_spans(json::field(*tr, "sp"));
 }
 
 }  // namespace ivc::serve

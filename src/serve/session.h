@@ -34,6 +34,8 @@
 #include "common/json_min.h"
 #include "defense/detector.h"
 #include "defense/stream.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "serve/fault.h"
 #include "serve/pipeline.h"
 
@@ -123,6 +125,20 @@ struct serve_config {
   // const-thread-safe; null = no injection. The per-session pipeline
   // inherits it for the recognizer sites.
   std::shared_ptr<const fault_injector> faults;
+  // ---- Observability -------------------------------------------------
+  // Fleet-wide metrics registry, shared by every session/manager/shard
+  // of the front; null = no metrics (handles degrade to no-ops). The
+  // per-session pipeline inherits it for the utterance counters.
+  std::shared_ptr<obs::metrics_registry> metrics;
+  // Flight recorder: how many stage spans (ingest -> detector -> ASR ->
+  // intent -> outcome) each session retains in its bounded trace ring.
+  // 0 disables span tracing entirely.
+  std::size_t trace_spans = 64;
+  // Notified with the flight-recorder dump on every quarantine entry —
+  // retried containment, terminal containment, and force_quarantine
+  // alike (the fault span's value field marks retried=1 vs parked=0).
+  // Shared and thread-safe; null = dumps only on demand via trace().
+  std::shared_ptr<obs::trace_sink> trace_sink;
 };
 
 enum class offer_status {
@@ -259,6 +275,11 @@ class detection_session {
   // no pipeline configured). Same safety contract as verdicts().
   std::vector<command_outcome> outcomes() const;
 
+  // Flight recorder: the retained stage spans, oldest -> newest (empty
+  // when serve_config::trace_spans is 0). Same safety contract as
+  // verdicts(); every field except span::wall_s is deterministic.
+  std::vector<obs::span> trace() const;
+
   session_stats stats() const;
 
   // ---- Eviction snapshots ---------------------------------------------
@@ -307,14 +328,38 @@ class detection_session {
   // Serializes everything; caller holds busy_ AND mutex_.
   json::value build_snapshot() const;
 
+  // Fleet-shared metric handles of one session. All hot-path bumps are
+  // relaxed atomics on registry cells shared across the fleet (no
+  // per-session cardinality); a null registry leaves every handle a
+  // no-op. The set mirrors the deterministic counter families of
+  // session_stats — scheduling-dependent counts (sheds, rejects) are
+  // registered non-deterministic so the telemetry fingerprint stays
+  // bit-identical across worker counts.
+  struct metric_handles {
+    explicit metric_handles(obs::metrics_registry* reg);
+    obs::counter blocks_processed;
+    obs::counter blocks_shed;      // non-deterministic: drain timing
+    obs::counter blocks_rejected;  // non-deterministic: drain timing
+    obs::counter events;
+    obs::counter attack_events;
+    obs::counter faults_ingest;    // corrupt blocks, by stage label
+    obs::counter faults_detector;
+    obs::counter faults_asr;
+    obs::counter quarantines;
+    obs::counter reopens;
+    obs::counter backoff_drops;
+  };
+
   const std::uint64_t id_;
   const std::size_t capacity_;
   const overflow_policy policy_;
   const fault_tolerance_config fault_tolerance_;
   const std::shared_ptr<const fault_injector> faults_;
+  const std::shared_ptr<obs::trace_sink> trace_sink_;
+  const metric_handles metrics_;
 
   mutable std::mutex mutex_;  // guards ring_, stats_, closed_, verdicts_,
-                              // state_, last_error_
+                              // state_, last_error_, trace_
   std::vector<queued_block> ring_;
   std::size_t head_ = 0;   // oldest queued block
   std::size_t count_ = 0;  // queued blocks
@@ -325,6 +370,9 @@ class detection_session {
   std::string last_error_;
   std::vector<defense::stream_event> verdicts_;
   std::vector<command_outcome> outcomes_;
+  // Bounded flight recorder (see obs/trace.h). Guarded by mutex_ like
+  // the streams; serialized with the snapshot so eviction preserves it.
+  obs::trace_ring trace_;
 
   std::atomic<bool> busy_{false};  // one worker at a time
 
@@ -354,7 +402,9 @@ session_stats snapshot_stats(const json::value& snap,
                              const histogram_config& bins);
 session_state snapshot_state(const json::value& snap);
 bool snapshot_closed(const json::value& snap);
+std::string snapshot_last_error(const json::value& snap);
 std::vector<defense::stream_event> snapshot_verdicts(const json::value& snap);
 std::vector<command_outcome> snapshot_outcomes(const json::value& snap);
+std::vector<obs::span> snapshot_trace(const json::value& snap);
 
 }  // namespace ivc::serve

@@ -7,10 +7,29 @@
 
 namespace ivc::serve {
 
+session_manager::metric_handles::metric_handles(obs::metrics_registry* reg)
+    : evictions{reg == nullptr
+                    ? obs::counter{}
+                    : reg->get_counter("serve_evictions_total", {},
+                                       /*deterministic=*/false)},
+      rehydrations{reg == nullptr
+                       ? obs::counter{}
+                       : reg->get_counter("serve_rehydrations_total", {},
+                                          /*deterministic=*/false)},
+      resident{reg == nullptr ? obs::gauge{}
+                              : reg->get_gauge("serve_resident_sessions")},
+      frozen_bytes{reg == nullptr ? obs::gauge{}
+                                  : reg->get_gauge("serve_frozen_bytes")},
+      rehydrate_latency{
+          reg == nullptr
+              ? obs::histogram{}
+              : reg->get_histogram("serve_rehydrate_latency_seconds")} {}
+
 session_manager::session_manager(defense::classifier_detector detector,
                                  serve_config config)
     : detector_{std::move(detector)},
       config_{config},
+      metrics_{config.metrics.get()},
       pool_{config.worker_threads},
       evic_{config.latency_bins} {}
 
@@ -46,6 +65,7 @@ std::uint64_t session_manager::open_slot(
   sl.touch = ++touch_counter_;
   slots_.push_back(std::move(sl));
   ++resident_count_;
+  metrics_.resident.set(static_cast<double>(resident_count_));
   if (config_.max_resident_sessions > 0) {
     lru_.emplace(slots_.back().touch, id);
   }
@@ -101,9 +121,14 @@ const std::shared_ptr<detection_session>& session_manager::ensure_resident(
   if (config_.max_resident_sessions > 0) {
     lru_.emplace(sl.touch, id);
   }
-  evic_.rehydrate_latency.record(
+  const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count());
+          .count();
+  evic_.rehydrate_latency.record(dt);
+  metrics_.rehydrations.inc();
+  metrics_.rehydrate_latency.record(dt);
+  metrics_.resident.set(static_cast<double>(resident_count_));
+  metrics_.frozen_bytes.set(static_cast<double>(evic_.frozen_bytes));
   return sl.live;
 }
 
@@ -118,11 +143,18 @@ bool session_manager::evict_locked(std::uint64_t id) {
     return false;  // busy, queued work, or a close() flush owed
   }
   sl.closed_hint = snapshot_closed(snap);
+  // Cache the health facts aggregate() needs, so the fleet roll-up
+  // never decodes frozen images just to count quarantined sessions.
+  sl.state_hint = snapshot_state(snap);
+  sl.err_hint = snapshot_last_error(snap);
   sl.frozen = json::to_binary(snap);
   evic_.frozen_bytes += sl.frozen.size();
   sl.live.reset();
   --resident_count_;
   ++evic_.evictions;
+  metrics_.evictions.inc();
+  metrics_.resident.set(static_cast<double>(resident_count_));
+  metrics_.frozen_bytes.set(static_cast<double>(evic_.frozen_bytes));
   return true;
 }
 
@@ -460,18 +492,25 @@ serve_totals session_manager::aggregate() const {
   serve_totals totals;
   totals.stats = session_stats{config_.latency_bins};
   totals.num_sessions = slots_.size();
-  for (const slot& sl : slots_) {
+  for (std::uint64_t id = 0; id < slots_.size(); ++id) {
+    const slot& sl = slots_[id];
     session_stats st{config_.latency_bins};
     session_state state = session_state::serving;
+    std::string error;
     if (sl.live != nullptr) {
       st = sl.live->stats();
       state = sl.live->state();
+      if (state == session_state::quarantined) {
+        error = sl.live->last_error();
+      }
     } else {
       // Frozen sessions aggregate from their snapshot in place —
-      // observing the fleet must not change the resident set.
-      const json::value snap = json::from_binary(sl.frozen);
-      st = snapshot_stats(snap, config_.latency_bins);
-      state = snapshot_state(snap);
+      // observing the fleet must not change the resident set. The
+      // health facts come from the freeze-time hints, not a decode.
+      st = snapshot_stats(json::from_binary(sl.frozen),
+                          config_.latency_bins);
+      state = sl.state_hint;
+      error = sl.err_hint;
     }
     totals.stats.merge(st);
     totals.sessions_with_attack_events += st.attack_events > 0 ? 1 : 0;
@@ -486,10 +525,38 @@ serve_totals session_manager::aggregate() const {
         break;
       case session_state::quarantined:
         ++totals.sessions_quarantined;
+        totals.quarantine_errors.emplace_back(id, std::move(error));
         break;
     }
   }
   return totals;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>>
+session_manager::quarantine_errors() const {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  for (std::uint64_t id = 0; id < slots_.size(); ++id) {
+    const slot& sl = slots_[id];
+    if (sl.live != nullptr) {
+      if (sl.live->state() == session_state::quarantined) {
+        out.emplace_back(id, sl.live->last_error());
+      }
+    } else if (sl.state_hint == session_state::quarantined) {
+      out.emplace_back(id, sl.err_hint);
+    }
+  }
+  return out;
+}
+
+std::vector<obs::span> session_manager::trace(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  expects(id < slots_.size(), "session_manager: unknown session id");
+  const slot& sl = slots_[id];
+  if (sl.live != nullptr) {
+    return sl.live->trace();
+  }
+  return snapshot_trace(json::from_binary(sl.frozen));
 }
 
 }  // namespace ivc::serve

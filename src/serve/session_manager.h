@@ -82,6 +82,10 @@ struct serve_totals {
   std::size_t sessions_degraded = 0;     // ASR stage shed
   std::size_t sessions_recovering = 0;   // working off reopen backoff
   std::size_t sessions_quarantined = 0;  // parked after a fault
+  // (session id, last_error()) of every quarantined session — resident
+  // or frozen — so an operator sees WHY each parked session parked
+  // without touching the resident set.
+  std::vector<std::pair<std::uint64_t, std::string>> quarantine_errors;
 };
 
 // Eviction-layer counters of one manager (one shard).
@@ -211,6 +215,17 @@ class session_manager {
   session_stats stats(std::uint64_t id) const;
   serve_totals aggregate() const;
 
+  // Flight-recorder dump of one session's span trace (oldest → newest).
+  // Reads an evicted session's trace out of its frozen snapshot without
+  // rehydrating, like the other id-keyed accessors.
+  std::vector<obs::span> trace(std::uint64_t id) const;
+
+  // (id, last_error()) of every quarantined session. Cheap: uses the
+  // live object or the freeze-time hint, never decodes a frozen image —
+  // safe to poll from a sampler thread.
+  std::vector<std::pair<std::uint64_t, std::string>> quarantine_errors()
+      const;
+
  private:
   // One session slot: live object while resident, frozen snapshot while
   // evicted (exactly one of the two is set once the session exists).
@@ -222,6 +237,11 @@ class session_manager {
     std::uint64_t touch = 0;  // last-offer stamp (LRU recency)
     // Snapshot was closed+flushed: close_all() need not rehydrate it.
     bool closed_hint = false;
+    // State and last_error() at freeze time, cached so the fleet health
+    // roll-up (aggregate()) never decodes a frozen image just to ask
+    // "is it quarantined, and why".
+    session_state state_hint = session_state::serving;
+    std::string err_hint;
   };
 
   // Scheduling state of one session on the streaming ready-queue. A
@@ -229,6 +249,19 @@ class session_manager {
   // one worker (claimed) — the exclusive-claim invariant that keeps
   // verdict streams bit-identical.
   enum class sched_state : std::uint8_t { idle, queued, claimed };
+
+  // Eviction-layer registry handles (no-ops when config_.metrics is
+  // null). Eviction/rehydration counts are SCHEDULING events —
+  // registered deterministic=false — and the resident/frozen gauges are
+  // point-in-time by nature.
+  struct metric_handles {
+    explicit metric_handles(obs::metrics_registry* reg);
+    obs::counter evictions;
+    obs::counter rehydrations;
+    obs::gauge resident;
+    obs::gauge frozen_bytes;
+    obs::histogram rehydrate_latency;
+  };
 
   std::uint64_t open_slot(std::shared_ptr<const serve_config> cfg,
                           const serve_config& effective);
@@ -243,6 +276,7 @@ class session_manager {
 
   defense::classifier_detector detector_;
   serve_config config_;
+  metric_handles metrics_;
   thread_pool pool_;
   mutable std::mutex sessions_mutex_;  // guards slots_ + eviction state
   std::vector<slot> slots_;

@@ -190,17 +190,37 @@ session_stats shard_manager::stats(std::uint64_t id) const {
   return shards_[r.shard]->stats(r.local);
 }
 
+std::vector<obs::span> shard_manager::trace(std::uint64_t id) const {
+  const route r = route_of(id);
+  return shards_[r.shard]->trace(r.local);
+}
+
+std::vector<std::vector<std::uint64_t>> shard_manager::global_ids() const {
+  std::vector<std::vector<std::uint64_t>> to_global(shards_.size());
+  std::lock_guard<std::mutex> lock{routes_mutex_};
+  for (std::uint64_t gid = 0; gid < routes_.size(); ++gid) {
+    // open_session hands out local ids densely in global-id order, so
+    // this scan appends each shard's table already in local-id order.
+    to_global[routes_[gid].shard].push_back(gid);
+  }
+  return to_global;
+}
+
 serve_totals shard_manager::aggregate() const {
+  const std::vector<std::vector<std::uint64_t>> to_global = global_ids();
   serve_totals totals;
   totals.stats = session_stats{config_.latency_bins};
-  for (const std::unique_ptr<session_manager>& sh : shards_) {
-    const serve_totals t = sh->aggregate();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const serve_totals t = shards_[i]->aggregate();
     totals.stats.merge(t.stats);
     totals.num_sessions += t.num_sessions;
     totals.sessions_with_attack_events += t.sessions_with_attack_events;
     totals.sessions_degraded += t.sessions_degraded;
     totals.sessions_recovering += t.sessions_recovering;
     totals.sessions_quarantined += t.sessions_quarantined;
+    for (const auto& [local, err] : t.quarantine_errors) {
+      totals.quarantine_errors.emplace_back(to_global[i][local], err);
+    }
   }
   return totals;
 }
@@ -228,6 +248,7 @@ shard_balance shard_manager::balance() const {
     offers = offers_;
     kills = shard_kills_;
   }
+  const std::vector<std::vector<std::uint64_t>> to_global = global_ids();
   std::size_t total = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shard_load load;
@@ -238,6 +259,12 @@ shard_balance shard_manager::balance() const {
     load.rehydrations = e.rehydrations;
     load.offers = offers[i];
     load.shard_kills = kills[i];
+    const std::vector<std::pair<std::uint64_t, std::string>> parked =
+        shards_[i]->quarantine_errors();
+    load.quarantined = parked.size();
+    for (const auto& [local, err] : parked) {
+      out.quarantine_errors.emplace_back(to_global[i][local], err);
+    }
     if (i == 0 || load.sessions < out.min_sessions) {
       out.min_sessions = load.sessions;
     }

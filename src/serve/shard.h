@@ -46,7 +46,8 @@ struct shard_load {
   std::uint64_t offers = 0;   // blocks routed through this shard
   std::uint64_t evictions = 0;
   std::uint64_t rehydrations = 0;
-  std::uint64_t shard_kills = 0;  // shard_kill faults fired here
+  std::uint64_t shard_kills = 0;   // shard_kill faults fired here
+  std::size_t quarantined = 0;     // sessions parked on this shard
 };
 
 struct shard_balance {
@@ -54,6 +55,10 @@ struct shard_balance {
   std::size_t min_sessions = 0;
   std::size_t max_sessions = 0;
   double mean_sessions = 0.0;
+  // (GLOBAL session id, last_error()) of every quarantined session in
+  // the fleet — the shard-local ids from each session_manager are
+  // mapped back through the routing table.
+  std::vector<std::pair<std::uint64_t, std::string>> quarantine_errors;
 };
 
 class shard_manager {
@@ -113,6 +118,10 @@ class shard_manager {
   std::vector<command_outcome> outcomes(std::uint64_t id) const;
   session_stats stats(std::uint64_t id) const;
 
+  // Flight-recorder dump of one session's span trace, routed to its
+  // shard (reads frozen sessions in place, like the other accessors).
+  std::vector<obs::span> trace(std::uint64_t id) const;
+
   // Cross-shard fleet totals: per-shard aggregates summed, histograms
   // merged (same binning everywhere by construction).
   serve_totals aggregate() const;
@@ -131,6 +140,9 @@ class shard_manager {
 
   route route_of(std::uint64_t id) const;
   std::uint64_t open_routed(std::uint64_t* shard_out);
+  // Per-shard local-id -> global-id tables (one routes_ scan; local ids
+  // are dense in open order, so the tables build by append).
+  std::vector<std::vector<std::uint64_t>> global_ids() const;
 
   serve_config config_;
   std::vector<std::unique_ptr<session_manager>> shards_;

@@ -1,0 +1,72 @@
+#include "serve/telemetry.h"
+
+namespace ivc::serve {
+namespace {
+
+void put(json::object& o, const char* key, double v) {
+  o.emplace_back(key, json::value{v});
+}
+
+void put_u64(json::object& o, const char* key, std::uint64_t v) {
+  o.emplace_back(key, json::value{static_cast<double>(v)});
+}
+
+// The shared middle of both probes: fleet totals + eviction layer.
+void fill_fleet_fields(json::object& o, const serve_totals& totals,
+                       const eviction_stats& evic) {
+  put_u64(o, "sessions", totals.num_sessions);
+  put_u64(o, "resident", evic.resident);
+  put_u64(o, "evictions", evic.evictions);
+  put_u64(o, "rehydrations", evic.rehydrations);
+  put_u64(o, "frozen_bytes", evic.frozen_bytes);
+  const session_stats& st = totals.stats;
+  put_u64(o, "blocks_offered", st.blocks_offered);
+  put_u64(o, "blocks_processed", st.blocks_processed);
+  put_u64(o, "blocks_shed", st.blocks_shed);
+  put_u64(o, "blocks_rejected", st.blocks_rejected);
+  put(o, "audio_s", st.audio_s_processed);
+  put_u64(o, "events", st.events);
+  put_u64(o, "attack_events", st.attack_events);
+  put_u64(o, "utterances", st.utterances);
+  put_u64(o, "commands_executed", st.commands_executed);
+  put_u64(o, "commands_blocked", st.commands_blocked);
+  put_u64(o, "degraded", totals.sessions_degraded);
+  put_u64(o, "recovering", totals.sessions_recovering);
+  put_u64(o, "quarantined", totals.sessions_quarantined);
+  put_u64(o, "quarantines", st.quarantines);
+  put_u64(o, "reopens", st.reopens);
+  // Stage-latency quantiles in milliseconds, one pair per stage so a
+  // time-series can tell congestion (queue growth) from slow scoring.
+  put(o, "queue_p50_ms", st.queue_wait.quantile(0.50) * 1e3);
+  put(o, "queue_p95_ms", st.queue_wait.quantile(0.95) * 1e3);
+  put(o, "service_p50_ms", st.service.quantile(0.50) * 1e3);
+  put(o, "service_p95_ms", st.service.quantile(0.95) * 1e3);
+  put(o, "asr_p50_ms", st.asr_service.quantile(0.50) * 1e3);
+  put(o, "asr_p95_ms", st.asr_service.quantile(0.95) * 1e3);
+}
+
+}  // namespace
+
+json::value telemetry_sample(const session_manager& manager) {
+  json::object o;
+  fill_fleet_fields(o, manager.aggregate(), manager.eviction());
+  return json::value{std::move(o)};
+}
+
+json::value telemetry_sample(const shard_manager& front) {
+  json::object o;
+  fill_fleet_fields(o, front.aggregate(), front.eviction());
+  const shard_balance bal = front.balance();
+  put_u64(o, "shards", bal.shards.size());
+  put_u64(o, "shard_min_sessions", bal.min_sessions);
+  put_u64(o, "shard_max_sessions", bal.max_sessions);
+  put(o, "shard_mean_sessions", bal.mean_sessions);
+  std::uint64_t kills = 0;
+  for (const shard_load& s : bal.shards) {
+    kills += s.shard_kills;
+  }
+  put_u64(o, "shard_kills", kills);
+  return json::value{std::move(o)};
+}
+
+}  // namespace ivc::serve

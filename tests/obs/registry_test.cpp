@@ -1,0 +1,157 @@
+// Lock-sharded metrics registry: handle identity, no-op null handles,
+// kind/flag mismatch rejection, and the deterministic-subset export the
+// serve telemetry gate compares across worker counts.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_min.h"
+
+namespace ivc::obs {
+namespace {
+
+TEST(metrics_registry, same_identity_returns_the_same_cell) {
+  metrics_registry reg;
+  const counter a = reg.get_counter("requests_total", {{"shard", "0"}});
+  // Label order is not part of the identity: the registry sorts keys.
+  const counter b =
+      reg.get_counter("requests_total", {{"shard", "0"}});
+  a.inc(3);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+  // A different label VALUE is a different cell.
+  const counter c = reg.get_counter("requests_total", {{"shard", "1"}});
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(metrics_registry, label_order_is_canonicalized) {
+  metrics_registry reg;
+  const counter a =
+      reg.get_counter("io_total", {{"dir", "in"}, {"kind", "block"}});
+  const counter b =
+      reg.get_counter("io_total", {{"kind", "block"}, {"dir", "in"}});
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(metrics_registry, default_handles_are_no_ops) {
+  // Telemetry off = null registry = default-constructed handles. All
+  // operations must be safe and absorbing.
+  counter c;
+  gauge g;
+  histogram h;
+  EXPECT_FALSE(static_cast<bool>(c));
+  c.inc(10);
+  EXPECT_EQ(c.value(), 0u);
+  g.set(5.0);
+  g.add(1.0);
+  EXPECT_EQ(g.value(), 0.0);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(metrics_registry, kind_and_determinism_mismatches_throw) {
+  metrics_registry reg;
+  (void)reg.get_counter("x_total");
+  EXPECT_THROW((void)reg.get_gauge("x_total"), std::invalid_argument);
+  EXPECT_THROW((void)reg.get_histogram("x_total"), std::invalid_argument);
+  // Same identity, flipped deterministic flag: the two sides of the
+  // telemetry gate must never silently share a cell.
+  EXPECT_THROW((void)reg.get_counter("x_total", {}, /*deterministic=*/false),
+               std::invalid_argument);
+}
+
+TEST(metrics_registry, gauges_set_and_add) {
+  metrics_registry reg;
+  const gauge g = reg.get_gauge("resident");
+  g.set(8.0);
+  g.add(-3.0);
+  EXPECT_EQ(g.value(), 5.0);
+}
+
+TEST(metrics_registry, histograms_record_and_answer_quantiles) {
+  metrics_registry reg;
+  const histogram h = reg.get_histogram("latency_seconds");
+  for (int i = 1; i <= 100; ++i) {
+    h.record(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GT(h.quantile(0.95), h.quantile(0.50));
+}
+
+TEST(metrics_registry, fingerprint_exports_only_the_deterministic_subset) {
+  metrics_registry reg;
+  reg.get_counter("det_total", {}, true).inc(7);
+  reg.get_counter("sched_total", {}, false).inc(9);
+  reg.get_gauge("resident").set(3.0);
+  const std::string fp = reg.deterministic_fingerprint();
+  EXPECT_NE(fp.find("det_total"), std::string::npos);
+  EXPECT_EQ(fp.find("sched_total"), std::string::npos);
+  EXPECT_EQ(fp.find("resident"), std::string::npos);
+  // Byte-stable: a second export of the same state is identical.
+  EXPECT_EQ(fp, reg.deterministic_fingerprint());
+  // And it parses back to the recorded value.
+  const json::value v = json::parse(fp);
+  ASSERT_NE(v.find("det_total"), nullptr);
+  EXPECT_EQ(v.find("det_total")->number(), 7.0);
+}
+
+TEST(metrics_registry, snapshot_and_prometheus_cover_all_kinds) {
+  metrics_registry reg;
+  reg.get_counter("events_total", {{"kind", "attack"}}).inc(2);
+  reg.get_gauge("frozen_bytes").set(1024.0);
+  reg.get_histogram("rehydrate_seconds").record(0.002);
+  const json::value snap = reg.snapshot();
+  ASSERT_NE(snap.find("counters"), nullptr);
+  ASSERT_NE(snap.find("gauges"), nullptr);
+  ASSERT_NE(snap.find("histograms"), nullptr);
+  EXPECT_EQ(snap.find("counters")->items().size(), 1u);
+  // to_json is the compact text of snapshot() — must parse back.
+  EXPECT_NO_THROW((void)json::parse(reg.to_json()));
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE events_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("events_total{kind=\"attack\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE frozen_bytes gauge"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.5\""), std::string::npos);
+}
+
+TEST(metrics_registry, concurrent_increments_do_not_lose_counts) {
+  metrics_registry reg;
+  const counter c = reg.get_counter("hot_total");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    // Half the threads re-register on purpose: registration must be
+    // thread-safe and land on the same cell.
+    threads.emplace_back([&reg, c, t] {
+      const counter mine =
+          t % 2 == 0 ? c : reg.get_counter("hot_total");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        mine.inc();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(metrics_registry, rejects_duplicate_label_keys) {
+  metrics_registry reg;
+  EXPECT_THROW(
+      (void)reg.get_counter("dup_total", {{"k", "a"}, {"k", "b"}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ivc::obs

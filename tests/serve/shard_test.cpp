@@ -311,6 +311,74 @@ TEST(shard, shard_kill_is_invisible_in_the_streams) {
             got.totals.stats.commands_blocked);
 }
 
+// ---- balance + eviction counters under streaming drain ---------------
+
+// balance() is the fleet operator's load view; this pins its counters
+// while the hard mode runs — streaming workers (start/stop) with a
+// per-shard residency bound forcing the evict/rehydrate cycle.
+TEST(shard, balance_counts_evictions_under_streaming_drain) {
+  const std::vector<audio::buffer> streams = fleet_streams(8);
+  fleet_params p;
+  p.shards = 2;
+  p.workers = 2;
+  p.streaming = true;
+  p.max_resident = 1;  // per shard: every round trips the eviction heap
+  const fleet_result r = run_fleet(streams, 2'048, p);
+
+  // The bound actually engaged, and rehydration brought sessions back.
+  EXPECT_GT(r.eviction.evictions, 0u);
+  EXPECT_GT(r.eviction.rehydrations, 0u);
+  EXPECT_EQ(r.eviction.rehydrate_latency.count(), r.eviction.rehydrations);
+
+  // Per-shard rows sum to the fleet eviction totals...
+  ASSERT_EQ(r.balance.shards.size(), 2u);
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+  std::uint64_t offers = 0;
+  std::size_t sessions = 0;
+  std::size_t resident = 0;
+  for (const shard_load& l : r.balance.shards) {
+    evictions += l.evictions;
+    rehydrations += l.rehydrations;
+    offers += l.offers;
+    sessions += l.sessions;
+    resident += l.resident;
+    EXPECT_EQ(l.quarantined, 0u);  // healthy run
+  }
+  EXPECT_EQ(evictions, r.eviction.evictions);
+  EXPECT_EQ(rehydrations, r.eviction.rehydrations);
+  EXPECT_EQ(sessions, streams.size());
+  EXPECT_EQ(resident, r.eviction.resident);
+  // ...and every offer the round-robin producer made was routed.
+  std::size_t expected_offers = 0;
+  for (const audio::buffer& st : streams) {
+    expected_offers += (st.size() + 2'048 - 1) / 2'048;
+  }
+  EXPECT_EQ(offers, expected_offers);
+  // min/max/mean stay consistent with the per-shard rows.
+  EXPECT_EQ(r.balance.min_sessions,
+            std::min(r.balance.shards[0].sessions,
+                     r.balance.shards[1].sessions));
+  EXPECT_EQ(r.balance.max_sessions,
+            std::max(r.balance.shards[0].sessions,
+                     r.balance.shards[1].sessions));
+  EXPECT_DOUBLE_EQ(r.balance.mean_sessions,
+                   static_cast<double>(streams.size()) / 2.0);
+
+  // Same evicting streaming run, different shard count: the streams are
+  // bit-identical (the tentpole contract), only the load view moves.
+  fleet_params q = p;
+  q.shards = 1;
+  const fleet_result single = run_fleet(streams, 2'048, q);
+  EXPECT_GT(single.eviction.evictions, 0u);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    expect_same_verdicts(single.verdicts[s], r.verdicts[s],
+                         "session " + std::to_string(s));
+    expect_same_outcomes(single.outcomes[s], r.outcomes[s],
+                         "session " + std::to_string(s));
+  }
+}
+
 TEST(shard, front_validates_inputs) {
   serve_config cfg;
   EXPECT_THROW(shard_manager(tiny_detector(), cfg, 0), std::invalid_argument);

@@ -1,0 +1,481 @@
+// Fleet telemetry: the metrics registry wired through the serving
+// layer, the per-session flight recorder, and quarantine-error
+// surfacing through the fleet views.
+//
+// The load-bearing claim mirrors the serving layer's own: every
+// DETERMINISTIC telemetry output — the registry's fingerprint and the
+// wall-clock-stripped span traces — is bit-identical at any worker
+// count and in both drain disciplines, because it sums per-block and
+// per-utterance events that are pure functions of the accepted-block
+// order. Wall-clock fields ride alongside and are exempt.
+#include "serve/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audio/buffer.h"
+#include "audio/ops.h"
+#include "common/json_min.h"
+#include "common/rng.h"
+#include "defense/classifier.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "serve/fault.h"
+#include "serve/session_manager.h"
+#include "serve/shard.h"
+#include "sim/scenario.h"
+#include "synth/commands.h"
+
+namespace ivc::serve {
+namespace {
+
+constexpr double kRate = 16'000.0;
+
+defense::logistic_classifier tiny_classifier() {
+  ivc::rng rng{90};
+  defense::labelled_features data;
+  for (int i = 0; i < 120; ++i) {
+    defense::trace_features f;
+    const bool attack = i % 2 == 0;
+    const double c = attack ? 1.0 : -1.0;
+    f.low_band_envelope_corr = c + rng.normal(0.0, 0.3);
+    f.low_band_ratio_db = 4.0 * c + rng.normal(0.0, 1.0);
+    f.amplitude_skew = 0.4 * c + rng.normal(0.0, 0.2);
+    f.low_band_waveform_corr = c + rng.normal(0.0, 0.3);
+    data.add(f, attack ? 1 : 0);
+  }
+  defense::logistic_classifier clf;
+  clf.train(data);
+  return clf;
+}
+
+defense::classifier_detector tiny_detector() {
+  return defense::classifier_detector{tiny_classifier()};
+}
+
+audio::buffer command_stream(std::uint64_t seed) {
+  ivc::rng rng{seed};
+  std::vector<audio::buffer> parts;
+  parts.push_back(audio::silence(0.3, kRate));
+  parts.push_back(synth::render_command(synth::command_by_id("open_door"),
+                                        synth::male_voice(), rng, kRate));
+  parts.push_back(audio::silence(0.4, kRate));
+  parts.push_back(synth::render_command(synth::command_by_id("play_music"),
+                                        synth::male_voice(), rng, kRate));
+  parts.push_back(audio::silence(0.4, kRate));
+  return audio::remove_dc(audio::concat(parts));
+}
+
+serve_config fleet_config() {
+  serve_config cfg;
+  cfg.queue_capacity = 64;
+  cfg.policy = overflow_policy::reject;
+  cfg.worker_threads = 2;
+  pipeline_config pc;
+  pc.recognizer = sim::shared_enrolled_recognizer(kRate, 1);
+  cfg.pipeline = pc;
+  return cfg;
+}
+
+audio::buffer cut(const audio::buffer& b, std::size_t start,
+                  std::size_t end) {
+  return audio::buffer{
+      {b.samples.begin() + static_cast<std::ptrdiff_t>(start),
+       b.samples.begin() + static_cast<std::ptrdiff_t>(end)},
+      b.sample_rate_hz};
+}
+
+struct telemetry_run {
+  std::string fingerprint;                 // deterministic counter subset
+  std::vector<std::string> traces;         // wall-stripped, per session
+  serve_totals totals;
+};
+
+// Offers every stream in 1024-sample slices round-robin, with a FRESH
+// registry per run — the telemetry gate compares end-of-run counter
+// values, so runs must not accumulate into a shared registry.
+telemetry_run run_fleet(const std::vector<audio::buffer>& streams,
+                        serve_config cfg, std::size_t workers,
+                        bool streaming) {
+  cfg.worker_threads = workers;
+  cfg.metrics = std::make_shared<obs::metrics_registry>();
+  session_manager manager{tiny_detector(), cfg};
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    manager.open_session();
+  }
+  if (streaming) {
+    manager.start(workers);
+  }
+  const std::size_t block = 1'024;
+  std::size_t max_rounds = 0;
+  for (const audio::buffer& st : streams) {
+    max_rounds = std::max(max_rounds, (st.size() + block - 1) / block);
+  }
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      const std::size_t start = round * block;
+      if (start >= streams[s].size()) {
+        continue;
+      }
+      const std::size_t end = std::min(start + block, streams[s].size());
+      for (;;) {
+        const offer_status st = manager.offer(s, cut(streams[s], start, end));
+        if (st != offer_status::rejected) {
+          break;
+        }
+        if (streaming) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        } else {
+          manager.drain();
+        }
+      }
+    }
+    if (!streaming && (round + 1) % 4 == 0) {
+      manager.drain();
+    }
+  }
+  manager.finish();
+  telemetry_run out;
+  out.fingerprint = cfg.metrics->deterministic_fingerprint();
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    out.traces.push_back(json::write(
+        obs::encode_spans(obs::strip_wall_clock(manager.trace(s)))));
+  }
+  out.totals = manager.aggregate();
+  return out;
+}
+
+// ---- the determinism gate --------------------------------------------
+
+TEST(telemetry_determinism, fingerprints_identical_across_workers_and_modes) {
+  std::vector<audio::buffer> streams;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    streams.push_back(command_stream(600 + s));
+  }
+  const serve_config cfg = fleet_config();
+  const telemetry_run reference =
+      run_fleet(streams, cfg, /*workers=*/1, /*streaming=*/false);
+  // The gate must compare real numbers, not empty objects.
+  ASSERT_NE(reference.fingerprint.find("serve_blocks_processed_total"),
+            std::string::npos);
+  ASSERT_GT(reference.totals.stats.commands_executed, 0u);
+  for (const std::size_t s : {0u, 1u, 2u}) {
+    ASSERT_NE(reference.traces[s], "[]") << "session " << s;
+  }
+
+  const struct {
+    std::size_t workers;
+    bool streaming;
+  } matrix[] = {{2, false}, {8, false}, {1, true}, {4, true}};
+  for (const auto& m : matrix) {
+    const telemetry_run run = run_fleet(streams, cfg, m.workers, m.streaming);
+    EXPECT_EQ(reference.fingerprint, run.fingerprint)
+        << (m.streaming ? "streaming" : "fork-join") << " w=" << m.workers;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      EXPECT_EQ(reference.traces[s], run.traces[s])
+          << (m.streaming ? "streaming" : "fork-join") << " w=" << m.workers
+          << " session " << s;
+    }
+  }
+}
+
+TEST(telemetry_determinism, registry_counters_match_the_fleet_aggregate) {
+  std::vector<audio::buffer> streams;
+  for (std::uint64_t s = 0; s < 2; ++s) {
+    streams.push_back(command_stream(640 + s));
+  }
+  serve_config cfg = fleet_config();
+  cfg.metrics = std::make_shared<obs::metrics_registry>();
+  session_manager manager{tiny_detector(), cfg};
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    manager.open_session();
+  }
+  const std::size_t block = 2'048;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (std::size_t start = 0; start < streams[s].size(); start += block) {
+      manager.offer(
+          s, cut(streams[s], start,
+                 std::min(start + block, streams[s].size())));
+    }
+  }
+  manager.finish();
+  const serve_totals totals = manager.aggregate();
+  const json::value counters = cfg.metrics->counters_snapshot();
+  const auto counter_value = [&](const std::string& key) {
+    const json::value* v = counters.find(key);
+    return v == nullptr ? -1.0 : v->number();
+  };
+  // One source of truth, two export paths: the registry's counters must
+  // agree with the per-session stats the aggregate sums.
+  EXPECT_EQ(counter_value("serve_blocks_processed_total"),
+            static_cast<double>(totals.stats.blocks_processed));
+  EXPECT_EQ(counter_value("serve_verdicts_total"),
+            static_cast<double>(totals.stats.events));
+  EXPECT_EQ(counter_value("serve_pipeline_outcomes_total|kind=executed"),
+            static_cast<double>(totals.stats.commands_executed));
+  EXPECT_EQ(counter_value("serve_pipeline_outcomes_total|kind=blocked"),
+            static_cast<double>(totals.stats.commands_blocked));
+}
+
+// ---- the flight recorder ---------------------------------------------
+
+TEST(flight_recorder, quarantine_dump_carries_stage_and_error) {
+  serve_config cfg = fleet_config();
+  cfg.worker_threads = 1;
+  cfg.fault_tolerance.auto_reopen = false;  // park on first fault
+  fault_config fc;
+  fc.schedule.push_back({fault_kind::recognizer_throw, /*session=*/0,
+                         /*index=*/0});
+  cfg.faults = std::make_shared<fault_injector>(fc);
+  const std::string dump_path = "telemetry_test_dumps.jsonl";
+  std::remove(dump_path.c_str());
+  auto sink = std::make_shared<obs::jsonl_trace_sink>(dump_path);
+  cfg.trace_sink = sink;
+
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer stream = command_stream(700);
+  const std::size_t block = 2'048;
+  for (std::size_t start = 0; start < stream.size(); start += block) {
+    manager.offer(sid, cut(stream, start,
+                           std::min(start + block, stream.size())));
+  }
+  manager.finish();
+  ASSERT_EQ(manager.session(sid).state(), session_state::quarantined);
+  const std::string error = manager.session(sid).last_error();
+  ASSERT_FALSE(error.empty());
+
+  // The in-memory recorder: final span names the faulting stage and
+  // carries last_error() verbatim.
+  const std::vector<obs::span> trace = manager.trace(sid);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.back().stage, obs::trace_stage::asr);
+  EXPECT_EQ(trace.back().detail, error);
+  EXPECT_EQ(trace.back().value, 0.0);  // 0 = parked, 1 = retried
+
+  // The sink got exactly one dump, and the dump IS the recorder.
+  EXPECT_EQ(sink->dumps(), 1u);
+  std::ifstream in{dump_path};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const json::value dump = json::parse(line);
+  EXPECT_EQ(dump.find("session")->number(), static_cast<double>(sid));
+  EXPECT_EQ(dump.find("error")->string(), error);
+  const std::vector<obs::span> dumped = obs::decode_spans(*dump.find("spans"));
+  ASSERT_EQ(dumped.size(), trace.size());
+  EXPECT_EQ(dumped.back().detail, error);
+
+  // The fleet views surface the same (id, error) pair.
+  const serve_totals totals = manager.aggregate();
+  ASSERT_EQ(totals.quarantine_errors.size(), 1u);
+  EXPECT_EQ(totals.quarantine_errors[0].first, sid);
+  EXPECT_EQ(totals.quarantine_errors[0].second, error);
+  const auto parked = manager.quarantine_errors();
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_EQ(parked[0].first, sid);
+  EXPECT_EQ(parked[0].second, error);
+  std::remove(dump_path.c_str());
+}
+
+TEST(flight_recorder, retried_quarantines_dump_too) {
+  serve_config cfg = fleet_config();
+  cfg.worker_threads = 1;
+  cfg.fault_tolerance.backoff_blocks = 2;  // auto_reopen stays on
+  fault_config fc;
+  fc.schedule.push_back({fault_kind::detector_throw, /*session=*/0,
+                         /*index=*/1});
+  cfg.faults = std::make_shared<fault_injector>(fc);
+  const std::string dump_path = "telemetry_test_retry_dumps.jsonl";
+  std::remove(dump_path.c_str());
+  auto sink = std::make_shared<obs::jsonl_trace_sink>(dump_path);
+  cfg.trace_sink = sink;
+
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer stream = command_stream(701);
+  const std::size_t block = 2'048;
+  for (std::size_t start = 0; start < stream.size(); start += block) {
+    manager.offer(sid, cut(stream, start,
+                           std::min(start + block, stream.size())));
+  }
+  manager.finish();
+  // The ladder recovered the session — but the black box still dumped
+  // the crash, marked retried (value 1) at the detector stage.
+  EXPECT_EQ(manager.session(sid).state(), session_state::serving);
+  ASSERT_EQ(sink->dumps(), 1u);
+  std::ifstream in{dump_path};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const std::vector<obs::span> dumped =
+      obs::decode_spans(*json::parse(line).find("spans"));
+  ASSERT_FALSE(dumped.empty());
+  EXPECT_EQ(dumped.back().stage, obs::trace_stage::detector);
+  EXPECT_EQ(dumped.back().value, 1.0);
+  std::remove(dump_path.c_str());
+}
+
+TEST(flight_recorder, trace_survives_eviction_bit_exactly) {
+  serve_config cfg = fleet_config();
+  cfg.worker_threads = 1;
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  const audio::buffer stream = command_stream(702);
+  const std::size_t block = 2'048;
+  for (std::size_t start = 0; start < stream.size(); start += block) {
+    manager.offer(sid, cut(stream, start,
+                           std::min(start + block, stream.size())));
+  }
+  manager.drain();
+  const std::vector<obs::span> before = manager.trace(sid);
+  ASSERT_FALSE(before.empty());
+
+  ASSERT_TRUE(manager.evict(sid));
+  ASSERT_FALSE(manager.resident(sid));
+  // Reading the trace out of the frozen image neither rehydrates nor
+  // loses spans — including the wall-clock fields, which the snapshot
+  // carries bit-exactly like everything else.
+  const std::vector<obs::span> frozen = manager.trace(sid);
+  ASSERT_FALSE(manager.resident(sid));
+  ASSERT_EQ(frozen.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(frozen[i].stage, before[i].stage) << "#" << i;
+    EXPECT_EQ(frozen[i].index, before[i].index) << "#" << i;
+    EXPECT_EQ(frozen[i].t_s, before[i].t_s) << "#" << i;
+    EXPECT_EQ(frozen[i].value, before[i].value) << "#" << i;
+    EXPECT_EQ(frozen[i].wall_s, before[i].wall_s) << "#" << i;
+    EXPECT_EQ(frozen[i].detail, before[i].detail) << "#" << i;
+  }
+}
+
+TEST(flight_recorder, quarantine_errors_survive_eviction_via_hints) {
+  serve_config cfg = fleet_config();
+  cfg.worker_threads = 1;
+  cfg.fault_tolerance.auto_reopen = false;
+  fault_config fc;
+  fc.schedule.push_back({fault_kind::corrupt_block, /*session=*/0,
+                         /*index=*/0});
+  cfg.faults = std::make_shared<fault_injector>(fc);
+  session_manager manager{tiny_detector(), cfg};
+  const std::uint64_t sid = manager.open_session();
+  manager.offer(sid, audio::silence(0.2, kRate));
+  manager.drain();
+  ASSERT_EQ(manager.session(sid).state(), session_state::quarantined);
+  const std::string error = manager.session(sid).last_error();
+
+  ASSERT_TRUE(manager.evict(sid));
+  ASSERT_FALSE(manager.resident(sid));
+  // The freeze-time hints answer health queries without rehydrating —
+  // and without decoding the frozen image.
+  const serve_totals totals = manager.aggregate();
+  EXPECT_EQ(totals.sessions_quarantined, 1u);
+  ASSERT_EQ(totals.quarantine_errors.size(), 1u);
+  EXPECT_EQ(totals.quarantine_errors[0].second, error);
+  EXPECT_FALSE(manager.resident(sid));
+}
+
+// ---- quarantine surfacing through the sharded front ------------------
+
+TEST(shard_telemetry, balance_reports_quarantine_errors_with_global_ids) {
+  serve_config cfg = fleet_config();
+  cfg.worker_threads = 1;
+  cfg.fault_tolerance.auto_reopen = false;
+  fault_config fc;
+  fc.detector_throw_rate = 1.0;  // every session parks on block 0
+  cfg.faults = std::make_shared<fault_injector>(fc);
+  constexpr std::size_t kSessions = 6;
+  shard_manager front{tiny_detector(), cfg, /*num_shards=*/3};
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    front.open_session();
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    front.offer(s, audio::silence(0.2, kRate));
+  }
+  front.finish();
+
+  const shard_balance bal = front.balance();
+  std::size_t quarantined = 0;
+  for (const shard_load& l : bal.shards) {
+    quarantined += l.quarantined;
+  }
+  EXPECT_EQ(quarantined, kSessions);
+  ASSERT_EQ(bal.quarantine_errors.size(), kSessions);
+  // Every GLOBAL id appears exactly once, with that session's error.
+  std::vector<bool> seen(kSessions, false);
+  for (const auto& [gid, err] : bal.quarantine_errors) {
+    ASSERT_LT(gid, kSessions);
+    EXPECT_FALSE(seen[gid]) << "global id " << gid << " reported twice";
+    seen[gid] = true;
+    EXPECT_FALSE(err.empty());
+  }
+  // aggregate() surfaces the same set.
+  const serve_totals totals = front.aggregate();
+  EXPECT_EQ(totals.sessions_quarantined, kSessions);
+  EXPECT_EQ(totals.quarantine_errors.size(), kSessions);
+  // And the per-id trace routes to the right shard: each final span is
+  // the detector fault that parked the session.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::vector<obs::span> trace = front.trace(s);
+    ASSERT_FALSE(trace.empty()) << "session " << s;
+    EXPECT_EQ(trace.back().stage, obs::trace_stage::detector);
+  }
+}
+
+// ---- the fleet sampler -----------------------------------------------
+
+TEST(fleet_sampler, appends_probe_samples_as_jsonl) {
+  serve_config cfg = fleet_config();
+  session_manager manager{tiny_detector(), cfg};
+  for (int s = 0; s < 3; ++s) {
+    manager.open_session();
+  }
+  const std::string path = "telemetry_test_series.jsonl";
+  std::remove(path.c_str());
+  obs::sampler_config sc;
+  sc.path = path;
+  sc.interval_s = 0.02;
+  obs::fleet_sampler sampler{sc,
+                             [&manager] { return telemetry_sample(manager); }};
+  sampler.start();
+  for (int s = 0; s < 3; ++s) {
+    manager.offer(static_cast<std::uint64_t>(s), audio::silence(0.3, kRate));
+  }
+  manager.drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  sampler.stop();
+  const std::size_t samples = sampler.samples();
+  ASSERT_GE(samples, 2u);  // immediate first sample + final on stop
+
+  std::ifstream in{path};
+  std::string line;
+  std::string last_line;
+  std::size_t lines = 0;
+  double last_t = -1.0;
+  while (std::getline(in, line)) {
+    const json::value v = json::parse(line);
+    ASSERT_NE(v.find("t_s"), nullptr);
+    // Monotone timestamps: the series is append-only in sample order.
+    EXPECT_GE(v.find("t_s")->number(), last_t);
+    last_t = v.find("t_s")->number();
+    ASSERT_NE(v.find("sessions"), nullptr);
+    EXPECT_EQ(v.find("sessions")->number(), 3.0);
+    ASSERT_NE(v.find("blocks_processed"), nullptr);
+    last_line = line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, samples);
+  // The final sample saw the drained state.
+  EXPECT_EQ(json::parse(last_line).find("blocks_processed")->number(), 3.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ivc::serve
