@@ -10,6 +10,12 @@
 // histograms of the SAME binning config — bin counts are meaningless
 // across different edges, so merge() enforces the match instead of
 // silently corrupting bins.
+//
+// Thread safety: log_histogram is thread-compatible, not thread-safe —
+// every concurrent user wraps it in its own capability (the session
+// mutex for per-session histograms, obs::detail::histogram_cell's
+// mutex in the registry), and those wrappers carry the thread-safety
+// annotations. An internal lock here would double-lock every record().
 #pragma once
 
 #include <cstddef>

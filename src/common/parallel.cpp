@@ -4,9 +4,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace ivc {
 
@@ -16,25 +18,28 @@ std::size_t default_thread_count() {
 }
 
 struct thread_pool::impl {
+  // Joined only by the owning thread (ctor spawns, dtor joins); never
+  // touched by the workers themselves.
   std::vector<std::thread> workers;
 
-  std::mutex mutex;
+  ts_mutex mutex;
   std::condition_variable work_cv;  // workers: a new job is posted
   std::condition_variable done_cv;  // caller: all workers left the job
-  const std::function<void(std::size_t)>* fn = nullptr;
-  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn IVC_GUARDED_BY(mutex) = nullptr;
+  std::size_t count IVC_GUARDED_BY(mutex) = 0;
   std::atomic<std::size_t> next{0};
-  std::size_t busy_workers = 0;
-  std::uint64_t generation = 0;
-  bool stopping = false;
+  std::size_t busy_workers IVC_GUARDED_BY(mutex) = 0;
+  std::uint64_t generation IVC_GUARDED_BY(mutex) = 0;
+  bool stopping IVC_GUARDED_BY(mutex) = false;
   // Held by the caller from job setup until it has collected `error`,
   // so a second concurrent parallel_for cannot clear or steal the
   // first job's exception.
-  bool job_active = false;
-  std::exception_ptr error;
+  bool job_active IVC_GUARDED_BY(mutex) = false;
+  std::exception_ptr error IVC_GUARDED_BY(mutex);
 
   // Claims indices until the job is exhausted. Runs outside the mutex.
-  void drain(const std::function<void(std::size_t)>& job, std::size_t n) {
+  void drain(const std::function<void(std::size_t)>& job, std::size_t n)
+      IVC_EXCLUDES(mutex) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) {
@@ -43,7 +48,7 @@ struct thread_pool::impl {
       try {
         job(i);
       } catch (...) {
-        std::lock_guard<std::mutex> guard{mutex};
+        const ts_lock guard{mutex};
         if (!error) {
           error = std::current_exception();
         }
@@ -51,11 +56,15 @@ struct thread_pool::impl {
     }
   }
 
-  void worker_loop() {
+  void worker_loop() IVC_EXCLUDES(mutex) {
     std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lock{mutex};
+    ts_unique_lock lock{mutex};
     for (;;) {
-      work_cv.wait(lock, [&] { return stopping || generation != seen; });
+      // Explicit wait loop: a predicate lambda reading stopping_/
+      // generation would look lock-free to the thread-safety analysis.
+      while (!stopping && generation == seen) {
+        work_cv.wait(lock.native());
+      }
       if (stopping) {
         return;
       }
@@ -84,7 +93,7 @@ thread_pool::thread_pool(std::size_t num_threads) : impl_{new impl} {
 
 thread_pool::~thread_pool() {
   {
-    std::lock_guard<std::mutex> guard{impl_->mutex};
+    const ts_lock guard{impl_->mutex};
     impl_->stopping = true;
   }
   impl_->work_cv.notify_all();
@@ -100,10 +109,12 @@ void thread_pool::parallel_for(std::size_t count,
   if (count == 0) {
     return;
   }
-  std::unique_lock<std::mutex> lock{impl_->mutex};
+  ts_unique_lock lock{impl_->mutex};
   // Serialize concurrent callers: the previous job stays "active" until
   // its caller has collected the error slot.
-  impl_->done_cv.wait(lock, [&] { return !impl_->job_active; });
+  while (impl_->job_active) {
+    impl_->done_cv.wait(lock.native());
+  }
   impl_->job_active = true;
   impl_->fn = &fn;
   impl_->count = count;
@@ -117,7 +128,9 @@ void thread_pool::parallel_for(std::size_t count,
   impl_->drain(fn, count);
 
   lock.lock();
-  impl_->done_cv.wait(lock, [&] { return impl_->busy_workers == 0; });
+  while (impl_->busy_workers != 0) {
+    impl_->done_cv.wait(lock.native());
+  }
   const std::exception_ptr error = impl_->error;
   impl_->error = nullptr;
   impl_->job_active = false;

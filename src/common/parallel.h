@@ -4,7 +4,9 @@
 // experiment engine, the sweep wrappers, and the corpus builder all
 // schedule work as index ranges, where task `i` writes only slot `i` of
 // a pre-sized output — so results are bit-identical at any thread count
-// and no caller needs locks.
+// and no caller needs locks. The pool's own scheduler state lives in
+// the pimpl (parallel.cpp), annotated for Clang Thread Safety Analysis
+// via common/sync.h.
 #pragma once
 
 #include <cstddef>

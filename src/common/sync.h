@@ -1,0 +1,124 @@
+// Annotated synchronization primitives.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no thread-safety
+// capability attributes, so Clang's analysis cannot model them. These
+// thin wrappers delegate to the std primitives and add the attributes —
+// they are the ONLY place in the codebase allowed to name std::mutex
+// directly (tools/detlint's raw-mutex rule enforces it). Cost: zero.
+// Every member is a forwarding inline; ts_mutex is exactly a std::mutex
+// at runtime.
+//
+//   ts_mutex m;                       // a capability
+//   int x IVC_GUARDED_BY(m);          // field guarded by it
+//   { ts_lock lock{m}; x = 1; }       // scoped acquire, like lock_guard
+//   ts_unique_lock lock{m};           // unlockable/relockable guard;
+//   cv.wait(lock.native());           // lock.native() feeds a std
+//                                     // condition_variable
+//
+// claim_flag models the serving layer's EXCLUSIVE-CLAIM discipline
+// (detection_session::busy_): an atomic try-claim that is a capability,
+// so "touched only by the worker holding busy_" becomes
+// IVC_GUARDED_BY(busy_) and the compiler checks it like any mutex.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ivc {
+
+// std::mutex with capability attributes. Satisfies Lockable, but prefer
+// ts_lock/ts_unique_lock so the analysis sees the acquire/release.
+class IVC_CAPABILITY("mutex") ts_mutex {
+ public:
+  ts_mutex() = default;
+  ts_mutex(const ts_mutex&) = delete;
+  ts_mutex& operator=(const ts_mutex&) = delete;
+
+  void lock() IVC_ACQUIRE() { m_.lock(); }
+  void unlock() IVC_RELEASE() { m_.unlock(); }
+  bool try_lock() IVC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  // The wrapped mutex, for std::condition_variable (via
+  // ts_unique_lock::native(), which keeps the capability association).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+// Scoped lock, the std::lock_guard shape: acquires in the constructor,
+// releases in the destructor, no unlock in between.
+class IVC_SCOPED_CAPABILITY ts_lock {
+ public:
+  explicit ts_lock(ts_mutex& m) IVC_ACQUIRE(m) : m_{m} { m_.lock(); }
+  ~ts_lock() IVC_RELEASE() { m_.unlock(); }
+  ts_lock(const ts_lock&) = delete;
+  ts_lock& operator=(const ts_lock&) = delete;
+
+ private:
+  ts_mutex& m_;
+};
+
+// Scoped lock with mid-scope unlock()/lock() and condition-variable
+// support, the std::unique_lock shape. native() hands the underlying
+// std::unique_lock to std::condition_variable::wait — from the
+// analysis's view the capability stays held across the wait, which is
+// the usual (and sound) modeling: the predicate is re-checked with the
+// lock held.
+class IVC_SCOPED_CAPABILITY ts_unique_lock {
+ public:
+  explicit ts_unique_lock(ts_mutex& m) IVC_ACQUIRE(m) : lock_{m.native()} {}
+  // std::unique_lock releases in its destructor iff still owned; the
+  // analysis's scoped-capability tracking mirrors exactly that.
+  ~ts_unique_lock() IVC_RELEASE() {}
+  ts_unique_lock(const ts_unique_lock&) = delete;
+  ts_unique_lock& operator=(const ts_unique_lock&) = delete;
+
+  void lock() IVC_ACQUIRE() { lock_.lock(); }
+  void unlock() IVC_RELEASE() { lock_.unlock(); }
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Exclusive-claim flag: an atomic bool as a capability. try_claim() is
+// the only way in (no blocking lock — contention means "someone else
+// owns the session", and callers back off instead of waiting), and the
+// claim is released via claim_guard so every exit path — including an
+// exception unwinding out of the critical region — gives it back.
+class IVC_CAPABILITY("claim") claim_flag {
+ public:
+  claim_flag() = default;
+  claim_flag(const claim_flag&) = delete;
+  claim_flag& operator=(const claim_flag&) = delete;
+
+  bool try_claim() IVC_TRY_ACQUIRE(true) {
+    bool expected = false;
+    return flag_.compare_exchange_strong(expected, true);
+  }
+  void release() IVC_RELEASE() { flag_.store(false); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Adopts an already-successful try_claim() and releases it on every
+// exit path. The constructor REQUIRES the claim instead of acquiring
+// it — the try_claim()'s failure branch is the caller's to handle.
+class IVC_SCOPED_CAPABILITY claim_guard {
+ public:
+  explicit claim_guard(claim_flag& f) IVC_REQUIRES(f) : f_{f} {}
+  ~claim_guard() IVC_RELEASE() { f_.release(); }
+  claim_guard(const claim_guard&) = delete;
+  claim_guard& operator=(const claim_guard&) = delete;
+
+ private:
+  claim_flag& f_;
+};
+
+}  // namespace ivc

@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis capability macros.
+//
+// The serving layer's bit-identity contract rests on a locking
+// discipline that used to live only in comments ("guards slots_ +
+// eviction state"). These macros turn that discipline into something
+// the compiler PROVES: every mutex is a declared capability, every
+// guarded field names its mutex, and every lock-held helper carries an
+// IVC_REQUIRES so calling it without the lock is a compile error under
+// `clang++ -Wthread-safety` (the CI static-analysis job builds with
+// -Werror=thread-safety). Off-Clang the macros expand to nothing, so
+// gcc builds are unaffected.
+//
+// Use the annotated primitives in common/sync.h (ivc::ts_mutex,
+// ivc::ts_lock, ivc::ts_unique_lock) rather than raw std::mutex:
+// libstdc++'s std::mutex carries no capability attribute, so the
+// analysis cannot see through it. tools/detlint enforces exactly that —
+// a raw std::mutex/std::lock_guard outside common/sync.h is a lint
+// finding.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define IVC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IVC_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// Declares a type to be a capability (a lockable thing). `x` is the
+// capability kind shown in diagnostics, e.g. "mutex" or "claim".
+#define IVC_CAPABILITY(x) IVC_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose lifetime acquires/releases a capability.
+#define IVC_SCOPED_CAPABILITY IVC_THREAD_ANNOTATION(scoped_lockable)
+
+// Field may only be read/written while holding `x`.
+#define IVC_GUARDED_BY(x) IVC_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field whose POINTEE may only be accessed while holding `x`.
+#define IVC_PT_GUARDED_BY(x) IVC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function may only be called while holding the listed capabilities.
+#define IVC_REQUIRES(...) \
+  IVC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IVC_REQUIRES_SHARED(...) \
+  IVC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the listed capabilities (no argument =
+// `this`, for capability member functions and scoped guards).
+#define IVC_ACQUIRE(...) \
+  IVC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IVC_ACQUIRE_SHARED(...) \
+  IVC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define IVC_RELEASE(...) \
+  IVC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IVC_RELEASE_SHARED(...) \
+  IVC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Function tries to acquire the capability; `b` is the success value.
+#define IVC_TRY_ACQUIRE(...) \
+  IVC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called while holding the listed capabilities
+// (it acquires them itself — calling with them held would deadlock).
+#define IVC_EXCLUDES(...) IVC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering documentation (checked under -Wthread-safety-beta).
+#define IVC_ACQUIRED_BEFORE(...) \
+  IVC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IVC_ACQUIRED_AFTER(...) \
+  IVC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define IVC_RETURN_CAPABILITY(x) IVC_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: the function's locking is intentionally invisible to
+// the analysis. Every use must carry a comment saying why.
+#define IVC_NO_THREAD_SAFETY_ANALYSIS \
+  IVC_THREAD_ANNOTATION(no_thread_safety_analysis)

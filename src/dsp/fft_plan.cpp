@@ -1,12 +1,12 @@
 #include "dsp/fft_plan.h"
 
 #include <cmath>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/constants.h"
 #include "common/error.h"
+#include "common/sync.h"
 
 namespace ivc::dsp {
 namespace {
@@ -175,9 +175,11 @@ void fft_plan::irfft(std::span<const cplx> in, std::span<double> out,
 
 std::shared_ptr<const fft_plan> get_fft_plan(std::size_t n) {
   expects(is_pow2(n), "get_fft_plan: size must be a power of two");
-  static std::mutex mutex;
+  static ts_mutex mutex;
+  // Key-lookup only — never iterated, so the unordered layout cannot
+  // leak into any deterministic stream.
   static std::unordered_map<std::size_t, std::shared_ptr<const fft_plan>> cache;
-  std::lock_guard<std::mutex> lock{mutex};
+  const ts_lock lock{mutex};
   std::shared_ptr<const fft_plan>& slot = cache[n];
   if (!slot) {
     slot = std::make_shared<const fft_plan>(n);

@@ -98,7 +98,7 @@ metrics_registry::entry& metrics_registry::intern(const std::string& name,
   canonicalize(labels);
   const std::string key = canonical_key(name, labels);
   table_shard& sh = shards_[std::hash<std::string>{}(key) % shards_.size()];
-  std::lock_guard<std::mutex> lock{sh.mutex};
+  const ts_lock lock{sh.mutex};
   for (const std::unique_ptr<entry>& e : sh.entries) {
     if (e->key == key) {
       expects(e->type == type,
@@ -152,7 +152,7 @@ std::vector<const metrics_registry::entry*> metrics_registry::sorted_entries()
     const {
   std::vector<const entry*> out;
   for (const table_shard& sh : shards_) {
-    std::lock_guard<std::mutex> lock{sh.mutex};
+    const ts_lock lock{sh.mutex};
     for (const std::unique_ptr<entry>& e : sh.entries) {
       out.push_back(e.get());
     }
@@ -185,7 +185,7 @@ json::value metrics_registry::snapshot() const {
         gauges.emplace_back(json::value{std::move(o)});
         break;
       case kind::histogram: {
-        std::lock_guard<std::mutex> lock{e->hist->mutex};
+        const ts_lock lock{e->hist->mutex};
         const log_histogram& h = e->hist->hist;
         o.emplace_back("count",
                        json::value{static_cast<double>(h.count())});
@@ -245,7 +245,7 @@ std::string metrics_registry::to_prometheus() const {
                '\n';
         break;
       case kind::histogram: {
-        std::lock_guard<std::mutex> lock{e->hist->mutex};
+        const ts_lock lock{e->hist->mutex};
         const log_histogram& h = e->hist->hist;
         const double quantiles[] = {0.50, 0.95, 0.99};
         for (const double q : quantiles) {

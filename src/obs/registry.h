@@ -35,13 +35,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/json_min.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace ivc::obs {
 
@@ -65,8 +66,8 @@ struct gauge_cell {
 // which are already under the session mutex.
 struct histogram_cell {
   explicit histogram_cell(const histogram_config& bins) : hist{bins} {}
-  std::mutex mutex;
-  log_histogram hist;
+  ts_mutex mutex;
+  log_histogram hist IVC_GUARDED_BY(mutex);
 };
 
 }  // namespace detail
@@ -131,7 +132,7 @@ class histogram {
 
   void record(double v) const {
     if (cell_ != nullptr) {
-      std::lock_guard<std::mutex> lock{cell_->mutex};
+      const ts_lock lock{cell_->mutex};
       cell_->hist.record(v);
     }
   }
@@ -139,14 +140,14 @@ class histogram {
     if (cell_ == nullptr) {
       return 0;
     }
-    std::lock_guard<std::mutex> lock{cell_->mutex};
+    const ts_lock lock{cell_->mutex};
     return cell_->hist.count();
   }
   double quantile(double q) const {
     if (cell_ == nullptr) {
       return 0.0;
     }
-    std::lock_guard<std::mutex> lock{cell_->mutex};
+    const ts_lock lock{cell_->mutex};
     return cell_->hist.quantile(q);
   }
   explicit operator bool() const noexcept { return cell_ != nullptr; }
@@ -210,9 +211,12 @@ class metrics_registry {
     std::unique_ptr<detail::histogram_cell> hist;
   };
 
+  // Entry pointers stay stable past the shard lock (the vector owns
+  // unique_ptrs and is append-only): readers collect them under the
+  // lock, then read the immutable metadata and atomic cells lock-free.
   struct table_shard {
-    mutable std::mutex mutex;
-    std::vector<std::unique_ptr<entry>> entries;
+    mutable ts_mutex mutex;
+    std::vector<std::unique_ptr<entry>> entries IVC_GUARDED_BY(mutex);
   };
 
   // Finds-or-creates the entry for (name, labels); `labels` must

@@ -24,7 +24,7 @@ fleet_sampler::~fleet_sampler() {
 
 void fleet_sampler::start() {
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     if (running_) {
       return;  // idempotent: already sampling
     }
@@ -33,14 +33,14 @@ void fleet_sampler::start() {
     t0_ = std::chrono::steady_clock::now();
   }
   take_sample();  // t ~ 0 baseline, before any interval elapses
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   thread_ = std::thread{[this] { loop(); }};
 }
 
 void fleet_sampler::stop() {
   std::thread joinee;
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     if (!running_) {
       return;  // idempotent: not sampling
     }
@@ -56,21 +56,34 @@ void fleet_sampler::stop() {
 }
 
 bool fleet_sampler::running() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return running_;
 }
 
 std::size_t fleet_sampler::samples() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return samples_;
 }
 
 void fleet_sampler::loop() {
-  const auto interval = std::chrono::duration<double>(config_.interval_s);
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.interval_s));
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      if (cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      ts_unique_lock lock{mutex_};
+      // Explicit deadline loop instead of the predicate overload: the
+      // predicate would be a lambda reading stopping_, which the
+      // analysis treats as a separate lock-free function. Semantics are
+      // identical — stopping_ is only ever read with the lock held.
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stopping_) {
+        if (cv_.wait_until(lock.native(), deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stopping_) {
         return;  // stop() takes the final sample itself
       }
     }
@@ -90,7 +103,7 @@ void fleet_sampler::take_sample() {
   }
   std::chrono::steady_clock::time_point t0;
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     t0 = t0_;
   }
   const double t_s =
@@ -103,7 +116,7 @@ void fleet_sampler::take_sample() {
     line.emplace_back(key, val);
   }
   const std::string text = json::write(json::value{std::move(line)});
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   std::ofstream out{config_.path, std::ios::app};
   if (!out.good()) {
     return;  // an unwritable path drops samples, not the run

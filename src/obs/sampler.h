@@ -19,11 +19,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/json_min.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace ivc::obs {
 
@@ -51,20 +52,21 @@ class fleet_sampler {
   std::size_t samples() const;
 
  private:
-  void loop();
-  // Probes and appends one line; swallows probe failures.
-  void take_sample();
+  void loop() IVC_EXCLUDES(mutex_);
+  // Probes and appends one line; swallows probe failures. Runs the
+  // probe and the file append OUTSIDE the lock-held sections.
+  void take_sample() IVC_EXCLUDES(mutex_);
 
   const sampler_config config_;
   const std::function<json::value()> probe_;
 
-  mutable std::mutex mutex_;
+  mutable ts_mutex mutex_;
   std::condition_variable cv_;
-  bool running_ = false;
-  bool stopping_ = false;
-  std::size_t samples_ = 0;
-  std::chrono::steady_clock::time_point t0_;
-  std::thread thread_;
+  bool running_ IVC_GUARDED_BY(mutex_) = false;
+  bool stopping_ IVC_GUARDED_BY(mutex_) = false;
+  std::size_t samples_ IVC_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point t0_ IVC_GUARDED_BY(mutex_);
+  std::thread thread_ IVC_GUARDED_BY(mutex_);
 };
 
 }  // namespace ivc::obs

@@ -140,7 +140,7 @@ void jsonl_trace_sink::on_quarantine(std::uint64_t session_id,
   o.emplace_back("error", json::value{error});
   o.emplace_back("spans", encode_spans(spans));
   const std::string line = json::write(json::value{std::move(o)});
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   std::ofstream out{path_, std::ios::app};
   expects(out.good(), "jsonl_trace_sink: cannot open " + path_);
   out << line << '\n';
@@ -148,7 +148,7 @@ void jsonl_trace_sink::on_quarantine(std::uint64_t session_id,
 }
 
 std::size_t jsonl_trace_sink::dumps() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return dumps_;
 }
 

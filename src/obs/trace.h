@@ -21,11 +21,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/json_min.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace ivc::obs {
 
@@ -123,8 +124,8 @@ class jsonl_trace_sink : public trace_sink {
 
  private:
   const std::string path_;
-  mutable std::mutex mutex_;
-  std::size_t dumps_ = 0;
+  mutable ts_mutex mutex_;  // serializes file appends with the count
+  std::size_t dumps_ IVC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ivc::obs

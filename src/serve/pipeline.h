@@ -30,6 +30,13 @@
 // disarms back to idle. With no wake command configured the engine is
 // always armed (the serving default — fleet streams carry bare
 // commands).
+//
+// Thread safety: command_pipeline holds NO lock by design. It is a
+// single-consumer stage owned by detection_session and only ever
+// touched by the worker holding the session's busy_ claim — the
+// exclusive-claim capability (see session.h: pipeline_ is
+// IVC_GUARDED_BY(busy_)) is the synchronization, so adding a mutex
+// here would be pure overhead on the scoring hot path.
 #pragma once
 
 #include <cstdint>

@@ -13,19 +13,10 @@ namespace ivc::serve {
 namespace {
 using clock = std::chrono::steady_clock;
 
-// Releases the session's exclusive claim on every exit path — including
-// an exception escaping process() itself. Containment must never leave
-// busy_ stuck true, or the session would be unclaimable forever.
-class busy_guard {
- public:
-  explicit busy_guard(std::atomic<bool>& flag) : flag_{flag} {}
-  ~busy_guard() { flag_.store(false); }
-  busy_guard(const busy_guard&) = delete;
-  busy_guard& operator=(const busy_guard&) = delete;
-
- private:
-  std::atomic<bool>& flag_;
-};
+// The exclusive claim is released by ivc::claim_guard (common/sync.h) on
+// every exit path — including an exception escaping process() itself.
+// Containment must never leave busy_ stuck true, or the session would be
+// unclaimable forever.
 
 bool all_finite(const audio::buffer& b) {
   for (const double s : b.samples) {
@@ -273,7 +264,7 @@ detection_session::detection_session(std::uint64_t id,
 offer_status detection_session::offer(audio::buffer block) {
   audio::validate(block, "detection_session::offer");
   const clock::time_point now = clock::now();
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   ++stats_.blocks_offered;
   if (closed_) {
     // Distinct from `rejected`: a rejected offer succeeds after a
@@ -317,27 +308,27 @@ offer_status detection_session::offer(audio::buffer block) {
 }
 
 void detection_session::close() {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   closed_ = true;
 }
 
 bool detection_session::closed() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return closed_;
 }
 
 session_state detection_session::state() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return state_;
 }
 
 std::string detection_session::last_error() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return last_error_;
 }
 
 bool detection_session::has_work() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   if (state_ == session_state::quarantined) {
     return false;  // nothing can be scored until reopen()
   }
@@ -345,7 +336,7 @@ bool detection_session::has_work() const {
 }
 
 bool detection_session::pop(queued_block& out) {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   if (count_ == 0) {
     return false;
   }
@@ -374,7 +365,7 @@ void detection_session::recover_stages() {
       if (pipeline_.has_value()) {
         pipeline_->restore(json::field(chk, "pl"));
       }
-      std::lock_guard<std::mutex> lock{mutex_};
+      const ts_lock lock{mutex_};
       ++stats_.snapshot_restores;
       return;
     } catch (...) {
@@ -405,18 +396,17 @@ void detection_session::maybe_checkpoint(std::uint64_t block_index) {
   chk.emplace_back("pl", pipeline_.has_value() ? pipeline_->snapshot()
                                                : json::value{});
   last_good_ = json::to_binary(json::value{std::move(chk)});
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   ++stats_.stage_snapshots;
 }
 
 bool detection_session::reopen() {
-  bool expected = false;
-  if (!busy_.compare_exchange_strong(expected, true)) {
+  if (!busy_.try_claim()) {
     return false;  // a worker owns the session (mid-containment)
   }
-  const busy_guard guard{busy_};
+  const claim_guard guard{busy_};
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     if (state_ != session_state::quarantined) {
       return false;
     }
@@ -437,7 +427,7 @@ void detection_session::force_quarantine(const std::string& what) {
   std::vector<obs::span> dump;
   bool dumped = false;
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     if (state_ == session_state::quarantined) {
       return;
     }
@@ -446,9 +436,12 @@ void detection_session::force_quarantine(const std::string& what) {
     ++stats_.quarantines;
     // Final flight-recorder span: no stage attribution (the exception
     // escaped process() itself), but the error message rides along.
+    // consumed_blocks_ is atomic exactly for this read: the backstop
+    // does NOT hold busy_ (the claim may be wedged in the dying worker).
+    const std::uint64_t consumed = consumed_blocks_.load();
     trace_.record({obs::trace_stage::quarantine,
-                   consumed_blocks_ > 0 ? consumed_blocks_ - 1 : 0,
-                   stats_.audio_s_processed, 0.0, 0.0, what});
+                   consumed > 0 ? consumed - 1 : 0, stats_.audio_s_processed,
+                   0.0, 0.0, what});
     if (trace_sink_ != nullptr) {
       dump = trace_.spans();
       dumped = true;
@@ -479,7 +472,7 @@ void detection_session::contain_fault(std::uint64_t session_stats::* counter,
   std::vector<obs::span> dump;
   bool dumped = false;
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     stats_.*counter += 1;
     ++stats_.quarantines;
     record_outcomes(flushed);
@@ -488,7 +481,8 @@ void detection_session::contain_fault(std::uint64_t session_stats::* counter,
     // the error message. When the retry budget is spent this is the
     // ring's final span — the quarantine dump ends with what killed the
     // session, attributed to the stage that threw.
-    trace_.record({stage, consumed_blocks_ > 0 ? consumed_blocks_ - 1 : 0,
+    const std::uint64_t consumed = consumed_blocks_.load();
+    trace_.record({stage, consumed > 0 ? consumed - 1 : 0,
                    stats_.audio_s_processed, retry ? 1.0 : 0.0, 0.0, what});
     if (retry) {
       state_ = session_state::recovering;
@@ -537,13 +531,12 @@ void detection_session::contain_fault(std::uint64_t session_stats::* counter,
 }
 
 std::size_t detection_session::process(std::size_t max_blocks) {
-  bool expected = false;
-  if (!busy_.compare_exchange_strong(expected, true)) {
+  if (!busy_.try_claim()) {
     return 0;  // another worker owns this session right now
   }
-  const busy_guard guard{busy_};
+  const claim_guard guard{busy_};
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     if (state_ == session_state::quarantined) {
       return 0;  // parked: only reopen() restores service
     }
@@ -555,7 +548,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
       // Re-check per block: contain_fault() may have parked the session
       // mid-drain. Parked = stop scoring; queued blocks survive for a
       // potential reopen().
-      std::lock_guard<std::mutex> lock{mutex_};
+      const ts_lock lock{mutex_};
       if (state_ == session_state::quarantined) {
         return processed;
       }
@@ -571,7 +564,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
       // then resume scoring with the fresh stages.
       --backoff_remaining_;
       metrics_.backoff_drops.inc();
-      std::lock_guard<std::mutex> lock{mutex_};
+      const ts_lock lock{mutex_};
       ++stats_.blocks_dropped_backoff;
       if (backoff_remaining_ == 0 && state_ == session_state::recovering) {
         state_ = session_state::serving;
@@ -632,7 +625,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
         // them — but the command stage is now suspect: contain it. Its
         // pending utterances flush fail-closed inside contain_fault.
         {
-          std::lock_guard<std::mutex> lock{mutex_};
+          const ts_lock lock{mutex_};
           verdicts_.insert(verdicts_.end(), events.begin(), events.end());
           stats_.events += events.size();
           std::uint64_t attacks = 0;
@@ -659,7 +652,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     const double latency_s =
         std::chrono::duration<double>(piped - item.enqueued).count();
     {
-      std::lock_guard<std::mutex> lock{mutex_};
+      const ts_lock lock{mutex_};
       verdicts_.insert(verdicts_.end(), events.begin(), events.end());
       ++stats_.blocks_processed;
       stats_.samples_processed += samples;
@@ -707,7 +700,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
   // End-of-stream flush: once the producer closed the session and the
   // queue is empty, flush the partial window exactly once.
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     if (closed_ && !finished_ && count_ == 0 &&
         state_ != session_state::quarantined) {
       finished_ = true;
@@ -747,7 +740,7 @@ std::size_t detection_session::process(std::size_t max_blocks) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const ts_lock lock{mutex_};
     verdicts_.insert(verdicts_.end(), tail.begin(), tail.end());
     stats_.events += tail.size();
     std::uint64_t attacks = 0;
@@ -831,22 +824,22 @@ void detection_session::record_outcomes(
 }
 
 std::vector<defense::stream_event> detection_session::verdicts() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return verdicts_;
 }
 
 std::vector<command_outcome> detection_session::outcomes() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return outcomes_;
 }
 
 std::vector<obs::span> detection_session::trace() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return trace_.spans();
 }
 
 session_stats detection_session::stats() const {
-  std::lock_guard<std::mutex> lock{mutex_};
+  const ts_lock lock{mutex_};
   return stats_;
 }
 
@@ -860,7 +853,8 @@ json::value detection_session::build_snapshot() const {
   o.emplace_back("fi", json::value{finished_});
   o.emplace_back("st", json::value{static_cast<double>(state_)});
   o.emplace_back("err", json::value{last_error_});
-  o.emplace_back("cb", json::value{static_cast<double>(consumed_blocks_)});
+  o.emplace_back("cb",
+                 json::value{static_cast<double>(consumed_blocks_.load())});
   o.emplace_back("rc", json::value{static_cast<double>(reopen_count_)});
   o.emplace_back("bo", json::value{static_cast<double>(backoff_remaining_)});
   o.emplace_back("ctr", encode_counters(stats_));
@@ -880,12 +874,11 @@ json::value detection_session::build_snapshot() const {
 }
 
 bool detection_session::try_snapshot(json::value& out) {
-  bool expected = false;
-  if (!busy_.compare_exchange_strong(expected, true)) {
+  if (!busy_.try_claim()) {
     return false;  // a worker owns the session
   }
-  const busy_guard guard{busy_};
-  std::lock_guard<std::mutex> lock{mutex_};
+  const claim_guard guard{busy_};
+  const ts_lock lock{mutex_};
   if (count_ > 0 || (closed_ && !finished_)) {
     // Queued audio is NOT serialized, and a pending close() flush still
     // mutates the streams — only an idle session snapshots.
@@ -896,11 +889,14 @@ bool detection_session::try_snapshot(json::value& out) {
 }
 
 void detection_session::restore(const json::value& snap) {
-  bool expected = false;
-  expects(busy_.compare_exchange_strong(expected, true),
-          "detection_session::restore: session is already shared");
-  const busy_guard guard{busy_};
-  std::lock_guard<std::mutex> lock{mutex_};
+  // Structured as a branch (not expects()) so the analysis sees the
+  // try-acquire succeed on the fall-through path.
+  if (!busy_.try_claim()) {
+    throw std::invalid_argument{
+        "detection_session::restore: session is already shared"};
+  }
+  const claim_guard guard{busy_};
+  const ts_lock lock{mutex_};
   expects(count_ == 0 && stats_.blocks_offered == 0,
           "detection_session::restore: session must be freshly constructed");
   expects(static_cast<int>(json::num(snap, "v")) == 1,

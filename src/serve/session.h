@@ -24,13 +24,14 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "audio/buffer.h"
 #include "common/histogram.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "common/json_min.h"
 #include "defense/detector.h"
 #include "defense/stream.h"
@@ -307,26 +308,30 @@ class detection_session {
   };
 
   // Pops the oldest queued block; false when the queue is empty.
-  bool pop(queued_block& out);
-  // Folds pipeline outcomes into outcomes_/stats_; caller holds mutex_.
-  void record_outcomes(const std::vector<command_outcome>& outcomes);
+  bool pop(queued_block& out) IVC_EXCLUDES(mutex_);
+  // Folds pipeline outcomes into outcomes_/stats_.
+  void record_outcomes(const std::vector<command_outcome>& outcomes)
+      IVC_REQUIRES(mutex_);
   // Containment: called by process() (holding busy_) when an exception
   // escapes a scoring stage. Flushes the pipeline fail-closed, counts
   // the fault against `counter`, then either auto-reopens (bounded
   // retry, block-counted backoff) or parks the session quarantined.
   void contain_fault(std::uint64_t session_stats::* counter,
-                     const std::string& what);
-  // Resets detector/pipeline to fresh-stream state. Caller holds busy_.
-  void reset_stages();
-  // Crash recovery (caller holds busy_): restores the stages from the
-  // last good checkpoint; falls back to reset_stages() when there is
-  // none (or it is corrupt). Counts the restore when it happens.
-  void recover_stages();
+                     const std::string& what) IVC_REQUIRES(busy_)
+      IVC_EXCLUDES(mutex_);
+  // Resets detector/pipeline to fresh-stream state.
+  void reset_stages() IVC_REQUIRES(busy_);
+  // Crash recovery: restores the stages from the last good checkpoint;
+  // falls back to reset_stages() when there is none (or it is corrupt).
+  // Counts the restore when it happens.
+  void recover_stages() IVC_REQUIRES(busy_) IVC_EXCLUDES(mutex_);
   // Takes a crash-recovery checkpoint when the block count and safety
-  // conditions line up. Caller holds busy_, not mutex_.
-  void maybe_checkpoint(std::uint64_t block_index);
-  // Serializes everything; caller holds busy_ AND mutex_.
-  json::value build_snapshot() const;
+  // conditions line up.
+  void maybe_checkpoint(std::uint64_t block_index) IVC_REQUIRES(busy_)
+      IVC_EXCLUDES(mutex_);
+  // Serializes everything; the image must be a consistent cut of both
+  // the worker-owned stage state and the lock-guarded streams.
+  json::value build_snapshot() const IVC_REQUIRES(busy_, mutex_);
 
   // Fleet-shared metric handles of one session. All hot-path bumps are
   // relaxed atomics on registry cells shared across the fleet (no
@@ -358,40 +363,47 @@ class detection_session {
   const std::shared_ptr<obs::trace_sink> trace_sink_;
   const metric_handles metrics_;
 
-  mutable std::mutex mutex_;  // guards ring_, stats_, closed_, verdicts_,
-                              // state_, last_error_, trace_
-  std::vector<queued_block> ring_;
-  std::size_t head_ = 0;   // oldest queued block
-  std::size_t count_ = 0;  // queued blocks
-  session_stats stats_;
-  bool closed_ = false;
-  bool finished_ = false;  // close() flush done
-  session_state state_ = session_state::serving;
-  std::string last_error_;
-  std::vector<defense::stream_event> verdicts_;
-  std::vector<command_outcome> outcomes_;
+  // Every piece of stream-visible state is a declared capability target:
+  // clang -Wthread-safety proves each access below happens under mutex_.
+  mutable ts_mutex mutex_;
+  std::vector<queued_block> ring_ IVC_GUARDED_BY(mutex_);
+  std::size_t head_ IVC_GUARDED_BY(mutex_) = 0;   // oldest queued block
+  std::size_t count_ IVC_GUARDED_BY(mutex_) = 0;  // queued blocks
+  session_stats stats_ IVC_GUARDED_BY(mutex_);
+  bool closed_ IVC_GUARDED_BY(mutex_) = false;
+  bool finished_ IVC_GUARDED_BY(mutex_) = false;  // close() flush done
+  session_state state_ IVC_GUARDED_BY(mutex_) = session_state::serving;
+  std::string last_error_ IVC_GUARDED_BY(mutex_);
+  std::vector<defense::stream_event> verdicts_ IVC_GUARDED_BY(mutex_);
+  std::vector<command_outcome> outcomes_ IVC_GUARDED_BY(mutex_);
   // Bounded flight recorder (see obs/trace.h). Guarded by mutex_ like
   // the streams; serialized with the snapshot so eviction preserves it.
-  obs::trace_ring trace_;
+  obs::trace_ring trace_ IVC_GUARDED_BY(mutex_);
 
-  std::atomic<bool> busy_{false};  // one worker at a time
+  // One worker at a time: the exclusive-claim discipline is itself a
+  // capability (common/sync.h), so "touched only by the worker holding
+  // busy_" is compiler-checked, not a comment.
+  claim_flag busy_;
 
-  // Touched only by the worker holding busy_.
-  defense::stream_detector detector_;
-  std::optional<command_pipeline> pipeline_;
+  defense::stream_detector detector_ IVC_GUARDED_BY(busy_);
+  std::optional<command_pipeline> pipeline_ IVC_GUARDED_BY(busy_);
   // Fault-schedule coordinate: every block consumed off the ring (scored
   // or dropped), in accepted order. Monotonic forever — reopen() must
   // not rewind it, or a pinned fault would re-fire after every reset.
-  std::uint64_t consumed_blocks_ = 0;
+  // Atomic, NOT busy_-guarded: the busy_ holder is the only writer, but
+  // force_quarantine() reads it from the manager's backstop path without
+  // claiming the session (the claim may be wedged — that is why the
+  // backstop exists), which the thread-safety pass flagged as a race.
+  std::atomic<std::uint64_t> consumed_blocks_{0};
   // Automatic-reopen retry budget spent so far.
-  std::size_t reopen_count_ = 0;
+  std::size_t reopen_count_ IVC_GUARDED_BY(busy_) = 0;
   // Accepted blocks still to drop before scoring resumes (recovering).
-  std::uint64_t backoff_remaining_ = 0;
+  std::uint64_t backoff_remaining_ IVC_GUARDED_BY(busy_) = 0;
   // Last good crash-recovery checkpoint (binary-encoded detector +
   // pipeline stream state; empty = none yet). Binary keeps a resident
   // checkpoint cheap — the pending audio inside it is mostly silence,
   // which the codec run-length-codes away.
-  std::string last_good_;
+  std::string last_good_ IVC_GUARDED_BY(busy_);
 };
 
 // ---- Frozen-snapshot readers ------------------------------------------

@@ -36,19 +36,19 @@ session_manager::session_manager(defense::classifier_detector detector,
 session_manager::~session_manager() { stop(); }
 
 std::uint64_t session_manager::open_session() {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   return open_slot(nullptr, config_);
 }
 
 std::uint64_t session_manager::open_session(const serve_config& config) {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   return open_slot(std::make_shared<const serve_config>(config), config);
 }
 
 std::uint64_t session_manager::open_session(
     std::shared_ptr<const serve_config> config) {
   expects(config != nullptr, "session_manager: null shared config");
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   const serve_config& effective = *config;
   return open_slot(std::move(config), effective);
 }
@@ -70,7 +70,7 @@ std::uint64_t session_manager::open_slot(
     lru_.emplace(slots_.back().touch, id);
   }
   {
-    std::lock_guard<std::mutex> sched_lock{sched_mutex_};
+    const ts_lock sched_lock{sched_mutex_};
     sched_.push_back(sched_state::idle);
   }
   enforce_residency();
@@ -78,12 +78,12 @@ std::uint64_t session_manager::open_slot(
 }
 
 std::size_t session_manager::num_sessions() const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   return slots_.size();
 }
 
 const detection_session& session_manager::session(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   expects(slots_[id].live != nullptr,
           "session_manager: session is evicted — use the id-keyed "
@@ -92,7 +92,7 @@ const detection_session& session_manager::session(std::uint64_t id) const {
 }
 
 bool session_manager::resident(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   return slots_[id].live != nullptr;
 }
@@ -193,13 +193,13 @@ void session_manager::enforce_residency() {
 }
 
 bool session_manager::evict(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   return evict_locked(id);
 }
 
 std::size_t session_manager::evict_idle() {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   std::size_t evicted = 0;
   for (std::uint64_t id = 0; id < slots_.size(); ++id) {
     evicted += evict_locked(id) ? 1 : 0;
@@ -208,7 +208,7 @@ std::size_t session_manager::evict_idle() {
 }
 
 eviction_stats session_manager::eviction() const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   eviction_stats out = evic_;
   out.resident = resident_count_;
   return out;
@@ -218,7 +218,7 @@ offer_status session_manager::offer(std::uint64_t id, audio::buffer block) {
   // One critical section for rehydrate + offer + LRU touch + residency
   // enforcement: an eviction can never interleave with an offer to the
   // same session and drop its block.
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   const std::shared_ptr<detection_session> s = ensure_resident(id);
   const offer_status status = s->offer(std::move(block));
@@ -231,7 +231,7 @@ offer_status session_manager::offer(std::uint64_t id, audio::buffer block) {
 }
 
 void session_manager::close(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   slot& sl = slots_[id];
   if (sl.live == nullptr && sl.closed_hint) {
@@ -243,7 +243,7 @@ void session_manager::close(std::uint64_t id) {
 }
 
 void session_manager::close_all() {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   for (std::uint64_t id = 0; id < slots_.size(); ++id) {
     slot& sl = slots_[id];
     if (sl.live == nullptr && sl.closed_hint) {
@@ -264,7 +264,7 @@ void session_manager::drain() {
   for (;;) {
     std::vector<std::shared_ptr<detection_session>> ready;
     {
-      std::lock_guard<std::mutex> lock{sessions_mutex_};
+      const ts_lock lock{sessions_mutex_};
       ready.reserve(slots_.size());
       for (const slot& sl : slots_) {
         // Evicted sessions are idle by construction: only live ones can
@@ -305,8 +305,8 @@ void session_manager::start(std::size_t n_workers) {
     // then either lands before (and the seed scan below sees its work)
     // or after (and notify_ready sees live workers and enqueues it) —
     // never in a gap where both miss it.
-    std::lock_guard<std::mutex> sessions_lock{sessions_mutex_};
-    std::lock_guard<std::mutex> lock{sched_mutex_};
+    const ts_lock sessions_lock{sessions_mutex_};
+    const ts_lock lock{sched_mutex_};
     if (!workers_.empty()) {
       return;  // idempotent: already streaming
     }
@@ -332,7 +332,7 @@ void session_manager::start(std::size_t n_workers) {
 void session_manager::stop() {
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock{sched_mutex_};
+    const ts_lock lock{sched_mutex_};
     if (workers_.empty()) {
       return;  // idempotent: not streaming
     }
@@ -343,7 +343,7 @@ void session_manager::stop() {
   for (std::thread& t : workers) {
     t.join();
   }
-  std::lock_guard<std::mutex> lock{sched_mutex_};
+  const ts_lock lock{sched_mutex_};
   // Offers racing with stop() can strand entries after the last worker
   // exits; reset the schedule — the blocks themselves are still queued
   // in their sessions and the next start()/drain() picks them up.
@@ -354,12 +354,12 @@ void session_manager::stop() {
 }
 
 bool session_manager::streaming() const {
-  std::lock_guard<std::mutex> lock{sched_mutex_};
+  const ts_lock lock{sched_mutex_};
   return !workers_.empty();
 }
 
 bool session_manager::reopen(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   slot& sl = slots_[id];
   if (sl.live == nullptr) {
@@ -388,7 +388,7 @@ void session_manager::notify_ready(std::uint64_t id,
                                    const std::shared_ptr<detection_session>& s) {
   bool enqueued = false;
   {
-    std::lock_guard<std::mutex> lock{sched_mutex_};
+    const ts_lock lock{sched_mutex_};
     if (workers_.empty()) {
       return;  // not streaming: drain() discovers work by scanning
     }
@@ -405,8 +405,14 @@ void session_manager::notify_ready(std::uint64_t id,
 
 void session_manager::worker_loop() {
   for (;;) {
-    std::unique_lock<std::mutex> lock{sched_mutex_};
-    sched_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    ts_unique_lock lock{sched_mutex_};
+    // Explicit wait loop (not the predicate overload): the predicate
+    // would be a lambda reading stopping_/ready_, which the analysis
+    // treats as a separate function with no lock held. The semantics
+    // are identical — wait() re-acquires before the predicate re-check.
+    while (!stopping_ && ready_.empty()) {
+      sched_cv_.wait(lock.native());
+    }
     if (ready_.empty()) {
       return;  // stopping_ and nothing left to do
     }
@@ -433,13 +439,17 @@ void session_manager::worker_loop() {
     // our job to re-queue. Conversely an offer that lands after this
     // check sees `idle` and enqueues itself. Either way no block is
     // stranded.
+    bool renotify = false;
     if (s->has_work()) {
       sched_[id] = sched_state::queued;
       ready_.emplace_back(id, s);
-      lock.unlock();
-      sched_cv_.notify_one();
+      renotify = true;
     } else {
       sched_[id] = sched_state::idle;
+    }
+    lock.unlock();
+    if (renotify) {
+      sched_cv_.notify_one();
     }
   }
 }
@@ -455,7 +465,7 @@ void session_manager::finish() {
 
 std::vector<defense::stream_event> session_manager::verdicts(
     std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   const slot& sl = slots_[id];
   if (sl.live != nullptr) {
@@ -466,7 +476,7 @@ std::vector<defense::stream_event> session_manager::verdicts(
 
 std::vector<command_outcome> session_manager::outcomes(
     std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   const slot& sl = slots_[id];
   if (sl.live != nullptr) {
@@ -476,7 +486,7 @@ std::vector<command_outcome> session_manager::outcomes(
 }
 
 session_stats session_manager::stats(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   const slot& sl = slots_[id];
   if (sl.live != nullptr) {
@@ -486,7 +496,7 @@ session_stats session_manager::stats(std::uint64_t id) const {
 }
 
 serve_totals session_manager::aggregate() const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   // The fleet histograms must use the same binning as the per-session
   // ones: log_histogram::merge requires matching configs.
   serve_totals totals;
@@ -534,7 +544,7 @@ serve_totals session_manager::aggregate() const {
 
 std::vector<std::pair<std::uint64_t, std::string>>
 session_manager::quarantine_errors() const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   std::vector<std::pair<std::uint64_t, std::string>> out;
   for (std::uint64_t id = 0; id < slots_.size(); ++id) {
     const slot& sl = slots_[id];
@@ -550,7 +560,7 @@ session_manager::quarantine_errors() const {
 }
 
 std::vector<obs::span> session_manager::trace(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock{sessions_mutex_};
+  const ts_lock lock{sessions_mutex_};
   expects(id < slots_.size(), "session_manager: unknown session id");
   const slot& sl = slots_[id];
   if (sl.live != nullptr) {

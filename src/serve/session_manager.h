@@ -59,7 +59,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -67,6 +66,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "serve/session.h"
 
 namespace ivc::serve {
@@ -263,45 +264,51 @@ class session_manager {
     obs::histogram rehydrate_latency;
   };
 
+  // The slot/eviction helpers run with sessions_mutex_ held — the
+  // IVC_REQUIRES makes calling one without it a compile error.
   std::uint64_t open_slot(std::shared_ptr<const serve_config> cfg,
-                          const serve_config& effective);
-  // The following helpers all require sessions_mutex_ held.
-  const std::shared_ptr<detection_session>& ensure_resident(std::uint64_t id);
-  bool evict_locked(std::uint64_t id);
-  void enforce_residency();
-  // Enqueues session `id` if streaming and the session is idle.
+                          const serve_config& effective)
+      IVC_REQUIRES(sessions_mutex_) IVC_EXCLUDES(sched_mutex_);
+  const std::shared_ptr<detection_session>& ensure_resident(std::uint64_t id)
+      IVC_REQUIRES(sessions_mutex_);
+  bool evict_locked(std::uint64_t id) IVC_REQUIRES(sessions_mutex_);
+  void enforce_residency() IVC_REQUIRES(sessions_mutex_);
+  // Enqueues session `id` if streaming and the session is idle. Takes
+  // sched_mutex_ itself (always called under sessions_mutex_ — the
+  // global lock order).
   void notify_ready(std::uint64_t id,
-                    const std::shared_ptr<detection_session>& s);
-  void worker_loop();
+                    const std::shared_ptr<detection_session>& s)
+      IVC_EXCLUDES(sched_mutex_);
+  void worker_loop() IVC_EXCLUDES(sessions_mutex_, sched_mutex_);
 
   defense::classifier_detector detector_;
   serve_config config_;
   metric_handles metrics_;
   thread_pool pool_;
-  mutable std::mutex sessions_mutex_;  // guards slots_ + eviction state
-  std::vector<slot> slots_;
-  std::size_t resident_count_ = 0;
-  std::uint64_t touch_counter_ = 0;
+  // Guards slots_ + eviction state; always acquired BEFORE sched_mutex_
+  // (offer -> notify_ready). A session mutex may be taken under either —
+  // never the other way around.
+  mutable ts_mutex sessions_mutex_ IVC_ACQUIRED_BEFORE(sched_mutex_);
+  std::vector<slot> slots_ IVC_GUARDED_BY(sessions_mutex_);
+  std::size_t resident_count_ IVC_GUARDED_BY(sessions_mutex_) = 0;
+  std::uint64_t touch_counter_ IVC_GUARDED_BY(sessions_mutex_) = 0;
   // Lazy LRU min-heap of (touch-at-push, id). Entries go stale when a
   // session is touched again; enforce_residency() skips or refreshes
   // them on pop, so the heap stays O(resident) instead of O(offers).
   std::priority_queue<std::pair<std::uint64_t, std::uint64_t>,
                       std::vector<std::pair<std::uint64_t, std::uint64_t>>,
                       std::greater<>>
-      lru_;
-  eviction_stats evic_;
+      lru_ IVC_GUARDED_BY(sessions_mutex_);
+  eviction_stats evic_ IVC_GUARDED_BY(sessions_mutex_);
 
-  // Streaming state. Lock order: sched_mutex_ may be taken under
-  // sessions_mutex_ (offer -> notify_ready), and a session mutex may be
-  // taken under sched_mutex_ (has_work re-check) — never the other way
-  // around.
-  mutable std::mutex sched_mutex_;
+  // Streaming state, guarded by sched_mutex_ (see lock order above).
+  mutable ts_mutex sched_mutex_;
   std::condition_variable sched_cv_;
   std::deque<std::pair<std::uint64_t, std::shared_ptr<detection_session>>>
-      ready_;
-  std::vector<sched_state> sched_;  // indexed by session id
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+      ready_ IVC_GUARDED_BY(sched_mutex_);
+  std::vector<sched_state> sched_ IVC_GUARDED_BY(sched_mutex_);
+  bool stopping_ IVC_GUARDED_BY(sched_mutex_) = false;
+  std::vector<std::thread> workers_ IVC_GUARDED_BY(sched_mutex_);
 };
 
 }  // namespace ivc::serve

@@ -34,13 +34,13 @@ shard_manager::shard_manager(defense::classifier_detector detector,
 }
 
 shard_manager::route shard_manager::route_of(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock{routes_mutex_};
+  const ts_lock lock{routes_mutex_};
   expects(id < routes_.size(), "shard_manager: unknown session id");
   return routes_[id];
 }
 
 std::uint64_t shard_manager::open_session() {
-  std::lock_guard<std::mutex> lock{routes_mutex_};
+  const ts_lock lock{routes_mutex_};
   const auto id = static_cast<std::uint64_t>(routes_.size());
   const auto sh = static_cast<std::uint32_t>(mix64(id) % shards_.size());
   const std::uint64_t local = shards_[sh]->open_session();
@@ -49,7 +49,7 @@ std::uint64_t shard_manager::open_session() {
 }
 
 std::uint64_t shard_manager::open_session(const serve_config& config) {
-  std::lock_guard<std::mutex> lock{routes_mutex_};
+  const ts_lock lock{routes_mutex_};
   const auto id = static_cast<std::uint64_t>(routes_.size());
   const auto sh = static_cast<std::uint32_t>(mix64(id) % shards_.size());
   const std::uint64_t local = shards_[sh]->open_session(config);
@@ -59,7 +59,7 @@ std::uint64_t shard_manager::open_session(const serve_config& config) {
 
 std::uint64_t shard_manager::open_session(
     std::shared_ptr<const serve_config> config) {
-  std::lock_guard<std::mutex> lock{routes_mutex_};
+  const ts_lock lock{routes_mutex_};
   const auto id = static_cast<std::uint64_t>(routes_.size());
   const auto sh = static_cast<std::uint32_t>(mix64(id) % shards_.size());
   const std::uint64_t local = shards_[sh]->open_session(std::move(config));
@@ -68,7 +68,7 @@ std::uint64_t shard_manager::open_session(
 }
 
 std::size_t shard_manager::num_sessions() const {
-  std::lock_guard<std::mutex> lock{routes_mutex_};
+  const ts_lock lock{routes_mutex_};
   return routes_.size();
 }
 
@@ -90,7 +90,7 @@ offer_status shard_manager::offer(std::uint64_t id, audio::buffer block) {
   route r;
   std::uint64_t offer_index = 0;
   {
-    std::lock_guard<std::mutex> lock{routes_mutex_};
+    const ts_lock lock{routes_mutex_};
     expects(id < routes_.size(), "shard_manager: unknown session id");
     r = routes_[id];
     offer_index = offers_[r.shard]++;
@@ -102,7 +102,7 @@ offer_status shard_manager::offer(std::uint64_t id, audio::buffer block) {
   if (faults_ != nullptr &&
       faults_->fires(fault_kind::shard_kill, r.shard, offer_index)) {
     shards_[r.shard]->evict_idle();
-    std::lock_guard<std::mutex> lock{routes_mutex_};
+    const ts_lock lock{routes_mutex_};
     ++shard_kills_[r.shard];
   }
   return status;
@@ -197,7 +197,7 @@ std::vector<obs::span> shard_manager::trace(std::uint64_t id) const {
 
 std::vector<std::vector<std::uint64_t>> shard_manager::global_ids() const {
   std::vector<std::vector<std::uint64_t>> to_global(shards_.size());
-  std::lock_guard<std::mutex> lock{routes_mutex_};
+  const ts_lock lock{routes_mutex_};
   for (std::uint64_t gid = 0; gid < routes_.size(); ++gid) {
     // open_session hands out local ids densely in global-id order, so
     // this scan appends each shard's table already in local-id order.
@@ -244,7 +244,7 @@ shard_balance shard_manager::balance() const {
   std::vector<std::uint64_t> offers;
   std::vector<std::uint64_t> kills;
   {
-    std::lock_guard<std::mutex> lock{routes_mutex_};
+    const ts_lock lock{routes_mutex_};
     offers = offers_;
     kills = shard_kills_;
   }

@@ -32,9 +32,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "serve/session_manager.h"
 
 namespace ivc::serve {
@@ -138,20 +139,27 @@ class shard_manager {
     std::uint64_t local = 0;  // id inside the shard's session_manager
   };
 
-  route route_of(std::uint64_t id) const;
-  std::uint64_t open_routed(std::uint64_t* shard_out);
+  route route_of(std::uint64_t id) const IVC_EXCLUDES(routes_mutex_);
+  std::uint64_t open_routed(std::uint64_t* shard_out)
+      IVC_EXCLUDES(routes_mutex_);
   // Per-shard local-id -> global-id tables (one routes_ scan; local ids
   // are dense in open order, so the tables build by append).
-  std::vector<std::vector<std::uint64_t>> global_ids() const;
+  std::vector<std::vector<std::uint64_t>> global_ids() const
+      IVC_EXCLUDES(routes_mutex_);
 
+  // shards_, faults_, config_ are immutable after construction — shared
+  // reads need no lock; only the routing table and counters mutate.
   serve_config config_;
   std::vector<std::unique_ptr<session_manager>> shards_;
   std::shared_ptr<const fault_injector> faults_;
 
-  mutable std::mutex routes_mutex_;  // guards routes_ and the counters
-  std::vector<route> routes_;        // global id -> (shard, local id)
-  std::vector<std::uint64_t> offers_;       // per-shard offer counters
-  std::vector<std::uint64_t> shard_kills_;  // per-shard kill counts
+  mutable ts_mutex routes_mutex_;
+  // global id -> (shard, local id)
+  std::vector<route> routes_ IVC_GUARDED_BY(routes_mutex_);
+  // per-shard offer counters
+  std::vector<std::uint64_t> offers_ IVC_GUARDED_BY(routes_mutex_);
+  // per-shard kill counts
+  std::vector<std::uint64_t> shard_kills_ IVC_GUARDED_BY(routes_mutex_);
 };
 
 }  // namespace ivc::serve

@@ -5,12 +5,12 @@
 #include <cmath>
 #include <future>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "audio/metrics.h"
 #include "audio/ops.h"
 #include "common/error.h"
+#include "common/sync.h"
 #include "common/units.h"
 #include "dsp/resample.h"
 #include "mic/frontend.h"
@@ -67,8 +67,8 @@ using enrollment_key = std::pair<std::uint64_t, std::uint64_t>;
 using enrollment_future =
     std::shared_future<std::shared_ptr<const asr::recognizer>>;
 
-std::mutex& enrollment_cache_mutex() {
-  static std::mutex mutex;
+ts_mutex& enrollment_cache_mutex() {
+  static ts_mutex mutex;
   return mutex;
 }
 
@@ -91,7 +91,7 @@ std::shared_ptr<const asr::recognizer> shared_enrolled_recognizer(
   enrollment_future shared;
   bool is_builder = false;
   {
-    std::lock_guard<std::mutex> lock{enrollment_cache_mutex()};
+    const ts_lock lock{enrollment_cache_mutex()};
     auto [it, inserted] = enrollment_cache().try_emplace(key);
     if (inserted) {
       it->second = builder.get_future().share();
@@ -105,7 +105,7 @@ std::shared_ptr<const asr::recognizer> shared_enrolled_recognizer(
           make_enrolled_recognizer(capture_rate_hz, seed)));
     } catch (...) {
       builder.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lock{enrollment_cache_mutex()};
+      const ts_lock lock{enrollment_cache_mutex()};
       enrollment_cache().erase(key);
     }
   }
@@ -113,7 +113,7 @@ std::shared_ptr<const asr::recognizer> shared_enrolled_recognizer(
 }
 
 void clear_enrolled_recognizer_cache() {
-  std::lock_guard<std::mutex> lock{enrollment_cache_mutex()};
+  const ts_lock lock{enrollment_cache_mutex()};
   enrollment_cache().clear();
 }
 

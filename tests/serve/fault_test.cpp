@@ -23,6 +23,7 @@
 #include "audio/ops.h"
 #include "common/rng.h"
 #include "defense/classifier.h"
+#include "obs/trace.h"
 #include "serve/session_manager.h"
 #include "sim/scenario.h"
 #include "synth/commands.h"
@@ -486,6 +487,50 @@ TEST(fault_containment, force_quarantine_parks_without_reset) {
   // Idempotent: a second force does not double-count.
   s.force_quarantine("again");
   EXPECT_EQ(manager.stats(sid).quarantines, 1u);
+}
+
+// Pins the fix for the one real data race the thread-safety annotation
+// pass surfaced: force_quarantine() is the manager's worker BACKSTOP —
+// it runs when an exception escapes process() while the dying worker
+// may still hold the session's exclusive claim, so it reads the
+// consumed-block counter WITHOUT claiming the session. That read used
+// to race the worker's post-increment in process(); the counter is
+// std::atomic now (session.h documents why it is the one busy_-side
+// field that cannot be claim-guarded). The CI TSan job running this
+// suite is what gives the overlap teeth; the assertions pin the
+// backstop's semantics either way.
+TEST(fault_containment, force_quarantine_races_the_owning_worker) {
+  serve_config cfg = fleet_config();
+  detection_session s{0, tiny_detector(), cfg};
+  const audio::buffer stream = command_stream(77);
+  const std::size_t block = 2'048;
+  std::size_t offered = 0;
+  for (std::size_t start = 0; start < stream.size(); start += block) {
+    const std::size_t end = std::min(start + block, stream.size());
+    ASSERT_EQ(s.offer(audio::buffer{
+                  {stream.samples.begin() + static_cast<std::ptrdiff_t>(start),
+                   stream.samples.begin() + static_cast<std::ptrdiff_t>(end)},
+                  kRate}),
+              offer_status::accepted);
+    ++offered;
+  }
+
+  std::thread worker{[&] { s.process(); }};
+  s.force_quarantine("worker backstop: fault escaped process()");
+  worker.join();
+
+  EXPECT_EQ(s.state(), session_state::quarantined);
+  EXPECT_EQ(s.stats().quarantines, 1u);
+  // The backstop's flight-recorder span carries the consumed-block
+  // coordinate it read mid-race; whatever interleaving happened, it is
+  // a real counter value, bounded by what was ever offered.
+  const std::vector<obs::span> spans = s.trace();
+  const auto quarantine_span =
+      std::find_if(spans.begin(), spans.end(), [](const obs::span& sp) {
+        return sp.stage == obs::trace_stage::quarantine;
+      });
+  ASSERT_NE(quarantine_span, spans.end());
+  EXPECT_LE(quarantine_span->index, offered);
 }
 
 // ---- graceful degradation --------------------------------------------

@@ -1,0 +1,147 @@
+// Tests for the determinism lint (tools/detlint.h): each rule fires on
+// its fixture exactly once, the near-miss fixture stays clean, both
+// suppression channels work, the allowlist self-check catches rot, and
+// the checked-in repo allowlist is exactly live (the same invariant the
+// tools_detlint_repo ctest enforces, exercised in-process).
+#include "detlint.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dl = ivc::tools::detlint;
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string{IVC_DETLINT_FIXTURES} + "/" + name;
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+dl::report scan_fixture(const std::string& name,
+                        const std::vector<dl::allow_entry>& allowlist = {}) {
+  dl::report rep;
+  dl::scan_source("fixtures/" + name, read_fixture(name), allowlist, rep);
+  return rep;
+}
+
+TEST(DetlintRules, EachRuleFixtureFiresExactlyOnce) {
+  const struct {
+    const char* fixture;
+    const char* rule;
+  } cases[] = {
+      {"wall_clock.cpp", "wall-clock"},
+      {"rand.cpp", "rand"},
+      {"unordered.cpp", "unordered"},
+      {"raw_mutex.cpp", "raw-mutex"},
+  };
+  for (const auto& c : cases) {
+    const dl::report rep = scan_fixture(c.fixture);
+    ASSERT_EQ(rep.violations.size(), 1u) << c.fixture;
+    EXPECT_EQ(rep.violations[0].rule, c.rule) << c.fixture;
+    EXPECT_TRUE(rep.suppressed.empty()) << c.fixture;
+    EXPECT_GT(rep.violations[0].line, 0u);
+    EXPECT_FALSE(rep.violations[0].text.empty());
+  }
+}
+
+TEST(DetlintRules, CleanFixtureHasNoFindings) {
+  // Comments, string literals, a local named `time`, and identifier
+  // near-misses (operand_time, random_seed_slot) must all pass.
+  const dl::report rep = scan_fixture("clean.cpp");
+  EXPECT_TRUE(rep.violations.empty());
+  EXPECT_TRUE(rep.suppressed.empty());
+}
+
+TEST(DetlintSuppression, PragmaSuppressesOnlyItsOwnRule) {
+  // allow_pragma.cpp: a rand hit under `allow(rand)` (suppressed) and a
+  // wall-clock hit under `allow(rand)` (wrong rule — still reported).
+  const dl::report rep = scan_fixture("allow_pragma.cpp");
+  ASSERT_EQ(rep.suppressed.size(), 1u);
+  EXPECT_EQ(rep.suppressed[0].rule, "rand");
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].rule, "wall-clock");
+}
+
+TEST(DetlintSuppression, AllowlistExactAndPrefixEntries) {
+  const dl::allow_entry exact{"rand", "fixtures/rand.cpp", 1};
+  dl::report rep = scan_fixture("rand.cpp", {exact});
+  EXPECT_TRUE(rep.violations.empty());
+  ASSERT_EQ(rep.suppressed.size(), 1u);
+
+  const dl::allow_entry prefix{"wall-clock", "fixtures/", 2};
+  rep = scan_fixture("wall_clock.cpp", {prefix});
+  EXPECT_TRUE(rep.violations.empty());
+  ASSERT_EQ(rep.suppressed.size(), 1u);
+
+  // An entry for a different rule suppresses nothing.
+  const dl::allow_entry wrong{"unordered", "fixtures/", 3};
+  rep = scan_fixture("rand.cpp", {wrong});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_TRUE(rep.suppressed.empty());
+}
+
+TEST(DetlintSelfCheck, StaleAllowlistEntryFailsTheRun) {
+  const std::string rules_path =
+      testing::TempDir() + "/detlint_stale_rules";
+  // run() reports paths relative to opts.root (the fixtures dir here),
+  // so the entries use bare file names: one live, one stale.
+  {
+    std::ofstream out{rules_path};
+    out << "# one live entry, one stale one\n"
+        << "rand rand.cpp\n"
+        << "raw-mutex no_such_file.cpp\n";
+  }
+  dl::options opts;
+  opts.root = IVC_DETLINT_FIXTURES;
+  opts.scan_dirs = {"."};
+  opts.rules_path = rules_path;
+  const dl::report rep = dl::run(opts);
+  ASSERT_EQ(rep.stale.size(), 1u);
+  EXPECT_NE(rep.stale[0].find("no_such_file.cpp"), std::string::npos);
+  EXPECT_NE(rep.stale[0].find("stale"), std::string::npos);
+}
+
+TEST(DetlintSelfCheck, MalformedAndUnknownRuleLinesAreErrors) {
+  const std::string rules_path =
+      testing::TempDir() + "/detlint_bad_rules";
+  {
+    std::ofstream out{rules_path};
+    out << "nonsense-rule src/\n"
+        << "just-one-token\n";
+  }
+  std::vector<std::string> errors;
+  const std::vector<dl::allow_entry> entries =
+      dl::parse_rules_file(rules_path, errors);
+  EXPECT_TRUE(entries.empty());
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("unknown rule"), std::string::npos);
+  EXPECT_NE(errors[1].find("malformed"), std::string::npos);
+}
+
+TEST(DetlintRepo, CheckedInAllowlistIsCleanAndExactlyLive) {
+  // The real repo gate: src/ and bench/ lint clean under the checked-in
+  // allowlist, and every allowlist entry still suppresses something.
+  dl::options opts;
+  opts.root = IVC_DETLINT_REPO_ROOT;
+  opts.scan_dirs = {"src", "bench"};
+  opts.rules_path = IVC_DETLINT_RULES;
+  const dl::report rep = dl::run(opts);
+  for (const auto& f : rep.violations) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.rule << "] "
+                  << f.text;
+  }
+  for (const auto& msg : rep.stale) {
+    ADD_FAILURE() << msg;
+  }
+  EXPECT_FALSE(rep.suppressed.empty());
+}
+
+}  // namespace

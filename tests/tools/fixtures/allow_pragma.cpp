@@ -1,0 +1,11 @@
+// detlint fixture: one rand hit suppressed by the inline pragma, and
+// one wall-clock hit whose pragma names the WRONG rule (so it must
+// still be reported). Never compiled — scanned as text.
+#include <chrono>
+#include <cstdlib>
+
+int fixture_allow_pragma() {
+  const int jitter = rand();  // detlint: allow(rand) fixture for the pragma path
+  const auto t0 = std::chrono::steady_clock::now();  // detlint: allow(rand) wrong rule on purpose
+  return jitter + static_cast<int>(t0.time_since_epoch().count());
+}

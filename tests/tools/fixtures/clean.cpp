@@ -1,0 +1,18 @@
+// detlint fixture: every near-miss the scanner must NOT flag.
+// Never compiled — scanned as text by tools_detlint_test.
+#include <string>
+#include <vector>
+
+// Prose about std::mutex, rand(), steady_clock and unordered_map lives
+// in comments — stripped before matching.
+std::string fixture_clean(std::size_t n) {
+  // A local named `time` with a paren initializer is not a clock read.
+  std::vector<double> time(n, 0.0);
+  // Banned tokens inside string literals are data, not code.
+  std::string doc = "call rand() or std::mutex via unordered_map";
+  /* block comment: gettimeofday(&tv, nullptr); */
+  // Identifier near-misses: substrings of banned names are fine.
+  double operand_time = static_cast<double>(time.size());
+  int random_seed_slot = 0;  // `random_seed_slot` != `rand`
+  return doc + std::to_string(operand_time + random_seed_slot);
+}

@@ -1,0 +1,7 @@
+// detlint fixture: exactly one rand violation, nothing else.
+// Never compiled — scanned as text by tools_detlint_test.
+#include <cstdlib>
+
+int fixture_rand() {
+  return rand();
+}

@@ -1,0 +1,8 @@
+// detlint fixture: exactly one raw-mutex violation — a std::mutex
+// spelled outside common/sync.h, invisible to the thread-safety
+// analysis. Never compiled — scanned as text by tools_detlint_test.
+#include <mutex>
+
+struct fixture_raw_mutex {
+  std::mutex unannotated;
+};

@@ -1,0 +1,9 @@
+// detlint fixture: exactly one unordered-container violation.
+// Never compiled — scanned as text by tools_detlint_test. No
+// <unordered_map> include, so only the declaration line trips the rule.
+#include <map>
+
+int fixture_unordered() {
+  std::unordered_map<int, int> layout_leak;
+  return static_cast<int>(layout_leak.size());
+}

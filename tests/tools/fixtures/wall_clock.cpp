@@ -1,0 +1,8 @@
+// detlint fixture: exactly one wall-clock violation, nothing else.
+// Never compiled — scanned as text by tools_detlint_test.
+#include <chrono>
+
+double fixture_wall_clock() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}

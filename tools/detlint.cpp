@@ -1,0 +1,412 @@
+#include "detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ivc::tools::detlint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+struct rule_def {
+  const char* name;
+  // Identifiers banned as exact tokens.
+  std::vector<const char*> idents;
+  // Substrings banned with identifier-boundary checks at pattern edges.
+  std::vector<const char*> substrs;
+};
+
+const std::vector<rule_def>& rules() {
+  static const std::vector<rule_def> defs = {
+      {"wall-clock",
+       {"system_clock", "steady_clock", "high_resolution_clock",
+        "clock_gettime", "gettimeofday", "timespec_get", "localtime",
+        "gmtime"},
+       {"time(nullptr", "time(NULL"}},
+      {"rand",
+       {"rand", "srand", "drand48", "lrand48", "mrand48", "random_device",
+        "random_shuffle"},
+       {}},
+      {"unordered",
+       {"unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"},
+       {}},
+      {"raw-mutex",
+       {},
+       {"std::mutex", "std::shared_mutex", "std::timed_mutex",
+        "std::recursive_mutex", "std::recursive_timed_mutex",
+        "std::shared_timed_mutex"}},
+  };
+  return defs;
+}
+
+// One source line after comment/string stripping, with the pragma rules
+// extracted from its comments.
+struct scrubbed_line {
+  std::string code;
+  std::vector<std::string> allowed_rules;  // detlint: allow(<rule>)
+};
+
+// Collects `detlint: allow(<rule>)` pragmas out of comment text.
+void collect_pragmas(const std::string& comment,
+                     std::vector<std::string>& out) {
+  static const std::string kKey = "detlint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kKey, pos)) != std::string::npos) {
+    const std::size_t start = pos + kKey.size();
+    const std::size_t end = comment.find(')', start);
+    if (end == std::string::npos) {
+      break;
+    }
+    out.push_back(comment.substr(start, end - start));
+    pos = end;
+  }
+}
+
+// Splits a translation unit into lines with comments and string/char
+// literals blanked out (so prose and literals never trip a rule) while
+// keeping the pragma text reachable.
+std::vector<scrubbed_line> scrub(const std::string& text) {
+  std::vector<scrubbed_line> lines(1);
+  std::string comment;  // comment text accumulated for the current line
+
+  enum class state { code, line_comment, block_comment, str, chr, raw_str };
+  state st = state::code;
+  std::string raw_delim;  // for raw string literals: )delim"
+
+  auto end_line = [&](std::size_t) {
+    collect_pragmas(comment, lines.back().allowed_rules);
+    comment.clear();
+    lines.emplace_back();
+  };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (st == state::line_comment) {
+        st = state::code;
+      }
+      end_line(i);
+      continue;
+    }
+    switch (st) {
+      case state::code:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          st = state::line_comment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          st = state::block_comment;
+          ++i;
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+                   (i == 0 || !is_ident_char(text[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          while (j < n && text[j] != '(') {
+            ++j;
+          }
+          raw_delim.assign(1, ')');
+          raw_delim.append(text, i + 2, j - (i + 2));
+          raw_delim.push_back('"');
+          st = state::raw_str;
+          i = j;  // consume through the opening '('
+          lines.back().code.push_back(' ');
+        } else if (c == '"') {
+          st = state::str;
+          lines.back().code.push_back(' ');
+        } else if (c == '\'') {
+          st = state::chr;
+          lines.back().code.push_back(' ');
+        } else {
+          lines.back().code.push_back(c);
+        }
+        break;
+      case state::line_comment:
+        comment.push_back(c);
+        break;
+      case state::block_comment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          st = state::code;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case state::str:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '"') {
+          st = state::code;
+        }
+        break;
+      case state::chr:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '\'') {
+          st = state::code;
+        }
+        break;
+      case state::raw_str:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = state::code;
+        }
+        break;
+    }
+  }
+  collect_pragmas(comment, lines.back().allowed_rules);
+  return lines;
+}
+
+bool has_ident(const std::string& code, const std::vector<const char*>& set) {
+  std::size_t i = 0;
+  const std::size_t n = code.size();
+  while (i < n) {
+    if (!is_ident_char(code[i]) ||
+        std::isdigit(static_cast<unsigned char>(code[i])) != 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && is_ident_char(code[j])) {
+      ++j;
+    }
+    for (const char* name : set) {
+      if (code.compare(i, j - i, name) == 0) {
+        return true;
+      }
+    }
+    i = j;
+  }
+  return false;
+}
+
+bool has_substr(const std::string& code, const char* pat) {
+  const std::string p{pat};
+  std::size_t pos = 0;
+  while ((pos = code.find(p, pos)) != std::string::npos) {
+    const bool lhs_ok = pos == 0 || !is_ident_char(p.front()) ||
+                        !is_ident_char(code[pos - 1]);
+    const std::size_t end = pos + p.size();
+    const bool rhs_ok = end >= code.size() || !is_ident_char(p.back()) ||
+                        !is_ident_char(code[end]);
+    if (lhs_ok && rhs_ok) {
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) {
+    ++a;
+  }
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) {
+    --b;
+  }
+  return s.substr(a, b - a);
+}
+
+bool entry_matches(const allow_entry& entry, const finding& f) {
+  if (entry.rule != f.rule) {
+    return false;
+  }
+  if (!entry.path.empty() && entry.path.back() == '/') {
+    return f.path.compare(0, entry.path.size(), entry.path) == 0;
+  }
+  return f.path == entry.path;
+}
+
+bool known_rule(const std::string& name) {
+  for (const rule_def& def : rules()) {
+    if (name == def.name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const rule_def& def : rules()) {
+      out.emplace_back(def.name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+void scan_source(const std::string& rel_path, const std::string& text,
+                 const std::vector<allow_entry>& allowlist, report& out) {
+  const std::vector<scrubbed_line> lines = scrub(text);
+  // The original text, split the same way, for finding snippets.
+  std::vector<std::string> raw;
+  {
+    std::stringstream ss{text};
+    std::string line;
+    while (std::getline(ss, line)) {
+      raw.push_back(line);
+    }
+  }
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const scrubbed_line& sl = lines[li];
+    for (const rule_def& def : rules()) {
+      bool hit = has_ident(sl.code, def.idents);
+      for (std::size_t si = 0; !hit && si < def.substrs.size(); ++si) {
+        hit = has_substr(sl.code, def.substrs[si]);
+      }
+      if (!hit) {
+        continue;
+      }
+      finding f;
+      f.rule = def.name;
+      f.path = rel_path;
+      f.line = li + 1;
+      f.text = li < raw.size() ? trim(raw[li]) : std::string{};
+      const bool pragma_ok =
+          std::find(sl.allowed_rules.begin(), sl.allowed_rules.end(),
+                    f.rule) != sl.allowed_rules.end();
+      bool listed = false;
+      for (const allow_entry& entry : allowlist) {
+        if (entry_matches(entry, f)) {
+          listed = true;
+          break;
+        }
+      }
+      (pragma_ok || listed ? out.suppressed : out.violations)
+          .push_back(std::move(f));
+    }
+  }
+}
+
+std::vector<allow_entry> parse_rules_file(const std::string& path,
+                                          std::vector<std::string>& errors) {
+  std::vector<allow_entry> entries;
+  std::ifstream in{path};
+  if (!in) {
+    errors.push_back("detlint: cannot open rules file: " + path);
+    return entries;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    std::stringstream ss{line};
+    allow_entry entry;
+    entry.line = lineno;
+    std::string extra;
+    if (!(ss >> entry.rule >> entry.path)) {
+      errors.push_back(path + ":" + std::to_string(lineno) +
+                       ": malformed allowlist line (want `<rule> <path>`)");
+      continue;
+    }
+    if (!known_rule(entry.rule)) {
+      errors.push_back(path + ":" + std::to_string(lineno) +
+                       ": unknown rule `" + entry.rule + "`");
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+report run(const options& opts) {
+  namespace fs = std::filesystem;
+  report rep;
+  std::vector<allow_entry> allowlist;
+  if (!opts.rules_path.empty()) {
+    allowlist = parse_rules_file(opts.rules_path, rep.stale);
+  }
+
+  std::vector<std::string> files;  // relative paths
+  for (const std::string& dir : opts.scan_dirs) {
+    const fs::path base = fs::path{opts.root} / dir;
+    if (!fs::exists(base)) {
+      rep.stale.push_back("detlint: scan dir does not exist: " +
+                          base.string());
+      continue;
+    }
+    for (const auto& de : fs::recursive_directory_iterator{base}) {
+      if (!de.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = de.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc") {
+        continue;
+      }
+      files.push_back(
+          fs::relative(de.path(), fs::path{opts.root}).generic_string());
+    }
+  }
+  // Directory iteration order is filesystem-dependent; the determinism
+  // lint's own output is sorted.
+  std::sort(files.begin(), files.end());
+
+  for (const std::string& rel : files) {
+    std::ifstream in{fs::path{opts.root} / rel, std::ios::binary};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    scan_source(rel, ss.str(), allowlist, rep);
+  }
+
+  // Self-check: every allowlist entry must still match a real line
+  // (violation or suppressed — either proves the entry is live).
+  for (const allow_entry& entry : allowlist) {
+    bool used = false;
+    for (const finding& f : rep.suppressed) {
+      if (entry_matches(entry, f)) {
+        used = true;
+        break;
+      }
+    }
+    for (std::size_t i = 0; !used && i < rep.violations.size(); ++i) {
+      used = entry_matches(entry, rep.violations[i]);
+    }
+    if (!used) {
+      rep.stale.push_back(opts.rules_path + ":" +
+                          std::to_string(entry.line) + ": stale allowlist " +
+                          "entry `" + entry.rule + " " + entry.path +
+                          "` matches nothing");
+    }
+  }
+  return rep;
+}
+
+bool print_report(const report& rep) {
+  for (const finding& f : rep.violations) {
+    std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.text.c_str());
+  }
+  for (const std::string& msg : rep.stale) {
+    std::printf("%s\n", msg.c_str());
+  }
+  std::printf(
+      "detlint: %zu violation(s), %zu suppressed, %zu stale/error line(s)\n",
+      rep.violations.size(), rep.suppressed.size(), rep.stale.size());
+  return rep.violations.empty() && rep.stale.empty();
+}
+
+}  // namespace ivc::tools::detlint

@@ -1,0 +1,102 @@
+// detlint — the determinism lint for the serving fleet.
+//
+// The repo's core contract is that every serving-visible stream
+// (verdicts, outcomes, telemetry fingerprints, fault schedules) is a
+// pure function of the accepted-block order. Nondeterminism only ever
+// leaks in through a handful of doors, and all of them are visible at
+// the token level in the source:
+//
+//   wall-clock  — std::chrono clock reads, time()/clock_gettime()/
+//                 gettimeofday(). Wall time is allowed ONLY in fields
+//                 explicitly exempted from determinism comparisons
+//                 (wall_s spans, bench timing); everything else must
+//                 use stream time or block indices.
+//   rand        — rand()/srand()/drand48()/std::random_device/
+//                 std::random_shuffle. All randomness in the tree is
+//                 counter-based splitmix64 keyed on deterministic
+//                 coordinates; ambient RNG state is banned outright.
+//   unordered   — std::unordered_{map,set,multimap,multiset}. Their
+//                 iteration order is libstdc++-internal and can leak
+//                 into any stream built by walking one. A token scanner
+//                 cannot prove a given container is never iterated, so
+//                 EVERY use must carry a justification (allowlist entry
+//                 or pragma) stating why its layout cannot escape.
+//   raw-mutex   — std::mutex / std::shared_mutex / std::timed_mutex /
+//                 std::recursive_mutex spelled outside common/sync.h.
+//                 Every lock in the tree must be an annotated
+//                 ivc::ts_mutex so Clang Thread Safety Analysis sees
+//                 it; a raw std::mutex is invisible to the analysis.
+//
+// The scanner strips comments and string literals before matching, so
+// prose about std::mutex (or this header) never trips a rule. Two
+// suppression channels exist, both carrying a reason:
+//
+//   inline pragma  — `// detlint: allow(<rule>) <reason>` on the
+//                    offending line;
+//   allowlist file — lines of `<rule> <path>` (exact, relative to the
+//                    repo root) or `<rule> <dir/>` (prefix), checked
+//                    in at tools/detlint_rules.
+//
+// Allowlist entries that no longer suppress anything are reported as
+// stale and fail the run — the exception list cannot rot.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ivc::tools::detlint {
+
+// One rule hit at a specific source line.
+struct finding {
+  std::string rule;  // "wall-clock" | "rand" | "unordered" | "raw-mutex"
+  std::string path;  // relative to options::root
+  std::size_t line = 0;  // 1-based
+  std::string text;      // the offending source line, trimmed
+};
+
+// One parsed allowlist entry.
+struct allow_entry {
+  std::string rule;
+  std::string path;  // exact path, or a prefix when it ends with '/'
+  std::size_t line = 0;  // line in the rules file, for diagnostics
+};
+
+struct report {
+  std::vector<finding> violations;  // unsuppressed — these fail the lint
+  std::vector<finding> suppressed;  // matched a pragma or allowlist entry
+  // Allowlist entries that suppressed nothing this run (rot), plus any
+  // rules-file parse problems. Non-empty fails the lint.
+  std::vector<std::string> stale;
+};
+
+struct options {
+  std::string root;  // repo root; scanned paths are reported relative to it
+  std::vector<std::string> scan_dirs;  // relative to root, e.g. {"src"}
+  std::string rules_path;  // allowlist file; empty = no allowlist
+};
+
+// Names of every rule the scanner knows, in report order.
+const std::vector<std::string>& rule_names();
+
+// Scans one in-memory file (unit-test entry point). `rel_path` is the
+// path findings are reported under; the allowlist is applied, pragmas
+// always are.
+void scan_source(const std::string& rel_path, const std::string& text,
+                 const std::vector<allow_entry>& allowlist, report& out);
+
+// Parses an allowlist file. Unknown rules or malformed lines land in
+// `errors` (formatted, with line numbers).
+std::vector<allow_entry> parse_rules_file(const std::string& path,
+                                          std::vector<std::string>& errors);
+
+// Full run: walks every .h/.cpp under root/scan_dirs in sorted order
+// (the lint's own output is deterministic), applies the allowlist, and
+// appends stale-entry diagnostics.
+report run(const options& opts);
+
+// Human-readable dump of a report; returns true when the lint is clean
+// (no violations, nothing stale).
+bool print_report(const report& rep);
+
+}  // namespace ivc::tools::detlint

@@ -1,0 +1,38 @@
+// CLI wrapper for the determinism lint. Usage:
+//
+//   detlint --root <repo> --rules <allowlist> [--scan <rel_dir>]...
+//
+// Exit 0 when clean, 1 on violations or stale allowlist entries, 2 on
+// usage errors. Run from anywhere; all paths in the output are relative
+// to --root.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "detlint.h"
+
+int main(int argc, char** argv) {
+  ivc::tools::detlint::options opts;
+  opts.root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    const bool has_value = i + 1 < argc;
+    if (arg == "--root" && has_value) {
+      opts.root = argv[++i];
+    } else if (arg == "--rules" && has_value) {
+      opts.rules_path = argv[++i];
+    } else if (arg == "--scan" && has_value) {
+      opts.scan_dirs.emplace_back(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: detlint --root DIR [--rules FILE] "
+                   "[--scan REL_DIR]...\n");
+      return 2;
+    }
+  }
+  if (opts.scan_dirs.empty()) {
+    opts.scan_dirs = {"src"};
+  }
+  const ivc::tools::detlint::report rep = ivc::tools::detlint::run(opts);
+  return ivc::tools::detlint::print_report(rep) ? 0 : 1;
+}
